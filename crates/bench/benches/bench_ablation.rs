@@ -1,0 +1,53 @@
+//! Criterion bench: the two pruning disciplines of the symbolic
+//! engine (E9), plus the error-detection latency on a buggy mutant.
+
+use ccv_core::{run_expansion, verify_with, Options, Pruning};
+use ccv_model::protocols::{dragon, illinois, illinois_missing_invalidation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning");
+    for (name, spec) in [("illinois", illinois()), ("dragon", dragon())] {
+        group.bench_function(format!("{name}/containment"), |b| {
+            let opts = Options::default();
+            b.iter(|| black_box(run_expansion(&spec, &opts).visits))
+        });
+        group.bench_function(format!("{name}/equality"), |b| {
+            let opts = Options {
+                pruning: Pruning::Equality,
+                ..Options::default()
+            };
+            b.iter(|| black_box(run_expansion(&spec, &opts).visits))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bug_detection_latency(c: &mut Criterion) {
+    let spec = illinois_missing_invalidation();
+    let mut group = c.benchmark_group("bug_detection");
+    group.bench_function("full_exploration", |b| {
+        let opts = Options::default();
+        b.iter(|| {
+            let v = verify_with(&spec, &opts);
+            assert_eq!(v.verdict, ccv_core::Verdict::Erroneous);
+            black_box(v.reports.len())
+        })
+    });
+    group.bench_function("stop_at_first_error", |b| {
+        let opts = Options {
+            stop_at_first_error: true,
+            ..Options::default()
+        };
+        b.iter(|| {
+            let v = verify_with(&spec, &opts);
+            assert_eq!(v.verdict, ccv_core::Verdict::Erroneous);
+            black_box(v.reports.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning, bench_bug_detection_latency);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench: explicit-state enumeration cost as a function of
+//! the number of caches (E4), against the constant-cost symbolic run.
+//!
+//! Reproduces the *shape* of §3.1's complexity argument: exhaustive
+//! search work grows exponentially in `n`; counting equivalence tames
+//! it to polynomial; the symbolic method does not depend on `n` at
+//! all.
+
+use ccv_core::{run_expansion, Options};
+use ccv_enum::{enumerate, enumerate_parallel, EnumOptions};
+use ccv_model::protocols::illinois;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let spec = illinois();
+    let mut group = c.benchmark_group("enumerate_exact");
+    for n in [2usize, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let opts = EnumOptions::new(n).exact();
+            b.iter(|| black_box(enumerate(&spec, &opts).distinct))
+        });
+    }
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let spec = illinois();
+    let mut group = c.benchmark_group("enumerate_counting");
+    for n in [2usize, 4, 6, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let opts = EnumOptions::new(n);
+            b.iter(|| black_box(enumerate(&spec, &opts).distinct))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let spec = illinois();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    let mut group = c.benchmark_group("enumerate_parallel");
+    for n in [6usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let opts = EnumOptions::new(n).exact();
+            b.iter(|| black_box(enumerate_parallel(&spec, &opts, threads).distinct))
+        });
+    }
+    group.finish();
+}
+
+fn bench_symbolic_constant(c: &mut Criterion) {
+    let spec = illinois();
+    let opts = Options::default();
+    c.bench_function("symbolic_any_n", |b| {
+        b.iter(|| black_box(run_expansion(&spec, &opts).visits))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exhaustive,
+    bench_counting,
+    bench_parallel,
+    bench_symbolic_constant
+);
+criterion_main!(benches);

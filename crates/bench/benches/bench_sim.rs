@@ -1,0 +1,53 @@
+//! Criterion bench: trace-simulation throughput per protocol (E8).
+//!
+//! Measures accesses/second of the simulated 4-processor machine for
+//! each protocol on the hot-block workload — the protocol-comparison
+//! configuration of the E8 table.
+
+use ccv_model::protocols::all_correct;
+use ccv_sim::{workload, Machine, MachineConfig, WorkloadParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let procs = 4;
+    let mut params = WorkloadParams::new(procs);
+    params.accesses = 10_000;
+    let trace = workload::hot_block(&params);
+
+    let mut group = c.benchmark_group("sim_hot_block");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for spec in all_correct() {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(spec.clone(), MachineConfig::small(procs));
+                let r = m.run(black_box(&trace));
+                assert!(r.is_coherent());
+                black_box(r.stats.bus_total())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let procs = 4;
+    let mut params = WorkloadParams::new(procs);
+    params.accesses = 10_000;
+    let spec = ccv_model::protocols::illinois();
+
+    let mut group = c.benchmark_group("sim_illinois_workloads");
+    for trace in ccv_sim::all_workloads(&params) {
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_function(trace.name.clone(), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(spec.clone(), MachineConfig::small(procs));
+                black_box(m.run(&trace).stats.accesses)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: symbolic verification cost per protocol (E1/E5).
+//!
+//! The paper's headline property is that symbolic verification is a
+//! small constant amount of work regardless of the number of caches.
+//! This bench measures that constant for every protocol in the suite:
+//! a full `verify` run (expansion + permissibility checks + global
+//! graph construction).
+
+use ccv_core::{run_expansion, verify, Options};
+use ccv_model::protocols::all_correct;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic_verify");
+    for spec in all_correct() {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| {
+                let v = verify(black_box(&spec));
+                assert_eq!(v.verdict, ccv_core::Verdict::Verified);
+                black_box(v.num_essential())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_expansion_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic_expansion");
+    let opts = Options::default();
+    for spec in all_correct() {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| {
+                let e = run_expansion(black_box(&spec), &opts);
+                black_box(e.visits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify, bench_expansion_only);
+criterion_main!(benches);

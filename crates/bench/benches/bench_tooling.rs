@@ -1,0 +1,83 @@
+//! Criterion bench: the tooling around the verifier — `.ccv` parsing
+//! and printing, concrete witness search, protocol comparison, and
+//! the exhaustive mutation sweep.
+
+use ccv_core::compare_protocols;
+use ccv_enum::find_violation_witness;
+use ccv_model::dsl::{parse_protocol, to_dsl};
+use ccv_model::mutate::single_mutants;
+use ccv_model::protocols;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_dsl(c: &mut Criterion) {
+    let spec = protocols::dragon();
+    let text = to_dsl(&spec);
+    let mut group = c.benchmark_group("dsl");
+    group.bench_function("print_dragon", |b| {
+        b.iter(|| black_box(to_dsl(&spec).len()))
+    });
+    group.bench_function("parse_dragon", |b| {
+        b.iter(|| black_box(parse_protocol(&text).unwrap().num_states()))
+    });
+    group.bench_function("roundtrip_all", |b| {
+        b.iter(|| {
+            for spec in protocols::all_correct() {
+                let t = to_dsl(&spec);
+                black_box(parse_protocol(&t).unwrap().num_states());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_witness(c: &mut Criterion) {
+    let shallow = protocols::illinois_missing_invalidation();
+    let deep = protocols::berkeley_owner_dropped();
+    let mut group = c.benchmark_group("witness");
+    group.bench_function("shallow_bug", |b| {
+        b.iter(|| {
+            black_box(
+                find_violation_witness(&shallow, 3, 1 << 20)
+                    .unwrap()
+                    .steps
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("deep_bug", |b| {
+        b.iter(|| {
+            black_box(
+                find_violation_witness(&deep, 3, 1 << 20)
+                    .unwrap()
+                    .steps
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let a = protocols::dragon();
+    let b2 = protocols::moesi();
+    c.bench_function("compare_dragon_moesi", |b| {
+        b.iter(|| black_box(compare_protocols(&a, &b2).common_states.len()))
+    });
+}
+
+fn bench_mutation_generation(c: &mut Criterion) {
+    let spec = protocols::moesi();
+    c.bench_function("single_mutants_moesi", |b| {
+        b.iter(|| black_box(single_mutants(&spec).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dsl,
+    bench_witness,
+    bench_compare,
+    bench_mutation_generation
+);
+criterion_main!(benches);

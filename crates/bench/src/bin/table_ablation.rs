@@ -1,0 +1,89 @@
+//! E9 — ablation: what containment pruning buys.
+//!
+//! The paper's efficiency comes from two ingredients layered on top of
+//! plain enumeration: symmetry (composite states) and **containment
+//! pruning** (Definition 9 + monotonicity). This harness runs the
+//! symbolic engine with
+//!
+//! * full containment pruning (the paper's Figure 3), and
+//! * equality pruning only (composite states deduplicated exactly —
+//!   symmetry without containment),
+//!
+//! and reports visits, states expanded, and surviving states for every
+//! protocol, plus the counting-equivalence explicit engine at `n = 6`
+//! as the non-symbolic reference point.
+//!
+//! Run: `cargo run --release -p ccv-bench --bin table_ablation`
+
+use ccv_bench::Table;
+use ccv_core::{run_expansion, Options, Pruning};
+use ccv_enum::{enumerate, EnumOptions};
+use ccv_model::protocols::all_correct;
+use std::time::Instant;
+
+fn main() {
+    println!("== E9: ablation — containment pruning vs equality pruning ==\n");
+    let mut table = Table::new(vec![
+        "protocol",
+        "engine",
+        "surviving",
+        "visits",
+        "expanded",
+        "time",
+    ]);
+
+    for spec in all_correct() {
+        let t0 = Instant::now();
+        let full = run_expansion(&spec, &Options::default());
+        let t_full = t0.elapsed();
+        table.row(vec![
+            spec.name().to_string(),
+            "containment (Fig. 3)".into(),
+            full.essential.len().to_string(),
+            full.visits.to_string(),
+            full.expanded.to_string(),
+            format!("{t_full:.2?}"),
+        ]);
+
+        let t0 = Instant::now();
+        let eq = run_expansion(
+            &spec,
+            &Options {
+                pruning: Pruning::Equality,
+                ..Options::default()
+            },
+        );
+        let t_eq = t0.elapsed();
+        table.row(vec![
+            spec.name().to_string(),
+            "equality only".into(),
+            eq.essential.len().to_string(),
+            eq.visits.to_string(),
+            eq.expanded.to_string(),
+            format!("{t_eq:.2?}"),
+        ]);
+
+        let t0 = Instant::now();
+        let cnt = enumerate(&spec, &EnumOptions::new(6));
+        let t_cnt = t0.elapsed();
+        table.row(vec![
+            spec.name().to_string(),
+            "counting equiv, n=6".into(),
+            cnt.distinct.to_string(),
+            cnt.visits.to_string(),
+            "-".into(),
+            format!("{t_cnt:.2?}"),
+        ]);
+
+        assert!(full.is_clean() && eq.is_clean() && cnt.is_clean());
+        assert!(
+            full.visits <= eq.visits,
+            "{}: containment pruning must not cost visits",
+            spec.name()
+        );
+    }
+
+    println!("{}", table.render());
+    println!("containment pruning dominates equality pruning on every protocol,");
+    println!("and both are independent of n, unlike the explicit reference rows.");
+}

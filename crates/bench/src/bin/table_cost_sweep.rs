@@ -1,0 +1,95 @@
+//! E11 — sensitivity of the update/invalidate trade-off to the line
+//! size.
+//!
+//! The protocol-comparison crossover (E8) depends on how expensive a
+//! block transfer is relative to a one-word update broadcast. This
+//! harness sweeps the cost model's line size and reports, per
+//! workload, the cheapest invalidate protocol vs the cheapest update
+//! protocol in words/access — showing where the crossover falls.
+//!
+//! Run: `cargo run --release -p ccv-bench --bin table_cost_sweep [accesses]`
+
+use ccv_bench::Table;
+use ccv_model::protocols::all_correct;
+use ccv_sim::{all_workloads, CostModel, Machine, MachineConfig, Stats, WorkloadParams};
+
+fn main() {
+    let accesses: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let procs = 4;
+    let mut params = WorkloadParams::new(procs);
+    params.accesses = accesses;
+
+    println!("== E11: line-size sensitivity of the update/invalidate trade-off ==\n");
+
+    // Run each (protocol, workload) once; cost models are applied to
+    // the recorded stats afterwards.
+    let mut runs: Vec<(String, String, Stats)> = Vec::new();
+    for spec in all_correct() {
+        for trace in all_workloads(&params) {
+            let mut m = Machine::new(spec.clone(), MachineConfig::small(procs));
+            let r = m.run(&trace);
+            assert!(r.is_coherent(), "{}", spec.name());
+            runs.push((spec.name().to_string(), trace.name.clone(), r.stats));
+        }
+    }
+
+    let update_family = ["Firefly", "Dragon"];
+    let mut table = Table::new(vec![
+        "workload",
+        "block words",
+        "best invalidate",
+        "w/acc",
+        "best update",
+        "w/acc",
+        "winner",
+    ]);
+
+    let workloads: Vec<String> = {
+        let mut w: Vec<String> = Vec::new();
+        for (_, t, _) in &runs {
+            if !w.contains(t) {
+                w.push(t.clone());
+            }
+        }
+        w
+    };
+    for workload in &workloads {
+        for block_words in [4u64, 8, 16, 32, 64] {
+            let cost = CostModel {
+                block_words,
+                ctrl_words: 1,
+            };
+            let best = |update: bool| -> (String, f64) {
+                runs.iter()
+                    .filter(|(p, t, _)| {
+                        t == workload && update_family.contains(&p.as_str()) == update
+                    })
+                    .map(|(p, _, s)| (p.clone(), cost.words_per_access(s)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("runs exist")
+            };
+            let (inv_name, inv_cost) = best(false);
+            let (upd_name, upd_cost) = best(true);
+            table.row(vec![
+                workload.clone(),
+                block_words.to_string(),
+                inv_name,
+                format!("{inv_cost:.3}"),
+                upd_name,
+                format!("{upd_cost:.3}"),
+                if inv_cost <= upd_cost {
+                    "invalidate".to_string()
+                } else {
+                    "update".to_string()
+                },
+            ]);
+        }
+    }
+
+    println!("{}", table.render());
+    println!("larger lines penalise re-fetch (helping update protocols on read-sharing)");
+    println!("and penalise nothing for word-sized updates — the crossovers move accordingly.");
+}

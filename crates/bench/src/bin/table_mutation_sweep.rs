@@ -1,0 +1,92 @@
+//! E10 — exhaustive single-mutation sweep: mutation testing of the
+//! verifier, and a probe of the protocols' design slack.
+//!
+//! Every "stroke-of-the-pen" edit of every protocol (redirected
+//! transition, toggled snoop flag, dropped bus transaction or
+//! write-back) is generated and verified. Three outcomes:
+//!
+//! * `ERRONEOUS` — the verifier catches the edit (the vast majority);
+//! * `VERIFIED`  — the edit is *benign*: the mutated protocol is a
+//!   different but still coherent design (e.g. removing cache-to-cache
+//!   supply of clean blocks, or adding an extra flush);
+//! * anything else (panic, divergence) — a verifier bug. None allowed.
+//!
+//! The surviving (benign) mutants are listed: they are the free design
+//! choices within each protocol's structure.
+//!
+//! Run: `cargo run --release -p ccv-bench --bin table_mutation_sweep [protocol]`
+
+use ccv_bench::Table;
+use ccv_core::{verify_with, Options, Verdict};
+use ccv_model::mutate::single_mutants;
+use ccv_model::protocols;
+
+fn main() {
+    let only: Option<String> = std::env::args().nth(1);
+    println!("== E10: exhaustive single-mutation sweep ==\n");
+
+    let mut table = Table::new(vec![
+        "protocol",
+        "mutants",
+        "caught",
+        "benign",
+        "inconclusive",
+        "catch rate",
+    ]);
+    let mut benign_report = String::new();
+
+    let opts = Options {
+        max_visits: 100_000,
+        ..Options::default()
+    };
+
+    for spec in protocols::all_correct() {
+        if let Some(ref name) = only {
+            if !spec.name().eq_ignore_ascii_case(name) {
+                continue;
+            }
+        }
+        let mutants = single_mutants(&spec);
+        let mut caught = 0usize;
+        let mut benign = 0usize;
+        let mut inconclusive = 0usize;
+        let mut benign_lines: Vec<String> = Vec::new();
+        for m in &mutants {
+            let v = verify_with(&m.spec, &opts);
+            match v.verdict {
+                Verdict::Erroneous => caught += 1,
+                Verdict::Verified => {
+                    benign += 1;
+                    benign_lines.push(format!(
+                        "    {} ({} essential states)",
+                        m.description,
+                        v.num_essential()
+                    ));
+                }
+                Verdict::Inconclusive => inconclusive += 1,
+            }
+        }
+        table.row(vec![
+            spec.name().to_string(),
+            mutants.len().to_string(),
+            caught.to_string(),
+            benign.to_string(),
+            inconclusive.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * caught as f64 / mutants.len().max(1) as f64
+            ),
+        ]);
+        if !benign_lines.is_empty() {
+            benign_report.push_str(&format!(
+                "\n  {} — {} benign edits:\n{}\n",
+                spec.name(),
+                benign_lines.len(),
+                benign_lines.join("\n")
+            ));
+        }
+    }
+
+    println!("{}", table.render());
+    println!("benign (still-coherent) edits — the protocols' design slack:{benign_report}");
+}

@@ -1,0 +1,437 @@
+//! Command implementations for the `ccv` binary.
+//!
+//! Each command returns `Ok(true)` for success, `Ok(false)` for a
+//! completed run with a negative result (verification failed, oracle
+//! violated), and `Err(message)` for usage errors.
+
+use ccv_core::{run_expansion, verify_with, Options, Pruning, Verdict};
+use ccv_enum::{
+    crosscheck as run_crosscheck, enumerate as run_enumerate, enumerate_parallel, EnumOptions,
+};
+use ccv_model::{protocols, ProtocolSpec};
+use ccv_sim::{workload, Machine, MachineConfig, Trace, WorkloadParams};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ccv — symbolic verification of cache coherence protocols (Pong & Dubois, SPAA'93)
+
+usage:
+  ccv list                                  list known protocols
+  ccv describe   <protocol>                 print the protocol's FSM tables
+  ccv check-all                             verify the whole library (CI gate)
+  ccv verify     <protocol> [--trace] [--equality] [--dot FILE]
+  ccv graph      <protocol>                 print the global diagram as DOT
+  ccv export     <protocol>                 print the protocol as .ccv source
+  ccv compare    <protocol-a> <protocol-b>  diff the global diagrams
+  ccv witness    <protocol> [-n MAX]        shortest concrete violation scenario
+  ccv recovery   <protocol>                 tolerated vs fatal start configurations
+  ccv report     <protocol> [-o FILE]       full markdown dossier
+  ccv enumerate  <protocol> -n N [--exact] [--threads T]
+  ccv crosscheck <protocol> -n N            Theorem 1 check at size N
+  ccv simulate   <protocol> [--workload W | --trace-file F] [--accesses N]
+                 [--procs P] [--seed S]
+
+<protocol> is a library name (msi, illinois, write-once, synapse, berkeley,
+firefly, dragon, moesi, or a buggy mutant — run `ccv list`) or a path to a
+.ccv protocol description file.";
+
+type CmdResult = Result<bool, String>;
+
+fn resolve(args: &[String]) -> Result<(ProtocolSpec, Vec<String>), String> {
+    let name = args
+        .first()
+        .ok_or_else(|| "missing protocol name".to_string())?;
+    // A path to a .ccv file takes priority over library names.
+    let spec = if name.ends_with(".ccv") || std::path::Path::new(name).is_file() {
+        let source = std::fs::read_to_string(name).map_err(|e| format!("reading {name}: {e}"))?;
+        ccv_model::dsl::parse_protocol(&source).map_err(|e| format!("{name}:{e}"))?
+    } else {
+        protocols::by_name(name)
+            .ok_or_else(|| format!("unknown protocol '{name}' (try `ccv list`)"))?
+    };
+    Ok((spec, args[1..].to_vec()))
+}
+
+/// `ccv export <protocol>`
+pub fn export(args: &[String]) -> CmdResult {
+    let (spec, _) = resolve(args)?;
+    print!("{}", ccv_model::dsl::to_dsl(&spec));
+    Ok(true)
+}
+
+/// `ccv check-all` — verify the whole library (CI entry point).
+pub fn check_all() -> CmdResult {
+    let mut ok = true;
+    println!(
+        "{:<36} {:>12} {:>10} {:>8}",
+        "protocol", "verdict", "essential", "visits"
+    );
+    for spec in protocols::all_correct() {
+        let v = verify_with(&spec, &Options::default());
+        let pass = v.verdict == Verdict::Verified;
+        ok &= pass;
+        println!(
+            "{:<36} {:>12} {:>10} {:>8}",
+            spec.name(),
+            v.verdict.to_string(),
+            v.num_essential(),
+            v.visits()
+        );
+    }
+    for (spec, _) in protocols::all_buggy() {
+        let v = verify_with(&spec, &Options::default());
+        let pass = v.verdict == Verdict::Erroneous;
+        ok &= pass;
+        println!(
+            "{:<36} {:>12} {:>10} {:>8}{}",
+            spec.name(),
+            v.verdict.to_string(),
+            v.num_essential(),
+            v.visits(),
+            if pass { "" } else { "   <- MUTANT NOT CAUGHT" }
+        );
+    }
+    println!(
+        "
+{}",
+        if ok {
+            "all verdicts as expected."
+        } else {
+            "UNEXPECTED VERDICTS PRESENT."
+        }
+    );
+    Ok(ok)
+}
+
+/// `ccv witness <protocol> [-n MAX]`
+pub fn witness(args: &[String]) -> CmdResult {
+    let (spec, rest) = resolve(args)?;
+    let max_n: usize = opt_value(&rest, "-n")?.unwrap_or(4);
+    match ccv_enum::find_violation_witness(&spec, max_n, 1 << 22) {
+        Some(w) => {
+            print!("{}", w.render(&spec));
+            println!(
+                "\nthe protocol is incoherent; scenario above is minimal for {} caches.",
+                w.n
+            );
+            Ok(false)
+        }
+        None => {
+            println!(
+                "no violation scenario with up to {max_n} caches; `ccv verify` proves it for any number."
+            );
+            Ok(true)
+        }
+    }
+}
+
+/// `ccv report <protocol> [-o FILE]`
+pub fn report(args: &[String]) -> CmdResult {
+    let (spec, rest) = resolve(args)?;
+    let md = crate::report::protocol_report(&spec);
+    match opt_value::<String>(&rest, "-o")? {
+        Some(path) => {
+            std::fs::write(&path, md).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("dossier written to {path}");
+        }
+        None => print!("{md}"),
+    }
+    Ok(true)
+}
+
+/// `ccv recovery <protocol>`
+pub fn recovery(args: &[String]) -> CmdResult {
+    let (spec, _) = resolve(args)?;
+    let report = ccv_core::analyze_recovery(&spec, 200_000);
+    println!(
+        "protocol {}: {} structurally permissible configurations",
+        spec.name(),
+        report.cases.len()
+    );
+    let mut safe_reach = 0;
+    for c in &report.cases {
+        if c.tolerance == ccv_core::Tolerance::Safe && c.reachable {
+            safe_reach += 1;
+        }
+    }
+    println!("  normal operating region (reachable, safe): {safe_reach}");
+    println!("  tolerated slack (unreachable, safe):");
+    for c in report.tolerated_slack() {
+        println!("    {}  mdata={}", c.start.render(&spec), c.start.mdata);
+    }
+    println!("  invariant gap (permissible but NOT tolerated):");
+    for c in report.invariant_gap() {
+        println!("    {}  mdata={}", c.start.render(&spec), c.start.mdata);
+    }
+    Ok(true)
+}
+
+/// `ccv compare <protocol-a> <protocol-b>`
+pub fn compare(args: &[String]) -> CmdResult {
+    let (a, rest) = resolve(args)?;
+    let (b, _) = resolve(&rest)?;
+    let diff = ccv_core::compare_protocols(&a, &b);
+    print!("{}", diff.render());
+    Ok(true)
+}
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn opt_value<T: std::str::FromStr>(rest: &[String], name: &str) -> Result<Option<T>, String> {
+    if let Some(pos) = rest.iter().position(|a| a == name) {
+        let raw = rest
+            .get(pos + 1)
+            .ok_or_else(|| format!("{name} needs a value"))?;
+        let v = raw
+            .parse()
+            .map_err(|_| format!("invalid value '{raw}' for {name}"))?;
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// `ccv list`
+pub fn list() -> CmdResult {
+    println!("correct protocols:");
+    for spec in protocols::all_correct() {
+        println!(
+            "  {:<12} |Q|={} {}",
+            spec.name().to_lowercase(),
+            spec.num_states(),
+            if spec.uses_sharing_detection() {
+                "(sharing-detection F)"
+            } else {
+                "(null F)"
+            }
+        );
+    }
+    println!("\nbuggy mutants (for verifier demonstrations):");
+    for (spec, why) in protocols::all_buggy() {
+        let cli_name = spec.name().to_lowercase().replace('/', "-");
+        println!("  {cli_name:<34} {why}");
+    }
+    Ok(true)
+}
+
+/// `ccv describe <protocol>`
+pub fn describe(args: &[String]) -> CmdResult {
+    let (spec, _) = resolve(args)?;
+    print!("{}", spec.describe());
+    println!("\nsnoop reactions:");
+    for s in spec.state_ids() {
+        for &bus in spec.emitted_bus_ops() {
+            let sn = spec.snoop(s, bus);
+            if sn.next == s && !sn.supplies_data && !sn.flushes_to_memory && !sn.receives_update {
+                continue;
+            }
+            println!(
+                "  {} on {} -> {}{}{}{}",
+                spec.state(s).short,
+                bus,
+                spec.state(sn.next).short,
+                if sn.supplies_data { " +supply" } else { "" },
+                if sn.flushes_to_memory { " +flush" } else { "" },
+                if sn.receives_update { " +update" } else { "" },
+            );
+        }
+    }
+    Ok(true)
+}
+
+/// `ccv verify <protocol> [--trace] [--equality] [--dot FILE]`
+pub fn verify(args: &[String]) -> CmdResult {
+    let (spec, rest) = resolve(args)?;
+    let opts = Options {
+        pruning: if flag(&rest, "--equality") {
+            Pruning::Equality
+        } else {
+            Pruning::Containment
+        },
+        record_trace: flag(&rest, "--trace"),
+        ..Options::default()
+    };
+    let report = verify_with(&spec, &opts);
+
+    println!("protocol : {}", report.protocol);
+    println!("verdict  : {}", report.verdict);
+    println!(
+        "explored : {} visits, {} expansions -> {} essential states",
+        report.visits(),
+        report.expansion.expanded,
+        report.num_essential()
+    );
+    for (i, s) in report.graph.states.iter().enumerate() {
+        println!("  s{i}: {}", s.render(&spec));
+    }
+    println!("transitions:");
+    for (from, to, labels) in report.graph.grouped_edges() {
+        println!("  s{from} --[{}]--> s{to}", labels.join(", "));
+    }
+    if opts.record_trace {
+        println!("trace:");
+        for (i, v) in report.expansion.trace.iter().enumerate() {
+            println!(
+                "  {:>3}. {} --{}--> {} [{:?}]",
+                i + 1,
+                v.from.render(&spec),
+                v.label.render(&spec),
+                v.to.render(&spec),
+                v.disposition
+            );
+        }
+    }
+    for r in report.reports.iter().take(5) {
+        println!("\nERROR: {}", r.descriptions.join("; "));
+        println!("  state: {}", r.state);
+        println!("  path : {}", r.path);
+    }
+    if report.reports.len() > 5 {
+        println!("\n... and {} more error findings", report.reports.len() - 5);
+    }
+    if let Some(path) = opt_value::<String>(&rest, "--dot")? {
+        std::fs::write(&path, report.graph.to_dot(&spec))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nDOT written to {path}");
+    }
+    Ok(report.verdict == Verdict::Verified)
+}
+
+/// `ccv graph <protocol>`
+pub fn graph(args: &[String]) -> CmdResult {
+    let (spec, _) = resolve(args)?;
+    let report = verify_with(&spec, &Options::default());
+    print!("{}", report.graph.to_dot(&spec));
+    Ok(true)
+}
+
+/// `ccv enumerate <protocol> -n N [--exact] [--threads T]`
+pub fn enumerate(args: &[String]) -> CmdResult {
+    let (spec, rest) = resolve(args)?;
+    let n: usize = opt_value(&rest, "-n")?.unwrap_or(4);
+    let mut opts = EnumOptions::new(n);
+    if flag(&rest, "--exact") {
+        opts = opts.exact();
+    }
+    let threads: usize = opt_value(&rest, "--threads")?.unwrap_or(1);
+    let r = if threads > 1 {
+        enumerate_parallel(&spec, &opts, threads)
+    } else {
+        run_enumerate(&spec, &opts)
+    };
+    println!(
+        "protocol {} n={} dedup={:?} threads={}",
+        spec.name(),
+        n,
+        opts.dedup,
+        threads
+    );
+    println!(
+        "distinct states: {}   visits: {}   truncated: {}",
+        r.distinct, r.visits, r.truncated
+    );
+    for e in r.errors.iter().take(5) {
+        println!(
+            "ERROR at {}: {}",
+            e.state.render(n, &spec),
+            e.descriptions.join("; ")
+        );
+    }
+    if r.errors.len() > 5 {
+        println!("... and {} more errors", r.errors.len() - 5);
+    }
+    Ok(r.is_clean())
+}
+
+/// `ccv crosscheck <protocol> -n N`
+pub fn crosscheck(args: &[String]) -> CmdResult {
+    let (spec, rest) = resolve(args)?;
+    let n: usize = opt_value(&rest, "-n")?.unwrap_or(4);
+    let exp = run_expansion(&spec, &Options::default());
+    let essential = exp.essential_states();
+    let cc = run_crosscheck(&spec, n, &essential, 1 << 24);
+    println!(
+        "protocol {} n={}: {} explicit states, {} covered by {} essential states",
+        spec.name(),
+        n,
+        cc.total_concrete,
+        cc.covered,
+        essential.len()
+    );
+    if cc.complete() {
+        println!("Theorem 1 holds at this size.");
+        Ok(true)
+    } else {
+        println!("UNCOVERED STATES: {:?}", cc.uncovered_examples);
+        Ok(false)
+    }
+}
+
+/// `ccv simulate <protocol> [--workload W] [--accesses N] [--procs P] [--seed S]`
+pub fn simulate(args: &[String]) -> CmdResult {
+    let (spec, rest) = resolve(args)?;
+    let procs: usize = opt_value(&rest, "--procs")?.unwrap_or(4);
+    let accesses: usize = opt_value(&rest, "--accesses")?.unwrap_or(100_000);
+    let seed: u64 = opt_value(&rest, "--seed")?.unwrap_or(0xCC5EED);
+    let which: String = opt_value(&rest, "--workload")?.unwrap_or_else(|| "hot-block".into());
+
+    let mut params = WorkloadParams::new(procs);
+    params.accesses = accesses;
+    params.seed = seed;
+    if let Some(path) = opt_value::<String>(&rest, "--trace-file")? {
+        let trace = ccv_sim::load_trace(&path)?;
+        let machine_procs = trace.procs.max(procs);
+        let mut machine = Machine::new(spec.clone(), MachineConfig::small(machine_procs));
+        let report = machine.run(&trace);
+        println!(
+            "protocol {} trace file {path} ({} accesses, {} procs)",
+            spec.name(),
+            trace.len(),
+            trace.procs
+        );
+        println!("{}", report.stats);
+        return if report.is_coherent() {
+            println!("coherent: every load returned the latest value.");
+            Ok(true)
+        } else {
+            println!(
+                "INCOHERENT: {} oracle violations; first: {:?}",
+                report.violations.len(),
+                report.violations[0]
+            );
+            Ok(false)
+        };
+    }
+    let trace: Trace = match which.as_str() {
+        "uniform" => workload::uniform(&params),
+        "hot-block" | "hot_block" => workload::hot_block(&params),
+        "producer-consumer" | "producer_consumer" => workload::producer_consumer(&params),
+        "migratory" => workload::migratory(&params),
+        "mostly-private" | "mostly_private" => workload::mostly_private(&params),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+
+    let mut machine = Machine::new(spec.clone(), MachineConfig::small(procs));
+    let report = machine.run(&trace);
+    println!(
+        "protocol {} workload {} ({} accesses, {} procs, seed {seed})",
+        spec.name(),
+        trace.name,
+        trace.len(),
+        procs
+    );
+    println!("{}", report.stats);
+    if report.is_coherent() {
+        println!("coherent: every load returned the latest value.");
+        Ok(true)
+    } else {
+        println!(
+            "INCOHERENT: {} oracle violations; first: {:?}",
+            report.violations.len(),
+            report.violations[0]
+        );
+        Ok(false)
+    }
+}

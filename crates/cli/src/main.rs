@@ -1,0 +1,58 @@
+//! `ccv` — the cache-coherence verifier command line.
+//!
+//! ```text
+//! ccv list                                 list known protocols
+//! ccv describe  <protocol>                 print the FSM tables
+//! ccv verify    <protocol> [--trace] [--equality] [--dot FILE]
+//! ccv graph     <protocol>                 print the Fig. 4 diagram as DOT
+//! ccv enumerate <protocol> -n N [--exact] [--threads T]
+//! ccv crosscheck <protocol> -n N           Theorem 1 check at size N
+//! ccv simulate  <protocol> [--workload W] [--accesses N] [--procs P] [--seed S]
+//! ```
+//!
+//! Exit status: 0 on success / verified, 1 on a verification failure or
+//! coherence violation, 2 on usage errors.
+
+use std::process::ExitCode;
+
+mod commands;
+mod report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "list" => commands::list(),
+        "check-all" => commands::check_all(),
+        "describe" => commands::describe(rest),
+        "verify" => commands::verify(rest),
+        "graph" => commands::graph(rest),
+        "export" => commands::export(rest),
+        "compare" => commands::compare(rest),
+        "witness" => commands::witness(rest),
+        "recovery" => commands::recovery(rest),
+        "report" => commands::report(rest),
+        "enumerate" => commands::enumerate(rest),
+        "crosscheck" => commands::crosscheck(rest),
+        "simulate" => commands::simulate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(true)
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n{}", commands::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

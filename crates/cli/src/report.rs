@@ -1,0 +1,285 @@
+//! Markdown dossier generation for `ccv report`.
+//!
+//! Bundles everything the toolchain knows about one protocol into a
+//! single human-readable document: the FSM tables, the verification
+//! result with the Figure-4-style context table, the global diagram
+//! (as DOT), concrete reachability witnesses for every essential
+//! state, the recovery analysis, and — for incorrect protocols — the
+//! counterexample paths and the shortest executable violation
+//! scenario.
+
+use ccv_core::{analyze_recovery, verify, Tolerance, Verdict};
+use ccv_enum::{find_state_witness, find_violation_witness};
+use ccv_model::{CData, GlobalCtx, ProcEvent, ProtocolSpec};
+use std::fmt::Write as _;
+
+/// Renders the full markdown dossier for `spec`.
+pub fn protocol_report(spec: &ProtocolSpec) -> String {
+    let mut md = String::new();
+    let v = verify(spec);
+
+    // --- Header -----------------------------------------------------------
+    let _ = writeln!(md, "# Protocol dossier: {}\n", spec.name());
+    let _ = writeln!(
+        md,
+        "- states: {} | characteristic function: {}",
+        spec.num_states(),
+        if spec.uses_sharing_detection() {
+            "sharing-detection"
+        } else {
+            "null"
+        }
+    );
+    let _ = writeln!(md, "- verdict: **{}**", v.verdict);
+    let _ = writeln!(
+        md,
+        "- symbolic expansion: {} state visits -> {} essential states\n",
+        v.visits(),
+        v.num_essential()
+    );
+
+    // --- State table --------------------------------------------------------
+    let _ = writeln!(md, "## States\n");
+    let _ = writeln!(md, "| state | short | attributes |");
+    let _ = writeln!(md, "|---|---|---|");
+    for s in spec.state_ids() {
+        let info = spec.state(s);
+        let mut attrs = Vec::new();
+        if !info.attrs.holds_copy {
+            attrs.push("invalid");
+        } else {
+            attrs.push("copy");
+            if info.attrs.owned {
+                attrs.push("owned");
+            }
+            if info.attrs.exclusive {
+                attrs.push("exclusive");
+            }
+            if info.attrs.writable_silently {
+                attrs.push("silent-write");
+            }
+        }
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} |",
+            info.name,
+            info.short,
+            attrs.join(" ")
+        );
+    }
+
+    // --- Processor transitions ----------------------------------------------
+    let _ = writeln!(md, "\n## Processor transitions\n");
+    let _ = writeln!(md, "| state | event | context | next | bus | data |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for s in spec.state_ids() {
+        for e in ProcEvent::ALL {
+            for c in GlobalCtx::ALL {
+                let o = spec.outcome(s, e, c);
+                if c != GlobalCtx::ALONE && o == spec.outcome(s, e, GlobalCtx::ALONE) {
+                    continue;
+                }
+                let ctx = if spec.outcome(s, e, GlobalCtx::ALONE)
+                    == spec.outcome(s, e, GlobalCtx::SHARED_CLEAN)
+                    && spec.outcome(s, e, GlobalCtx::ALONE)
+                        == spec.outcome(s, e, GlobalCtx::OWNED_ELSEWHERE)
+                {
+                    "any".to_string()
+                } else {
+                    c.to_string()
+                };
+                let _ = writeln!(
+                    md,
+                    "| {} | {} | {} | {} | {} | {:?} |",
+                    spec.state(s).short,
+                    e,
+                    ctx,
+                    spec.state(o.next).short,
+                    o.bus.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+                    o.data
+                );
+            }
+        }
+    }
+
+    // --- Snoop reactions -----------------------------------------------------
+    let _ = writeln!(md, "\n## Snoop reactions\n");
+    let _ = writeln!(md, "| state | transaction | next | flags |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for s in spec.state_ids().skip(1) {
+        for &b in spec.emitted_bus_ops() {
+            let sn = spec.snoop(s, b);
+            if sn.next == s && !sn.supplies_data && !sn.flushes_to_memory && !sn.receives_update {
+                continue;
+            }
+            let mut flags = Vec::new();
+            if sn.supplies_data {
+                flags.push("supply");
+            }
+            if sn.flushes_to_memory {
+                flags.push("flush");
+            }
+            if sn.receives_update {
+                flags.push("update");
+            }
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} |",
+                spec.state(s).short,
+                b,
+                spec.state(sn.next).short,
+                flags.join(" ")
+            );
+        }
+    }
+
+    // --- Verification ----------------------------------------------------------
+    let _ = writeln!(md, "\n## Verification\n");
+    let _ = writeln!(md, "Essential states (valid for any number of caches):\n");
+    let _ = writeln!(md, "| # | state | F | cdata | mdata |");
+    let _ = writeln!(md, "|---|---|---|---|---|");
+    for (i, s) in v.graph.states.iter().enumerate() {
+        let mut cdatas: Vec<&str> = s
+            .classes()
+            .iter()
+            .filter(|(k, _)| !k.state.is_invalid())
+            .map(|(k, _)| k.cdata.label())
+            .collect();
+        if s.classes().iter().any(|(k, _)| k.state.is_invalid()) {
+            cdatas.push(CData::NoData.label());
+        }
+        let _ = writeln!(
+            md,
+            "| s{} | {} | {} | ({}) | {} |",
+            i,
+            s.render(spec),
+            s.f,
+            cdatas.join(", "),
+            s.mdata
+        );
+    }
+    let _ = writeln!(md, "\nTransitions:\n");
+    for (from, to, labels) in v.graph.grouped_edges() {
+        let _ = writeln!(md, "- s{from} —[{}]→ s{to}", labels.join(", "));
+    }
+
+    if v.verdict == Verdict::Erroneous {
+        let _ = writeln!(md, "\n### Counterexamples\n");
+        for r in v.reports.iter().take(3) {
+            let _ = writeln!(md, "- **{}**", r.descriptions.join("; "));
+            let _ = writeln!(md, "  - path: `{}`", r.path);
+        }
+        if let Some(w) = find_violation_witness(spec, 4, 1 << 22) {
+            let _ = writeln!(md, "\n### Shortest executable violation\n");
+            let _ = writeln!(md, "```text\n{}```", w.render(spec));
+        }
+    } else {
+        // --- Witnesses per essential state -----------------------------------
+        let _ = writeln!(md, "\n### Reachability witnesses\n");
+        let _ = writeln!(
+            md,
+            "Each essential family instantiated by a concrete scenario:\n"
+        );
+        for (i, s) in v.graph.states.iter().enumerate() {
+            if let Some(w) = find_state_witness(spec, s, 3, 1 << 20) {
+                let script: Vec<String> = w
+                    .steps
+                    .iter()
+                    .map(|st| {
+                        format!(
+                            "P{} {}",
+                            st.cache,
+                            match st.event {
+                                ProcEvent::Read => "R",
+                                ProcEvent::Write => "W",
+                                ProcEvent::Replace => "Z",
+                            }
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    md,
+                    "- s{i} {} — {} caches: `{}`",
+                    s.render(spec),
+                    w.n,
+                    if script.is_empty() {
+                        "initial state".to_string()
+                    } else {
+                        script.join(", ")
+                    }
+                );
+            }
+        }
+    }
+
+    // --- Recovery ---------------------------------------------------------------
+    let recovery = analyze_recovery(spec, 200_000);
+    let _ = writeln!(md, "\n## Recovery analysis\n");
+    let _ = writeln!(
+        md,
+        "{} structurally permissible configurations: {} safe ({} reachable), {} in the invariant gap.\n",
+        recovery.cases.len(),
+        recovery.count(Tolerance::Safe),
+        recovery.cases.iter().filter(|c| c.reachable).count(),
+        recovery.count(Tolerance::Unsafe),
+    );
+    let gap: Vec<String> = recovery
+        .invariant_gap()
+        .map(|c| format!("`{}` (mdata={})", c.start.render(spec), c.start.mdata))
+        .collect();
+    if !gap.is_empty() {
+        let _ = writeln!(
+            md,
+            "Invariant gap (never enter these): {}\n",
+            gap.join(", ")
+        );
+    }
+
+    // --- DOT ------------------------------------------------------------------
+    let _ = writeln!(md, "## Global diagram (Graphviz)\n");
+    let _ = writeln!(md, "```dot\n{}```", v.graph.to_dot(spec));
+
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_model::protocols;
+
+    #[test]
+    fn report_for_a_correct_protocol_has_all_sections() {
+        let md = protocol_report(&protocols::illinois());
+        for section in [
+            "# Protocol dossier: Illinois",
+            "## States",
+            "## Processor transitions",
+            "## Snoop reactions",
+            "## Verification",
+            "### Reachability witnesses",
+            "## Recovery analysis",
+            "## Global diagram",
+        ] {
+            assert!(md.contains(section), "missing {section}");
+        }
+        assert!(md.contains("**VERIFIED**"));
+        assert!(md.contains("(Shared+, Inv*)"));
+    }
+
+    #[test]
+    fn report_for_a_mutant_contains_counterexamples() {
+        let md = protocol_report(&protocols::illinois_missing_writeback());
+        assert!(md.contains("**ERRONEOUS**"));
+        assert!(md.contains("### Counterexamples"));
+        assert!(md.contains("### Shortest executable violation"));
+        assert!(md.contains("witness with"));
+    }
+
+    #[test]
+    fn report_tables_are_well_formed_markdown() {
+        let md = protocol_report(&protocols::msi());
+        for line in md.lines().filter(|l| l.starts_with('|')) {
+            assert!(line.ends_with('|'), "ragged table row: {line}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! End-to-end tests of the `ccv` binary: exit codes, output shape, and
+//! file-based workflows, via `CARGO_BIN_EXE_ccv`.
+
+use std::process::{Command, Output};
+
+fn ccv(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ccv"))
+        .args(args)
+        .output()
+        .expect("spawn ccv")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let o = ccv(&[]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("usage:"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let o = ccv(&["help"]);
+    assert_eq!(o.status.code(), Some(0));
+    assert!(stdout(&o).contains("ccv verify"));
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let o = ccv(&["frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("unknown command"));
+}
+
+#[test]
+fn list_shows_protocols_and_mutants() {
+    let o = ccv(&["list"]);
+    assert_eq!(o.status.code(), Some(0));
+    let out = stdout(&o);
+    for name in ["illinois", "dragon", "moesi", "illinois-missing-writeback"] {
+        assert!(out.contains(name), "missing {name}:\n{out}");
+    }
+}
+
+#[test]
+fn verify_correct_protocol_exits_zero() {
+    let o = ccv(&["verify", "illinois"]);
+    assert_eq!(o.status.code(), Some(0));
+    let out = stdout(&o);
+    assert!(out.contains("VERIFIED"));
+    assert!(out.contains("5 essential states"));
+    assert!(out.contains("(Shared+, Inv*)"));
+}
+
+#[test]
+fn verify_buggy_protocol_exits_one_with_counterexample() {
+    let o = ccv(&["verify", "illinois-missing-invalidation"]);
+    assert_eq!(o.status.code(), Some(1));
+    let out = stdout(&o);
+    assert!(out.contains("ERRONEOUS"));
+    assert!(out.contains("path :"));
+    assert!(out.contains("-->"));
+}
+
+#[test]
+fn verify_unknown_protocol_exits_2() {
+    let o = ccv(&["verify", "nonesuch"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("unknown protocol"));
+}
+
+#[test]
+fn verify_with_trace_prints_the_expansion() {
+    let o = ccv(&["verify", "illinois", "--trace"]);
+    assert_eq!(o.status.code(), Some(0));
+    assert!(stdout(&o).contains("trace:"));
+    assert!(stdout(&o).contains("[New]") || stdout(&o).contains("[Contained]"));
+}
+
+#[test]
+fn graph_emits_dot() {
+    let o = ccv(&["graph", "msi"]);
+    assert_eq!(o.status.code(), Some(0));
+    let out = stdout(&o);
+    assert!(out.starts_with("digraph"));
+    assert!(out.contains("->"));
+}
+
+#[test]
+fn export_then_verify_file_roundtrip() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("exported.ccv");
+
+    let o = ccv(&["export", "berkeley"]);
+    assert_eq!(o.status.code(), Some(0));
+    std::fs::write(&path, o.stdout).unwrap();
+
+    let o = ccv(&["verify", path.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    assert!(stdout(&o).contains("VERIFIED"));
+}
+
+#[test]
+fn verify_rejects_malformed_file_with_position() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.ccv");
+    std::fs::write(&path, "protocol Broken {\n  state Invalid invalid\n}").unwrap();
+    let o = ccv(&["verify", path.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("broken.ccv:3"), "{}", stderr(&o));
+}
+
+#[test]
+fn enumerate_reports_distinct_states() {
+    let o = ccv(&["enumerate", "illinois", "-n", "3", "--exact"]);
+    assert_eq!(o.status.code(), Some(0));
+    assert!(stdout(&o).contains("distinct states: 14"), "{}", stdout(&o));
+}
+
+#[test]
+fn crosscheck_confirms_theorem_1() {
+    let o = ccv(&["crosscheck", "dragon", "-n", "3"]);
+    assert_eq!(o.status.code(), Some(0));
+    assert!(stdout(&o).contains("Theorem 1 holds"));
+}
+
+#[test]
+fn simulate_reports_coherence() {
+    let o = ccv(&[
+        "simulate",
+        "moesi",
+        "--workload",
+        "migratory",
+        "--accesses",
+        "5000",
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    assert!(stdout(&o).contains("coherent"));
+}
+
+#[test]
+fn simulate_buggy_protocol_exits_one() {
+    let o = ccv(&[
+        "simulate",
+        "dragon-missing-update",
+        "--workload",
+        "uniform",
+        "--accesses",
+        "5000",
+    ]);
+    assert_eq!(o.status.code(), Some(1));
+    assert!(stdout(&o).contains("INCOHERENT"));
+}
+
+#[test]
+fn simulate_from_trace_file() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scenario.trace");
+    std::fs::write(&path, "P0 W 1\nP1 R 1\nP1 W 1\nP0 R 1\n").unwrap();
+    let o = ccv(&[
+        "simulate",
+        "illinois",
+        "--trace-file",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    assert!(stdout(&o).contains("coherent"));
+}
+
+#[test]
+fn witness_prints_a_scenario_for_mutants() {
+    let o = ccv(&["witness", "illinois-missing-writeback"]);
+    assert_eq!(o.status.code(), Some(1), "witness found -> failure status");
+    let out = stdout(&o);
+    assert!(out.contains("witness with"), "{out}");
+    assert!(out.contains("P0"), "{out}");
+}
+
+#[test]
+fn witness_on_correct_protocol_exits_zero() {
+    let o = ccv(&["witness", "msi", "-n", "3"]);
+    assert_eq!(o.status.code(), Some(0));
+    assert!(stdout(&o).contains("no violation scenario"));
+}
+
+#[test]
+fn compare_reports_identical_skeletons() {
+    let o = ccv(&["compare", "msi", "synapse"]);
+    assert_eq!(o.status.code(), Some(0));
+    assert!(stdout(&o).contains("IDENTICAL"));
+}
+
+#[test]
+fn describe_prints_tables() {
+    let o = ccv(&["describe", "firefly"]);
+    assert_eq!(o.status.code(), Some(0));
+    let out = stdout(&o);
+    assert!(out.contains("protocol Firefly"));
+    assert!(out.contains("snoop reactions:"));
+}
+
+#[test]
+fn dot_file_is_written() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("illinois.dot");
+    let o = ccv(&["verify", "illinois", "--dot", path.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(0));
+    let dot = std::fs::read_to_string(&path).unwrap();
+    assert!(dot.starts_with("digraph"));
+}

@@ -1,0 +1,365 @@
+//! Permissibility checks: erroneous-state detection.
+//!
+//! The paper identifies two ways a reachable global state can be
+//! erroneous:
+//!
+//! 1. **Structural contradictions** (§2.1): the semantic
+//!    interpretations of the cache states contradict each other —
+//!    e.g. several caches in a `Dirty` state, or a `Shared` copy
+//!    coexisting with a `Dirty` copy. Rather than hard-coding the
+//!    Illinois cases, we derive them from the state attributes: an
+//!    `exclusive` state admits no other copy; at most one `owned` copy
+//!    may exist.
+//! 2. **Data inconsistencies** (Definition 3): a processor can access
+//!    an obsolete value. The augmented context variables make this a
+//!    state predicate: some class holds a readable copy with
+//!    `cdata = obsolete`. (Stale accesses *during* a transition are
+//!    additionally reported as [`crate::expand::StepError`]s.)
+//!
+//! Checks run over the internalised interval branches so that
+//! category information is taken into account exactly: a state is
+//! flagged iff its concrete family contains an erroneous member.
+
+use crate::composite::{ClassKey, Composite};
+use crate::istate::internalize;
+use ccv_model::{CData, ProtocolSpec, StateId};
+use core::fmt;
+
+/// A way in which a composite state is erroneous.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Violation {
+    /// Two or more caches may simultaneously be in an exclusive state.
+    MultipleExclusive {
+        /// The exclusive state.
+        state: StateId,
+    },
+    /// A cache in an exclusive state may coexist with another copy.
+    ExclusiveWithCopy {
+        /// The exclusive state.
+        state: StateId,
+        /// The state of the coexisting copy.
+        other: StateId,
+    },
+    /// Two or more owned copies may exist.
+    MultipleOwners {
+        /// One owned state involved.
+        a: StateId,
+        /// The other owned state (equal to `a` when one class admits
+        /// two owners).
+        b: StateId,
+    },
+    /// A readable copy may hold an obsolete value.
+    ReadableStale {
+        /// The state of the stale copy.
+        state: StateId,
+    },
+}
+
+impl Violation {
+    /// Human-readable description with protocol state names.
+    pub fn describe(&self, spec: &ProtocolSpec) -> String {
+        match *self {
+            Violation::MultipleExclusive { state } => format!(
+                "multiple caches in exclusive state {}",
+                spec.state(state).name
+            ),
+            Violation::ExclusiveWithCopy { state, other } => format!(
+                "exclusive state {} coexists with a copy in state {}",
+                spec.state(state).name,
+                spec.state(other).name
+            ),
+            Violation::MultipleOwners { a, b } => format!(
+                "multiple owned copies ({} and {})",
+                spec.state(a).name,
+                spec.state(b).name
+            ),
+            Violation::ReadableStale { state } => {
+                format!("readable obsolete copy in state {}", spec.state(state).name)
+            }
+        }
+    }
+
+    /// True for the structural (state-interpretation) violations of
+    /// §2.1, false for the data violations of Definition 3.
+    pub fn is_structural(&self) -> bool {
+        !matches!(self, Violation::ReadableStale { .. })
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Violation::MultipleExclusive { state } => {
+                write!(f, "multiple caches in exclusive state q{}", state.0)
+            }
+            Violation::ExclusiveWithCopy { state, other } => write!(
+                f,
+                "exclusive state q{} coexists with a copy in q{}",
+                state.0, other.0
+            ),
+            Violation::MultipleOwners { a, b } => {
+                write!(f, "multiple owned copies (q{} and q{})", a.0, b.0)
+            }
+            Violation::ReadableStale { state } => {
+                write!(f, "readable obsolete copy in state q{}", state.0)
+            }
+        }
+    }
+}
+
+/// Checks a composite state for erroneous members. Returns every
+/// distinct violation; an empty result means the state is permissible.
+pub fn check(spec: &ProtocolSpec, comp: &Composite) -> Vec<Violation> {
+    let mut out: Vec<Violation> = Vec::new();
+    let push = |v: Violation, out: &mut Vec<Violation>| {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    };
+
+    for branch in internalize(spec, comp) {
+        let classes: Vec<(ClassKey, _)> = branch.classes().to_vec();
+
+        for (i, &(k, iv)) in classes.iter().enumerate() {
+            let attrs = spec.attrs(k.state);
+            if !attrs.holds_copy || !iv.may_be_nonempty() {
+                continue;
+            }
+
+            // Data inconsistency: a readable obsolete copy.
+            if k.cdata == CData::Obsolete {
+                push(Violation::ReadableStale { state: k.state }, &mut out);
+            }
+
+            // Exclusivity.
+            if attrs.exclusive {
+                if iv.may_have_two() {
+                    push(Violation::MultipleExclusive { state: k.state }, &mut out);
+                }
+                for &(k2, iv2) in &classes {
+                    if k2 == k || !spec.attrs(k2.state).holds_copy {
+                        continue;
+                    }
+                    if iv2.may_be_nonempty() {
+                        push(
+                            Violation::ExclusiveWithCopy {
+                                state: k.state,
+                                other: k2.state,
+                            },
+                            &mut out,
+                        );
+                    }
+                }
+            }
+
+            // Ownership.
+            if attrs.owned {
+                if iv.may_have_two() {
+                    push(
+                        Violation::MultipleOwners {
+                            a: k.state,
+                            b: k.state,
+                        },
+                        &mut out,
+                    );
+                }
+                for &(k2, iv2) in &classes[i + 1..] {
+                    if k2 != k && spec.attrs(k2.state).owned && iv2.may_be_nonempty() {
+                        push(
+                            Violation::MultipleOwners {
+                                a: k.state,
+                                b: k2.state,
+                            },
+                            &mut out,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fval::FVal;
+    use crate::rep::Rep;
+    use ccv_model::protocols::{berkeley, illinois};
+    use ccv_model::MData;
+
+    fn ck(spec: &ProtocolSpec, name: &str) -> ClassKey {
+        let s = spec.state_by_name(name).unwrap();
+        if s == StateId::INVALID {
+            ClassKey::invalid()
+        } else {
+            ClassKey::fresh(s)
+        }
+    }
+
+    #[test]
+    fn paper_essential_states_are_permissible() {
+        let spec = illinois();
+        let states = [
+            Composite::new(
+                vec![(ClassKey::invalid(), Rep::Plus)],
+                MData::Fresh,
+                FVal::V1,
+            ),
+            Composite::new(
+                vec![
+                    (ck(&spec, "V-Ex"), Rep::One),
+                    (ClassKey::invalid(), Rep::Star),
+                ],
+                MData::Fresh,
+                FVal::V2,
+            ),
+            Composite::new(
+                vec![
+                    (ck(&spec, "Dirty"), Rep::One),
+                    (ClassKey::invalid(), Rep::Star),
+                ],
+                MData::Obsolete,
+                FVal::V2,
+            ),
+            Composite::new(
+                vec![
+                    (ck(&spec, "Shared"), Rep::Plus),
+                    (ClassKey::invalid(), Rep::Star),
+                ],
+                MData::Fresh,
+                FVal::V3,
+            ),
+            Composite::new(
+                vec![
+                    (ck(&spec, "Shared"), Rep::One),
+                    (ClassKey::invalid(), Rep::Plus),
+                ],
+                MData::Fresh,
+                FVal::V2,
+            ),
+        ];
+        for s in &states {
+            assert!(check(&spec, s).is_empty(), "{} flagged", s.render(&spec));
+        }
+    }
+
+    #[test]
+    fn dirty_with_shared_is_structural_violation() {
+        let spec = illinois();
+        let bad = Composite::new(
+            vec![
+                (ck(&spec, "Dirty"), Rep::One),
+                (ck(&spec, "Shared"), Rep::Plus),
+                (ClassKey::invalid(), Rep::Star),
+            ],
+            MData::Obsolete,
+            FVal::V3,
+        );
+        let vs = check(&spec, &bad);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::ExclusiveWithCopy { .. })));
+        assert!(vs
+            .iter()
+            .all(|v| v.is_structural() || matches!(v, Violation::ReadableStale { .. })));
+    }
+
+    #[test]
+    fn dirty_plus_is_multiple_exclusive() {
+        let spec = illinois();
+        let bad = Composite::new(
+            vec![
+                (ck(&spec, "Dirty"), Rep::Plus),
+                (ClassKey::invalid(), Rep::Star),
+            ],
+            MData::Obsolete,
+            FVal::V3,
+        );
+        let vs = check(&spec, &bad);
+        assert!(vs.contains(&Violation::MultipleExclusive {
+            state: spec.state_by_name("Dirty").unwrap()
+        }));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::MultipleOwners { .. })));
+    }
+
+    #[test]
+    fn dirty_plus_with_v2_category_is_permissible() {
+        // f = v2 caps the family at one copy, so (Dirty⁺, Inv*) v2
+        // denotes only single-Dirty systems — no violation.
+        let spec = illinois();
+        let ok = Composite::new(
+            vec![
+                (ck(&spec, "Dirty"), Rep::Plus),
+                (ClassKey::invalid(), Rep::Star),
+            ],
+            MData::Obsolete,
+            FVal::V2,
+        );
+        assert!(check(&spec, &ok).is_empty());
+    }
+
+    #[test]
+    fn readable_stale_copy_is_a_data_violation() {
+        let spec = illinois();
+        let bad = Composite::new(
+            vec![
+                (
+                    ClassKey::obsolete(spec.state_by_name("Shared").unwrap()),
+                    Rep::One,
+                ),
+                (ClassKey::invalid(), Rep::Plus),
+            ],
+            MData::Fresh,
+            FVal::V2,
+        );
+        let vs = check(&spec, &bad);
+        assert_eq!(vs.len(), 1);
+        assert!(!vs[0].is_structural());
+        assert!(matches!(vs[0], Violation::ReadableStale { .. }));
+    }
+
+    #[test]
+    fn berkeley_shared_owner_with_readers_is_permissible() {
+        // Berkeley's whole point: an owned copy may be replicated.
+        let spec = berkeley();
+        let ok = Composite::new(
+            vec![
+                (ck(&spec, "Shared-Dirty"), Rep::One),
+                (ck(&spec, "V"), Rep::Plus),
+                (ClassKey::invalid(), Rep::Star),
+            ],
+            MData::Obsolete,
+            FVal::Null,
+        );
+        assert!(check(&spec, &ok).is_empty());
+    }
+
+    #[test]
+    fn berkeley_two_owners_is_violation() {
+        let spec = berkeley();
+        let bad = Composite::new(
+            vec![
+                (ck(&spec, "Shared-Dirty"), Rep::Plus),
+                (ClassKey::invalid(), Rep::Star),
+            ],
+            MData::Obsolete,
+            FVal::Null,
+        );
+        let vs = check(&spec, &bad);
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::MultipleOwners { .. })));
+    }
+
+    #[test]
+    fn descriptions_use_state_names() {
+        let spec = illinois();
+        let v = Violation::MultipleExclusive {
+            state: spec.state_by_name("Dirty").unwrap(),
+        };
+        assert!(v.describe(&spec).contains("Dirty"));
+    }
+}

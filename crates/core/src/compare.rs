@@ -1,0 +1,334 @@
+//! Comparing protocols through their global transition diagrams.
+//!
+//! The paper (§1.0, §5.0) notes that the global state graph "is useful
+//! not only to verify data consistency but also to demonstrate the
+//! similarities and disparities among protocols". This module makes
+//! that comparison mechanical: essential states of different protocols
+//! are mapped to protocol-independent **signatures** built from the
+//! semantic attributes of their classes (invalid / clean-shared /
+//! clean-exclusive / owned-shared / owned-exclusive), and the two
+//! diagrams are diffed on signatures — states and labelled transitions
+//! present in one protocol's behaviour but not the other's.
+//!
+//! Example: MSI and Synapse have *identical* behavioural skeletons
+//! (their disparities are data-path only: who supplies, who flushes),
+//! while Dragon's diagram contains owned-shared states Illinois can
+//! never inhabit.
+
+use crate::composite::Composite;
+use crate::engine::Options;
+use crate::expand::Label;
+use crate::graph::global_graph;
+use ccv_model::{CData, ProcEvent, ProtocolSpec, StateAttrs, StateId};
+
+/// Protocol-independent role of a cache state, derived from its
+/// attributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// No copy.
+    Invalid,
+    /// Clean copy, possibly replicated.
+    CleanShared,
+    /// Clean copy, sole cached copy.
+    CleanExclusive,
+    /// Owned copy coexisting with other copies.
+    OwnedShared,
+    /// Owned copy, sole cached copy.
+    OwnedExclusive,
+}
+
+impl Role {
+    /// Derives the role from state attributes.
+    pub fn of(attrs: StateAttrs) -> Role {
+        match (attrs.holds_copy, attrs.owned, attrs.exclusive) {
+            (false, _, _) => Role::Invalid,
+            (true, false, false) => Role::CleanShared,
+            (true, false, true) => Role::CleanExclusive,
+            (true, true, false) => Role::OwnedShared,
+            (true, true, true) => Role::OwnedExclusive,
+        }
+    }
+
+    /// Compact label used in signatures.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Role::Invalid => "I",
+            Role::CleanShared => "C",
+            Role::CleanExclusive => "CX",
+            Role::OwnedShared => "O",
+            Role::OwnedExclusive => "OX",
+        }
+    }
+}
+
+fn role_of_state(spec: &ProtocolSpec, s: StateId) -> Role {
+    Role::of(spec.attrs(s))
+}
+
+/// Protocol-independent signature of a composite state: the sorted
+/// multiset of `(role, staleness, operator)` classes plus the
+/// characteristic value and memory freshness.
+pub fn state_signature(spec: &ProtocolSpec, comp: &Composite) -> String {
+    let mut parts: Vec<String> = comp
+        .classes()
+        .iter()
+        .map(|&(k, r)| {
+            let stale = if k.cdata == CData::Obsolete { "!" } else { "" };
+            format!(
+                "{}{}{}",
+                role_of_state(spec, k.state).tag(),
+                stale,
+                r.superscript()
+            )
+        })
+        .collect();
+    parts.sort();
+    format!("({}) f={} m={}", parts.join(","), comp.f, comp.mdata)
+}
+
+/// Protocol-independent signature of a transition label: the event
+/// plus the role of the originating class.
+pub fn label_signature(spec: &ProtocolSpec, label: &Label) -> String {
+    let e = match label.event {
+        ProcEvent::Read => "R",
+        ProcEvent::Write => "W",
+        ProcEvent::Replace => "Z",
+    };
+    format!("{}_{}", e, role_of_state(spec, label.origin.state).tag())
+}
+
+/// The behavioural diff of two protocols.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Name of the first protocol.
+    pub a: String,
+    /// Name of the second protocol.
+    pub b: String,
+    /// State signatures present in both diagrams.
+    pub common_states: Vec<String>,
+    /// `(rendered state, signature)` present only in `a`.
+    pub only_a: Vec<(String, String)>,
+    /// `(rendered state, signature)` present only in `b`.
+    pub only_b: Vec<(String, String)>,
+    /// Edge signatures (`from --label--> to`) present in both.
+    pub common_edges: Vec<String>,
+    /// Edge signatures present only in `a`.
+    pub edges_only_a: Vec<String>,
+    /// Edge signatures present only in `b`.
+    pub edges_only_b: Vec<String>,
+}
+
+impl DiffReport {
+    /// True iff the two protocols have the same behavioural skeleton
+    /// (identical state- and edge-signature sets).
+    pub fn skeletons_identical(&self) -> bool {
+        self.only_a.is_empty()
+            && self.only_b.is_empty()
+            && self.edges_only_a.is_empty()
+            && self.edges_only_b.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "comparing {} vs {}", self.a, self.b);
+        let _ = writeln!(
+            out,
+            "  common: {} states, {} edges",
+            self.common_states.len(),
+            self.common_edges.len()
+        );
+        if self.skeletons_identical() {
+            let _ = writeln!(out, "  behavioural skeletons are IDENTICAL");
+            return out;
+        }
+        for (title, items) in [
+            (format!("states only in {}", self.a), &self.only_a),
+            (format!("states only in {}", self.b), &self.only_b),
+        ] {
+            if !items.is_empty() {
+                let _ = writeln!(out, "  {title}:");
+                for (render, sig) in items {
+                    let _ = writeln!(out, "    {render}   [{sig}]");
+                }
+            }
+        }
+        for (title, items) in [
+            (format!("edges only in {}", self.a), &self.edges_only_a),
+            (format!("edges only in {}", self.b), &self.edges_only_b),
+        ] {
+            if !items.is_empty() {
+                let _ = writeln!(out, "  {title}:");
+                for e in items {
+                    let _ = writeln!(out, "    {e}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the signature sets of one protocol's global diagram.
+fn diagram_signatures(spec: &ProtocolSpec) -> (Vec<(String, String)>, Vec<String>) {
+    let expansion = crate::engine::expand(spec, &Options::default());
+    let graph = global_graph(spec, &expansion);
+    let states: Vec<(String, String)> = graph
+        .states
+        .iter()
+        .map(|c| (c.render(spec), state_signature(spec, c)))
+        .collect();
+    // Edge signatures use the raw successors so labels keep their
+    // origin class (the graph stores rendered labels).
+    let mut edges: Vec<String> = Vec::new();
+    for s in &graph.states {
+        let from_sig = state_signature(spec, s);
+        for t in crate::expand::successors(spec, s) {
+            let Some(to) = graph.states.iter().find(|e| t.to.contained_in(e)) else {
+                continue;
+            };
+            let sig = format!(
+                "{} --{}--> {}",
+                from_sig,
+                label_signature(spec, &t.label),
+                state_signature(spec, to)
+            );
+            if !edges.contains(&sig) {
+                edges.push(sig);
+            }
+        }
+    }
+    (states, edges)
+}
+
+/// Compares two protocols through their verified global diagrams.
+///
+/// ```
+/// use ccv_core::compare_protocols;
+/// use ccv_model::protocols;
+///
+/// // MSI and Synapse differ only in the data path (who supplies,
+/// // who flushes) — their behavioural skeletons coincide.
+/// let d = compare_protocols(&protocols::msi(), &protocols::synapse());
+/// assert!(d.skeletons_identical());
+///
+/// // Dragon reaches owned-shared configurations Illinois cannot.
+/// let d = compare_protocols(&protocols::dragon(), &protocols::illinois());
+/// assert!(!d.skeletons_identical());
+/// ```
+pub fn compare_protocols(a: &ProtocolSpec, b: &ProtocolSpec) -> DiffReport {
+    let (states_a, edges_a) = diagram_signatures(a);
+    let (states_b, edges_b) = diagram_signatures(b);
+
+    let sigs_a: Vec<&String> = states_a.iter().map(|(_, s)| s).collect();
+    let sigs_b: Vec<&String> = states_b.iter().map(|(_, s)| s).collect();
+
+    let common_states: Vec<String> = sigs_a
+        .iter()
+        .filter(|s| sigs_b.contains(s))
+        .map(|s| (*s).clone())
+        .collect();
+    let only_a = states_a
+        .iter()
+        .filter(|(_, s)| !sigs_b.contains(&s))
+        .cloned()
+        .collect();
+    let only_b = states_b
+        .iter()
+        .filter(|(_, s)| !sigs_a.contains(&s))
+        .cloned()
+        .collect();
+
+    let common_edges: Vec<String> = edges_a
+        .iter()
+        .filter(|e| edges_b.contains(e))
+        .cloned()
+        .collect();
+    let edges_only_a = edges_a
+        .iter()
+        .filter(|e| !edges_b.contains(e))
+        .cloned()
+        .collect();
+    let edges_only_b = edges_b
+        .iter()
+        .filter(|e| !edges_a.contains(e))
+        .cloned()
+        .collect();
+
+    DiffReport {
+        a: a.name().to_string(),
+        b: b.name().to_string(),
+        common_states,
+        only_a,
+        only_b,
+        common_edges,
+        edges_only_a,
+        edges_only_b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_model::protocols;
+
+    #[test]
+    fn roles_cover_the_attribute_space() {
+        assert_eq!(Role::of(StateAttrs::INVALID), Role::Invalid);
+        assert_eq!(Role::of(StateAttrs::SHARED_CLEAN), Role::CleanShared);
+        assert_eq!(Role::of(StateAttrs::VALID_EXCLUSIVE), Role::CleanExclusive);
+        assert_eq!(Role::of(StateAttrs::OWNED_SHARED), Role::OwnedShared);
+        assert_eq!(Role::of(StateAttrs::DIRTY), Role::OwnedExclusive);
+    }
+
+    #[test]
+    fn protocol_compared_to_itself_is_identical() {
+        for spec in [protocols::msi(), protocols::dragon()] {
+            let d = compare_protocols(&spec, &spec);
+            assert!(d.skeletons_identical(), "{}", spec.name());
+            assert!(!d.common_states.is_empty());
+        }
+    }
+
+    #[test]
+    fn msi_and_synapse_share_a_skeleton() {
+        // Both are 3-state invalidate protocols; their disparities are
+        // pure data path (Synapse has no cache-to-cache supply), which
+        // signatures deliberately ignore.
+        let d = compare_protocols(&protocols::msi(), &protocols::synapse());
+        assert!(
+            d.skeletons_identical(),
+            "unexpected differences: {}",
+            d.render()
+        );
+    }
+
+    #[test]
+    fn illinois_differs_from_msi_by_the_exclusive_state() {
+        let d = compare_protocols(&protocols::illinois(), &protocols::msi());
+        assert!(!d.skeletons_identical());
+        assert!(
+            d.only_a.iter().any(|(_, sig)| sig.contains("CX")),
+            "Illinois's extra states involve the clean-exclusive role: {}",
+            d.render()
+        );
+        assert!(d.only_b.is_empty() || !d.only_b.iter().any(|(_, s)| s.contains("CX")));
+    }
+
+    #[test]
+    fn dragon_has_owned_shared_states_illinois_lacks() {
+        let d = compare_protocols(&protocols::dragon(), &protocols::illinois());
+        assert!(d
+            .only_a
+            .iter()
+            .any(|(_, sig)| sig.contains("O") && !sig.contains("OX")));
+    }
+
+    #[test]
+    fn render_mentions_both_protocols() {
+        let d = compare_protocols(&protocols::msi(), &protocols::illinois());
+        let text = d.render();
+        assert!(text.contains("MSI"));
+        assert!(text.contains("Illinois"));
+    }
+}

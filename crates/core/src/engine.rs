@@ -1,0 +1,463 @@
+//! The essential-states worklist engine (Figure 3 of the paper).
+//!
+//! Maintains a working list `W` of unexpanded composite states and a
+//! history `H` of expanded ones. Each popped state is expanded through
+//! [`crate::expand::successors`]; a successor contained in a surviving
+//! state (Definition 9) is discarded, and surviving states contained in
+//! a new successor are pruned — justified by the monotonicity of the
+//! expansion operator (Lemmas 1–2, Corollaries 1–2). At fixpoint the
+//! surviving states are the **essential states** (Definition 10), which
+//! symbolically characterise the entire reachable state space
+//! (Theorem 1).
+//!
+//! Differences from the paper's pseudo-code, none affecting the result:
+//!
+//! * the current state `A` keeps expanding even if a successor turns
+//!   out to contain it (the paper restarts; by monotonicity the extra
+//!   successors are redundant but harmless, and the bookkeeping is
+//!   simpler);
+//! * every discovered state lives in an append-only arena with parent
+//!   links, so that error reports carry a concrete counterexample path
+//!   even when intermediate states were later pruned.
+//!
+//! The engine also supports **equality pruning** (discard only exact
+//! duplicates) as an ablation mode: it corresponds to running the
+//! symbolic representation with the counting equivalence of
+//! Definition 5 alone, and demonstrates what containment pruning buys.
+
+use crate::check::{check, Violation};
+use crate::composite::Composite;
+use crate::expand::{successors, Label, StepError, Transition};
+use ccv_model::ProtocolSpec;
+use std::collections::VecDeque;
+
+/// Pruning discipline for the worklist.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Pruning {
+    /// Containment pruning (Definition 9 / Figure 3) — the paper's
+    /// method.
+    #[default]
+    Containment,
+    /// Exact-duplicate pruning only — the ablation baseline.
+    Equality,
+}
+
+/// Engine options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Pruning discipline.
+    pub pruning: Pruning,
+    /// Hard cap on generated successors, as a divergence backstop.
+    pub max_visits: usize,
+    /// Stop as soon as the first erroneous state is found.
+    pub stop_at_first_error: bool,
+    /// Record a [`VisitRecord`] for every generated successor
+    /// (Appendix A.2 reproduction).
+    pub record_trace: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            pruning: Pruning::Containment,
+            max_visits: 1_000_000,
+            stop_at_first_error: false,
+            record_trace: false,
+        }
+    }
+}
+
+/// Index of a discovered state in the expansion arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// A discovered composite state with provenance.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The canonical state.
+    pub state: Composite,
+    /// How the state was first reached (`None` for the initial state).
+    pub parent: Option<(NodeId, Label)>,
+    /// State-level violations (structural contradictions, readable
+    /// stale copies).
+    pub violations: Vec<Violation>,
+    /// Whether containment pruning later displaced this state.
+    pub pruned: bool,
+}
+
+/// How a generated successor was treated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disposition {
+    /// A new state, added to the working list.
+    New,
+    /// Contained in (or equal to) an already-known surviving state.
+    Contained,
+}
+
+/// One entry of the expansion trace (Appendix A.2 reproduction).
+#[derive(Clone, Debug)]
+pub struct VisitRecord {
+    /// Source state.
+    pub from: Composite,
+    /// Transition taken.
+    pub label: Label,
+    /// Generated successor (canonical).
+    pub to: Composite,
+    /// Whether the successor was new or discarded.
+    pub disposition: Disposition,
+}
+
+/// An erroneous state or transition discovered during expansion.
+#[derive(Clone, Debug)]
+pub struct ErrorFinding {
+    /// Arena node of the erroneous state.
+    pub node: NodeId,
+    /// State-level violations of the node.
+    pub violations: Vec<Violation>,
+    /// Transition-level stale accesses observed on the step *into* the
+    /// node.
+    pub step_errors: Vec<StepError>,
+}
+
+/// The result of a symbolic expansion run.
+#[derive(Clone, Debug)]
+pub struct Expansion {
+    /// Append-only arena of every state ever admitted.
+    pub nodes: Vec<Node>,
+    /// The essential states (surviving history) at fixpoint.
+    pub essential: Vec<NodeId>,
+    /// Number of generated successors ("state visits" in the §3.1
+    /// sense).
+    pub visits: usize,
+    /// Number of states popped and expanded.
+    pub expanded: usize,
+    /// Erroneous findings, in discovery order.
+    pub errors: Vec<ErrorFinding>,
+    /// Trace of every visit (empty unless requested).
+    pub trace: Vec<VisitRecord>,
+    /// True if the run hit `max_visits` and stopped early.
+    pub truncated: bool,
+}
+
+impl Expansion {
+    /// True iff no erroneous state or transition was found (and the
+    /// run completed).
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && !self.truncated
+    }
+
+    /// The essential composite states, in discovery order.
+    pub fn essential_states(&self) -> Vec<&Composite> {
+        self.essential
+            .iter()
+            .map(|&id| &self.nodes[id.0].state)
+            .collect()
+    }
+
+    /// The path of transitions from the initial state to `id`
+    /// (inclusive): `[(None, root), (Some(label), next), …]`.
+    pub fn path_to(&self, id: NodeId) -> Vec<(Option<Label>, NodeId)> {
+        let mut rev = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let parent = self.nodes[c.0].parent;
+            rev.push((parent.map(|(_, l)| l), c));
+            cur = parent.map(|(p, _)| p);
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Renders a counterexample path with protocol state names.
+    pub fn render_path(&self, spec: &ProtocolSpec, id: NodeId) -> String {
+        let mut s = String::new();
+        for (label, node) in self.path_to(id) {
+            if let Some(l) = label {
+                s.push_str(&format!(" --{}--> ", l.render(spec)));
+            }
+            s.push_str(&self.nodes[node.0].state.render_full(spec));
+        }
+        s
+    }
+}
+
+/// Runs the essential-states generation algorithm of Figure 3 on
+/// `spec`, starting (per §4.0) from `(Invalid⁺)` with fresh memory.
+pub fn expand(spec: &ProtocolSpec, opts: &Options) -> Expansion {
+    expand_from(spec, Composite::initial(spec), opts)
+}
+
+/// Runs the worklist from an explicit initial composite state.
+pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> Expansion {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut work: VecDeque<NodeId> = VecDeque::new();
+    let mut history: Vec<NodeId> = Vec::new();
+    let mut errors: Vec<ErrorFinding> = Vec::new();
+    let mut trace: Vec<VisitRecord> = Vec::new();
+    let mut visits = 0usize;
+    let mut expanded = 0usize;
+    let mut truncated = false;
+
+    let init_violations = check(spec, &initial);
+    nodes.push(Node {
+        state: initial,
+        parent: None,
+        violations: init_violations.clone(),
+        pruned: false,
+    });
+    if !init_violations.is_empty() {
+        errors.push(ErrorFinding {
+            node: NodeId(0),
+            violations: init_violations,
+            step_errors: Vec::new(),
+        });
+    }
+    work.push_back(NodeId(0));
+
+    let contained = |a: &Composite, b: &Composite, pruning: Pruning| match pruning {
+        Pruning::Containment => a.contained_in(b),
+        Pruning::Equality => a == b,
+    };
+
+    'outer: while let Some(current) = work.pop_front() {
+        if nodes[current.0].pruned {
+            continue;
+        }
+        expanded += 1;
+        let current_state = nodes[current.0].state.clone();
+        let succs: Vec<Transition> = successors(spec, &current_state);
+        for t in succs {
+            visits += 1;
+            if visits >= opts.max_visits {
+                truncated = true;
+                break 'outer;
+            }
+
+            // Is the successor contained in a surviving state?
+            let container_exists = nodes
+                .iter()
+                .any(|n| !n.pruned && contained(&t.to, &n.state, opts.pruning));
+
+            if opts.record_trace {
+                trace.push(VisitRecord {
+                    from: current_state.clone(),
+                    label: t.label,
+                    to: t.to.clone(),
+                    disposition: if container_exists {
+                        Disposition::Contained
+                    } else {
+                        Disposition::New
+                    },
+                });
+            }
+
+            if container_exists {
+                // The state family is already covered; the *transition*
+                // may still carry a stale-access error.
+                if !t.errors.is_empty() {
+                    let id = NodeId(nodes.len());
+                    let violations = check(spec, &t.to);
+                    nodes.push(Node {
+                        state: t.to,
+                        parent: Some((current, t.label)),
+                        violations: violations.clone(),
+                        pruned: true, // not part of the frontier
+                    });
+                    errors.push(ErrorFinding {
+                        node: id,
+                        violations,
+                        step_errors: t.errors,
+                    });
+                    if opts.stop_at_first_error {
+                        break 'outer;
+                    }
+                }
+                continue;
+            }
+
+            // New state: admit, prune displaced survivors, enqueue.
+            let id = NodeId(nodes.len());
+            let violations = check(spec, &t.to);
+            for n in nodes.iter_mut() {
+                if !n.pruned && contained(&n.state, &t.to, opts.pruning) {
+                    n.pruned = true;
+                }
+            }
+            nodes.push(Node {
+                state: t.to,
+                parent: Some((current, t.label)),
+                violations: violations.clone(),
+                pruned: false,
+            });
+            if !violations.is_empty() || !t.errors.is_empty() {
+                errors.push(ErrorFinding {
+                    node: id,
+                    violations,
+                    step_errors: t.errors,
+                });
+                if opts.stop_at_first_error {
+                    break 'outer;
+                }
+            }
+            work.push_back(id);
+        }
+        if !nodes[current.0].pruned {
+            history.push(current);
+        }
+    }
+
+    let essential: Vec<NodeId> = history
+        .into_iter()
+        .filter(|id| !nodes[id.0].pruned)
+        .collect();
+
+    Expansion {
+        nodes,
+        essential,
+        visits,
+        expanded,
+        errors,
+        trace,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_model::protocols::{illinois, illinois_missing_invalidation, msi};
+
+    #[test]
+    fn illinois_reaches_the_five_paper_states() {
+        let spec = illinois();
+        let exp = expand(&spec, &Options::default());
+        assert!(exp.is_clean(), "Illinois must verify clean");
+        let rendered: Vec<String> = exp
+            .essential_states()
+            .iter()
+            .map(|c| c.render(&spec))
+            .collect();
+        let expected = [
+            "(Inv+)",
+            "(V-Ex, Inv*)",
+            "(Dirty, Inv*)",
+            "(Shared+, Inv*)",
+            "(Shared, Inv+)",
+        ];
+        assert_eq!(
+            rendered.len(),
+            expected.len(),
+            "essential states: {rendered:?}"
+        );
+        for e in expected {
+            assert!(
+                rendered.contains(&e.to_string()),
+                "missing {e} in {rendered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn msi_verifies_clean() {
+        let spec = msi();
+        let exp = expand(&spec, &Options::default());
+        assert!(exp.is_clean());
+        assert!(!exp.essential.is_empty());
+    }
+
+    #[test]
+    fn buggy_illinois_is_rejected_with_counterexample() {
+        let spec = illinois_missing_invalidation();
+        let exp = expand(&spec, &Options::default());
+        assert!(!exp.errors.is_empty(), "the seeded bug must be found");
+        let finding = &exp.errors[0];
+        let path = exp.render_path(&spec, finding.node);
+        assert!(
+            path.contains("-->"),
+            "counterexample must be a path: {path}"
+        );
+    }
+
+    #[test]
+    fn stop_at_first_error_halts_early() {
+        let spec = illinois_missing_invalidation();
+        let full = expand(&spec, &Options::default());
+        let early = expand(
+            &spec,
+            &Options {
+                stop_at_first_error: true,
+                ..Options::default()
+            },
+        );
+        assert_eq!(early.errors.len(), 1);
+        assert!(early.visits <= full.visits);
+    }
+
+    #[test]
+    fn equality_pruning_visits_at_least_as_many_states() {
+        let spec = illinois();
+        let contained = expand(&spec, &Options::default());
+        let equality = expand(
+            &spec,
+            &Options {
+                pruning: Pruning::Equality,
+                ..Options::default()
+            },
+        );
+        assert!(equality.is_clean());
+        assert!(
+            equality.visits >= contained.visits,
+            "containment pruning must not increase visits ({} vs {})",
+            equality.visits,
+            contained.visits
+        );
+        // Every containment-essential state family must still be
+        // covered by some equality-reached state.
+        for ess in contained.essential_states() {
+            assert!(
+                equality
+                    .nodes
+                    .iter()
+                    .any(|n| ess.covered_by(&n.state) || n.state.covered_by(ess)),
+                "family {ess:?} lost under equality pruning"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_recorded_on_request() {
+        let spec = illinois();
+        let exp = expand(
+            &spec,
+            &Options {
+                record_trace: true,
+                ..Options::default()
+            },
+        );
+        assert_eq!(exp.trace.len(), exp.visits);
+        assert!(exp.trace.iter().any(|v| v.disposition == Disposition::New));
+    }
+
+    #[test]
+    fn path_to_root_is_single_entry() {
+        let spec = illinois();
+        let exp = expand(&spec, &Options::default());
+        let path = exp.path_to(NodeId(0));
+        assert_eq!(path.len(), 1);
+        assert!(path[0].0.is_none());
+    }
+
+    #[test]
+    fn max_visits_truncates() {
+        let spec = illinois();
+        let exp = expand(
+            &spec,
+            &Options {
+                max_visits: 3,
+                ..Options::default()
+            },
+        );
+        assert!(exp.truncated);
+        assert!(!exp.is_clean());
+    }
+}

@@ -1,0 +1,110 @@
+//! The characteristic-function value attached to composite states.
+//!
+//! Appendix A.1 of the paper observes that for the *sharing-detection*
+//! characteristic function, the vector `F(S) = (f₁, …, fₙ)` of a
+//! composite state takes one of exactly three shapes:
+//!
+//! * `v1 = (false, …, false)` — no cached copy exists;
+//! * `v2 = (true, …, true, false)` — exactly one cached copy exists
+//!   (every cache sees sharing except the holder);
+//! * `v3 = (true, …, true)` — two or more cached copies exist.
+//!
+//! So the value of `F` is fully determined by the *copy-count
+//! category*: exactly 0, exactly 1, or at least 2 valid copies.
+//! Containment (Definition 9) requires equal `F`, i.e. equal category;
+//! this is what distinguishes the paper's states `s3 = (Shared⁺, Inv*)`
+//! (`F = v3`) and `s4 = (Shared, Inv⁺)` (`F = v2`) even though `s4` is
+//! structurally covered by `s3`.
+//!
+//! Protocols with the null characteristic function use [`FVal::Null`]
+//! for every state, making containment collapse to structural covering
+//! (Corollary 1).
+
+use core::fmt;
+
+/// The summarised characteristic-function value of a composite state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FVal {
+    /// The protocol's characteristic function is null; `F` carries no
+    /// information and containment is structural covering alone.
+    Null,
+    /// `v1`: no cached copy exists.
+    V1,
+    /// `v2`: exactly one cached copy exists.
+    V2,
+    /// `v3`: at least two cached copies exist.
+    V3,
+}
+
+impl FVal {
+    /// Minimum total number of valid copies consistent with the value.
+    #[inline]
+    pub fn min_copies(self) -> u32 {
+        match self {
+            FVal::Null | FVal::V1 => 0,
+            FVal::V2 => 1,
+            FVal::V3 => 2,
+        }
+    }
+
+    /// Maximum total number of valid copies consistent with the value,
+    /// or `None` for unbounded.
+    #[inline]
+    pub fn max_copies(self) -> Option<u32> {
+        match self {
+            FVal::V1 => Some(0),
+            FVal::V2 => Some(1),
+            FVal::Null | FVal::V3 => None,
+        }
+    }
+
+    /// The three sharing-detection categories, in increasing copy-count
+    /// order.
+    pub const CATEGORIES: [FVal; 3] = [FVal::V1, FVal::V2, FVal::V3];
+}
+
+impl fmt::Display for FVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FVal::Null => f.write_str("-"),
+            FVal::V1 => f.write_str("v1"),
+            FVal::V2 => f.write_str("v2"),
+            FVal::V3 => f.write_str("v3"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_bounds() {
+        assert_eq!(FVal::V1.min_copies(), 0);
+        assert_eq!(FVal::V1.max_copies(), Some(0));
+        assert_eq!(FVal::V2.min_copies(), 1);
+        assert_eq!(FVal::V2.max_copies(), Some(1));
+        assert_eq!(FVal::V3.min_copies(), 2);
+        assert_eq!(FVal::V3.max_copies(), None);
+        assert_eq!(FVal::Null.min_copies(), 0);
+        assert_eq!(FVal::Null.max_copies(), None);
+    }
+
+    #[test]
+    fn categories_are_ordered_and_disjoint() {
+        let c = FVal::CATEGORIES;
+        assert_eq!(c.len(), 3);
+        for w in c.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Disjoint count ranges.
+        assert!(FVal::V1.max_copies().unwrap() < FVal::V2.min_copies());
+        assert!(FVal::V2.max_copies().unwrap() < FVal::V3.min_copies());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FVal::V1.to_string(), "v1");
+        assert_eq!(FVal::Null.to_string(), "-");
+    }
+}

@@ -1,0 +1,192 @@
+//! The global transition diagram over essential states (Figure 4).
+//!
+//! After the worklist reaches its fixpoint, every successor of an
+//! essential state is contained in some essential state (Theorem 1), so
+//! the essential states form the vertices of a finite *global FSM*
+//! whose edges are the symbolic transitions. The paper presents this
+//! diagram for the Illinois protocol in Figure 4; [`global_graph`]
+//! reconstructs it for any protocol, and [`GlobalGraph::to_dot`]
+//! renders Graphviz for inspection.
+
+use crate::composite::Composite;
+use crate::engine::Expansion;
+use crate::expand::successors;
+use ccv_model::ProtocolSpec;
+
+/// An edge of the global transition diagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphEdge {
+    /// Index of the source essential state.
+    pub from: usize,
+    /// Paper-style transition label (e.g. `R_inv`).
+    pub label: String,
+    /// Index of the essential state containing the successor.
+    pub to: usize,
+}
+
+/// The global transition diagram of a verified protocol.
+#[derive(Clone, Debug)]
+pub struct GlobalGraph {
+    /// The essential states (vertices), in discovery order.
+    pub states: Vec<Composite>,
+    /// Deduplicated labelled edges.
+    pub edges: Vec<GraphEdge>,
+}
+
+impl GlobalGraph {
+    /// Renders the diagram in Graphviz DOT syntax, with states in the
+    /// paper's notation and the characteristic-function value and
+    /// memory freshness shown per node.
+    pub fn to_dot(&self, spec: &ProtocolSpec) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", spec.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+        for (i, s) in self.states.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  s{} [label=\"s{}: {}\\nF={} mdata={}\"];",
+                i,
+                i,
+                s.render(spec).replace('"', "'"),
+                s.f,
+                s.mdata
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "  s{} -> s{} [label=\"{}\"];", e.from, e.to, e.label);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Number of vertices.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Edges grouped as `(from, to) -> labels`, useful for compact
+    /// printing.
+    pub fn grouped_edges(&self) -> Vec<(usize, usize, Vec<String>)> {
+        let mut grouped: Vec<(usize, usize, Vec<String>)> = Vec::new();
+        for e in &self.edges {
+            if let Some(g) = grouped
+                .iter_mut()
+                .find(|(f, t, _)| *f == e.from && *t == e.to)
+            {
+                if !g.2.contains(&e.label) {
+                    g.2.push(e.label.clone());
+                }
+            } else {
+                grouped.push((e.from, e.to, vec![e.label.clone()]));
+            }
+        }
+        grouped
+    }
+}
+
+/// Builds the global transition diagram from a completed expansion:
+/// each essential state is re-expanded once and every successor is
+/// mapped to the essential state that contains it.
+pub fn global_graph(spec: &ProtocolSpec, expansion: &Expansion) -> GlobalGraph {
+    let states: Vec<Composite> = expansion.essential_states().into_iter().cloned().collect();
+    let mut edges: Vec<GraphEdge> = Vec::new();
+    for (i, s) in states.iter().enumerate() {
+        for t in successors(spec, s) {
+            let Some(j) = states.iter().position(|e| t.to.contained_in(e)) else {
+                debug_assert!(
+                    expansion.truncated,
+                    "fixpoint violated: successor {t:?} of essential state has no container"
+                );
+                continue;
+            };
+            let edge = GraphEdge {
+                from: i,
+                label: t.label.render(spec),
+                to: j,
+            };
+            if !edges.contains(&edge) {
+                edges.push(edge);
+            }
+        }
+    }
+    GlobalGraph { states, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{expand, Options};
+    use ccv_model::protocols::illinois;
+
+    fn illinois_graph() -> (ccv_model::ProtocolSpec, GlobalGraph) {
+        let spec = illinois();
+        let exp = expand(&spec, &Options::default());
+        let g = global_graph(&spec, &exp);
+        (spec, g)
+    }
+
+    #[test]
+    fn illinois_graph_has_five_states() {
+        let (_, g) = illinois_graph();
+        assert_eq!(g.num_states(), 5);
+        assert!(!g.edges.is_empty());
+    }
+
+    #[test]
+    fn every_edge_endpoint_is_a_vertex() {
+        let (_, g) = illinois_graph();
+        for e in &g.edges {
+            assert!(e.from < g.num_states());
+            assert!(e.to < g.num_states());
+        }
+    }
+
+    #[test]
+    fn figure_4_key_edges_present() {
+        // Spot-check edges the paper draws: (Inv⁺) --R_inv--> (V-Ex,Inv*),
+        // (V-Ex,Inv*) --W_v-ex--> (Dirty,Inv*), (Dirty,Inv*) --Z_dirty--> (Inv⁺).
+        let (spec, g) = illinois_graph();
+        let idx = |name: &str| {
+            g.states
+                .iter()
+                .position(|s| s.render(&spec) == name)
+                .unwrap_or_else(|| panic!("state {name} missing"))
+        };
+        let has = |from: &str, label: &str, to: &str| {
+            let (f, t) = (idx(from), idx(to));
+            g.edges
+                .iter()
+                .any(|e| e.from == f && e.to == t && e.label == label)
+        };
+        assert!(has("(Inv+)", "R_inv", "(V-Ex, Inv*)"));
+        assert!(has("(Inv+)", "W_inv", "(Dirty, Inv*)"));
+        assert!(has("(V-Ex, Inv*)", "W_v-ex", "(Dirty, Inv*)"));
+        assert!(has("(Dirty, Inv*)", "Z_dirty", "(Inv+)"));
+        assert!(has("(Dirty, Inv*)", "R_inv", "(Shared+, Inv*)"));
+        assert!(has("(Shared+, Inv*)", "W_shared", "(Dirty, Inv*)"));
+        assert!(has("(Shared+, Inv*)", "Z_shared", "(Shared, Inv+)"));
+        assert!(has("(Shared, Inv+)", "Z_shared", "(Inv+)"));
+        assert!(has("(Shared, Inv+)", "W_shared", "(Dirty, Inv*)"));
+        assert!(has("(Shared, Inv+)", "R_inv", "(Shared+, Inv*)"));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let (spec, g) = illinois_graph();
+        let dot = g.to_dot(&spec);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("rankdir=LR"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("->").count(), g.edges.len());
+    }
+
+    #[test]
+    fn grouped_edges_cover_all_edges() {
+        let (_, g) = illinois_graph();
+        let grouped = g.grouped_edges();
+        let total: usize = grouped.iter().map(|(_, _, ls)| ls.len()).sum();
+        assert_eq!(total, g.edges.len());
+    }
+}

@@ -1,0 +1,76 @@
+//! # ccv-core — symbolic verification of cache coherence protocols
+//!
+//! An implementation of the verification methodology of
+//!
+//! > F. Pong and M. Dubois, *"The Verification of Cache Coherence
+//! > Protocols"*, Proc. 5th ACM SPAA, 1993.
+//!
+//! The global state of a system with an **arbitrary number of caches**
+//! is represented symbolically: caches in the same state form a class
+//! adorned with a repetition operator (`1`, `+`, `*`), and the set of
+//! classes — a [`Composite`] state — is expanded by a worklist
+//! algorithm with **containment pruning** until the *essential states*
+//! remain. Verification then amounts to checking that no reachable
+//! composite state is erroneous, either structurally (contradictory
+//! state interpretations, §2.1 of the paper) or in its data aspects
+//! (a load that can return a stale value, Definitions 3–4).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ccv_core::{verify, Verdict};
+//! use ccv_model::protocols;
+//!
+//! // The paper's §4.0 result: the Illinois protocol is correct for any
+//! // number of caches, with exactly five essential states.
+//! let report = verify(&protocols::illinois());
+//! assert_eq!(report.verdict, Verdict::Verified);
+//! assert_eq!(report.num_essential(), 5);
+//!
+//! // ...and a protocol with a seeded bug is rejected with a
+//! // counterexample path.
+//! let buggy = verify(&protocols::illinois_missing_invalidation());
+//! assert_eq!(buggy.verdict, Verdict::Erroneous);
+//! assert!(buggy.reports[0].path.contains("-->"));
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | paper concept |
+//! |--------|---------------|
+//! | [`rep`] | repetition operators & their interval semantics (Def. 6, §3.2.2) |
+//! | [`fval`] | characteristic-function values `v1/v2/v3` (App. A.1) |
+//! | [`composite`] | composite states, covering, containment (Defs. 7–9) |
+//! | [`istate`] | internalisation/emission between operators and exact intervals |
+//! | [`expand`] | one-step expansion rules (§3.2.3) with data tracking (§2.4) |
+//! | [`check`] | erroneous-state predicates (§2.1, Def. 3) |
+//! | [`engine`] | essential-states worklist (Fig. 3, Def. 10) |
+//! | [`graph`] | global transition diagram (Fig. 4) + DOT export |
+//! | [`verify`](mod@verify) | bundled verification reports |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod check;
+pub mod compare;
+pub mod composite;
+pub mod engine;
+pub mod expand;
+pub mod fval;
+pub mod graph;
+pub mod istate;
+pub mod recovery;
+pub mod rep;
+pub mod verify;
+
+pub use check::{check as check_state, Violation};
+pub use compare::{compare_protocols, DiffReport, Role};
+pub use composite::{ClassKey, Composite};
+pub use engine::{expand as run_expansion, Expansion, NodeId, Options, Pruning};
+pub use expand::{successors, Label, StepError, Transition};
+pub use fval::FVal;
+pub use graph::{global_graph, GlobalGraph, GraphEdge};
+pub use recovery::{analyze_recovery, RecoveryCase, RecoveryReport, Tolerance};
+pub use rep::{Interval, Rep};
+pub use verify::{verify, verify_with, ErrorReport, Verdict, Verification};

@@ -1,0 +1,248 @@
+//! Recovery analysis: which global configurations can a protocol
+//! tolerate?
+//!
+//! The paper verifies reachability from the pristine initial state
+//! `(Invalid⁺)`. A designer also wants to know how *brittle* the
+//! protocol is: if the system ever found itself in some other
+//! configuration — after a partial reset, a dropped message modelled
+//! abstractly, or a state-retention bug — would the protocol recover,
+//! or grind the configuration into a data-consistency violation?
+//!
+//! [`analyze_recovery`] enumerates every canonical composite state
+//! over the protocol's alphabet (fresh-data classes, both memory
+//! freshness values, all repetition operators and feasible `F`
+//! categories), keeps the *structurally permissible* ones, and runs
+//! the expansion from each:
+//!
+//! * **safe** — no violation is reachable: the configuration is inside
+//!   the protocol's tolerated region (this always includes the
+//!   reachable essential states);
+//! * **unsafe** — some erroneous state is reachable: the configuration
+//!   silently violates an invariant the protocol relies on (e.g. clean
+//!   copies with stale memory, which dies at the next replacement).
+//!
+//! The unsafe-but-permissible set is exactly the gap between the
+//! §2.1 structural checks and the protocol's true inductive invariant.
+
+use crate::check::check;
+use crate::composite::{ClassKey, Composite};
+use crate::engine::{expand_from, Options};
+use crate::fval::FVal;
+use crate::istate::internalize;
+use crate::rep::Rep;
+use ccv_model::{MData, ProtocolSpec};
+
+/// Classification of one starting configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tolerance {
+    /// No violation reachable from here.
+    Safe,
+    /// A violation is reachable.
+    Unsafe,
+    /// The expansion hit its visit budget (not observed on the shipped
+    /// protocols; kept for totality).
+    Unknown,
+}
+
+/// One analysed configuration.
+#[derive(Clone, Debug)]
+pub struct RecoveryCase {
+    /// The starting composite state.
+    pub start: Composite,
+    /// Its classification.
+    pub tolerance: Tolerance,
+    /// Whether the configuration is reachable from `(Invalid⁺)` —
+    /// i.e. contained in a reachable essential state.
+    pub reachable: bool,
+}
+
+/// The full recovery report of a protocol.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Protocol name.
+    pub protocol: String,
+    /// Every structurally permissible canonical configuration.
+    pub cases: Vec<RecoveryCase>,
+}
+
+impl RecoveryReport {
+    /// Count of cases with the given tolerance.
+    pub fn count(&self, t: Tolerance) -> usize {
+        self.cases.iter().filter(|c| c.tolerance == t).count()
+    }
+
+    /// The permissible-but-unsafe configurations (the invariant gap).
+    pub fn invariant_gap(&self) -> impl Iterator<Item = &RecoveryCase> {
+        self.cases
+            .iter()
+            .filter(|c| c.tolerance == Tolerance::Unsafe)
+    }
+
+    /// Safe configurations that are *not* reachable from the initial
+    /// state — slack the protocol tolerates but never uses.
+    pub fn tolerated_slack(&self) -> impl Iterator<Item = &RecoveryCase> {
+        self.cases
+            .iter()
+            .filter(|c| c.tolerance == Tolerance::Safe && !c.reachable)
+    }
+}
+
+/// Enumerates every canonical fresh-data composite over the protocol's
+/// states: each valid class gets an operator in `{0, 1, +}` (a `*`
+/// class is the union of its `0` and `+` refinements, so only the
+/// sharper forms are enumerated), the invalid class gets `*`, and
+/// every feasible `F` category and memory freshness is attached.
+fn enumerate_starts(spec: &ProtocolSpec) -> Vec<Composite> {
+    let valid: Vec<_> = spec.valid_states().collect();
+    let reps = [Rep::Zero, Rep::One, Rep::Plus];
+    let mut out = Vec::new();
+    let combos = reps.len().pow(valid.len() as u32);
+    for combo in 0..combos {
+        let mut classes = vec![(ClassKey::invalid(), Rep::Star)];
+        let mut idx = combo;
+        for &v in &valid {
+            let r = reps[idx % reps.len()];
+            idx /= reps.len();
+            if r != Rep::Zero {
+                classes.push((ClassKey::fresh(v), r));
+            }
+        }
+        let fvals: Vec<FVal> = if spec.uses_sharing_detection() {
+            FVal::CATEGORIES.to_vec()
+        } else {
+            vec![FVal::Null]
+        };
+        for f in fvals {
+            for mdata in [MData::Fresh, MData::Obsolete] {
+                let c = Composite::new(classes.clone(), mdata, f);
+                // Keep only configurations whose family is nonempty.
+                if internalize(spec, &c).is_empty() {
+                    continue;
+                }
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the recovery analysis for `spec`.
+pub fn analyze_recovery(spec: &ProtocolSpec, max_visits: usize) -> RecoveryReport {
+    let opts = Options {
+        max_visits,
+        stop_at_first_error: true,
+        ..Options::default()
+    };
+    // Reachable essential states, for the `reachable` flag.
+    let baseline = crate::engine::expand(spec, &Options::default());
+    let essential: Vec<Composite> = baseline.essential_states().into_iter().cloned().collect();
+
+    let mut cases = Vec::new();
+    for start in enumerate_starts(spec) {
+        // Skip structurally impermissible starts: they are already
+        // erroneous, not "configurations the system might be in".
+        if !check(spec, &start).is_empty() {
+            continue;
+        }
+        let reachable = essential.iter().any(|e| start.contained_in(e));
+        let exp = expand_from(spec, start.clone(), &opts);
+        let tolerance = if exp.truncated && exp.errors.is_empty() {
+            Tolerance::Unknown
+        } else if exp.errors.is_empty() {
+            Tolerance::Safe
+        } else {
+            Tolerance::Unsafe
+        };
+        cases.push(RecoveryCase {
+            start,
+            tolerance,
+            reachable,
+        });
+    }
+    RecoveryReport {
+        protocol: spec.name().to_string(),
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_model::protocols;
+
+    #[test]
+    fn reachable_configurations_are_always_safe() {
+        for spec in [protocols::illinois(), protocols::msi(), protocols::dragon()] {
+            let report = analyze_recovery(&spec, 100_000);
+            for c in &report.cases {
+                if c.reachable {
+                    assert_eq!(
+                        c.tolerance,
+                        Tolerance::Safe,
+                        "{}: reachable state {} classified unsafe",
+                        spec.name(),
+                        c.start.render(&spec)
+                    );
+                }
+            }
+            assert_eq!(report.count(Tolerance::Unknown), 0, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn stale_memory_with_only_clean_copies_is_an_invariant_gap() {
+        // (Shared, Inv*) with obsolete memory is structurally
+        // permissible (the copy itself is fresh) but unsafe: the clean
+        // copy is replaced silently and the stale memory then serves a
+        // fill.
+        let spec = protocols::illinois();
+        let report = analyze_recovery(&spec, 100_000);
+        let sh = spec.state_by_name("Shared").unwrap();
+        let gap: Vec<String> = report
+            .invariant_gap()
+            .map(|c| c.start.render(&spec))
+            .collect();
+        assert!(
+            report.invariant_gap().any(|c| {
+                c.start.mdata == MData::Obsolete && c.start.rep_of(ClassKey::fresh(sh)) != Rep::Zero
+            }),
+            "expected a stale-memory Shared configuration in the gap: {gap:?}"
+        );
+    }
+
+    #[test]
+    fn berkeley_tolerates_owner_with_stale_memory_everywhere() {
+        // Berkeley's whole design: an owner with stale memory is a
+        // normal configuration, so every owner-present permissible
+        // start should be safe.
+        let spec = protocols::berkeley();
+        let report = analyze_recovery(&spec, 100_000);
+        let sd = spec.state_by_name("Shared-Dirty").unwrap();
+        for c in &report.cases {
+            if c.start.rep_of(ClassKey::fresh(sd)) == Rep::One && c.start.mdata == MData::Obsolete {
+                assert_eq!(
+                    c.tolerance,
+                    Tolerance::Safe,
+                    "{} should recover",
+                    c.start.render(&spec)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_canonical_and_feasible() {
+        let spec = protocols::illinois();
+        let starts = enumerate_starts(&spec);
+        assert!(!starts.is_empty());
+        for s in &starts {
+            assert!(!internalize(&spec, s).is_empty());
+        }
+        // No duplicates.
+        for (i, a) in starts.iter().enumerate() {
+            for b in &starts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

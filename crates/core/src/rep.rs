@@ -1,0 +1,326 @@
+//! Repetition operators and their interval semantics.
+//!
+//! Definition 6 of the paper introduces the operators `0`, `1` (the
+//! *singleton*), `+` (*plus*) and `*` (*star*) describing how many
+//! caches populate a cache-state class in a composite state. §3.2.2
+//! orders them by the sets of counts they denote: `1 < + < *` and
+//! `0 < *`.
+//!
+//! Internally the engine computes with **exact count intervals**
+//! ([`Interval`]): `0 = [0,0]`, `1 = [1,1]`, `+ = [1,∞)`, `* = [0,∞)`.
+//! Transitions perform exact interval arithmetic (subtract the
+//! originator, add snooped caches) and only *coarsen* back to an
+//! operator when a canonical composite state is emitted. This is what
+//! lets a plain one-step worklist reproduce the paper's N-step
+//! expansion rules (rule 4a/4b of §3.2.3): the interval arithmetic
+//! carries the "how many are left" information the N-step rules exist
+//! to track, and the copy-count category ([`crate::fval::FVal`])
+//! carries the paper's convention that `+` sometimes denotes "at least
+//! two, as recorded by `F`" (§4.0, discussion of state `s3`).
+
+use core::fmt;
+
+/// A repetition operator of Definition 6 (plus the explicit null
+/// instance `0` of footnote 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rep {
+    /// No cache is in the class (`q⁰`). Canonical states omit such
+    /// classes; the variant exists for table defaults and arithmetic.
+    #[default]
+    Zero,
+    /// Exactly one cache (`q¹`, the singleton).
+    One,
+    /// At least one cache (`q⁺`).
+    Plus,
+    /// Any number of caches, including none (`q*`).
+    Star,
+}
+
+impl Rep {
+    /// The information order of §3.2.2: `1 < + < *`, `0 < *`; `0` and
+    /// `1`/`+` are incomparable. Returns `true` iff `self ≤ other`,
+    /// i.e. every count admitted by `self` is admitted by `other`.
+    #[inline]
+    pub fn le(self, other: Rep) -> bool {
+        self.interval().subset_of(other.interval())
+    }
+
+    /// The count interval denoted by the operator.
+    #[inline]
+    pub fn interval(self) -> Interval {
+        match self {
+            Rep::Zero => Interval::exact(0),
+            Rep::One => Interval::exact(1),
+            Rep::Plus => Interval::at_least(1),
+            Rep::Star => Interval::at_least(0),
+        }
+    }
+
+    /// Superscript rendering used in composite states: ``""`` for the
+    /// singleton (the paper omits it), `"+"`, `"*"`.
+    pub fn superscript(self) -> &'static str {
+        match self {
+            Rep::Zero => "⁰",
+            Rep::One => "",
+            Rep::Plus => "+",
+            Rep::Star => "*",
+        }
+    }
+}
+
+impl fmt::Display for Rep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.superscript())
+    }
+}
+
+/// An exact cache-count interval `[lo, hi]` where `hi` is either `lo`
+/// (an *exact* class) or unbounded (a *lo-or-more* class).
+///
+/// Invariant maintained by the engine: every class interval is one of
+/// these two shapes. Internalisation of a canonical state produces
+/// exact or lo-unbounded intervals; subtraction, addition and merging
+/// preserve the shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Minimum number of caches in the class.
+    pub lo: u32,
+    /// If `false`, the class holds exactly `lo` caches; if `true`, any
+    /// count `≥ lo`.
+    pub unbounded: bool,
+}
+
+impl Interval {
+    /// The interval `[n, n]`.
+    #[inline]
+    pub const fn exact(n: u32) -> Interval {
+        Interval {
+            lo: n,
+            unbounded: false,
+        }
+    }
+
+    /// The interval `[n, ∞)`.
+    #[inline]
+    pub const fn at_least(n: u32) -> Interval {
+        Interval {
+            lo: n,
+            unbounded: true,
+        }
+    }
+
+    /// The empty class `[0, 0]`.
+    pub const ZERO: Interval = Interval::exact(0);
+
+    /// True iff the class is certainly empty.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.lo == 0 && !self.unbounded
+    }
+
+    /// True iff the class can be empty.
+    #[inline]
+    pub fn may_be_empty(self) -> bool {
+        self.lo == 0
+    }
+
+    /// True iff the class certainly has at least one cache.
+    #[inline]
+    pub fn certainly_nonempty(self) -> bool {
+        self.lo >= 1
+    }
+
+    /// True iff the class can have at least one cache.
+    #[inline]
+    pub fn may_be_nonempty(self) -> bool {
+        self.lo >= 1 || self.unbounded
+    }
+
+    /// True iff the class can have two or more caches.
+    #[inline]
+    pub fn may_have_two(self) -> bool {
+        self.lo >= 2 || self.unbounded
+    }
+
+    /// True iff every count in `self` is also in `other`.
+    #[inline]
+    pub fn subset_of(self, other: Interval) -> bool {
+        if other.unbounded {
+            self.lo >= other.lo
+        } else {
+            !self.unbounded && self.lo == other.lo
+        }
+    }
+
+    /// Conditions the interval on "at least one cache present" (used
+    /// when a cache of this class originates a transition). Returns
+    /// `None` if the class is certainly empty.
+    #[inline]
+    pub fn condition_nonempty(self) -> Option<Interval> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(Interval {
+                lo: self.lo.max(1),
+                unbounded: self.unbounded,
+            })
+        }
+    }
+
+    /// Conditions the interval on "empty". Returns `None` if the class
+    /// certainly has a cache.
+    #[inline]
+    pub fn condition_empty(self) -> Option<Interval> {
+        if self.lo >= 1 {
+            None
+        } else {
+            Some(Interval::ZERO)
+        }
+    }
+
+    /// Removes one cache (the originator). The caller must have
+    /// conditioned the class nonempty first.
+    #[inline]
+    pub fn minus_one(self) -> Interval {
+        debug_assert!(self.lo >= 1, "minus_one on possibly-empty class");
+        Interval {
+            lo: self.lo - 1,
+            unbounded: self.unbounded,
+        }
+    }
+
+    /// Adds one cache (the originator arriving).
+    #[inline]
+    pub fn plus_one(self) -> Interval {
+        Interval {
+            lo: self.lo + 1,
+            unbounded: self.unbounded,
+        }
+    }
+
+    /// Merges two classes that snooping mapped to the same target
+    /// (aggregation, rule 1 of §3.2.3): counts add.
+    #[inline]
+    pub fn merge(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            unbounded: self.unbounded || other.unbounded,
+        }
+    }
+
+    /// Coarsens the interval to the nearest representable repetition
+    /// operator, per the paper's convention: any class known to hold
+    /// two or more caches is written `+`, with the surplus knowledge
+    /// carried by the characteristic-function value (§4.0).
+    #[inline]
+    pub fn to_rep(self) -> Rep {
+        match (self.lo, self.unbounded) {
+            (0, false) => Rep::Zero,
+            (1, false) => Rep::One,
+            (0, true) => Rep::Star,
+            (_, true) => Rep::Plus,
+            // Exact counts ≥ 2 are not representable; coarsen to Plus.
+            (_, false) => Rep::Plus,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unbounded {
+            write!(f, "[{},∞)", self.lo)
+        } else {
+            write!(f, "[{},{}]", self.lo, self.lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_order_holds() {
+        // 1 < + < *
+        assert!(Rep::One.le(Rep::Plus));
+        assert!(Rep::Plus.le(Rep::Star));
+        assert!(Rep::One.le(Rep::Star));
+        // 0 < *
+        assert!(Rep::Zero.le(Rep::Star));
+        // reflexivity
+        for r in [Rep::Zero, Rep::One, Rep::Plus, Rep::Star] {
+            assert!(r.le(r));
+        }
+        // strictness / incomparability
+        assert!(!Rep::Plus.le(Rep::One));
+        assert!(!Rep::Star.le(Rep::Plus));
+        assert!(!Rep::Zero.le(Rep::One));
+        assert!(!Rep::One.le(Rep::Zero));
+        assert!(!Rep::Zero.le(Rep::Plus));
+        assert!(!Rep::Plus.le(Rep::Zero));
+    }
+
+    #[test]
+    fn roundtrip_rep_interval() {
+        for r in [Rep::Zero, Rep::One, Rep::Plus, Rep::Star] {
+            assert_eq!(r.interval().to_rep(), r);
+        }
+    }
+
+    #[test]
+    fn coarsening_of_exact_counts() {
+        assert_eq!(Interval::exact(2).to_rep(), Rep::Plus);
+        assert_eq!(Interval::exact(5).to_rep(), Rep::Plus);
+        assert_eq!(Interval::at_least(3).to_rep(), Rep::Plus);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let plus = Rep::Plus.interval();
+        assert_eq!(
+            plus.condition_nonempty().unwrap().minus_one(),
+            Interval::at_least(0)
+        );
+        let star = Rep::Star.interval();
+        assert_eq!(
+            star.condition_nonempty().unwrap(),
+            Interval::at_least(1),
+            "conditioning * on nonempty gives +"
+        );
+        assert_eq!(star.condition_empty().unwrap(), Interval::ZERO);
+        assert!(Interval::exact(1).condition_empty().is_none());
+        assert!(Interval::ZERO.condition_nonempty().is_none());
+        assert_eq!(
+            Interval::exact(1).merge(Interval::exact(1)),
+            Interval::exact(2)
+        );
+        assert_eq!(
+            Interval::exact(1).merge(Interval::at_least(0)),
+            Interval::at_least(1)
+        );
+        assert_eq!(Interval::exact(1).plus_one(), Interval::exact(2));
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(Interval::exact(2).subset_of(Interval::at_least(1)));
+        assert!(!Interval::at_least(1).subset_of(Interval::exact(1)));
+        assert!(Interval::exact(1).subset_of(Interval::exact(1)));
+        assert!(!Interval::exact(1).subset_of(Interval::exact(2)));
+        assert!(Interval::at_least(2).subset_of(Interval::at_least(0)));
+        assert!(!Interval::at_least(0).subset_of(Interval::at_least(1)));
+    }
+
+    #[test]
+    fn emptiness_predicates() {
+        assert!(Interval::ZERO.is_zero());
+        assert!(!Interval::at_least(0).is_zero());
+        assert!(Interval::at_least(0).may_be_empty());
+        assert!(Interval::at_least(0).may_be_nonempty());
+        assert!(!Interval::exact(1).may_be_empty());
+        assert!(Interval::at_least(1).certainly_nonempty());
+        assert!(Interval::at_least(0).may_have_two());
+        assert!(!Interval::exact(1).may_have_two());
+        assert!(Interval::exact(2).may_have_two());
+    }
+}

@@ -1,0 +1,177 @@
+//! Top-level verification entry points.
+//!
+//! Bundles the worklist expansion, the permissibility checks and the
+//! global-graph construction into a single report: run
+//! [`verify`] on a [`ProtocolSpec`] and inspect the [`Verdict`].
+
+use crate::check::Violation;
+use crate::engine::{expand, Expansion, Options};
+use crate::expand::StepError;
+use crate::graph::{global_graph, GlobalGraph};
+use ccv_model::ProtocolSpec;
+use core::fmt;
+
+/// Outcome of a verification run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every reachable composite state is permissible and every load
+    /// returns the latest value: the protocol preserves data
+    /// consistency for any number of caches.
+    Verified,
+    /// At least one erroneous state or stale access is reachable.
+    Erroneous,
+    /// The expansion hit its visit cap before reaching a fixpoint
+    /// (never observed on the shipped protocols; a backstop for
+    /// pathological inputs).
+    Inconclusive,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified => f.write_str("VERIFIED"),
+            Verdict::Erroneous => f.write_str("ERRONEOUS"),
+            Verdict::Inconclusive => f.write_str("INCONCLUSIVE"),
+        }
+    }
+}
+
+/// A rendered error finding: what went wrong and a concrete symbolic
+/// path from the initial state.
+#[derive(Clone, Debug)]
+pub struct ErrorReport {
+    /// Human-readable violation descriptions.
+    pub descriptions: Vec<String>,
+    /// The erroneous state, rendered.
+    pub state: String,
+    /// The counterexample path, rendered.
+    pub path: String,
+}
+
+/// A complete verification report.
+#[derive(Clone, Debug)]
+pub struct Verification {
+    /// Name of the verified protocol.
+    pub protocol: String,
+    /// The raw expansion (arena, essential states, visit counts).
+    pub expansion: Expansion,
+    /// The global transition diagram over essential states.
+    pub graph: GlobalGraph,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Rendered error findings (empty iff `verdict == Verified`).
+    pub reports: Vec<ErrorReport>,
+}
+
+impl Verification {
+    /// Number of essential states.
+    pub fn num_essential(&self) -> usize {
+        self.expansion.essential.len()
+    }
+
+    /// Total state visits during expansion.
+    pub fn visits(&self) -> usize {
+        self.expansion.visits
+    }
+
+    /// One-line summary suitable for tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} ({} essential states, {} visits)",
+            self.protocol,
+            self.verdict,
+            self.num_essential(),
+            self.visits()
+        )
+    }
+}
+
+/// Verifies `spec` with default options.
+pub fn verify(spec: &ProtocolSpec) -> Verification {
+    verify_with(spec, &Options::default())
+}
+
+/// Verifies `spec` with explicit engine options.
+pub fn verify_with(spec: &ProtocolSpec, opts: &Options) -> Verification {
+    let expansion = expand(spec, opts);
+    let graph = global_graph(spec, &expansion);
+    let verdict = if expansion.truncated {
+        Verdict::Inconclusive
+    } else if expansion.errors.is_empty() {
+        Verdict::Verified
+    } else {
+        Verdict::Erroneous
+    };
+    let reports = expansion
+        .errors
+        .iter()
+        .map(|f| {
+            let mut descriptions: Vec<String> = f
+                .violations
+                .iter()
+                .map(|v: &Violation| v.describe(spec))
+                .collect();
+            descriptions.extend(f.step_errors.iter().map(|e: &StepError| e.to_string()));
+            ErrorReport {
+                descriptions,
+                state: expansion.nodes[f.node.0].state.render(spec),
+                path: expansion.render_path(spec, f.node),
+            }
+        })
+        .collect();
+    Verification {
+        protocol: spec.name().to_string(),
+        expansion,
+        graph,
+        verdict,
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_model::protocols::{all_buggy, all_correct};
+
+    #[test]
+    fn every_correct_protocol_verifies() {
+        for spec in all_correct() {
+            let v = verify(&spec);
+            assert_eq!(
+                v.verdict,
+                Verdict::Verified,
+                "{} failed: {:?}",
+                spec.name(),
+                v.reports.first().map(|r| (&r.descriptions, &r.path))
+            );
+            assert!(v.num_essential() >= 2, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn every_buggy_mutant_is_rejected() {
+        for (spec, why) in all_buggy() {
+            let v = verify(&spec);
+            assert_eq!(
+                v.verdict,
+                Verdict::Erroneous,
+                "{} should be rejected ({why})",
+                spec.name()
+            );
+            assert!(!v.reports.is_empty());
+            let r = &v.reports[0];
+            assert!(!r.descriptions.is_empty(), "{}", spec.name());
+            assert!(r.path.contains("-->"), "{}: {}", spec.name(), r.path);
+        }
+    }
+
+    #[test]
+    fn summary_mentions_protocol_and_verdict() {
+        let spec = ccv_model::protocols::illinois();
+        let v = verify(&spec);
+        let s = v.summary();
+        assert!(s.contains("Illinois"));
+        assert!(s.contains("VERIFIED"));
+        assert!(s.contains("5 essential states"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Sequential exhaustive state-space search (Figure 2 of the paper).
+//!
+//! The classical reachability baseline the paper improves upon: a
+//! worklist of concrete global states for a **fixed** number of caches
+//! `n`, with a visited set for pruning. Two pruning disciplines are
+//! provided:
+//!
+//! * [`Dedup::Exact`] — prune exact duplicates (the algorithm of
+//!   Figure 2 verbatim);
+//! * [`Dedup::Counting`] — prune up to cache permutation (the counting
+//!   equivalence of Definition 5, §3.1.1), collapsing the `n!`
+//!   symmetric orderings of a tuple.
+//!
+//! The engine reports the number of *state visits* (generated
+//! successors, the `n·k·mⁿ` quantity of §3.1) and the number of
+//! distinct states, and checks every reached state for structural and
+//! data violations — the quantities compared against the symbolic
+//! engine in experiments E4 and E7.
+
+use crate::fxhash::FxHashSet;
+use crate::packed::{PackedState, MAX_CACHES};
+use crate::step::{check_concrete, successors_into, ConcreteStep};
+use ccv_model::{ProcEvent, ProtocolSpec};
+use std::collections::VecDeque;
+
+/// Duplicate-pruning discipline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Dedup {
+    /// Prune exact duplicates only (Figure 2).
+    Exact,
+    /// Prune up to cache permutation (Definition 5).
+    #[default]
+    Counting,
+}
+
+/// Options for an enumeration run.
+#[derive(Clone, Debug)]
+pub struct EnumOptions {
+    /// Number of caches (1 ..= 16).
+    pub n: usize,
+    /// Pruning discipline.
+    pub dedup: Dedup,
+    /// Hard cap on distinct states, as an explosion backstop.
+    pub max_states: usize,
+    /// Stop at the first violation found.
+    pub stop_at_first_error: bool,
+}
+
+impl EnumOptions {
+    /// Default options for `n` caches.
+    pub fn new(n: usize) -> EnumOptions {
+        EnumOptions {
+            n,
+            dedup: Dedup::Counting,
+            max_states: 50_000_000,
+            stop_at_first_error: false,
+        }
+    }
+
+    /// Selects exact-duplicate pruning (chainable).
+    pub fn exact(mut self) -> EnumOptions {
+        self.dedup = Dedup::Exact;
+        self
+    }
+}
+
+/// A violation found during enumeration.
+#[derive(Clone, Debug)]
+pub struct EnumError {
+    /// The offending state.
+    pub state: PackedState,
+    /// Violation descriptions (structural and stale-access).
+    pub descriptions: Vec<String>,
+}
+
+/// Result of an enumeration run.
+#[derive(Clone, Debug)]
+pub struct EnumResult {
+    /// Number of caches.
+    pub n: usize,
+    /// Distinct states reached (after dedup).
+    pub distinct: usize,
+    /// Generated successors (the §3.1 "state visits" metric).
+    pub visits: usize,
+    /// Violations found, in discovery order.
+    pub errors: Vec<EnumError>,
+    /// True if `max_states` was hit.
+    pub truncated: bool,
+}
+
+impl EnumResult {
+    /// True iff the full space was explored without violations.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && !self.truncated
+    }
+}
+
+/// Runs the exhaustive search from the all-invalid initial state.
+pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
+    assert!(
+        opts.n >= 1 && opts.n <= MAX_CACHES,
+        "n must be in 1..={MAX_CACHES}"
+    );
+    assert!(
+        spec.num_states() <= 16,
+        "packed encoding supports at most 16 protocol states"
+    );
+
+    let canon = |s: PackedState| match opts.dedup {
+        Dedup::Exact => s,
+        Dedup::Counting => s.canonical(opts.n),
+    };
+
+    let mut visited: FxHashSet<PackedState> = FxHashSet::default();
+    let mut work: VecDeque<PackedState> = VecDeque::new();
+    let mut errors: Vec<EnumError> = Vec::new();
+    let mut visits = 0usize;
+    let mut truncated = false;
+
+    let init = PackedState::INITIAL;
+    visited.insert(canon(init));
+    let init_violations = check_concrete(spec, init, opts.n);
+    if !init_violations.is_empty() {
+        errors.push(EnumError {
+            state: init,
+            descriptions: init_violations,
+        });
+    }
+    work.push_back(init);
+
+    let mut succ_buf: Vec<ConcreteStep> = Vec::new();
+    'outer: while let Some(current) = work.pop_front() {
+        succ_buf.clear();
+        successors_into(spec, current, opts.n, &mut succ_buf);
+        for s in &succ_buf {
+            visits += 1;
+            let mut descriptions: Vec<String> = s
+                .errors
+                .iter()
+                .map(|e| format!("{e:?} via cache {} {}", s.cache, s.event))
+                .collect();
+            let key = canon(s.to);
+            if visited.insert(key) {
+                descriptions.extend(check_concrete(spec, s.to, opts.n));
+                if visited.len() >= opts.max_states {
+                    truncated = true;
+                    if !descriptions.is_empty() {
+                        errors.push(EnumError {
+                            state: s.to,
+                            descriptions,
+                        });
+                    }
+                    break 'outer;
+                }
+                work.push_back(s.to);
+            }
+            if !descriptions.is_empty() {
+                errors.push(EnumError {
+                    state: s.to,
+                    descriptions,
+                });
+                if opts.stop_at_first_error {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    EnumResult {
+        n: opts.n,
+        distinct: visited.len(),
+        visits,
+        errors,
+        truncated,
+    }
+}
+
+/// Collects the full reachable set (used by the Theorem 1 cross-check).
+/// Always uses exact dedup so that every concrete state is present.
+pub fn reachable_states(spec: &ProtocolSpec, n: usize, max_states: usize) -> Vec<PackedState> {
+    assert!((1..=MAX_CACHES).contains(&n));
+    let mut visited: FxHashSet<PackedState> = FxHashSet::default();
+    let mut work: VecDeque<PackedState> = VecDeque::new();
+    visited.insert(PackedState::INITIAL);
+    work.push_back(PackedState::INITIAL);
+    let mut succ_buf: Vec<ConcreteStep> = Vec::new();
+    while let Some(current) = work.pop_front() {
+        succ_buf.clear();
+        successors_into(spec, current, n, &mut succ_buf);
+        for s in &succ_buf {
+            if visited.insert(s.to) {
+                assert!(
+                    visited.len() <= max_states,
+                    "reachable set exceeded {max_states} states"
+                );
+                work.push_back(s.to);
+            }
+        }
+    }
+    visited.into_iter().collect()
+}
+
+/// Upper bound `mⁿ` on the raw state space of §3.1 (protocol states
+/// only, ignoring the data augmentation), saturating at `usize::MAX`.
+pub fn raw_state_space(spec: &ProtocolSpec, n: usize) -> usize {
+    let m = spec.num_states();
+    let mut acc: usize = 1;
+    for _ in 0..n {
+        acc = acc.saturating_mul(m);
+    }
+    acc
+}
+
+/// The §3.1 lower estimate of exhaustive expansion work: `n · k · mⁿ`.
+pub fn naive_visit_estimate(spec: &ProtocolSpec, n: usize) -> usize {
+    raw_state_space(spec, n)
+        .saturating_mul(n)
+        .saturating_mul(ProcEvent::COUNT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_model::protocols::{illinois, illinois_missing_invalidation, msi};
+
+    #[test]
+    fn illinois_enumeration_is_clean_for_small_n() {
+        let spec = illinois();
+        for n in 1..=4 {
+            let r = enumerate(&spec, &EnumOptions::new(n));
+            assert!(r.is_clean(), "n={n}: {:?}", r.errors.first());
+            assert!(r.distinct >= 2);
+        }
+    }
+
+    #[test]
+    fn counting_dedup_never_exceeds_exact() {
+        let spec = illinois();
+        for n in 1..=4 {
+            let exact = enumerate(&spec, &EnumOptions::new(n).exact());
+            let counting = enumerate(&spec, &EnumOptions::new(n));
+            assert!(
+                counting.distinct <= exact.distinct,
+                "n={n}: counting {} > exact {}",
+                counting.distinct,
+                exact.distinct
+            );
+            assert!(exact.is_clean() && counting.is_clean());
+        }
+    }
+
+    #[test]
+    fn exact_state_count_grows_with_n() {
+        let spec = illinois();
+        let d2 = enumerate(&spec, &EnumOptions::new(2).exact()).distinct;
+        let d3 = enumerate(&spec, &EnumOptions::new(3).exact()).distinct;
+        let d4 = enumerate(&spec, &EnumOptions::new(4).exact()).distinct;
+        assert!(d2 < d3 && d3 < d4, "explosion expected: {d2} {d3} {d4}");
+    }
+
+    #[test]
+    fn counting_state_count_grows_polynomially() {
+        // Counting equivalence should grow much slower than exact.
+        let spec = illinois();
+        let exact5 = enumerate(&spec, &EnumOptions::new(5).exact()).distinct;
+        let count5 = enumerate(&spec, &EnumOptions::new(5)).distinct;
+        assert!(count5 * 4 < exact5, "counting {count5} vs exact {exact5}");
+    }
+
+    #[test]
+    fn buggy_protocol_is_caught_with_two_caches() {
+        let spec = illinois_missing_invalidation();
+        let r = enumerate(&spec, &EnumOptions::new(2));
+        assert!(!r.errors.is_empty());
+    }
+
+    #[test]
+    fn single_cache_systems_are_trivially_clean() {
+        for spec in [msi(), illinois()] {
+            let r = enumerate(&spec, &EnumOptions::new(1));
+            assert!(r.is_clean(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn stop_at_first_error_returns_one() {
+        let spec = illinois_missing_invalidation();
+        let mut opts = EnumOptions::new(3);
+        opts.stop_at_first_error = true;
+        let r = enumerate(&spec, &opts);
+        assert_eq!(r.errors.len(), 1);
+    }
+
+    #[test]
+    fn reachable_states_contains_initial() {
+        let spec = msi();
+        let all = reachable_states(&spec, 2, 1 << 20);
+        assert!(all.contains(&PackedState::INITIAL));
+        assert!(all.len() >= 3);
+    }
+
+    #[test]
+    fn estimates_match_section_3_1() {
+        let spec = illinois(); // m = 4, k = 3
+        assert_eq!(raw_state_space(&spec, 3), 64);
+        assert_eq!(naive_visit_estimate(&spec, 3), 64 * 3 * 3);
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let spec = illinois();
+        let mut opts = EnumOptions::new(4);
+        opts.max_states = 5;
+        let r = enumerate(&spec, &opts);
+        assert!(r.truncated);
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal Fx-style hasher for small integer keys.
+//!
+//! The enumerative engines hash millions of packed `u128` states; the
+//! standard library's SipHash is needlessly slow for this (see the
+//! perf-book guidance on alternative hashers). To stay within the
+//! project's approved dependency set we implement the classic
+//! multiply-rotate Fx hash in ~40 lines rather than pulling in
+//! `rustc-hash`; the algorithm is the one used by the Rust compiler.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Firefox/rustc "Fx" hash: one rotate-xor-multiply per word.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add_to_hash(v as u64);
+        self.add_to_hash((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashSet` keyed by the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+/// `HashMap` keyed by the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let bh = BuildHasherDefault::<FxHasher>::default();
+        bh.hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"state"), hash_of(&"state"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&0u128), hash_of(&(1u128 << 64)));
+        assert_ne!(hash_of(&0u128), hash_of(&1u128));
+    }
+
+    #[test]
+    fn set_and_map_work() {
+        let mut s: FxHashSet<u128> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn byte_stream_hashing_covers_partial_chunks() {
+        // 9 bytes exercises the chunked `write` path.
+        assert_ne!(hash_of(&[0u8; 9][..]), hash_of(&[1u8; 9][..]));
+    }
+}

@@ -1,0 +1,230 @@
+//! Parallel level-synchronous frontier search.
+//!
+//! The state-space explosion that motivates the paper (§3.1) is also a
+//! textbook data-parallel workload: each BFS level's states can be
+//! expanded independently. This engine parallelises the exhaustive
+//! search of `explicit.rs` with `crossbeam` scoped threads and a
+//! sharded visited set behind `parking_lot` mutexes:
+//!
+//! * the frontier is split into near-equal chunks, one per worker;
+//! * each worker expands its chunk, canonicalises successors and
+//!   claims them in the visited shard selected by the state's hash
+//!   (shard count ≫ thread count keeps contention negligible);
+//! * newly claimed states form the worker's slice of the next
+//!   frontier; slices are concatenated at the level barrier.
+//!
+//! The reachable set, distinct-state count and visit count are
+//! identical to the sequential engine's (claiming is atomic per state,
+//! so exactly one worker wins each state); only discovery *order* —
+//! and therefore error ordering — differs. The unit tests assert the
+//! sequential/parallel agreement.
+
+use crate::explicit::{Dedup, EnumError, EnumOptions, EnumResult};
+use crate::fxhash::{FxHashSet, FxHasher};
+use crate::packed::{PackedState, MAX_CACHES};
+use crate::step::{check_concrete, successors_into, ConcreteStep};
+use ccv_model::ProtocolSpec;
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Number of visited-set shards (power of two).
+const SHARDS: usize = 64;
+
+/// A sharded concurrent visited set.
+struct Visited {
+    shards: Vec<Mutex<FxHashSet<PackedState>>>,
+}
+
+impl Visited {
+    fn new() -> Visited {
+        Visited {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashSet::default()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(state: PackedState) -> usize {
+        let mut h = FxHasher::default();
+        state.hash(&mut h);
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+
+    /// Atomically claims `state`; returns `true` iff it was new.
+    fn claim(&self, state: PackedState) -> bool {
+        self.shards[Self::shard_of(state)].lock().insert(state)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Runs the exhaustive search in parallel on `threads` workers.
+///
+/// Produces the same `distinct`/`visits` totals and the same violation
+/// *set* as [`crate::explicit::enumerate`]; error ordering may differ.
+/// `opts.stop_at_first_error` stops at a level boundary (workers finish
+/// their chunk first).
+pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usize) -> EnumResult {
+    assert!(opts.n >= 1 && opts.n <= MAX_CACHES);
+    assert!(threads >= 1);
+
+    let canon = |s: PackedState| match opts.dedup {
+        Dedup::Exact => s,
+        Dedup::Counting => s.canonical(opts.n),
+    };
+
+    let visited = Visited::new();
+    let mut frontier: Vec<PackedState> = Vec::new();
+    let mut errors: Vec<EnumError> = Vec::new();
+    let mut visits = 0usize;
+    let truncated = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+
+    let init = PackedState::INITIAL;
+    visited.claim(canon(init));
+    let init_violations = check_concrete(spec, init, opts.n);
+    if !init_violations.is_empty() {
+        errors.push(EnumError {
+            state: init,
+            descriptions: init_violations,
+        });
+        if opts.stop_at_first_error {
+            stop.store(true, Ordering::Relaxed);
+        }
+    }
+    frontier.push(init);
+
+    while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
+        let chunk_size = frontier.len().div_ceil(threads);
+        let chunks: Vec<&[PackedState]> = frontier.chunks(chunk_size).collect();
+
+        // (next-frontier slice, errors, visit count) per worker.
+        let results: Vec<(Vec<PackedState>, Vec<EnumError>, usize)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        let visited = &visited;
+                        let truncated = &truncated;
+                        scope.spawn(move |_| {
+                            let mut next: Vec<PackedState> = Vec::new();
+                            let mut errs: Vec<EnumError> = Vec::new();
+                            let mut my_visits = 0usize;
+                            let mut buf: Vec<ConcreteStep> = Vec::new();
+                            for &state in *chunk {
+                                buf.clear();
+                                successors_into(spec, state, opts.n, &mut buf);
+                                for s in &buf {
+                                    my_visits += 1;
+                                    let mut descriptions: Vec<String> = s
+                                        .errors
+                                        .iter()
+                                        .map(|e| format!("{e:?} via cache {} {}", s.cache, s.event))
+                                        .collect();
+                                    if visited.claim(canon(s.to)) {
+                                        descriptions.extend(check_concrete(spec, s.to, opts.n));
+                                        next.push(s.to);
+                                    }
+                                    if !descriptions.is_empty() {
+                                        errs.push(EnumError {
+                                            state: s.to,
+                                            descriptions,
+                                        });
+                                    }
+                                }
+                            }
+                            if visited.len() >= opts.max_states {
+                                truncated.store(true, Ordering::Relaxed);
+                            }
+                            (next, errs, my_visits)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("worker panicked");
+
+        frontier.clear();
+        for (next, errs, v) in results {
+            visits += v;
+            if !errs.is_empty() {
+                errors.extend(errs);
+                if opts.stop_at_first_error {
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+            frontier.extend(next);
+        }
+        if truncated.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+
+    EnumResult {
+        n: opts.n,
+        distinct: visited.len(),
+        visits,
+        errors,
+        truncated: truncated.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::enumerate;
+    use ccv_model::protocols::{dragon, illinois, illinois_missing_writeback};
+
+    #[test]
+    fn parallel_matches_sequential_distinct_and_visits() {
+        let spec = illinois();
+        for n in 1..=4 {
+            let seq = enumerate(&spec, &EnumOptions::new(n).exact());
+            for threads in [1, 2, 4] {
+                let par = enumerate_parallel(&spec, &EnumOptions::new(n).exact(), threads);
+                assert_eq!(par.distinct, seq.distinct, "n={n} t={threads}");
+                assert_eq!(par.visits, seq.visits, "n={n} t={threads}");
+                assert!(par.is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_counting_dedup() {
+        let spec = dragon();
+        let seq = enumerate(&spec, &EnumOptions::new(3));
+        let par = enumerate_parallel(&spec, &EnumOptions::new(3), 4);
+        assert_eq!(par.distinct, seq.distinct);
+        assert_eq!(par.visits, seq.visits);
+    }
+
+    #[test]
+    fn parallel_finds_the_same_bugs() {
+        let spec = illinois_missing_writeback();
+        let seq = enumerate(&spec, &EnumOptions::new(3));
+        let par = enumerate_parallel(&spec, &EnumOptions::new(3), 4);
+        assert!(!seq.errors.is_empty());
+        assert!(!par.errors.is_empty());
+        // Same violating state set (order-insensitive).
+        let mut a: Vec<u128> = seq.errors.iter().map(|e| e.state.0).collect();
+        let mut b: Vec<u128> = par.errors.iter().map(|e| e.state.0).collect();
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_thread_parallel_equals_sequential() {
+        let spec = illinois();
+        let seq = enumerate(&spec, &EnumOptions::new(3));
+        let par = enumerate_parallel(&spec, &EnumOptions::new(3), 1);
+        assert_eq!(seq.distinct, par.distinct);
+        assert_eq!(seq.visits, par.visits);
+    }
+}

@@ -1,0 +1,433 @@
+//! Concrete transition semantics over packed global states.
+//!
+//! The explicit-state twin of `ccv-core::expand`: one cache originates
+//! a processor event, the global context is evaluated *exactly* over
+//! the other `n − 1` caches, the bus transaction is snooped by everyone
+//! else, and the data context variables are updated per §2.4 of the
+//! paper. Where the protocol leaves a choice — which of several
+//! eligible caches supplies the block, or which of several
+//! simultaneous write-backs reaches memory last — every resolution is
+//! generated as its own successor, mirroring the symbolic engine's
+//! branching so that the two engines explore the same behaviour
+//! (Theorem 1 cross-check, experiment E7).
+
+use crate::packed::PackedState;
+use ccv_model::{CData, DataOp, GlobalCtx, MData, ProcEvent, ProtocolSpec};
+
+/// A stale access observed while applying a concrete transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConcreteError {
+    /// Cache `cache` read its local copy while it was obsolete.
+    StaleReadHit {
+        /// The offending cache index.
+        cache: usize,
+    },
+    /// Cache `cache` filled a miss from an obsolete source.
+    StaleFill {
+        /// The offending cache index.
+        cache: usize,
+    },
+}
+
+/// One concrete successor: the event that produced it, the new state,
+/// and any stale accesses observed on the way.
+#[derive(Clone, Debug)]
+pub struct ConcreteStep {
+    /// The originating cache.
+    pub cache: usize,
+    /// The processor event.
+    pub event: ProcEvent,
+    /// The successor state.
+    pub to: PackedState,
+    /// Stale accesses during the step.
+    pub errors: Vec<ConcreteError>,
+}
+
+/// Evaluates the characteristic predicates from cache `i`'s
+/// perspective — the paper's sharing-detection function `fᵢ`, computed
+/// exactly.
+pub fn context_of(spec: &ProtocolSpec, gs: PackedState, n: usize, i: usize) -> GlobalCtx {
+    let mut others = false;
+    let mut owner = false;
+    for j in 0..n {
+        if j == i {
+            continue;
+        }
+        let attrs = spec.attrs(gs.state(j));
+        others |= attrs.holds_copy;
+        owner |= attrs.owned;
+    }
+    GlobalCtx {
+        others_hold_copy: others,
+        owner_exists: owner,
+    }
+}
+
+/// Generates every concrete successor of `gs` (for all caches and all
+/// events), appending into `out`. Distinct data-resolution choices that
+/// produce identical successors are deduplicated.
+pub fn successors_into(
+    spec: &ProtocolSpec,
+    gs: PackedState,
+    n: usize,
+    out: &mut Vec<ConcreteStep>,
+) {
+    for i in 0..n {
+        for event in ProcEvent::ALL {
+            if gs.state(i).is_invalid() && event == ProcEvent::Replace {
+                continue;
+            }
+            step_into(spec, gs, n, i, event, out);
+        }
+    }
+}
+
+/// Generates the successors of one `(cache, event)` stimulus.
+pub fn step_into(
+    spec: &ProtocolSpec,
+    gs: PackedState,
+    n: usize,
+    i: usize,
+    event: ProcEvent,
+    out: &mut Vec<ConcreteStep>,
+) {
+    let ctx = context_of(spec, gs, n, i);
+    let outcome = spec.outcome(gs.state(i), event, ctx);
+    let store = outcome.data.is_store();
+
+    // Identify flushers and suppliers among the snooping caches.
+    let mut flushers: Vec<usize> = Vec::new();
+    let mut suppliers: Vec<usize> = Vec::new();
+    if let Some(bus) = outcome.bus {
+        for j in 0..n {
+            if j == i || !spec.attrs(gs.state(j)).holds_copy {
+                continue;
+            }
+            let sn = spec.snoop(gs.state(j), bus);
+            if sn.flushes_to_memory {
+                flushers.push(j);
+            }
+            if sn.supplies_data {
+                suppliers.push(j);
+            }
+        }
+    }
+
+    // Enumerate the "last write-back wins" resolutions.
+    let mdata_choices: Vec<MData> = if flushers.is_empty() {
+        vec![gs.mdata()]
+    } else {
+        let mut v: Vec<MData> = flushers
+            .iter()
+            .map(|&j| match gs.cdata(j) {
+                CData::Fresh => MData::Fresh,
+                CData::Obsolete => MData::Obsolete,
+                CData::NoData => unreachable!("flusher holds a copy"),
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    // Enumerate the fill sources ("arbitrarily choose Cj with a copy").
+    // `None` encodes a memory fill.
+    let source_choices: Vec<Option<usize>> = if outcome.data.is_fill() {
+        if suppliers.is_empty() {
+            vec![None]
+        } else {
+            let mut v: Vec<Option<usize>> = Vec::new();
+            let mut seen: Vec<CData> = Vec::new();
+            for &j in &suppliers {
+                // Suppliers with identical freshness yield identical
+                // successors; keep one representative per freshness.
+                if !seen.contains(&gs.cdata(j)) {
+                    seen.push(gs.cdata(j));
+                    v.push(Some(j));
+                }
+            }
+            v
+        }
+    } else {
+        vec![None]
+    };
+
+    let mut emitted: Vec<PackedState> = Vec::new();
+    for &mdata_after_flush in &mdata_choices {
+        for &source in &source_choices {
+            let mut errors = Vec::new();
+            let mut next = gs.with_mdata(mdata_after_flush);
+
+            // Coincident snoop transitions for every other cache.
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let (target, received) = match outcome.bus {
+                    Some(bus) if !gs.state(j).is_invalid() => {
+                        let sn = spec.snoop(gs.state(j), bus);
+                        (sn.next, sn.receives_update)
+                    }
+                    _ => (gs.state(j), false),
+                };
+                next = next.with_state(j, target);
+                let cd = if !spec.attrs(target).holds_copy {
+                    CData::NoData
+                } else if store {
+                    if received {
+                        CData::Fresh
+                    } else {
+                        CData::Obsolete
+                    }
+                } else {
+                    gs.cdata(j)
+                };
+                next = next.with_cdata(j, cd);
+            }
+
+            // Memory effect of the originator's operation.
+            match outcome.data {
+                DataOp::Write { through, .. } => {
+                    next = next.with_mdata(if through {
+                        MData::Fresh
+                    } else {
+                        MData::Obsolete
+                    });
+                }
+                DataOp::Evict { writeback: true } => {
+                    next = next.with_mdata(match gs.cdata(i) {
+                        CData::Fresh => MData::Fresh,
+                        CData::Obsolete => MData::Obsolete,
+                        CData::NoData => unreachable!("write-back without data"),
+                    });
+                }
+                _ => {}
+            }
+
+            // The originator itself.
+            let fill_cd = source
+                .map(|j| gs.cdata(j))
+                .unwrap_or(mdata_after_flush.as_cdata());
+            let new_cd = match outcome.data {
+                DataOp::Read { fill: false } | DataOp::None => {
+                    if gs.cdata(i) == CData::Obsolete {
+                        errors.push(ConcreteError::StaleReadHit { cache: i });
+                    }
+                    gs.cdata(i)
+                }
+                DataOp::Read { fill: true } => {
+                    if fill_cd == CData::Obsolete {
+                        errors.push(ConcreteError::StaleFill { cache: i });
+                    }
+                    fill_cd
+                }
+                DataOp::Write { fill, .. } => {
+                    if fill && fill_cd == CData::Obsolete {
+                        errors.push(ConcreteError::StaleFill { cache: i });
+                    }
+                    CData::Fresh
+                }
+                DataOp::Evict { .. } => CData::NoData,
+            };
+            next = next.with_state(i, outcome.next);
+            next = next.with_cdata(
+                i,
+                if spec.attrs(outcome.next).holds_copy {
+                    new_cd
+                } else {
+                    CData::NoData
+                },
+            );
+
+            if !emitted.contains(&next) {
+                emitted.push(next);
+                out.push(ConcreteStep {
+                    cache: i,
+                    event,
+                    to: next,
+                    errors,
+                });
+            }
+        }
+    }
+}
+
+/// Structural permissibility of a concrete state (§2.1): no duplicated
+/// exclusive copy, no exclusive copy beside another copy, at most one
+/// owner — plus the Definition 3 predicate (a readable obsolete copy).
+/// Returns human-readable violation descriptions.
+pub fn check_concrete(spec: &ProtocolSpec, gs: PackedState, n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut owners = 0usize;
+    let copies = gs.copies(n, spec);
+    for i in 0..n {
+        let s = gs.state(i);
+        let attrs = spec.attrs(s);
+        if !attrs.holds_copy {
+            continue;
+        }
+        if attrs.owned {
+            owners += 1;
+        }
+        if attrs.exclusive && copies > 1 {
+            out.push(format!(
+                "cache {i} holds exclusive {} but {} copies exist",
+                spec.state(s).name,
+                copies
+            ));
+        }
+        if gs.cdata(i) == CData::Obsolete {
+            out.push(format!(
+                "cache {i} holds a readable obsolete copy in state {}",
+                spec.state(s).name
+            ));
+        }
+    }
+    if owners > 1 {
+        out.push(format!("{owners} owned copies coexist"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_model::protocols::{berkeley, illinois};
+    use ccv_model::StateId;
+
+    fn sid(spec: &ProtocolSpec, name: &str) -> StateId {
+        spec.state_by_name(name).unwrap()
+    }
+
+    #[test]
+    fn context_is_exact() {
+        let spec = illinois();
+        let sh = sid(&spec, "Shared");
+        let d = sid(&spec, "Dirty");
+        let gs = PackedState::INITIAL.with_state(1, sh).with_state(2, d);
+        let ctx = context_of(&spec, gs, 3, 0);
+        assert!(ctx.others_hold_copy && ctx.owner_exists);
+        let ctx2 = context_of(&spec, gs.with_state(2, StateId::INVALID), 3, 0);
+        assert!(ctx2.others_hold_copy && !ctx2.owner_exists);
+        let ctx3 = context_of(&spec, PackedState::INITIAL, 3, 0);
+        assert_eq!(ctx3, GlobalCtx::ALONE);
+    }
+
+    #[test]
+    fn lone_read_fills_valid_exclusive() {
+        let spec = illinois();
+        let mut out = Vec::new();
+        step_into(&spec, PackedState::INITIAL, 2, 0, ProcEvent::Read, &mut out);
+        assert_eq!(out.len(), 1);
+        let s = &out[0];
+        assert_eq!(s.to.state(0), sid(&spec, "V-Ex"));
+        assert_eq!(s.to.cdata(0), CData::Fresh);
+        assert!(s.errors.is_empty());
+    }
+
+    #[test]
+    fn read_miss_next_to_dirty_flushes_and_shares() {
+        let spec = illinois();
+        let d = sid(&spec, "Dirty");
+        let gs = PackedState::INITIAL
+            .with_state(1, d)
+            .with_cdata(1, CData::Fresh)
+            .with_mdata(MData::Obsolete);
+        let mut out = Vec::new();
+        step_into(&spec, gs, 2, 0, ProcEvent::Read, &mut out);
+        assert_eq!(out.len(), 1);
+        let s = &out[0];
+        let sh = sid(&spec, "Shared");
+        assert_eq!(s.to.state(0), sh);
+        assert_eq!(s.to.state(1), sh);
+        assert_eq!(s.to.mdata(), MData::Fresh, "Dirty snooper flushed");
+        assert_eq!(s.to.cdata(0), CData::Fresh);
+        assert!(s.errors.is_empty());
+    }
+
+    #[test]
+    fn write_demotes_unupdated_copies() {
+        // Two Shared copies; cache 0 writes: cache 1 must be
+        // invalidated (Illinois), memory goes obsolete.
+        let spec = illinois();
+        let sh = sid(&spec, "Shared");
+        let gs = PackedState::INITIAL
+            .with_state(0, sh)
+            .with_cdata(0, CData::Fresh)
+            .with_state(1, sh)
+            .with_cdata(1, CData::Fresh);
+        let mut out = Vec::new();
+        step_into(&spec, gs, 2, 0, ProcEvent::Write, &mut out);
+        assert_eq!(out.len(), 1);
+        let s = &out[0];
+        assert_eq!(s.to.state(0), sid(&spec, "Dirty"));
+        assert_eq!(s.to.state(1), StateId::INVALID);
+        assert_eq!(s.to.cdata(1), CData::NoData);
+        assert_eq!(s.to.mdata(), MData::Obsolete);
+    }
+
+    #[test]
+    fn berkeley_owner_supplies_without_flushing() {
+        let spec = berkeley();
+        let sd = sid(&spec, "Shared-Dirty");
+        let gs = PackedState::INITIAL
+            .with_state(1, sd)
+            .with_cdata(1, CData::Fresh)
+            .with_mdata(MData::Obsolete);
+        let mut out = Vec::new();
+        step_into(&spec, gs, 2, 0, ProcEvent::Read, &mut out);
+        assert_eq!(out.len(), 1);
+        let s = &out[0];
+        assert_eq!(s.to.cdata(0), CData::Fresh, "owner supplied fresh data");
+        assert_eq!(s.to.mdata(), MData::Obsolete, "memory not updated");
+        assert!(s.errors.is_empty());
+    }
+
+    #[test]
+    fn stale_fill_is_reported() {
+        // Memory obsolete, no copies anywhere: a read miss fills stale.
+        let spec = illinois();
+        let gs = PackedState::INITIAL.with_mdata(MData::Obsolete);
+        let mut out = Vec::new();
+        step_into(&spec, gs, 2, 0, ProcEvent::Read, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].errors, vec![ConcreteError::StaleFill { cache: 0 }]);
+    }
+
+    #[test]
+    fn successors_skips_replace_of_absent_block() {
+        let spec = illinois();
+        let mut out = Vec::new();
+        successors_into(&spec, PackedState::INITIAL, 2, &mut out);
+        assert!(out.iter().all(|s| s.event != ProcEvent::Replace));
+        // Exactly Read and Write per cache: 4 successors.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn check_concrete_flags_double_dirty() {
+        let spec = illinois();
+        let d = sid(&spec, "Dirty");
+        let gs = PackedState::INITIAL
+            .with_state(0, d)
+            .with_cdata(0, CData::Fresh)
+            .with_state(1, d)
+            .with_cdata(1, CData::Fresh);
+        let v = check_concrete(&spec, gs, 2);
+        assert!(!v.is_empty());
+        assert!(v.iter().any(|m| m.contains("exclusive")));
+        assert!(v.iter().any(|m| m.contains("owned")));
+    }
+
+    #[test]
+    fn check_concrete_passes_clean_states() {
+        let spec = illinois();
+        let sh = sid(&spec, "Shared");
+        let gs = PackedState::INITIAL
+            .with_state(0, sh)
+            .with_cdata(0, CData::Fresh)
+            .with_state(1, sh)
+            .with_cdata(1, CData::Fresh);
+        assert!(check_concrete(&spec, gs, 2).is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! Concrete witnesses for verification failures.
+//!
+//! A symbolic counterexample is a path over composite states — a
+//! *family* of scenarios. For debugging, engineers want one concrete
+//! scenario: "with 2 caches, P0 writes, P1 reads, P0 evicts, P1 reads
+//! stale". This module searches the explicit state space (smallest
+//! machine first) for the shortest concrete path that exhibits a
+//! violation — or that lands in a given symbolic target family — and
+//! renders it as a step-by-step scenario.
+//!
+//! Because the explicit engine shares its transition semantics with
+//! the symbolic one, Theorem 1 guarantees that any violation the
+//! symbolic engine reports within the `n`-cache fragment is findable
+//! here; conversely a witness constitutes independent, replayable
+//! evidence for the symbolic verdict.
+
+use crate::crosscheck::concrete_covered_by;
+use crate::fxhash::FxHashMap;
+use crate::packed::PackedState;
+use crate::step::{check_concrete, successors_into, ConcreteStep};
+use ccv_core::Composite;
+use ccv_model::{ProcEvent, ProtocolSpec};
+use std::collections::VecDeque;
+
+/// One step of a concrete scenario.
+#[derive(Clone, Debug)]
+pub struct WitnessStep {
+    /// Originating cache.
+    pub cache: usize,
+    /// Processor event issued.
+    pub event: ProcEvent,
+    /// Global state after the step.
+    pub after: PackedState,
+    /// Violation descriptions triggered by this step (stale accesses
+    /// and permissibility violations of the resulting state).
+    pub problems: Vec<String>,
+}
+
+/// A concrete counterexample scenario.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Number of caches in the scenario.
+    pub n: usize,
+    /// The steps, starting from the all-invalid state.
+    pub steps: Vec<WitnessStep>,
+}
+
+impl Witness {
+    /// Renders the scenario as a numbered script.
+    pub fn render(&self, spec: &ProtocolSpec) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "witness with {} caches (block initially uncached, memory fresh):",
+            self.n
+        );
+        for (i, s) in self.steps.iter().enumerate() {
+            let action = match s.event {
+                ProcEvent::Read => "reads the block",
+                ProcEvent::Write => "writes the block",
+                ProcEvent::Replace => "evicts the block",
+            };
+            let _ = write!(
+                out,
+                "  {}. P{} {action} -> {}",
+                i + 1,
+                s.cache,
+                s.after.render(self.n, spec)
+            );
+            if !s.problems.is_empty() {
+                let _ = write!(out, "   !! {}", s.problems.join("; "));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// True iff the final step carries violations.
+    pub fn ends_in_violation(&self) -> bool {
+        self.steps.last().is_some_and(|s| !s.problems.is_empty())
+    }
+}
+
+/// BFS over the explicit state space of `n` caches until `accept`
+/// fires for a `(step, problems)` pair; returns the path from the
+/// initial state.
+fn bfs_witness(
+    spec: &ProtocolSpec,
+    n: usize,
+    max_states: usize,
+    mut accept: impl FnMut(&ConcreteStep, &[String]) -> bool,
+) -> Option<Witness> {
+    // parent: state -> (previous state, step, problems)
+    let mut parent: FxHashMap<PackedState, (PackedState, usize, ProcEvent, Vec<String>)> =
+        FxHashMap::default();
+    let mut queue: VecDeque<PackedState> = VecDeque::new();
+    let init = PackedState::INITIAL;
+    parent.insert(init, (init, usize::MAX, ProcEvent::Read, Vec::new()));
+    queue.push_back(init);
+    let mut buf: Vec<ConcreteStep> = Vec::new();
+
+    let reconstruct =
+        |parent: &FxHashMap<PackedState, (PackedState, usize, ProcEvent, Vec<String>)>,
+         mut state: PackedState|
+         -> Vec<WitnessStep> {
+            let mut rev = Vec::new();
+            loop {
+                let (prev, cache, event, problems) = parent.get(&state).expect("linked").clone();
+                if cache == usize::MAX {
+                    break;
+                }
+                rev.push(WitnessStep {
+                    cache,
+                    event,
+                    after: state,
+                    problems,
+                });
+                state = prev;
+            }
+            rev.reverse();
+            rev
+        };
+
+    while let Some(current) = queue.pop_front() {
+        buf.clear();
+        successors_into(spec, current, n, &mut buf);
+        for s in &buf {
+            let mut problems: Vec<String> = s.errors.iter().map(|e| format!("{e:?}")).collect();
+            problems.extend(check_concrete(spec, s.to, n));
+            let is_new = !parent.contains_key(&s.to);
+            if is_new {
+                parent.insert(s.to, (current, s.cache, s.event, problems.clone()));
+            }
+            if accept(s, &problems) {
+                // Accept may fire on an already-known state reached by a
+                // violating transition; link through a fresh key in that
+                // case by reconstructing via the current edge.
+                let mut steps = reconstruct(&parent, current);
+                steps.push(WitnessStep {
+                    cache: s.cache,
+                    event: s.event,
+                    after: s.to,
+                    problems,
+                });
+                return Some(Witness { n, steps });
+            }
+            if is_new {
+                if parent.len() >= max_states {
+                    return None;
+                }
+                queue.push_back(s.to);
+            }
+        }
+    }
+    None
+}
+
+/// Finds the shortest concrete violation scenario, trying machine
+/// sizes `1..=max_n` in order. Returns `None` for correct protocols.
+///
+/// ```
+/// use ccv_enum::find_violation_witness;
+/// use ccv_model::protocols;
+///
+/// // The forgotten-write-back bug shows up on a single cache:
+/// // write, evict (data lost), read stale memory.
+/// let w = find_violation_witness(
+///     &protocols::illinois_missing_writeback(), 4, 1 << 20,
+/// ).expect("a violation scenario exists");
+/// assert_eq!(w.n, 1);
+/// assert!(w.ends_in_violation());
+///
+/// // ...while correct Illinois has none at any tested size.
+/// assert!(find_violation_witness(&protocols::illinois(), 3, 1 << 20).is_none());
+/// ```
+pub fn find_violation_witness(
+    spec: &ProtocolSpec,
+    max_n: usize,
+    max_states: usize,
+) -> Option<Witness> {
+    for n in 1..=max_n {
+        if let Some(w) = bfs_witness(spec, n, max_states, |_, problems| !problems.is_empty()) {
+            return Some(w);
+        }
+    }
+    None
+}
+
+/// Finds the shortest concrete path into the family of `target`
+/// (a symbolic composite state), trying sizes `1..=max_n`.
+pub fn find_state_witness(
+    spec: &ProtocolSpec,
+    target: &Composite,
+    max_n: usize,
+    max_states: usize,
+) -> Option<Witness> {
+    for n in 1..=max_n {
+        if let Some(w) = bfs_witness(spec, n, max_states, |s, _| {
+            concrete_covered_by(spec, s.to, n, target)
+        }) {
+            return Some(w);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_core::{run_expansion, Options};
+    use ccv_model::protocols::{all_buggy, illinois, illinois_missing_writeback};
+
+    #[test]
+    fn correct_protocol_has_no_violation_witness() {
+        assert!(find_violation_witness(&illinois(), 3, 1 << 20).is_none());
+    }
+
+    #[test]
+    fn every_mutant_has_a_violation_witness() {
+        for (spec, why) in all_buggy() {
+            let w = find_violation_witness(&spec, 4, 1 << 20)
+                .unwrap_or_else(|| panic!("{} ({why}): no witness", spec.name()));
+            assert!(w.ends_in_violation(), "{}", spec.name());
+            assert!(!w.steps.is_empty(), "{}", spec.name());
+            // The rendering names every step's processor.
+            let text = w.render(&spec);
+            assert!(text.contains("P0"), "{}: {text}", spec.name());
+        }
+    }
+
+    #[test]
+    fn writeback_witness_is_the_classic_scenario() {
+        // Write, evict (losing the data), read stale.
+        let spec = illinois_missing_writeback();
+        let w = find_violation_witness(&spec, 2, 1 << 20).expect("witness");
+        assert!(
+            w.steps.len() <= 4,
+            "expected a short scenario, got {}",
+            w.steps.len()
+        );
+        assert!(w.steps.iter().any(|s| s.event == ProcEvent::Write));
+        assert!(w
+            .steps
+            .iter()
+            .any(|s| s.event == ProcEvent::Replace || s.event == ProcEvent::Read));
+    }
+
+    #[test]
+    fn every_essential_state_of_illinois_is_concretely_reachable() {
+        // Theorem 1 gives coverage; witnesses give the converse —
+        // every essential family has a concrete member reachable at
+        // small n (the essential states are not over-approximations).
+        let spec = illinois();
+        let exp = run_expansion(&spec, &Options::default());
+        for target in exp.essential_states() {
+            let w = find_state_witness(&spec, target, 3, 1 << 20)
+                .unwrap_or_else(|| panic!("{} unreachable", target.render(&spec)));
+            // Path found; final state is in the family by construction.
+            assert!(w.steps.len() <= 6 || !w.steps.is_empty());
+        }
+    }
+
+    #[test]
+    fn witness_sizes_start_small() {
+        // The missing-writeback bug manifests with a single cache.
+        let spec = illinois_missing_writeback();
+        let w = find_violation_witness(&spec, 4, 1 << 20).unwrap();
+        assert_eq!(w.n, 1, "a uniprocessor already exhibits the bug");
+    }
+}

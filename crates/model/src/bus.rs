@@ -1,0 +1,209 @@
+//! Bus transactions and snoop reactions.
+//!
+//! The paper models the effect of one cache's operation on all other
+//! caches as *coincident transitions* (expansion rule 2, §3.2.3): "all
+//! caches in state `q₁` change state coincidentally following a
+//! transition originated by another cache". In a snooping protocol the
+//! physical mechanism for this is a broadcast **bus transaction**; every
+//! other cache controller *snoops* the transaction and reacts according
+//! to its current state.
+//!
+//! We make the bus transaction explicit in the model because (a) it is
+//! how real protocol specifications are written, (b) it lets one snoop
+//! table serve the symbolic engine, the enumerative engine and the trace
+//! simulator, and (c) data movement (who supplies the block, who flushes
+//! to memory) attaches naturally to the snoop side.
+
+use crate::state::StateId;
+use core::fmt;
+
+/// A broadcast bus transaction, observed by all caches other than the
+/// originator (and by the memory controller).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BusOp {
+    /// Read miss: the originator requests the block for reading
+    /// (`BusRd`). Other caches may supply the block and/or degrade to a
+    /// shared state; an owner may flush to memory.
+    Read,
+    /// Write miss / read-for-ownership: the originator requests the
+    /// block for writing (`BusRdX`). All other copies are invalidated.
+    ReadX,
+    /// Invalidation without data transfer (`BusUpgr`): the originator
+    /// already holds the block and acquires write permission.
+    Upgrade,
+    /// Write-update broadcast (`BusUpd`): the originator distributes the
+    /// newly written word; other caches holding the block update their
+    /// copies in place (Firefly, Dragon).
+    Update,
+    /// Write-back of a modified block to memory (`BusWB`). Snoopers
+    /// ignore it; the memory controller absorbs the data.
+    WriteBack,
+}
+
+impl BusOp {
+    /// All bus operations, in canonical order (dense table index).
+    pub const ALL: [BusOp; 5] = [
+        BusOp::Read,
+        BusOp::ReadX,
+        BusOp::Upgrade,
+        BusOp::Update,
+        BusOp::WriteBack,
+    ];
+
+    /// Number of distinct bus operations.
+    pub const COUNT: usize = 5;
+
+    /// Dense index of this operation in [`BusOp::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            BusOp::Read => 0,
+            BusOp::ReadX => 1,
+            BusOp::Upgrade => 2,
+            BusOp::Update => 3,
+            BusOp::WriteBack => 4,
+        }
+    }
+
+    /// Conventional mnemonic, e.g. `BusRd`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BusOp::Read => "BusRd",
+            BusOp::ReadX => "BusRdX",
+            BusOp::Upgrade => "BusUpgr",
+            BusOp::Update => "BusUpd",
+            BusOp::WriteBack => "BusWB",
+        }
+    }
+}
+
+impl fmt::Display for BusOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The reaction of a snooping cache (in a given state) to a bus
+/// transaction.
+///
+/// This is the per-cache ingredient of the paper's *coincident
+/// transition* rule: when a transaction hits the bus, **every** other
+/// cache in state `q` moves to `next` simultaneously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SnoopOutcome {
+    /// The snooping cache's next state.
+    pub next: StateId,
+    /// The snooping cache supplies the block to the requester
+    /// (cache-to-cache transfer). If several snoopers can supply, the
+    /// protocol semantics say any one of them may; the verifier branches
+    /// over all distinct-freshness suppliers.
+    pub supplies_data: bool,
+    /// The snooping cache writes its copy back to memory as part of this
+    /// transaction (e.g. a Dirty cache flushing on a `BusRd` in Illinois,
+    /// or Synapse's abort-and-write-back).
+    pub flushes_to_memory: bool,
+    /// The snooping cache overwrites its copy with the word carried by
+    /// the transaction (write-update protocols reacting to
+    /// [`BusOp::Update`]).
+    pub receives_update: bool,
+}
+
+impl SnoopOutcome {
+    /// The snooper keeps its state and does nothing.
+    pub const fn ignore(state: StateId) -> SnoopOutcome {
+        SnoopOutcome {
+            next: state,
+            supplies_data: false,
+            flushes_to_memory: false,
+            receives_update: false,
+        }
+    }
+
+    /// The snooper moves to `next` without touching data.
+    pub const fn to(next: StateId) -> SnoopOutcome {
+        SnoopOutcome {
+            next,
+            supplies_data: false,
+            flushes_to_memory: false,
+            receives_update: false,
+        }
+    }
+
+    /// The snooper moves to `next` and supplies the block to the
+    /// requester.
+    pub const fn supply(next: StateId) -> SnoopOutcome {
+        SnoopOutcome {
+            next,
+            supplies_data: true,
+            flushes_to_memory: false,
+            receives_update: false,
+        }
+    }
+
+    /// The snooper moves to `next`, supplies the block, and
+    /// simultaneously updates main memory (Illinois Dirty on `BusRd`).
+    pub const fn supply_and_flush(next: StateId) -> SnoopOutcome {
+        SnoopOutcome {
+            next,
+            supplies_data: true,
+            flushes_to_memory: true,
+            receives_update: false,
+        }
+    }
+
+    /// The snooper moves to `next` and writes its copy back to memory
+    /// without supplying the requester (Synapse abort-and-retry).
+    pub const fn flush(next: StateId) -> SnoopOutcome {
+        SnoopOutcome {
+            next,
+            supplies_data: false,
+            flushes_to_memory: true,
+            receives_update: false,
+        }
+    }
+
+    /// The snooper moves to `next` and absorbs the broadcast update.
+    pub const fn updated(next: StateId) -> SnoopOutcome {
+        SnoopOutcome {
+            next,
+            supplies_data: false,
+            flushes_to_memory: false,
+            receives_update: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, b) in BusOp::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+        assert_eq!(BusOp::ALL.len(), BusOp::COUNT);
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(BusOp::Read.to_string(), "BusRd");
+        assert_eq!(BusOp::ReadX.to_string(), "BusRdX");
+        assert_eq!(BusOp::Upgrade.to_string(), "BusUpgr");
+        assert_eq!(BusOp::Update.to_string(), "BusUpd");
+        assert_eq!(BusOp::WriteBack.to_string(), "BusWB");
+    }
+
+    #[test]
+    fn snoop_constructors() {
+        let s = StateId(2);
+        assert_eq!(SnoopOutcome::ignore(s).next, s);
+        assert!(SnoopOutcome::supply(s).supplies_data);
+        assert!(!SnoopOutcome::supply(s).flushes_to_memory);
+        let sf = SnoopOutcome::supply_and_flush(s);
+        assert!(sf.supplies_data && sf.flushes_to_memory);
+        assert!(SnoopOutcome::flush(s).flushes_to_memory);
+        assert!(!SnoopOutcome::flush(s).supplies_data);
+        assert!(SnoopOutcome::updated(s).receives_update);
+    }
+}

@@ -1,0 +1,96 @@
+//! Strong-connectivity check for the local protocol FSM.
+//!
+//! Definition 1 of the paper requires the cache FSM to be *strongly
+//! connected*: "starting from any given state there exists at least one
+//! path leading to all other states". The edge relation is the union of
+//! all processor-outcome transitions (over every context) and all snoop
+//! reactions to bus operations the protocol actually emits.
+//!
+//! State sets are tiny (|Q| ≤ 8 for every shipped protocol), so a pair
+//! of DFS sweeps (forward from `q0`, backward from `q0`) is plenty.
+
+/// Returns `true` iff the directed graph over `n` nodes with the given
+/// `edges` is strongly connected. Self-loops and duplicate edges are
+/// permitted. An empty graph (`n == 0`) is vacuously connected.
+pub fn strongly_connected(n: usize, edges: &[(usize, usize)]) -> bool {
+    if n <= 1 {
+        return true;
+    }
+    let mut fwd = vec![Vec::new(); n];
+    let mut bwd = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        debug_assert!(a < n && b < n, "edge ({a},{b}) out of range for n={n}");
+        fwd[a].push(b);
+        bwd[b].push(a);
+    }
+    reaches_all(&fwd, n) && reaches_all(&bwd, n)
+}
+
+/// DFS from node 0; true iff every node is visited.
+fn reaches_all(adj: &[Vec<usize>], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1usize;
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                count += 1;
+                stack.push(w);
+            }
+        }
+    }
+    count == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(strongly_connected(0, &[]));
+        assert!(strongly_connected(1, &[]));
+        assert!(strongly_connected(1, &[(0, 0)]));
+    }
+
+    #[test]
+    fn two_cycle_is_connected() {
+        assert!(strongly_connected(2, &[(0, 1), (1, 0)]));
+    }
+
+    #[test]
+    fn one_way_edge_is_not_connected() {
+        assert!(!strongly_connected(2, &[(0, 1)]));
+        assert!(!strongly_connected(2, &[(1, 0)]));
+    }
+
+    #[test]
+    fn ring_is_connected() {
+        let edges: Vec<_> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        assert!(strongly_connected(5, &edges));
+    }
+
+    #[test]
+    fn ring_with_break_is_not_connected() {
+        let edges: Vec<_> = (0..4).map(|i| (i, (i + 1) % 5)).collect();
+        assert!(!strongly_connected(5, &edges));
+    }
+
+    #[test]
+    fn unreachable_island_detected() {
+        // 0 <-> 1 connected, 2 only points in.
+        assert!(!strongly_connected(3, &[(0, 1), (1, 0), (2, 0)]));
+        // ... and 2 only pointed at.
+        assert!(!strongly_connected(3, &[(0, 1), (1, 0), (0, 2)]));
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_ignored() {
+        assert!(strongly_connected(
+            2,
+            &[(0, 0), (0, 1), (0, 1), (1, 1), (1, 0)]
+        ));
+    }
+}

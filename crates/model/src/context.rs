@@ -1,0 +1,151 @@
+//! Global context — the characteristic function `F` of the FSM model.
+//!
+//! Definition 1 of the paper equips the protocol FSM with a
+//! *characteristic function* `F` defined over the global state, so that a
+//! cache's next state may depend not only on its own state and the
+//! processor operation but also on the states of all other caches. The
+//! paper restricts `F` to two cases (§2.1):
+//!
+//! * **null** — transitions depend only on the local state and event
+//!   (Write-Once, Synapse, Berkeley, MSI);
+//! * the **sharing-detection function** — `fᵢ(C₁..Cₙ) = true` iff some
+//!   cache other than `Cᵢ` holds a valid copy (Illinois, Firefly,
+//!   Dragon: a read miss fills `Valid-Exclusive` when the bus's "shared"
+//!   line is not asserted).
+//!
+//! [`GlobalCtx`] is the *evaluation* of those predicates from the
+//! perspective of the originating cache. In addition to the paper's
+//! sharing bit we expose whether an *owned* (dirty) copy exists in
+//! another cache: this never influences the originator's **state**
+//! transition in the protocols considered (it would otherwise be part of
+//! `F`), but it lets the spec builder express data-source distinctions
+//! and lets validation confirm `F`-independence for null-`F` protocols.
+
+use core::fmt;
+
+/// The global context observed by an originating cache, i.e. the value
+/// of the characteristic predicates over all *other* caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalCtx {
+    /// Some other cache holds a valid copy of the block — the paper's
+    /// sharing-detection function `fᵢ` (the hardware "shared" bus line).
+    pub others_hold_copy: bool,
+    /// Some other cache holds an *owned* copy (a copy whose state has
+    /// [`crate::StateAttrs::owned`] set). Implies `others_hold_copy`.
+    pub owner_exists: bool,
+}
+
+impl GlobalCtx {
+    /// No other cache holds the block.
+    pub const ALONE: GlobalCtx = GlobalCtx {
+        others_hold_copy: false,
+        owner_exists: false,
+    };
+
+    /// Other caches hold clean (non-owned) copies.
+    pub const SHARED_CLEAN: GlobalCtx = GlobalCtx {
+        others_hold_copy: true,
+        owner_exists: false,
+    };
+
+    /// Another cache owns the block.
+    pub const OWNED_ELSEWHERE: GlobalCtx = GlobalCtx {
+        others_hold_copy: true,
+        owner_exists: true,
+    };
+
+    /// All *consistent* contexts (`owner_exists ⇒ others_hold_copy`),
+    /// in dense-index order.
+    pub const ALL: [GlobalCtx; 3] = [
+        GlobalCtx::ALONE,
+        GlobalCtx::SHARED_CLEAN,
+        GlobalCtx::OWNED_ELSEWHERE,
+    ];
+
+    /// Number of consistent contexts.
+    pub const COUNT: usize = 3;
+
+    /// Dense index of this context in [`GlobalCtx::ALL`].
+    ///
+    /// # Panics
+    /// Panics on the inconsistent combination
+    /// `(others_hold_copy = false, owner_exists = true)`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match (self.others_hold_copy, self.owner_exists) {
+            (false, false) => 0,
+            (true, false) => 1,
+            (true, true) => 2,
+            (false, true) => panic!("inconsistent GlobalCtx: owner without copy"),
+        }
+    }
+
+    /// True iff this combination satisfies `owner_exists ⇒
+    /// others_hold_copy`.
+    #[inline]
+    pub fn is_consistent(self) -> bool {
+        !self.owner_exists || self.others_hold_copy
+    }
+}
+
+impl fmt::Display for GlobalCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.others_hold_copy, self.owner_exists) {
+            (false, _) => f.write_str("alone"),
+            (true, false) => f.write_str("shared-clean"),
+            (true, true) => f.write_str("owned-elsewhere"),
+        }
+    }
+}
+
+/// Which characteristic function the protocol uses (§2.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Characteristic {
+    /// `F` is null: the originator's next state depends only on its own
+    /// state and the processor event.
+    #[default]
+    Null,
+    /// `F` is the sharing-detection function: the originator's next
+    /// state may additionally depend on whether another valid copy
+    /// exists.
+    SharingDetection,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, c) in GlobalCtx::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(c.is_consistent());
+        }
+    }
+
+    #[test]
+    fn inconsistent_ctx_detected() {
+        let bad = GlobalCtx {
+            others_hold_copy: false,
+            owner_exists: true,
+        };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent GlobalCtx")]
+    fn inconsistent_ctx_panics_on_index() {
+        let bad = GlobalCtx {
+            others_hold_copy: false,
+            owner_exists: true,
+        };
+        let _ = bad.index();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GlobalCtx::ALONE.to_string(), "alone");
+        assert_eq!(GlobalCtx::SHARED_CLEAN.to_string(), "shared-clean");
+        assert_eq!(GlobalCtx::OWNED_ELSEWHERE.to_string(), "owned-elsewhere");
+    }
+}

@@ -1,0 +1,118 @@
+//! Abstract syntax tree for the `.ccv` protocol language.
+//!
+//! The AST is deliberately stringly-typed: name resolution, keyword
+//! validation and semantic checks all happen in [`super::lower`], where
+//! positions are still available for precise error reporting.
+
+use super::lexer::Span;
+
+/// A parsed protocol file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolAst {
+    /// Protocol name.
+    pub name: String,
+    /// `characteristic …;` item, if present (`null` is the default).
+    pub characteristic: Option<(String, Span)>,
+    /// `state …;` declarations, in order (the first must be invalid).
+    pub states: Vec<StateDecl>,
+    /// `from … { … }` blocks.
+    pub froms: Vec<FromBlock>,
+    /// `snoop … { … }` blocks.
+    pub snoops: Vec<SnoopBlock>,
+}
+
+/// `state NAME ('as' SHORT)? attr… ;`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateDecl {
+    /// State name.
+    pub name: String,
+    /// Short display name (defaults to `name`).
+    pub short: Option<String>,
+    /// Attribute keywords (`invalid`, `copy`, `owned`, `exclusive`,
+    /// `silent-write`).
+    pub attrs: Vec<(String, Span)>,
+    /// Position of the declaration.
+    pub span: Span,
+}
+
+/// `from NAME { rule… }`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FromBlock {
+    /// Originating state.
+    pub state: String,
+    /// Rules, in source order (later rules override earlier ones).
+    pub rules: Vec<ProcRule>,
+    /// Position of the block header.
+    pub span: Span,
+}
+
+/// `event (when ctx)? -> NAME (via BUS)? mod… ;`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcRule {
+    /// `read`, `write` or `replace`.
+    pub event: String,
+    /// `alone`, `shared` or `owned`, if given.
+    pub when: Option<(String, Span)>,
+    /// Target state name.
+    pub target: String,
+    /// Bus mnemonic after `via`, if given.
+    pub via: Option<(String, Span)>,
+    /// Modifier keywords (`fill`, `through`, `broadcast`, `writeback`).
+    pub modifiers: Vec<(String, Span)>,
+    /// Position of the rule.
+    pub span: Span,
+    /// Position of the target name (for unknown-state errors).
+    pub target_span: Span,
+}
+
+/// `snoop NAME { rule… }`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnoopBlock {
+    /// Snooping state.
+    pub state: String,
+    /// Rules, in source order.
+    pub rules: Vec<SnoopRule>,
+    /// Position of the block header.
+    pub span: Span,
+}
+
+/// `BUS -> NAME smod… ;`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnoopRule {
+    /// Bus mnemonic.
+    pub bus: String,
+    /// Target state name.
+    pub target: String,
+    /// Modifier keywords (`supply`, `flush`, `update`).
+    pub modifiers: Vec<(String, Span)>,
+    /// Position of the rule.
+    pub span: Span,
+    /// Position of the target name.
+    pub target_span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_are_plain_data() {
+        // Construction sanity — the parser tests exercise the real
+        // shapes; this pins the public field layout.
+        let s = Span { line: 1, col: 1 };
+        let ast = ProtocolAst {
+            name: "P".into(),
+            characteristic: Some(("sharing".into(), s)),
+            states: vec![StateDecl {
+                name: "Invalid".into(),
+                short: None,
+                attrs: vec![("invalid".into(), s)],
+                span: s,
+            }],
+            froms: vec![],
+            snoops: vec![],
+        };
+        assert_eq!(ast.states.len(), 1);
+        assert_eq!(ast.characteristic.as_ref().unwrap().0, "sharing");
+    }
+}

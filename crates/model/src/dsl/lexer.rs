@@ -1,0 +1,231 @@
+//! Tokenizer for the `.ccv` protocol language.
+//!
+//! Tokens are identifiers (which include protocol keywords — the
+//! parser resolves them contextually, so state names like `from` are
+//! the only names off limits), punctuation (`{` `}` `;` `->`), and
+//! end-of-file. `#` comments run to end of line. Identifiers may
+//! contain `-` (state names like `V-Ex`), disambiguated from `->` by
+//! one character of lookahead.
+
+use super::DslError;
+
+/// Source position of a token (1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Line number.
+    pub line: usize,
+    /// Column number.
+    pub col: usize,
+}
+
+/// Kinds of token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `source`; the result always ends with an [`TokenKind::Eof`]
+/// token carrying the final position.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, DslError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let span = Span { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '{' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    span,
+                });
+                bump!();
+            }
+            '}' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    span,
+                });
+                bump!();
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    span,
+                });
+                bump!();
+            }
+            '-' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        span,
+                    });
+                    bump!();
+                    bump!();
+                } else {
+                    return Err(DslError::new(span, "stray '-' (did you mean '->'?)"));
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut s = String::new();
+                while i < chars.len() {
+                    let c = chars[i];
+                    if is_ident_continue(c) {
+                        s.push(c);
+                        bump!();
+                    } else if c == '-' && chars.get(i + 1).copied().is_some_and(is_ident_continue) {
+                        // A '-' inside an identifier (V-Ex, silent-write),
+                        // not the start of an arrow.
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    span,
+                });
+            }
+            other => {
+                return Err(DslError::new(
+                    span,
+                    format!("unexpected character '{other}'"),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span { line, col },
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("a { b ; } ->"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("b".into()),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Arrow,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_identifiers_vs_arrows() {
+        assert_eq!(
+            kinds("V-Ex -> silent-write"),
+            vec![
+                TokenKind::Ident("V-Ex".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("silent-write".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a # comment -> { } ;\nb"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("ab\n  cd").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn stray_dash_is_an_error() {
+        let err = tokenize("a - b").unwrap_err();
+        assert!(err.message.contains("stray"), "{err}");
+        assert_eq!((err.line, err.col), (1, 3));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = tokenize("a $ b").unwrap_err();
+        assert!(err.message.contains('$'), "{err}");
+    }
+
+    #[test]
+    fn trailing_dash_then_digit_continues_ident() {
+        assert_eq!(
+            kinds("n-1"),
+            vec![TokenKind::Ident("n-1".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! Lowering from the `.ccv` AST to a validated [`ProtocolSpec`].
+//!
+//! Name resolution, keyword checking and data-operation inference
+//! happen here, with source positions on every error; the final
+//! semantic validation (complete tables, null-`F` context
+//! independence, data/bus consistency, strong connectivity) is done by
+//! [`SpecBuilder::build`], exactly as for protocols written in Rust.
+
+use super::ast::{ProcRule, ProtocolAst};
+use super::lexer::Span;
+use super::DslError;
+use crate::{
+    BusOp, Characteristic, DataOp, GlobalCtx, Outcome, ProtocolSpec, SnoopOutcome, SpecBuilder,
+    StateAttrs, StateId,
+};
+use std::collections::HashMap;
+
+fn bus_of(name: &str, span: Span) -> Result<BusOp, DslError> {
+    match name {
+        "BusRd" => Ok(BusOp::Read),
+        "BusRdX" => Ok(BusOp::ReadX),
+        "BusUpgr" => Ok(BusOp::Upgrade),
+        "BusUpd" => Ok(BusOp::Update),
+        "BusWB" => Ok(BusOp::WriteBack),
+        other => Err(DslError::new(
+            span,
+            format!(
+                "unknown bus mnemonic '{other}' (expected BusRd, BusRdX, BusUpgr, BusUpd or BusWB)"
+            ),
+        )),
+    }
+}
+
+fn attrs_of(decl: &super::ast::StateDecl) -> Result<StateAttrs, DslError> {
+    let mut invalid = false;
+    let mut attrs = StateAttrs::default();
+    for (a, span) in &decl.attrs {
+        match a.as_str() {
+            "invalid" => invalid = true,
+            "copy" => attrs.holds_copy = true,
+            "owned" => attrs.owned = true,
+            "exclusive" => attrs.exclusive = true,
+            "silent-write" => attrs.writable_silently = true,
+            other => {
+                return Err(DslError::new(
+                    *span,
+                    format!("unknown state attribute '{other}'"),
+                ))
+            }
+        }
+    }
+    if invalid {
+        if attrs != StateAttrs::default() {
+            return Err(DslError::new(
+                decl.span,
+                "'invalid' cannot be combined with other attributes",
+            ));
+        }
+        return Ok(StateAttrs::INVALID);
+    }
+    if !attrs.holds_copy {
+        return Err(DslError::new(
+            decl.span,
+            format!("state '{}' needs 'copy' (or 'invalid')", decl.name),
+        ));
+    }
+    Ok(attrs)
+}
+
+struct ModifierSet {
+    fill: bool,
+    through: bool,
+    broadcast: bool,
+    writeback: bool,
+}
+
+fn proc_modifiers(rule: &ProcRule) -> Result<ModifierSet, DslError> {
+    let mut m = ModifierSet {
+        fill: false,
+        through: false,
+        broadcast: false,
+        writeback: false,
+    };
+    for (word, span) in &rule.modifiers {
+        match word.as_str() {
+            "fill" => m.fill = true,
+            "through" => m.through = true,
+            "broadcast" => m.broadcast = true,
+            "writeback" => m.writeback = true,
+            other => {
+                return Err(DslError::new(
+                    *span,
+                    format!("unknown transition modifier '{other}'"),
+                ))
+            }
+        }
+    }
+    Ok(m)
+}
+
+fn data_op(rule: &ProcRule, m: &ModifierSet) -> Result<DataOp, DslError> {
+    match rule.event.as_str() {
+        "read" => {
+            if m.through || m.broadcast || m.writeback {
+                return Err(DslError::new(
+                    rule.span,
+                    "'through'/'broadcast'/'writeback' are not read modifiers",
+                ));
+            }
+            Ok(DataOp::Read { fill: m.fill })
+        }
+        "write" => {
+            if m.writeback {
+                return Err(DslError::new(
+                    rule.span,
+                    "'writeback' is a replace modifier, not a write modifier",
+                ));
+            }
+            Ok(DataOp::Write {
+                fill: m.fill,
+                through: m.through,
+                broadcast: m.broadcast,
+            })
+        }
+        "replace" => {
+            if m.fill || m.through || m.broadcast {
+                return Err(DslError::new(
+                    rule.span,
+                    "replacements only accept the 'writeback' modifier",
+                ));
+            }
+            Ok(DataOp::Evict {
+                writeback: m.writeback,
+            })
+        }
+        _ => unreachable!("parser validated the event"),
+    }
+}
+
+/// Lowers a parsed protocol to a validated spec.
+pub fn lower(ast: &ProtocolAst) -> Result<ProtocolSpec, DslError> {
+    let top = Span { line: 1, col: 1 };
+
+    // Characteristic.
+    let characteristic = match &ast.characteristic {
+        None => Characteristic::Null,
+        Some((v, span)) => match v.as_str() {
+            "null" => Characteristic::Null,
+            "sharing" => Characteristic::SharingDetection,
+            other => {
+                return Err(DslError::new(
+                    *span,
+                    format!("unknown characteristic '{other}' (expected 'null' or 'sharing')"),
+                ))
+            }
+        },
+    };
+
+    let mut builder = SpecBuilder::new(ast.name.clone()).characteristic(characteristic);
+
+    // States, in declaration order.
+    if ast.states.is_empty() {
+        return Err(DslError::new(top, "a protocol needs at least one state"));
+    }
+    let mut ids: HashMap<&str, StateId> = HashMap::new();
+    for decl in &ast.states {
+        let attrs = attrs_of(decl)?;
+        if ids.contains_key(decl.name.as_str()) {
+            return Err(DslError::new(
+                decl.span,
+                format!("duplicate state '{}'", decl.name),
+            ));
+        }
+        let short = decl.short.clone().unwrap_or_else(|| decl.name.clone());
+        let id = builder.state(decl.name.clone(), short, attrs);
+        ids.insert(decl.name.as_str(), id);
+    }
+    let resolve = |name: &str, span: Span| -> Result<StateId, DslError> {
+        ids.get(name)
+            .copied()
+            .ok_or_else(|| DslError::new(span, format!("unknown state '{name}'")))
+    };
+
+    // Processor rules.
+    for block in &ast.froms {
+        let from = resolve(&block.state, block.span)?;
+        for rule in &block.rules {
+            let target = resolve(&rule.target, rule.target_span)?;
+            let m = proc_modifiers(rule)?;
+            let data = data_op(rule, &m)?;
+            let mut bus = match &rule.via {
+                Some((name, span)) => Some(bus_of(name, *span)?),
+                None => None,
+            };
+            // `replace … writeback` implies the write-back transaction.
+            if bus.is_none() && matches!(data, DataOp::Evict { writeback: true }) {
+                bus = Some(BusOp::WriteBack);
+            }
+            let outcome = Outcome {
+                next: target,
+                bus,
+                data,
+            };
+            let event = match rule.event.as_str() {
+                "read" => crate::ProcEvent::Read,
+                "write" => crate::ProcEvent::Write,
+                _ => crate::ProcEvent::Replace,
+            };
+            match &rule.when {
+                None => {
+                    builder.on(from, event, outcome);
+                }
+                Some((ctx, span)) => match ctx.as_str() {
+                    "alone" => {
+                        builder.on_ctx(from, event, GlobalCtx::ALONE, outcome);
+                    }
+                    "shared" => {
+                        builder.on_ctx(from, event, GlobalCtx::SHARED_CLEAN, outcome);
+                        builder.on_ctx(from, event, GlobalCtx::OWNED_ELSEWHERE, outcome);
+                    }
+                    "owned" => {
+                        builder.on_ctx(from, event, GlobalCtx::OWNED_ELSEWHERE, outcome);
+                    }
+                    other => {
+                        return Err(DslError::new(
+                            *span,
+                            format!(
+                                "unknown context '{other}' (expected 'alone', 'shared' or 'owned')"
+                            ),
+                        ))
+                    }
+                },
+            }
+        }
+    }
+
+    // Snoop rules.
+    for block in &ast.snoops {
+        let state = resolve(&block.state, block.span)?;
+        for rule in &block.rules {
+            let bus = bus_of(&rule.bus, rule.span)?;
+            let target = resolve(&rule.target, rule.target_span)?;
+            let mut outcome = SnoopOutcome::to(target);
+            for (word, span) in &rule.modifiers {
+                match word.as_str() {
+                    "supply" => outcome.supplies_data = true,
+                    "flush" => outcome.flushes_to_memory = true,
+                    "update" => outcome.receives_update = true,
+                    other => {
+                        return Err(DslError::new(
+                            *span,
+                            format!("unknown snoop modifier '{other}'"),
+                        ))
+                    }
+                }
+            }
+            builder.snoop(state, bus, outcome);
+        }
+    }
+
+    builder
+        .build()
+        .map_err(|e| DslError::new(top, format!("invalid protocol: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_protocol;
+
+    #[test]
+    fn sharing_characteristic_is_recognised() {
+        let spec = parse_protocol(
+            "protocol S { characteristic sharing; \
+             state Invalid invalid; state E copy exclusive; state Sh copy; \
+             from Invalid { read when alone -> E via BusRd fill; \
+                            read when shared -> Sh via BusRd fill; \
+                            write -> E via BusRdX fill; replace -> Invalid; } \
+             from E { read -> E; write -> E via BusUpgr; replace -> Invalid; } \
+             from Sh { read -> Sh; write -> E via BusUpgr; replace -> Invalid; } \
+             snoop E { BusRd -> Sh supply; BusRdX -> Invalid; BusUpgr -> Invalid; } \
+             snoop Sh { BusRd -> Sh supply; BusRdX -> Invalid; BusUpgr -> Invalid; } }",
+        )
+        .unwrap();
+        assert!(spec.uses_sharing_detection());
+    }
+
+    #[test]
+    fn writeback_implies_buswb() {
+        let spec = parse_protocol(
+            "protocol W { state Invalid invalid; state M copy owned exclusive silent-write; \
+             from Invalid { read -> M via BusRdX fill; write -> M via BusRdX fill; replace -> Invalid; } \
+             from M { read -> M; write -> M; replace -> Invalid writeback; } \
+             snoop M { BusRdX -> Invalid flush; } }",
+        )
+        .unwrap();
+        let m = spec.state_by_name("M").unwrap();
+        let o = spec.outcome(m, crate::ProcEvent::Replace, GlobalCtx::ALONE);
+        assert_eq!(o.bus, Some(BusOp::WriteBack));
+        assert_eq!(o.data, DataOp::Evict { writeback: true });
+    }
+
+    #[test]
+    fn bad_modifier_placement_is_rejected() {
+        let err = parse_protocol(
+            "protocol B { state Invalid invalid; state V copy; \
+             from Invalid { read -> V via BusRd fill through; } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("read modifiers"), "{err}");
+    }
+
+    #[test]
+    fn valid_state_without_copy_is_rejected() {
+        let err =
+            parse_protocol("protocol B { state Invalid invalid; state V owned; }").unwrap_err();
+        assert!(err.message.contains("'copy'"), "{err}");
+    }
+
+    #[test]
+    fn invalid_with_other_attrs_is_rejected() {
+        let err = parse_protocol("protocol B { state Invalid invalid copy; }").unwrap_err();
+        assert!(err.message.contains("combined"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_state_is_rejected() {
+        let err =
+            parse_protocol("protocol B { state Invalid invalid; state V copy; state V copy; }")
+                .unwrap_err();
+        assert!(err.message.contains("duplicate state"), "{err}");
+    }
+
+    #[test]
+    fn unknown_context_is_rejected() {
+        let err = parse_protocol(
+            "protocol B { state Invalid invalid; state V copy; \
+             from Invalid { read when lonely -> V via BusRd fill; } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("lonely"), "{err}");
+    }
+
+    #[test]
+    fn later_rules_override_earlier_ones() {
+        let spec = parse_protocol(
+            "protocol O { characteristic sharing; \
+             state Invalid invalid; state E copy exclusive; state Sh copy; \
+             from Invalid { read -> Sh via BusRd fill; \
+                            read when alone -> E via BusRd fill; \
+                            write -> E via BusRdX fill; replace -> Invalid; } \
+             from E { read -> E; write -> E via BusUpgr; replace -> Invalid; } \
+             from Sh { read -> Sh; write -> E via BusUpgr; replace -> Invalid; } \
+             snoop E { BusRd -> Sh supply; BusRdX -> Invalid; BusUpgr -> Invalid; } \
+             snoop Sh { BusRd -> Sh supply; BusRdX -> Invalid; BusUpgr -> Invalid; } }",
+        )
+        .unwrap();
+        let e = spec.state_by_name("E").unwrap();
+        let sh = spec.state_by_name("Sh").unwrap();
+        let inv = spec.invalid();
+        assert_eq!(
+            spec.outcome(inv, crate::ProcEvent::Read, GlobalCtx::ALONE)
+                .next,
+            e
+        );
+        assert_eq!(
+            spec.outcome(inv, crate::ProcEvent::Read, GlobalCtx::SHARED_CLEAN)
+                .next,
+            sh
+        );
+    }
+}

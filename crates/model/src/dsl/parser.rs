@@ -1,0 +1,308 @@
+//! Recursive-descent parser for the `.ccv` protocol language.
+
+use super::ast::{FromBlock, ProcRule, ProtocolAst, SnoopBlock, SnoopRule, StateDecl};
+use super::lexer::{Span, Token, TokenKind};
+use super::DslError;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.tokens[self.pos];
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn span(&self) -> Span {
+        self.peek().span
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), DslError> {
+        let span = self.span();
+        match &self.bump().kind {
+            TokenKind::Ident(s) => Ok((s.clone(), span)),
+            other => Err(DslError::new(
+                span,
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<Span, DslError> {
+        let (s, span) = self.expect_ident(&format!("'{kw}'"))?;
+        if s == kw {
+            Ok(span)
+        } else {
+            Err(DslError::new(span, format!("expected '{kw}', found '{s}'")))
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Span, DslError> {
+        let span = self.span();
+        let found = self.bump();
+        if found.kind == kind {
+            Ok(span)
+        } else {
+            Err(DslError::new(
+                span,
+                format!("expected {what}, found {:?}", found.kind),
+            ))
+        }
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(i) if i == s)
+    }
+
+    fn parse_file(&mut self) -> Result<ProtocolAst, DslError> {
+        self.expect_keyword("protocol")?;
+        let (name, _) = self.expect_ident("protocol name")?;
+        self.expect(TokenKind::LBrace, "'{'")?;
+
+        let mut ast = ProtocolAst {
+            name,
+            characteristic: None,
+            states: Vec::new(),
+            froms: Vec::new(),
+            snoops: Vec::new(),
+        };
+
+        loop {
+            let span = self.span();
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Eof => {
+                    return Err(DslError::new(span, "unexpected end of file (missing '}')"))
+                }
+                TokenKind::Ident(kw) => match kw.as_str() {
+                    "characteristic" => {
+                        self.bump();
+                        let (v, vspan) = self.expect_ident("'null' or 'sharing'")?;
+                        if ast.characteristic.is_some() {
+                            return Err(DslError::new(vspan, "duplicate characteristic item"));
+                        }
+                        ast.characteristic = Some((v, vspan));
+                        self.expect(TokenKind::Semi, "';'")?;
+                    }
+                    "state" => {
+                        self.bump();
+                        let (name, nspan) = self.expect_ident("state name")?;
+                        let short = if self.at_ident("as") {
+                            self.bump();
+                            Some(self.expect_ident("short state name")?.0)
+                        } else {
+                            None
+                        };
+                        let mut attrs = Vec::new();
+                        while let TokenKind::Ident(a) = &self.peek().kind {
+                            attrs.push((a.clone(), self.span()));
+                            self.bump();
+                        }
+                        self.expect(TokenKind::Semi, "';'")?;
+                        ast.states.push(StateDecl {
+                            name,
+                            short,
+                            attrs,
+                            span: nspan,
+                        });
+                    }
+                    "from" => {
+                        self.bump();
+                        let (state, sspan) = self.expect_ident("state name")?;
+                        self.expect(TokenKind::LBrace, "'{'")?;
+                        let mut rules = Vec::new();
+                        while !matches!(self.peek().kind, TokenKind::RBrace) {
+                            rules.push(self.parse_proc_rule()?);
+                        }
+                        self.expect(TokenKind::RBrace, "'}'")?;
+                        ast.froms.push(FromBlock {
+                            state,
+                            rules,
+                            span: sspan,
+                        });
+                    }
+                    "snoop" => {
+                        self.bump();
+                        let (state, sspan) = self.expect_ident("state name")?;
+                        self.expect(TokenKind::LBrace, "'{'")?;
+                        let mut rules = Vec::new();
+                        while !matches!(self.peek().kind, TokenKind::RBrace) {
+                            rules.push(self.parse_snoop_rule()?);
+                        }
+                        self.expect(TokenKind::RBrace, "'}'")?;
+                        ast.snoops.push(SnoopBlock {
+                            state,
+                            rules,
+                            span: sspan,
+                        });
+                    }
+                    other => {
+                        return Err(DslError::new(
+                            span,
+                            format!(
+                                "expected 'characteristic', 'state', 'from' or 'snoop', found '{other}'"
+                            ),
+                        ))
+                    }
+                },
+                other => {
+                    return Err(DslError::new(span, format!("unexpected {other:?}")));
+                }
+            }
+        }
+
+        if !matches!(self.peek().kind, TokenKind::Eof) {
+            return Err(DslError::new(
+                self.span(),
+                "trailing input after the protocol block",
+            ));
+        }
+        Ok(ast)
+    }
+
+    fn parse_proc_rule(&mut self) -> Result<ProcRule, DslError> {
+        let span = self.span();
+        let (event, espan) = self.expect_ident("'read', 'write' or 'replace'")?;
+        if !matches!(event.as_str(), "read" | "write" | "replace") {
+            return Err(DslError::new(
+                espan,
+                format!("expected 'read', 'write' or 'replace', found '{event}'"),
+            ));
+        }
+        let when = if self.at_ident("when") {
+            self.bump();
+            Some(self.expect_ident("'alone', 'shared' or 'owned'")?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Arrow, "'->'")?;
+        let target_span = self.span();
+        let (target, _) = self.expect_ident("target state name")?;
+        let via = if self.at_ident("via") {
+            self.bump();
+            Some(self.expect_ident("bus mnemonic")?)
+        } else {
+            None
+        };
+        let mut modifiers = Vec::new();
+        while let TokenKind::Ident(m) = &self.peek().kind {
+            modifiers.push((m.clone(), self.span()));
+            self.bump();
+        }
+        self.expect(TokenKind::Semi, "';'")?;
+        Ok(ProcRule {
+            event,
+            when,
+            target,
+            via,
+            modifiers,
+            span,
+            target_span,
+        })
+    }
+
+    fn parse_snoop_rule(&mut self) -> Result<SnoopRule, DslError> {
+        let span = self.span();
+        let (bus, _) = self.expect_ident("bus mnemonic")?;
+        self.expect(TokenKind::Arrow, "'->'")?;
+        let target_span = self.span();
+        let (target, _) = self.expect_ident("target state name")?;
+        let mut modifiers = Vec::new();
+        while let TokenKind::Ident(m) = &self.peek().kind {
+            modifiers.push((m.clone(), self.span()));
+            self.bump();
+        }
+        self.expect(TokenKind::Semi, "';'")?;
+        Ok(SnoopRule {
+            bus,
+            target,
+            modifiers,
+            span,
+            target_span,
+        })
+    }
+}
+
+/// Parses a token stream into an AST.
+pub fn parse_ast(tokens: &[Token]) -> Result<ProtocolAst, DslError> {
+    debug_assert!(matches!(
+        tokens.last().map(|t| &t.kind),
+        Some(TokenKind::Eof)
+    ));
+    Parser { tokens, pos: 0 }.parse_file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::lexer::tokenize;
+
+    fn parse(src: &str) -> Result<ProtocolAst, DslError> {
+        parse_ast(&tokenize(src).unwrap())
+    }
+
+    #[test]
+    fn parses_structure() {
+        let ast = parse(
+            "protocol P { characteristic sharing; state Invalid invalid; \
+             from Invalid { read when alone -> Invalid via BusRd fill; } \
+             snoop Invalid { BusRd -> Invalid supply; } }",
+        )
+        .unwrap();
+        assert_eq!(ast.name, "P");
+        assert_eq!(ast.characteristic.as_ref().unwrap().0, "sharing");
+        assert_eq!(ast.states.len(), 1);
+        assert_eq!(ast.froms.len(), 1);
+        assert_eq!(ast.snoops.len(), 1);
+        let r = &ast.froms[0].rules[0];
+        assert_eq!(r.event, "read");
+        assert_eq!(r.when.as_ref().unwrap().0, "alone");
+        assert_eq!(r.via.as_ref().unwrap().0, "BusRd");
+        assert_eq!(r.modifiers[0].0, "fill");
+        let s = &ast.snoops[0].rules[0];
+        assert_eq!(s.bus, "BusRd");
+        assert_eq!(s.modifiers[0].0, "supply");
+    }
+
+    #[test]
+    fn rejects_bad_event() {
+        let err = parse("protocol P { from X { fetch -> Y; } }").unwrap_err();
+        assert!(err.message.contains("fetch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_characteristic() {
+        let err = parse("protocol P { characteristic null; characteristic sharing; }").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse("protocol P { state Invalid invalid }").unwrap_err();
+        assert!(err.message.contains("';'"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unclosed_block() {
+        let err = parse("protocol P { state Invalid invalid;").unwrap_err();
+        assert!(err.message.contains("end of file"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_input() {
+        let err = parse("protocol P { } extra").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Pretty-printer: [`ProtocolSpec`] → `.ccv` source.
+//!
+//! The inverse of [`super::parse_protocol`], used by `ccv export` and
+//! by the round-trip property tests (print → parse must reproduce the
+//! spec exactly). Context-dependent outcomes are printed as
+//! `when alone` / `when shared` / `when owned` rules, relying on the
+//! language's later-rule-overrides semantics.
+
+use crate::{BusOp, Characteristic, DataOp, GlobalCtx, Outcome, ProcEvent, ProtocolSpec};
+use std::fmt::Write as _;
+
+fn bus_name(b: BusOp) -> &'static str {
+    b.mnemonic()
+}
+
+fn event_name(e: ProcEvent) -> &'static str {
+    match e {
+        ProcEvent::Read => "read",
+        ProcEvent::Write => "write",
+        ProcEvent::Replace => "replace",
+    }
+}
+
+fn rule_text(spec: &ProtocolSpec, e: ProcEvent, when: Option<&str>, o: &Outcome) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{}", event_name(e));
+    if let Some(w) = when {
+        let _ = write!(s, " when {w}");
+    }
+    let _ = write!(s, " -> {}", spec.state(o.next).name);
+    if let Some(b) = o.bus {
+        let _ = write!(s, " via {}", bus_name(b));
+    }
+    match o.data {
+        DataOp::Read { fill: true } => s.push_str(" fill"),
+        DataOp::Write {
+            fill,
+            through,
+            broadcast,
+        } => {
+            if fill {
+                s.push_str(" fill");
+            }
+            if through {
+                s.push_str(" through");
+            }
+            if broadcast {
+                s.push_str(" broadcast");
+            }
+        }
+        DataOp::Evict { writeback: true } => s.push_str(" writeback"),
+        _ => {}
+    }
+    s.push(';');
+    s
+}
+
+/// Renders `spec` as `.ccv` source text.
+pub fn to_dsl(spec: &ProtocolSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} — exported by ccv; `ccv verify <this file>` re-checks it.",
+        spec.name()
+    );
+    let _ = writeln!(out, "protocol {} {{", sanitize(spec.name()));
+    if spec.characteristic() == Characteristic::SharingDetection {
+        let _ = writeln!(out, "    characteristic sharing;");
+        let _ = writeln!(out);
+    }
+
+    // States.
+    for id in spec.state_ids() {
+        let info = spec.state(id);
+        let short = if info.short != info.name {
+            format!(" as {}", info.short)
+        } else {
+            String::new()
+        };
+        let mut attrs = String::new();
+        if !info.attrs.holds_copy {
+            attrs.push_str(" invalid");
+        } else {
+            attrs.push_str(" copy");
+            if info.attrs.owned {
+                attrs.push_str(" owned");
+            }
+            if info.attrs.exclusive {
+                attrs.push_str(" exclusive");
+            }
+            if info.attrs.writable_silently {
+                attrs.push_str(" silent-write");
+            }
+        }
+        let _ = writeln!(out, "    state {}{short}{attrs};", info.name);
+    }
+
+    // Processor rules.
+    for id in spec.state_ids() {
+        let _ = writeln!(out, "\n    from {} {{", spec.state(id).name);
+        for e in ProcEvent::ALL {
+            let alone = spec.outcome(id, e, GlobalCtx::ALONE);
+            let shared = spec.outcome(id, e, GlobalCtx::SHARED_CLEAN);
+            let owned = spec.outcome(id, e, GlobalCtx::OWNED_ELSEWHERE);
+            if alone == shared && shared == owned {
+                let _ = writeln!(out, "        {}", rule_text(spec, e, None, &alone));
+            } else if shared == owned {
+                let _ = writeln!(out, "        {}", rule_text(spec, e, Some("alone"), &alone));
+                let _ = writeln!(
+                    out,
+                    "        {}",
+                    rule_text(spec, e, Some("shared"), &shared)
+                );
+            } else {
+                let _ = writeln!(out, "        {}", rule_text(spec, e, Some("alone"), &alone));
+                let _ = writeln!(
+                    out,
+                    "        {}",
+                    rule_text(spec, e, Some("shared"), &shared)
+                );
+                let _ = writeln!(out, "        {}", rule_text(spec, e, Some("owned"), &owned));
+            }
+        }
+        let _ = writeln!(out, "    }}");
+    }
+
+    // Snoop rules (skip pure-ignore defaults).
+    for id in spec.state_ids() {
+        let mut rules: Vec<String> = Vec::new();
+        for b in BusOp::ALL {
+            let sn = spec.snoop(id, b);
+            let is_default =
+                sn.next == id && !sn.supplies_data && !sn.flushes_to_memory && !sn.receives_update;
+            if is_default {
+                continue;
+            }
+            let mut r = format!("{} -> {}", bus_name(b), spec.state(sn.next).name);
+            if sn.supplies_data {
+                r.push_str(" supply");
+            }
+            if sn.flushes_to_memory {
+                r.push_str(" flush");
+            }
+            if sn.receives_update {
+                r.push_str(" update");
+            }
+            r.push(';');
+            rules.push(r);
+        }
+        if !rules.is_empty() {
+            let _ = writeln!(out, "\n    snoop {} {{", spec.state(id).name);
+            for r in rules {
+                let _ = writeln!(out, "        {r}");
+            }
+            let _ = writeln!(out, "    }}");
+        }
+    }
+
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Protocol names may contain characters the grammar does not accept
+/// (the buggy mutants use `/`); map them to identifier-safe ones.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols;
+
+    #[test]
+    fn export_contains_all_sections() {
+        let text = to_dsl(&protocols::illinois());
+        assert!(text.contains("protocol Illinois {"));
+        assert!(text.contains("characteristic sharing;"));
+        assert!(text.contains("state Valid-Exclusive as V-Ex copy exclusive;"));
+        assert!(text.contains("from Invalid {"));
+        assert!(text.contains("read when alone -> Valid-Exclusive via BusRd fill;"));
+        assert!(text.contains("snoop Dirty {"));
+        assert!(text.contains("BusRd -> Shared supply flush;"));
+    }
+
+    #[test]
+    fn null_characteristic_is_omitted() {
+        let text = to_dsl(&protocols::msi());
+        assert!(!text.contains("characteristic"));
+    }
+
+    #[test]
+    fn sanitize_replaces_slashes() {
+        assert_eq!(sanitize("Illinois/bug"), "Illinois-bug");
+        assert_eq!(sanitize("A_b-9"), "A_b-9");
+    }
+
+    #[test]
+    fn exported_mutants_reparse() {
+        // Mutant names contain '/', which sanitisation fixes; the spec
+        // itself may be incorrect (that is the point) but must still
+        // parse — buggy protocols are valid *language*, they just fail
+        // *verification*. Mutants that break builder validation
+        // (e.g. a mutated Replace outcome) are expected to be rejected
+        // at lowering; both outcomes are acceptable, panics are not.
+        for (spec, _) in protocols::all_buggy() {
+            let text = to_dsl(&spec);
+            let _ = crate::dsl::parse_protocol(&text);
+        }
+    }
+}

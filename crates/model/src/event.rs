@@ -1,0 +1,77 @@
+//! Processor events — the operation alphabet `Σ` of the protocol FSM.
+//!
+//! Following the paper (§2.3), `Σ = {R, W, Rep}`: the local processor
+//! reads the block, writes the block, or the cache replaces (evicts) it.
+//! All three engines (symbolic, enumerative, trace simulator) drive
+//! protocol transitions exclusively through these events; bus-induced
+//! state changes in *other* caches are the coincident snoop reactions of
+//! [`crate::bus`].
+
+use core::fmt;
+
+/// A processor-initiated operation on the tracked block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProcEvent {
+    /// The local processor loads from the block (`R`).
+    Read,
+    /// The local processor stores to the block (`W`).
+    Write,
+    /// The cache evicts the block (`Rep`), e.g. due to a conflict miss.
+    Replace,
+}
+
+impl ProcEvent {
+    /// All events, in canonical order. The order is stable and matches
+    /// the dense indices used by transition tables.
+    pub const ALL: [ProcEvent; 3] = [ProcEvent::Read, ProcEvent::Write, ProcEvent::Replace];
+
+    /// Number of distinct events (`|Σ|`).
+    pub const COUNT: usize = 3;
+
+    /// Dense index of this event in [`ProcEvent::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ProcEvent::Read => 0,
+            ProcEvent::Write => 1,
+            ProcEvent::Replace => 2,
+        }
+    }
+
+    /// The single-letter label used by the paper in transition diagrams
+    /// (Fig. 4 and Appendix A.2): `R`, `W`, `Z` (the paper uses `Z` for
+    /// replacement in Fig. 4).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcEvent::Read => "R",
+            ProcEvent::Write => "W",
+            ProcEvent::Replace => "Z",
+        }
+    }
+}
+
+impl fmt::Display for ProcEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, e) in ProcEvent::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+        assert_eq!(ProcEvent::ALL.len(), ProcEvent::COUNT);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ProcEvent::Read.to_string(), "R");
+        assert_eq!(ProcEvent::Write.to_string(), "W");
+        assert_eq!(ProcEvent::Replace.to_string(), "Z");
+    }
+}

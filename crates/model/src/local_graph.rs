@@ -1,0 +1,186 @@
+//! The per-cache (local) transition diagram — Figure 1 of the paper.
+//!
+//! The paper introduces the Illinois protocol with its local FSM
+//! diagram "from the perspective of cache `Cᵢ`": solid edges for
+//! processor-induced transitions (labelled with the event and, for
+//! sharing-detection protocols, the observed context) and dashed edges
+//! for bus-induced (snoop) transitions. This module renders that
+//! diagram for any [`ProtocolSpec`], both as an edge list and as
+//! Graphviz DOT.
+
+use crate::{GlobalCtx, ProcEvent, ProtocolSpec, StateId};
+
+/// What induced a local transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// The local processor (solid edges in Fig. 1).
+    Processor,
+    /// A snooped bus transaction (dashed edges in Fig. 1).
+    Snoop,
+}
+
+/// One edge of the local diagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalEdge {
+    /// Source state.
+    pub from: StateId,
+    /// Target state.
+    pub to: StateId,
+    /// Label, e.g. `R(alone)`, `W`, `Z`, `BusRdX`.
+    pub label: String,
+    /// Processor- or snoop-induced.
+    pub kind: EdgeKind,
+}
+
+/// Collects the deduplicated local transition edges of `spec`.
+///
+/// Context-independent processor transitions are labelled with the
+/// bare event; context-dependent ones get one edge per distinct
+/// context outcome, labelled `R(alone)` / `R(shared)` / `R(owned)`.
+/// Snoop edges are emitted only for bus operations the protocol
+/// actually generates, and only when the snooper changes state.
+pub fn local_edges(spec: &ProtocolSpec) -> Vec<LocalEdge> {
+    let mut out: Vec<LocalEdge> = Vec::new();
+    let push = |e: LocalEdge, out: &mut Vec<LocalEdge>| {
+        if !out.contains(&e) {
+            out.push(e);
+        }
+    };
+
+    for s in spec.state_ids() {
+        for e in ProcEvent::ALL {
+            if s.is_invalid() && e == ProcEvent::Replace {
+                continue;
+            }
+            let alone = spec.outcome(s, e, GlobalCtx::ALONE);
+            let shared = spec.outcome(s, e, GlobalCtx::SHARED_CLEAN);
+            let owned = spec.outcome(s, e, GlobalCtx::OWNED_ELSEWHERE);
+            if alone.next == shared.next && shared.next == owned.next {
+                push(
+                    LocalEdge {
+                        from: s,
+                        to: alone.next,
+                        label: e.label().to_string(),
+                        kind: EdgeKind::Processor,
+                    },
+                    &mut out,
+                );
+            } else {
+                for (o, ctx) in [(alone, "alone"), (shared, "shared"), (owned, "owned")] {
+                    push(
+                        LocalEdge {
+                            from: s,
+                            to: o.next,
+                            label: format!("{}({ctx})", e.label()),
+                            kind: EdgeKind::Processor,
+                        },
+                        &mut out,
+                    );
+                }
+            }
+        }
+        if !s.is_invalid() {
+            for &bus in spec.emitted_bus_ops() {
+                let sn = spec.snoop(s, bus);
+                if sn.next != s {
+                    push(
+                        LocalEdge {
+                            from: s,
+                            to: sn.next,
+                            label: bus.mnemonic().to_string(),
+                            kind: EdgeKind::Snoop,
+                        },
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the local diagram as Graphviz DOT, Figure-1 style: solid
+/// processor edges, dashed snoop edges.
+pub fn local_dot(spec: &ProtocolSpec) -> String {
+    use std::fmt::Write as _;
+    let mut dot = String::new();
+    let _ = writeln!(dot, "digraph \"{} (local FSM)\" {{", spec.name());
+    let _ = writeln!(dot, "  node [shape=circle, fontname=\"Helvetica\"];");
+    for s in spec.state_ids() {
+        let _ = writeln!(dot, "  q{} [label=\"{}\"];", s.0, spec.state(s).short);
+    }
+    for e in local_edges(spec) {
+        let style = match e.kind {
+            EdgeKind::Processor => "solid",
+            EdgeKind::Snoop => "dashed",
+        };
+        let _ = writeln!(
+            dot,
+            "  q{} -> q{} [label=\"{}\", style={style}];",
+            e.from.0, e.to.0, e.label
+        );
+    }
+    let _ = writeln!(dot, "}}");
+    dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{illinois, msi};
+
+    fn has(edges: &[LocalEdge], spec: &ProtocolSpec, from: &str, label: &str, to: &str) -> bool {
+        let f = spec.state_by_name(from).unwrap();
+        let t = spec.state_by_name(to).unwrap();
+        edges
+            .iter()
+            .any(|e| e.from == f && e.to == t && e.label == label)
+    }
+
+    #[test]
+    fn illinois_matches_figure_1() {
+        let spec = illinois();
+        let edges = local_edges(&spec);
+        // Processor-induced edges of Fig. 1.
+        assert!(has(&edges, &spec, "Invalid", "R(alone)", "V-Ex"));
+        assert!(has(&edges, &spec, "Invalid", "R(shared)", "Shared"));
+        assert!(has(&edges, &spec, "Invalid", "R(owned)", "Shared"));
+        assert!(has(&edges, &spec, "Invalid", "W", "Dirty"));
+        assert!(has(&edges, &spec, "V-Ex", "W", "Dirty"));
+        assert!(has(&edges, &spec, "V-Ex", "R", "V-Ex"));
+        assert!(has(&edges, &spec, "Shared", "W", "Dirty"));
+        assert!(has(&edges, &spec, "Dirty", "Z", "Invalid"));
+        // Bus-induced (dashed) edges.
+        assert!(has(&edges, &spec, "V-Ex", "BusRd", "Shared"));
+        assert!(has(&edges, &spec, "V-Ex", "BusRdX", "Invalid"));
+        assert!(has(&edges, &spec, "Shared", "BusUpgr", "Invalid"));
+        assert!(has(&edges, &spec, "Dirty", "BusRd", "Shared"));
+        assert!(has(&edges, &spec, "Dirty", "BusRdX", "Invalid"));
+    }
+
+    #[test]
+    fn context_independent_protocols_have_plain_labels() {
+        let spec = msi();
+        let edges = local_edges(&spec);
+        assert!(edges.iter().all(|e| !e.label.contains('(')));
+        assert!(has(&edges, &spec, "Invalid", "R", "Shared"));
+    }
+
+    #[test]
+    fn dot_marks_snoop_edges_dashed() {
+        let spec = illinois();
+        let dot = local_dot(&spec);
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=solid"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn no_replace_edge_from_invalid() {
+        let spec = illinois();
+        let inv = spec.invalid();
+        assert!(local_edges(&spec)
+            .iter()
+            .all(|e| !(e.from == inv && e.label.starts_with('Z'))));
+    }
+}

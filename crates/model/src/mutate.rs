@@ -1,0 +1,254 @@
+//! Exhaustive single-mutation enumeration.
+//!
+//! Generates every protocol obtained from a base protocol by one
+//! "stroke-of-the-pen" editing mistake:
+//!
+//! * redirecting the next state of one processor outcome (per
+//!   context);
+//! * redirecting the next state of one snoop reaction;
+//! * toggling one snoop data flag (`supply` / `flush` / `update`);
+//! * dropping one bus transaction (making a transition silent);
+//! * dropping one replacement write-back.
+//!
+//! The sweep serves two purposes. As **mutation testing of the
+//! verifier** (experiment E10): every mutant must either still verify
+//! — some mutations are genuinely benign or equivalent — or be
+//! rejected with a counterexample; none may crash or diverge. And as
+//! a **design-space probe**: the surviving mutants show which parts of
+//! a protocol are forced and which are free choices (e.g. cache-to-
+//! cache supply of clean blocks is an optimisation, not a correctness
+//! requirement).
+
+use crate::{BusOp, DataOp, GlobalCtx, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, StateId};
+
+/// One generated mutant with a description of the edit.
+#[derive(Clone, Debug)]
+pub struct Mutant {
+    /// What was changed, human-readable.
+    pub description: String,
+    /// The mutated protocol.
+    pub spec: ProtocolSpec,
+}
+
+/// Enumerates every single-edit mutant of `spec`.
+///
+/// Mutants are *well-formed by construction* (they go through the
+/// same override API as the hand-written buggy mutants); edits that
+/// would only change dead table entries (e.g. the context-split of a
+/// null-`F` protocol) are skipped via outcome comparison.
+pub fn single_mutants(spec: &ProtocolSpec) -> Vec<Mutant> {
+    let mut out = Vec::new();
+    let states: Vec<StateId> = spec.state_ids().collect();
+
+    // --- Processor outcome edits -----------------------------------------
+    for &s in &states {
+        for e in ProcEvent::ALL {
+            // Deduplicate contexts that share an outcome so one edit is
+            // one mutant.
+            let mut seen_ctx: Vec<(Outcome, Vec<GlobalCtx>)> = Vec::new();
+            for c in GlobalCtx::ALL {
+                let o = spec.outcome(s, e, c);
+                if let Some(entry) = seen_ctx.iter_mut().find(|(so, _)| *so == o) {
+                    entry.1.push(c);
+                } else {
+                    seen_ctx.push((o, vec![c]));
+                }
+            }
+            for (outcome, ctxs) in seen_ctx {
+                // Redirect the next state.
+                for &target in &states {
+                    if target == outcome.next {
+                        continue;
+                    }
+                    // Replacements must leave the cache; other events
+                    // may be redirected anywhere (including Invalid —
+                    // a "drop the line" bug).
+                    if e == ProcEvent::Replace && spec.attrs(target).holds_copy {
+                        continue;
+                    }
+                    // A write landing in a copy-less state would drop
+                    // the freshly written data on the floor in a way no
+                    // real controller does; skip to keep mutants
+                    // plausible.
+                    if e != ProcEvent::Replace && !spec.attrs(target).holds_copy {
+                        continue;
+                    }
+                    let mut m = spec.clone();
+                    for &c in &ctxs {
+                        m = m.override_outcome(
+                            s,
+                            e,
+                            Some(c),
+                            Outcome {
+                                next: target,
+                                ..outcome
+                            },
+                        );
+                    }
+                    out.push(Mutant {
+                        description: format!(
+                            "{} on {} [{}]: next {} -> {}",
+                            e,
+                            spec.state(s).short,
+                            ctxs.iter()
+                                .map(|c| c.to_string())
+                                .collect::<Vec<_>>()
+                                .join("/"),
+                            spec.state(outcome.next).short,
+                            spec.state(target).short
+                        ),
+                        spec: m.renamed(format!("{}~proc", spec.name())),
+                    });
+                }
+                // Drop the replacement write-back.
+                if let DataOp::Evict { writeback: true } = outcome.data {
+                    let mut m = spec.clone();
+                    for &c in &ctxs {
+                        m = m.override_outcome(s, e, Some(c), Outcome::evict_clean(outcome.next));
+                    }
+                    out.push(Mutant {
+                        description: format!(
+                            "replace on {}: write-back dropped",
+                            spec.state(s).short
+                        ),
+                        spec: m.renamed(format!("{}~wb", spec.name())),
+                    });
+                }
+                // Silence the bus transaction (keep the local effect).
+                if let (Some(bus), false) = (outcome.bus, outcome.data.is_fill()) {
+                    // A fill without a bus is physically impossible;
+                    // everything else can plausibly "forget" to drive
+                    // the bus.
+                    let silenced = Outcome {
+                        bus: None,
+                        data: match outcome.data {
+                            // A broadcast needs its bus; degrade to a
+                            // plain local write.
+                            DataOp::Write { fill, through, .. } => DataOp::Write {
+                                fill,
+                                through,
+                                broadcast: false,
+                            },
+                            other => other,
+                        },
+                        ..outcome
+                    };
+                    let mut m = spec.clone();
+                    for &c in &ctxs {
+                        m = m.override_outcome(s, e, Some(c), silenced);
+                    }
+                    out.push(Mutant {
+                        description: format!(
+                            "{} on {}: bus transaction {bus} dropped",
+                            e,
+                            spec.state(s).short,
+                        ),
+                        spec: m.renamed(format!("{}~silent", spec.name())),
+                    });
+                }
+            }
+        }
+    }
+
+    // --- Snoop edits -------------------------------------------------------
+    let emitted: Vec<BusOp> = spec.emitted_bus_ops().to_vec();
+    for &s in &states {
+        if s == StateId::INVALID {
+            continue;
+        }
+        for &bus in &emitted {
+            let sn = spec.snoop(s, bus);
+            // Redirect the snoop target.
+            for &target in &states {
+                if target == sn.next {
+                    continue;
+                }
+                let m = spec
+                    .clone()
+                    .override_snoop(s, bus, SnoopOutcome { next: target, ..sn });
+                out.push(Mutant {
+                    description: format!(
+                        "snoop {} on {}: next {} -> {}",
+                        spec.state(s).short,
+                        bus,
+                        spec.state(sn.next).short,
+                        spec.state(target).short
+                    ),
+                    spec: m.renamed(format!("{}~snoop", spec.name())),
+                });
+            }
+            // Toggle the data flags.
+            for (flag, name) in [(0, "supply"), (1, "flush"), (2, "update")] {
+                let mut toggled = sn;
+                match flag {
+                    0 => toggled.supplies_data = !toggled.supplies_data,
+                    1 => toggled.flushes_to_memory = !toggled.flushes_to_memory,
+                    _ => toggled.receives_update = !toggled.receives_update,
+                }
+                let m = spec.clone().override_snoop(s, bus, toggled);
+                out.push(Mutant {
+                    description: format!(
+                        "snoop {} on {}: {} toggled",
+                        spec.state(s).short,
+                        bus,
+                        name
+                    ),
+                    spec: m.renamed(format!("{}~flag", spec.name())),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{illinois, msi};
+
+    #[test]
+    fn illinois_has_a_substantial_mutant_population() {
+        let ms = single_mutants(&illinois());
+        assert!(ms.len() > 80, "only {} mutants", ms.len());
+        // All descriptions are distinct enough to identify the edit.
+        for m in &ms {
+            assert!(!m.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn mutants_differ_from_the_base() {
+        let base = msi();
+        for m in single_mutants(&base).into_iter().take(50) {
+            let mut differs = false;
+            for s in base.state_ids() {
+                for e in ProcEvent::ALL {
+                    for c in GlobalCtx::ALL {
+                        differs |= base.outcome(s, e, c) != m.spec.outcome(s, e, c);
+                    }
+                }
+                for b in BusOp::ALL {
+                    differs |= base.snoop(s, b) != m.spec.snoop(s, b);
+                }
+            }
+            assert!(differs, "null mutation: {}", m.description);
+        }
+    }
+
+    #[test]
+    fn replacement_mutants_never_keep_the_block() {
+        for m in single_mutants(&illinois()) {
+            for s in m.spec.state_ids() {
+                for c in GlobalCtx::ALL {
+                    let o = m.spec.outcome(s, ProcEvent::Replace, c);
+                    assert!(
+                        !m.spec.attrs(o.next).holds_copy,
+                        "{}: replacement keeps a copy",
+                        m.description
+                    );
+                }
+            }
+        }
+    }
+}

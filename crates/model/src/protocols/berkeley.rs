@@ -1,0 +1,115 @@
+//! The Berkeley ownership protocol.
+//!
+//! Distinguishes *ownership* from *validity*: the owner of a block
+//! supplies it on misses and is responsible for writing it back; main
+//! memory may remain stale indefinitely while copies circulate cache to
+//! cache. States: `Invalid`, `Valid` (clean, unowned, possibly
+//! replicated), `Shared-Dirty` (owned, possibly replicated), `Dirty`
+//! (owned, only cached copy). Null characteristic function.
+
+use crate::{BusOp, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, SpecBuilder, StateAttrs};
+
+/// Builds the Berkeley protocol.
+pub fn berkeley() -> ProtocolSpec {
+    let mut b = SpecBuilder::new("Berkeley");
+    let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+    let v = b.state("Valid", "V", StateAttrs::SHARED_CLEAN);
+    let sd = b.state("Shared-Dirty", "SD", StateAttrs::OWNED_SHARED);
+    let d = b.state("Dirty", "D", StateAttrs::DIRTY);
+
+    // Invalid.
+    b.on(inv, ProcEvent::Read, Outcome::read_miss(v));
+    b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(d));
+    b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Valid.
+    b.on(v, ProcEvent::Read, Outcome::read_hit(v));
+    b.on(v, ProcEvent::Write, Outcome::write_hit_invalidate(d));
+    b.on(v, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Shared-Dirty: owned — write hit invalidates and concentrates
+    // ownership; replacement must write back.
+    b.on(sd, ProcEvent::Read, Outcome::read_hit(sd));
+    b.on(sd, ProcEvent::Write, Outcome::write_hit_invalidate(d));
+    b.on(sd, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Dirty.
+    b.on(d, ProcEvent::Read, Outcome::read_hit(d));
+    b.on(d, ProcEvent::Write, Outcome::write_hit_silent(d));
+    b.on(d, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Snoop reactions. The owner supplies without updating memory.
+    b.snoop(v, BusOp::Read, SnoopOutcome::to(v));
+    b.snoop(v, BusOp::ReadX, SnoopOutcome::to(inv));
+    b.snoop(v, BusOp::Upgrade, SnoopOutcome::to(inv));
+    b.snoop(sd, BusOp::Read, SnoopOutcome::supply(sd));
+    b.snoop(sd, BusOp::ReadX, SnoopOutcome::supply(inv));
+    b.snoop(sd, BusOp::Upgrade, SnoopOutcome::to(inv));
+    b.snoop(d, BusOp::Read, SnoopOutcome::supply(sd));
+    b.snoop(d, BusOp::ReadX, SnoopOutcome::supply(inv));
+
+    b.build().expect("Berkeley specification must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Characteristic, DataOp, GlobalCtx};
+
+    #[test]
+    fn builds_with_four_states() {
+        let p = berkeley();
+        assert_eq!(p.num_states(), 4);
+        assert_eq!(p.characteristic(), Characteristic::Null);
+    }
+
+    #[test]
+    fn owner_supplies_without_memory_update() {
+        let p = berkeley();
+        for owner in ["Shared-Dirty", "Dirty"] {
+            let s = p.snoop(p.state_by_name(owner).unwrap(), BusOp::Read);
+            assert!(s.supplies_data, "{owner} must supply");
+            assert!(
+                !s.flushes_to_memory,
+                "{owner} must not update memory (the point of Berkeley)"
+            );
+            assert_eq!(s.next, p.state_by_name("Shared-Dirty").unwrap());
+        }
+    }
+
+    #[test]
+    fn ownership_requires_writeback_on_replacement() {
+        let p = berkeley();
+        for owner in ["Shared-Dirty", "Dirty"] {
+            let o = p.outcome(
+                p.state_by_name(owner).unwrap(),
+                ProcEvent::Replace,
+                GlobalCtx::ALONE,
+            );
+            assert_eq!(o.data, DataOp::Evict { writeback: true }, "{owner}");
+            assert_eq!(o.bus, Some(BusOp::WriteBack), "{owner}");
+        }
+        // ... while Valid replacement is silent.
+        let o = p.outcome(
+            p.state_by_name("V").unwrap(),
+            ProcEvent::Replace,
+            GlobalCtx::ALONE,
+        );
+        assert_eq!(o.data, DataOp::Evict { writeback: false });
+    }
+
+    #[test]
+    fn shared_dirty_may_be_replicated_dirty_may_not() {
+        let p = berkeley();
+        let sd = p.state_by_name("Shared-Dirty").unwrap();
+        let d = p.state_by_name("Dirty").unwrap();
+        assert!(p.attrs(sd).owned && !p.attrs(sd).exclusive);
+        assert!(p.attrs(d).owned && p.attrs(d).exclusive);
+    }
+
+    #[test]
+    fn two_owned_states_exist() {
+        let p = berkeley();
+        assert_eq!(p.owned_states().count(), 2);
+    }
+}

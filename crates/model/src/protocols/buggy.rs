@@ -1,0 +1,237 @@
+//! Deliberately incorrect protocol mutants.
+//!
+//! Each mutant introduces one plausible implementation bug into a
+//! correct protocol via the spec mutation API. They are the positive
+//! controls of the verification experiments (E6 in DESIGN.md): a
+//! verifier that accepts any of these is broken. Each docstring states
+//! the seeded bug and the class of erroneous state it should produce
+//! (structural contradiction, data inconsistency, or both).
+
+use super::{berkeley, dragon, firefly, illinois, synapse, write_once};
+use crate::{BusOp, DataOp, GlobalCtx, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome};
+
+/// Illinois, except `Shared` snoopers ignore `BusUpgr`: a write hit on a
+/// shared block no longer invalidates the other copies.
+///
+/// Expected failure: the writer reaches `Dirty` while stale `Shared`
+/// copies survive — both a structural contradiction (`Dirty` is
+/// exclusive) and a data inconsistency (the surviving copies are
+/// obsolete yet readable).
+pub fn illinois_missing_invalidation() -> ProtocolSpec {
+    let p = illinois();
+    let sh = p.state_by_name("Shared").expect("Illinois has Shared");
+    p.override_snoop(sh, BusOp::Upgrade, SnoopOutcome::ignore(sh))
+        .renamed("Illinois/missing-invalidation")
+}
+
+/// Illinois, except a `Dirty` replacement silently drops the block
+/// instead of writing it back.
+///
+/// Expected failure: no structural contradiction — the bug is purely a
+/// data inconsistency. Memory is left obsolete with no cached copy, so
+/// a later read miss fills a readable obsolete copy from memory.
+pub fn illinois_missing_writeback() -> ProtocolSpec {
+    let p = illinois();
+    let d = p.state_by_name("Dirty").expect("Illinois has Dirty");
+    let inv = p.invalid();
+    p.override_outcome(d, ProcEvent::Replace, None, Outcome::evict_clean(inv))
+        .renamed("Illinois/missing-writeback")
+}
+
+/// Illinois, except a read miss always fills `Valid-Exclusive` — the
+/// sharing-detection function is wired to constant *false* (a classic
+/// SharedLine hardware fault).
+///
+/// Expected failure: structural — `Valid-Exclusive` coexists with other
+/// copies.
+pub fn illinois_wrong_exclusive_fill() -> ProtocolSpec {
+    let p = illinois();
+    let inv = p.invalid();
+    let ve = p.state_by_name("V-Ex").expect("Illinois has V-Ex");
+    p.override_outcome(
+        inv,
+        ProcEvent::Read,
+        Some(GlobalCtx::SHARED_CLEAN),
+        Outcome::read_miss(ve),
+    )
+    .override_outcome(
+        inv,
+        ProcEvent::Read,
+        Some(GlobalCtx::OWNED_ELSEWHERE),
+        Outcome::read_miss(ve),
+    )
+    .renamed("Illinois/wrong-exclusive-fill")
+}
+
+/// Illinois, except the `Dirty` snooper supplying a remote read miss
+/// forgets the simultaneous memory update ("both caches end up Shared"
+/// but memory stays stale).
+///
+/// Expected failure: subtle, data-only, and *delayed*: the supplied
+/// copies are fresh, but both are now `Shared` (unowned) and can be
+/// silently replaced, leaving obsolete memory as the only source for
+/// the next fill.
+pub fn illinois_dirty_no_flush_on_read() -> ProtocolSpec {
+    let p = illinois();
+    let d = p.state_by_name("Dirty").expect("Illinois has Dirty");
+    let sh = p.state_by_name("Shared").expect("Illinois has Shared");
+    p.override_snoop(d, BusOp::Read, SnoopOutcome::supply(sh))
+        .renamed("Illinois/dirty-no-flush-on-read")
+}
+
+/// Synapse, except the `Dirty` snooper ignores `BusRd` instead of
+/// aborting, flushing and invalidating itself.
+///
+/// Expected failure: the requester fills from stale memory while a
+/// `Dirty` copy exists — a structural contradiction (`Dirty` is
+/// exclusive) and an immediate data inconsistency.
+pub fn synapse_dirty_ignores_busrd() -> ProtocolSpec {
+    let p = synapse();
+    let d = p.state_by_name("Dirty").expect("Synapse has Dirty");
+    p.override_snoop(d, BusOp::Read, SnoopOutcome::ignore(d))
+        .renamed("Synapse/dirty-ignores-busrd")
+}
+
+/// Berkeley, except a `Shared-Dirty` (owner) replacement drops the
+/// block without writing it back.
+///
+/// Expected failure: data-only. Ownership disappears; the remaining
+/// `Valid` copies are still fresh, but once they too are replaced, a
+/// fill from the never-updated memory returns stale data.
+pub fn berkeley_owner_dropped() -> ProtocolSpec {
+    let p = berkeley();
+    let sd = p.state_by_name("Shared-Dirty").expect("Berkeley has SD");
+    let inv = p.invalid();
+    p.override_outcome(sd, ProcEvent::Replace, None, Outcome::evict_clean(inv))
+        .renamed("Berkeley/owner-dropped")
+}
+
+/// Dragon, except `Shared-Clean` snoopers do not absorb `BusUpd`
+/// broadcasts (they keep their copy unchanged).
+///
+/// Expected failure: data-only and immediate — the stale `Shared-Clean`
+/// copy remains readable right after a remote write.
+pub fn dragon_missing_update() -> ProtocolSpec {
+    let p = dragon();
+    let sc = p.state_by_name("Shared-Clean").expect("Dragon has SC");
+    p.override_snoop(
+        sc,
+        BusOp::Update,
+        SnoopOutcome {
+            next: sc,
+            supplies_data: true,
+            flushes_to_memory: false,
+            receives_update: false, // the bug: the broadcast is dropped
+        },
+    )
+    .renamed("Dragon/missing-update")
+}
+
+/// Firefly, except the broadcast write to a shared block skips the
+/// memory write-through (the update still reaches the other caches).
+///
+/// Expected failure: data-only and delayed. Every cached copy stays
+/// fresh, but `Shared` is a clean state in Firefly — replacements are
+/// silent — so once all copies are evicted, memory (never updated)
+/// serves a stale fill.
+pub fn firefly_missing_writethrough() -> ProtocolSpec {
+    let p = firefly();
+    let sh = p.state_by_name("Shared").expect("Firefly has Shared");
+    let write_no_through = Outcome {
+        next: sh,
+        bus: Some(BusOp::Update),
+        data: DataOp::Write {
+            fill: false,
+            through: false, // the bug: memory is skipped
+            broadcast: true,
+        },
+    };
+    p.override_outcome(
+        sh,
+        ProcEvent::Write,
+        Some(GlobalCtx::SHARED_CLEAN),
+        write_no_through,
+    )
+    .override_outcome(
+        sh,
+        ProcEvent::Write,
+        Some(GlobalCtx::OWNED_ELSEWHERE),
+        write_no_through,
+    )
+    .renamed("Firefly/missing-writethrough")
+}
+
+/// Write-Once, except the first write to a `Valid` block transitions
+/// to `Reserved` *without* the write-through that justifies Reserved's
+/// memory-consistent (clean) status.
+///
+/// Expected failure: data-only and delayed — Reserved replaces
+/// silently, abandoning the only fresh copy.
+pub fn write_once_missing_writethrough() -> ProtocolSpec {
+    let p = write_once();
+    let v = p.state_by_name("Valid").expect("Write-Once has Valid");
+    let r = p
+        .state_by_name("Reserved")
+        .expect("Write-Once has Reserved");
+    p.override_outcome(
+        v,
+        ProcEvent::Write,
+        None,
+        Outcome {
+            next: r,
+            bus: Some(BusOp::Upgrade),
+            data: DataOp::Write {
+                fill: false,
+                through: false, // the bug
+                broadcast: false,
+            },
+        },
+    )
+    .renamed("Write-Once/missing-writethrough")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutants_differ_from_their_parents() {
+        let ill = illinois();
+        let sh = ill.state_by_name("Shared").unwrap();
+        let m = illinois_missing_invalidation();
+        assert_ne!(
+            ill.snoop(sh, BusOp::Upgrade),
+            m.snoop(sh, BusOp::Upgrade),
+            "mutation must actually change the snoop table"
+        );
+        assert_ne!(ill.name(), m.name());
+    }
+
+    #[test]
+    fn writeback_mutant_drops_the_bus_transaction() {
+        let m = illinois_missing_writeback();
+        let d = m.state_by_name("Dirty").unwrap();
+        let o = m.outcome(d, ProcEvent::Replace, GlobalCtx::ALONE);
+        assert_eq!(o.bus, None);
+        // The emitted-bus summary must no longer advertise BusWB.
+        assert!(!m.emitted_bus_ops().contains(&BusOp::WriteBack));
+    }
+
+    #[test]
+    fn wrong_fill_mutant_ignores_sharing() {
+        let m = illinois_wrong_exclusive_fill();
+        let ve = m.state_by_name("V-Ex").unwrap();
+        for c in GlobalCtx::ALL {
+            assert_eq!(m.outcome(m.invalid(), ProcEvent::Read, c).next, ve);
+        }
+    }
+
+    #[test]
+    fn dragon_mutant_keeps_state_but_drops_update() {
+        let m = dragon_missing_update();
+        let sc = m.state_by_name("SC").unwrap();
+        let s = m.snoop(sc, BusOp::Update);
+        assert_eq!(s.next, sc);
+        assert!(!s.receives_update);
+    }
+}

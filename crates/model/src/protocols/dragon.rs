@@ -1,0 +1,232 @@
+//! The Xerox Dragon protocol — write-update with write-back.
+//!
+//! Like Firefly, Dragon never invalidates and relies on the
+//! sharing-detection function (the *SharedLine*), but writes to shared
+//! blocks are **not** written through: the most recent writer owns the
+//! block in state `Shared-Dirty` and is responsible for supplying it and
+//! eventually writing it back. States: `Invalid` (absent),
+//! `Valid-Exclusive` (clean, only cached copy), `Shared-Clean`
+//! (replicated, not owner), `Shared-Dirty` (replicated, owner),
+//! `Dirty` (modified, only cached copy).
+
+use crate::{
+    BusOp, Characteristic, DataOp, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, SpecBuilder,
+    StateAttrs,
+};
+
+/// Builds the Dragon protocol.
+pub fn dragon() -> ProtocolSpec {
+    let mut b = SpecBuilder::new("Dragon").characteristic(Characteristic::SharingDetection);
+    let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+    let ve = b.state("Valid-Exclusive", "V-Ex", StateAttrs::VALID_EXCLUSIVE);
+    let sc = b.state("Shared-Clean", "SC", StateAttrs::SHARED_CLEAN);
+    let sd = b.state("Shared-Dirty", "SD", StateAttrs::OWNED_SHARED);
+    let d = b.state("Dirty", "Dirty", StateAttrs::DIRTY);
+
+    // Invalid. Read miss: owner (if any) supplies without a memory
+    // update; the SharedLine chooses the fill state.
+    b.on_sharing(
+        inv,
+        ProcEvent::Read,
+        Outcome::read_miss(ve),
+        Outcome::read_miss(sc),
+    );
+    // Write miss. Alone: load and write locally. Shared: one atomic
+    // BusUpd carries the fill and the update; the writer becomes the
+    // owner (Shared-Dirty), every other holder absorbs the new value and
+    // degrades/stays Shared-Clean; memory is untouched.
+    b.on_sharing(
+        inv,
+        ProcEvent::Write,
+        Outcome::write_miss_invalidate(d),
+        Outcome {
+            next: sd,
+            bus: Some(BusOp::Update),
+            data: DataOp::Write {
+                fill: true,
+                through: false,
+                broadcast: true,
+            },
+        },
+    );
+    b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Valid-Exclusive.
+    b.on(ve, ProcEvent::Read, Outcome::read_hit(ve));
+    b.on(ve, ProcEvent::Write, Outcome::write_hit_silent(d));
+    b.on(ve, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Shared-Clean: a write broadcasts the update and takes ownership;
+    // with no other copy left the writer is simply Dirty.
+    b.on(sc, ProcEvent::Read, Outcome::read_hit(sc));
+    b.on_sharing(
+        sc,
+        ProcEvent::Write,
+        Outcome::write_hit_update(d, false),
+        Outcome::write_hit_update(sd, false),
+    );
+    b.on(sc, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Shared-Dirty: already the owner; a write refreshes the other
+    // copies (or collapses to Dirty if none remain). Replacement must
+    // write back.
+    b.on(sd, ProcEvent::Read, Outcome::read_hit(sd));
+    b.on_sharing(
+        sd,
+        ProcEvent::Write,
+        Outcome::write_hit_update(d, false),
+        Outcome::write_hit_update(sd, false),
+    );
+    b.on(sd, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Dirty.
+    b.on(d, ProcEvent::Read, Outcome::read_hit(d));
+    b.on(d, ProcEvent::Write, Outcome::write_hit_silent(d));
+    b.on(d, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Snoop reactions.
+    b.snoop(ve, BusOp::Read, SnoopOutcome::supply(sc));
+    b.snoop(sc, BusOp::Read, SnoopOutcome::to(sc)); // owner or memory supplies
+    b.snoop(sd, BusOp::Read, SnoopOutcome::supply(sd)); // owner supplies, stays owner
+    b.snoop(d, BusOp::Read, SnoopOutcome::supply(sd)); // owner supplies, no flush
+
+    // BusUpd: every holder absorbs the new value; a previous owner
+    // (or exclusive holder) hands ownership to the writer and becomes
+    // Shared-Clean.
+    b.snoop(
+        ve,
+        BusOp::Update,
+        SnoopOutcome {
+            next: sc,
+            supplies_data: true,
+            flushes_to_memory: false,
+            receives_update: true,
+        },
+    );
+    b.snoop(
+        sc,
+        BusOp::Update,
+        SnoopOutcome {
+            next: sc,
+            supplies_data: true,
+            flushes_to_memory: false,
+            receives_update: true,
+        },
+    );
+    b.snoop(
+        sd,
+        BusOp::Update,
+        SnoopOutcome {
+            next: sc,
+            supplies_data: true,
+            flushes_to_memory: false,
+            receives_update: true,
+        },
+    );
+    b.snoop(
+        d,
+        BusOp::Update,
+        SnoopOutcome {
+            next: sc,
+            supplies_data: true,
+            flushes_to_memory: false,
+            receives_update: true,
+        },
+    );
+
+    b.build().expect("Dragon specification must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GlobalCtx;
+
+    #[test]
+    fn uses_sharing_detection_with_five_states() {
+        let p = dragon();
+        assert!(p.uses_sharing_detection());
+        assert_eq!(p.num_states(), 5);
+    }
+
+    #[test]
+    fn shared_writes_do_not_touch_memory() {
+        let p = dragon();
+        let sc = p.state_by_name("Shared-Clean").unwrap();
+        let o = p.outcome(sc, ProcEvent::Write, GlobalCtx::SHARED_CLEAN);
+        match o.data {
+            DataOp::Write {
+                through, broadcast, ..
+            } => {
+                assert!(!through, "Dragon is write-back: no memory update");
+                assert!(broadcast);
+            }
+            other => panic!("expected a write, got {other:?}"),
+        }
+        assert_eq!(o.next, p.state_by_name("Shared-Dirty").unwrap());
+    }
+
+    #[test]
+    fn writer_takes_ownership_previous_owner_degrades() {
+        let p = dragon();
+        let sd = p.state_by_name("Shared-Dirty").unwrap();
+        let s = p.snoop(sd, BusOp::Update);
+        assert_eq!(s.next, p.state_by_name("Shared-Clean").unwrap());
+        assert!(s.receives_update);
+    }
+
+    #[test]
+    fn owner_supplies_on_read_miss_without_flushing() {
+        let p = dragon();
+        for owner in ["Shared-Dirty", "Dirty"] {
+            let s = p.snoop(p.state_by_name(owner).unwrap(), BusOp::Read);
+            assert!(s.supplies_data, "{owner}");
+            assert!(
+                !s.flushes_to_memory,
+                "{owner}: Dragon never flushes on a read miss"
+            );
+            assert_eq!(s.next, p.state_by_name("Shared-Dirty").unwrap(), "{owner}");
+        }
+    }
+
+    #[test]
+    fn nothing_is_ever_invalidated() {
+        let p = dragon();
+        for s in p.valid_states() {
+            for bus in BusOp::ALL {
+                assert_ne!(p.snoop(s, bus).next, p.invalid());
+            }
+        }
+    }
+
+    #[test]
+    fn lone_writer_collapses_to_dirty() {
+        let p = dragon();
+        for st in ["Shared-Clean", "Shared-Dirty"] {
+            let o = p.outcome(
+                p.state_by_name(st).unwrap(),
+                ProcEvent::Write,
+                GlobalCtx::ALONE,
+            );
+            assert_eq!(o.next, p.state_by_name("Dirty").unwrap(), "{st}");
+        }
+    }
+
+    #[test]
+    fn replacement_writeback_only_for_owners() {
+        let p = dragon();
+        for (st, wb) in [
+            ("V-Ex", false),
+            ("Shared-Clean", false),
+            ("Shared-Dirty", true),
+            ("Dirty", true),
+        ] {
+            let o = p.outcome(
+                p.state_by_name(st).unwrap(),
+                ProcEvent::Replace,
+                GlobalCtx::ALONE,
+            );
+            assert_eq!(o.data, DataOp::Evict { writeback: wb }, "{st}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The DEC Firefly protocol — write-update with write-through for
+//! shared blocks.
+//!
+//! The paper (§2.1) cites Firefly, with Dragon, as the other family of
+//! protocols requiring the sharing-detection characteristic function:
+//! the bus's *SharedLine* tells the writer/filler whether other copies
+//! exist. Blocks are never invalidated; writes to shared blocks are
+//! broadcast and written through to memory, so every `Shared` copy and
+//! memory stay identical. States: `Invalid` (absent), `Valid-Exclusive`
+//! (clean, only cached copy), `Shared` (clean, replicated), `Dirty`
+//! (modified, only cached copy).
+
+use crate::{
+    BusOp, Characteristic, DataOp, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, SpecBuilder,
+    StateAttrs,
+};
+
+/// Builds the Firefly protocol.
+pub fn firefly() -> ProtocolSpec {
+    let mut b = SpecBuilder::new("Firefly").characteristic(Characteristic::SharingDetection);
+    let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+    let ve = b.state("Valid-Exclusive", "V-Ex", StateAttrs::VALID_EXCLUSIVE);
+    let sh = b.state("Shared", "Shared", StateAttrs::SHARED_CLEAN);
+    let d = b.state("Dirty", "Dirty", StateAttrs::DIRTY);
+
+    // Invalid: read miss fills according to the SharedLine; a Dirty
+    // snooper supplies and simultaneously updates memory.
+    b.on_sharing(
+        inv,
+        ProcEvent::Read,
+        Outcome::read_miss(ve),
+        Outcome::read_miss(sh),
+    );
+    // Write miss. Alone: load and write locally (Dirty). Shared: the
+    // fill and the update broadcast form one atomic BusUpd transaction —
+    // every copy absorbs the new value and memory is written through;
+    // nothing is invalidated.
+    b.on_sharing(
+        inv,
+        ProcEvent::Write,
+        Outcome::write_miss_invalidate(d),
+        Outcome {
+            next: sh,
+            bus: Some(BusOp::Update),
+            data: DataOp::Write {
+                fill: true,
+                through: true,
+                broadcast: true,
+            },
+        },
+    );
+    b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Valid-Exclusive.
+    b.on(ve, ProcEvent::Read, Outcome::read_hit(ve));
+    b.on(ve, ProcEvent::Write, Outcome::write_hit_silent(d));
+    b.on(ve, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Shared: writes are broadcast and written through. If the
+    // SharedLine shows no other copy remains, the writer regains
+    // exclusivity (memory was just updated, so the copy is clean).
+    b.on_sharing(
+        sh,
+        ProcEvent::Write,
+        Outcome::write_hit_update(ve, true),
+        Outcome::write_hit_update(sh, true),
+    );
+    b.on(sh, ProcEvent::Read, Outcome::read_hit(sh));
+    b.on(sh, ProcEvent::Replace, Outcome::evict_clean(inv)); // write-through keeps Shared clean
+
+    // Dirty.
+    b.on(d, ProcEvent::Read, Outcome::read_hit(d));
+    b.on(d, ProcEvent::Write, Outcome::write_hit_silent(d));
+    b.on(d, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Snoop reactions. No state ever reacts to BusRdX/BusUpgr: those
+    // transactions are only emitted when no other copy exists.
+    b.snoop(ve, BusOp::Read, SnoopOutcome::supply(sh));
+    b.snoop(sh, BusOp::Read, SnoopOutcome::supply(sh));
+    b.snoop(d, BusOp::Read, SnoopOutcome::supply_and_flush(sh));
+    // BusUpd: holders absorb the new value (and can serve the fill half
+    // of a write miss). Exclusive holders — clean or dirty — degrade to
+    // Shared; memory is freshened by the write-through.
+    b.snoop(
+        ve,
+        BusOp::Update,
+        SnoopOutcome {
+            next: sh,
+            supplies_data: true,
+            flushes_to_memory: false,
+            receives_update: true,
+        },
+    );
+    b.snoop(
+        sh,
+        BusOp::Update,
+        SnoopOutcome {
+            next: sh,
+            supplies_data: true,
+            flushes_to_memory: false,
+            receives_update: true,
+        },
+    );
+    b.snoop(
+        d,
+        BusOp::Update,
+        SnoopOutcome {
+            next: sh,
+            supplies_data: true,
+            flushes_to_memory: false,
+            receives_update: true,
+        },
+    );
+
+    b.build().expect("Firefly specification must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GlobalCtx;
+
+    #[test]
+    fn uses_sharing_detection() {
+        let p = firefly();
+        assert!(p.uses_sharing_detection());
+        assert_eq!(p.num_states(), 4);
+    }
+
+    #[test]
+    fn shared_write_is_written_through() {
+        let p = firefly();
+        let sh = p.state_by_name("Shared").unwrap();
+        let o = p.outcome(sh, ProcEvent::Write, GlobalCtx::SHARED_CLEAN);
+        assert_eq!(o.bus, Some(BusOp::Update));
+        match o.data {
+            DataOp::Write {
+                through, broadcast, ..
+            } => {
+                assert!(through, "shared writes write through to memory");
+                assert!(broadcast, "shared writes update remote copies");
+            }
+            other => panic!("expected a write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_shared_writer_regains_exclusivity() {
+        let p = firefly();
+        let sh = p.state_by_name("Shared").unwrap();
+        let alone = p.outcome(sh, ProcEvent::Write, GlobalCtx::ALONE);
+        assert_eq!(alone.next, p.state_by_name("V-Ex").unwrap());
+        let shared = p.outcome(sh, ProcEvent::Write, GlobalCtx::SHARED_CLEAN);
+        assert_eq!(shared.next, sh);
+    }
+
+    #[test]
+    fn nothing_is_ever_invalidated() {
+        let p = firefly();
+        // No snoop reaction of a valid state leads to Invalid.
+        for s in p.valid_states() {
+            for bus in BusOp::ALL {
+                assert_ne!(
+                    p.snoop(s, bus).next,
+                    p.invalid(),
+                    "Firefly must never invalidate ({:?} on {bus})",
+                    p.state(s).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snoopers_absorb_updates() {
+        let p = firefly();
+        let sh = p.state_by_name("Shared").unwrap();
+        let d = p.state_by_name("Dirty").unwrap();
+        assert!(p.snoop(sh, BusOp::Update).receives_update);
+        assert!(p.snoop(d, BusOp::Update).receives_update);
+        assert_eq!(p.snoop(d, BusOp::Update).next, sh);
+    }
+
+    #[test]
+    fn shared_replacement_is_silent() {
+        let p = firefly();
+        let sh = p.state_by_name("Shared").unwrap();
+        let o = p.outcome(sh, ProcEvent::Replace, GlobalCtx::SHARED_CLEAN);
+        assert_eq!(o.bus, None, "write-through keeps Shared clean");
+    }
+}

@@ -1,0 +1,108 @@
+//! Standard MESI with memory-reflective fills ("MESI-Mem").
+//!
+//! The same four states as Illinois, but clean blocks are always
+//! supplied by memory (no cache-to-cache transfer for clean data), as
+//! in most commercial MESI implementations; and a `Modified` snooper
+//! flushes on *both* remote reads and remote writes, so memory is
+//! never left stale across an ownership change. Behaviourally (in the
+//! sense of `ccv_core::compare`) the global diagram differs from
+//! Illinois only in the memory-freshness annotations of the
+//! ownership-transfer edges.
+
+use crate::{
+    BusOp, Characteristic, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, SpecBuilder, StateAttrs,
+};
+
+/// Builds the memory-reflective MESI protocol.
+pub fn mesi_mem() -> ProtocolSpec {
+    let mut b = SpecBuilder::new("MESI-Mem").characteristic(Characteristic::SharingDetection);
+    let inv = b.state("Invalid", "I", StateAttrs::INVALID);
+    let e = b.state("Exclusive", "E", StateAttrs::VALID_EXCLUSIVE);
+    let s = b.state("Shared", "S", StateAttrs::SHARED_CLEAN);
+    let m = b.state("Modified", "M", StateAttrs::DIRTY);
+
+    // Invalid.
+    b.on_sharing(
+        inv,
+        ProcEvent::Read,
+        Outcome::read_miss(e),
+        Outcome::read_miss(s),
+    );
+    b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(m));
+    b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Exclusive.
+    b.on(e, ProcEvent::Read, Outcome::read_hit(e));
+    b.on(e, ProcEvent::Write, Outcome::write_hit_silent(m));
+    b.on(e, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Shared.
+    b.on(s, ProcEvent::Read, Outcome::read_hit(s));
+    b.on(s, ProcEvent::Write, Outcome::write_hit_invalidate(m));
+    b.on(s, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Modified.
+    b.on(m, ProcEvent::Read, Outcome::read_hit(m));
+    b.on(m, ProcEvent::Write, Outcome::write_hit_silent(m));
+    b.on(m, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Snoops: memory supplies clean blocks (no `supply` on E/S).
+    b.snoop(e, BusOp::Read, SnoopOutcome::to(s));
+    b.snoop(e, BusOp::ReadX, SnoopOutcome::to(inv));
+    b.snoop(s, BusOp::Read, SnoopOutcome::to(s));
+    b.snoop(s, BusOp::ReadX, SnoopOutcome::to(inv));
+    b.snoop(s, BusOp::Upgrade, SnoopOutcome::to(inv));
+    // Modified flushes on both kinds of remote miss.
+    b.snoop(m, BusOp::Read, SnoopOutcome::supply_and_flush(s));
+    b.snoop(
+        m,
+        BusOp::ReadX,
+        SnoopOutcome {
+            next: inv,
+            supplies_data: true,
+            flushes_to_memory: true,
+            receives_update: false,
+        },
+    );
+
+    b.build().expect("MESI-Mem specification must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::illinois;
+
+    #[test]
+    fn builds_with_sharing_detection() {
+        let p = mesi_mem();
+        assert_eq!(p.num_states(), 4);
+        assert!(p.uses_sharing_detection());
+    }
+
+    #[test]
+    fn clean_states_do_not_supply() {
+        let p = mesi_mem();
+        for st in ["Exclusive", "Shared"] {
+            let id = p.state_by_name(st).unwrap();
+            for bus in [BusOp::Read, BusOp::ReadX] {
+                assert!(!p.snoop(id, bus).supplies_data, "{st} on {bus}");
+            }
+        }
+        // ...unlike Illinois, where they do.
+        let ill = illinois();
+        let ve = ill.state_by_name("V-Ex").unwrap();
+        assert!(ill.snoop(ve, BusOp::Read).supplies_data);
+    }
+
+    #[test]
+    fn modified_flushes_on_remote_write_too() {
+        let p = mesi_mem();
+        let m = p.state_by_name("Modified").unwrap();
+        assert!(p.snoop(m, BusOp::ReadX).flushes_to_memory);
+        // Illinois hands the stale-memory burden to the new writer.
+        let ill = illinois();
+        let d = ill.state_by_name("Dirty").unwrap();
+        assert!(!ill.snoop(d, BusOp::ReadX).flushes_to_memory);
+    }
+}

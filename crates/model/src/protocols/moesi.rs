@@ -1,0 +1,130 @@
+//! The five-state MOESI protocol (Sweazey & Smith's framework).
+//!
+//! Adds an `Owned` state to MESI: a modified block can be shared
+//! without first being written back — the owner supplies it on misses
+//! and retains write-back responsibility, while readers hold it
+//! `Shared`. The `Exclusive` fill requires the sharing-detection
+//! function, as in Illinois.
+
+use crate::{
+    BusOp, Characteristic, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, SpecBuilder, StateAttrs,
+};
+
+/// Builds the MOESI protocol.
+pub fn moesi() -> ProtocolSpec {
+    let mut b = SpecBuilder::new("MOESI").characteristic(Characteristic::SharingDetection);
+    let inv = b.state("Invalid", "I", StateAttrs::INVALID);
+    let e = b.state("Exclusive", "E", StateAttrs::VALID_EXCLUSIVE);
+    let s = b.state("Shared", "S", StateAttrs::SHARED_CLEAN);
+    let o = b.state("Owned", "O", StateAttrs::OWNED_SHARED);
+    let m = b.state("Modified", "M", StateAttrs::DIRTY);
+
+    // Invalid.
+    b.on_sharing(
+        inv,
+        ProcEvent::Read,
+        Outcome::read_miss(e),
+        Outcome::read_miss(s),
+    );
+    b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(m));
+    b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Exclusive.
+    b.on(e, ProcEvent::Read, Outcome::read_hit(e));
+    b.on(e, ProcEvent::Write, Outcome::write_hit_silent(m));
+    b.on(e, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Shared.
+    b.on(s, ProcEvent::Read, Outcome::read_hit(s));
+    b.on(s, ProcEvent::Write, Outcome::write_hit_invalidate(m));
+    b.on(s, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Owned: supplies on misses, writes back on replacement; a write
+    // hit concentrates ownership by invalidating the other copies.
+    b.on(o, ProcEvent::Read, Outcome::read_hit(o));
+    b.on(o, ProcEvent::Write, Outcome::write_hit_invalidate(m));
+    b.on(o, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Modified.
+    b.on(m, ProcEvent::Read, Outcome::read_hit(m));
+    b.on(m, ProcEvent::Write, Outcome::write_hit_silent(m));
+    b.on(m, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Snoop reactions.
+    b.snoop(e, BusOp::Read, SnoopOutcome::supply(s));
+    b.snoop(e, BusOp::ReadX, SnoopOutcome::supply(inv));
+    b.snoop(s, BusOp::Read, SnoopOutcome::supply(s));
+    b.snoop(s, BusOp::ReadX, SnoopOutcome::supply(inv));
+    b.snoop(s, BusOp::Upgrade, SnoopOutcome::to(inv));
+    b.snoop(o, BusOp::Read, SnoopOutcome::supply(o));
+    b.snoop(o, BusOp::ReadX, SnoopOutcome::supply(inv));
+    b.snoop(o, BusOp::Upgrade, SnoopOutcome::to(inv));
+    // The MOESI hallmark: M degrades to O on a remote read, with no
+    // write-back — memory stays stale, the owner keeps the burden.
+    b.snoop(m, BusOp::Read, SnoopOutcome::supply(o));
+    b.snoop(m, BusOp::ReadX, SnoopOutcome::supply(inv));
+
+    b.build().expect("MOESI specification must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GlobalCtx;
+
+    #[test]
+    fn five_states_with_sharing_detection() {
+        let p = moesi();
+        assert_eq!(p.num_states(), 5);
+        assert!(p.uses_sharing_detection());
+    }
+
+    #[test]
+    fn modified_degrades_to_owned_without_flush() {
+        let p = moesi();
+        let m = p.state_by_name("Modified").unwrap();
+        let snoop = p.snoop(m, BusOp::Read);
+        assert_eq!(snoop.next, p.state_by_name("Owned").unwrap());
+        assert!(snoop.supplies_data);
+        assert!(!snoop.flushes_to_memory, "MOESI: no flush on remote read");
+    }
+
+    #[test]
+    fn owned_and_modified_write_back() {
+        let p = moesi();
+        for st in ["Owned", "Modified"] {
+            let out = p.outcome(
+                p.state_by_name(st).unwrap(),
+                ProcEvent::Replace,
+                GlobalCtx::ALONE,
+            );
+            assert_eq!(out.bus, Some(BusOp::WriteBack), "{st}");
+        }
+    }
+
+    #[test]
+    fn exclusive_fill_needs_empty_system() {
+        let p = moesi();
+        let e = p.state_by_name("Exclusive").unwrap();
+        let s = p.state_by_name("Shared").unwrap();
+        assert_eq!(
+            p.outcome(p.invalid(), ProcEvent::Read, GlobalCtx::ALONE)
+                .next,
+            e
+        );
+        assert_eq!(
+            p.outcome(p.invalid(), ProcEvent::Read, GlobalCtx::OWNED_ELSEWHERE)
+                .next,
+            s
+        );
+    }
+
+    #[test]
+    fn owned_is_shared_modified_is_exclusive() {
+        let p = moesi();
+        let o = p.state_by_name("Owned").unwrap();
+        let m = p.state_by_name("Modified").unwrap();
+        assert!(p.attrs(o).owned && !p.attrs(o).exclusive);
+        assert!(p.attrs(m).owned && p.attrs(m).exclusive);
+    }
+}

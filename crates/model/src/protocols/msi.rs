@@ -1,0 +1,100 @@
+//! The textbook three-state write-invalidate protocol (MSI).
+//!
+//! States: `Invalid`, `Shared` (clean, possibly replicated), `Modified`
+//! (dirty, exclusive). Memory supplies clean blocks; a `Modified`
+//! snooper supplies the block and flushes it to memory on a remote read
+//! and hands the (about-to-be-overwritten) block to the requester on a
+//! remote write. The characteristic function is null: an MSI cache's
+//! next state never depends on the rest of the system.
+
+use crate::{BusOp, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, SpecBuilder, StateAttrs};
+
+/// Builds the MSI protocol.
+pub fn msi() -> ProtocolSpec {
+    let mut b = SpecBuilder::new("MSI");
+    let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+    let sh = b.state("Shared", "S", StateAttrs::SHARED_CLEAN);
+    let m = b.state("Modified", "M", StateAttrs::DIRTY);
+
+    // Invalid.
+    b.on(inv, ProcEvent::Read, Outcome::read_miss(sh));
+    b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(m));
+    b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Shared.
+    b.on(sh, ProcEvent::Read, Outcome::read_hit(sh));
+    b.on(sh, ProcEvent::Write, Outcome::write_hit_invalidate(m));
+    b.on(sh, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Modified.
+    b.on(m, ProcEvent::Read, Outcome::read_hit(m));
+    b.on(m, ProcEvent::Write, Outcome::write_hit_silent(m));
+    b.on(m, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Snoop reactions.
+    b.snoop(sh, BusOp::Read, SnoopOutcome::to(sh)); // memory supplies
+    b.snoop(sh, BusOp::ReadX, SnoopOutcome::to(inv));
+    b.snoop(sh, BusOp::Upgrade, SnoopOutcome::to(inv));
+    b.snoop(m, BusOp::Read, SnoopOutcome::supply_and_flush(sh));
+    b.snoop(
+        m,
+        BusOp::ReadX,
+        SnoopOutcome {
+            next: inv,
+            supplies_data: true,
+            flushes_to_memory: true,
+            receives_update: false,
+        },
+    );
+
+    b.build().expect("MSI specification must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Characteristic, GlobalCtx};
+
+    #[test]
+    fn builds_and_has_three_states() {
+        let p = msi();
+        assert_eq!(p.num_states(), 3);
+        assert_eq!(p.characteristic(), Characteristic::Null);
+        assert!(!p.uses_sharing_detection());
+    }
+
+    #[test]
+    fn read_miss_is_ctx_independent() {
+        let p = msi();
+        let inv = p.invalid();
+        let sh = p.state_by_name("Shared").unwrap();
+        for c in GlobalCtx::ALL {
+            assert_eq!(p.outcome(inv, ProcEvent::Read, c).next, sh);
+        }
+    }
+
+    #[test]
+    fn modified_snooper_flushes_on_remote_read() {
+        let p = msi();
+        let m = p.state_by_name("Modified").unwrap();
+        let s = p.snoop(m, BusOp::Read);
+        assert!(s.flushes_to_memory && s.supplies_data);
+        assert_eq!(s.next, p.state_by_name("Shared").unwrap());
+    }
+
+    #[test]
+    fn shared_write_emits_upgrade() {
+        let p = msi();
+        let sh = p.state_by_name("Shared").unwrap();
+        let o = p.outcome(sh, ProcEvent::Write, GlobalCtx::SHARED_CLEAN);
+        assert_eq!(o.bus, Some(BusOp::Upgrade));
+        assert_eq!(o.next, p.state_by_name("Modified").unwrap());
+    }
+
+    #[test]
+    fn only_modified_is_owned() {
+        let p = msi();
+        let owned: Vec<_> = p.owned_states().collect();
+        assert_eq!(owned, vec![p.state_by_name("Modified").unwrap()]);
+    }
+}

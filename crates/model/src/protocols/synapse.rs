@@ -1,0 +1,111 @@
+//! The Synapse N+1 protocol.
+//!
+//! A minimal ownership protocol with no cache-to-cache transfer and no
+//! invalidate-without-data signal. States: `Invalid`, `Valid` (clean),
+//! `Dirty` (modified, only cached copy). Its two idiosyncrasies:
+//!
+//! * a `Dirty` snooper does **not** supply the block on a remote miss —
+//!   it aborts the transaction, writes its copy back to memory and
+//!   invalidates itself; the requester then obtains the (now fresh)
+//!   block from memory;
+//! * there is no upgrade signal, so a write hit on a `Valid` block is
+//!   handled exactly like a write miss (a full `BusRdX`).
+//!
+//! Null characteristic function.
+
+use crate::{
+    BusOp, DataOp, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, SpecBuilder, StateAttrs,
+};
+
+/// Builds the Synapse protocol.
+pub fn synapse() -> ProtocolSpec {
+    let mut b = SpecBuilder::new("Synapse");
+    let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+    let v = b.state("Valid", "V", StateAttrs::SHARED_CLEAN);
+    let d = b.state("Dirty", "D", StateAttrs::DIRTY);
+
+    // Invalid.
+    b.on(inv, ProcEvent::Read, Outcome::read_miss(v));
+    b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(d));
+    b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Valid: a write hit is a full write miss on the bus (no upgrade
+    // signal exists); the cache already holds the data so no fill is
+    // modelled, but the transaction invalidates every other copy.
+    b.on(v, ProcEvent::Read, Outcome::read_hit(v));
+    b.on(
+        v,
+        ProcEvent::Write,
+        Outcome {
+            next: d,
+            bus: Some(BusOp::ReadX),
+            data: DataOp::Write {
+                fill: false,
+                through: false,
+                broadcast: false,
+            },
+        },
+    );
+    b.on(v, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Dirty.
+    b.on(d, ProcEvent::Read, Outcome::read_hit(d));
+    b.on(d, ProcEvent::Write, Outcome::write_hit_silent(d));
+    b.on(d, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Snoop reactions: memory is the only supplier.
+    b.snoop(v, BusOp::Read, SnoopOutcome::to(v));
+    b.snoop(v, BusOp::ReadX, SnoopOutcome::to(inv));
+    // Abort-and-retry: the owner flushes and invalidates itself; the
+    // requester is served by (now fresh) memory.
+    b.snoop(d, BusOp::Read, SnoopOutcome::flush(inv));
+    b.snoop(d, BusOp::ReadX, SnoopOutcome::flush(inv));
+
+    b.build().expect("Synapse specification must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Characteristic, GlobalCtx};
+
+    #[test]
+    fn builds_with_three_states() {
+        let p = synapse();
+        assert_eq!(p.num_states(), 3);
+        assert_eq!(p.characteristic(), Characteristic::Null);
+    }
+
+    #[test]
+    fn valid_write_hit_is_a_bus_write_miss() {
+        let p = synapse();
+        let v = p.state_by_name("Valid").unwrap();
+        let o = p.outcome(v, ProcEvent::Write, GlobalCtx::ALONE);
+        assert_eq!(o.bus, Some(BusOp::ReadX), "no upgrade signal in Synapse");
+        assert_eq!(o.next, p.state_by_name("Dirty").unwrap());
+    }
+
+    #[test]
+    fn dirty_snooper_aborts_flushes_and_invalidates() {
+        let p = synapse();
+        let d = p.state_by_name("Dirty").unwrap();
+        for bus in [BusOp::Read, BusOp::ReadX] {
+            let s = p.snoop(d, bus);
+            assert!(s.flushes_to_memory, "{bus}: must write back");
+            assert!(
+                !s.supplies_data,
+                "{bus}: Synapse never supplies cache-to-cache"
+            );
+            assert_eq!(s.next, p.invalid(), "{bus}: owner invalidates itself");
+        }
+    }
+
+    #[test]
+    fn read_miss_lands_valid_regardless_of_context() {
+        let p = synapse();
+        let v = p.state_by_name("Valid").unwrap();
+        for c in GlobalCtx::ALL {
+            assert_eq!(p.outcome(p.invalid(), ProcEvent::Read, c).next, v);
+        }
+    }
+}

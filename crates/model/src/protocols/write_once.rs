@@ -1,0 +1,128 @@
+//! Goodman's Write-Once protocol.
+//!
+//! The first write to a block is written *through* to memory (which
+//! doubles as the invalidation broadcast); subsequent writes are local.
+//! States: `Invalid`, `Valid` (clean, possibly replicated), `Reserved`
+//! (clean, written through exactly once, only cached copy — memory is
+//! up to date), `Dirty` (modified, only cached copy). Null
+//! characteristic function: no transition depends on the rest of the
+//! system.
+
+use crate::{BusOp, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, SpecBuilder, StateAttrs};
+
+/// Builds the Write-Once protocol.
+pub fn write_once() -> ProtocolSpec {
+    let mut b = SpecBuilder::new("Write-Once");
+    let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+    let v = b.state("Valid", "V", StateAttrs::SHARED_CLEAN);
+    // Reserved is exclusive but clean (memory was just written through).
+    let r = b.state("Reserved", "R", StateAttrs::VALID_EXCLUSIVE);
+    let d = b.state("Dirty", "D", StateAttrs::DIRTY);
+
+    // Invalid.
+    b.on(inv, ProcEvent::Read, Outcome::read_miss(v));
+    b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(d));
+    b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Valid: the write-once write — through to memory, invalidating.
+    b.on(v, ProcEvent::Read, Outcome::read_hit(v));
+    b.on(
+        v,
+        ProcEvent::Write,
+        Outcome::write_hit_through_invalidate(r),
+    );
+    b.on(v, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Reserved: the second write is local.
+    b.on(r, ProcEvent::Read, Outcome::read_hit(r));
+    b.on(r, ProcEvent::Write, Outcome::write_hit_silent(d));
+    b.on(r, ProcEvent::Replace, Outcome::evict_clean(inv)); // memory is current
+
+    // Dirty.
+    b.on(d, ProcEvent::Read, Outcome::read_hit(d));
+    b.on(d, ProcEvent::Write, Outcome::write_hit_silent(d));
+    b.on(d, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Snoop reactions. Memory supplies clean blocks.
+    b.snoop(v, BusOp::Read, SnoopOutcome::to(v));
+    b.snoop(v, BusOp::ReadX, SnoopOutcome::to(inv));
+    b.snoop(v, BusOp::Upgrade, SnoopOutcome::to(inv));
+    b.snoop(r, BusOp::Read, SnoopOutcome::to(v)); // degrade to shared-clean
+    b.snoop(r, BusOp::ReadX, SnoopOutcome::to(inv));
+    b.snoop(r, BusOp::Upgrade, SnoopOutcome::to(inv));
+    // A Dirty snooper inhibits memory, supplies the block and writes it
+    // back in the same transaction.
+    b.snoop(d, BusOp::Read, SnoopOutcome::supply_and_flush(v));
+    b.snoop(d, BusOp::ReadX, SnoopOutcome::supply(inv));
+
+    b.build().expect("Write-Once specification must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Characteristic, DataOp, GlobalCtx};
+
+    #[test]
+    fn builds_with_four_states_null_characteristic() {
+        let p = write_once();
+        assert_eq!(p.num_states(), 4);
+        assert_eq!(p.characteristic(), Characteristic::Null);
+    }
+
+    #[test]
+    fn first_write_goes_through_to_memory() {
+        let p = write_once();
+        let v = p.state_by_name("Valid").unwrap();
+        let o = p.outcome(v, ProcEvent::Write, GlobalCtx::ALONE);
+        assert_eq!(o.next, p.state_by_name("Reserved").unwrap());
+        assert_eq!(o.bus, Some(BusOp::Upgrade));
+        assert_eq!(
+            o.data,
+            DataOp::Write {
+                fill: false,
+                through: true,
+                broadcast: false
+            }
+        );
+    }
+
+    #[test]
+    fn second_write_is_local() {
+        let p = write_once();
+        let r = p.state_by_name("Reserved").unwrap();
+        let o = p.outcome(r, ProcEvent::Write, GlobalCtx::ALONE);
+        assert_eq!(o.bus, None);
+        assert_eq!(o.next, p.state_by_name("Dirty").unwrap());
+    }
+
+    #[test]
+    fn reserved_is_clean_exclusive() {
+        let p = write_once();
+        let r = p.state_by_name("Reserved").unwrap();
+        assert!(p.attrs(r).exclusive);
+        assert!(!p.attrs(r).owned, "Reserved is memory-consistent");
+        // and therefore needs no write-back on replacement:
+        let o = p.outcome(r, ProcEvent::Replace, GlobalCtx::ALONE);
+        assert_eq!(o.data, DataOp::Evict { writeback: false });
+    }
+
+    #[test]
+    fn reserved_degrades_to_valid_on_remote_read() {
+        let p = write_once();
+        let r = p.state_by_name("Reserved").unwrap();
+        assert_eq!(
+            p.snoop(r, BusOp::Read).next,
+            p.state_by_name("Valid").unwrap()
+        );
+    }
+
+    #[test]
+    fn dirty_supplies_and_flushes_on_remote_read() {
+        let p = write_once();
+        let d = p.state_by_name("D").unwrap();
+        let s = p.snoop(d, BusOp::Read);
+        assert!(s.supplies_data && s.flushes_to_memory);
+        assert_eq!(s.next, p.state_by_name("Valid").unwrap());
+    }
+}

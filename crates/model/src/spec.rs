@@ -1,0 +1,937 @@
+//! Protocol specifications: the FSM `M = (Q, Σ, F, δ)` as data.
+//!
+//! A [`ProtocolSpec`] is a complete, validated, table-driven description
+//! of a snooping cache coherence protocol:
+//!
+//! * the state symbols `Q` with their semantic attributes,
+//! * the characteristic function `F` (null or sharing-detection),
+//! * the transition function `δ : F × Q × Σ → Q` in the form of a dense
+//!   *processor-outcome* table — for each (state, event, global context)
+//!   the originator's next state, the bus transaction it emits, and the
+//!   declarative data movement ([`DataOp`]),
+//! * the *snoop* table — for each (state, bus op) the coincident
+//!   reaction of every other cache ([`SnoopOutcome`]).
+//!
+//! One spec object drives all three engines in this repository: the
+//! symbolic verifier (`ccv-core`), the explicit-state enumerator
+//! (`ccv-enum`) and the trace simulator (`ccv-sim`). The object that is
+//! proved correct is the object that is executed.
+//!
+//! Specs are constructed through [`SpecBuilder`], which statically
+//! validates well-formedness: complete tables, null-`F` protocols truly
+//! context-independent, data movement consistent with bus usage, and the
+//! local FSM strongly connected (Definition 1 requires it).
+
+use crate::bus::{BusOp, SnoopOutcome};
+use crate::connectivity::strongly_connected;
+use crate::context::{Characteristic, GlobalCtx};
+use crate::data::DataOp;
+use crate::event::ProcEvent;
+use crate::state::{StateAttrs, StateId, StateInfo};
+use core::fmt;
+
+/// The originator-side result of applying a processor event to a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Outcome {
+    /// The originating cache's next state.
+    pub next: StateId,
+    /// The bus transaction broadcast to all other caches (and memory),
+    /// or `None` for a silent (purely local) transition.
+    pub bus: Option<BusOp>,
+    /// Declarative description of the data movement.
+    pub data: DataOp,
+}
+
+impl Outcome {
+    /// A silent transition to `next` with no data movement.
+    pub const fn silent(next: StateId) -> Outcome {
+        Outcome {
+            next,
+            bus: None,
+            data: DataOp::None,
+        }
+    }
+
+    /// A transition to `next` emitting `bus`.
+    pub const fn with_bus(next: StateId, bus: BusOp) -> Outcome {
+        Outcome {
+            next,
+            bus: Some(bus),
+            data: DataOp::None,
+        }
+    }
+
+    /// Sets the data operation (chainable).
+    pub const fn data(mut self, data: DataOp) -> Outcome {
+        self.data = data;
+        self
+    }
+
+    /// A read hit: stay (or move) silently, observing the local value.
+    pub const fn read_hit(next: StateId) -> Outcome {
+        Outcome {
+            next,
+            bus: None,
+            data: DataOp::Read { fill: false },
+        }
+    }
+
+    /// A read miss filling from the bus via `BusRd`.
+    pub const fn read_miss(next: StateId) -> Outcome {
+        Outcome {
+            next,
+            bus: Some(BusOp::Read),
+            data: DataOp::Read { fill: true },
+        }
+    }
+
+    /// A silent write hit (the copy is already writable).
+    pub const fn write_hit_silent(next: StateId) -> Outcome {
+        Outcome {
+            next,
+            bus: None,
+            data: DataOp::Write {
+                fill: false,
+                through: false,
+                broadcast: false,
+            },
+        }
+    }
+
+    /// A write hit that invalidates remote copies via `BusUpgr`.
+    pub const fn write_hit_invalidate(next: StateId) -> Outcome {
+        Outcome {
+            next,
+            bus: Some(BusOp::Upgrade),
+            data: DataOp::Write {
+                fill: false,
+                through: false,
+                broadcast: false,
+            },
+        }
+    }
+
+    /// A write miss: fill with ownership via `BusRdX`, then write
+    /// locally (remote copies invalidate in their snoop reaction).
+    pub const fn write_miss_invalidate(next: StateId) -> Outcome {
+        Outcome {
+            next,
+            bus: Some(BusOp::ReadX),
+            data: DataOp::Write {
+                fill: true,
+                through: false,
+                broadcast: false,
+            },
+        }
+    }
+
+    /// A write hit broadcast as an update to remote copies.
+    /// `through` additionally writes the new value to memory (Firefly).
+    pub const fn write_hit_update(next: StateId, through: bool) -> Outcome {
+        Outcome {
+            next,
+            bus: Some(BusOp::Update),
+            data: DataOp::Write {
+                fill: false,
+                through,
+                broadcast: true,
+            },
+        }
+    }
+
+    /// A write-through write hit with remote invalidation (Write-Once's
+    /// first write: memory is updated and other copies are invalidated).
+    pub const fn write_hit_through_invalidate(next: StateId) -> Outcome {
+        Outcome {
+            next,
+            bus: Some(BusOp::Upgrade),
+            data: DataOp::Write {
+                fill: false,
+                through: true,
+                broadcast: false,
+            },
+        }
+    }
+
+    /// A clean eviction: the block is dropped silently.
+    pub const fn evict_clean(invalid: StateId) -> Outcome {
+        Outcome {
+            next: invalid,
+            bus: None,
+            data: DataOp::Evict { writeback: false },
+        }
+    }
+
+    /// A dirty eviction: the block is written back via `BusWB`.
+    pub const fn evict_writeback(invalid: StateId) -> Outcome {
+        Outcome {
+            next: invalid,
+            bus: Some(BusOp::WriteBack),
+            data: DataOp::Evict { writeback: true },
+        }
+    }
+}
+
+/// Errors detected while building or validating a [`ProtocolSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// Fewer than two states, or state 0 claims to hold a copy.
+    BadStateSet(String),
+    /// Two states share a name.
+    DuplicateStateName(String),
+    /// A (state, event, context) entry was never defined.
+    MissingOutcome {
+        /// State whose row is incomplete.
+        state: String,
+        /// Event with no outcome.
+        event: ProcEvent,
+        /// Context with no outcome.
+        ctx: GlobalCtx,
+    },
+    /// A protocol declared with the null characteristic function has an
+    /// outcome that differs across global contexts.
+    NullCharacteristicCtxDependence {
+        /// Offending state.
+        state: String,
+        /// Offending event.
+        event: ProcEvent,
+    },
+    /// The data operation is inconsistent with the transition shape
+    /// (e.g. a fill without a data-carrying bus transaction).
+    InconsistentData {
+        /// Offending state.
+        state: String,
+        /// Offending event.
+        event: ProcEvent,
+        /// Explanation.
+        why: String,
+    },
+    /// The local FSM is not strongly connected (violates Definition 1).
+    NotStronglyConnected,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadStateSet(why) => write!(f, "bad state set: {why}"),
+            SpecError::DuplicateStateName(n) => write!(f, "duplicate state name: {n}"),
+            SpecError::MissingOutcome { state, event, ctx } => {
+                write!(f, "missing outcome for ({state}, {event}, {ctx})")
+            }
+            SpecError::NullCharacteristicCtxDependence { state, event } => write!(
+                f,
+                "null-F protocol has context-dependent outcome at ({state}, {event})"
+            ),
+            SpecError::InconsistentData { state, event, why } => {
+                write!(f, "inconsistent data movement at ({state}, {event}): {why}")
+            }
+            SpecError::NotStronglyConnected => {
+                write!(f, "local FSM is not strongly connected (Definition 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A complete, validated snooping coherence protocol.
+#[derive(Clone, Debug)]
+pub struct ProtocolSpec {
+    name: String,
+    states: Vec<StateInfo>,
+    characteristic: Characteristic,
+    proc_table: Vec<[[Outcome; GlobalCtx::COUNT]; ProcEvent::COUNT]>,
+    snoop_table: Vec<[SnoopOutcome; BusOp::COUNT]>,
+    emitted_bus_ops: Vec<BusOp>,
+}
+
+impl ProtocolSpec {
+    /// Protocol name, e.g. `"Illinois"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of state symbols `|Q|`.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// All state descriptions, indexed by [`StateId`].
+    pub fn states(&self) -> &[StateInfo] {
+        &self.states
+    }
+
+    /// Description of one state.
+    pub fn state(&self, id: StateId) -> &StateInfo {
+        &self.states[id.index()]
+    }
+
+    /// Attributes of one state.
+    #[inline]
+    pub fn attrs(&self, id: StateId) -> StateAttrs {
+        self.states[id.index()].attrs
+    }
+
+    /// Looks a state up by (long or short) name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states
+            .iter()
+            .position(|s| s.name == name || s.short == name)
+            .map(|i| StateId(i as u8))
+    }
+
+    /// The conventional invalid state (`q0`).
+    pub fn invalid(&self) -> StateId {
+        StateId::INVALID
+    }
+
+    /// The characteristic function `F` of Definition 1.
+    pub fn characteristic(&self) -> Characteristic {
+        self.characteristic
+    }
+
+    /// The originator-side outcome `δ(F, q, σ)`.
+    #[inline]
+    pub fn outcome(&self, state: StateId, event: ProcEvent, ctx: GlobalCtx) -> Outcome {
+        self.proc_table[state.index()][event.index()][ctx.index()]
+    }
+
+    /// The coincident snoop reaction of a cache in `state` to `bus`.
+    #[inline]
+    pub fn snoop(&self, state: StateId, bus: BusOp) -> SnoopOutcome {
+        self.snoop_table[state.index()][bus.index()]
+    }
+
+    /// Bus operations actually emitted by some processor outcome.
+    pub fn emitted_bus_ops(&self) -> &[BusOp] {
+        &self.emitted_bus_ops
+    }
+
+    /// Iterator over all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len() as u8).map(StateId)
+    }
+
+    /// Iterator over states that hold a copy (the paper's "valid"
+    /// states, counted by the sharing-detection function).
+    pub fn valid_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.state_ids().filter(|&s| self.attrs(s).holds_copy)
+    }
+
+    /// Iterator over owned states (memory may be stale w.r.t. them).
+    pub fn owned_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.state_ids().filter(|&s| self.attrs(s).owned)
+    }
+
+    /// True iff the protocol uses the sharing-detection characteristic
+    /// function.
+    pub fn uses_sharing_detection(&self) -> bool {
+        self.characteristic == Characteristic::SharingDetection
+    }
+
+    /// Returns a copy of this spec under a different name.
+    ///
+    /// Part of the *mutation API* used to seed deliberate protocol bugs
+    /// for verifier robustness testing; see [`crate::protocols`]'s buggy
+    /// mutants.
+    pub fn renamed(mut self, name: impl Into<String>) -> ProtocolSpec {
+        self.name = name.into();
+        self
+    }
+
+    /// Returns a copy of this spec with one snoop reaction replaced.
+    ///
+    /// **This bypasses builder validation** — it exists precisely to
+    /// construct plausible-but-incorrect protocols (forgotten
+    /// invalidations, dropped flushes) that the verifier must reject.
+    pub fn override_snoop(
+        mut self,
+        state: StateId,
+        bus: BusOp,
+        outcome: SnoopOutcome,
+    ) -> ProtocolSpec {
+        self.snoop_table[state.index()][bus.index()] = outcome;
+        self
+    }
+
+    /// Returns a copy of this spec with one processor outcome replaced
+    /// for the given context, or for every context when `ctx` is `None`.
+    ///
+    /// **This bypasses builder validation** — see [`Self::override_snoop`].
+    pub fn override_outcome(
+        mut self,
+        state: StateId,
+        event: ProcEvent,
+        ctx: Option<GlobalCtx>,
+        outcome: Outcome,
+    ) -> ProtocolSpec {
+        match ctx {
+            Some(c) => {
+                self.proc_table[state.index()][event.index()][c.index()] = outcome;
+            }
+            None => {
+                for c in GlobalCtx::ALL {
+                    self.proc_table[state.index()][event.index()][c.index()] = outcome;
+                }
+            }
+        }
+        // Keep the emitted-bus-op summary in sync.
+        let mut emitted: Vec<BusOp> = Vec::new();
+        for row in &self.proc_table {
+            for e in ProcEvent::ALL {
+                for c in GlobalCtx::ALL {
+                    if let Some(b) = row[e.index()][c.index()].bus {
+                        if !emitted.contains(&b) {
+                            emitted.push(b);
+                        }
+                    }
+                }
+            }
+        }
+        emitted.sort_by_key(|b| b.index());
+        self.emitted_bus_ops = emitted;
+        self
+    }
+
+    /// Renders the processor transition table as human-readable text
+    /// (one row per (state, event, context)).
+    pub fn describe(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "protocol {} ({:?} characteristic)",
+            self.name, self.characteristic
+        );
+        for s in self.state_ids() {
+            let info = self.state(s);
+            let _ = writeln!(
+                out,
+                "  state {} [{}]{}{}{}",
+                info.name,
+                info.short,
+                if info.attrs.holds_copy { " copy" } else { "" },
+                if info.attrs.owned { " owned" } else { "" },
+                if info.attrs.exclusive { " excl" } else { "" },
+            );
+            for e in ProcEvent::ALL {
+                for c in GlobalCtx::ALL {
+                    let o = self.outcome(s, e, c);
+                    if c != GlobalCtx::ALONE && o == self.outcome(s, e, GlobalCtx::ALONE) {
+                        continue;
+                    }
+                    let bus = o
+                        .bus
+                        .map(|b| format!(" {b}"))
+                        .unwrap_or_else(|| " silent".to_string());
+                    let _ = writeln!(
+                        out,
+                        "    {e} [{c}] -> {}{bus} {:?}",
+                        self.state(o.next).short,
+                        o.data
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builder for [`ProtocolSpec`] with exhaustive validation.
+///
+/// ```
+/// use ccv_model::{SpecBuilder, StateAttrs, ProcEvent, Outcome, BusOp, SnoopOutcome};
+///
+/// // The smallest coherent write-back protocol: Invalid / Modified.
+/// let mut b = SpecBuilder::new("Two-State");
+/// let inv = b.state("Invalid", "I", StateAttrs::INVALID);
+/// let m = b.state("Modified", "M", StateAttrs::DIRTY);
+/// b.on(inv, ProcEvent::Read, Outcome {
+///     next: m,
+///     bus: Some(BusOp::ReadX), // read-for-ownership
+///     data: ccv_model::DataOp::Read { fill: true },
+/// });
+/// b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(m));
+/// b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+/// b.on(m, ProcEvent::Read, Outcome::read_hit(m));
+/// b.on(m, ProcEvent::Write, Outcome::write_hit_silent(m));
+/// b.on(m, ProcEvent::Replace, Outcome::evict_writeback(inv));
+/// b.snoop(m, BusOp::ReadX, SnoopOutcome::flush(inv));
+/// let spec = b.build().expect("well-formed");
+/// assert_eq!(spec.num_states(), 2);
+/// ```
+pub struct SpecBuilder {
+    name: String,
+    states: Vec<StateInfo>,
+    characteristic: Characteristic,
+    proc_table: Vec<[[Option<Outcome>; GlobalCtx::COUNT]; ProcEvent::COUNT]>,
+    snoop_table: Vec<[SnoopOutcome; BusOp::COUNT]>,
+    allow_disconnected: bool,
+    skip_data_checks: bool,
+}
+
+impl SpecBuilder {
+    /// Starts a new protocol with the given name. State `q0` must be the
+    /// invalid state; add it first.
+    pub fn new(name: impl Into<String>) -> SpecBuilder {
+        SpecBuilder {
+            name: name.into(),
+            states: Vec::new(),
+            characteristic: Characteristic::Null,
+            proc_table: Vec::new(),
+            snoop_table: Vec::new(),
+            allow_disconnected: false,
+            skip_data_checks: false,
+        }
+    }
+
+    /// Declares the characteristic function (default: null).
+    pub fn characteristic(mut self, c: Characteristic) -> SpecBuilder {
+        self.characteristic = c;
+        self
+    }
+
+    /// Permits a non-strongly-connected FSM (used by deliberately broken
+    /// mutants and by property-test generators).
+    pub fn allow_disconnected(mut self) -> SpecBuilder {
+        self.allow_disconnected = true;
+        self
+    }
+
+    /// Disables the data/bus consistency lints (used by deliberately
+    /// broken mutants that model implementation bugs).
+    pub fn skip_data_checks(mut self) -> SpecBuilder {
+        self.skip_data_checks = true;
+        self
+    }
+
+    /// Adds a state and returns its id. The first state added becomes
+    /// `q0` and must be the invalid state.
+    pub fn state(
+        &mut self,
+        name: impl Into<String>,
+        short: impl Into<String>,
+        attrs: StateAttrs,
+    ) -> StateId {
+        let id = StateId(self.states.len() as u8);
+        self.states.push(StateInfo::new(name, short, attrs));
+        self.proc_table
+            .push([[None; GlobalCtx::COUNT]; ProcEvent::COUNT]);
+        // Default snoop: ignore every transaction.
+        self.snoop_table
+            .push([SnoopOutcome::ignore(id); BusOp::COUNT]);
+        id
+    }
+
+    /// Sets the outcome of `(state, event)` for **all** global contexts
+    /// (the common case for null-`F` protocols).
+    pub fn on(&mut self, state: StateId, event: ProcEvent, outcome: Outcome) -> &mut Self {
+        for c in GlobalCtx::ALL {
+            self.proc_table[state.index()][event.index()][c.index()] = Some(outcome);
+        }
+        self
+    }
+
+    /// Sets the outcome of `(state, event)` for one specific context.
+    pub fn on_ctx(
+        &mut self,
+        state: StateId,
+        event: ProcEvent,
+        ctx: GlobalCtx,
+        outcome: Outcome,
+    ) -> &mut Self {
+        self.proc_table[state.index()][event.index()][ctx.index()] = Some(outcome);
+        self
+    }
+
+    /// Sharing-detection split: `alone` applies when no other cache
+    /// holds a copy, `shared` applies otherwise (both the shared-clean
+    /// and owned-elsewhere contexts).
+    pub fn on_sharing(
+        &mut self,
+        state: StateId,
+        event: ProcEvent,
+        alone: Outcome,
+        shared: Outcome,
+    ) -> &mut Self {
+        self.on_ctx(state, event, GlobalCtx::ALONE, alone);
+        self.on_ctx(state, event, GlobalCtx::SHARED_CLEAN, shared);
+        self.on_ctx(state, event, GlobalCtx::OWNED_ELSEWHERE, shared);
+        self
+    }
+
+    /// Sets the snoop reaction of `state` to `bus`.
+    pub fn snoop(&mut self, state: StateId, bus: BusOp, outcome: SnoopOutcome) -> &mut Self {
+        self.snoop_table[state.index()][bus.index()] = outcome;
+        self
+    }
+
+    /// Validates and finalises the specification.
+    pub fn build(self) -> Result<ProtocolSpec, SpecError> {
+        // --- State set sanity -------------------------------------------------
+        if self.states.len() < 2 {
+            return Err(SpecError::BadStateSet(
+                "a protocol needs at least an invalid and one valid state".into(),
+            ));
+        }
+        if self.states[0].attrs.holds_copy {
+            return Err(SpecError::BadStateSet(
+                "state q0 must be the invalid state (holds_copy = false)".into(),
+            ));
+        }
+        for (i, a) in self.states.iter().enumerate() {
+            for b in &self.states[i + 1..] {
+                if a.name == b.name || a.short == b.short {
+                    return Err(SpecError::DuplicateStateName(a.name.clone()));
+                }
+            }
+        }
+
+        // --- Table completeness ----------------------------------------------
+        let mut proc_table = Vec::with_capacity(self.states.len());
+        for (si, row) in self.proc_table.iter().enumerate() {
+            let mut dense = [[Outcome::silent(StateId(0)); GlobalCtx::COUNT]; ProcEvent::COUNT];
+            for e in ProcEvent::ALL {
+                for c in GlobalCtx::ALL {
+                    match row[e.index()][c.index()] {
+                        Some(o) => dense[e.index()][c.index()] = o,
+                        None => {
+                            return Err(SpecError::MissingOutcome {
+                                state: self.states[si].name.clone(),
+                                event: e,
+                                ctx: c,
+                            })
+                        }
+                    }
+                }
+            }
+            proc_table.push(dense);
+        }
+
+        // --- Null characteristic really is context-independent ----------------
+        if self.characteristic == Characteristic::Null {
+            for (si, row) in proc_table.iter().enumerate() {
+                for e in ProcEvent::ALL {
+                    let base = row[e.index()][0].next;
+                    if row[e.index()].iter().any(|o| o.next != base) {
+                        return Err(SpecError::NullCharacteristicCtxDependence {
+                            state: self.states[si].name.clone(),
+                            event: e,
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- Data/bus consistency ---------------------------------------------
+        if !self.skip_data_checks {
+            for (si, row) in proc_table.iter().enumerate() {
+                let holds = self.states[si].attrs.holds_copy;
+                for e in ProcEvent::ALL {
+                    for c in GlobalCtx::ALL {
+                        let o = row[e.index()][c.index()];
+                        let fail = |why: &str| SpecError::InconsistentData {
+                            state: self.states[si].name.clone(),
+                            event: e,
+                            why: why.into(),
+                        };
+                        // Write-update protocols (Firefly, Dragon) combine the
+                        // fill and the update broadcast of a write miss into a
+                        // single atomic transaction, so BusUpd is a legal
+                        // data-carrying transaction as well.
+                        if o.data.is_fill()
+                            && !matches!(o.bus, Some(BusOp::Read | BusOp::ReadX | BusOp::Update))
+                        {
+                            return Err(fail("fill requires BusRd, BusRdX or BusUpd"));
+                        }
+                        if o.data.is_fill() && holds {
+                            return Err(fail("fill from a state that already holds the copy"));
+                        }
+                        if let DataOp::Write {
+                            fill, broadcast, ..
+                        } = o.data
+                        {
+                            if !fill && !holds {
+                                return Err(fail("write hit in a state without a copy"));
+                            }
+                            if broadcast && o.bus != Some(BusOp::Update) {
+                                return Err(fail("broadcast write requires BusUpd"));
+                            }
+                        }
+                        if matches!(o.data, DataOp::Evict { writeback: true })
+                            && o.bus != Some(BusOp::WriteBack)
+                        {
+                            return Err(fail("writeback eviction requires BusWB"));
+                        }
+                        if e == ProcEvent::Replace && self.states[o.next.index()].attrs.holds_copy {
+                            return Err(fail("replacement must end in a copy-less state"));
+                        }
+                        if e == ProcEvent::Read && !matches!(o.data, DataOp::Read { .. }) {
+                            return Err(fail("read event must carry DataOp::Read"));
+                        }
+                        if e == ProcEvent::Write && !matches!(o.data, DataOp::Write { .. }) {
+                            return Err(fail("write event must carry DataOp::Write"));
+                        }
+                        if e == ProcEvent::Replace && !matches!(o.data, DataOp::Evict { .. }) {
+                            return Err(fail("replace event must carry DataOp::Evict"));
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Emitted bus ops ---------------------------------------------------
+        let mut emitted: Vec<BusOp> = Vec::new();
+        for row in &proc_table {
+            for e in ProcEvent::ALL {
+                for c in GlobalCtx::ALL {
+                    if let Some(b) = row[e.index()][c.index()].bus {
+                        if !emitted.contains(&b) {
+                            emitted.push(b);
+                        }
+                    }
+                }
+            }
+        }
+        emitted.sort_by_key(|b| b.index());
+
+        // --- Strong connectivity (Definition 1) --------------------------------
+        let n = self.states.len();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (si, row) in proc_table.iter().enumerate() {
+            for e in ProcEvent::ALL {
+                for c in GlobalCtx::ALL {
+                    edges.push((si, row[e.index()][c.index()].next.index()));
+                }
+            }
+        }
+        for (si, row) in self.snoop_table.iter().enumerate() {
+            for &b in &emitted {
+                edges.push((si, row[b.index()].next.index()));
+            }
+        }
+        if !self.allow_disconnected && !strongly_connected(n, &edges) {
+            return Err(SpecError::NotStronglyConnected);
+        }
+
+        Ok(ProtocolSpec {
+            name: self.name,
+            states: self.states,
+            characteristic: self.characteristic,
+            proc_table,
+            snoop_table: self.snoop_table,
+            emitted_bus_ops: emitted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny two-state write-invalidate protocol used only by unit
+    /// tests: Invalid and Modified.
+    fn tiny() -> Result<ProtocolSpec, SpecError> {
+        let mut b = SpecBuilder::new("Tiny");
+        let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+        let m = b.state("Modified", "M", StateAttrs::DIRTY);
+        b.on(
+            inv,
+            ProcEvent::Read,
+            Outcome::write_miss_invalidate(m).data(DataOp::Read { fill: true }),
+        );
+        // Read miss loads exclusively with ownership (read-for-ownership).
+        b.on(
+            inv,
+            ProcEvent::Read,
+            Outcome {
+                next: m,
+                bus: Some(BusOp::ReadX),
+                data: DataOp::Read { fill: true },
+            },
+        );
+        b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(m));
+        b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+        b.on(m, ProcEvent::Read, Outcome::read_hit(m));
+        b.on(m, ProcEvent::Write, Outcome::write_hit_silent(m));
+        b.on(m, ProcEvent::Replace, Outcome::evict_writeback(inv));
+        b.snoop(m, BusOp::ReadX, SnoopOutcome::flush(inv));
+        b.build()
+    }
+
+    #[test]
+    fn tiny_protocol_builds() {
+        let p = tiny().expect("tiny protocol should validate");
+        assert_eq!(p.num_states(), 2);
+        assert_eq!(p.name(), "Tiny");
+        let m = p.state_by_name("Modified").unwrap();
+        assert_eq!(p.state_by_name("M"), Some(m));
+        assert!(p.attrs(m).owned);
+        assert_eq!(p.emitted_bus_ops(), &[BusOp::ReadX, BusOp::WriteBack]);
+        assert_eq!(p.valid_states().count(), 1);
+        assert_eq!(p.owned_states().count(), 1);
+    }
+
+    #[test]
+    fn missing_outcome_is_rejected() {
+        let mut b = SpecBuilder::new("Broken");
+        let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+        let m = b.state("Modified", "M", StateAttrs::DIRTY);
+        b.on(
+            inv,
+            ProcEvent::Read,
+            Outcome {
+                next: m,
+                bus: Some(BusOp::ReadX),
+                data: DataOp::Read { fill: true },
+            },
+        );
+        // Write and Replace rows deliberately missing.
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SpecError::MissingOutcome { .. }));
+    }
+
+    #[test]
+    fn null_characteristic_ctx_dependence_rejected() {
+        let mut b = SpecBuilder::new("SneakyCtx");
+        let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+        let e = b.state("Excl", "E", StateAttrs::VALID_EXCLUSIVE);
+        let s = b.state("Shared", "S", StateAttrs::SHARED_CLEAN);
+        b.on_sharing(
+            inv,
+            ProcEvent::Read,
+            Outcome::read_miss(e),
+            Outcome::read_miss(s),
+        );
+        b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(e));
+        b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+        for st in [e, s] {
+            b.on(st, ProcEvent::Read, Outcome::read_hit(st));
+            b.on(st, ProcEvent::Write, Outcome::write_hit_invalidate(e));
+            b.on(st, ProcEvent::Replace, Outcome::evict_clean(inv));
+        }
+        b.snoop(e, BusOp::Read, SnoopOutcome::supply(s));
+        b.snoop(s, BusOp::Read, SnoopOutcome::supply(s));
+        b.snoop(e, BusOp::ReadX, SnoopOutcome::to(inv));
+        b.snoop(s, BusOp::ReadX, SnoopOutcome::to(inv));
+        b.snoop(e, BusOp::Upgrade, SnoopOutcome::to(inv));
+        b.snoop(s, BusOp::Upgrade, SnoopOutcome::to(inv));
+        // Declared Null but read-miss outcome depends on sharing.
+        let err = b.build().unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::NullCharacteristicCtxDependence { .. }
+        ));
+    }
+
+    #[test]
+    fn fill_without_bus_rejected() {
+        let mut b = SpecBuilder::new("NoBusFill");
+        let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+        let m = b.state("Modified", "M", StateAttrs::DIRTY);
+        b.on(
+            inv,
+            ProcEvent::Read,
+            Outcome {
+                next: m,
+                bus: None, // fill with no bus transaction
+                data: DataOp::Read { fill: true },
+            },
+        );
+        b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(m));
+        b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+        b.on(m, ProcEvent::Read, Outcome::read_hit(m));
+        b.on(m, ProcEvent::Write, Outcome::write_hit_silent(m));
+        b.on(m, ProcEvent::Replace, Outcome::evict_writeback(inv));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SpecError::InconsistentData { .. }));
+    }
+
+    #[test]
+    fn replacement_must_leave_cache() {
+        let mut b = SpecBuilder::new("StickyBlock");
+        let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+        let m = b.state("Modified", "M", StateAttrs::DIRTY);
+        b.on(
+            inv,
+            ProcEvent::Read,
+            Outcome {
+                next: m,
+                bus: Some(BusOp::ReadX),
+                data: DataOp::Read { fill: true },
+            },
+        );
+        b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(m));
+        b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+        b.on(m, ProcEvent::Read, Outcome::read_hit(m));
+        b.on(m, ProcEvent::Write, Outcome::write_hit_silent(m));
+        // Replacement that stays in M.
+        b.on(
+            m,
+            ProcEvent::Replace,
+            Outcome {
+                next: m,
+                bus: Some(BusOp::WriteBack),
+                data: DataOp::Evict { writeback: true },
+            },
+        );
+        b.snoop(m, BusOp::ReadX, SnoopOutcome::flush(inv));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SpecError::InconsistentData { .. }));
+    }
+
+    #[test]
+    fn disconnected_fsm_rejected_unless_allowed() {
+        // A valid state that can never be left again except it can't be
+        // reached: make Invalid unreachable from M by replacing the
+        // Replace outcome... Replace must leave the cache, so instead we
+        // build a three-state machine where the third state is
+        // unreachable.
+        let build = |allow: bool| {
+            let mut b = SpecBuilder::new("Island");
+            let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+            let m = b.state("Modified", "M", StateAttrs::DIRTY);
+            let island = b.state("Island", "X", StateAttrs::SHARED_CLEAN);
+            if allow {
+                b = {
+                    let mut b2 = SpecBuilder::new("Island").allow_disconnected();
+                    let inv2 = b2.state("Invalid", "Inv", StateAttrs::INVALID);
+                    let m2 = b2.state("Modified", "M", StateAttrs::DIRTY);
+                    let island2 = b2.state("Island", "X", StateAttrs::SHARED_CLEAN);
+                    assert_eq!((inv2, m2, island2), (inv, m, island));
+                    b2
+                };
+            }
+            b.on(
+                inv,
+                ProcEvent::Read,
+                Outcome {
+                    next: m,
+                    bus: Some(BusOp::ReadX),
+                    data: DataOp::Read { fill: true },
+                },
+            );
+            b.on(inv, ProcEvent::Write, Outcome::write_miss_invalidate(m));
+            b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+            b.on(m, ProcEvent::Read, Outcome::read_hit(m));
+            b.on(m, ProcEvent::Write, Outcome::write_hit_silent(m));
+            b.on(m, ProcEvent::Replace, Outcome::evict_writeback(inv));
+            b.on(island, ProcEvent::Read, Outcome::read_hit(island));
+            b.on(island, ProcEvent::Write, Outcome::write_hit_invalidate(m));
+            b.on(island, ProcEvent::Replace, Outcome::evict_clean(inv));
+            b.snoop(m, BusOp::ReadX, SnoopOutcome::flush(inv));
+            b.build()
+        };
+        assert_eq!(build(false).unwrap_err(), SpecError::NotStronglyConnected);
+        assert!(build(true).is_ok());
+    }
+
+    #[test]
+    fn describe_mentions_every_state() {
+        let p = tiny().unwrap();
+        let text = p.describe();
+        assert!(text.contains("Invalid"));
+        assert!(text.contains("Modified"));
+        assert!(text.contains("BusRdX"));
+    }
+}

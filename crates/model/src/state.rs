@@ -1,0 +1,196 @@
+//! Cache state symbols and their semantic attributes.
+//!
+//! A coherence protocol is a deterministic FSM `M = (Q, Σ, F, δ)`
+//! (Definition 1 of the paper). This module defines the representation of
+//! `Q`: a small, dense set of state symbols, each carrying *semantic
+//! attributes* that give the symbol its protocol-independent meaning
+//! (ownership, exclusivity, presence). The attributes drive the
+//! protocol-generic *structural* permissibility checks of §2.1: e.g. two
+//! caches in an `exclusive` state, or an `exclusive` copy coexisting with
+//! any other copy, are contradictions regardless of the protocol.
+
+use core::fmt;
+
+/// Identifier of a cache state symbol within a [`crate::ProtocolSpec`].
+///
+/// States are densely numbered from zero; by convention index `0` is the
+/// `Invalid` state (block not present, or present but invalidated — the
+/// paper folds both cases into a single *invalid* notion, §2.1).
+///
+/// The representation is a `u8` so that a concrete global state of up to
+/// 16 caches packs into a single `u64` (4 bits per cache) in the
+/// enumerative engine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u8);
+
+impl StateId {
+    /// The conventional identifier of the invalid state.
+    pub const INVALID: StateId = StateId(0);
+
+    /// Returns the dense index of this state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True iff this is the conventional invalid state.
+    #[inline]
+    pub fn is_invalid(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u8> for StateId {
+    fn from(v: u8) -> Self {
+        StateId(v)
+    }
+}
+
+/// Protocol-independent semantic attributes of a cache state symbol.
+///
+/// The paper (§2.1) observes that "each cache state carries some semantic
+/// interpretation", and that the primary verification procedure searches
+/// for global states in which those interpretations contradict each
+/// other. Encoding the interpretation as data lets the verifier derive
+/// the contradiction predicates instead of hard-coding them per protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct StateAttrs {
+    /// The block is present and readable by the local processor.
+    ///
+    /// `false` exactly for the invalid state. The paper's
+    /// *sharing-detection* characteristic function counts caches whose
+    /// state has `holds_copy == true`.
+    pub holds_copy: bool,
+
+    /// This copy is the *owner*: main memory may be stale with respect to
+    /// it, and the protocol relies on this cache to supply the block
+    /// and/or write it back. Examples: Illinois `Dirty`, Berkeley
+    /// `Owned-Exclusively` and `Owned-NonExclusively`, Dragon
+    /// `Shared-Dirty`.
+    ///
+    /// Structural invariant: at most one owned copy per block.
+    pub owned: bool,
+
+    /// The protocol guarantees that no *other* cache holds a copy while a
+    /// cache is in this state. Examples: Illinois `Valid-Exclusive` and
+    /// `Dirty`, Dragon `Dirty`.
+    ///
+    /// Structural invariant: a cache in an exclusive state may not
+    /// coexist with any other copy.
+    pub exclusive: bool,
+
+    /// The local processor may write this copy without any bus
+    /// transaction (a "silent" write hit). Examples: `Dirty` states.
+    /// Used by the simulator for statistics and by spec validation
+    /// (a silent write in a non-exclusive, non-owned state is almost
+    /// certainly a specification bug).
+    pub writable_silently: bool,
+}
+
+impl StateAttrs {
+    /// Attributes of the conventional invalid state.
+    pub const INVALID: StateAttrs = StateAttrs {
+        holds_copy: false,
+        owned: false,
+        exclusive: false,
+        writable_silently: false,
+    };
+
+    /// A clean, potentially shared copy (e.g. Illinois `Shared`).
+    pub const SHARED_CLEAN: StateAttrs = StateAttrs {
+        holds_copy: true,
+        owned: false,
+        exclusive: false,
+        writable_silently: false,
+    };
+
+    /// A clean copy guaranteed to be the only cached copy
+    /// (e.g. Illinois `Valid-Exclusive`).
+    pub const VALID_EXCLUSIVE: StateAttrs = StateAttrs {
+        holds_copy: true,
+        owned: false,
+        exclusive: true,
+        writable_silently: false,
+    };
+
+    /// A modified copy guaranteed to be the only cached copy
+    /// (e.g. Illinois `Dirty`).
+    pub const DIRTY: StateAttrs = StateAttrs {
+        holds_copy: true,
+        owned: true,
+        exclusive: true,
+        writable_silently: true,
+    };
+
+    /// A modified copy that may coexist with clean copies
+    /// (e.g. Berkeley `Owned-NonExclusively`, Dragon `Shared-Dirty`).
+    pub const OWNED_SHARED: StateAttrs = StateAttrs {
+        holds_copy: true,
+        owned: true,
+        exclusive: false,
+        writable_silently: false,
+    };
+}
+
+/// A named cache state symbol with its attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateInfo {
+    /// Human-readable name, e.g. `"Valid-Exclusive"`.
+    pub name: String,
+    /// Short name used in composite-state rendering, e.g. `"V-Ex"`.
+    pub short: String,
+    /// Semantic attributes.
+    pub attrs: StateAttrs,
+}
+
+impl StateInfo {
+    /// Creates a new state description.
+    pub fn new(name: impl Into<String>, short: impl Into<String>, attrs: StateAttrs) -> Self {
+        StateInfo {
+            name: name.into(),
+            short: short.into(),
+            attrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_state_id_is_zero() {
+        assert!(StateId::INVALID.is_invalid());
+        assert_eq!(StateId::INVALID.index(), 0);
+        assert!(!StateId(1).is_invalid());
+    }
+
+    #[test]
+    fn state_id_debug_is_compact() {
+        assert_eq!(format!("{:?}", StateId(3)), "q3");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn canned_attrs_are_consistent() {
+        assert!(!StateAttrs::INVALID.holds_copy);
+        assert!(StateAttrs::SHARED_CLEAN.holds_copy);
+        assert!(!StateAttrs::SHARED_CLEAN.exclusive);
+        assert!(StateAttrs::VALID_EXCLUSIVE.exclusive);
+        assert!(!StateAttrs::VALID_EXCLUSIVE.owned);
+        assert!(StateAttrs::DIRTY.owned && StateAttrs::DIRTY.exclusive);
+        assert!(StateAttrs::OWNED_SHARED.owned && !StateAttrs::OWNED_SHARED.exclusive);
+    }
+
+    #[test]
+    fn from_u8_roundtrip() {
+        let s: StateId = 5u8.into();
+        assert_eq!(s, StateId(5));
+    }
+}

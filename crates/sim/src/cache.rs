@@ -1,0 +1,259 @@
+//! A set-associative private cache with per-line protocol state.
+//!
+//! Each processor owns one `Cache`. A line tracks the block address,
+//! the protocol [`StateId`] and the *data version* — a monotonically
+//! increasing stamp assigned by the machine at each store, which the
+//! latest-value oracle compares against on every load. LRU replacement
+//! within a set generates the protocol's `Replace` events, exercising
+//! the `Z` transitions of the FSM.
+
+use ccv_model::StateId;
+
+/// One cache line.
+#[derive(Clone, Copy, Debug)]
+pub struct Line {
+    /// Block address held by the line.
+    pub block: u64,
+    /// Protocol state of the block copy.
+    pub state: StateId,
+    /// Version stamp of the data held (latest-value oracle).
+    pub version: u64,
+    /// LRU tick of the last touch.
+    lru: u64,
+}
+
+/// A set-associative, LRU, write-allocate cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: usize,
+    assoc: usize,
+    lines: Vec<Option<Line>>, // sets × assoc
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with `sets` sets of `assoc` ways.
+    pub fn new(sets: usize, assoc: usize) -> Cache {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(assoc >= 1);
+        Cache {
+            sets,
+            assoc,
+            lines: vec![None; sets * assoc],
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, block: u64) -> usize {
+        (block as usize) & (self.sets - 1)
+    }
+
+    fn set_slice(&self, block: u64) -> std::ops::Range<usize> {
+        let s = self.set_of(block);
+        s * self.assoc..(s + 1) * self.assoc
+    }
+
+    /// Looks a block up; present lines are returned even in the invalid
+    /// state (the caller decides whether invalid counts as a miss).
+    pub fn lookup(&self, block: u64) -> Option<&Line> {
+        self.lines[self.set_slice(block)]
+            .iter()
+            .flatten()
+            .find(|l| l.block == block)
+    }
+
+    /// Mutable lookup; bumps LRU.
+    pub fn lookup_mut(&mut self, block: u64) -> Option<&mut Line> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_slice(block);
+        let line = self.lines[range]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.block == block)?;
+        line.lru = tick;
+        Some(line)
+    }
+
+    /// The protocol state of `block` (`Invalid` when absent — the
+    /// paper folds "not present" into the invalid state, §2.1).
+    pub fn state_of(&self, block: u64) -> StateId {
+        self.lookup(block)
+            .map(|l| l.state)
+            .unwrap_or(StateId::INVALID)
+    }
+
+    /// Installs `block` in `state` with `version`, evicting the LRU
+    /// victim of the set if necessary. Returns the evicted line (which
+    /// the machine must put through a `Replace` transition) — `None`
+    /// when a free or invalid way was available.
+    ///
+    /// Victim preference: an invalid line, then the true LRU line.
+    pub fn install(&mut self, block: u64, state: StateId, version: u64) -> Option<Line> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_slice(block);
+
+        // Already present? Just update in place.
+        if let Some(l) = self.lines[range.clone()]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.block == block)
+        {
+            l.state = state;
+            l.version = version;
+            l.lru = tick;
+            return None;
+        }
+
+        // Free way or invalid line?
+        let slot = {
+            let slice = &self.lines[range.clone()];
+            slice.iter().position(|l| l.is_none()).or_else(|| {
+                slice
+                    .iter()
+                    .position(|l| l.is_some_and(|l| l.state.is_invalid()))
+            })
+        };
+        if let Some(i) = slot {
+            let idx = range.start + i;
+            let evicted = self.lines[idx].take().filter(|l| !l.state.is_invalid());
+            self.lines[idx] = Some(Line {
+                block,
+                state,
+                version,
+                lru: tick,
+            });
+            return evicted;
+        }
+
+        // LRU victim.
+        let victim_i = {
+            let slice = &self.lines[range.clone()];
+            let mut best = 0usize;
+            let mut best_lru = u64::MAX;
+            for (i, l) in slice.iter().enumerate() {
+                let lru = l.expect("set is full").lru;
+                if lru < best_lru {
+                    best_lru = lru;
+                    best = i;
+                }
+            }
+            best
+        };
+        let idx = range.start + victim_i;
+        let victim = self.lines[idx].take();
+        self.lines[idx] = Some(Line {
+            block,
+            state,
+            version,
+            lru: tick,
+        });
+        victim
+    }
+
+    /// Drops `block` from the cache (post-`Replace`, or snooped
+    /// invalidation that removes the line entirely). Keeping an invalid
+    /// line in place would also be correct; removal frees the way.
+    pub fn drop_block(&mut self, block: u64) {
+        let range = self.set_slice(block);
+        for l in &mut self.lines[range] {
+            if l.is_some_and(|l| l.block == block) {
+                *l = None;
+            }
+        }
+    }
+
+    /// Iterates over present, non-invalid lines.
+    pub fn valid_lines(&self) -> impl Iterator<Item = &Line> {
+        self.lines
+            .iter()
+            .flatten()
+            .filter(|l| !l.state.is_invalid())
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S1: StateId = StateId(1);
+    const S2: StateId = StateId(2);
+
+    #[test]
+    fn lookup_of_absent_block_is_invalid() {
+        let c = Cache::new(4, 2);
+        assert_eq!(c.state_of(99), StateId::INVALID);
+        assert!(c.lookup(99).is_none());
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let mut c = Cache::new(4, 2);
+        assert!(c.install(5, S1, 7).is_none());
+        let l = c.lookup(5).unwrap();
+        assert_eq!(l.state, S1);
+        assert_eq!(l.version, 7);
+        assert_eq!(c.state_of(5), S1);
+    }
+
+    #[test]
+    fn reinstall_updates_in_place() {
+        let mut c = Cache::new(4, 1);
+        c.install(5, S1, 1);
+        assert!(c.install(5, S2, 9).is_none(), "no eviction on update");
+        assert_eq!(c.lookup(5).unwrap().version, 9);
+        assert_eq!(c.state_of(5), S2);
+    }
+
+    #[test]
+    fn conflicting_install_evicts_lru() {
+        // One set, two ways: blocks 0, 4, 8 all map to set 0.
+        let mut c = Cache::new(1, 2);
+        c.install(0, S1, 1);
+        c.install(4, S1, 2);
+        // Touch block 0 so block 4 is LRU.
+        let _ = c.lookup_mut(0);
+        let evicted = c.install(8, S2, 3).expect("a victim must be evicted");
+        assert_eq!(evicted.block, 4);
+        assert!(c.lookup(0).is_some());
+        assert!(c.lookup(8).is_some());
+        assert!(c.lookup(4).is_none());
+    }
+
+    #[test]
+    fn invalid_lines_are_preferred_victims() {
+        let mut c = Cache::new(1, 2);
+        c.install(0, S1, 1);
+        c.install(4, S1, 2);
+        c.lookup_mut(4).unwrap().state = StateId::INVALID;
+        let evicted = c.install(8, S2, 3);
+        assert!(evicted.is_none(), "invalid line absorbed silently");
+        assert!(c.lookup(0).is_some());
+    }
+
+    #[test]
+    fn drop_block_frees_the_way() {
+        let mut c = Cache::new(1, 1);
+        c.install(3, S1, 1);
+        c.drop_block(3);
+        assert!(c.lookup(3).is_none());
+        assert!(c.install(7, S1, 2).is_none(), "way was freed");
+    }
+
+    #[test]
+    fn valid_lines_excludes_invalid() {
+        let mut c = Cache::new(2, 1);
+        c.install(0, S1, 1);
+        c.install(1, S1, 1);
+        c.lookup_mut(1).unwrap().state = StateId::INVALID;
+        assert_eq!(c.valid_lines().count(), 1);
+        assert_eq!(c.capacity(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Bus traffic cost model.
+//!
+//! Raw transaction counts under-state the difference between protocol
+//! families: an invalidation is one address cycle, while a block fill
+//! moves a whole cache line. Archibald & Baer's comparison therefore
+//! weighs transactions by the words they move. [`CostModel`] assigns:
+//!
+//! * every bus transaction one address/command overhead (`ctrl_words`);
+//! * every block transfer — fill from cache or memory, write-back,
+//!   snooper flush — `block_words` of payload;
+//! * every write-update broadcast and every write-through one word
+//!   (the store datum).
+//!
+//! [`traffic_words`](CostModel::traffic_words) folds a [`Stats`] into
+//! total words on the bus; `words_per_access` is the figure of merit
+//! used by the protocol-comparison tables.
+
+use crate::stats::Stats;
+use ccv_model::BusOp;
+
+/// Weights for converting transaction counts into bus words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Words per cache block (line size).
+    pub block_words: u64,
+    /// Address/command overhead per bus transaction.
+    pub ctrl_words: u64,
+}
+
+impl Default for CostModel {
+    /// 8-word (32-byte) lines, one control word per transaction — the
+    /// scale of the early-90s buses the protocols were designed for.
+    fn default() -> CostModel {
+        CostModel {
+            block_words: 8,
+            ctrl_words: 1,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total words moved over the bus for the given run statistics.
+    pub fn traffic_words(&self, stats: &Stats) -> u64 {
+        let ctrl = self.ctrl_words * stats.bus_total() as u64;
+        // Block payloads: every fill (whoever serves it) and every
+        // write-back / snooped flush moves a line.
+        let blocks = self.block_words
+            * (stats.cache_supplies + stats.memory_fills + stats.writebacks) as u64;
+        // Word payloads: update broadcasts and write-throughs.
+        let words = (stats.bus_count(BusOp::Update) + stats.through_writes) as u64;
+        ctrl + blocks + words
+    }
+
+    /// Words per processor access — the protocol-comparison figure of
+    /// merit.
+    pub fn words_per_access(&self, stats: &Stats) -> f64 {
+        if stats.accesses == 0 {
+            0.0
+        } else {
+            self.traffic_words(stats) as f64 / stats.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_cost_nothing() {
+        let cm = CostModel::default();
+        let s = Stats::default();
+        assert_eq!(cm.traffic_words(&s), 0);
+        assert_eq!(cm.words_per_access(&s), 0.0);
+    }
+
+    #[test]
+    fn fills_cost_a_block_updates_cost_a_word() {
+        let cm = CostModel {
+            block_words: 8,
+            ctrl_words: 1,
+        };
+        let mut s = Stats::default();
+        s.accesses = 10;
+        s.bus_ops[BusOp::Read.index()] = 2; // 2 ctrl
+        s.memory_fills = 2; // 16 payload
+        assert_eq!(cm.traffic_words(&s), 2 + 16);
+
+        let mut u = Stats::default();
+        u.accesses = 10;
+        u.bus_ops[BusOp::Update.index()] = 2; // 2 ctrl + 2 words
+        assert_eq!(cm.traffic_words(&u), 4);
+        assert!(cm.words_per_access(&u) < cm.words_per_access(&s));
+    }
+
+    #[test]
+    fn writebacks_and_write_throughs_are_charged() {
+        let cm = CostModel::default();
+        let mut s = Stats::default();
+        s.accesses = 1;
+        s.bus_ops[BusOp::WriteBack.index()] = 1;
+        s.writebacks = 1;
+        assert_eq!(cm.traffic_words(&s), 1 + 8);
+        let mut t = Stats::default();
+        t.accesses = 1;
+        t.bus_ops[BusOp::Upgrade.index()] = 1;
+        t.through_writes = 1;
+        assert_eq!(cm.traffic_words(&t), 1 + 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # ccv-sim — trace-driven multiprocessor cache simulator
+//!
+//! The operational counterpart of the `ccv` verifiers: a shared-bus
+//! multiprocessor with private set-associative caches that *executes*
+//! the same validated [`ccv_model::ProtocolSpec`] objects the symbolic
+//! engine proves correct. It serves two purposes:
+//!
+//! 1. **Operational sanity (experiment E8)** — a protocol the symbolic
+//!    engine verifies must run millions of accesses of any workload
+//!    without a single stale read; a rejected mutant must trip the
+//!    latest-value oracle. This closes the loop between the FSM
+//!    abstraction and an executable system.
+//! 2. **Protocol comparison** — per-protocol bus traffic, miss ratios,
+//!    invalidation/update counts on the classic sharing patterns
+//!    (the style of study for which Archibald & Baer originally
+//!    specified these protocols).
+//!
+//! ```
+//! use ccv_sim::{Machine, MachineConfig, workload, WorkloadParams};
+//! use ccv_model::protocols;
+//!
+//! let mut machine = Machine::new(protocols::illinois(), MachineConfig::small(4));
+//! let trace = workload::hot_block(&WorkloadParams::new(4));
+//! let report = machine.run(&trace);
+//! assert!(report.is_coherent());
+//! assert!(report.stats.bus_total() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod cost;
+pub mod machine;
+pub mod stats;
+pub mod trace;
+pub mod tracefile;
+pub mod workload;
+
+pub use cache::{Cache, Line};
+pub use cost::CostModel;
+pub use machine::{BlockSnapshot, CoherenceViolation, Machine, MachineConfig, RunReport};
+pub use stats::Stats;
+pub use trace::{Access, AccessKind, Trace};
+pub use tracefile::{format_trace, load_trace, parse_trace, TraceParseError};
+pub use workload::{all_workloads, WorkloadParams};

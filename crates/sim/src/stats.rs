@@ -1,0 +1,128 @@
+//! Execution statistics for simulation runs.
+
+use ccv_model::BusOp;
+use core::fmt;
+
+/// Counters collected while executing a trace.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Processor accesses executed.
+    pub accesses: usize,
+    /// Loads.
+    pub reads: usize,
+    /// Stores.
+    pub writes: usize,
+    /// Accesses that hit a readable (or writable) copy.
+    pub hits: usize,
+    /// Accesses that missed (block absent or invalid).
+    pub misses: usize,
+    /// Bus transactions, by operation index (see [`BusOp::ALL`]).
+    pub bus_ops: [usize; BusOp::COUNT],
+    /// Copies invalidated by snooping.
+    pub invalidations: usize,
+    /// Copies updated in place by broadcast writes.
+    pub updates_received: usize,
+    /// Cache-to-cache block transfers.
+    pub cache_supplies: usize,
+    /// Fills served by main memory.
+    pub memory_fills: usize,
+    /// Write-backs to memory (replacements and snooped flushes).
+    pub writebacks: usize,
+    /// Replacements performed (capacity/conflict evictions).
+    pub evictions: usize,
+    /// Write-through stores (a one-word memory write rides the
+    /// transaction).
+    pub through_writes: usize,
+}
+
+impl Stats {
+    /// Count of one bus operation.
+    pub fn bus_count(&self, op: BusOp) -> usize {
+        self.bus_ops[op.index()]
+    }
+
+    /// Total bus transactions.
+    pub fn bus_total(&self) -> usize {
+        self.bus_ops.iter().sum()
+    }
+
+    /// Miss ratio over all accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Bus transactions per access — the contention proxy used by
+    /// Archibald & Baer's protocol comparison.
+    pub fn bus_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.bus_total() as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "accesses {} (R {} / W {}), hits {}, misses {} ({:.2}%)",
+            self.accesses,
+            self.reads,
+            self.writes,
+            self.hits,
+            self.misses,
+            100.0 * self.miss_ratio()
+        )?;
+        write!(f, "bus:")?;
+        for op in BusOp::ALL {
+            if self.bus_count(op) > 0 {
+                write!(f, " {}={}", op, self.bus_count(op))?;
+            }
+        }
+        writeln!(f, " (total {})", self.bus_total())?;
+        write!(
+            f,
+            "inval {}, upd {}, c2c {}, memfill {}, wb {}, evict {}",
+            self.invalidations,
+            self.updates_received,
+            self.cache_supplies,
+            self.memory_fills,
+            self.writebacks,
+            self.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero() {
+        let s = Stats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.bus_per_access(), 0.0);
+        assert_eq!(s.bus_total(), 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::default();
+        s.accesses = 10;
+        s.misses = 3;
+        s.bus_ops[BusOp::Read.index()] = 4;
+        s.bus_ops[BusOp::WriteBack.index()] = 1;
+        assert_eq!(s.miss_ratio(), 0.3);
+        assert_eq!(s.bus_total(), 5);
+        assert_eq!(s.bus_per_access(), 0.5);
+        assert_eq!(s.bus_count(BusOp::Read), 4);
+        let text = s.to_string();
+        assert!(text.contains("BusRd=4"), "{text}");
+    }
+}

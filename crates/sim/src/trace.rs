@@ -1,0 +1,156 @@
+//! Memory access traces.
+//!
+//! The simulator consumes sequences of processor accesses to cache
+//! blocks. Traces are either synthesised by [`crate::workload`]
+//! generators or built by hand in tests; the address space is block
+//! granular (the protocols track one block's state, so the trace's
+//! `block` is the unit of coherence).
+
+use core::fmt;
+
+/// Kind of processor access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One processor access to a cache block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Issuing processor (0-based).
+    pub proc: usize,
+    /// Block address.
+    pub block: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A load by `proc` of `block`.
+    pub fn read(proc: usize, block: u64) -> Access {
+        Access {
+            proc,
+            block,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A store by `proc` to `block`.
+    pub fn write(proc: usize, block: u64) -> Access {
+        Access {
+            proc,
+            block,
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        };
+        write!(f, "P{} {k} #{}", self.proc, self.block)
+    }
+}
+
+/// A sequence of accesses with a descriptive name.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Workload name (for reports).
+    pub name: String,
+    /// Number of processors the trace assumes.
+    pub procs: usize,
+    /// The accesses, in global order (the atomic-bus model serialises
+    /// them).
+    pub accesses: Vec<Access>,
+}
+
+impl Trace {
+    /// Creates a trace from parts.
+    pub fn new(name: impl Into<String>, procs: usize, accesses: Vec<Access>) -> Trace {
+        let t = Trace {
+            name: name.into(),
+            procs,
+            accesses,
+        };
+        debug_assert!(t.accesses.iter().all(|a| a.proc < t.procs));
+        t
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True iff the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Fraction of writes in the trace.
+    pub fn write_ratio(&self) -> f64 {
+        if self.accesses.is_empty() {
+            return 0.0;
+        }
+        let w = self
+            .accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Write)
+            .count();
+        w as f64 / self.accesses.len() as f64
+    }
+
+    /// Number of distinct blocks referenced.
+    pub fn distinct_blocks(&self) -> usize {
+        let mut blocks: Vec<u64> = self.accesses.iter().map(|a| a.block).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let r = Access::read(1, 7);
+        let w = Access::write(0, 3);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(r.to_string(), "P1 R #7");
+        assert_eq!(w.to_string(), "P0 W #3");
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t = Trace::new(
+            "t",
+            2,
+            vec![
+                Access::read(0, 1),
+                Access::write(1, 1),
+                Access::read(0, 2),
+                Access::write(0, 2),
+            ],
+        );
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.write_ratio(), 0.5);
+        assert_eq!(t.distinct_blocks(), 2);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("empty", 1, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.write_ratio(), 0.0);
+        assert_eq!(t.distinct_blocks(), 0);
+    }
+}

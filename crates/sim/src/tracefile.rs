@@ -1,0 +1,173 @@
+//! Text trace format: load and save access traces.
+//!
+//! One access per line, whitespace-separated:
+//!
+//! ```text
+//! # comment lines and blank lines are skipped
+//! P0 R 12      # processor 0 reads block 12
+//! P3 W 0x1f    # processor 3 writes block 0x1f (hex accepted)
+//! ```
+//!
+//! The format is the least common denominator of academic trace
+//! formats — easy to generate from any tool and diff-friendly. The
+//! processor count of the resulting [`Trace`] is `max(proc) + 1`.
+
+use crate::trace::{Access, AccessKind, Trace};
+use core::fmt;
+
+/// A parse error with its line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn parse_block(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+/// Parses the text format into a [`Trace`].
+pub fn parse_trace(name: impl Into<String>, source: &str) -> Result<Trace, TraceParseError> {
+    let mut accesses = Vec::new();
+    let mut max_proc = 0usize;
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let err = |message: String| TraceParseError {
+            line: line_no,
+            message,
+        };
+        let proc_tok = toks.next().ok_or_else(|| err("missing processor".into()))?;
+        let proc: usize = proc_tok
+            .strip_prefix(['P', 'p'])
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| err(format!("bad processor '{proc_tok}' (expected e.g. P0)")))?;
+        let kind_tok = toks
+            .next()
+            .ok_or_else(|| err("missing access kind".into()))?;
+        let kind = match kind_tok {
+            "R" | "r" | "read" => AccessKind::Read,
+            "W" | "w" | "write" => AccessKind::Write,
+            other => return Err(err(format!("bad access kind '{other}' (expected R or W)"))),
+        };
+        let block_tok = toks
+            .next()
+            .ok_or_else(|| err("missing block address".into()))?;
+        let block =
+            parse_block(block_tok).ok_or_else(|| err(format!("bad block '{block_tok}'")))?;
+        if let Some(extra) = toks.next() {
+            return Err(err(format!("trailing token '{extra}'")));
+        }
+        max_proc = max_proc.max(proc);
+        accesses.push(Access { proc, block, kind });
+    }
+    Ok(Trace::new(name, max_proc + 1, accesses))
+}
+
+/// Serialises a trace into the text format (with a header comment).
+pub fn format_trace(trace: &Trace) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} — {} accesses, {} processors",
+        trace.name,
+        trace.len(),
+        trace.procs
+    );
+    for a in &trace.accesses {
+        let k = match a.kind {
+            AccessKind::Read => 'R',
+            AccessKind::Write => 'W',
+        };
+        let _ = writeln!(out, "P{} {k} {}", a.proc, a.block);
+    }
+    out
+}
+
+/// Reads a trace from a file.
+pub fn load_trace(path: &str) -> Result<Trace, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("trace")
+        .to_string();
+    parse_trace(name, &source).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_lines() {
+        let t = parse_trace(
+            "t",
+            "# header\nP0 R 1\n\nP1 W 0x1f   # inline comment\n p2 read 7\n",
+        )
+        .unwrap();
+        assert_eq!(t.procs, 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.accesses[0], Access::read(0, 1));
+        assert_eq!(t.accesses[1], Access::write(1, 0x1f));
+        assert_eq!(t.accesses[2], Access::read(2, 7));
+    }
+
+    #[test]
+    fn roundtrips_through_format() {
+        let original = Trace::new(
+            "rt",
+            2,
+            vec![Access::read(0, 3), Access::write(1, 9), Access::read(1, 3)],
+        );
+        let text = format_trace(&original);
+        let parsed = parse_trace("rt", &text).unwrap();
+        assert_eq!(parsed.accesses, original.accesses);
+        assert_eq!(parsed.procs, original.procs);
+    }
+
+    #[test]
+    fn reports_bad_lines_with_numbers() {
+        let err = parse_trace("t", "P0 R 1\nQ1 W 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("Q1"), "{err}");
+
+        let err = parse_trace("t", "P0 X 1\n").unwrap_err();
+        assert!(err.message.contains("access kind"), "{err}");
+
+        let err = parse_trace("t", "P0 R zz\n").unwrap_err();
+        assert!(err.message.contains("zz"), "{err}");
+
+        let err = parse_trace("t", "P0 R 1 extra\n").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+
+        let err = parse_trace("t", "P0\n").unwrap_err();
+        assert!(err.message.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn empty_source_is_an_empty_single_proc_trace() {
+        let t = parse_trace("t", "# nothing\n").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.procs, 1);
+    }
+}

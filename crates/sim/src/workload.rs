@@ -1,0 +1,252 @@
+//! Synthetic workload generators.
+//!
+//! The sharing patterns used by multiprocessor cache studies since
+//! Archibald & Baer's evaluation of these same protocols: uniform
+//! random sharing, hot-block contention, producer–consumer flag
+//! passing, migratory objects, and mostly-private working sets. Every
+//! generator is deterministic in its seed, so simulation results are
+//! reproducible.
+
+use crate::trace::{Access, AccessKind, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Common generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadParams {
+    /// Number of processors.
+    pub procs: usize,
+    /// Number of distinct blocks.
+    pub blocks: u64,
+    /// Number of accesses to generate.
+    pub accesses: usize,
+    /// Probability that an access is a store.
+    pub write_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// Reasonable defaults: 4 processors, 64 blocks, 10 000 accesses,
+    /// 30 % writes.
+    pub fn new(procs: usize) -> WorkloadParams {
+        WorkloadParams {
+            procs,
+            blocks: 64,
+            accesses: 10_000,
+            write_ratio: 0.3,
+            seed: 0xCC5EED,
+        }
+    }
+
+    fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    fn kind(&self, rng: &mut StdRng) -> AccessKind {
+        if rng.gen_bool(self.write_ratio) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        }
+    }
+}
+
+/// Uniform random: every processor touches every block with equal
+/// probability — maximal (unstructured) sharing.
+pub fn uniform(p: &WorkloadParams) -> Trace {
+    let mut rng = p.rng();
+    let accesses = (0..p.accesses)
+        .map(|_| Access {
+            proc: rng.gen_range(0..p.procs),
+            block: rng.gen_range(0..p.blocks),
+            kind: p.kind(&mut rng),
+        })
+        .collect();
+    Trace::new("uniform", p.procs, accesses)
+}
+
+/// Hot-block: 80 % of accesses hit a small hot set (one eighth of the
+/// blocks), modelling contended shared structures.
+pub fn hot_block(p: &WorkloadParams) -> Trace {
+    let mut rng = p.rng();
+    let hot = (p.blocks / 8).max(1);
+    let accesses = (0..p.accesses)
+        .map(|_| {
+            let block = if rng.gen_bool(0.8) {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(hot..p.blocks.max(hot + 1))
+            };
+            Access {
+                proc: rng.gen_range(0..p.procs),
+                block,
+                kind: p.kind(&mut rng),
+            }
+        })
+        .collect();
+    Trace::new("hot-block", p.procs, accesses)
+}
+
+/// Producer–consumer: processor 0 writes a block, every other
+/// processor reads it, round after round — the pattern that rewards
+/// write-update protocols.
+pub fn producer_consumer(p: &WorkloadParams) -> Trace {
+    let mut rng = p.rng();
+    let mut accesses = Vec::with_capacity(p.accesses);
+    let mut block = 0u64;
+    while accesses.len() < p.accesses {
+        accesses.push(Access::write(0, block));
+        for proc in 1..p.procs {
+            if accesses.len() >= p.accesses {
+                break;
+            }
+            accesses.push(Access::read(proc, block));
+        }
+        if rng.gen_bool(0.25) {
+            block = (block + 1) % p.blocks.max(1);
+        }
+    }
+    Trace::new("producer-consumer", p.procs, accesses)
+}
+
+/// Migratory sharing: a block is read and then written in a burst
+/// (a critical section) by one processor before migrating to the next
+/// — the pattern that rewards ownership (write-invalidate) protocols:
+/// after the first write the whole burst is silent, while write-update
+/// protocols broadcast every store to the stale copies left behind.
+pub fn migratory(p: &WorkloadParams) -> Trace {
+    let mut rng = p.rng();
+    let writes_per_visit = 8;
+    let mut accesses = Vec::with_capacity(p.accesses);
+    let mut proc = 0usize;
+    let mut block = 0u64;
+    while accesses.len() < p.accesses {
+        accesses.push(Access::read(proc, block));
+        for _ in 0..writes_per_visit {
+            if accesses.len() >= p.accesses {
+                break;
+            }
+            accesses.push(Access::write(proc, block));
+        }
+        proc = (proc + 1) % p.procs;
+        if rng.gen_bool(0.1) {
+            block = rng.gen_range(0..p.blocks.max(1));
+        }
+    }
+    Trace::new("migratory", p.procs, accesses)
+}
+
+/// Mostly-private: each processor has its own partition of the blocks
+/// and strays outside it rarely (5 %) — low sharing, replacement
+/// pressure dominates.
+pub fn mostly_private(p: &WorkloadParams) -> Trace {
+    let mut rng = p.rng();
+    let span = (p.blocks / p.procs as u64).max(1);
+    let accesses = (0..p.accesses)
+        .map(|_| {
+            let proc = rng.gen_range(0..p.procs);
+            let block = if rng.gen_bool(0.95) {
+                let base = proc as u64 * span;
+                base + rng.gen_range(0..span)
+            } else {
+                rng.gen_range(0..p.blocks)
+            };
+            Access {
+                proc,
+                block,
+                kind: p.kind(&mut rng),
+            }
+        })
+        .collect();
+    Trace::new("mostly-private", p.procs, accesses)
+}
+
+/// Every generator, paired with its name — the set used by the E8
+/// simulation experiment.
+pub fn all_workloads(p: &WorkloadParams) -> Vec<Trace> {
+    vec![
+        uniform(p),
+        hot_block(p),
+        producer_consumer(p),
+        migratory(p),
+        mostly_private(p),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams {
+            procs: 4,
+            blocks: 32,
+            accesses: 1000,
+            write_ratio: 0.3,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generators_honour_access_count_and_procs() {
+        for t in all_workloads(&params()) {
+            assert_eq!(t.len(), 1000, "{}", t.name);
+            assert!(t.accesses.iter().all(|a| a.proc < 4), "{}", t.name);
+            assert!(t.accesses.iter().all(|a| a.block < 32), "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        let a = uniform(&params());
+        let b = uniform(&params());
+        assert_eq!(a.accesses, b.accesses);
+        let mut p2 = params();
+        p2.seed = 43;
+        let c = uniform(&p2);
+        assert_ne!(a.accesses, c.accesses);
+    }
+
+    #[test]
+    fn hot_block_concentrates_accesses() {
+        let t = hot_block(&params());
+        let hot = 32 / 8;
+        let in_hot = t.accesses.iter().filter(|a| a.block < hot).count();
+        assert!(
+            in_hot > t.len() / 2,
+            "hot set got {in_hot}/{} accesses",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn producer_consumer_has_single_writer() {
+        let t = producer_consumer(&params());
+        assert!(t
+            .accesses
+            .iter()
+            .all(|a| a.kind == AccessKind::Read || a.proc == 0));
+    }
+
+    #[test]
+    fn migratory_is_write_dominated() {
+        let t = migratory(&params());
+        // Eight writes per read by construction.
+        let wr = t.write_ratio();
+        assert!((0.8..=0.95).contains(&wr), "write ratio {wr}");
+    }
+
+    #[test]
+    fn mostly_private_is_mostly_private() {
+        let p = params();
+        let t = mostly_private(&p);
+        let span = 32 / 4;
+        let own = t
+            .accesses
+            .iter()
+            .filter(|a| a.block / span == a.proc as u64)
+            .count();
+        assert!(own as f64 > 0.85 * t.len() as f64);
+    }
+}

@@ -1,0 +1,260 @@
+//! Shared helpers for the `ccv` integration test suite.
+//!
+//! The headline helper is [`random_protocol`]: a deterministic
+//! generator of *well-formed but otherwise arbitrary* protocol
+//! specifications, used by the differential test suites to pit the
+//! symbolic engine against the explicit-state engines on inputs nobody
+//! hand-tuned. Most generated protocols are incoherent — that is the
+//! point: the engines must *agree* on the verdict and on the reachable
+//! behaviour, whatever it is.
+
+use ccv_model::{
+    BusOp, Characteristic, DataOp, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome, SpecBuilder,
+    StateAttrs, StateId,
+};
+
+/// A tiny deterministic PRNG (xorshift64*) so the generator depends
+/// only on its seed, not on `rand` version details.
+pub struct Prng(u64);
+
+impl Prng {
+    /// Creates a PRNG from a nonzero-ified seed.
+    pub fn new(seed: u64) -> Prng {
+        Prng(seed | 1)
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Biased coin.
+    pub fn chance(&mut self, percent: u32) -> bool {
+        (self.next_u64() % 100) < percent as u64
+    }
+}
+
+/// Generates a well-formed (builder-validated) but otherwise random
+/// snooping protocol with 2-5 states. Strong connectivity is *not*
+/// required (most random FSMs aren't), so the builder runs with
+/// `allow_disconnected`; every other static check is in force, which
+/// keeps the generated specs inside the semantics all three engines
+/// implement.
+pub fn random_protocol(seed: u64) -> ProtocolSpec {
+    let mut rng = Prng::new(seed);
+    let m = 2 + rng.below(4); // 2..=5 states
+
+    let mut b = SpecBuilder::new(format!("Random-{seed:x}"))
+        .characteristic(Characteristic::SharingDetection)
+        .allow_disconnected();
+
+    let mut states: Vec<StateId> = Vec::with_capacity(m);
+    states.push(b.state("Invalid", "I", StateAttrs::INVALID));
+    for i in 1..m {
+        let attrs = StateAttrs {
+            holds_copy: true,
+            owned: rng.chance(40),
+            exclusive: rng.chance(40),
+            writable_silently: rng.chance(30),
+        };
+        states.push(b.state(format!("Q{i}"), format!("q{i}"), attrs));
+    }
+    let invalid = states[0];
+    let valid: Vec<StateId> = states[1..].to_vec();
+
+    fn pick(rng: &mut Prng, set: &[StateId]) -> StateId {
+        set[rng.below(set.len())]
+    }
+
+    // Processor outcomes per (state, event, context-split?).
+    for &s in &states {
+        let holds = s != invalid;
+
+        // Read.
+        fn read_outcome(
+            rng: &mut Prng,
+            holds: bool,
+            states: &[StateId],
+            valid: &[StateId],
+        ) -> Outcome {
+            if holds {
+                Outcome {
+                    next: pick(rng, states),
+                    bus: None,
+                    data: DataOp::Read { fill: false },
+                }
+            } else {
+                let bus = if rng.chance(50) {
+                    BusOp::Read
+                } else {
+                    BusOp::ReadX
+                };
+                Outcome {
+                    next: pick(rng, valid),
+                    bus: Some(bus),
+                    data: DataOp::Read { fill: true },
+                }
+            }
+        }
+        if rng.chance(40) {
+            let alone = read_outcome(&mut rng, holds, &states, &valid);
+            let shared = read_outcome(&mut rng, holds, &states, &valid);
+            b.on_sharing(s, ProcEvent::Read, alone, shared);
+        } else {
+            let o = read_outcome(&mut rng, holds, &states, &valid);
+            b.on(s, ProcEvent::Read, o);
+        }
+
+        // Write.
+        fn write_outcome(rng: &mut Prng, holds: bool, valid: &[StateId]) -> Outcome {
+            let next = pick(rng, valid);
+            if holds {
+                match rng.below(4) {
+                    0 => Outcome {
+                        next,
+                        bus: None,
+                        data: DataOp::Write {
+                            fill: false,
+                            through: rng.chance(30),
+                            broadcast: false,
+                        },
+                    },
+                    1 => Outcome {
+                        next,
+                        bus: Some(BusOp::Upgrade),
+                        data: DataOp::Write {
+                            fill: false,
+                            through: rng.chance(30),
+                            broadcast: false,
+                        },
+                    },
+                    2 => Outcome {
+                        next,
+                        bus: Some(BusOp::Update),
+                        data: DataOp::Write {
+                            fill: false,
+                            through: rng.chance(30),
+                            broadcast: true,
+                        },
+                    },
+                    _ => Outcome {
+                        next,
+                        bus: Some(BusOp::ReadX),
+                        data: DataOp::Write {
+                            fill: false,
+                            through: false,
+                            broadcast: false,
+                        },
+                    },
+                }
+            } else if rng.chance(70) {
+                Outcome {
+                    next,
+                    bus: Some(BusOp::ReadX),
+                    data: DataOp::Write {
+                        fill: true,
+                        through: rng.chance(20),
+                        broadcast: false,
+                    },
+                }
+            } else {
+                Outcome {
+                    next,
+                    bus: Some(BusOp::Update),
+                    data: DataOp::Write {
+                        fill: true,
+                        through: rng.chance(50),
+                        broadcast: true,
+                    },
+                }
+            }
+        }
+        if rng.chance(40) {
+            let alone = write_outcome(&mut rng, holds, &valid);
+            let shared = write_outcome(&mut rng, holds, &valid);
+            b.on_sharing(s, ProcEvent::Write, alone, shared);
+        } else {
+            let o = write_outcome(&mut rng, holds, &valid);
+            b.on(s, ProcEvent::Write, o);
+        }
+
+        // Replace.
+        let wb = holds && rng.chance(50);
+        b.on(
+            s,
+            ProcEvent::Replace,
+            if wb {
+                Outcome::evict_writeback(invalid)
+            } else {
+                Outcome::evict_clean(invalid)
+            },
+        );
+    }
+
+    // Snoop reactions.
+    for &s in &valid {
+        for bus in BusOp::ALL {
+            if rng.chance(50) {
+                continue; // keep the default (ignore)
+            }
+            let next = pick(&mut rng, &states);
+            b.snoop(
+                s,
+                bus,
+                SnoopOutcome {
+                    next,
+                    supplies_data: rng.chance(40),
+                    flushes_to_memory: rng.chance(30),
+                    receives_update: rng.chance(30),
+                },
+            );
+        }
+    }
+
+    b.build().expect("generated spec must pass validation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_model::GlobalCtx;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = random_protocol(42);
+        let b = random_protocol(42);
+        assert_eq!(a.num_states(), b.num_states());
+        for s in a.state_ids() {
+            for e in ProcEvent::ALL {
+                for c in GlobalCtx::ALL {
+                    assert_eq!(a.outcome(s, e, c), b.outcome(s, e, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_produces_varied_sizes() {
+        let sizes: Vec<usize> = (0..50).map(|s| random_protocol(s).num_states()).collect();
+        assert!(sizes.contains(&2));
+        assert!(sizes.iter().any(|&n| n >= 4));
+    }
+
+    #[test]
+    fn hundred_seeds_all_build() {
+        for seed in 0..100 {
+            let p = random_protocol(seed);
+            assert!(p.num_states() >= 2, "seed {seed}");
+        }
+    }
+}

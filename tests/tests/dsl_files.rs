@@ -1,0 +1,153 @@
+//! Integration tests for the `.ccv` protocol description language:
+//! the checked-in protocol files parse, match the library
+//! constructors semantically, and verify; malformed inputs fail
+//! gracefully (never panic).
+
+use ccv_core::{verify, Verdict};
+use ccv_model::dsl::{parse_protocol, to_dsl};
+use ccv_model::{protocols, BusOp, GlobalCtx, ProcEvent};
+use proptest::prelude::*;
+
+fn repo_file(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../protocols");
+    std::fs::read_to_string(format!("{path}/{name}"))
+        .unwrap_or_else(|e| panic!("reading protocols/{name}: {e}"))
+}
+
+#[test]
+fn checked_in_protocol_files_match_the_library() {
+    let pairs = [
+        ("msi.ccv", protocols::msi()),
+        ("illinois.ccv", protocols::illinois()),
+        ("write-once.ccv", protocols::write_once()),
+        ("synapse.ccv", protocols::synapse()),
+        ("berkeley.ccv", protocols::berkeley()),
+        ("firefly.ccv", protocols::firefly()),
+        ("dragon.ccv", protocols::dragon()),
+        ("moesi.ccv", protocols::moesi()),
+    ];
+    for (file, reference) in pairs {
+        let parsed = parse_protocol(&repo_file(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(parsed.num_states(), reference.num_states(), "{file}");
+        for s in reference.state_ids() {
+            assert_eq!(parsed.state(s).name, reference.state(s).name, "{file}");
+            assert_eq!(parsed.attrs(s), reference.attrs(s), "{file}");
+            for e in ProcEvent::ALL {
+                for c in GlobalCtx::ALL {
+                    assert_eq!(
+                        parsed.outcome(s, e, c),
+                        reference.outcome(s, e, c),
+                        "{file}: ({:?}, {e}, {c})",
+                        reference.state(s).name
+                    );
+                }
+            }
+            for b in BusOp::ALL {
+                assert_eq!(parsed.snoop(s, b), reference.snoop(s, b), "{file}");
+            }
+        }
+    }
+}
+
+#[test]
+fn checked_in_protocol_files_all_verify() {
+    for file in [
+        "msi.ccv",
+        "illinois.ccv",
+        "write-once.ccv",
+        "synapse.ccv",
+        "berkeley.ccv",
+        "firefly.ccv",
+        "dragon.ccv",
+        "moesi.ccv",
+    ] {
+        let spec = parse_protocol(&repo_file(file)).unwrap();
+        assert_eq!(verify(&spec).verdict, Verdict::Verified, "{file}");
+    }
+}
+
+#[test]
+fn export_parse_export_is_a_fixpoint() {
+    for spec in protocols::all_correct() {
+        let once = to_dsl(&spec);
+        let twice = to_dsl(&parse_protocol(&once).unwrap());
+        assert_eq!(once, twice, "{}", spec.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn mangled_sources_error_but_never_panic(
+        which in 0usize..8,
+        cut in 0usize..2000,
+        insert in proptest::sample::select(vec![
+            "", ";", "}", "{", "->", "when", "via BusRd", "fizz", "#",
+        ]),
+    ) {
+        // Take a valid protocol source, cut it at an arbitrary byte
+        // boundary and splice junk in. The parser must return Ok or a
+        // positioned error — anything but a panic.
+        let spec = protocols::all_correct().swap_remove(which);
+        let src = to_dsl(&spec);
+        let mut pos = cut.min(src.len());
+        while !src.is_char_boundary(pos) {
+            pos -= 1;
+        }
+        let mangled = format!("{}{}{}", &src[..pos], insert, &src[pos..]);
+        match parse_protocol(&mangled) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.line >= 1 && e.col >= 1);
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_sources_error_but_never_panic(
+        which in 0usize..8,
+        keep in 0usize..2000,
+    ) {
+        let spec = protocols::all_correct().swap_remove(which);
+        let src = to_dsl(&spec);
+        let mut pos = keep.min(src.len());
+        while !src.is_char_boundary(pos) {
+            pos -= 1;
+        }
+        let _ = parse_protocol(&src[..pos]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn arbitrary_ascii_never_panics_the_parser(src in "[ -~\n]{0,300}") {
+        // Raw fuzz: any printable-ASCII string must produce Ok or a
+        // positioned error, never a panic.
+        match parse_protocol(&src) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.line >= 1 && e.col >= 1),
+        }
+    }
+
+    #[test]
+    fn arbitrary_tokens_never_panic_the_parser(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "protocol", "state", "from", "snoop", "characteristic",
+                "read", "write", "replace", "when", "via", "alone",
+                "shared", "owned", "fill", "through", "broadcast",
+                "writeback", "supply", "flush", "update", "invalid",
+                "copy", "exclusive", "silent-write", "BusRd", "BusRdX",
+                "X", "Y", "{", "}", ";", "->", "as",
+            ]),
+            0..60,
+        ),
+    ) {
+        let src = words.join(" ");
+        let _ = parse_protocol(&src);
+    }
+}

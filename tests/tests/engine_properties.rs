@@ -1,0 +1,196 @@
+//! Deeper structural properties of the symbolic engine, checked across
+//! the whole protocol library.
+
+use ccv_core::{global_graph, run_expansion, successors, verify_with, Composite, Options, Verdict};
+use ccv_model::{protocols, ProcEvent};
+
+#[test]
+fn graphs_are_closed_and_rooted_for_every_protocol() {
+    for spec in protocols::all_correct() {
+        let exp = run_expansion(&spec, &Options::default());
+        let graph = global_graph(&spec, &exp);
+        let n = graph.num_states();
+        assert!(n >= 2, "{}", spec.name());
+
+        // Closure: every successor of every essential state is
+        // contained in an essential state (Theorem 1 fixpoint).
+        for s in &graph.states {
+            for t in successors(&spec, s) {
+                assert!(
+                    graph.states.iter().any(|e| t.to.contained_in(e)),
+                    "{}: successor of {} escapes the essential set",
+                    spec.name(),
+                    s.render(&spec)
+                );
+            }
+        }
+
+        // Rootedness: the initial state's family is covered, and every
+        // essential state is reachable from it within the graph.
+        let init = Composite::initial(&spec);
+        let root = graph
+            .states
+            .iter()
+            .position(|e| init.contained_in(e))
+            .unwrap_or_else(|| panic!("{}: initial state uncovered", spec.name()));
+        let mut seen = vec![false; n];
+        let mut stack = vec![root];
+        seen[root] = true;
+        while let Some(v) = stack.pop() {
+            for e in graph.edges.iter().filter(|e| e.from == v) {
+                if !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "{}: some essential state unreachable in the diagram",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn every_essential_state_has_all_three_events_available() {
+    // Each essential state must expand under R, W and (for valid
+    // classes) Z — the protocol FSM is input-enabled.
+    for spec in protocols::all_correct() {
+        let exp = run_expansion(&spec, &Options::default());
+        for s in exp.essential_states() {
+            let succ = successors(&spec, s);
+            for e in [ProcEvent::Read, ProcEvent::Write] {
+                assert!(
+                    succ.iter().any(|t| t.label.event == e),
+                    "{}: {} has no {e} successor",
+                    spec.name(),
+                    s.render(&spec)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn expansion_from_an_essential_state_stays_inside_the_family() {
+    // Running the worklist from any essential state (instead of the
+    // initial state) must not discover anything outside the original
+    // essential families — reachability is closed.
+    use ccv_core::engine::expand_from;
+    for spec in [protocols::illinois(), protocols::dragon()] {
+        let exp = run_expansion(&spec, &Options::default());
+        let essential: Vec<Composite> = exp.essential_states().into_iter().cloned().collect();
+        for start in &essential {
+            let sub = expand_from(&spec, start.clone(), &Options::default());
+            assert!(sub.is_clean(), "{}", spec.name());
+            for s in sub.essential_states() {
+                assert!(
+                    essential.iter().any(|e| s.contained_in(e)),
+                    "{}: expanding from {} reached {} outside the family",
+                    spec.name(),
+                    start.render(&spec),
+                    s.render(&spec)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn verdicts_are_stable_across_visit_budgets() {
+    // Shrinking the budget may turn a verdict Inconclusive, but never
+    // flips Verified <-> Erroneous.
+    for spec in protocols::all_correct() {
+        for budget in [100usize, 1_000, 100_000] {
+            let v = verify_with(
+                &spec,
+                &Options {
+                    max_visits: budget,
+                    ..Options::default()
+                },
+            );
+            assert_ne!(
+                v.verdict,
+                Verdict::Erroneous,
+                "{} with budget {budget}",
+                spec.name()
+            );
+        }
+    }
+    for (spec, _) in protocols::all_buggy() {
+        for budget in [1_000usize, 100_000] {
+            let v = verify_with(
+                &spec,
+                &Options {
+                    max_visits: budget,
+                    ..Options::default()
+                },
+            );
+            assert_ne!(
+                v.verdict,
+                Verdict::Verified,
+                "{} with budget {budget}",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_budget_is_reported_inconclusive() {
+    let v = verify_with(
+        &protocols::illinois(),
+        &Options {
+            max_visits: 2,
+            ..Options::default()
+        },
+    );
+    assert_eq!(v.verdict, Verdict::Inconclusive);
+}
+
+#[test]
+fn essential_states_are_mutually_incomparable() {
+    // Definition 10: essential states are not contained in one another.
+    for spec in protocols::all_correct() {
+        let exp = run_expansion(&spec, &Options::default());
+        let ess = exp.essential_states();
+        for (i, a) in ess.iter().enumerate() {
+            for (j, b) in ess.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !a.contained_in(b),
+                        "{}: {} ⊆ {}",
+                        spec.name(),
+                        a.render(&spec),
+                        b.render(&spec)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dirty_states_appear_with_stale_memory_only() {
+    // Protocol-generic invariant of the library's write-back designs:
+    // whenever an owned class is populated in an essential state,
+    // memory is stale — except for protocols where owners and memory
+    // can agree (never happens in this library's write-back set).
+    use ccv_model::MData;
+    for name in ["msi", "illinois", "berkeley", "moesi", "dragon"] {
+        let spec = protocols::by_name(name).unwrap();
+        let exp = run_expansion(&spec, &Options::default());
+        for s in exp.essential_states() {
+            let has_owner = s.classes().iter().any(|(k, _)| spec.attrs(k.state).owned);
+            if has_owner {
+                assert_eq!(
+                    s.mdata,
+                    MData::Obsolete,
+                    "{name}: owned copy with fresh memory in {}",
+                    s.render(&spec)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-engine agreement tests (E4, E7): the symbolic engine, the
+//! sequential enumerator, the parallel enumerator and the trace
+//! simulator must tell one consistent story.
+
+use ccv_core::{run_expansion, Options};
+use ccv_enum::{crosscheck, enumerate, enumerate_parallel, EnumOptions};
+use ccv_model::protocols::{all_buggy, all_correct, illinois};
+
+#[test]
+fn theorem_1_symbolic_covers_explicit_for_all_protocols() {
+    for spec in all_correct() {
+        let exp = run_expansion(&spec, &Options::default());
+        let essential = exp.essential_states();
+        for n in 1..=4 {
+            let cc = crosscheck(&spec, n, &essential, 1 << 22);
+            assert!(
+                cc.complete(),
+                "{} n={n}: {}/{} covered; examples {:?}",
+                spec.name(),
+                cc.covered,
+                cc.total_concrete,
+                cc.uncovered_examples
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_1_illinois_up_to_six_caches() {
+    let spec = illinois();
+    let exp = run_expansion(&spec, &Options::default());
+    let essential = exp.essential_states();
+    for n in 1..=6 {
+        let cc = crosscheck(&spec, n, &essential, 1 << 24);
+        assert!(cc.complete(), "n={n}");
+    }
+}
+
+#[test]
+fn enumeration_verdicts_match_symbolic_verdicts() {
+    // Any protocol the symbolic engine rejects must show a concrete
+    // violation at some small n, and vice versa: clean symbolic
+    // verdicts imply clean enumerations.
+    for spec in all_correct() {
+        for n in 1..=4 {
+            let r = enumerate(&spec, &EnumOptions::new(n));
+            assert!(
+                r.is_clean(),
+                "{} n={n}: {:?}",
+                spec.name(),
+                r.errors.first()
+            );
+        }
+    }
+    for (spec, why) in all_buggy() {
+        let found = (2..=4).any(|n| !enumerate(&spec, &EnumOptions::new(n)).errors.is_empty());
+        assert!(
+            found,
+            "{} ({why}): no concrete violation for n<=4",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn parallel_enumeration_agrees_with_sequential_everywhere() {
+    for spec in all_correct() {
+        for n in [2usize, 4] {
+            let seq = enumerate(&spec, &EnumOptions::new(n).exact());
+            let par = enumerate_parallel(&spec, &EnumOptions::new(n).exact(), 4);
+            assert_eq!(seq.distinct, par.distinct, "{} n={n}", spec.name());
+            assert_eq!(seq.visits, par.visits, "{} n={n}", spec.name());
+        }
+    }
+}
+
+#[test]
+fn counting_equivalence_is_a_pure_compression() {
+    // Counting-equivalence dedup must not change the verdict, only
+    // the state count.
+    for spec in all_correct() {
+        let exact = enumerate(&spec, &EnumOptions::new(3).exact());
+        let counting = enumerate(&spec, &EnumOptions::new(3));
+        assert!(exact.is_clean() && counting.is_clean(), "{}", spec.name());
+        assert!(counting.distinct <= exact.distinct, "{}", spec.name());
+    }
+    for (spec, _) in all_buggy() {
+        let exact = enumerate(&spec, &EnumOptions::new(3).exact());
+        let counting = enumerate(&spec, &EnumOptions::new(3));
+        assert_eq!(
+            exact.errors.is_empty(),
+            counting.errors.is_empty(),
+            "{}",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn explicit_state_space_grows_with_n_symbolic_does_not() {
+    let spec = illinois();
+    let mut last = 0usize;
+    for n in 1..=6 {
+        let d = enumerate(&spec, &EnumOptions::new(n).exact()).distinct;
+        assert!(d > last, "explicit space must grow: n={n}");
+        last = d;
+    }
+    let sym = run_expansion(&spec, &Options::default());
+    assert_eq!(
+        sym.essential.len(),
+        5,
+        "symbolic stays at 5 regardless of n"
+    );
+}

@@ -1,0 +1,92 @@
+//! Regression tests over the exhaustive single-mutation sweep (E10):
+//! the verifier must reach a definite verdict on *every* single-edit
+//! mutant of every protocol — no panics, no divergence — and the
+//! rejected ones must carry counterexamples.
+
+use ccv_core::{verify_with, Options, Verdict};
+use ccv_model::mutate::single_mutants;
+use ccv_model::protocols;
+
+fn opts() -> Options {
+    Options {
+        max_visits: 100_000,
+        ..Options::default()
+    }
+}
+
+#[test]
+fn every_illinois_mutant_gets_a_definite_verdict() {
+    let base = protocols::illinois();
+    for m in single_mutants(&base) {
+        let v = verify_with(&m.spec, &opts());
+        assert_ne!(
+            v.verdict,
+            Verdict::Inconclusive,
+            "diverged on: {}",
+            m.description
+        );
+        if v.verdict == Verdict::Erroneous {
+            assert!(
+                !v.reports.is_empty() && v.reports[0].path.contains("-->"),
+                "{}: missing counterexample",
+                m.description
+            );
+        }
+    }
+}
+
+#[test]
+fn every_protocols_mutants_terminate() {
+    for spec in protocols::all_correct() {
+        for m in single_mutants(&spec) {
+            let v = verify_with(&m.spec, &opts());
+            assert_ne!(
+                v.verdict,
+                Verdict::Inconclusive,
+                "{}: diverged on {}",
+                spec.name(),
+                m.description
+            );
+        }
+    }
+}
+
+#[test]
+fn dropping_any_writeback_is_always_caught() {
+    // The one mutation class that must never be benign: losing a
+    // write-back always loses data eventually.
+    for spec in protocols::all_correct() {
+        for m in single_mutants(&spec) {
+            if m.description.contains("write-back dropped") {
+                let v = verify_with(&m.spec, &opts());
+                assert_eq!(
+                    v.verdict,
+                    Verdict::Erroneous,
+                    "{}: {} slipped through",
+                    spec.name(),
+                    m.description
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn benign_mutants_pass_the_explicit_engine_too() {
+    // Double-check the "benign" verdicts against the enumerative
+    // engine at n = 3 — a symbolic false-negative would show up here.
+    use ccv_enum::{enumerate, EnumOptions};
+    let base = protocols::illinois();
+    for m in single_mutants(&base) {
+        let v = verify_with(&m.spec, &opts());
+        if v.verdict == Verdict::Verified {
+            let r = enumerate(&m.spec, &EnumOptions::new(3));
+            assert!(
+                r.is_clean(),
+                "{}: symbolically benign but concretely broken: {:?}",
+                m.description,
+                r.errors.first()
+            );
+        }
+    }
+}

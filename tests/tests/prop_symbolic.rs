@@ -1,0 +1,253 @@
+//! Property-based tests for the symbolic core: operator algebra,
+//! covering/containment laws, and the paper's monotonicity lemma.
+
+use ccv_core::{successors, ClassKey, Composite, FVal, Interval, Rep};
+use ccv_model::{protocols, CData, MData, StateId};
+use proptest::prelude::*;
+
+fn rep_strategy() -> impl Strategy<Value = Rep> {
+    prop_oneof![
+        Just(Rep::Zero),
+        Just(Rep::One),
+        Just(Rep::Plus),
+        Just(Rep::Star),
+    ]
+}
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0u32..5, any::<bool>()).prop_map(|(lo, unbounded)| Interval { lo, unbounded })
+}
+
+fn fval_strategy() -> impl Strategy<Value = FVal> {
+    prop_oneof![Just(FVal::V1), Just(FVal::V2), Just(FVal::V3)]
+}
+
+fn mdata_strategy() -> impl Strategy<Value = MData> {
+    prop_oneof![Just(MData::Fresh), Just(MData::Obsolete)]
+}
+
+/// A random (possibly infeasible) composite state over the Illinois
+/// state alphabet (4 states).
+fn composite_strategy() -> impl Strategy<Value = Composite> {
+    let n = 4usize;
+    (
+        proptest::collection::vec(rep_strategy(), n),
+        fval_strategy(),
+        mdata_strategy(),
+    )
+        .prop_map(move |(reps, f, mdata)| {
+            let classes = reps
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let key = if i == 0 {
+                        ClassKey::invalid()
+                    } else {
+                        ClassKey::fresh(StateId(i as u8))
+                    };
+                    (key, r)
+                })
+                .collect();
+            Composite::new(classes, mdata, f)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // --- Operator algebra --------------------------------------------------
+
+    #[test]
+    fn rep_le_is_reflexive(r in rep_strategy()) {
+        prop_assert!(r.le(r));
+    }
+
+    #[test]
+    fn rep_le_is_antisymmetric(a in rep_strategy(), b in rep_strategy()) {
+        if a.le(b) && b.le(a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rep_le_is_transitive(a in rep_strategy(), b in rep_strategy(), c in rep_strategy()) {
+        if a.le(b) && b.le(c) {
+            prop_assert!(a.le(c));
+        }
+    }
+
+    #[test]
+    fn rep_le_agrees_with_interval_subset(a in rep_strategy(), b in rep_strategy()) {
+        prop_assert_eq!(a.le(b), a.interval().subset_of(b.interval()));
+    }
+
+    #[test]
+    fn interval_subset_is_a_partial_order(
+        a in interval_strategy(),
+        b in interval_strategy(),
+        c in interval_strategy(),
+    ) {
+        prop_assert!(a.subset_of(a));
+        if a.subset_of(b) && b.subset_of(a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.subset_of(b) && b.subset_of(c) {
+            prop_assert!(a.subset_of(c));
+        }
+    }
+
+    #[test]
+    fn interval_merge_is_commutative_and_monotone(
+        a in interval_strategy(),
+        b in interval_strategy(),
+        c in interval_strategy(),
+    ) {
+        prop_assert_eq!(a.merge(b), b.merge(a));
+        if a.subset_of(c) {
+            // merging the same amount preserves inclusion
+            prop_assert!(a.merge(b).subset_of(c.merge(b)));
+        }
+    }
+
+    #[test]
+    fn plus_one_then_minus_one_roundtrips(a in interval_strategy()) {
+        prop_assert_eq!(a.plus_one().minus_one(), a);
+    }
+
+    #[test]
+    fn coarsening_only_widens(a in interval_strategy()) {
+        // to_rep over-approximates: the original interval is a subset
+        // of the operator's denotation.
+        prop_assert!(a.subset_of(a.to_rep().interval()));
+    }
+
+    #[test]
+    fn conditioning_refines(a in interval_strategy()) {
+        if let Some(ne) = a.condition_nonempty() {
+            prop_assert!(ne.subset_of(a));
+            prop_assert!(ne.certainly_nonempty());
+        }
+        if let Some(e) = a.condition_empty() {
+            prop_assert!(e.subset_of(a));
+            prop_assert!(e.is_zero());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // --- Covering and containment -------------------------------------------
+
+    #[test]
+    fn covering_is_reflexive_and_transitive(
+        a in composite_strategy(),
+        b in composite_strategy(),
+        c in composite_strategy(),
+    ) {
+        prop_assert!(a.covered_by(&a));
+        if a.covered_by(&b) && b.covered_by(&c) {
+            prop_assert!(a.covered_by(&c));
+        }
+        if a.contained_in(&b) && b.contained_in(&c) {
+            prop_assert!(a.contained_in(&c));
+        }
+    }
+
+    #[test]
+    fn containment_implies_covering_and_equal_f(
+        a in composite_strategy(),
+        b in composite_strategy(),
+    ) {
+        if a.contained_in(&b) {
+            prop_assert!(a.covered_by(&b));
+            prop_assert_eq!(a.f, b.f);
+            prop_assert_eq!(a.mdata, b.mdata);
+        }
+    }
+
+    #[test]
+    fn covering_is_antisymmetric_on_canonical_states(
+        a in composite_strategy(),
+        b in composite_strategy(),
+    ) {
+        if a.covered_by(&b) && b.covered_by(&a) {
+            // Canonical representation is unique per family.
+            prop_assert_eq!(a.classes(), b.classes());
+        }
+    }
+}
+
+/// Strengthens every class operator of `s` according to `choices`,
+/// producing a state structurally covered by `s` with the same `F`.
+fn strengthen(s: &Composite, choices: &[u8]) -> Composite {
+    let classes = s
+        .classes()
+        .iter()
+        .zip(choices.iter().cycle())
+        .map(|(&(k, r), &c)| {
+            let weakened = match (r, c % 4) {
+                (Rep::Star, 0) => Rep::Zero,
+                (Rep::Star, 1) => Rep::One,
+                (Rep::Star, 2) => Rep::Plus,
+                (Rep::Plus, 0) | (Rep::Plus, 1) => Rep::One,
+                (other, _) => other,
+            };
+            (k, weakened)
+        })
+        .collect();
+    Composite::new(classes, s.mdata, s.f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- Lemma 2 / Corollary 2: monotonicity of expansion --------------------
+
+    #[test]
+    fn expansion_is_monotonic_under_containment(
+        state_idx in 0usize..5,
+        choices in proptest::collection::vec(any::<u8>(), 1..6),
+    ) {
+        // Take a reachable essential state S2 of Illinois, strengthen
+        // it into S1 ⊆ S2, and check that every successor of S1 is
+        // contained in some successor of S2.
+        let spec = protocols::illinois();
+        let exp = ccv_core::run_expansion(&spec, &ccv_core::Options::default());
+        let essential = exp.essential_states();
+        let s2 = essential[state_idx % essential.len()].clone();
+        let s1 = strengthen(&s2, &choices);
+        prop_assume!(s1.contained_in(&s2));
+
+        let succ2 = successors(&spec, &s2);
+        for t1 in successors(&spec, &s1) {
+            prop_assert!(
+                succ2.iter().any(|t2| t1.to.contained_in(&t2.to)),
+                "successor {:?} of {:?} not covered",
+                t1.to.render(&spec),
+                s1.render(&spec)
+            );
+        }
+    }
+
+    #[test]
+    fn successors_of_permissible_reachable_states_are_valid_composites(
+        state_idx in 0usize..5,
+    ) {
+        let spec = protocols::illinois();
+        let exp = ccv_core::run_expansion(&spec, &ccv_core::Options::default());
+        let essential = exp.essential_states();
+        let s = essential[state_idx % essential.len()].clone();
+        for t in successors(&spec, &s) {
+            // Canonical form invariants.
+            for (k, r) in t.to.classes() {
+                prop_assert!(*r != Rep::Zero);
+                if k.state.is_invalid() {
+                    prop_assert_eq!(k.cdata, CData::NoData);
+                }
+            }
+            // Errors never occur on a verified protocol's reachable set.
+            prop_assert!(t.errors.is_empty());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Scripted protocol-behaviour tests on the simulator: each test pins
+//! the distinguishing move of one protocol with a hand-written trace.
+
+use ccv_model::protocols;
+use ccv_sim::{Access, Machine, MachineConfig, Trace};
+
+fn run(spec: ccv_model::ProtocolSpec, procs: usize, accesses: Vec<Access>) -> ccv_sim::RunReport {
+    let mut m = Machine::new(spec, MachineConfig::small(procs));
+    m.run(&Trace::new("script", procs, accesses))
+}
+
+#[test]
+fn write_once_first_write_is_a_bus_write_second_is_silent() {
+    // P0 reads (Valid), writes once (through, Reserved), writes again
+    // (silent, Dirty).
+    let r = run(
+        protocols::write_once(),
+        2,
+        vec![Access::read(0, 1), Access::write(0, 1), Access::write(0, 1)],
+    );
+    assert!(r.is_coherent());
+    assert_eq!(r.stats.through_writes, 1, "exactly the write-once write");
+    // Read miss + the write-through upgrade: two bus transactions.
+    assert_eq!(r.stats.bus_total(), 2);
+}
+
+#[test]
+fn synapse_owner_eviction_through_memory() {
+    // Synapse: P1's read miss forces P0's dirty copy through memory
+    // (abort-flush-retry), not cache-to-cache.
+    let r = run(
+        protocols::synapse(),
+        2,
+        vec![Access::write(0, 1), Access::read(1, 1)],
+    );
+    assert!(r.is_coherent());
+    assert_eq!(r.stats.cache_supplies, 0, "Synapse never supplies");
+    assert_eq!(r.stats.memory_fills, 2, "both fills via memory");
+    assert_eq!(r.stats.writebacks, 1, "the abort flush");
+}
+
+#[test]
+fn illinois_vs_mesi_mem_clean_supply() {
+    // Same trace; Illinois serves the second read cache-to-cache,
+    // MESI-Mem from memory.
+    let trace = vec![Access::read(0, 1), Access::read(1, 1)];
+    let ill = run(protocols::illinois(), 2, trace.clone());
+    let mem = run(protocols::mesi_mem(), 2, trace);
+    assert!(ill.is_coherent() && mem.is_coherent());
+    assert_eq!(ill.stats.cache_supplies, 1);
+    assert_eq!(mem.stats.cache_supplies, 0);
+    assert_eq!(mem.stats.memory_fills, 2);
+}
+
+#[test]
+fn berkeley_memory_stays_stale_across_sharing() {
+    // P0 writes (owner), P1 reads (supplied by owner, memory NOT
+    // updated), then P1 writes (ownership moves). No write-back until
+    // eviction.
+    let r = run(
+        protocols::berkeley(),
+        2,
+        vec![
+            Access::write(0, 1),
+            Access::read(1, 1),
+            Access::write(1, 1),
+            Access::read(0, 1),
+        ],
+    );
+    assert!(r.is_coherent());
+    assert_eq!(r.stats.writebacks, 0, "Berkeley defers write-backs");
+    assert!(r.stats.cache_supplies >= 2);
+}
+
+#[test]
+fn moesi_owner_keeps_serving_readers() {
+    // P0 writes; P1, P2, P3 read in turn: the owner supplies each time
+    // and memory is never refreshed (no flush in MOESI on BusRd).
+    let r = run(
+        protocols::moesi(),
+        4,
+        vec![
+            Access::write(0, 1),
+            Access::read(1, 1),
+            Access::read(2, 1),
+            Access::read(3, 1),
+        ],
+    );
+    assert!(r.is_coherent());
+    assert_eq!(r.stats.writebacks, 0);
+    assert_eq!(r.stats.cache_supplies, 3);
+    assert_eq!(r.stats.memory_fills, 1, "only the initial write-miss fill");
+}
+
+#[test]
+fn msi_flushes_on_first_remote_read() {
+    let r = run(
+        protocols::msi(),
+        2,
+        vec![Access::write(0, 1), Access::read(1, 1)],
+    );
+    assert!(r.is_coherent());
+    assert_eq!(r.stats.writebacks, 1, "M flushes on BusRd");
+}
+
+#[test]
+fn firefly_shared_write_updates_everyone_and_memory() {
+    let r = run(
+        protocols::firefly(),
+        3,
+        vec![
+            Access::read(0, 1),
+            Access::read(1, 1),
+            Access::read(2, 1),
+            Access::write(0, 1), // broadcast + write-through
+            Access::read(1, 1),  // hit, fresh
+            Access::read(2, 1),  // hit, fresh
+        ],
+    );
+    assert!(r.is_coherent(), "{:?}", r.violations.first());
+    assert_eq!(r.stats.updates_received, 2);
+    assert_eq!(r.stats.through_writes, 1);
+    assert_eq!(r.stats.invalidations, 0);
+    // The two post-write reads are hits.
+    assert_eq!(r.stats.misses, 3);
+}
+
+#[test]
+fn dragon_write_miss_with_sharers_takes_ownership() {
+    let r = run(
+        protocols::dragon(),
+        3,
+        vec![
+            Access::read(0, 1),
+            Access::read(1, 1),
+            Access::write(2, 1), // write miss: fill + update broadcast
+            Access::read(0, 1),  // hit, sees the new value
+            Access::read(1, 1),
+        ],
+    );
+    assert!(r.is_coherent(), "{:?}", r.violations.first());
+    assert_eq!(r.stats.updates_received, 2);
+    assert_eq!(r.stats.invalidations, 0);
+    assert_eq!(r.stats.through_writes, 0, "Dragon never writes through");
+}
+
+#[test]
+fn write_through_never_writes_back_and_always_writes_through() {
+    let r = run(
+        protocols::write_through(),
+        2,
+        vec![
+            Access::write(0, 1),
+            Access::write(0, 1),
+            Access::read(1, 1),
+            Access::write(1, 1),
+        ],
+    );
+    assert!(r.is_coherent());
+    assert_eq!(r.stats.writebacks, 0);
+    assert_eq!(r.stats.through_writes, 3);
+    assert_eq!(r.stats.invalidations, 1, "P0's copy dies on P1's write");
+}
+
+#[test]
+fn exclusive_fill_enables_silent_upgrade() {
+    // Illinois: lone reader fills V-Ex; its write is then bus-free.
+    let r = run(
+        protocols::illinois(),
+        2,
+        vec![Access::read(0, 1), Access::write(0, 1)],
+    );
+    assert!(r.is_coherent());
+    assert_eq!(r.stats.bus_total(), 1, "only the initial BusRd");
+    // MSI pays an upgrade for the same sequence.
+    let r = run(
+        protocols::msi(),
+        2,
+        vec![Access::read(0, 1), Access::write(0, 1)],
+    );
+    assert_eq!(r.stats.bus_total(), 2, "BusRd + BusUpgr");
+}
