@@ -14,10 +14,7 @@ fn bench_pruning(c: &mut Criterion) {
             b.iter(|| black_box(run_expansion(&spec, &opts).visits))
         });
         group.bench_function(format!("{name}/equality"), |b| {
-            let opts = Options {
-                pruning: Pruning::Equality,
-                ..Options::default()
-            };
+            let opts = Options::default().pruning(Pruning::Equality);
             b.iter(|| black_box(run_expansion(&spec, &opts).visits))
         });
     }
@@ -36,10 +33,7 @@ fn bench_bug_detection_latency(c: &mut Criterion) {
         })
     });
     group.bench_function("stop_at_first_error", |b| {
-        let opts = Options {
-            stop_at_first_error: true,
-            ..Options::default()
-        };
+        let opts = Options::default().stop_at_first_error(true);
         b.iter(|| {
             let v = verify_with(&spec, &opts);
             assert_eq!(v.verdict, ccv_core::Verdict::Erroneous);

@@ -48,10 +48,7 @@ fn main() {
         let t0 = Instant::now();
         let eq = run_expansion(
             &spec,
-            &Options {
-                pruning: Pruning::Equality,
-                ..Options::default()
-            },
+            &Options::default().pruning(Pruning::Equality),
         );
         let t_eq = t0.elapsed();
         table.row(vec![

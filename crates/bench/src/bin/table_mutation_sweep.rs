@@ -35,10 +35,7 @@ fn main() {
     ]);
     let mut benign_report = String::new();
 
-    let opts = Options {
-        max_visits: 100_000,
-        ..Options::default()
-    };
+    let opts = Options::default().max_visits(100_000);
 
     for spec in protocols::all_correct() {
         if let Some(ref name) = only {

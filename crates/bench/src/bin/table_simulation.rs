@@ -75,7 +75,7 @@ fn main() {
             (MachineConfig::tiny(procs), "tiny"),
         ] {
             for trace in all_workloads(&params) {
-                let mut m = Machine::new(spec.clone(), cfg);
+                let mut m = Machine::new(spec.clone(), cfg.clone());
                 let r = m.run(&trace);
                 if !r.is_coherent() {
                     tripped = Some((

@@ -1,14 +1,19 @@
 //! Command implementations for the `ccv` binary.
 //!
-//! Each command returns `Ok(true)` for success, `Ok(false)` for a
-//! completed run with a negative result (verification failed, oracle
-//! violated), and `Err(message)` for usage errors.
+//! Each command declares its argument grammar as a typed
+//! [`ArgSpec`](crate::args::ArgSpec) (see `args.rs`), parses with
+//! positioned errors, and supports `--help`. Commands return
+//! `Ok(true)` for success, `Ok(false)` for a completed run with a
+//! negative result (verification failed, oracle violated), and
+//! `Err(message)` for usage errors.
 
-use ccv_core::{run_expansion, verify_with, Options, Pruning, Verdict};
-use ccv_enum::{
-    crosscheck as run_crosscheck, enumerate as run_enumerate, enumerate_parallel, EnumOptions,
-};
+use std::sync::Arc;
+
+use crate::args::{ArgSpec, Flag, ParsedArgs, Positional};
+use ccv_core::{Options, Pruning, Session, Verdict};
+use ccv_enum::{attach_crosscheck, enumerate as run_enumerate, enumerate_parallel, EnumOptions};
 use ccv_model::{protocols, ProtocolSpec};
+use ccv_observe::{EventSink, Metrics, NdjsonSink, SinkHandle, Tee};
 use ccv_sim::{workload, Machine, MachineConfig, Trace, WorkloadParams};
 
 /// Top-level usage text.
@@ -20,6 +25,7 @@ usage:
   ccv describe   <protocol>                 print the protocol's FSM tables
   ccv check-all                             verify the whole library (CI gate)
   ccv verify     <protocol> [--trace] [--equality] [--dot FILE]
+                 [--metrics FILE] [--progress]
   ccv graph      <protocol>                 print the global diagram as DOT
   ccv export     <protocol>                 print the protocol as .ccv source
   ccv compare    <protocol-a> <protocol-b>  diff the global diagrams
@@ -31,43 +37,128 @@ usage:
   ccv simulate   <protocol> [--workload W | --trace-file F] [--accesses N]
                  [--procs P] [--seed S]
 
+run `ccv <command> --help` for the full options of one command.
+
 <protocol> is a library name (msi, illinois, write-once, synapse, berkeley,
 firefly, dragon, moesi, or a buggy mutant — run `ccv list`) or a path to a
 .ccv protocol description file.";
 
 type CmdResult = Result<bool, String>;
 
-fn resolve(args: &[String]) -> Result<(ProtocolSpec, Vec<String>), String> {
-    let name = args
-        .first()
-        .ok_or_else(|| "missing protocol name".to_string())?;
+const PROTOCOL_POS: Positional = Positional {
+    name: "protocol",
+    required: true,
+    help: "library protocol name or path to a .ccv file",
+};
+
+fn resolve_spec(name: &str) -> Result<ProtocolSpec, String> {
     // A path to a .ccv file takes priority over library names.
-    let spec = if name.ends_with(".ccv") || std::path::Path::new(name).is_file() {
+    if name.ends_with(".ccv") || std::path::Path::new(name).is_file() {
         let source = std::fs::read_to_string(name).map_err(|e| format!("reading {name}: {e}"))?;
-        ccv_model::dsl::parse_protocol(&source).map_err(|e| format!("{name}:{e}"))?
+        ccv_model::dsl::parse_protocol(&source).map_err(|e| format!("{name}:{e}"))
     } else {
         protocols::by_name(name)
-            .ok_or_else(|| format!("unknown protocol '{name}' (try `ccv list`)"))?
-    };
-    Ok((spec, args[1..].to_vec()))
+            .ok_or_else(|| format!("unknown protocol '{name}' (try `ccv list`)"))
+    }
 }
 
-/// `ccv export <protocol>`
-pub fn export(args: &[String]) -> CmdResult {
-    let (spec, _) = resolve(args)?;
-    print!("{}", ccv_model::dsl::to_dsl(&spec));
+/// Parses `args` against `spec`; `Ok(None)` means `--help` was printed.
+fn parse_or_help(spec: &ArgSpec, args: &[String]) -> Result<Option<ParsedArgs>, String> {
+    let p = spec.parse(args)?;
+    if p.help {
+        print!("{}", spec.help());
+        return Ok(None);
+    }
+    Ok(Some(p))
+}
+
+const LIST_SPEC: ArgSpec = ArgSpec {
+    cmd: "list",
+    summary: "list the protocol library: correct protocols and buggy mutants",
+    positionals: &[],
+    flags: &[],
+};
+
+/// `ccv list`
+pub fn list(args: &[String]) -> CmdResult {
+    let Some(_) = parse_or_help(&LIST_SPEC, args)? else {
+        return Ok(true);
+    };
+    println!("correct protocols:");
+    for spec in protocols::all_correct() {
+        println!(
+            "  {:<12} |Q|={} {}",
+            spec.name().to_lowercase(),
+            spec.num_states(),
+            if spec.uses_sharing_detection() {
+                "(sharing-detection F)"
+            } else {
+                "(null F)"
+            }
+        );
+    }
+    println!("\nbuggy mutants (for verifier demonstrations):");
+    for (spec, why) in protocols::all_buggy() {
+        let cli_name = spec.name().to_lowercase().replace('/', "-");
+        println!("  {cli_name:<34} {why}");
+    }
     Ok(true)
 }
 
+const DESCRIBE_SPEC: ArgSpec = ArgSpec {
+    cmd: "describe",
+    summary: "print a protocol's FSM tables and snoop reactions",
+    positionals: &[PROTOCOL_POS],
+    flags: &[],
+};
+
+/// `ccv describe <protocol>`
+pub fn describe(args: &[String]) -> CmdResult {
+    let Some(p) = parse_or_help(&DESCRIBE_SPEC, args)? else {
+        return Ok(true);
+    };
+    let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
+    print!("{}", spec.describe());
+    println!("\nsnoop reactions:");
+    for s in spec.state_ids() {
+        for &bus in spec.emitted_bus_ops() {
+            let sn = spec.snoop(s, bus);
+            if sn.next == s && !sn.supplies_data && !sn.flushes_to_memory && !sn.receives_update {
+                continue;
+            }
+            println!(
+                "  {} on {} -> {}{}{}{}",
+                spec.state(s).short,
+                bus,
+                spec.state(sn.next).short,
+                if sn.supplies_data { " +supply" } else { "" },
+                if sn.flushes_to_memory { " +flush" } else { "" },
+                if sn.receives_update { " +update" } else { "" },
+            );
+        }
+    }
+    Ok(true)
+}
+
+const CHECK_ALL_SPEC: ArgSpec = ArgSpec {
+    cmd: "check-all",
+    summary: "verify every library protocol and mutant (CI gate)",
+    positionals: &[],
+    flags: &[],
+};
+
 /// `ccv check-all` — verify the whole library (CI entry point).
-pub fn check_all() -> CmdResult {
+pub fn check_all(args: &[String]) -> CmdResult {
+    let Some(_) = parse_or_help(&CHECK_ALL_SPEC, args)? else {
+        return Ok(true);
+    };
     let mut ok = true;
     println!(
         "{:<36} {:>12} {:>10} {:>8}",
         "protocol", "verdict", "essential", "visits"
     );
     for spec in protocols::all_correct() {
-        let v = verify_with(&spec, &Options::default());
+        let v = Session::new(spec.clone()).verify();
         let pass = v.verdict == Verdict::Verified;
         ok &= pass;
         println!(
@@ -79,7 +170,7 @@ pub fn check_all() -> CmdResult {
         );
     }
     for (spec, _) in protocols::all_buggy() {
-        let v = verify_with(&spec, &Options::default());
+        let v = Session::new(spec.clone()).verify();
         let pass = v.verdict == Verdict::Erroneous;
         ok &= pass;
         println!(
@@ -103,10 +194,206 @@ pub fn check_all() -> CmdResult {
     Ok(ok)
 }
 
+const VERIFY_SPEC: ArgSpec = ArgSpec {
+    cmd: "verify",
+    summary: "symbolically verify a protocol for any number of caches",
+    positionals: &[PROTOCOL_POS],
+    flags: &[
+        Flag {
+            name: "--trace",
+            value: None,
+            help: "print every expansion step",
+        },
+        Flag {
+            name: "--equality",
+            value: None,
+            help: "prune by state equality instead of containment",
+        },
+        Flag {
+            name: "--dot",
+            value: Some("FILE"),
+            help: "write the global diagram as Graphviz DOT",
+        },
+        Flag {
+            name: "--metrics",
+            value: Some("FILE"),
+            help: "write run metrics (counters, phase timings) as JSON",
+        },
+        Flag {
+            name: "--progress",
+            value: None,
+            help: "stream NDJSON progress events to stderr",
+        },
+    ],
+};
+
+/// `ccv verify <protocol> [--trace] [--equality] [--dot FILE]
+/// [--metrics FILE] [--progress]`
+pub fn verify(args: &[String]) -> CmdResult {
+    let Some(p) = parse_or_help(&VERIFY_SPEC, args)? else {
+        return Ok(true);
+    };
+    let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
+    let record_trace = p.flag("--trace");
+    let metrics_path: Option<String> = p.value("--metrics")?;
+    let progress = p.flag("--progress");
+
+    let metrics = metrics_path.as_ref().map(|_| Arc::new(Metrics::new()));
+    let mut opts = Options::default()
+        .pruning(if p.flag("--equality") {
+            Pruning::Equality
+        } else {
+            Pruning::Containment
+        })
+        .record_trace(record_trace);
+    if metrics.is_some() || progress {
+        let mut tee = Tee::new();
+        if let Some(m) = &metrics {
+            tee = tee.with(m.clone() as Arc<dyn EventSink>);
+        }
+        if progress {
+            tee = tee.with(Arc::new(NdjsonSink::new(std::io::stderr())));
+        }
+        opts = opts.sink(SinkHandle::new(Arc::new(tee)));
+    }
+
+    let session = Session::new(spec).options(opts);
+    let report = session.verify();
+    let spec = session.spec();
+
+    println!("protocol : {}", report.protocol);
+    println!("verdict  : {}", report.verdict);
+    println!(
+        "explored : {} visits, {} expansions -> {} essential states",
+        report.visits(),
+        report.expansion.expanded,
+        report.num_essential()
+    );
+    for (i, s) in report.graph.states.iter().enumerate() {
+        println!("  s{i}: {}", s.render(spec));
+    }
+    println!("transitions:");
+    for (from, to, labels) in report.graph.grouped_edges() {
+        println!("  s{from} --[{}]--> s{to}", labels.join(", "));
+    }
+    if record_trace {
+        println!("trace:");
+        for (i, v) in report.expansion.trace.iter().enumerate() {
+            println!(
+                "  {:>3}. {} --{}--> {} [{:?}]",
+                i + 1,
+                v.from.render(spec),
+                v.label.render(spec),
+                v.to.render(spec),
+                v.disposition
+            );
+        }
+    }
+    for r in report.reports.iter().take(5) {
+        println!("\nERROR: {}", r.descriptions.join("; "));
+        println!("  state: {}", r.state);
+        println!("  path : {}", r.path);
+    }
+    if report.reports.len() > 5 {
+        println!("\n... and {} more error findings", report.reports.len() - 5);
+    }
+    if let Some(path) = p.value::<String>("--dot")? {
+        std::fs::write(&path, report.graph.to_dot(spec))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nDOT written to {path}");
+    }
+    if let Some(path) = metrics_path {
+        let snap = metrics.expect("metrics collector was attached").snapshot();
+        std::fs::write(&path, snap.to_json().render())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nmetrics written to {path}");
+    }
+    Ok(report.verdict == Verdict::Verified)
+}
+
+const GRAPH_SPEC: ArgSpec = ArgSpec {
+    cmd: "graph",
+    summary: "print the global diagram over essential states as Graphviz DOT",
+    positionals: &[PROTOCOL_POS],
+    flags: &[],
+};
+
+/// `ccv graph <protocol>`
+pub fn graph(args: &[String]) -> CmdResult {
+    let Some(p) = parse_or_help(&GRAPH_SPEC, args)? else {
+        return Ok(true);
+    };
+    let session = Session::new(resolve_spec(p.require_pos(0, "protocol name")?)?);
+    let report = session.verify();
+    print!("{}", report.graph.to_dot(session.spec()));
+    Ok(true)
+}
+
+const EXPORT_SPEC: ArgSpec = ArgSpec {
+    cmd: "export",
+    summary: "print a protocol as .ccv source (round-trips through `ccv verify`)",
+    positionals: &[PROTOCOL_POS],
+    flags: &[],
+};
+
+/// `ccv export <protocol>`
+pub fn export(args: &[String]) -> CmdResult {
+    let Some(p) = parse_or_help(&EXPORT_SPEC, args)? else {
+        return Ok(true);
+    };
+    let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
+    print!("{}", ccv_model::dsl::to_dsl(&spec));
+    Ok(true)
+}
+
+const COMPARE_SPEC: ArgSpec = ArgSpec {
+    cmd: "compare",
+    summary: "diff the global diagrams of two protocols",
+    positionals: &[
+        Positional {
+            name: "protocol-a",
+            required: true,
+            help: "first protocol",
+        },
+        Positional {
+            name: "protocol-b",
+            required: true,
+            help: "second protocol",
+        },
+    ],
+    flags: &[],
+};
+
+/// `ccv compare <protocol-a> <protocol-b>`
+pub fn compare(args: &[String]) -> CmdResult {
+    let Some(p) = parse_or_help(&COMPARE_SPEC, args)? else {
+        return Ok(true);
+    };
+    let a = resolve_spec(p.require_pos(0, "first protocol")?)?;
+    let b = resolve_spec(p.require_pos(1, "second protocol")?)?;
+    let diff = ccv_core::compare_protocols(&a, &b);
+    print!("{}", diff.render());
+    Ok(true)
+}
+
+const WITNESS_SPEC: ArgSpec = ArgSpec {
+    cmd: "witness",
+    summary: "find the shortest concrete violation scenario, if any",
+    positionals: &[PROTOCOL_POS],
+    flags: &[Flag {
+        name: "-n",
+        value: Some("MAX"),
+        help: "largest cache count to search (default 4)",
+    }],
+};
+
 /// `ccv witness <protocol> [-n MAX]`
 pub fn witness(args: &[String]) -> CmdResult {
-    let (spec, rest) = resolve(args)?;
-    let max_n: usize = opt_value(&rest, "-n")?.unwrap_or(4);
+    let Some(p) = parse_or_help(&WITNESS_SPEC, args)? else {
+        return Ok(true);
+    };
+    let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
+    let max_n: usize = p.value_or("-n", 4)?;
     match ccv_enum::find_violation_witness(&spec, max_n, 1 << 22) {
         Some(w) => {
             print!("{}", w.render(&spec));
@@ -125,23 +412,19 @@ pub fn witness(args: &[String]) -> CmdResult {
     }
 }
 
-/// `ccv report <protocol> [-o FILE]`
-pub fn report(args: &[String]) -> CmdResult {
-    let (spec, rest) = resolve(args)?;
-    let md = crate::report::protocol_report(&spec);
-    match opt_value::<String>(&rest, "-o")? {
-        Some(path) => {
-            std::fs::write(&path, md).map_err(|e| format!("writing {path}: {e}"))?;
-            println!("dossier written to {path}");
-        }
-        None => print!("{md}"),
-    }
-    Ok(true)
-}
+const RECOVERY_SPEC: ArgSpec = ArgSpec {
+    cmd: "recovery",
+    summary: "classify start configurations as tolerated or fatal",
+    positionals: &[PROTOCOL_POS],
+    flags: &[],
+};
 
 /// `ccv recovery <protocol>`
 pub fn recovery(args: &[String]) -> CmdResult {
-    let (spec, _) = resolve(args)?;
+    let Some(p) = parse_or_help(&RECOVERY_SPEC, args)? else {
+        return Ok(true);
+    };
+    let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     let report = ccv_core::analyze_recovery(&spec, 200_000);
     println!(
         "protocol {}: {} structurally permissible configurations",
@@ -166,156 +449,70 @@ pub fn recovery(args: &[String]) -> CmdResult {
     Ok(true)
 }
 
-/// `ccv compare <protocol-a> <protocol-b>`
-pub fn compare(args: &[String]) -> CmdResult {
-    let (a, rest) = resolve(args)?;
-    let (b, _) = resolve(&rest)?;
-    let diff = ccv_core::compare_protocols(&a, &b);
-    print!("{}", diff.render());
-    Ok(true)
-}
+const REPORT_SPEC: ArgSpec = ArgSpec {
+    cmd: "report",
+    summary: "write the full markdown dossier for a protocol",
+    positionals: &[PROTOCOL_POS],
+    flags: &[Flag {
+        name: "-o",
+        value: Some("FILE"),
+        help: "write to FILE instead of stdout",
+    }],
+};
 
-fn flag(rest: &[String], name: &str) -> bool {
-    rest.iter().any(|a| a == name)
-}
-
-fn opt_value<T: std::str::FromStr>(rest: &[String], name: &str) -> Result<Option<T>, String> {
-    if let Some(pos) = rest.iter().position(|a| a == name) {
-        let raw = rest
-            .get(pos + 1)
-            .ok_or_else(|| format!("{name} needs a value"))?;
-        let v = raw
-            .parse()
-            .map_err(|_| format!("invalid value '{raw}' for {name}"))?;
-        Ok(Some(v))
-    } else {
-        Ok(None)
-    }
-}
-
-/// `ccv list`
-pub fn list() -> CmdResult {
-    println!("correct protocols:");
-    for spec in protocols::all_correct() {
-        println!(
-            "  {:<12} |Q|={} {}",
-            spec.name().to_lowercase(),
-            spec.num_states(),
-            if spec.uses_sharing_detection() {
-                "(sharing-detection F)"
-            } else {
-                "(null F)"
-            }
-        );
-    }
-    println!("\nbuggy mutants (for verifier demonstrations):");
-    for (spec, why) in protocols::all_buggy() {
-        let cli_name = spec.name().to_lowercase().replace('/', "-");
-        println!("  {cli_name:<34} {why}");
-    }
-    Ok(true)
-}
-
-/// `ccv describe <protocol>`
-pub fn describe(args: &[String]) -> CmdResult {
-    let (spec, _) = resolve(args)?;
-    print!("{}", spec.describe());
-    println!("\nsnoop reactions:");
-    for s in spec.state_ids() {
-        for &bus in spec.emitted_bus_ops() {
-            let sn = spec.snoop(s, bus);
-            if sn.next == s && !sn.supplies_data && !sn.flushes_to_memory && !sn.receives_update {
-                continue;
-            }
-            println!(
-                "  {} on {} -> {}{}{}{}",
-                spec.state(s).short,
-                bus,
-                spec.state(sn.next).short,
-                if sn.supplies_data { " +supply" } else { "" },
-                if sn.flushes_to_memory { " +flush" } else { "" },
-                if sn.receives_update { " +update" } else { "" },
-            );
-        }
-    }
-    Ok(true)
-}
-
-/// `ccv verify <protocol> [--trace] [--equality] [--dot FILE]`
-pub fn verify(args: &[String]) -> CmdResult {
-    let (spec, rest) = resolve(args)?;
-    let opts = Options {
-        pruning: if flag(&rest, "--equality") {
-            Pruning::Equality
-        } else {
-            Pruning::Containment
-        },
-        record_trace: flag(&rest, "--trace"),
-        ..Options::default()
+/// `ccv report <protocol> [-o FILE]`
+pub fn report(args: &[String]) -> CmdResult {
+    let Some(p) = parse_or_help(&REPORT_SPEC, args)? else {
+        return Ok(true);
     };
-    let report = verify_with(&spec, &opts);
-
-    println!("protocol : {}", report.protocol);
-    println!("verdict  : {}", report.verdict);
-    println!(
-        "explored : {} visits, {} expansions -> {} essential states",
-        report.visits(),
-        report.expansion.expanded,
-        report.num_essential()
-    );
-    for (i, s) in report.graph.states.iter().enumerate() {
-        println!("  s{i}: {}", s.render(&spec));
-    }
-    println!("transitions:");
-    for (from, to, labels) in report.graph.grouped_edges() {
-        println!("  s{from} --[{}]--> s{to}", labels.join(", "));
-    }
-    if opts.record_trace {
-        println!("trace:");
-        for (i, v) in report.expansion.trace.iter().enumerate() {
-            println!(
-                "  {:>3}. {} --{}--> {} [{:?}]",
-                i + 1,
-                v.from.render(&spec),
-                v.label.render(&spec),
-                v.to.render(&spec),
-                v.disposition
-            );
+    let session = Session::new(resolve_spec(p.require_pos(0, "protocol name")?)?);
+    let verification = session.verify();
+    let md = crate::report::protocol_report(session.spec(), &verification);
+    match p.value::<String>("-o")? {
+        Some(path) => {
+            std::fs::write(&path, md).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("dossier written to {path}");
         }
+        None => print!("{md}"),
     }
-    for r in report.reports.iter().take(5) {
-        println!("\nERROR: {}", r.descriptions.join("; "));
-        println!("  state: {}", r.state);
-        println!("  path : {}", r.path);
-    }
-    if report.reports.len() > 5 {
-        println!("\n... and {} more error findings", report.reports.len() - 5);
-    }
-    if let Some(path) = opt_value::<String>(&rest, "--dot")? {
-        std::fs::write(&path, report.graph.to_dot(&spec))
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        println!("\nDOT written to {path}");
-    }
-    Ok(report.verdict == Verdict::Verified)
-}
-
-/// `ccv graph <protocol>`
-pub fn graph(args: &[String]) -> CmdResult {
-    let (spec, _) = resolve(args)?;
-    let report = verify_with(&spec, &Options::default());
-    print!("{}", report.graph.to_dot(&spec));
     Ok(true)
 }
+
+const ENUMERATE_SPEC: ArgSpec = ArgSpec {
+    cmd: "enumerate",
+    summary: "exhaustively enumerate the explicit state space for N caches",
+    positionals: &[PROTOCOL_POS],
+    flags: &[
+        Flag {
+            name: "-n",
+            value: Some("N"),
+            help: "cache count (default 4)",
+        },
+        Flag {
+            name: "--exact",
+            value: None,
+            help: "exact-duplicate pruning instead of counting equivalence",
+        },
+        Flag {
+            name: "--threads",
+            value: Some("T"),
+            help: "parallel workers (default 1 = sequential)",
+        },
+    ],
+};
 
 /// `ccv enumerate <protocol> -n N [--exact] [--threads T]`
 pub fn enumerate(args: &[String]) -> CmdResult {
-    let (spec, rest) = resolve(args)?;
-    let n: usize = opt_value(&rest, "-n")?.unwrap_or(4);
+    let Some(p) = parse_or_help(&ENUMERATE_SPEC, args)? else {
+        return Ok(true);
+    };
+    let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
+    let n: usize = p.value_or("-n", 4)?;
     let mut opts = EnumOptions::new(n);
-    if flag(&rest, "--exact") {
+    if p.flag("--exact") {
         opts = opts.exact();
     }
-    let threads: usize = opt_value(&rest, "--threads")?.unwrap_or(1);
+    let threads: usize = p.value_or("--threads", 1)?;
     let r = if threads > 1 {
         enumerate_parallel(&spec, &opts, threads)
     } else {
@@ -345,22 +542,40 @@ pub fn enumerate(args: &[String]) -> CmdResult {
     Ok(r.is_clean())
 }
 
+const CROSSCHECK_SPEC: ArgSpec = ArgSpec {
+    cmd: "crosscheck",
+    summary: "check Theorem 1: every explicit state is symbolically covered",
+    positionals: &[PROTOCOL_POS],
+    flags: &[Flag {
+        name: "-n",
+        value: Some("N"),
+        help: "cache count to enumerate (default 4)",
+    }],
+};
+
 /// `ccv crosscheck <protocol> -n N`
 pub fn crosscheck(args: &[String]) -> CmdResult {
-    let (spec, rest) = resolve(args)?;
-    let n: usize = opt_value(&rest, "-n")?.unwrap_or(4);
-    let exp = run_expansion(&spec, &Options::default());
-    let essential = exp.essential_states();
-    let cc = run_crosscheck(&spec, n, &essential, 1 << 24);
+    let Some(p) = parse_or_help(&CROSSCHECK_SPEC, args)? else {
+        return Ok(true);
+    };
+    let session = Session::new(resolve_spec(p.require_pos(0, "protocol name")?)?);
+    let n: usize = p.value_or("-n", 4)?;
+    let mut verification = session.verify();
+    let spec = session.spec();
+    let cc = attach_crosscheck(spec, &mut verification, n, 1 << 24, &SinkHandle::disabled());
+    let summary = verification
+        .crosscheck
+        .as_ref()
+        .expect("attach_crosscheck fills the summary");
     println!(
         "protocol {} n={}: {} explicit states, {} covered by {} essential states",
         spec.name(),
         n,
-        cc.total_concrete,
-        cc.covered,
-        essential.len()
+        summary.total_concrete,
+        summary.covered,
+        verification.num_essential()
     );
-    if cc.complete() {
+    if summary.complete {
         println!("Theorem 1 holds at this size.");
         Ok(true)
     } else {
@@ -369,18 +584,54 @@ pub fn crosscheck(args: &[String]) -> CmdResult {
     }
 }
 
+const SIMULATE_SPEC: ArgSpec = ArgSpec {
+    cmd: "simulate",
+    summary: "execute a workload or trace file against the latest-value oracle",
+    positionals: &[PROTOCOL_POS],
+    flags: &[
+        Flag {
+            name: "--workload",
+            value: Some("W"),
+            help: "synthetic workload: uniform, hot-block, producer-consumer, migratory, mostly-private",
+        },
+        Flag {
+            name: "--trace-file",
+            value: Some("F"),
+            help: "run a `P<i> R|W <block>` trace file instead of a workload",
+        },
+        Flag {
+            name: "--accesses",
+            value: Some("N"),
+            help: "workload length (default 100000)",
+        },
+        Flag {
+            name: "--procs",
+            value: Some("P"),
+            help: "processor count (default 4)",
+        },
+        Flag {
+            name: "--seed",
+            value: Some("S"),
+            help: "workload RNG seed",
+        },
+    ],
+};
+
 /// `ccv simulate <protocol> [--workload W] [--accesses N] [--procs P] [--seed S]`
 pub fn simulate(args: &[String]) -> CmdResult {
-    let (spec, rest) = resolve(args)?;
-    let procs: usize = opt_value(&rest, "--procs")?.unwrap_or(4);
-    let accesses: usize = opt_value(&rest, "--accesses")?.unwrap_or(100_000);
-    let seed: u64 = opt_value(&rest, "--seed")?.unwrap_or(0xCC5EED);
-    let which: String = opt_value(&rest, "--workload")?.unwrap_or_else(|| "hot-block".into());
+    let Some(p) = parse_or_help(&SIMULATE_SPEC, args)? else {
+        return Ok(true);
+    };
+    let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
+    let procs: usize = p.value_or("--procs", 4)?;
+    let accesses: usize = p.value_or("--accesses", 100_000)?;
+    let seed: u64 = p.value_or("--seed", 0xCC5EED)?;
+    let which: String = p.value_or("--workload", "hot-block".into())?;
 
     let mut params = WorkloadParams::new(procs);
     params.accesses = accesses;
     params.seed = seed;
-    if let Some(path) = opt_value::<String>(&rest, "--trace-file")? {
+    if let Some(path) = p.value::<String>("--trace-file")? {
         let trace = ccv_sim::load_trace(&path)?;
         let machine_procs = trace.procs.max(procs);
         let mut machine = Machine::new(spec.clone(), MachineConfig::small(machine_procs));

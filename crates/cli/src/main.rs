@@ -4,6 +4,7 @@
 //! ccv list                                 list known protocols
 //! ccv describe  <protocol>                 print the FSM tables
 //! ccv verify    <protocol> [--trace] [--equality] [--dot FILE]
+//!                          [--metrics FILE] [--progress]
 //! ccv graph     <protocol>                 print the Fig. 4 diagram as DOT
 //! ccv enumerate <protocol> -n N [--exact] [--threads T]
 //! ccv crosscheck <protocol> -n N           Theorem 1 check at size N
@@ -15,6 +16,7 @@
 
 use std::process::ExitCode;
 
+mod args;
 mod commands;
 mod report;
 
@@ -25,8 +27,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
-        "list" => commands::list(),
-        "check-all" => commands::check_all(),
+        "list" => commands::list(rest),
+        "check-all" => commands::check_all(rest),
         "describe" => commands::describe(rest),
         "verify" => commands::verify(rest),
         "graph" => commands::graph(rest),

@@ -8,15 +8,16 @@
 //! counterexample paths and the shortest executable violation
 //! scenario.
 
-use ccv_core::{analyze_recovery, verify, Tolerance, Verdict};
+use ccv_core::{analyze_recovery, Tolerance, Verdict, VerificationReport};
 use ccv_enum::{find_state_witness, find_violation_witness};
 use ccv_model::{CData, GlobalCtx, ProcEvent, ProtocolSpec};
 use std::fmt::Write as _;
 
-/// Renders the full markdown dossier for `spec`.
-pub fn protocol_report(spec: &ProtocolSpec) -> String {
+/// Renders the full markdown dossier for `spec` from an
+/// already-computed verification report (build one with
+/// [`ccv_core::Session`]).
+pub fn protocol_report(spec: &ProtocolSpec, v: &VerificationReport) -> String {
     let mut md = String::new();
-    let v = verify(spec);
 
     // --- Header -----------------------------------------------------------
     let _ = writeln!(md, "# Protocol dossier: {}\n", spec.name());
@@ -33,10 +34,21 @@ pub fn protocol_report(spec: &ProtocolSpec) -> String {
     let _ = writeln!(md, "- verdict: **{}**", v.verdict);
     let _ = writeln!(
         md,
-        "- symbolic expansion: {} state visits -> {} essential states\n",
+        "- symbolic expansion: {} state visits -> {} essential states",
         v.visits(),
         v.num_essential()
     );
+    if let Some(cc) = &v.crosscheck {
+        let _ = writeln!(
+            md,
+            "- Theorem 1 crosscheck (n={}): {}/{} concrete states covered — {}",
+            cc.n,
+            cc.covered,
+            cc.total_concrete,
+            if cc.complete { "complete" } else { "INCOMPLETE" }
+        );
+    }
+    let _ = writeln!(md);
 
     // --- State table --------------------------------------------------------
     let _ = writeln!(md, "## States\n");
@@ -245,11 +257,18 @@ pub fn protocol_report(spec: &ProtocolSpec) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccv_core::Session;
     use ccv_model::protocols;
+
+    fn render(spec: ProtocolSpec) -> String {
+        let session = Session::new(spec);
+        let v = session.verify();
+        protocol_report(session.spec(), &v)
+    }
 
     #[test]
     fn report_for_a_correct_protocol_has_all_sections() {
-        let md = protocol_report(&protocols::illinois());
+        let md = render(protocols::illinois());
         for section in [
             "# Protocol dossier: Illinois",
             "## States",
@@ -268,7 +287,7 @@ mod tests {
 
     #[test]
     fn report_for_a_mutant_contains_counterexamples() {
-        let md = protocol_report(&protocols::illinois_missing_writeback());
+        let md = render(protocols::illinois_missing_writeback());
         assert!(md.contains("**ERRONEOUS**"));
         assert!(md.contains("### Counterexamples"));
         assert!(md.contains("### Shortest executable violation"));
@@ -276,8 +295,24 @@ mod tests {
     }
 
     #[test]
+    fn crosscheck_summary_appears_when_attached() {
+        let session = Session::new(protocols::illinois());
+        let mut v = session.verify();
+        ccv_enum::attach_crosscheck(
+            session.spec(),
+            &mut v,
+            3,
+            1 << 20,
+            &ccv_observe::SinkHandle::disabled(),
+        );
+        let md = protocol_report(session.spec(), &v);
+        assert!(md.contains("Theorem 1 crosscheck (n=3)"), "{md}");
+        assert!(md.contains("complete"));
+    }
+
+    #[test]
     fn report_tables_are_well_formed_markdown() {
-        let md = protocol_report(&protocols::msi());
+        let md = render(protocols::msi());
         for line in md.lines().filter(|l| l.starts_with('|')) {
             assert!(line.ends_with('|'), "ragged table row: {line}");
         }

@@ -210,6 +210,59 @@ fn describe_prints_tables() {
 }
 
 #[test]
+fn subcommand_help_lists_its_options() {
+    let o = ccv(&["verify", "--help"]);
+    assert_eq!(o.status.code(), Some(0));
+    let out = stdout(&o);
+    assert!(out.contains("usage:"), "{out}");
+    assert!(out.contains("--metrics"), "{out}");
+    assert!(out.contains("--progress"), "{out}");
+    assert!(out.contains("<protocol>"), "{out}");
+}
+
+#[test]
+fn unknown_option_is_a_positioned_usage_error() {
+    let o = ccv(&["verify", "illinois", "--frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("--frobnicate"), "{err}");
+    assert!(err.contains("argument 2"), "{err}");
+    assert!(err.contains("ccv verify --help"), "{err}");
+}
+
+#[test]
+fn option_missing_its_value_is_reported() {
+    let o = ccv(&["verify", "illinois", "--dot"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("needs a FILE value"), "{}", stderr(&o));
+}
+
+#[test]
+fn metrics_file_reports_the_papers_numbers() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+    let o = ccv(&["verify", "illinois", "--metrics", path.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    assert!(stdout(&o).contains("metrics written to"));
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"visits\": 22"), "{json}");
+    assert!(json.contains("\"essential_states\": 5"), "{json}");
+    assert!(json.contains("\"wall_ms\""), "{json}");
+    assert!(json.contains("\"expand\""), "{json}");
+}
+
+#[test]
+fn progress_streams_ndjson_to_stderr() {
+    let o = ccv(&["verify", "illinois", "--progress"]);
+    assert_eq!(o.status.code(), Some(0));
+    let err = stderr(&o);
+    assert!(err.contains("\"ev\""), "{err}");
+    assert!(err.contains("\"phase_enter\""), "{err}");
+    assert!(err.contains("\"expand\""), "{err}");
+}
+
+#[test]
 fn dot_file_is_written() {
     let dir = std::env::temp_dir().join("ccv-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

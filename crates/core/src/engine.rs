@@ -29,6 +29,7 @@ use crate::check::{check, Violation};
 use crate::composite::Composite;
 use crate::expand::{successors, Label, StepError, Transition};
 use ccv_model::ProtocolSpec;
+use ccv_observe::{CommonOptions, Counter, Gauge, Phase};
 use std::collections::VecDeque;
 
 /// Pruning discipline for the worklist.
@@ -43,14 +44,19 @@ pub enum Pruning {
 }
 
 /// Engine options.
+///
+/// `#[non_exhaustive]`: construct with [`Options::default`] and refine
+/// with the builder methods. Settings shared with the other engines
+/// (work budget, stop-at-first-error, observability sink) live in the
+/// embedded [`CommonOptions`]; for the symbolic engine the budget caps
+/// generated successors ("visits") as a divergence backstop.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct Options {
+    /// Settings shared by every engine (budget = max visits here).
+    pub common: CommonOptions,
     /// Pruning discipline.
     pub pruning: Pruning,
-    /// Hard cap on generated successors, as a divergence backstop.
-    pub max_visits: usize,
-    /// Stop as soon as the first erroneous state is found.
-    pub stop_at_first_error: bool,
     /// Record a [`VisitRecord`] for every generated successor
     /// (Appendix A.2 reproduction).
     pub record_trace: bool,
@@ -59,11 +65,48 @@ pub struct Options {
 impl Default for Options {
     fn default() -> Options {
         Options {
+            common: CommonOptions::default().budget(1_000_000),
             pruning: Pruning::Containment,
-            max_visits: 1_000_000,
-            stop_at_first_error: false,
             record_trace: false,
         }
+    }
+}
+
+impl Options {
+    /// Sets the pruning discipline.
+    pub fn pruning(mut self, pruning: Pruning) -> Options {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Caps the number of generated successors.
+    pub fn max_visits(mut self, max_visits: usize) -> Options {
+        self.common.budget = max_visits;
+        self
+    }
+
+    /// Stops as soon as the first erroneous state is found.
+    pub fn stop_at_first_error(mut self, stop: bool) -> Options {
+        self.common.stop_at_first_error = stop;
+        self
+    }
+
+    /// Records a [`VisitRecord`] per generated successor.
+    pub fn record_trace(mut self, record: bool) -> Options {
+        self.record_trace = record;
+        self
+    }
+
+    /// Attaches an observability sink.
+    pub fn sink(mut self, sink: impl Into<ccv_observe::SinkHandle>) -> Options {
+        self.common.sink = sink.into();
+        self
+    }
+
+    /// Replaces the embedded common settings wholesale.
+    pub fn common(mut self, common: CommonOptions) -> Options {
+        self.common = common;
+        self
     }
 }
 
@@ -126,9 +169,15 @@ pub struct Expansion {
     pub nodes: Vec<Node>,
     /// The essential states (surviving history) at fixpoint.
     pub essential: Vec<NodeId>,
-    /// Number of generated successors ("state visits" in the §3.1
-    /// sense).
+    /// Number of rule firings — one per (source state, transition
+    /// label) pair ("state visits" in the §3.1 sense; 22 for Illinois,
+    /// matching Appendix A.2). A firing whose interval arithmetic
+    /// splits into several successor categories still counts once,
+    /// like the paper's N-step rules.
     pub visits: usize,
+    /// Raw generated successor states — `visits` plus the extra
+    /// category-split successors; equals `trace.len()` when tracing.
+    pub successors: usize,
     /// Number of states popped and expanded.
     pub expanded: usize,
     /// Erroneous findings, in discovery order.
@@ -189,14 +238,22 @@ pub fn expand(spec: &ProtocolSpec, opts: &Options) -> Expansion {
 
 /// Runs the worklist from an explicit initial composite state.
 pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> Expansion {
+    let sink = &opts.common.sink;
     let mut nodes: Vec<Node> = Vec::new();
     let mut work: VecDeque<NodeId> = VecDeque::new();
     let mut history: Vec<NodeId> = Vec::new();
     let mut errors: Vec<ErrorFinding> = Vec::new();
     let mut trace: Vec<VisitRecord> = Vec::new();
     let mut visits = 0usize;
+    let mut successors_generated = 0usize;
     let mut expanded = 0usize;
     let mut truncated = false;
+    // Pairwise containment tests, accumulated locally and reported in
+    // one count at the end — the query loops are the engine's hot path.
+    let mut containment_checks = 0u64;
+    let mut prunes = 0u64;
+
+    sink.phase_enter(Phase::Expand);
 
     let init_violations = check(spec, &initial);
     nodes.push(Node {
@@ -211,6 +268,7 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
             violations: init_violations,
             step_errors: Vec::new(),
         });
+        sink.count(Counter::Errors, 1);
     }
     work.push_back(NodeId(0));
 
@@ -224,19 +282,33 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
             continue;
         }
         expanded += 1;
+        sink.count(Counter::Expansions, 1);
         let current_state = nodes[current.0].state.clone();
         let succs: Vec<Transition> = successors(spec, &current_state);
+        // One visit per rule firing: the successor categories of a
+        // split firing share their label within this expansion.
+        let mut fired: Vec<crate::expand::Label> = Vec::new();
         for t in succs {
-            visits += 1;
-            if visits >= opts.max_visits {
+            successors_generated += 1;
+            if !fired.contains(&t.label) {
+                fired.push(t.label);
+                visits += 1;
+                sink.count(Counter::Visits, 1);
+                sink.count(Counter::RuleFirings, 1);
+            }
+            if visits >= opts.common.budget {
                 truncated = true;
                 break 'outer;
             }
 
             // Is the successor contained in a surviving state?
-            let container_exists = nodes
-                .iter()
-                .any(|n| !n.pruned && contained(&t.to, &n.state, opts.pruning));
+            let container_exists = nodes.iter().any(|n| {
+                if n.pruned {
+                    return false;
+                }
+                containment_checks += 1;
+                contained(&t.to, &n.state, opts.pruning)
+            });
 
             if opts.record_trace {
                 trace.push(VisitRecord {
@@ -254,6 +326,7 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
             if container_exists {
                 // The state family is already covered; the *transition*
                 // may still carry a stale-access error.
+                prunes += 1;
                 if !t.errors.is_empty() {
                     let id = NodeId(nodes.len());
                     let violations = check(spec, &t.to);
@@ -268,7 +341,8 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
                         violations,
                         step_errors: t.errors,
                     });
-                    if opts.stop_at_first_error {
+                    sink.count(Counter::Errors, 1);
+                    if opts.common.stop_at_first_error {
                         break 'outer;
                     }
                 }
@@ -279,8 +353,12 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
             let id = NodeId(nodes.len());
             let violations = check(spec, &t.to);
             for n in nodes.iter_mut() {
-                if !n.pruned && contained(&n.state, &t.to, opts.pruning) {
-                    n.pruned = true;
+                if !n.pruned {
+                    containment_checks += 1;
+                    if contained(&n.state, &t.to, opts.pruning) {
+                        n.pruned = true;
+                        prunes += 1;
+                    }
                 }
             }
             nodes.push(Node {
@@ -295,7 +373,8 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
                     violations,
                     step_errors: t.errors,
                 });
-                if opts.stop_at_first_error {
+                sink.count(Counter::Errors, 1);
+                if opts.common.stop_at_first_error {
                     break 'outer;
                 }
             }
@@ -311,10 +390,23 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
         .filter(|id| !nodes[id.0].pruned)
         .collect();
 
+    sink.count(Counter::ContainmentChecks, containment_checks);
+    sink.count(Counter::Prunes, prunes);
+    sink.gauge(Gauge::EssentialStates, essential.len() as u64);
+    if sink.is_enabled() {
+        sink.progress(&format!(
+            "expand: {} visits, {} essential states",
+            visits,
+            essential.len()
+        ));
+    }
+    sink.phase_exit(Phase::Expand);
+
     Expansion {
         nodes,
         essential,
         visits,
+        successors: successors_generated,
         expanded,
         errors,
         trace,
@@ -382,13 +474,7 @@ mod tests {
     fn stop_at_first_error_halts_early() {
         let spec = illinois_missing_invalidation();
         let full = expand(&spec, &Options::default());
-        let early = expand(
-            &spec,
-            &Options {
-                stop_at_first_error: true,
-                ..Options::default()
-            },
-        );
+        let early = expand(&spec, &Options::default().stop_at_first_error(true));
         assert_eq!(early.errors.len(), 1);
         assert!(early.visits <= full.visits);
     }
@@ -397,13 +483,7 @@ mod tests {
     fn equality_pruning_visits_at_least_as_many_states() {
         let spec = illinois();
         let contained = expand(&spec, &Options::default());
-        let equality = expand(
-            &spec,
-            &Options {
-                pruning: Pruning::Equality,
-                ..Options::default()
-            },
-        );
+        let equality = expand(&spec, &Options::default().pruning(Pruning::Equality));
         assert!(equality.is_clean());
         assert!(
             equality.visits >= contained.visits,
@@ -427,14 +507,9 @@ mod tests {
     #[test]
     fn trace_is_recorded_on_request() {
         let spec = illinois();
-        let exp = expand(
-            &spec,
-            &Options {
-                record_trace: true,
-                ..Options::default()
-            },
-        );
-        assert_eq!(exp.trace.len(), exp.visits);
+        let exp = expand(&spec, &Options::default().record_trace(true));
+        assert_eq!(exp.trace.len(), exp.successors);
+        assert!(exp.visits <= exp.successors);
         assert!(exp.trace.iter().any(|v| v.disposition == Disposition::New));
     }
 
@@ -450,13 +525,7 @@ mod tests {
     #[test]
     fn max_visits_truncates() {
         let spec = illinois();
-        let exp = expand(
-            &spec,
-            &Options {
-                max_visits: 3,
-                ..Options::default()
-            },
-        );
+        let exp = expand(&spec, &Options::default().max_visits(3));
         assert!(exp.truncated);
         assert!(!exp.is_clean());
     }

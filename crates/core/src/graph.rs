@@ -95,8 +95,10 @@ pub fn global_graph(spec: &ProtocolSpec, expansion: &Expansion) -> GlobalGraph {
     for (i, s) in states.iter().enumerate() {
         for t in successors(spec, s) {
             let Some(j) = states.iter().position(|e| t.to.contained_in(e)) else {
+                // Only a run cut short (visit cap, stop-at-first-error)
+                // may leave a successor of a survivor uncovered.
                 debug_assert!(
-                    expansion.truncated,
+                    expansion.truncated || !expansion.errors.is_empty(),
                     "fixpoint violated: successor {t:?} of essential state has no container"
                 );
                 continue;

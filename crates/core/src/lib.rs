@@ -47,6 +47,27 @@
 //! | [`engine`] | essential-states worklist (Fig. 3, Def. 10) |
 //! | [`graph`] | global transition diagram (Fig. 4) + DOT export |
 //! | [`verify`](mod@verify) | bundled verification reports |
+//! | [`session`] | builder façade tying spec + options + sink together |
+//!
+//! ## Observability
+//!
+//! Every engine entry point accepts an [`ccv_observe::EventSink`]
+//! through its options (see [`CommonOptions`]); attach a
+//! [`ccv_observe::Metrics`] collector to get visit/prune counters,
+//! per-phase wall time and an exportable JSON snapshot:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ccv_core::Session;
+//! use ccv_model::protocols;
+//! use ccv_observe::{Counter, Metrics};
+//!
+//! let metrics = Arc::new(Metrics::new());
+//! let report = Session::new(protocols::illinois())
+//!     .sink(metrics.clone())
+//!     .verify();
+//! assert_eq!(metrics.snapshot().counter(Counter::Visits), 22);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +83,7 @@ pub mod graph;
 pub mod istate;
 pub mod recovery;
 pub mod rep;
+pub mod session;
 pub mod verify;
 
 pub use check::{check as check_state, Violation};
@@ -73,4 +95,12 @@ pub use fval::FVal;
 pub use graph::{global_graph, GlobalGraph, GraphEdge};
 pub use recovery::{analyze_recovery, RecoveryCase, RecoveryReport, Tolerance};
 pub use rep::{Interval, Rep};
-pub use verify::{verify, verify_with, ErrorReport, Verdict, Verification};
+pub use session::Session;
+pub use verify::{
+    verify, verify_with, CrosscheckSummary, ErrorReport, Verdict, Verification,
+    VerificationReport,
+};
+
+// Re-exported so downstream users configure observability without a
+// direct ccv-observe dependency.
+pub use ccv_observe::{CommonOptions, EventSink, Metrics, SinkHandle};

@@ -128,11 +128,9 @@ fn enumerate_starts(spec: &ProtocolSpec) -> Vec<Composite> {
 
 /// Runs the recovery analysis for `spec`.
 pub fn analyze_recovery(spec: &ProtocolSpec, max_visits: usize) -> RecoveryReport {
-    let opts = Options {
-        max_visits,
-        stop_at_first_error: true,
-        ..Options::default()
-    };
+    let opts = Options::default()
+        .max_visits(max_visits)
+        .stop_at_first_error(true);
     // Reachable essential states, for the `reachable` flag.
     let baseline = crate::engine::expand(spec, &Options::default());
     let essential: Vec<Composite> = baseline.essential_states().into_iter().cloned().collect();

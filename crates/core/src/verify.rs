@@ -9,6 +9,7 @@ use crate::engine::{expand, Expansion, Options};
 use crate::expand::StepError;
 use crate::graph::{global_graph, GlobalGraph};
 use ccv_model::ProtocolSpec;
+use ccv_observe::Phase;
 use core::fmt;
 
 /// Outcome of a verification run.
@@ -48,9 +49,28 @@ pub struct ErrorReport {
     pub path: String,
 }
 
-/// A complete verification report.
+/// Summary of a Theorem 1 crosscheck against the explicit enumeration
+/// at a fixed cache count `n`.
+///
+/// Plain data: the check itself runs in `ccv-enum` (which depends on
+/// this crate), and its helper attaches the summary to a
+/// [`VerificationReport`].
 #[derive(Clone, Debug)]
-pub struct Verification {
+pub struct CrosscheckSummary {
+    /// Number of caches enumerated.
+    pub n: usize,
+    /// Distinct concrete states reached by explicit enumeration.
+    pub total_concrete: usize,
+    /// How many of those are covered by some essential state.
+    pub covered: usize,
+    /// True iff every concrete state is covered (Theorem 1 holds).
+    pub complete: bool,
+}
+
+/// A complete verification report — the single result type shared by
+/// `verify`, the crosscheck and the CLI's report rendering.
+#[derive(Clone, Debug)]
+pub struct VerificationReport {
     /// Name of the verified protocol.
     pub protocol: String,
     /// The raw expansion (arena, essential states, visit counts).
@@ -61,9 +81,14 @@ pub struct Verification {
     pub verdict: Verdict,
     /// Rendered error findings (empty iff `verdict == Verified`).
     pub reports: Vec<ErrorReport>,
+    /// Theorem 1 crosscheck result, when one was run and attached.
+    pub crosscheck: Option<CrosscheckSummary>,
 }
 
-impl Verification {
+/// Former name of [`VerificationReport`], kept for compatibility.
+pub type Verification = VerificationReport;
+
+impl VerificationReport {
     /// Number of essential states.
     pub fn num_essential(&self) -> usize {
         self.expansion.essential.len()
@@ -87,14 +112,18 @@ impl Verification {
 }
 
 /// Verifies `spec` with default options.
-pub fn verify(spec: &ProtocolSpec) -> Verification {
+pub fn verify(spec: &ProtocolSpec) -> VerificationReport {
     verify_with(spec, &Options::default())
 }
 
 /// Verifies `spec` with explicit engine options.
-pub fn verify_with(spec: &ProtocolSpec, opts: &Options) -> Verification {
+pub fn verify_with(spec: &ProtocolSpec, opts: &Options) -> VerificationReport {
+    let sink = &opts.common.sink;
     let expansion = expand(spec, opts);
+    sink.phase_enter(Phase::Graph);
     let graph = global_graph(spec, &expansion);
+    sink.phase_exit(Phase::Graph);
+    sink.phase_enter(Phase::Check);
     let verdict = if expansion.truncated {
         Verdict::Inconclusive
     } else if expansion.errors.is_empty() {
@@ -119,12 +148,14 @@ pub fn verify_with(spec: &ProtocolSpec, opts: &Options) -> Verification {
             }
         })
         .collect();
-    Verification {
+    sink.phase_exit(Phase::Check);
+    VerificationReport {
         protocol: spec.name().to_string(),
         expansion,
         graph,
         verdict,
         reports,
+        crosscheck: None,
     }
 }
 

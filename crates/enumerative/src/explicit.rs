@@ -21,6 +21,7 @@ use crate::fxhash::FxHashSet;
 use crate::packed::{PackedState, MAX_CACHES};
 use crate::step::{check_concrete, successors_into, ConcreteStep};
 use ccv_model::{ProcEvent, ProtocolSpec};
+use ccv_observe::{CommonOptions, Counter, Gauge, Phase};
 use std::collections::VecDeque;
 
 /// Duplicate-pruning discipline.
@@ -34,16 +35,20 @@ pub enum Dedup {
 }
 
 /// Options for an enumeration run.
+///
+/// `#[non_exhaustive]`: construct with [`EnumOptions::new`] and refine
+/// with the builder methods. Settings shared with the other engines
+/// live in the embedded [`CommonOptions`]; for the enumerator the
+/// budget caps *distinct* states as an explosion backstop.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct EnumOptions {
     /// Number of caches (1 ..= 16).
     pub n: usize,
     /// Pruning discipline.
     pub dedup: Dedup,
-    /// Hard cap on distinct states, as an explosion backstop.
-    pub max_states: usize,
-    /// Stop at the first violation found.
-    pub stop_at_first_error: bool,
+    /// Settings shared by every engine (budget = max distinct states).
+    pub common: CommonOptions,
 }
 
 impl EnumOptions {
@@ -52,14 +57,37 @@ impl EnumOptions {
         EnumOptions {
             n,
             dedup: Dedup::Counting,
-            max_states: 50_000_000,
-            stop_at_first_error: false,
+            common: CommonOptions::default().budget(50_000_000),
         }
     }
 
     /// Selects exact-duplicate pruning (chainable).
     pub fn exact(mut self) -> EnumOptions {
         self.dedup = Dedup::Exact;
+        self
+    }
+
+    /// Sets the pruning discipline.
+    pub fn dedup(mut self, dedup: Dedup) -> EnumOptions {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Caps the number of distinct states.
+    pub fn max_states(mut self, max_states: usize) -> EnumOptions {
+        self.common.budget = max_states;
+        self
+    }
+
+    /// Stops at the first violation found.
+    pub fn stop_at_first_error(mut self, stop: bool) -> EnumOptions {
+        self.common.stop_at_first_error = stop;
+        self
+    }
+
+    /// Attaches an observability sink.
+    pub fn sink(mut self, sink: impl Into<ccv_observe::SinkHandle>) -> EnumOptions {
+        self.common.sink = sink.into();
         self
     }
 }
@@ -111,11 +139,24 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
         Dedup::Counting => s.canonical(opts.n),
     };
 
+    let sink = &opts.common.sink;
     let mut visited: FxHashSet<PackedState> = FxHashSet::default();
     let mut work: VecDeque<PackedState> = VecDeque::new();
     let mut errors: Vec<EnumError> = Vec::new();
     let mut visits = 0usize;
     let mut truncated = false;
+    // Counters accumulated locally and reported once — the successor
+    // loop runs millions of times in the differential suites.
+    let mut dedup_hits = 0u64;
+    let mut dedup_misses = 0u64;
+    // The FIFO worklist explores level by level; track the boundary so
+    // per-level frontier sizes can be reported.
+    let mut level = 0usize;
+    let mut level_remaining = 1usize;
+    let mut next_level = 0usize;
+
+    sink.phase_enter(Phase::Enumerate);
+    sink.frontier(0, 1);
 
     let init = PackedState::INITIAL;
     visited.insert(canon(init));
@@ -141,8 +182,9 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
                 .collect();
             let key = canon(s.to);
             if visited.insert(key) {
+                dedup_misses += 1;
                 descriptions.extend(check_concrete(spec, s.to, opts.n));
-                if visited.len() >= opts.max_states {
+                if visited.len() >= opts.common.budget {
                     truncated = true;
                     if !descriptions.is_empty() {
                         errors.push(EnumError {
@@ -153,18 +195,46 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
                     break 'outer;
                 }
                 work.push_back(s.to);
+                next_level += 1;
+            } else {
+                dedup_hits += 1;
             }
             if !descriptions.is_empty() {
                 errors.push(EnumError {
                     state: s.to,
                     descriptions,
                 });
-                if opts.stop_at_first_error {
+                if opts.common.stop_at_first_error {
                     break 'outer;
                 }
             }
         }
+        level_remaining -= 1;
+        if level_remaining == 0 {
+            level += 1;
+            if next_level > 0 {
+                sink.frontier(level, next_level);
+            }
+            level_remaining = next_level;
+            next_level = 0;
+        }
     }
+
+    sink.count(Counter::Visits, visits as u64);
+    sink.count(Counter::DedupHits, dedup_hits);
+    sink.count(Counter::DedupMisses, dedup_misses);
+    sink.count(Counter::Errors, errors.len() as u64);
+    sink.gauge(Gauge::DistinctStates, visited.len() as u64);
+    sink.gauge(Gauge::Levels, level as u64);
+    if sink.is_enabled() {
+        sink.progress(&format!(
+            "enumerate(n={}): {} distinct states, {} visits",
+            opts.n,
+            visited.len(),
+            visits
+        ));
+    }
+    sink.phase_exit(Phase::Enumerate);
 
     EnumResult {
         n: opts.n,
@@ -285,9 +355,7 @@ mod tests {
     #[test]
     fn stop_at_first_error_returns_one() {
         let spec = illinois_missing_invalidation();
-        let mut opts = EnumOptions::new(3);
-        opts.stop_at_first_error = true;
-        let r = enumerate(&spec, &opts);
+        let r = enumerate(&spec, &EnumOptions::new(3).stop_at_first_error(true));
         assert_eq!(r.errors.len(), 1);
     }
 
@@ -309,9 +377,7 @@ mod tests {
     #[test]
     fn max_states_truncates() {
         let spec = illinois();
-        let mut opts = EnumOptions::new(4);
-        opts.max_states = 5;
-        let r = enumerate(&spec, &opts);
+        let r = enumerate(&spec, &EnumOptions::new(4).max_states(5));
         assert!(r.truncated);
         assert!(!r.is_clean());
     }

@@ -46,7 +46,9 @@ pub mod parallel;
 pub mod step;
 pub mod witness;
 
-pub use crosscheck::{concrete_covered_by, crosscheck, CrossCheck};
+pub use crosscheck::{
+    attach_crosscheck, concrete_covered_by, crosscheck, crosscheck_with, CrossCheck,
+};
 pub use explicit::{
     enumerate, naive_visit_estimate, raw_state_space, reachable_states, Dedup, EnumError,
     EnumOptions, EnumResult,

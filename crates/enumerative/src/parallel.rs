@@ -24,6 +24,7 @@ use crate::fxhash::{FxHashSet, FxHasher};
 use crate::packed::{PackedState, MAX_CACHES};
 use crate::step::{check_concrete, successors_into, ConcreteStep};
 use ccv_model::ProtocolSpec;
+use ccv_observe::{Counter, Gauge, Phase};
 use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -66,7 +67,7 @@ impl Visited {
 ///
 /// Produces the same `distinct`/`visits` totals and the same violation
 /// *set* as [`crate::explicit::enumerate`]; error ordering may differ.
-/// `opts.stop_at_first_error` stops at a level boundary (workers finish
+/// `stop_at_first_error` stops at a level boundary (workers finish
 /// their chunk first).
 pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usize) -> EnumResult {
     assert!(opts.n >= 1 && opts.n <= MAX_CACHES);
@@ -77,12 +78,20 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
         Dedup::Counting => s.canonical(opts.n),
     };
 
+    let sink = &opts.common.sink;
     let visited = Visited::new();
     let mut frontier: Vec<PackedState> = Vec::new();
     let mut errors: Vec<EnumError> = Vec::new();
     let mut visits = 0usize;
+    let mut dedup_misses = 0u64;
+    let mut level = 0usize;
+    // Frontier states claimed per worker slot, across all levels.
+    let mut worker_claims: Vec<u64> = vec![0; threads];
     let truncated = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
+
+    sink.phase_enter(Phase::Enumerate);
+    sink.gauge(Gauge::Threads, threads as u64);
 
     let init = PackedState::INITIAL;
     visited.claim(canon(init));
@@ -92,11 +101,12 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
             state: init,
             descriptions: init_violations,
         });
-        if opts.stop_at_first_error {
+        if opts.common.stop_at_first_error {
             stop.store(true, Ordering::Relaxed);
         }
     }
     frontier.push(init);
+    sink.frontier(0, 1);
 
     while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
         let chunk_size = frontier.len().div_ceil(threads);
@@ -137,7 +147,7 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
                                     }
                                 }
                             }
-                            if visited.len() >= opts.max_states {
+                            if visited.len() >= opts.common.budget {
                                 truncated.store(true, Ordering::Relaxed);
                             }
                             (next, errs, my_visits)
@@ -149,24 +159,51 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
             .expect("worker panicked");
 
         frontier.clear();
-        for (next, errs, v) in results {
+        for (i, (next, errs, v)) in results.into_iter().enumerate() {
             visits += v;
+            worker_claims[i] += next.len() as u64;
+            dedup_misses += next.len() as u64;
             if !errs.is_empty() {
                 errors.extend(errs);
-                if opts.stop_at_first_error {
+                if opts.common.stop_at_first_error {
                     stop.store(true, Ordering::Relaxed);
                 }
             }
             frontier.extend(next);
+        }
+        if !frontier.is_empty() {
+            level += 1;
+            sink.frontier(level, frontier.len());
         }
         if truncated.load(Ordering::Relaxed) {
             break;
         }
     }
 
+    let distinct = visited.len();
+    if sink.is_enabled() {
+        sink.count(Counter::Visits, visits as u64);
+        sink.count(Counter::DedupMisses, dedup_misses);
+        sink.count(Counter::DedupHits, visits as u64 - dedup_misses);
+        sink.count(Counter::Errors, errors.len() as u64);
+        sink.gauge(Gauge::DistinctStates, distinct as u64);
+        sink.gauge(Gauge::Levels, level as u64 + 1);
+        for (i, claims) in worker_claims.iter().enumerate() {
+            sink.worker(i, *claims);
+        }
+        sink.progress(&format!(
+            "enumerated {} distinct states in {} visits across {} levels ({} workers)",
+            distinct,
+            visits,
+            level + 1,
+            threads
+        ));
+    }
+    sink.phase_exit(Phase::Enumerate);
+
     EnumResult {
         n: opts.n,
-        distinct: visited.len(),
+        distinct,
         visits,
         errors,
         truncated: truncated.load(Ordering::Relaxed),

@@ -1,0 +1,487 @@
+//! The event vocabulary and the sink trait engines emit into.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A top-level stage of a verification run.
+///
+/// Phases nest at most conceptually — sinks receive balanced
+/// `phase_enter`/`phase_exit` pairs and may time them.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Symbolic worklist expansion (ccv-core).
+    Expand,
+    /// Reachability-graph construction over essential states.
+    Graph,
+    /// Coherence condition checking on the expansion result.
+    Check,
+    /// Explicit-state enumeration (ccv-enum).
+    Enumerate,
+    /// Trace simulation against the memory oracle (ccv-sim).
+    Simulate,
+    /// Theorem 1 crosscheck of symbolic vs. concrete state spaces.
+    Crosscheck,
+}
+
+impl Phase {
+    /// Every phase, in declaration order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Expand,
+        Phase::Graph,
+        Phase::Check,
+        Phase::Enumerate,
+        Phase::Simulate,
+        Phase::Crosscheck,
+    ];
+
+    /// Stable lowercase name used in exported JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Expand => "expand",
+            Phase::Graph => "graph",
+            Phase::Check => "check",
+            Phase::Enumerate => "enumerate",
+            Phase::Simulate => "simulate",
+            Phase::Crosscheck => "crosscheck",
+        }
+    }
+
+    /// Dense index for array-backed collectors.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A monotonic counter an engine increments as it works.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Composite states visited by the symbolic engine (paper's
+    /// "number of visits"; 22 for Illinois, Appendix A.2).
+    Visits,
+    /// States removed by containment pruning: successors covered by a
+    /// surviving state, plus survivors displaced by a new state.
+    Prunes,
+    /// Containment tests performed while deduplicating the worklist.
+    ContainmentChecks,
+    /// Protocol rules that fired during expansion.
+    RuleFirings,
+    /// Worklist states popped and expanded.
+    Expansions,
+    /// Coherence violations recorded.
+    Errors,
+    /// Explicit-enumeration states already present in the visited set.
+    DedupHits,
+    /// Explicit-enumeration states newly inserted into the visited set.
+    DedupMisses,
+    /// Latest-value oracle comparisons performed by the simulator.
+    OracleChecks,
+    /// Memory accesses the simulator consumed from its trace.
+    Accesses,
+    /// Bus transactions broadcast by the simulated machine.
+    BusOps,
+}
+
+impl Counter {
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; 11] = [
+        Counter::Visits,
+        Counter::Prunes,
+        Counter::ContainmentChecks,
+        Counter::RuleFirings,
+        Counter::Expansions,
+        Counter::Errors,
+        Counter::DedupHits,
+        Counter::DedupMisses,
+        Counter::OracleChecks,
+        Counter::Accesses,
+        Counter::BusOps,
+    ];
+
+    /// Stable snake_case name used in exported JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Visits => "visits",
+            Counter::Prunes => "prunes",
+            Counter::ContainmentChecks => "containment_checks",
+            Counter::RuleFirings => "rule_firings",
+            Counter::Expansions => "expansions",
+            Counter::Errors => "errors",
+            Counter::DedupHits => "dedup_hits",
+            Counter::DedupMisses => "dedup_misses",
+            Counter::OracleChecks => "oracle_checks",
+            Counter::Accesses => "accesses",
+            Counter::BusOps => "bus_ops",
+        }
+    }
+
+    /// Dense index for array-backed collectors.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A last-write-wins measurement reported at the end of a phase.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Gauge {
+    /// Essential states at the symbolic fixpoint (5 for Illinois).
+    EssentialStates,
+    /// Distinct concrete states found by explicit enumeration.
+    DistinctStates,
+    /// BFS levels completed by the enumerator.
+    Levels,
+    /// Worker threads used by the parallel enumerator.
+    Threads,
+}
+
+impl Gauge {
+    /// Every gauge, in declaration order.
+    pub const ALL: [Gauge; 4] = [
+        Gauge::EssentialStates,
+        Gauge::DistinctStates,
+        Gauge::Levels,
+        Gauge::Threads,
+    ];
+
+    /// Stable snake_case name used in exported JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::EssentialStates => "essential_states",
+            Gauge::DistinctStates => "distinct_states",
+            Gauge::Levels => "levels",
+            Gauge::Threads => "threads",
+        }
+    }
+
+    /// Dense index for array-backed collectors.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Receiver for engine events.
+///
+/// Every method has a no-op default, so implementations override only
+/// what they record. Methods take `&self`: sinks are shared across
+/// worker threads and must synchronise internally.
+pub trait EventSink: Send + Sync {
+    /// Whether the sink currently wants events. Engines may skip
+    /// building expensive event payloads when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A phase began.
+    fn phase_enter(&self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// A phase ended.
+    fn phase_exit(&self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// `counter` advanced by `delta`.
+    fn count(&self, counter: Counter, delta: u64) {
+        let _ = (counter, delta);
+    }
+
+    /// `gauge` now reads `value`.
+    fn gauge(&self, gauge: Gauge, value: u64) {
+        let _ = (gauge, value);
+    }
+
+    /// A BFS frontier at `level` holds `size` states.
+    fn frontier(&self, level: usize, size: usize) {
+        let _ = (level, size);
+    }
+
+    /// A symbolic equivalence class covers `size` concrete states.
+    fn class_size(&self, size: usize) {
+        let _ = size;
+    }
+
+    /// The simulated machine broadcast bus operation `op`.
+    fn bus_transaction(&self, op: &str) {
+        let _ = op;
+    }
+
+    /// Worker `idx` has claimed `claims` frontier states so far.
+    fn worker(&self, idx: usize, claims: u64) {
+        let _ = (idx, claims);
+    }
+
+    /// Free-form progress note (human-readable, one line).
+    fn progress(&self, message: &str) {
+        let _ = message;
+    }
+}
+
+/// A cheap handle engines hold: either attached to a sink or disabled.
+///
+/// `SinkHandle::default()` is disabled; every emission through it is a
+/// single branch on `None`, which keeps instrumented hot loops at
+/// their uninstrumented speed. Cloning shares the underlying sink.
+#[derive(Clone, Default)]
+pub struct SinkHandle(Option<Arc<dyn EventSink>>);
+
+impl SinkHandle {
+    /// The disabled handle — all emissions are no-ops.
+    pub const fn disabled() -> SinkHandle {
+        SinkHandle(None)
+    }
+
+    /// A handle attached to `sink`.
+    pub fn new(sink: Arc<dyn EventSink>) -> SinkHandle {
+        SinkHandle(Some(sink))
+    }
+
+    /// Whether a sink is attached and wants events.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        match &self.0 {
+            Some(sink) => sink.enabled(),
+            None => false,
+        }
+    }
+
+    /// See [`EventSink::phase_enter`].
+    #[inline]
+    pub fn phase_enter(&self, phase: Phase) {
+        if let Some(sink) = &self.0 {
+            sink.phase_enter(phase);
+        }
+    }
+
+    /// See [`EventSink::phase_exit`].
+    #[inline]
+    pub fn phase_exit(&self, phase: Phase) {
+        if let Some(sink) = &self.0 {
+            sink.phase_exit(phase);
+        }
+    }
+
+    /// See [`EventSink::count`].
+    #[inline]
+    pub fn count(&self, counter: Counter, delta: u64) {
+        if let Some(sink) = &self.0 {
+            sink.count(counter, delta);
+        }
+    }
+
+    /// See [`EventSink::gauge`].
+    #[inline]
+    pub fn gauge(&self, gauge: Gauge, value: u64) {
+        if let Some(sink) = &self.0 {
+            sink.gauge(gauge, value);
+        }
+    }
+
+    /// See [`EventSink::frontier`].
+    #[inline]
+    pub fn frontier(&self, level: usize, size: usize) {
+        if let Some(sink) = &self.0 {
+            sink.frontier(level, size);
+        }
+    }
+
+    /// See [`EventSink::class_size`].
+    #[inline]
+    pub fn class_size(&self, size: usize) {
+        if let Some(sink) = &self.0 {
+            sink.class_size(size);
+        }
+    }
+
+    /// See [`EventSink::bus_transaction`].
+    #[inline]
+    pub fn bus_transaction(&self, op: &str) {
+        if let Some(sink) = &self.0 {
+            sink.bus_transaction(op);
+        }
+    }
+
+    /// See [`EventSink::worker`].
+    #[inline]
+    pub fn worker(&self, idx: usize, claims: u64) {
+        if let Some(sink) = &self.0 {
+            sink.worker(idx, claims);
+        }
+    }
+
+    /// See [`EventSink::progress`].
+    #[inline]
+    pub fn progress(&self, message: &str) {
+        if let Some(sink) = &self.0 {
+            sink.progress(message);
+        }
+    }
+}
+
+impl From<Arc<dyn EventSink>> for SinkHandle {
+    fn from(sink: Arc<dyn EventSink>) -> SinkHandle {
+        SinkHandle::new(sink)
+    }
+}
+
+/// Fan-out sink: forwards every event to each attached sink in order.
+///
+/// Lets one run feed several consumers at once — e.g. a [`crate::Metrics`]
+/// collector for the end-of-run summary *and* an [`crate::NdjsonSink`]
+/// streaming progress lines.
+#[derive(Default)]
+pub struct Tee {
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl Tee {
+    /// An empty tee (reports itself disabled until a sink is added).
+    pub fn new() -> Tee {
+        Tee::default()
+    }
+
+    /// Adds a downstream sink; builder-style.
+    pub fn with(mut self, sink: Arc<dyn EventSink>) -> Tee {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl EventSink for Tee {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn phase_enter(&self, phase: Phase) {
+        for s in &self.sinks {
+            s.phase_enter(phase);
+        }
+    }
+
+    fn phase_exit(&self, phase: Phase) {
+        for s in &self.sinks {
+            s.phase_exit(phase);
+        }
+    }
+
+    fn count(&self, counter: Counter, delta: u64) {
+        for s in &self.sinks {
+            s.count(counter, delta);
+        }
+    }
+
+    fn gauge(&self, gauge: Gauge, value: u64) {
+        for s in &self.sinks {
+            s.gauge(gauge, value);
+        }
+    }
+
+    fn frontier(&self, level: usize, size: usize) {
+        for s in &self.sinks {
+            s.frontier(level, size);
+        }
+    }
+
+    fn class_size(&self, size: usize) {
+        for s in &self.sinks {
+            s.class_size(size);
+        }
+    }
+
+    fn bus_transaction(&self, op: &str) {
+        for s in &self.sinks {
+            s.bus_transaction(op);
+        }
+    }
+
+    fn worker(&self, idx: usize, claims: u64) {
+        for s in &self.sinks {
+            s.worker(idx, claims);
+        }
+    }
+
+    fn progress(&self, message: &str) {
+        for s in &self.sinks {
+            s.progress(message);
+        }
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "SinkHandle(attached)"
+        } else {
+            "SinkHandle(disabled)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CountingSink {
+        events: AtomicU64,
+    }
+
+    impl EventSink for CountingSink {
+        fn count(&self, _counter: Counter, delta: u64) {
+            self.events.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let handle = SinkHandle::disabled();
+        assert!(!handle.is_enabled());
+        handle.count(Counter::Visits, 5);
+        handle.phase_enter(Phase::Expand);
+        handle.progress("nothing listens");
+    }
+
+    #[test]
+    fn attached_handle_dispatches() {
+        let sink = Arc::new(CountingSink::default());
+        let handle = SinkHandle::new(sink.clone());
+        assert!(handle.is_enabled());
+        handle.count(Counter::Visits, 3);
+        handle.count(Counter::Prunes, 4);
+        // Default no-op methods are safe to call too.
+        handle.frontier(0, 1);
+        assert_eq!(sink.events.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn tee_fans_out_to_every_sink() {
+        let a = Arc::new(CountingSink::default());
+        let b = Arc::new(CountingSink::default());
+        let tee = Tee::new().with(a.clone()).with(b.clone());
+        assert!(tee.enabled());
+        let handle = SinkHandle::new(Arc::new(tee));
+        handle.count(Counter::Visits, 2);
+        assert_eq!(a.events.load(Ordering::Relaxed), 2);
+        assert_eq!(b.events.load(Ordering::Relaxed), 2);
+        assert!(!Tee::new().enabled(), "an empty tee is disabled");
+    }
+
+    #[test]
+    fn names_are_stable_and_indices_dense() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+        assert_eq!(Counter::Visits.name(), "visits");
+        assert_eq!(Gauge::EssentialStates.name(), "essential_states");
+        assert_eq!(Phase::Expand.name(), "expand");
+    }
+}

@@ -1,0 +1,54 @@
+//! # ccv-observe — observability for the ccv verification engines
+//!
+//! This crate defines the event vocabulary shared by the symbolic
+//! engine (`ccv-core`), the explicit-state enumerator (`ccv-enum`)
+//! and the trace simulator (`ccv-sim`), plus two ready-made sinks:
+//!
+//! * [`EventSink`] — the trait engines emit into. Every method has a
+//!   default no-op body, so a sink implements only what it cares
+//!   about.
+//! * [`SinkHandle`] — a cheap, cloneable handle that is either
+//!   attached to a sink or disabled. Engines hold one of these; when
+//!   it is disabled every emission is a branch on a `None` that the
+//!   optimiser removes from the hot path.
+//! * [`Metrics`] — an in-memory collector (atomic counters, phase
+//!   wall-clock timers, log₂-bucket histograms) whose
+//!   [`snapshot`](Metrics::snapshot) renders to JSON via [`Json`].
+//! * [`NdjsonSink`] — streams one JSON object per event to any
+//!   writer, for live progress reporting.
+//!
+//! [`CommonOptions`] lives here too: the options fields shared by all
+//! three engines (work budget, stop-at-first-error, attached sink),
+//! embedded by each engine's own options struct.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ccv_observe::{Counter, Metrics, Phase, SinkHandle};
+//!
+//! let metrics = Arc::new(Metrics::new());
+//! let sink = SinkHandle::from(metrics.clone() as Arc<dyn ccv_observe::EventSink>);
+//!
+//! sink.phase_enter(Phase::Expand);
+//! sink.count(Counter::Visits, 22);
+//! sink.phase_exit(Phase::Expand);
+//!
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counter(Counter::Visits), 22);
+//! assert!(snap.to_json().render().contains("\"visits\": 22"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod ndjson;
+pub mod options;
+
+pub use event::{Counter, EventSink, Gauge, Phase, SinkHandle, Tee};
+pub use json::Json;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use ndjson::NdjsonSink;
+pub use options::CommonOptions;

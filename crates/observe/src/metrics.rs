@@ -1,0 +1,429 @@
+//! In-memory metrics collection and its JSON export.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::{Counter, EventSink, Gauge, Phase};
+use crate::json::Json;
+
+const NUM_PHASES: usize = Phase::ALL.len();
+const NUM_COUNTERS: usize = Counter::ALL.len();
+const NUM_GAUGES: usize = Gauge::ALL.len();
+
+/// Cap on the number of per-level frontier sizes retained verbatim.
+/// Beyond this the histogram still aggregates every sample.
+const MAX_LEVELS_KEPT: usize = 4096;
+
+/// A log₂-bucket histogram of `usize` samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen (0 when empty).
+    pub max: u64,
+    /// `buckets[i]` counts samples whose log₂ bucket is `i`
+    /// (bucket 0 holds the value 0, bucket `i ≥ 1` holds values in
+    /// `[2^(i-1), 2^i)`).
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".to_string(), Json::int(self.count)),
+            ("sum".to_string(), Json::int(self.sum)),
+            ("max".to_string(), Json::int(self.max)),
+            ("mean".to_string(), Json::Num(self.mean())),
+            (
+                "log2_buckets".to_string(),
+                Json::Arr(self.buckets.iter().map(|&b| Json::int(b)).collect()),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Shared {
+    phase_entries: [Option<Instant>; NUM_PHASES],
+    frontier: Histogram,
+    frontier_levels: Vec<u64>,
+    class_sizes: Histogram,
+    bus_ops: BTreeMap<String, u64>,
+    workers: BTreeMap<usize, u64>,
+}
+
+/// An [`EventSink`] that aggregates everything in memory.
+///
+/// Counters and gauges are lock-free atomics; histograms, phase entry
+/// timestamps and the bus/worker maps sit behind one mutex that is
+/// touched only on comparatively rare events (phase boundaries, level
+/// completions), never per state visit.
+pub struct Metrics {
+    counters: [AtomicU64; NUM_COUNTERS],
+    gauges: [AtomicU64; NUM_GAUGES],
+    gauges_set: AtomicU64,
+    phase_nanos: [AtomicU64; NUM_PHASES],
+    shared: Mutex<Shared>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// An empty collector.
+    pub fn new() -> Metrics {
+        Metrics {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges_set: AtomicU64::new(0),
+            phase_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            shared: Mutex::new(Shared::default()),
+        }
+    }
+
+    fn shared(&self) -> std::sync::MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// A point-in-time copy of everything collected so far.
+    ///
+    /// Phases still open when the snapshot is taken contribute the
+    /// time accrued up to now.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let shared = self.shared();
+        let mut phase_nanos = [0u64; NUM_PHASES];
+        for (i, nanos) in self.phase_nanos.iter().enumerate() {
+            phase_nanos[i] = nanos.load(Ordering::Relaxed);
+            if let Some(entered) = shared.phase_entries[i] {
+                phase_nanos[i] += entered.elapsed().as_nanos() as u64;
+            }
+        }
+        let gauges_set = self.gauges_set.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            counters: std::array::from_fn(|i| self.counters[i].load(Ordering::Relaxed)),
+            gauges: std::array::from_fn(|i| {
+                if gauges_set & (1 << i) != 0 {
+                    Some(self.gauges[i].load(Ordering::Relaxed))
+                } else {
+                    None
+                }
+            }),
+            phase_nanos,
+            frontier: shared.frontier.clone(),
+            frontier_levels: shared.frontier_levels.clone(),
+            class_sizes: shared.class_sizes.clone(),
+            bus_ops: shared.bus_ops.clone(),
+            workers: shared.workers.clone(),
+        }
+    }
+}
+
+impl EventSink for Metrics {
+    fn phase_enter(&self, phase: Phase) {
+        self.shared().phase_entries[phase.index()] = Some(Instant::now());
+    }
+
+    fn phase_exit(&self, phase: Phase) {
+        let mut shared = self.shared();
+        if let Some(entered) = shared.phase_entries[phase.index()].take() {
+            self.phase_nanos[phase.index()]
+                .fetch_add(entered.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn count(&self, counter: Counter, delta: u64) {
+        self.counters[counter.index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn gauge(&self, gauge: Gauge, value: u64) {
+        self.gauges[gauge.index()].store(value, Ordering::Relaxed);
+        self.gauges_set
+            .fetch_or(1 << gauge.index(), Ordering::Relaxed);
+    }
+
+    fn frontier(&self, level: usize, size: usize) {
+        let mut shared = self.shared();
+        shared.frontier.record(size as u64);
+        if level < MAX_LEVELS_KEPT {
+            if shared.frontier_levels.len() <= level {
+                shared.frontier_levels.resize(level + 1, 0);
+            }
+            shared.frontier_levels[level] = size as u64;
+        }
+    }
+
+    fn class_size(&self, size: usize) {
+        self.shared().class_sizes.record(size as u64);
+    }
+
+    fn bus_transaction(&self, op: &str) {
+        self.count(Counter::BusOps, 1);
+        let mut shared = self.shared();
+        match shared.bus_ops.get_mut(op) {
+            Some(n) => *n += 1,
+            None => {
+                shared.bus_ops.insert(op.to_string(), 1);
+            }
+        }
+    }
+
+    fn worker(&self, idx: usize, claims: u64) {
+        self.shared().workers.insert(idx, claims);
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] collector.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Counter totals, indexed by [`Counter::index`].
+    pub counters: [u64; NUM_COUNTERS],
+    /// Gauge readings, `None` when the gauge was never reported.
+    pub gauges: [Option<u64>; NUM_GAUGES],
+    /// Accumulated wall-clock nanoseconds per phase.
+    pub phase_nanos: [u64; NUM_PHASES],
+    /// Histogram of BFS frontier sizes.
+    pub frontier: Histogram,
+    /// Frontier size at each BFS level (capped at 4096 levels).
+    pub frontier_levels: Vec<u64>,
+    /// Histogram of symbolic-class concrete cover sizes.
+    pub class_sizes: Histogram,
+    /// Bus transactions by operation name.
+    pub bus_ops: BTreeMap<String, u64>,
+    /// Frontier states claimed, by worker index (parallel BFS only).
+    pub workers: BTreeMap<usize, u64>,
+}
+
+impl MetricsSnapshot {
+    /// Total for one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Reading for one gauge, if it was ever reported.
+    pub fn gauge(&self, gauge: Gauge) -> Option<u64> {
+        self.gauges[gauge.index()]
+    }
+
+    /// Wall-clock nanoseconds accumulated in `phase`.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()]
+    }
+
+    /// Renders the snapshot as a JSON object.
+    ///
+    /// The schema is documented in `docs/metrics-schema.md`: counters
+    /// appear under `"counters"` (all of them, zeros included, so the
+    /// shape is stable), reported gauges under `"gauges"`, per-phase
+    /// wall time in milliseconds under `"phases"`, and the optional
+    /// sections (`frontier_levels`, `bus_ops`, `workers`, histograms)
+    /// only when non-empty.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+
+        let phases: Vec<(String, Json)> = Phase::ALL
+            .iter()
+            .filter(|p| self.phase_nanos[p.index()] > 0)
+            .map(|p| {
+                (
+                    p.name().to_string(),
+                    Json::Obj(vec![(
+                        "wall_ms".to_string(),
+                        Json::Num(self.phase_nanos[p.index()] as f64 / 1.0e6),
+                    )]),
+                )
+            })
+            .collect();
+        fields.push(("phases".to_string(), Json::Obj(phases)));
+
+        fields.push((
+            "counters".to_string(),
+            Json::Obj(
+                Counter::ALL
+                    .iter()
+                    .map(|c| (c.name().to_string(), Json::int(self.counter(*c))))
+                    .collect(),
+            ),
+        ));
+
+        fields.push((
+            "gauges".to_string(),
+            Json::Obj(
+                Gauge::ALL
+                    .iter()
+                    .filter_map(|g| self.gauge(*g).map(|v| (g.name().to_string(), Json::int(v))))
+                    .collect(),
+            ),
+        ));
+
+        if self.frontier.count > 0 || self.class_sizes.count > 0 {
+            let mut hists = Vec::new();
+            if self.frontier.count > 0 {
+                hists.push(("frontier".to_string(), self.frontier.to_json()));
+            }
+            if self.class_sizes.count > 0 {
+                hists.push(("class_size".to_string(), self.class_sizes.to_json()));
+            }
+            fields.push(("histograms".to_string(), Json::Obj(hists)));
+        }
+
+        if !self.frontier_levels.is_empty() {
+            fields.push((
+                "frontier_levels".to_string(),
+                Json::Arr(self.frontier_levels.iter().map(|&s| Json::int(s)).collect()),
+            ));
+        }
+
+        if !self.bus_ops.is_empty() {
+            fields.push((
+                "bus_ops".to_string(),
+                Json::Obj(
+                    self.bus_ops
+                        .iter()
+                        .map(|(op, n)| (op.clone(), Json::int(*n)))
+                        .collect(),
+                ),
+            ));
+        }
+
+        if !self.workers.is_empty() {
+            fields.push((
+                "workers".to_string(),
+                Json::Obj(
+                    self.workers
+                        .iter()
+                        .map(|(idx, n)| (idx.to_string(), Json::int(*n)))
+                        .collect(),
+                ),
+            ));
+        }
+
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let m = Metrics::new();
+        m.count(Counter::Visits, 20);
+        m.count(Counter::Visits, 2);
+        m.gauge(Gauge::EssentialStates, 5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(Counter::Visits), 22);
+        assert_eq!(snap.counter(Counter::Prunes), 0);
+        assert_eq!(snap.gauge(Gauge::EssentialStates), Some(5));
+        assert_eq!(snap.gauge(Gauge::DistinctStates), None);
+    }
+
+    #[test]
+    fn phases_accumulate_wall_time() {
+        let m = Metrics::new();
+        m.phase_enter(Phase::Expand);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        m.phase_exit(Phase::Expand);
+        let snap = m.snapshot();
+        assert!(snap.phase_nanos(Phase::Expand) >= 1_000_000);
+        assert_eq!(snap.phase_nanos(Phase::Graph), 0);
+    }
+
+    #[test]
+    fn histograms_and_maps() {
+        let m = Metrics::new();
+        m.frontier(0, 1);
+        m.frontier(1, 8);
+        m.frontier(2, 3);
+        m.class_size(100);
+        m.bus_transaction("ReadMiss");
+        m.bus_transaction("ReadMiss");
+        m.bus_transaction("WriteMiss");
+        m.worker(0, 40);
+        m.worker(1, 60);
+        let snap = m.snapshot();
+        assert_eq!(snap.frontier_levels, vec![1, 8, 3]);
+        assert_eq!(snap.frontier.count, 3);
+        assert_eq!(snap.frontier.max, 8);
+        assert_eq!(snap.class_sizes.sum, 100);
+        assert_eq!(snap.bus_ops["ReadMiss"], 2);
+        assert_eq!(snap.counter(Counter::BusOps), 3);
+        assert_eq!(snap.workers[&1], 60);
+    }
+
+    #[test]
+    fn json_export_is_parseable_and_stable() {
+        let m = Metrics::new();
+        m.count(Counter::Visits, 22);
+        m.gauge(Gauge::EssentialStates, 5);
+        m.phase_enter(Phase::Expand);
+        m.phase_exit(Phase::Expand);
+        let text = m.snapshot().to_json().render();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("counters").unwrap().get("visits").unwrap().as_u64(),
+            Some(22)
+        );
+        assert_eq!(
+            doc.get("gauges")
+                .unwrap()
+                .get("essential_states")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+        // Zero counters are present so the schema is stable.
+        assert_eq!(
+            doc.get("counters").unwrap().get("prunes").unwrap().as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn concurrent_counting_is_consistent() {
+        let m = Arc::new(Metrics::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.count(Counter::Expansions, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().counter(Counter::Expansions), 4000);
+    }
+}

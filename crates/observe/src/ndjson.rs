@@ -1,0 +1,145 @@
+//! Streaming NDJSON event sink for live progress reporting.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::event::{Counter, EventSink, Gauge, Phase};
+use crate::json::Json;
+
+/// An [`EventSink`] that writes one compact JSON object per event.
+///
+/// Records carry an `"ev"` discriminator and a `"t_ms"` timestamp
+/// relative to sink creation. High-frequency events (`count`) are not
+/// streamed — they would swamp the output; attach a
+/// [`Metrics`](crate::Metrics) collector alongside for totals.
+pub struct NdjsonSink<W: Write + Send> {
+    out: Mutex<W>,
+    started: Instant,
+}
+
+impl<W: Write + Send> NdjsonSink<W> {
+    /// Streams events to `out`.
+    pub fn new(out: W) -> NdjsonSink<W> {
+        NdjsonSink {
+            out: Mutex::new(out),
+            started: Instant::now(),
+        }
+    }
+
+    fn emit(&self, ev: &str, extra: Vec<(String, Json)>) {
+        let mut fields = vec![
+            ("ev".to_string(), Json::str(ev)),
+            (
+                "t_ms".to_string(),
+                Json::Num(self.started.elapsed().as_secs_f64() * 1e3),
+            ),
+        ];
+        fields.extend(extra);
+        let line = Json::Obj(fields).render_compact();
+        let mut out = self.out.lock().unwrap_or_else(|poison| poison.into_inner());
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+impl<W: Write + Send> EventSink for NdjsonSink<W> {
+    fn phase_enter(&self, phase: Phase) {
+        self.emit(
+            "phase_enter",
+            vec![("phase".to_string(), Json::str(phase.name()))],
+        );
+    }
+
+    fn phase_exit(&self, phase: Phase) {
+        self.emit(
+            "phase_exit",
+            vec![("phase".to_string(), Json::str(phase.name()))],
+        );
+    }
+
+    fn count(&self, _counter: Counter, _delta: u64) {
+        // Too frequent to stream; totals belong to a Metrics collector.
+    }
+
+    fn gauge(&self, gauge: Gauge, value: u64) {
+        self.emit(
+            "gauge",
+            vec![
+                ("gauge".to_string(), Json::str(gauge.name())),
+                ("value".to_string(), Json::int(value)),
+            ],
+        );
+    }
+
+    fn frontier(&self, level: usize, size: usize) {
+        self.emit(
+            "frontier",
+            vec![
+                ("level".to_string(), Json::int(level as u64)),
+                ("size".to_string(), Json::int(size as u64)),
+            ],
+        );
+    }
+
+    fn worker(&self, idx: usize, claims: u64) {
+        self.emit(
+            "worker",
+            vec![
+                ("worker".to_string(), Json::int(idx as u64)),
+                ("claims".to_string(), Json::int(claims)),
+            ],
+        );
+    }
+
+    fn progress(&self, message: &str) {
+        self.emit(
+            "progress",
+            vec![("message".to_string(), Json::str(message))],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_stream_as_one_json_object_per_line() {
+        let buf = SharedBuf::default();
+        let sink = NdjsonSink::new(buf.clone());
+        sink.phase_enter(Phase::Enumerate);
+        sink.frontier(0, 3);
+        sink.gauge(Gauge::DistinctStates, 14);
+        sink.progress("level 0 done");
+        sink.phase_exit(Phase::Enumerate);
+        // count() is intentionally silent.
+        sink.count(Counter::Visits, 1);
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            let doc = Json::parse(line).unwrap();
+            assert!(doc.get("ev").is_some());
+            assert!(doc.get("t_ms").is_some());
+        }
+        assert!(lines[1].contains("\"frontier\""));
+        assert!(lines[2].contains("\"distinct_states\""));
+    }
+}

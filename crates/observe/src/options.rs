@@ -1,0 +1,86 @@
+//! Options fields shared by every ccv engine.
+
+use std::sync::Arc;
+
+use crate::event::{EventSink, SinkHandle};
+
+/// Settings common to the symbolic engine, the explicit enumerator
+/// and the trace simulator. Each engine's options struct embeds one
+/// of these as its `common` field.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`CommonOptions::default`] and refine with the builder methods,
+/// so adding fields later is not a breaking change.
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub struct CommonOptions {
+    /// Work budget — the maximum number of units (symbolic visits,
+    /// concrete states, trace accesses) the engine may process before
+    /// giving up. Engines override the default with their own cap.
+    pub budget: usize,
+    /// Stop at the first detected error instead of collecting all.
+    pub stop_at_first_error: bool,
+    /// Observability sink; disabled by default (zero cost).
+    pub sink: SinkHandle,
+}
+
+impl Default for CommonOptions {
+    fn default() -> CommonOptions {
+        CommonOptions {
+            budget: usize::MAX,
+            stop_at_first_error: false,
+            sink: SinkHandle::disabled(),
+        }
+    }
+}
+
+impl CommonOptions {
+    /// Sets the work budget.
+    pub fn budget(mut self, budget: usize) -> CommonOptions {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets whether to stop at the first detected error.
+    pub fn stop_at_first_error(mut self, stop: bool) -> CommonOptions {
+        self.stop_at_first_error = stop;
+        self
+    }
+
+    /// Attaches an observability sink.
+    pub fn sink(mut self, sink: impl Into<SinkHandle>) -> CommonOptions {
+        self.sink = sink.into();
+        self
+    }
+
+    /// Attaches an observability sink from a shared trait object.
+    pub fn with_sink(self, sink: Arc<dyn EventSink>) -> CommonOptions {
+        self.sink(SinkHandle::new(sink))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    #[test]
+    fn defaults_are_disabled_and_unbounded() {
+        let opts = CommonOptions::default();
+        assert_eq!(opts.budget, usize::MAX);
+        assert!(!opts.stop_at_first_error);
+        assert!(!opts.sink.is_enabled());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let metrics = Arc::new(Metrics::new());
+        let opts = CommonOptions::default()
+            .budget(1000)
+            .stop_at_first_error(true)
+            .with_sink(metrics);
+        assert_eq!(opts.budget, 1000);
+        assert!(opts.stop_at_first_error);
+        assert!(opts.sink.is_enabled());
+    }
+}

@@ -20,10 +20,17 @@ use crate::cache::Cache;
 use crate::stats::Stats;
 use crate::trace::{Access, AccessKind, Trace};
 use ccv_model::{BusOp, DataOp, GlobalCtx, ProcEvent, ProtocolSpec, StateId};
+use ccv_observe::{CommonOptions, Counter, EventSink, Phase, SinkHandle};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Machine geometry.
-#[derive(Clone, Copy, Debug)]
+/// Machine geometry and run options.
+///
+/// Construct via [`MachineConfig::small`] / [`MachineConfig::tiny`]
+/// and refine with the builder methods; the struct is
+/// `#[non_exhaustive]` so new knobs can be added compatibly.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct MachineConfig {
     /// Number of processors (= private caches).
     pub procs: usize,
@@ -31,6 +38,11 @@ pub struct MachineConfig {
     pub sets: usize,
     /// Ways per set.
     pub assoc: usize,
+    /// Cross-engine options (event sink, stop-at-first-error).
+    ///
+    /// The budget field is unused here: a run executes exactly the
+    /// trace it is given.
+    pub common: CommonOptions,
 }
 
 impl MachineConfig {
@@ -40,6 +52,7 @@ impl MachineConfig {
             procs,
             sets: 64,
             assoc: 2,
+            common: CommonOptions::default(),
         }
     }
 
@@ -50,7 +63,38 @@ impl MachineConfig {
             procs,
             sets: 2,
             assoc: 1,
+            common: CommonOptions::default(),
         }
+    }
+
+    /// Sets the cache geometry (sets per cache, ways per set).
+    pub fn geometry(mut self, sets: usize, assoc: usize) -> MachineConfig {
+        self.sets = sets;
+        self.assoc = assoc;
+        self
+    }
+
+    /// Stops a [`Machine::run`] at the first oracle violation.
+    pub fn stop_at_first_error(mut self, stop: bool) -> MachineConfig {
+        self.common.stop_at_first_error = stop;
+        self
+    }
+
+    /// Attaches an event sink (phase timing, access/bus counters).
+    pub fn sink(mut self, sink: impl Into<SinkHandle>) -> MachineConfig {
+        self.common.sink = sink.into();
+        self
+    }
+
+    /// Attaches an event sink given as a trait object.
+    pub fn with_sink(self, sink: Arc<dyn EventSink>) -> MachineConfig {
+        self.sink(SinkHandle::new(sink))
+    }
+
+    /// Replaces the whole cross-engine option block.
+    pub fn common(mut self, common: CommonOptions) -> MachineConfig {
+        self.common = common;
+        self
     }
 }
 
@@ -185,6 +229,9 @@ impl Machine {
     }
 
     /// Executes a whole trace and reports.
+    ///
+    /// With `stop_at_first_error` set in the config, execution stops
+    /// after the access that produced the first oracle violation.
     pub fn run(&mut self, trace: &Trace) -> RunReport {
         assert!(
             trace.procs <= self.cfg.procs,
@@ -192,9 +239,30 @@ impl Machine {
             trace.procs,
             self.cfg.procs
         );
+        self.cfg.common.sink.phase_enter(Phase::Simulate);
+        let violations_before = self.violations.len();
         for &a in &trace.accesses {
             self.step(a);
+            if self.cfg.common.stop_at_first_error && self.violations.len() > violations_before {
+                break;
+            }
         }
+        let sink = &self.cfg.common.sink;
+        if sink.is_enabled() {
+            let new_violations = self.violations.len() - violations_before;
+            if new_violations > 0 {
+                sink.count(Counter::Errors, new_violations as u64);
+            }
+            sink.progress(&format!(
+                "trace '{}': {} accesses, {} hits, {} bus ops, {} violations",
+                trace.name,
+                self.stats.accesses,
+                self.stats.hits,
+                self.stats.bus_ops.iter().sum::<usize>(),
+                self.violations.len()
+            ));
+        }
+        sink.phase_exit(Phase::Simulate);
         RunReport {
             workload: trace.name.clone(),
             stats: self.stats.clone(),
@@ -243,6 +311,7 @@ impl Machine {
             AccessKind::Read => self.stats.reads += 1,
             AccessKind::Write => self.stats.writes += 1,
         }
+        self.cfg.common.sink.count(Counter::Accesses, 1);
 
         let ctx = self.context_of(proc, block);
         let outcome = self.spec.outcome(state, event, ctx);
@@ -267,6 +336,7 @@ impl Machine {
         let mut supplier_version: Option<u64> = None;
         if let Some(bus) = outcome.bus {
             self.stats.bus_ops[bus.index()] += 1;
+            self.cfg.common.sink.bus_transaction(bus.mnemonic());
             for j in 0..self.cfg.procs {
                 if j == proc {
                     continue;
@@ -382,6 +452,7 @@ impl Machine {
         let outcome = self.spec.outcome(state, ProcEvent::Replace, ctx);
         if let Some(bus) = outcome.bus {
             self.stats.bus_ops[bus.index()] += 1;
+            self.cfg.common.sink.bus_transaction(bus.mnemonic());
             debug_assert_eq!(bus, BusOp::WriteBack, "replacements only write back");
         }
         if let DataOp::Evict { writeback: true } = outcome.data {
@@ -393,6 +464,7 @@ impl Machine {
 
     /// Oracle check: a load must observe the latest stored version.
     fn oracle_check(&mut self, idx: usize, access: Access, got: u64) {
+        self.cfg.common.sink.count(Counter::OracleChecks, 1);
         let expected = self.latest.get(&access.block).copied().unwrap_or(0);
         if got != expected {
             self.violations.push(CoherenceViolation {

@@ -31,10 +31,7 @@ fn seeds() -> std::ops::Range<u64> {
 }
 
 fn sym_options() -> Options {
-    Options {
-        max_visits: 100_000,
-        ..Options::default()
-    }
+    Options::default().max_visits(100_000)
 }
 
 /// A handful of generated protocols have pathological symbolic

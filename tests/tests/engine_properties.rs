@@ -105,10 +105,7 @@ fn verdicts_are_stable_across_visit_budgets() {
         for budget in [100usize, 1_000, 100_000] {
             let v = verify_with(
                 &spec,
-                &Options {
-                    max_visits: budget,
-                    ..Options::default()
-                },
+                &Options::default().max_visits(budget),
             );
             assert_ne!(
                 v.verdict,
@@ -122,10 +119,7 @@ fn verdicts_are_stable_across_visit_budgets() {
         for budget in [1_000usize, 100_000] {
             let v = verify_with(
                 &spec,
-                &Options {
-                    max_visits: budget,
-                    ..Options::default()
-                },
+                &Options::default().max_visits(budget),
             );
             assert_ne!(
                 v.verdict,
@@ -141,10 +135,7 @@ fn verdicts_are_stable_across_visit_budgets() {
 fn tiny_budget_is_reported_inconclusive() {
     let v = verify_with(
         &protocols::illinois(),
-        &Options {
-            max_visits: 2,
-            ..Options::default()
-        },
+        &Options::default().max_visits(2),
     );
     assert_eq!(v.verdict, Verdict::Inconclusive);
 }

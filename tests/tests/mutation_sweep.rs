@@ -8,10 +8,7 @@ use ccv_model::mutate::single_mutants;
 use ccv_model::protocols;
 
 fn opts() -> Options {
-    Options {
-        max_visits: 100_000,
-        ..Options::default()
-    }
+    Options::default().max_visits(100_000)
 }
 
 #[test]

@@ -59,7 +59,7 @@ fn every_mutant_trips_the_oracle_somewhere() {
         let mut tripped = false;
         'outer: for cfg in [MachineConfig::small(4), MachineConfig::tiny(4)] {
             for trace in all_workloads(&p) {
-                let mut m = Machine::new(spec.clone(), cfg);
+                let mut m = Machine::new(spec.clone(), cfg.clone());
                 if !m.run(&trace).is_coherent() {
                     tripped = true;
                     break 'outer;

@@ -58,10 +58,7 @@ fn every_buggy_mutant_is_rejected_with_a_counterexample() {
 
 #[test]
 fn equality_pruning_reaches_the_same_verdicts() {
-    let opts = Options {
-        pruning: Pruning::Equality,
-        ..Options::default()
-    };
+    let opts = Options::default().pruning(Pruning::Equality);
     for spec in all_correct() {
         assert_eq!(
             verify_with(&spec, &opts).verdict,
@@ -86,10 +83,7 @@ fn containment_never_visits_more_than_equality() {
         let full = verify(&spec);
         let eq = verify_with(
             &spec,
-            &Options {
-                pruning: Pruning::Equality,
-                ..Options::default()
-            },
+            &Options::default().pruning(Pruning::Equality),
         );
         assert!(
             full.visits() <= eq.visits(),

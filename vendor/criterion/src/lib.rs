@@ -1,0 +1,295 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches
+//! use — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, throughput annotation and
+//! `Bencher::iter` — over a simple wall-clock measurement loop:
+//! a short warm-up, then batched timing until a time budget is spent,
+//! reporting the median ns/iteration. `--test` (as passed by
+//! `cargo bench -- --test`) runs every benchmark exactly once, which
+//! is what CI uses as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement settings shared by a run.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    /// Run each closure once, skip measurement (`--test`).
+    test_mode: bool,
+    /// Per-benchmark time budget.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        Criterion {
+            test_mode: args.iter().any(|a| a == "--test"),
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Throughput annotation (recorded for the report line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for parameterised benchmarks.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    settings: &'a Criterion,
+    /// Median ns/iter of the last `iter` call (None in test mode).
+    last_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the median ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.settings.test_mode {
+            std::hint::black_box(routine());
+            self.last_ns = None;
+            return;
+        }
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ~1ms, so Instant overhead is amortised.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure batches until the budget is spent; keep per-iter medians.
+        let mut samples: Vec<f64> = Vec::new();
+        let started = Instant::now();
+        while started.elapsed() < self.settings.budget || samples.len() < 5 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    settings: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    fn report(&self, id: &str, ns: Option<f64>) {
+        match ns {
+            None => println!("test {}/{} ... ok (test mode)", self.name, id),
+            Some(ns) => {
+                let mut line = format!("bench {}/{:<32} {:>12.0} ns/iter", self.name, id, ns);
+                if let Some(Throughput::Elements(n)) = self.throughput {
+                    let per_sec = n as f64 / (ns / 1e9);
+                    line.push_str(&format!("  ({:.2} Melem/s)", per_sec / 1e6));
+                }
+                if let Some(Throughput::Bytes(n)) = self.throughput {
+                    let per_sec = n as f64 / (ns / 1e9);
+                    line.push_str(&format!("  ({:.2} MiB/s)", per_sec / (1024.0 * 1024.0)));
+                }
+                println!("{line}");
+            }
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            settings: self.settings,
+            last_ns: None,
+        };
+        f(&mut b);
+        self.report(&id, b.last_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            settings: self.settings,
+            last_ns: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.last_ns);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            settings: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = BenchmarkGroup {
+            settings: self,
+            name: "bench".to_string(),
+            throughput: None,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching criterion's `black_box` (benches here use
+/// `std::hint::black_box` directly, but the symbol is part of the API).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let settings = Criterion {
+            test_mode: true,
+            budget: Duration::from_millis(1),
+        };
+        let mut count = 0;
+        let mut b = Bencher {
+            settings: &settings,
+            last_ns: None,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.last_ns.is_none());
+    }
+
+    #[test]
+    fn measurement_produces_a_sample() {
+        let settings = Criterion {
+            test_mode: false,
+            budget: Duration::from_millis(5),
+        };
+        let mut b = Bencher {
+            settings: &settings,
+            last_ns: None,
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.last_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `crossbeam::thread::scope` API the parallel engine
+//! uses, implemented over `std::thread::scope` (stable since 1.63).
+//! Semantic differences from real crossbeam are confined to panic
+//! propagation: a panicking worker that was *not* joined aborts the
+//! scope with a panic instead of surfacing through the outer `Result`.
+//! The workspace joins every handle, so the difference is unobservable.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// A scope handle passed to [`scope`]'s closure and to every
+    /// spawned worker.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the
+        /// scope itself, so workers can spawn further workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed data can be shared with
+    /// spawned threads; all workers are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_share_borrowed_data() {
+        let data = vec![1usize, 2, 3, 4];
+        let total: usize = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<usize>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn joined_panic_is_an_err() {
+        crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

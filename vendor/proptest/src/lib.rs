@@ -1,0 +1,242 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a small, dependency-free property-testing harness with the
+//! subset of the proptest API its suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, implemented for integer
+//!   ranges, tuples, string patterns (a tiny regex subset), [`Just`],
+//!   unions, and collections;
+//! * `any::<bool>()` / `any::<uN>()`;
+//! * `collection::vec`, `sample::select`;
+//! * the `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assume!`, and `prop_oneof!` macros;
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Deliberate simplification: failing cases are **not shrunk** — the
+//! harness reports the failing case number and the assertion message.
+//! Case generation is deterministic per (test name, case index), so a
+//! report is reproducible by rerunning the test.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::{Just, Strategy};
+
+pub mod prelude {
+    //! The customary glob import.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts inside a `proptest!` body; failure aborts the case with a
+/// message instead of panicking mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        if a != b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), file!(), line!(), a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let a = $a;
+        let b = $b;
+        if a != b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), file!(), line!(), format!($($fmt)+), a, b
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        if a == b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} at {}:{}\n  both: {:?}",
+                stringify!($a), stringify!($b), file!(), line!(), a
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::Union::arm($strat) ),+ ])
+    };
+}
+
+/// Declares deterministic random-input tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0usize..10, flip in any::<bool>()) {
+///         prop_assert!(x < 10 || flip);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest {}: case {}/{} failed:\n{}",
+                            stringify!($name), case + 1, config.cases, msg
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u64..5, z in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u32..5, any::<bool>()).prop_map(|(n, b)| (n * 2, b)),
+        ) {
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assert!(pair.0 < 10);
+        }
+
+        #[test]
+        fn vec_respects_length_range(
+            v in crate::collection::vec(0u8..4, 1..9),
+            w in crate::collection::vec(any::<u8>(), 3),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert_eq!(w.len(), 3);
+        }
+
+        #[test]
+        fn oneof_and_select_pick_listed_values(
+            a in prop_oneof![Just(1), Just(2), Just(3)],
+            s in crate::sample::select(vec!["x", "y"]),
+        ) {
+            prop_assert!((1..=3).contains(&a));
+            prop_assert!(s == "x" || s == "y");
+        }
+
+        #[test]
+        fn string_patterns_generate_matching_ascii(src in "[ -~\n]{0,30}") {
+            prop_assert!(src.len() <= 30);
+            prop_assert!(src.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn assume_discards_cases(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_number() {
+        let caught = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(8))]
+                #[allow(unused)]
+                fn always_fails(x in 0usize..4) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("case 1/8"), "{msg}");
+        assert!(msg.contains("x was"), "{msg}");
+    }
+}

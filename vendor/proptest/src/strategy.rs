@@ -1,0 +1,296 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function of the case RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// --- Integer ranges -----------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+// --- Tuples -------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// --- Unions (prop_oneof!) -----------------------------------------------
+
+/// Uniform choice among boxed generator arms of one value type.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from pre-boxed arms (used by `prop_oneof!`).
+    pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Boxes one strategy as a union arm.
+    pub fn arm<S: Strategy<Value = T> + 'static>(s: S) -> Box<dyn Fn(&mut TestRng) -> T> {
+        Box::new(move |rng| s.generate(rng))
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[idx])(rng)
+    }
+}
+
+// --- String patterns ----------------------------------------------------
+
+/// One atom of the supported pattern subset.
+enum PatAtom {
+    /// Literal character.
+    Lit(char),
+    /// Character class: concrete choices expanded from `[...]`.
+    Class(Vec<char>),
+}
+
+/// A parsed pattern: atoms with repetition counts.
+struct Pattern {
+    parts: Vec<(PatAtom, u32, u32)>,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses the regex subset used as string strategies: literals,
+/// `[...]` classes (with ranges and `\`-escapes), and `{m}` / `{m,n}`
+/// repetitions. Anything else is a hard error — these patterns are
+/// test-author input, not user input.
+fn parse_pattern(src: &str) -> Pattern {
+    let mut chars = src.chars().peekable();
+    let mut parts: Vec<(PatAtom, u32, u32)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set: Vec<char> = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {src:?}"));
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let e = unescape(chars.next().expect("escape"));
+                            if let Some(p) = pending.take() {
+                                set.push(p);
+                            }
+                            pending = Some(e);
+                        }
+                        '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                            let lo = pending.take().unwrap();
+                            let hi = match chars.next().expect("range end") {
+                                '\\' => unescape(chars.next().expect("escape")),
+                                other => other,
+                            };
+                            assert!(lo <= hi, "bad range in pattern {src:?}");
+                            set.extend(lo..=hi);
+                        }
+                        other => {
+                            if let Some(p) = pending.take() {
+                                set.push(p);
+                            }
+                            pending = Some(other);
+                        }
+                    }
+                }
+                if let Some(p) = pending.take() {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty class in pattern {src:?}");
+                PatAtom::Class(set)
+            }
+            '\\' => PatAtom::Lit(unescape(chars.next().expect("escape"))),
+            other => PatAtom::Lit(other),
+        };
+        // Optional repetition.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut digits = String::new();
+            let mut lo: Option<u32> = None;
+            loop {
+                match chars.next().expect("unterminated repetition") {
+                    '}' => break,
+                    ',' => {
+                        lo = Some(digits.parse().expect("repetition count"));
+                        digits.clear();
+                    }
+                    d => digits.push(d),
+                }
+            }
+            let last: u32 = if digits.is_empty() {
+                u32::MAX
+            } else {
+                digits.parse().expect("repetition count")
+            };
+            match lo {
+                Some(l) => (l, last),
+                None => (last, last),
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push((atom, lo, hi));
+    }
+    Pattern { parts }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pat = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &pat.parts {
+            let count = if lo == hi {
+                *lo
+            } else {
+                lo + rng.below((*hi - *lo + 1) as u64) as u32
+            };
+            for _ in 0..count {
+                match atom {
+                    PatAtom::Lit(c) => out.push(*c),
+                    PatAtom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_with_class_range_and_counts() {
+        let mut rng = TestRng::for_case("pat", 0);
+        for _ in 0..200 {
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_with_escapes_and_literals() {
+        let mut rng = TestRng::for_case("pat", 1);
+        let s = "ab\\n[x\\]]{1}".generate(&mut rng);
+        assert!(s.starts_with("ab\n"), "{s:?}");
+        assert!(s.ends_with('x') || s.ends_with(']'), "{s:?}");
+    }
+
+    #[test]
+    fn union_draws_every_arm_eventually() {
+        let u = Union::new(vec![Union::arm(Just(0)), Union::arm(Just(1))]);
+        let mut rng = TestRng::for_case("u", 0);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[u.generate(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *minimal* API surface it actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]), [`SeedableRng`], and the
+//! [`Rng`] convenience methods `gen_range` / `gen_bool`. The generator
+//! is a splitmix64 stream — statistically solid for workload synthesis,
+//! not cryptographic, and deliberately stable across toolchains so
+//! seeded simulations stay reproducible.
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Produces the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types `gen_range` can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform sample from `lo..hi` (`hi` exclusive; requires `lo < hi`).
+    fn sample_below(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_below(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                // Multiply-shift rejection-free mapping; bias is
+                // negligible for the span sizes the workloads use.
+                let r = rng();
+                lo + ((r as u128 * span as u128) >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_below(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                let r = rng();
+                let off = ((r as u128 * span as u128) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges `gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from the range.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_below(rng, self.start, self.end)
+    }
+}
+
+impl SampleRange<usize> for core::ops::RangeInclusive<usize> {
+    #[inline]
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> usize {
+        let (lo, hi) = self.into_inner();
+        usize::sample_below(rng, lo, hi.checked_add(1).expect("range overflow"))
+    }
+}
+
+impl SampleRange<u64> for core::ops::RangeInclusive<u64> {
+    #[inline]
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> u64 {
+        let (lo, hi) = self.into_inner();
+        u64::sample_below(rng, lo, hi.checked_add(1).expect("range overflow"))
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 bits of the stream give a uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0usize..=4);
+            assert!(w <= 4);
+            let s = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..1 << 32) == b.gen_range(0u64..1 << 32))
+            .count();
+        assert!(same < 4);
+    }
+}
