@@ -1,0 +1,352 @@
+//! Performance snapshot of the enumeration engines (PR 2 artifact).
+//!
+//! Runs a fixed matrix of enumeration workloads — protocol × machine
+//! size × thread count — and writes a machine-readable JSON snapshot
+//! with throughput (states/s and visits/s), peak pending-work depth
+//! and the `ccv-observe` phase wall time per configuration. The
+//! checked-in `BENCH_PR2.json` at the repository root is the reference
+//! snapshot for the lock-free work-stealing engine.
+//!
+//! Because absolute rates vary wildly across machines, every snapshot
+//! also measures a *reference workload* (sequential Illinois `n = 12`,
+//! exact dedup) in the same process. `--check` compares rates
+//! *normalised by the reference rate*, so a slower CI runner does not
+//! trip the gate — only a change in the engine's relative performance
+//! does.
+//!
+//! ```text
+//! bench_snapshot [--out FILE] [--reduced] [--heavy] [--threads A,B,..]
+//!                [--check BASELINE [--tolerance F]]
+//! ```
+//!
+//! * `--out FILE` — write the snapshot JSON (default: stdout only).
+//! * `--reduced` — CI matrix: the two heaviest protocols at one size.
+//! * `--heavy` — add `n ∈ {12, 14}` rows to the full matrix.
+//! * `--threads` — override the thread counts (default `1` and one
+//!   per available core).
+//! * `--check BASELINE` — compare against a previous snapshot; exit 1
+//!   if any config's normalised rate regressed by more than
+//!   `--tolerance` (default 0.30). Only configs present in both
+//!   snapshots are compared.
+
+use ccv_enum::{enumerate, enumerate_parallel, EnumOptions, EnumResult};
+use ccv_model::{protocols, ProtocolSpec};
+use ccv_observe::{EventSink, Gauge, Json, Metrics, Phase};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Keep timing a workload until it has consumed at least this much
+/// wall time, so small state spaces still give stable rates.
+const MIN_SAMPLE_MS: u128 = 250;
+
+/// Hard cap on repetitions for tiny workloads.
+const MAX_REPS: u32 = 2_000;
+
+#[derive(Clone)]
+struct Config {
+    protocol: &'static str,
+    n: usize,
+    threads: usize,
+}
+
+impl Config {
+    /// Stable identity used to match rows across snapshots.
+    fn key(&self) -> String {
+        format!("{}/n{}/t{}", self.protocol, self.n, self.threads)
+    }
+}
+
+struct Row {
+    config: Config,
+    reps: u32,
+    distinct: usize,
+    visits: usize,
+    wall_ms: f64,
+    states_per_sec: f64,
+    visits_per_sec: f64,
+    peak_pending: u64,
+    phase_wall_ms: f64,
+}
+
+fn spec_of(name: &str) -> ProtocolSpec {
+    match name {
+        "illinois" => protocols::illinois(),
+        "dragon" => protocols::dragon(),
+        "berkeley" => protocols::berkeley(),
+        other => panic!("unknown benchmark protocol {other}"),
+    }
+}
+
+fn run_once(spec: &ProtocolSpec, opts: &EnumOptions, threads: usize) -> EnumResult {
+    if threads > 1 {
+        enumerate_parallel(spec, opts, threads)
+    } else {
+        enumerate(spec, opts)
+    }
+}
+
+/// Times one configuration: repeat until [`MIN_SAMPLE_MS`] of wall
+/// time, then one instrumented run for the observe-side numbers.
+fn measure(config: &Config) -> Row {
+    let spec = spec_of(config.protocol);
+    let opts = EnumOptions::new(config.n).exact();
+
+    let mut reps = 0u32;
+    let t0 = Instant::now();
+    let mut result = None;
+    while t0.elapsed().as_millis() < MIN_SAMPLE_MS && reps < MAX_REPS {
+        result = Some(run_once(&spec, &opts, config.threads));
+        reps += 1;
+    }
+    let wall = t0.elapsed();
+    let result = result.expect("at least one repetition");
+    assert!(
+        result.is_clean(),
+        "{}: benchmark protocol violated",
+        config.key()
+    );
+
+    let metrics = Arc::new(Metrics::new());
+    let instrumented = opts.clone().sink(metrics.clone() as Arc<dyn EventSink>);
+    let check = run_once(&spec, &instrumented, config.threads);
+    assert_eq!(check.distinct, result.distinct);
+    let snap = metrics.snapshot();
+
+    let secs = wall.as_secs_f64();
+    let per_rep = secs / reps as f64;
+    Row {
+        config: config.clone(),
+        reps,
+        distinct: result.distinct,
+        visits: result.visits,
+        wall_ms: per_rep * 1e3,
+        states_per_sec: result.distinct as f64 / per_rep,
+        visits_per_sec: result.visits as f64 / per_rep,
+        peak_pending: snap.gauge(Gauge::PeakPending).unwrap_or(0),
+        phase_wall_ms: snap.phase_nanos(Phase::Enumerate) as f64 / 1e6,
+    }
+}
+
+fn matrix(reduced: bool, heavy: bool, threads: &[usize]) -> Vec<Config> {
+    let mut configs = Vec::new();
+    if reduced {
+        for protocol in ["illinois", "dragon"] {
+            for &t in threads {
+                configs.push(Config {
+                    protocol,
+                    n: 12,
+                    threads: t,
+                });
+            }
+        }
+        return configs;
+    }
+    for protocol in ["illinois", "dragon", "berkeley"] {
+        let mut sizes = vec![4usize, 5, 6, 7, 8];
+        if heavy {
+            sizes.extend([12, 14]);
+        }
+        for n in sizes {
+            for &t in threads {
+                configs.push(Config {
+                    protocol,
+                    n,
+                    threads: t,
+                });
+            }
+        }
+    }
+    configs
+}
+
+/// The machine-speed reference: sequential Illinois n=12, exact dedup.
+fn reference_rate() -> f64 {
+    let spec = protocols::illinois();
+    let opts = EnumOptions::new(12).exact();
+    // One warm-up, then time a single run (large enough to be stable).
+    let _ = enumerate(&spec, &opts);
+    let t0 = Instant::now();
+    let r = enumerate(&spec, &opts);
+    r.visits as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn to_json(rows: &[Row], reference: f64) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::str("ccv-bench-snapshot-v1")),
+        (
+            "reference".into(),
+            Json::Obj(vec![
+                (
+                    "workload".into(),
+                    Json::str("illinois n=12 exact sequential"),
+                ),
+                ("visits_per_sec".into(), Json::Num(reference)),
+            ]),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("key".into(), Json::str(r.config.key())),
+                            ("protocol".into(), Json::str(r.config.protocol)),
+                            ("n".into(), Json::int(r.config.n as u64)),
+                            ("threads".into(), Json::int(r.config.threads as u64)),
+                            ("reps".into(), Json::int(r.reps as u64)),
+                            ("distinct".into(), Json::int(r.distinct as u64)),
+                            ("visits".into(), Json::int(r.visits as u64)),
+                            ("wall_ms".into(), Json::Num(r.wall_ms)),
+                            ("states_per_sec".into(), Json::Num(r.states_per_sec)),
+                            ("visits_per_sec".into(), Json::Num(r.visits_per_sec)),
+                            ("peak_pending".into(), Json::int(r.peak_pending)),
+                            ("phase_wall_ms".into(), Json::Num(r.phase_wall_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Extracts `key -> visits_per_sec / reference` from a snapshot JSON.
+fn normalised_rates(doc: &Json) -> Vec<(String, f64)> {
+    let reference = doc
+        .get("reference")
+        .and_then(|r| r.get("visits_per_sec"))
+        .and_then(Json::as_f64)
+        .expect("snapshot has a reference rate");
+    doc.get("rows")
+        .and_then(Json::as_arr)
+        .expect("snapshot has rows")
+        .iter()
+        .map(|row| {
+            let key = row
+                .get("key")
+                .and_then(Json::as_str)
+                .expect("row key")
+                .to_string();
+            let rate = row
+                .get("visits_per_sec")
+                .and_then(Json::as_f64)
+                .expect("row rate");
+            (key, rate / reference)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.30f64;
+    let mut reduced = false;
+    let mut heavy = false;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--check" => {
+                check = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--tolerance" => {
+                tolerance = args[i + 1].parse().expect("--tolerance takes a fraction");
+                i += 2;
+            }
+            "--threads" => {
+                threads = Some(
+                    args[i + 1]
+                        .split(',')
+                        .map(|t| t.parse().expect("--threads takes a comma list"))
+                        .collect(),
+                );
+                i += 2;
+            }
+            "--reduced" => {
+                reduced = true;
+                i += 1;
+            }
+            "--heavy" => {
+                heavy = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = threads.unwrap_or_else(|| if cores > 1 { vec![1, cores] } else { vec![1] });
+
+    eprintln!("measuring reference workload...");
+    let reference = reference_rate();
+    eprintln!("reference: {:.0} visits/s", reference);
+
+    let configs = matrix(reduced, heavy, &threads);
+    let mut rows = Vec::with_capacity(configs.len());
+    for config in &configs {
+        let row = measure(config);
+        eprintln!(
+            "{:<22} {:>9} distinct {:>10} visits  {:>9.1} ms  {:>11.0} visits/s  peak {}",
+            row.config.key(),
+            row.distinct,
+            row.visits,
+            row.wall_ms,
+            row.visits_per_sec,
+            row.peak_pending
+        );
+        rows.push(row);
+    }
+
+    let doc = to_json(&rows, reference);
+    let rendered = doc.render();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, format!("{rendered}\n")).expect("write snapshot");
+            eprintln!("snapshot written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline parses");
+        let base_rates = normalised_rates(&baseline);
+        let current: Vec<(String, f64)> = normalised_rates(&doc);
+        let mut failed = false;
+        let mut compared = 0usize;
+        for (key, base) in &base_rates {
+            let Some((_, now)) = current.iter().find(|(k, _)| k == key) else {
+                continue;
+            };
+            compared += 1;
+            let ratio = now / base;
+            let verdict = if ratio < 1.0 - tolerance {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "check {key:<22} baseline {base:>7.3} now {now:>7.3} ratio {ratio:>5.2}  {verdict}"
+            );
+        }
+        assert!(compared > 0, "no overlapping configs with {baseline_path}");
+        if failed {
+            eprintln!(
+                "FAIL: normalised throughput regressed more than {:.0}%",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check passed: {compared} configs within {:.0}%",
+            tolerance * 100.0
+        );
+    }
+}

@@ -46,10 +46,7 @@ fn main() {
         ]);
 
         let t0 = Instant::now();
-        let eq = run_expansion(
-            &spec,
-            &Options::default().pruning(Pruning::Equality),
-        );
+        let eq = run_expansion(&spec, &Options::default().pruning(Pruning::Equality));
         let t_eq = t0.elapsed();
         table.row(vec![
             spec.name().to_string(),

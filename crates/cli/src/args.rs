@@ -140,7 +140,10 @@ impl ArgSpec {
                 } else {
                     p.switches.push(f.name);
                 }
-            } else if tok.starts_with('-') && tok.len() > 1 && !tok[1..].starts_with(|c: char| c.is_ascii_digit()) {
+            } else if tok.starts_with('-')
+                && tok.len() > 1
+                && !tok[1..].starts_with(|c: char| c.is_ascii_digit())
+            {
                 return Err(format!(
                     "unknown option '{tok}' (argument {at} to `ccv {}`); run `ccv {} --help`",
                     self.cmd, self.cmd
@@ -174,7 +177,7 @@ impl ArgSpec {
 impl ParsedArgs {
     /// True iff the boolean switch `name` appeared.
     pub fn flag(&self, name: &str) -> bool {
-        self.switches.iter().any(|s| *s == name)
+        self.switches.contains(&name)
     }
 
     /// The value of option `name`, parsed as `T` (last occurrence
@@ -237,7 +240,9 @@ mod tests {
 
     #[test]
     fn parses_positionals_flags_and_values() {
-        let p = SPEC.parse(&args(&["illinois", "--trace", "-n", "3"])).unwrap();
+        let p = SPEC
+            .parse(&args(&["illinois", "--trace", "-n", "3"]))
+            .unwrap();
         assert_eq!(p.pos(0), Some("illinois"));
         assert!(p.flag("--trace"));
         assert_eq!(p.value::<usize>("-n").unwrap(), Some(3));

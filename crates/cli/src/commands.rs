@@ -1,7 +1,7 @@
 //! Command implementations for the `ccv` binary.
 //!
 //! Each command declares its argument grammar as a typed
-//! [`ArgSpec`](crate::args::ArgSpec) (see `args.rs`), parses with
+//! [`ArgSpec`] (see `args.rs`), parses with
 //! positioned errors, and supports `--help`. Commands return
 //! `Ok(true)` for success, `Ok(false)` for a completed run with a
 //! negative result (verification failed, oracle violated), and
@@ -496,7 +496,7 @@ const ENUMERATE_SPEC: ArgSpec = ArgSpec {
         Flag {
             name: "--threads",
             value: Some("T"),
-            help: "parallel workers (default 1 = sequential)",
+            help: "parallel workers; 0 = one per available core (default 0)",
         },
     ],
 };
@@ -512,18 +512,25 @@ pub fn enumerate(args: &[String]) -> CmdResult {
     if p.flag("--exact") {
         opts = opts.exact();
     }
-    let threads: usize = p.value_or("--threads", 1)?;
+    let requested: usize = p.value_or("--threads", 0)?;
+    // 0 = auto: one worker per core the scheduler grants this process.
+    let threads = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested
+    };
     let r = if threads > 1 {
         enumerate_parallel(&spec, &opts, threads)
     } else {
         run_enumerate(&spec, &opts)
     };
     println!(
-        "protocol {} n={} dedup={:?} threads={}",
+        "protocol {} n={} dedup={:?} threads={}{}",
         spec.name(),
         n,
         opts.dedup,
-        threads
+        threads,
+        if requested == 0 { " (auto)" } else { "" }
     );
     println!(
         "distinct states: {}   visits: {}   truncated: {}",

@@ -45,7 +45,11 @@ pub fn protocol_report(spec: &ProtocolSpec, v: &VerificationReport) -> String {
             cc.n,
             cc.covered,
             cc.total_concrete,
-            if cc.complete { "complete" } else { "INCOMPLETE" }
+            if cc.complete {
+                "complete"
+            } else {
+                "INCOMPLETE"
+            }
         );
     }
     let _ = writeln!(md);

@@ -127,6 +127,37 @@ fn enumerate_reports_distinct_states() {
 }
 
 #[test]
+fn enumerate_threads_zero_resolves_to_available_cores() {
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "3",
+        "--exact",
+        "--threads",
+        "0",
+    ]);
+    assert_eq!(o.status.code(), Some(0));
+    let out = stdout(&o);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    assert!(
+        out.contains(&format!("threads={cores} (auto)")),
+        "expected auto-resolved thread count {cores}:\n{out}"
+    );
+    // The engine choice must not change the counts.
+    assert!(out.contains("distinct states: 14"), "{out}");
+}
+
+#[test]
+fn enumerate_explicit_thread_count_is_reported_verbatim() {
+    let o = ccv(&["enumerate", "illinois", "-n", "3", "--threads", "2"]);
+    assert_eq!(o.status.code(), Some(0));
+    let out = stdout(&o);
+    assert!(out.contains("threads=2"), "{out}");
+    assert!(!out.contains("(auto)"), "{out}");
+}
+
+#[test]
 fn crosscheck_confirms_theorem_1() {
     let o = ccv(&["crosscheck", "dragon", "-n", "3"]);
     assert_eq!(o.status.code(), Some(0));

@@ -97,8 +97,7 @@ pub use recovery::{analyze_recovery, RecoveryCase, RecoveryReport, Tolerance};
 pub use rep::{Interval, Rep};
 pub use session::Session;
 pub use verify::{
-    verify, verify_with, CrosscheckSummary, ErrorReport, Verdict, Verification,
-    VerificationReport,
+    verify, verify_with, CrosscheckSummary, ErrorReport, Verdict, Verification, VerificationReport,
 };
 
 // Re-exported so downstream users configure observability without a

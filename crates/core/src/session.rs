@@ -1,7 +1,7 @@
 //! The library façade: one builder for a whole verification run.
 //!
 //! A [`Session`] owns a protocol spec and the engine options, and
-//! produces a [`VerificationReport`](crate::VerificationReport) — the
+//! produces a [`VerificationReport`] — the
 //! same result type the CLI renders and the crosscheck annotates.
 //!
 //! ```

@@ -1,0 +1,48 @@
+//! Successor-kernel microbenchmark: raw `successors_into` throughput
+//! over every reachable state of a few bundled protocols, isolated
+//! from hashing, deduplication and scheduling. Useful for attributing
+//! engine-level speedups to the kernel itself (see `docs/perf.md`).
+//!
+//! ```text
+//! cargo run --release -p ccv-enum --example kernel_throughput
+//! ```
+
+use std::time::Instant;
+
+/// Roughly how many state expansions to time per protocol.
+const TARGET_EXPANSIONS: usize = 2_000_000;
+
+fn main() {
+    for (name, spec) in [
+        ("illinois", ccv_model::protocols::illinois()),
+        ("dragon", ccv_model::protocols::dragon()),
+        ("berkeley", ccv_model::protocols::berkeley()),
+    ] {
+        let n = 8usize;
+        let states = ccv_enum::reachable_states(&spec, n, 1 << 24);
+        let mut buf = Vec::with_capacity(1024);
+        let mut total = 0usize;
+        // One warm-up sweep before timing.
+        for &gs in &states {
+            buf.clear();
+            ccv_enum::successors_into(&spec, gs, n, &mut buf);
+        }
+        let reps = (TARGET_EXPANSIONS / states.len().max(1)).max(1);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for &gs in &states {
+                buf.clear();
+                ccv_enum::successors_into(&spec, gs, n, &mut buf);
+                total += buf.len();
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{name} n={n}: {:.2}M successors/s ({} states x {} reps)",
+            total as f64 / dt / 1e6,
+            states.len(),
+            reps
+        );
+        std::hint::black_box(total);
+    }
+}

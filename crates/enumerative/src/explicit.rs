@@ -19,7 +19,7 @@
 
 use crate::fxhash::FxHashSet;
 use crate::packed::{PackedState, MAX_CACHES};
-use crate::step::{check_concrete, successors_into, ConcreteStep};
+use crate::step::{describe_violations, is_violating, successors_into, ConcreteStep};
 use ccv_model::{ProcEvent, ProtocolSpec};
 use ccv_observe::{CommonOptions, Counter, Gauge, Phase};
 use std::collections::VecDeque;
@@ -156,18 +156,26 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     let mut next_level = 0usize;
 
     sink.phase_enter(Phase::Enumerate);
+    sink.gauge(Gauge::Threads, 1);
     sink.frontier(0, 1);
 
-    let init = PackedState::INITIAL;
-    visited.insert(canon(init));
-    let init_violations = check_concrete(spec, init, opts.n);
-    if !init_violations.is_empty() {
+    // The worklist holds dedup *keys* (canonical representatives under
+    // counting dedup), so the set of expanded states — and with it the
+    // violation set — is a deterministic function of the options,
+    // shared exactly with the work-stealing engine.
+    let init = canon(PackedState::INITIAL);
+    visited.insert(init);
+    if is_violating(spec, init, opts.n) {
         errors.push(EnumError {
             state: init,
-            descriptions: init_violations,
+            descriptions: describe_violations(spec, init, opts.n),
         });
     }
-    work.push_back(init);
+    // An initial-state violation honors stop_at_first_error like any
+    // other: don't explore a space already known to be broken.
+    if errors.is_empty() || !opts.common.stop_at_first_error {
+        work.push_back(init);
+    }
 
     let mut succ_buf: Vec<ConcreteStep> = Vec::new();
     'outer: while let Some(current) = work.pop_front() {
@@ -175,31 +183,12 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
         successors_into(spec, current, opts.n, &mut succ_buf);
         for s in &succ_buf {
             visits += 1;
-            let mut descriptions: Vec<String> = s
-                .errors
-                .iter()
-                .map(|e| format!("{e:?} via cache {} {}", s.cache, s.event))
-                .collect();
-            let key = canon(s.to);
-            if visited.insert(key) {
-                dedup_misses += 1;
-                descriptions.extend(check_concrete(spec, s.to, opts.n));
-                if visited.len() >= opts.common.budget {
-                    truncated = true;
-                    if !descriptions.is_empty() {
-                        errors.push(EnumError {
-                            state: s.to,
-                            descriptions,
-                        });
-                    }
-                    break 'outer;
-                }
-                work.push_back(s.to);
-                next_level += 1;
-            } else {
-                dedup_hits += 1;
-            }
-            if !descriptions.is_empty() {
+            if !s.errors.is_empty() {
+                let descriptions: Vec<String> = s
+                    .errors
+                    .iter()
+                    .map(|e| format!("{e:?} via cache {} {}", s.cache, s.event))
+                    .collect();
                 errors.push(EnumError {
                     state: s.to,
                     descriptions,
@@ -207,6 +196,27 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
                 if opts.common.stop_at_first_error {
                     break 'outer;
                 }
+            }
+            let key = canon(s.to);
+            if visited.insert(key) {
+                dedup_misses += 1;
+                if is_violating(spec, key, opts.n) {
+                    errors.push(EnumError {
+                        state: key,
+                        descriptions: describe_violations(spec, key, opts.n),
+                    });
+                    if opts.common.stop_at_first_error {
+                        break 'outer;
+                    }
+                }
+                if visited.len() >= opts.common.budget {
+                    truncated = true;
+                    break 'outer;
+                }
+                work.push_back(key);
+                next_level += 1;
+            } else {
+                dedup_hits += 1;
             }
         }
         level_remaining -= 1;

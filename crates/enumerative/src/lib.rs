@@ -8,9 +8,10 @@
 //!   Figure 2, with exact-duplicate pruning ([`Dedup::Exact`]) or the
 //!   counting-equivalence pruning of Definition 5
 //!   ([`Dedup::Counting`]);
-//! * [`parallel::enumerate_parallel`] — a level-synchronous parallel
-//!   frontier search (crossbeam scoped threads + sharded visited set)
-//!   producing identical reachable sets;
+//! * [`parallel::enumerate_parallel`] — a lock-free work-stealing
+//!   parallel search (persistent worker pool + the [`visited`]
+//!   claim-once set) producing identical reachable sets, visit counts
+//!   and violation sets for any thread count;
 //! * [`crosscheck()`](crosscheck::crosscheck) — the Theorem 1 validation harness: every state
 //!   reached explicitly must be covered by a symbolic essential state
 //!   of `ccv-core`.
@@ -44,6 +45,7 @@ pub mod fxhash;
 pub mod packed;
 pub mod parallel;
 pub mod step;
+pub mod visited;
 pub mod witness;
 
 pub use crosscheck::{
@@ -57,6 +59,8 @@ pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use packed::{PackedState, MAX_CACHES};
 pub use parallel::enumerate_parallel;
 pub use step::{
-    check_concrete, context_of, step_into, successors_into, ConcreteError, ConcreteStep,
+    check_concrete, context_of, describe_violations, is_violating, step_into, successors_into,
+    ConcreteError, ConcreteStep, ErrorMask,
 };
+pub use visited::{AtomicVisited, ClaimStats};
 pub use witness::{find_state_witness, find_violation_witness, Witness, WitnessStep};

@@ -106,24 +106,32 @@ impl PackedState {
     /// representative with per-cache codes sorted ascending. Two states
     /// are permutations of each other iff their canonical forms are
     /// equal.
+    ///
+    /// The 6-bit codes are sorted by a counting sort over the 64
+    /// possible values — branchless histogram + emit, measurably faster
+    /// than a comparison sort at `n ≤ 16` and allocation-free, since
+    /// this runs once per visit in `Dedup::Counting` mode.
     pub fn canonical(self, n: usize) -> PackedState {
         debug_assert!(n <= MAX_CACHES);
-        let mut codes = [0u8; MAX_CACHES];
-        for (i, c) in codes[..n].iter_mut().enumerate() {
-            *c = self.cache_code(i);
+        let mut histogram = [0u8; 64];
+        for i in 0..n {
+            histogram[self.cache_code(i) as usize] += 1;
         }
-        codes[..n].sort_unstable();
         let mut out = PackedState(0).with_mdata(self.mdata());
-        for (i, &code) in codes[..n].iter().enumerate() {
-            out = out.with_state(i, StateId(code >> 2));
-            out = out.with_cdata(
-                i,
-                match code & 0x3 {
-                    0 => CData::NoData,
-                    1 => CData::Fresh,
-                    _ => CData::Obsolete,
-                },
-            );
+        let mut slot = 0usize;
+        for (code, &count) in histogram.iter().enumerate() {
+            for _ in 0..count {
+                out = out.with_state(slot, StateId((code >> 2) as u8));
+                out = out.with_cdata(
+                    slot,
+                    match code & 0x3 {
+                        0 => CData::NoData,
+                        1 => CData::Fresh,
+                        _ => CData::Obsolete,
+                    },
+                );
+                slot += 1;
+            }
         }
         out
     }

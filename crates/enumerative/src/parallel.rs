@@ -1,202 +1,354 @@
-//! Parallel level-synchronous frontier search.
+//! Lock-free work-stealing parallel reachability.
 //!
-//! The state-space explosion that motivates the paper (§3.1) is also a
-//! textbook data-parallel workload: each BFS level's states can be
-//! expanded independently. This engine parallelises the exhaustive
-//! search of `explicit.rs` with `crossbeam` scoped threads and a
-//! sharded visited set behind `parking_lot` mutexes:
+//! The state-space explosion that motivates the paper (§3.1) is a
+//! textbook irregular-parallel workload: every reached state can be
+//! expanded independently, but the frontier's shape is unpredictable.
+//! Earlier revisions parallelised the search level-synchronously —
+//! respawning a thread pool per BFS level and joining at a barrier —
+//! which serialised on the barrier exactly when levels were narrow and
+//! on the mutex-sharded visited set exactly when they were wide. This
+//! engine replaces both:
 //!
-//! * the frontier is split into near-equal chunks, one per worker;
-//! * each worker expands its chunk, canonicalises successors and
-//!   claims them in the visited shard selected by the state's hash
-//!   (shard count ≫ thread count keeps contention negligible);
-//! * newly claimed states form the worker's slice of the next
-//!   frontier; slices are concatenated at the level barrier.
+//! * **one persistent worker pool** (`std::thread::scope`) spawned
+//!   once per run, never joined until the search finishes;
+//! * **work stealing** instead of level barriers: each worker owns a
+//!   private LIFO stack plus a small mutex-guarded public deque. A
+//!   worker expands from its stack, periodically publishing the older
+//!   half when its public deque is empty; idle workers steal batches
+//!   from the *front* of a victim's public deque (round-robin victim
+//!   scan, `try_lock` only — a busy victim is skipped, never waited
+//!   on), so the critical sections are short and amortised over up to
+//!   `STEAL_CAP` states;
+//! * **a lock-free visited set** ([`AtomicVisited`]): claiming a state
+//!   is one CAS on the fast path, and the distinct-state count is a
+//!   single atomic counter instead of locking all shards;
+//! * **cooperative termination**: a global `pending` counter tracks
+//!   claimed-but-unexpanded states (incremented *before* a state is
+//!   pushed, decremented *after* its expansion completes), so an idle
+//!   worker that observes `pending == 0` knows the search is complete.
+//!   Budget exhaustion and `stop_at_first_error` propagate through a
+//!   shared stop flag checked once per expansion.
 //!
-//! The reachable set, distinct-state count and visit count are
-//! identical to the sequential engine's (claiming is atomic per state,
-//! so exactly one worker wins each state); only discovery *order* —
-//! and therefore error ordering — differs. The unit tests assert the
-//! sequential/parallel agreement.
+//! # Equivalence with the sequential engine
+//!
+//! Both engines enqueue the *dedup key* of each successor (the state
+//! itself under [`Dedup::Exact`], its canonical form under
+//! [`Dedup::Counting`]), and [`AtomicVisited::claim`] admits each key
+//! exactly once, so the set of expanded states — and therefore the
+//! `distinct`/`visits` totals and the violation *set* — is identical
+//! to [`crate::explicit::enumerate`]'s, for any thread count.
+//! Discovery *order*, and with it error ordering, is scheduling-
+//! dependent. The unit tests and the differential matrix in
+//! `tests/tests/engines_agree.rs` pin the agreement.
 
 use crate::explicit::{Dedup, EnumError, EnumOptions, EnumResult};
-use crate::fxhash::{FxHashSet, FxHasher};
 use crate::packed::{PackedState, MAX_CACHES};
-use crate::step::{check_concrete, successors_into, ConcreteStep};
+use crate::step::{describe_violations, is_violating, successors_into, ConcreteStep};
+use crate::visited::AtomicVisited;
 use ccv_model::ProtocolSpec;
 use ccv_observe::{Counter, Gauge, Phase};
 use parking_lot::Mutex;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
 
-/// Number of visited-set shards (power of two).
-const SHARDS: usize = 64;
+/// Most states moved from a worker's public deque to its private
+/// stack in one refill.
+const REFILL_BATCH: usize = 64;
 
-/// A sharded concurrent visited set.
-struct Visited {
-    shards: Vec<Mutex<FxHashSet<PackedState>>>,
+/// Most states taken from a victim in one steal.
+const STEAL_CAP: usize = 64;
+
+/// Shared search state, borrowed by every worker.
+struct Shared<'a> {
+    spec: &'a ProtocolSpec,
+    n: usize,
+    dedup: Dedup,
+    budget: usize,
+    stop_at_first_error: bool,
+    visited: AtomicVisited,
+    /// Claimed-but-unexpanded states; 0 ⇒ the search is complete.
+    pending: AtomicUsize,
+    stop: AtomicBool,
+    truncated: AtomicBool,
+    /// One public deque per worker. Owners push/pop at the back,
+    /// thieves steal batches from the front.
+    queues: Vec<Mutex<VecDeque<PackedState>>>,
 }
 
-impl Visited {
-    fn new() -> Visited {
-        Visited {
-            shards: (0..SHARDS)
-                .map(|_| Mutex::new(FxHashSet::default()))
-                .collect(),
+impl Shared<'_> {
+    #[inline]
+    fn canon(&self, s: PackedState) -> PackedState {
+        match self.dedup {
+            Dedup::Exact => s,
+            Dedup::Counting => s.canonical(self.n),
+        }
+    }
+}
+
+/// Per-worker tallies, merged after the pool joins.
+#[derive(Default)]
+struct WorkerStats {
+    visits: usize,
+    dedup_hits: u64,
+    dedup_misses: u64,
+    claims: u64,
+    steals: u64,
+    claim_races: u64,
+    peak_pending: usize,
+    errors: Vec<EnumError>,
+}
+
+/// Moves up to [`REFILL_BATCH`] states from the worker's own public
+/// deque (back first — the most recently published, preserving
+/// locality) onto its private stack and pops one.
+fn refill(w: usize, sh: &Shared<'_>, local: &mut Vec<PackedState>) -> Option<PackedState> {
+    let mut q = sh.queues[w].lock();
+    for _ in 0..REFILL_BATCH {
+        match q.pop_back() {
+            Some(s) => local.push(s),
+            None => break,
+        }
+    }
+    drop(q);
+    local.pop()
+}
+
+/// Scans the other workers round-robin and steals up to half of the
+/// first non-empty public deque found (front first — the states
+/// published earliest, farthest from the victim's working set).
+fn steal(
+    w: usize,
+    sh: &Shared<'_>,
+    local: &mut Vec<PackedState>,
+    stats: &mut WorkerStats,
+) -> Option<PackedState> {
+    let k = sh.queues.len();
+    for off in 1..k {
+        let victim = (w + off) % k;
+        let Some(mut q) = sh.queues[victim].try_lock() else {
+            continue;
+        };
+        let take = q.len().div_ceil(2).min(STEAL_CAP);
+        if take == 0 {
+            continue;
+        }
+        for _ in 0..take {
+            local.push(q.pop_front().expect("len checked"));
+        }
+        drop(q);
+        stats.steals += 1;
+        return local.pop();
+    }
+    None
+}
+
+/// Expands one state: generates its successors, records stale-access
+/// and structural violations, claims each successor's dedup key and
+/// schedules the newly claimed ones.
+fn expand(
+    state: PackedState,
+    w: usize,
+    sh: &Shared<'_>,
+    local: &mut Vec<PackedState>,
+    buf: &mut Vec<ConcreteStep>,
+    stats: &mut WorkerStats,
+) {
+    buf.clear();
+    successors_into(sh.spec, state, sh.n, buf);
+    for s in buf.iter() {
+        stats.visits += 1;
+        if !s.errors.is_empty() {
+            let descriptions: Vec<String> = s
+                .errors
+                .iter()
+                .map(|e| format!("{e:?} via cache {} {}", s.cache, s.event))
+                .collect();
+            stats.errors.push(EnumError {
+                state: s.to,
+                descriptions,
+            });
+            if sh.stop_at_first_error {
+                sh.stop.store(true, Ordering::Release);
+            }
+        }
+        let key = sh.canon(s.to);
+        let claim = sh.visited.claim(key);
+        stats.claim_races += claim.races as u64;
+        if !claim.claimed {
+            stats.dedup_hits += 1;
+            continue;
+        }
+        stats.dedup_misses += 1;
+        stats.claims += 1;
+        if is_violating(sh.spec, key, sh.n) {
+            stats.errors.push(EnumError {
+                state: key,
+                descriptions: describe_violations(sh.spec, key, sh.n),
+            });
+            if sh.stop_at_first_error {
+                sh.stop.store(true, Ordering::Release);
+            }
+        }
+        if sh.visited.len() >= sh.budget {
+            sh.truncated.store(true, Ordering::Relaxed);
+            sh.stop.store(true, Ordering::Release);
+        } else {
+            let now_pending = sh.pending.fetch_add(1, Ordering::Relaxed) + 1;
+            stats.peak_pending = stats.peak_pending.max(now_pending);
+            local.push(key);
         }
     }
 
-    #[inline]
-    fn shard_of(state: PackedState) -> usize {
-        let mut h = FxHasher::default();
-        state.hash(&mut h);
-        (h.finish() as usize) & (SHARDS - 1)
-    }
-
-    /// Atomically claims `state`; returns `true` iff it was new.
-    fn claim(&self, state: PackedState) -> bool {
-        self.shards[Self::shard_of(state)].lock().insert(state)
-    }
-
-    fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+    // Publish the older (shallower) half of a grown private stack so
+    // idle workers have something to steal; only when our own public
+    // deque has drained, so publication stays rare on the hot path.
+    if local.len() > 1 {
+        if let Some(mut q) = sh.queues[w].try_lock() {
+            if q.is_empty() {
+                let give = local.len() / 2;
+                for s in local.drain(..give) {
+                    q.push_back(s);
+                }
+            }
+        }
     }
 }
 
-/// Runs the exhaustive search in parallel on `threads` workers.
+/// One worker: expand from the private stack, refill from the own
+/// public deque, steal when both are empty, exit when the global
+/// pending count hits zero (or a stop is signalled).
+fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut local: Vec<PackedState> = Vec::new();
+    let mut buf: Vec<ConcreteStep> = Vec::new();
+    let mut idle = 0u32;
+    loop {
+        if sh.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let state = local
+            .pop()
+            .or_else(|| refill(w, sh, &mut local))
+            .or_else(|| steal(w, sh, &mut local, &mut stats));
+        let Some(state) = state else {
+            if sh.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // All remaining work sits in other workers' private
+            // stacks. Back off progressively: stay polite on machines
+            // with fewer cores than workers.
+            idle += 1;
+            if idle <= 8 {
+                std::thread::yield_now();
+            } else {
+                let micros = (50u64 << (idle - 8).min(5)).min(1_000);
+                std::thread::sleep(Duration::from_micros(micros));
+            }
+            continue;
+        };
+        idle = 0;
+        expand(state, w, sh, &mut local, &mut buf, &mut stats);
+        sh.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+    stats
+}
+
+/// Runs the exhaustive search on `threads` persistent workers with
+/// work stealing.
 ///
 /// Produces the same `distinct`/`visits` totals and the same violation
-/// *set* as [`crate::explicit::enumerate`]; error ordering may differ.
-/// `stop_at_first_error` stops at a level boundary (workers finish
-/// their chunk first).
+/// *set* as [`crate::explicit::enumerate`] for any thread count; error
+/// ordering is scheduling-dependent. `stop_at_first_error` propagates
+/// cooperatively, so a few extra states may be expanded (and extra
+/// errors recorded) before all workers observe the stop.
 pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usize) -> EnumResult {
     assert!(opts.n >= 1 && opts.n <= MAX_CACHES);
     assert!(threads >= 1);
-
-    let canon = |s: PackedState| match opts.dedup {
-        Dedup::Exact => s,
-        Dedup::Counting => s.canonical(opts.n),
-    };
+    assert!(
+        spec.num_states() <= 16,
+        "packed encoding supports at most 16 protocol states"
+    );
 
     let sink = &opts.common.sink;
-    let visited = Visited::new();
-    let mut frontier: Vec<PackedState> = Vec::new();
-    let mut errors: Vec<EnumError> = Vec::new();
-    let mut visits = 0usize;
-    let mut dedup_misses = 0u64;
-    let mut level = 0usize;
-    // Frontier states claimed per worker slot, across all levels.
-    let mut worker_claims: Vec<u64> = vec![0; threads];
-    let truncated = AtomicBool::new(false);
-    let stop = AtomicBool::new(false);
-
     sink.phase_enter(Phase::Enumerate);
     sink.gauge(Gauge::Threads, threads as u64);
 
-    let init = PackedState::INITIAL;
-    visited.claim(canon(init));
-    let init_violations = check_concrete(spec, init, opts.n);
-    if !init_violations.is_empty() {
+    let sh = Shared {
+        spec,
+        n: opts.n,
+        dedup: opts.dedup,
+        budget: opts.common.budget,
+        stop_at_first_error: opts.common.stop_at_first_error,
+        visited: AtomicVisited::new(),
+        pending: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        truncated: AtomicBool::new(false),
+        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+    };
+
+    // The coordinator claims the initial state itself so the per-worker
+    // claim counts sum to `distinct − 1`.
+    let mut errors: Vec<EnumError> = Vec::new();
+    let init = sh.canon(PackedState::INITIAL);
+    sh.visited.claim(init);
+    sink.frontier(0, 1);
+    if is_violating(spec, init, opts.n) {
         errors.push(EnumError {
             state: init,
-            descriptions: init_violations,
+            descriptions: describe_violations(spec, init, opts.n),
         });
         if opts.common.stop_at_first_error {
-            stop.store(true, Ordering::Relaxed);
+            sh.stop.store(true, Ordering::Release);
         }
     }
-    frontier.push(init);
-    sink.frontier(0, 1);
+    if !sh.stop.load(Ordering::Relaxed) {
+        sh.pending.store(1, Ordering::Relaxed);
+        sh.queues[0].lock().push_back(init);
+    }
 
-    while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
-        let chunk_size = frontier.len().div_ceil(threads);
-        let chunks: Vec<&[PackedState]> = frontier.chunks(chunk_size).collect();
-
-        // (next-frontier slice, errors, visit count) per worker.
-        let results: Vec<(Vec<PackedState>, Vec<EnumError>, usize)> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        let visited = &visited;
-                        let truncated = &truncated;
-                        scope.spawn(move |_| {
-                            let mut next: Vec<PackedState> = Vec::new();
-                            let mut errs: Vec<EnumError> = Vec::new();
-                            let mut my_visits = 0usize;
-                            let mut buf: Vec<ConcreteStep> = Vec::new();
-                            for &state in *chunk {
-                                buf.clear();
-                                successors_into(spec, state, opts.n, &mut buf);
-                                for s in &buf {
-                                    my_visits += 1;
-                                    let mut descriptions: Vec<String> = s
-                                        .errors
-                                        .iter()
-                                        .map(|e| format!("{e:?} via cache {} {}", s.cache, s.event))
-                                        .collect();
-                                    if visited.claim(canon(s.to)) {
-                                        descriptions.extend(check_concrete(spec, s.to, opts.n));
-                                        next.push(s.to);
-                                    }
-                                    if !descriptions.is_empty() {
-                                        errs.push(EnumError {
-                                            state: s.to,
-                                            descriptions,
-                                        });
-                                    }
-                                }
-                            }
-                            if visited.len() >= opts.common.budget {
-                                truncated.store(true, Ordering::Relaxed);
-                            }
-                            (next, errs, my_visits)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+    let mut worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let sh = &sh;
+                scope.spawn(move || worker_loop(w, sh))
             })
-            .expect("worker panicked");
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
 
-        frontier.clear();
-        for (i, (next, errs, v)) in results.into_iter().enumerate() {
-            visits += v;
-            worker_claims[i] += next.len() as u64;
-            dedup_misses += next.len() as u64;
-            if !errs.is_empty() {
-                errors.extend(errs);
-                if opts.common.stop_at_first_error {
-                    stop.store(true, Ordering::Relaxed);
-                }
-            }
-            frontier.extend(next);
-        }
-        if !frontier.is_empty() {
-            level += 1;
-            sink.frontier(level, frontier.len());
-        }
-        if truncated.load(Ordering::Relaxed) {
-            break;
-        }
+    let mut visits = 0usize;
+    let mut dedup_hits = 0u64;
+    let mut dedup_misses = 0u64;
+    let mut steals = 0u64;
+    let mut claim_races = 0u64;
+    let mut peak_pending = 1usize;
+    for stats in &mut worker_stats {
+        visits += stats.visits;
+        dedup_hits += stats.dedup_hits;
+        dedup_misses += stats.dedup_misses;
+        steals += stats.steals;
+        claim_races += stats.claim_races;
+        peak_pending = peak_pending.max(stats.peak_pending);
+        errors.append(&mut stats.errors);
     }
 
-    let distinct = visited.len();
+    let distinct = sh.visited.len();
     if sink.is_enabled() {
         sink.count(Counter::Visits, visits as u64);
+        sink.count(Counter::DedupHits, dedup_hits);
         sink.count(Counter::DedupMisses, dedup_misses);
-        sink.count(Counter::DedupHits, visits as u64 - dedup_misses);
         sink.count(Counter::Errors, errors.len() as u64);
+        sink.count(Counter::Steals, steals);
+        sink.count(Counter::ClaimRaces, claim_races);
         sink.gauge(Gauge::DistinctStates, distinct as u64);
-        sink.gauge(Gauge::Levels, level as u64 + 1);
-        for (i, claims) in worker_claims.iter().enumerate() {
-            sink.worker(i, *claims);
+        sink.gauge(Gauge::PeakPending, peak_pending as u64);
+        for (i, stats) in worker_stats.iter().enumerate() {
+            sink.worker(i, stats.claims);
         }
         sink.progress(&format!(
-            "enumerated {} distinct states in {} visits across {} levels ({} workers)",
-            distinct,
-            visits,
-            level + 1,
-            threads
+            "enumerated {distinct} distinct states in {visits} visits \
+             ({threads} workers, {steals} steals)"
         ));
     }
     sink.phase_exit(Phase::Enumerate);
@@ -206,7 +358,7 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
         distinct,
         visits,
         errors,
-        truncated: truncated.load(Ordering::Relaxed),
+        truncated: sh.truncated.load(Ordering::Relaxed),
     }
 }
 
@@ -263,5 +415,25 @@ mod tests {
         let par = enumerate_parallel(&spec, &EnumOptions::new(3), 1);
         assert_eq!(seq.distinct, par.distinct);
         assert_eq!(seq.visits, par.visits);
+    }
+
+    #[test]
+    fn oversubscribed_pool_still_agrees() {
+        // More workers than states in early levels: most workers spend
+        // the run stealing or idling; counts must still be exact.
+        let spec = dragon();
+        let seq = enumerate(&spec, &EnumOptions::new(2).exact());
+        let par = enumerate_parallel(&spec, &EnumOptions::new(2).exact(), 8);
+        assert_eq!(par.distinct, seq.distinct);
+        assert_eq!(par.visits, seq.visits);
+    }
+
+    #[test]
+    fn budget_truncates_parallel_run() {
+        let spec = illinois();
+        let r = enumerate_parallel(&spec, &EnumOptions::new(4).max_states(5), 4);
+        assert!(r.truncated);
+        assert!(!r.is_clean());
+        assert!(r.distinct >= 5);
     }
 }

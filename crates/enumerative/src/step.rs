@@ -10,28 +10,42 @@
 //! generated as its own successor, mirroring the symbolic engine's
 //! branching so that the two engines explore the same behaviour
 //! (Theorem 1 cross-check, experiment E7).
+//!
+//! # The allocation-free kernel
+//!
+//! This module is the innermost loop of both enumeration engines: it
+//! runs once per `(cache, event)` stimulus, tens of millions of times
+//! per verification run. Everything on that path is therefore bounded
+//! statically and lives on the stack:
+//!
+//! * the "last write-back wins" memory resolutions collapse to at most
+//!   two choices (`fresh`/`obsolete`), tracked as two flags;
+//! * the fill-source choices collapse to at most one representative
+//!   supplier per freshness (the successor state depends only on the
+//!   source's freshness, never on its index) plus the memory fill;
+//! * the per-stimulus successor dedup uses an inline
+//!   `[PackedState; 4]` — 2 memory resolutions × 2 fill sources bound
+//!   the candidates;
+//! * stale accesses are recorded in a packed [`ErrorMask`] (`Copy`,
+//!   one `u32`) instead of a `Vec`, so [`ConcreteStep`] itself is
+//!   `Copy`.
+//!
+//! Violation checking is split the same way: [`is_violating`] is the
+//! branch-only fast path the engines call per state, and
+//! [`describe_violations`] formats human-readable descriptions only for
+//! the rare states that actually violate. A warm `successors_into` call
+//! performs **zero heap allocations** for non-violating states — the
+//! `tests/no_alloc.rs` integration test pins this with a counting
+//! global allocator.
 
 use crate::packed::PackedState;
 use ccv_model::{CData, DataOp, GlobalCtx, MData, ProcEvent, ProtocolSpec};
 
-/// A stale access observed while applying a concrete transition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum ConcreteError {
-    /// Cache `cache` read its local copy while it was obsolete.
-    StaleReadHit {
-        /// The offending cache index.
-        cache: usize,
-    },
-    /// Cache `cache` filled a miss from an obsolete source.
-    StaleFill {
-        /// The offending cache index.
-        cache: usize,
-    },
-}
+pub use ccv_model::{ConcreteError, ErrorMask};
 
 /// One concrete successor: the event that produced it, the new state,
 /// and any stale accesses observed on the way.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct ConcreteStep {
     /// The originating cache.
     pub cache: usize,
@@ -40,7 +54,7 @@ pub struct ConcreteStep {
     /// The successor state.
     pub to: PackedState,
     /// Stale accesses during the step.
-    pub errors: Vec<ConcreteError>,
+    pub errors: ErrorMask,
 }
 
 /// Evaluates the characteristic predicates from cache `i`'s
@@ -66,6 +80,8 @@ pub fn context_of(spec: &ProtocolSpec, gs: PackedState, n: usize, i: usize) -> G
 /// Generates every concrete successor of `gs` (for all caches and all
 /// events), appending into `out`. Distinct data-resolution choices that
 /// produce identical successors are deduplicated.
+///
+/// Does not allocate once `out`'s capacity is warm.
 pub fn successors_into(
     spec: &ProtocolSpec,
     gs: PackedState,
@@ -83,6 +99,10 @@ pub fn successors_into(
 }
 
 /// Generates the successors of one `(cache, event)` stimulus.
+///
+/// Does not allocate once `out`'s capacity is warm: every intermediate
+/// (flush resolutions, fill sources, per-stimulus dedup, stale-access
+/// set) is a fixed-size stack value.
 pub fn step_into(
     spec: &ProtocolSpec,
     gs: PackedState,
@@ -95,9 +115,14 @@ pub fn step_into(
     let outcome = spec.outcome(gs.state(i), event, ctx);
     let store = outcome.data.is_store();
 
-    // Identify flushers and suppliers among the snooping caches.
-    let mut flushers: Vec<usize> = Vec::new();
-    let mut suppliers: Vec<usize> = Vec::new();
+    // Identify flushers and suppliers among the snooping caches. Only
+    // the *freshness* of a flusher or supplier can influence the
+    // successor state, so one representative per freshness suffices
+    // (first in cache order, matching the historical choice order).
+    let mut flush_fresh = false;
+    let mut flush_obsolete = false;
+    let mut supplier_fresh: Option<usize> = None;
+    let mut supplier_obsolete: Option<usize> = None;
     if let Some(bus) = outcome.bus {
         for j in 0..n {
             if j == i || !spec.attrs(gs.state(j)).holds_copy {
@@ -105,57 +130,64 @@ pub fn step_into(
             }
             let sn = spec.snoop(gs.state(j), bus);
             if sn.flushes_to_memory {
-                flushers.push(j);
+                match gs.cdata(j) {
+                    CData::Fresh => flush_fresh = true,
+                    CData::Obsolete => flush_obsolete = true,
+                    CData::NoData => unreachable!("flusher holds a copy"),
+                }
             }
             if sn.supplies_data {
-                suppliers.push(j);
+                match gs.cdata(j) {
+                    CData::Fresh => {
+                        supplier_fresh.get_or_insert(j);
+                    }
+                    CData::Obsolete => {
+                        supplier_obsolete.get_or_insert(j);
+                    }
+                    CData::NoData => unreachable!("supplier holds a copy"),
+                }
             }
         }
     }
 
-    // Enumerate the "last write-back wins" resolutions.
-    let mdata_choices: Vec<MData> = if flushers.is_empty() {
-        vec![gs.mdata()]
-    } else {
-        let mut v: Vec<MData> = flushers
-            .iter()
-            .map(|&j| match gs.cdata(j) {
-                CData::Fresh => MData::Fresh,
-                CData::Obsolete => MData::Obsolete,
-                CData::NoData => unreachable!("flusher holds a copy"),
-            })
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
-    };
+    // The "last write-back wins" resolutions: at most two.
+    let mut mdata_choices = [MData::Fresh; 2];
+    let mut num_mdata = 0usize;
+    if flush_fresh {
+        mdata_choices[num_mdata] = MData::Fresh;
+        num_mdata += 1;
+    }
+    if flush_obsolete {
+        mdata_choices[num_mdata] = MData::Obsolete;
+        num_mdata += 1;
+    }
+    if num_mdata == 0 {
+        mdata_choices[0] = gs.mdata();
+        num_mdata = 1;
+    }
 
-    // Enumerate the fill sources ("arbitrarily choose Cj with a copy").
-    // `None` encodes a memory fill.
-    let source_choices: Vec<Option<usize>> = if outcome.data.is_fill() {
-        if suppliers.is_empty() {
-            vec![None]
-        } else {
-            let mut v: Vec<Option<usize>> = Vec::new();
-            let mut seen: Vec<CData> = Vec::new();
-            for &j in &suppliers {
-                // Suppliers with identical freshness yield identical
-                // successors; keep one representative per freshness.
-                if !seen.contains(&gs.cdata(j)) {
-                    seen.push(gs.cdata(j));
-                    v.push(Some(j));
-                }
-            }
-            v
+    // The fill sources ("arbitrarily choose Cj with a copy"): at most
+    // one per freshness. `None` encodes a memory fill.
+    let mut source_choices: [Option<usize>; 2] = [None; 2];
+    let mut num_sources = 1usize;
+    if outcome.data.is_fill() && (supplier_fresh.is_some() || supplier_obsolete.is_some()) {
+        num_sources = 0;
+        if let Some(j) = supplier_fresh {
+            source_choices[num_sources] = Some(j);
+            num_sources += 1;
         }
-    } else {
-        vec![None]
-    };
+        if let Some(j) = supplier_obsolete {
+            source_choices[num_sources] = Some(j);
+            num_sources += 1;
+        }
+    }
 
-    let mut emitted: Vec<PackedState> = Vec::new();
-    for &mdata_after_flush in &mdata_choices {
-        for &source in &source_choices {
-            let mut errors = Vec::new();
+    // Per-stimulus successor dedup: ≤ 2 × 2 candidates.
+    let mut emitted = [PackedState::INITIAL; 4];
+    let mut num_emitted = 0usize;
+    for &mdata_after_flush in &mdata_choices[..num_mdata] {
+        for &source in &source_choices[..num_sources] {
+            let mut errors = ErrorMask::EMPTY;
             let mut next = gs.with_mdata(mdata_after_flush);
 
             // Coincident snoop transitions for every other cache.
@@ -211,19 +243,19 @@ pub fn step_into(
             let new_cd = match outcome.data {
                 DataOp::Read { fill: false } | DataOp::None => {
                     if gs.cdata(i) == CData::Obsolete {
-                        errors.push(ConcreteError::StaleReadHit { cache: i });
+                        errors.insert(ConcreteError::StaleReadHit { cache: i });
                     }
                     gs.cdata(i)
                 }
                 DataOp::Read { fill: true } => {
                     if fill_cd == CData::Obsolete {
-                        errors.push(ConcreteError::StaleFill { cache: i });
+                        errors.insert(ConcreteError::StaleFill { cache: i });
                     }
                     fill_cd
                 }
                 DataOp::Write { fill, .. } => {
                     if fill && fill_cd == CData::Obsolete {
-                        errors.push(ConcreteError::StaleFill { cache: i });
+                        errors.insert(ConcreteError::StaleFill { cache: i });
                     }
                     CData::Fresh
                 }
@@ -239,8 +271,9 @@ pub fn step_into(
                 },
             );
 
-            if !emitted.contains(&next) {
-                emitted.push(next);
+            if !emitted[..num_emitted].contains(&next) {
+                emitted[num_emitted] = next;
+                num_emitted += 1;
                 out.push(ConcreteStep {
                     cache: i,
                     event,
@@ -252,11 +285,44 @@ pub fn step_into(
     }
 }
 
-/// Structural permissibility of a concrete state (§2.1): no duplicated
+/// Structural permissibility of a concrete state (§2.1) plus the
+/// Definition 3 predicate, as a single branch-only pass: no duplicated
 /// exclusive copy, no exclusive copy beside another copy, at most one
-/// owner — plus the Definition 3 predicate (a readable obsolete copy).
-/// Returns human-readable violation descriptions.
-pub fn check_concrete(spec: &ProtocolSpec, gs: PackedState, n: usize) -> Vec<String> {
+/// owner, no readable obsolete copy.
+///
+/// This is the per-state fast path of the enumeration engines; it never
+/// allocates and exits early on the first violation. Equivalent to
+/// `!describe_violations(spec, gs, n).is_empty()`.
+#[inline]
+pub fn is_violating(spec: &ProtocolSpec, gs: PackedState, n: usize) -> bool {
+    let mut owners = 0usize;
+    let mut copies = 0usize;
+    let mut exclusive = false;
+    for i in 0..n {
+        let attrs = spec.attrs(gs.state(i));
+        if !attrs.holds_copy {
+            continue;
+        }
+        copies += 1;
+        exclusive |= attrs.exclusive;
+        if gs.cdata(i) == CData::Obsolete {
+            return true;
+        }
+        if attrs.owned {
+            owners += 1;
+            if owners > 1 {
+                return true;
+            }
+        }
+    }
+    exclusive && copies > 1
+}
+
+/// Human-readable descriptions of every violation [`is_violating`]
+/// detects. Allocates freely — callers reach it only for the rare
+/// states where `is_violating` already returned `true` (or where a
+/// transition carried a stale access).
+pub fn describe_violations(spec: &ProtocolSpec, gs: PackedState, n: usize) -> Vec<String> {
     let mut out = Vec::new();
     let mut owners = 0usize;
     let copies = gs.copies(n, spec);
@@ -289,14 +355,23 @@ pub fn check_concrete(spec: &ProtocolSpec, gs: PackedState, n: usize) -> Vec<Str
     out
 }
 
+/// Back-compatible alias for [`describe_violations`].
+pub fn check_concrete(spec: &ProtocolSpec, gs: PackedState, n: usize) -> Vec<String> {
+    describe_violations(spec, gs, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccv_model::protocols::{berkeley, illinois};
+    use ccv_model::protocols::{all_buggy, berkeley, illinois};
     use ccv_model::StateId;
 
     fn sid(spec: &ProtocolSpec, name: &str) -> StateId {
         spec.state_by_name(name).unwrap()
+    }
+
+    fn errors_of(step: &ConcreteStep) -> Vec<ConcreteError> {
+        step.errors.iter().collect()
     }
 
     #[test]
@@ -391,7 +466,10 @@ mod tests {
         let mut out = Vec::new();
         step_into(&spec, gs, 2, 0, ProcEvent::Read, &mut out);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].errors, vec![ConcreteError::StaleFill { cache: 0 }]);
+        assert_eq!(
+            errors_of(&out[0]),
+            vec![ConcreteError::StaleFill { cache: 0 }]
+        );
     }
 
     #[test]
@@ -417,6 +495,7 @@ mod tests {
         assert!(!v.is_empty());
         assert!(v.iter().any(|m| m.contains("exclusive")));
         assert!(v.iter().any(|m| m.contains("owned")));
+        assert!(is_violating(&spec, gs, 2));
     }
 
     #[test]
@@ -429,5 +508,27 @@ mod tests {
             .with_state(1, sh)
             .with_cdata(1, CData::Fresh);
         assert!(check_concrete(&spec, gs, 2).is_empty());
+        assert!(!is_violating(&spec, gs, 2));
+    }
+
+    #[test]
+    fn is_violating_agrees_with_describe_violations_everywhere() {
+        // The fast path and the describing path must induce the same
+        // predicate over every reachable state of every bundled
+        // protocol, correct and buggy alike.
+        let mut specs = vec![illinois(), berkeley()];
+        specs.extend(all_buggy().into_iter().map(|(s, _)| s));
+        for spec in specs {
+            for n in 1..=3 {
+                for gs in crate::explicit::reachable_states(&spec, n, 1 << 20) {
+                    assert_eq!(
+                        is_violating(&spec, gs, n),
+                        !describe_violations(&spec, gs, n).is_empty(),
+                        "{} n={n} state={gs:?}",
+                        spec.name()
+                    );
+                }
+            }
+        }
     }
 }

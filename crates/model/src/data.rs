@@ -163,6 +163,108 @@ impl DataOp {
     }
 }
 
+/// A stale access observed while applying a concrete transition — the
+/// erroneous behaviours of Definition 3, attributed to the cache that
+/// performed them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConcreteError {
+    /// Cache `cache` read its local copy while it was obsolete.
+    StaleReadHit {
+        /// The offending cache index.
+        cache: usize,
+    },
+    /// Cache `cache` filled a miss from an obsolete source.
+    StaleFill {
+        /// The offending cache index.
+        cache: usize,
+    },
+}
+
+/// Maximum cache index representable by an [`ErrorMask`].
+pub const ERROR_MASK_MAX_CACHES: usize = 16;
+
+/// A packed set of [`ConcreteError`]s for machines of up to 16 caches.
+///
+/// The explicit-state enumeration kernel generates millions of
+/// successors per second; almost none of them carry errors, so the
+/// error set must be `Copy` and allocation-free. Bit `i` records a
+/// stale read hit by cache `i`, bit `16 + i` a stale fill by cache `i`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ErrorMask(u32);
+
+impl ErrorMask {
+    /// The empty set.
+    pub const EMPTY: ErrorMask = ErrorMask(0);
+
+    #[inline]
+    fn bit(err: ConcreteError) -> u32 {
+        match err {
+            ConcreteError::StaleReadHit { cache } => {
+                debug_assert!(cache < ERROR_MASK_MAX_CACHES);
+                1 << cache
+            }
+            ConcreteError::StaleFill { cache } => {
+                debug_assert!(cache < ERROR_MASK_MAX_CACHES);
+                1 << (ERROR_MASK_MAX_CACHES + cache)
+            }
+        }
+    }
+
+    /// Adds `err` to the set.
+    #[inline]
+    pub fn insert(&mut self, err: ConcreteError) {
+        self.0 |= Self::bit(err);
+    }
+
+    /// True iff `err` is in the set.
+    #[inline]
+    pub fn contains(self, err: ConcreteError) -> bool {
+        self.0 & Self::bit(err) != 0
+    }
+
+    /// True iff no error has been recorded.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of recorded errors.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the recorded errors, stale read hits first, each group
+    /// in cache order.
+    pub fn iter(self) -> impl Iterator<Item = ConcreteError> {
+        let mask = self.0;
+        (0..ERROR_MASK_MAX_CACHES)
+            .filter(move |i| mask & (1 << i) != 0)
+            .map(|cache| ConcreteError::StaleReadHit { cache })
+            .chain(
+                (0..ERROR_MASK_MAX_CACHES)
+                    .filter(move |i| mask & (1 << (ERROR_MASK_MAX_CACHES + i)) != 0)
+                    .map(|cache| ConcreteError::StaleFill { cache }),
+            )
+    }
+}
+
+impl fmt::Debug for ErrorMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<ConcreteError> for ErrorMask {
+    fn from_iter<T: IntoIterator<Item = ConcreteError>>(iter: T) -> ErrorMask {
+        let mut m = ErrorMask::EMPTY;
+        for e in iter {
+            m.insert(e);
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +304,41 @@ mod tests {
         assert!(DataOp::Read { fill: false }.observes_value());
         assert!(!DataOp::Evict { writeback: true }.observes_value());
         assert!(!DataOp::None.is_fill());
+    }
+
+    #[test]
+    fn error_mask_roundtrips_every_error() {
+        let mut m = ErrorMask::EMPTY;
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        for cache in 0..ERROR_MASK_MAX_CACHES {
+            m.insert(ConcreteError::StaleReadHit { cache });
+            m.insert(ConcreteError::StaleFill { cache });
+        }
+        assert_eq!(m.len(), 2 * ERROR_MASK_MAX_CACHES);
+        for cache in 0..ERROR_MASK_MAX_CACHES {
+            assert!(m.contains(ConcreteError::StaleReadHit { cache }));
+            assert!(m.contains(ConcreteError::StaleFill { cache }));
+        }
+        assert_eq!(m.iter().count(), 2 * ERROR_MASK_MAX_CACHES);
+    }
+
+    #[test]
+    fn error_mask_is_idempotent_and_order_stable() {
+        let mut m = ErrorMask::EMPTY;
+        m.insert(ConcreteError::StaleFill { cache: 3 });
+        m.insert(ConcreteError::StaleFill { cache: 3 });
+        m.insert(ConcreteError::StaleReadHit { cache: 1 });
+        assert_eq!(m.len(), 2);
+        let listed: Vec<ConcreteError> = m.iter().collect();
+        assert_eq!(
+            listed,
+            vec![
+                ConcreteError::StaleReadHit { cache: 1 },
+                ConcreteError::StaleFill { cache: 3 },
+            ]
+        );
+        let rebuilt: ErrorMask = listed.into_iter().collect();
+        assert_eq!(rebuilt, m);
     }
 }

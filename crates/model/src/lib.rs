@@ -74,7 +74,7 @@ pub mod protocols;
 pub use bus::{BusOp, SnoopOutcome};
 pub use connectivity::strongly_connected;
 pub use context::{Characteristic, GlobalCtx};
-pub use data::{CData, DataOp, MData};
+pub use data::{CData, ConcreteError, DataOp, ErrorMask, MData, ERROR_MASK_MAX_CACHES};
 pub use event::ProcEvent;
 pub use spec::{Outcome, ProtocolSpec, SpecBuilder, SpecError};
 pub use state::{StateAttrs, StateId, StateInfo};

@@ -354,6 +354,19 @@ impl ProtocolSpec {
         self
     }
 
+    /// Returns a copy of this spec with one state's semantic attributes
+    /// replaced.
+    ///
+    /// **This bypasses builder validation** — see [`Self::override_snoop`].
+    /// It can even violate the `q0`-is-invalid convention, producing a
+    /// protocol whose *initial* global state is already structurally
+    /// erroneous; the engine test suites use exactly that to pin down
+    /// initial-state violation handling.
+    pub fn override_attrs(mut self, state: StateId, attrs: StateAttrs) -> ProtocolSpec {
+        self.states[state.index()].attrs = attrs;
+        self
+    }
+
     /// Returns a copy of this spec with one processor outcome replaced
     /// for the given context, or for every context when `ctx` is `None`.
     ///

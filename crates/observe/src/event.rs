@@ -81,11 +81,16 @@ pub enum Counter {
     Accesses,
     /// Bus transactions broadcast by the simulated machine.
     BusOps,
+    /// Work batches a parallel enumeration worker stole from a peer.
+    Steals,
+    /// Visited-set claim attempts that collided with a concurrent
+    /// claimer (lost CAS or observed an in-flight reservation).
+    ClaimRaces,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 13] = [
         Counter::Visits,
         Counter::Prunes,
         Counter::ContainmentChecks,
@@ -97,6 +102,8 @@ impl Counter {
         Counter::OracleChecks,
         Counter::Accesses,
         Counter::BusOps,
+        Counter::Steals,
+        Counter::ClaimRaces,
     ];
 
     /// Stable snake_case name used in exported JSON.
@@ -113,6 +120,8 @@ impl Counter {
             Counter::OracleChecks => "oracle_checks",
             Counter::Accesses => "accesses",
             Counter::BusOps => "bus_ops",
+            Counter::Steals => "steals",
+            Counter::ClaimRaces => "claim_races",
         }
     }
 
@@ -134,15 +143,19 @@ pub enum Gauge {
     Levels,
     /// Worker threads used by the parallel enumerator.
     Threads,
+    /// Peak number of discovered-but-unexpanded states observed by the
+    /// work-stealing enumerator (its analogue of the largest frontier).
+    PeakPending,
 }
 
 impl Gauge {
     /// Every gauge, in declaration order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::EssentialStates,
         Gauge::DistinctStates,
         Gauge::Levels,
         Gauge::Threads,
+        Gauge::PeakPending,
     ];
 
     /// Stable snake_case name used in exported JSON.
@@ -152,6 +165,7 @@ impl Gauge {
             Gauge::DistinctStates => "distinct_states",
             Gauge::Levels => "levels",
             Gauge::Threads => "threads",
+            Gauge::PeakPending => "peak_pending",
         }
     }
 

@@ -391,8 +391,14 @@ mod tests {
     fn accessors() {
         let doc = Json::parse(r#"{"a": 3, "b": [1.5, "x"], "c": -2}"#).unwrap();
         assert_eq!(doc.get("a").unwrap().as_u64(), Some(3));
-        assert_eq!(doc.get("b").unwrap().as_arr().unwrap()[0].as_f64(), Some(1.5));
-        assert_eq!(doc.get("b").unwrap().as_arr().unwrap()[1].as_str(), Some("x"));
+        assert_eq!(
+            doc.get("b").unwrap().as_arr().unwrap()[0].as_f64(),
+            Some(1.5)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().as_arr().unwrap()[1].as_str(),
+            Some("x")
+        );
         assert_eq!(doc.get("c").unwrap().as_u64(), None);
         assert_eq!(doc.get("c").unwrap().as_f64(), Some(-2.0));
         assert!(doc.get("missing").is_none());

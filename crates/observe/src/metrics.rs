@@ -113,7 +113,9 @@ impl Metrics {
     }
 
     fn shared(&self) -> std::sync::MutexGuard<'_, Shared> {
-        self.shared.lock().unwrap_or_else(|poison| poison.into_inner())
+        self.shared
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 
     /// A point-in-time copy of everything collected so far.

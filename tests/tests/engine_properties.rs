@@ -103,10 +103,7 @@ fn verdicts_are_stable_across_visit_budgets() {
     // flips Verified <-> Erroneous.
     for spec in protocols::all_correct() {
         for budget in [100usize, 1_000, 100_000] {
-            let v = verify_with(
-                &spec,
-                &Options::default().max_visits(budget),
-            );
+            let v = verify_with(&spec, &Options::default().max_visits(budget));
             assert_ne!(
                 v.verdict,
                 Verdict::Erroneous,
@@ -117,10 +114,7 @@ fn verdicts_are_stable_across_visit_budgets() {
     }
     for (spec, _) in protocols::all_buggy() {
         for budget in [1_000usize, 100_000] {
-            let v = verify_with(
-                &spec,
-                &Options::default().max_visits(budget),
-            );
+            let v = verify_with(&spec, &Options::default().max_visits(budget));
             assert_ne!(
                 v.verdict,
                 Verdict::Verified,
@@ -133,10 +127,7 @@ fn verdicts_are_stable_across_visit_budgets() {
 
 #[test]
 fn tiny_budget_is_reported_inconclusive() {
-    let v = verify_with(
-        &protocols::illinois(),
-        &Options::default().max_visits(2),
-    );
+    let v = verify_with(&protocols::illinois(), &Options::default().max_visits(2));
     assert_eq!(v.verdict, Verdict::Inconclusive);
 }
 

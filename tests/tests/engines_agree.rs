@@ -3,8 +3,9 @@
 //! simulator must tell one consistent story.
 
 use ccv_core::{run_expansion, Options};
-use ccv_enum::{crosscheck, enumerate, enumerate_parallel, EnumOptions};
+use ccv_enum::{crosscheck, enumerate, enumerate_parallel, Dedup, EnumOptions, EnumResult};
 use ccv_model::protocols::{all_buggy, all_correct, illinois};
+use ccv_model::StateAttrs;
 
 #[test]
 fn theorem_1_symbolic_covers_explicit_for_all_protocols() {
@@ -94,6 +95,97 @@ fn counting_equivalence_is_a_pure_compression() {
             spec.name()
         );
     }
+}
+
+/// The violation multiset of a run, order-normalised: the two engines
+/// record identical (state, descriptions) entries, only in different
+/// orders.
+fn violation_set(r: &EnumResult) -> Vec<(u128, Vec<String>)> {
+    let mut v: Vec<(u128, Vec<String>)> = r
+        .errors
+        .iter()
+        .map(|e| {
+            let mut d = e.descriptions.clone();
+            d.sort();
+            (e.state.0, d)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn differential_matrix_work_stealing_equals_sequential() {
+    // The PR 2 acceptance matrix: every bundled protocol (correct and
+    // buggy) × machine size × dedup mode × thread count. The
+    // work-stealing engine must reproduce the sequential engine's
+    // distinct count, visit count and violation set exactly — any
+    // scheduling-dependent divergence is a bug in the claim protocol
+    // or the termination detection.
+    let mut specs: Vec<_> = all_correct();
+    specs.extend(all_buggy().into_iter().map(|(s, _)| s));
+    for spec in &specs {
+        for n in [2usize, 3, 4] {
+            for dedup in [Dedup::Exact, Dedup::Counting] {
+                let opts = EnumOptions::new(n).dedup(dedup);
+                let seq = enumerate(spec, &opts);
+                let seq_violations = violation_set(&seq);
+                for threads in [1usize, 2, 4, 8] {
+                    let par = enumerate_parallel(spec, &opts, threads);
+                    let tag = format!("{} n={n} {dedup:?} t={threads}", spec.name());
+                    assert_eq!(par.distinct, seq.distinct, "{tag}: distinct");
+                    assert_eq!(par.visits, seq.visits, "{tag}: visits");
+                    assert_eq!(violation_set(&par), seq_violations, "{tag}: violations");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn initial_state_violation_honors_stop_at_first_error() {
+    // A protocol whose *initial* global state is already erroneous:
+    // every cache "holds" an exclusive owned copy while invalid. The
+    // builder (rightly) refuses such specs, so the test overrides the
+    // attributes after validation. With stop_at_first_error the
+    // sequential engine must report the initial violation and stop
+    // without expanding anything — it used to explore the full space
+    // after recording the initial error.
+    let spec = illinois();
+    let invalid = spec.invalid();
+    let spec = spec.override_attrs(
+        invalid,
+        StateAttrs {
+            holds_copy: true,
+            owned: true,
+            exclusive: true,
+            writable_silently: false,
+        },
+    );
+
+    let stopping = EnumOptions::new(3).stop_at_first_error(true);
+    let r = enumerate(&spec, &stopping);
+    assert_eq!(r.errors.len(), 1, "exactly the initial violation");
+    assert_eq!(r.errors[0].state.0, 0, "the all-invalid initial state");
+    assert_eq!(r.distinct, 1, "nothing explored beyond the initial state");
+    assert_eq!(r.visits, 0, "no successors generated");
+    assert!(!r.truncated);
+
+    // The work-stealing engine stops the same way...
+    let par = enumerate_parallel(&spec, &stopping, 4);
+    assert_eq!(par.errors.len(), 1);
+    assert_eq!(par.distinct, 1);
+    assert_eq!(par.visits, 0);
+
+    // ...and without the flag both engines explore past the broken
+    // initial state and agree.
+    let exploring = EnumOptions::new(3);
+    let seq_full = enumerate(&spec, &exploring);
+    let par_full = enumerate_parallel(&spec, &exploring, 4);
+    assert!(seq_full.errors.len() > 1);
+    assert_eq!(seq_full.distinct, par_full.distinct);
+    assert_eq!(seq_full.visits, par_full.visits);
+    assert_eq!(violation_set(&seq_full), violation_set(&par_full));
 }
 
 #[test]

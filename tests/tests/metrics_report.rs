@@ -105,10 +105,7 @@ fn parallel_enumeration_reports_workers_and_the_same_totals() {
     match workers {
         Json::Obj(entries) => {
             assert!(!entries.is_empty());
-            let total: u64 = entries
-                .iter()
-                .map(|(_, v)| v.as_u64().unwrap())
-                .sum();
+            let total: u64 = entries.iter().map(|(_, v)| v.as_u64().unwrap()).sum();
             // Workers claim every state except the initial one.
             assert_eq!(total, seq.distinct as u64 - 1);
         }
@@ -159,7 +156,10 @@ fn simulator_metrics_count_accesses_and_bus_traffic() {
 
     let snap = metrics.snapshot();
     assert_eq!(snap.counter(Counter::Accesses), 2_000);
-    assert_eq!(snap.counter(Counter::OracleChecks), report.stats.reads as u64);
+    assert_eq!(
+        snap.counter(Counter::OracleChecks),
+        report.stats.reads as u64
+    );
     assert_eq!(
         snap.counter(Counter::BusOps),
         report.stats.bus_ops.iter().sum::<usize>() as u64

@@ -81,10 +81,7 @@ fn equality_pruning_reaches_the_same_verdicts() {
 fn containment_never_visits_more_than_equality() {
     for spec in all_correct() {
         let full = verify(&spec);
-        let eq = verify_with(
-            &spec,
-            &Options::default().pruning(Pruning::Equality),
-        );
+        let eq = verify_with(&spec, &Options::default().pruning(Pruning::Equality));
         assert!(
             full.visits() <= eq.visits(),
             "{}: containment {} > equality {}",

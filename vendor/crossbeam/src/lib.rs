@@ -60,7 +60,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn workers_share_borrowed_data() {
-        let data = vec![1usize, 2, 3, 4];
+        let data = [1usize, 2, 3, 4];
         let total: usize = crate::thread::scope(|scope| {
             let handles: Vec<_> = data
                 .chunks(2)

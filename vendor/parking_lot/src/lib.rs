@@ -37,6 +37,16 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard(self.inner.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
+    /// Attempts to acquire the lock without blocking; `None` when the
+    /// lock is held elsewhere. Recovers from poisoning.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking.
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|e| e.into_inner())

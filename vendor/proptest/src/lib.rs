@@ -18,6 +18,10 @@
 //! Case generation is deterministic per (test name, case index), so a
 //! report is reproducible by rerunning the test.
 
+// A shim keeps the upstream API's shapes verbatim, complex types and
+// all, so the lint has nothing actionable here.
+#![allow(clippy::type_complexity)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod sample;
@@ -32,7 +36,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Asserts inside a `proptest!` body; failure aborts the case with a
@@ -91,7 +97,11 @@ macro_rules! prop_assert_ne {
         if a == b {
             return ::std::result::Result::Err(format!(
                 "assertion failed: {} != {} at {}:{}\n  both: {:?}",
-                stringify!($a), stringify!($b), file!(), line!(), a
+                stringify!($a),
+                stringify!($b),
+                file!(),
+                line!(),
+                a
             ));
         }
     }};
