@@ -22,6 +22,11 @@ pub struct Flag {
     /// The literal option token, e.g. `"--dot"` or `"-n"`.
     pub name: &'static str,
     /// Metavariable for the value, or `None` for a boolean switch.
+    ///
+    /// A metavariable starting with `[` (e.g. `"[N]"`) marks the value
+    /// *optional*: the bare flag parses as a switch, and a value can
+    /// only be attached inline as `--flag=value` (never as the next
+    /// token, which stays available as a positional).
     pub value: Option<&'static str>,
     /// One-line help text.
     pub help: &'static str,
@@ -124,21 +129,34 @@ impl ArgSpec {
         while i < args.len() {
             let tok = &args[i];
             let at = i + 1;
+            // `--flag=value` splits into the flag and an inline value.
+            let (name, inline) = match tok.split_once('=') {
+                Some((n, v)) if n.starts_with("--") => (n, Some(v)),
+                _ => (tok.as_str(), None),
+            };
             if tok == "--help" || tok == "-h" {
                 p.help = true;
-            } else if let Some(f) = self.find_flag(tok) {
-                if f.value.is_some() {
-                    let raw = args.get(i + 1).ok_or_else(|| {
-                        format!(
-                            "option {} (argument {at}) needs a {} value",
-                            f.name,
-                            f.value.unwrap()
-                        )
-                    })?;
-                    p.values.push((f.name, raw.clone()));
-                    i += 1;
-                } else {
-                    p.switches.push(f.name);
+            } else if let Some(f) = self.find_flag(name) {
+                match (f.value, inline) {
+                    (Some(_), Some(v)) => p.values.push((f.name, v.to_string())),
+                    (Some(mv), None) if mv.starts_with('[') => {
+                        // Optional value, not supplied: plain switch.
+                        p.switches.push(f.name);
+                    }
+                    (Some(mv), None) => {
+                        let raw = args.get(i + 1).ok_or_else(|| {
+                            format!("option {} (argument {at}) needs a {mv} value", f.name)
+                        })?;
+                        p.values.push((f.name, raw.clone()));
+                        i += 1;
+                    }
+                    (None, Some(_)) => {
+                        return Err(format!(
+                            "option {} (argument {at}) does not take a value",
+                            f.name
+                        ));
+                    }
+                    (None, None) => p.switches.push(f.name),
                 }
             } else if tok.starts_with('-')
                 && tok.len() > 1
@@ -289,6 +307,48 @@ mod tests {
         // option, so numeric values can be passed through.
         let e = SPEC.parse(&args(&["a", "-2"])).unwrap_err();
         assert!(e.contains("unexpected argument"), "{e}");
+    }
+
+    const OPT_SPEC: ArgSpec = ArgSpec {
+        cmd: "opt",
+        summary: "optional-value demo",
+        positionals: &[Positional {
+            name: "protocol",
+            required: false,
+            help: "protocol name",
+        }],
+        flags: &[Flag {
+            name: "--flight-recorder",
+            value: Some("[N]"),
+            help: "ring capacity",
+        }],
+    };
+
+    #[test]
+    fn equals_form_attaches_a_value() {
+        let p = SPEC.parse(&args(&["illinois", "-n", "3"])).unwrap();
+        assert_eq!(p.value::<usize>("-n").unwrap(), Some(3));
+        // Long options also accept --flag=value in one token.
+        let p = OPT_SPEC.parse(&args(&["--flight-recorder=8192"])).unwrap();
+        assert_eq!(p.value::<usize>("--flight-recorder").unwrap(), Some(8192));
+        assert!(!p.flag("--flight-recorder"));
+    }
+
+    #[test]
+    fn optional_value_flag_works_bare_and_keeps_the_next_token() {
+        let p = OPT_SPEC
+            .parse(&args(&["--flight-recorder", "illinois"]))
+            .unwrap();
+        assert!(p.flag("--flight-recorder"));
+        assert_eq!(p.value::<usize>("--flight-recorder").unwrap(), None);
+        // The next token was parsed as a positional, not swallowed.
+        assert_eq!(p.pos(0), Some("illinois"));
+    }
+
+    #[test]
+    fn switches_reject_inline_values() {
+        let e = SPEC.parse(&args(&["a", "--trace=yes"])).unwrap_err();
+        assert!(e.contains("does not take a value"), "{e}");
     }
 
     #[test]

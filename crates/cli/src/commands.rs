@@ -7,13 +7,17 @@
 //! negative result (verification failed, oracle violated), and
 //! `Err(message)` for usage errors.
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::sync::Arc;
 
 use crate::args::{ArgSpec, Flag, ParsedArgs, Positional};
 use ccv_core::{Options, Pruning, Session, Verdict};
 use ccv_enum::{attach_crosscheck, enumerate as run_enumerate, enumerate_parallel, EnumOptions};
 use ccv_model::{protocols, ProtocolSpec};
-use ccv_observe::{EventSink, Metrics, NdjsonSink, SinkHandle, Tee};
+use ccv_observe::{
+    EventSink, FlightRecorder, Metrics, NdjsonSink, PostmortemGuard, SinkHandle, Tee, TraceSink,
+};
 use ccv_sim::{workload, Machine, MachineConfig, Trace, WorkloadParams};
 
 /// Top-level usage text.
@@ -36,6 +40,12 @@ usage:
   ccv crosscheck <protocol> -n N            Theorem 1 check at size N
   ccv simulate   <protocol> [--workload W | --trace-file F] [--accesses N]
                  [--procs P] [--seed S]
+  ccv profile    <protocol> [-n N] [--threads T] [--symbolic]
+                                            per-rule firing/time heat table
+
+verify, enumerate, crosscheck, simulate and profile all accept the
+observability trio: [--metrics-out FILE] [--trace-out FILE]
+[--flight-recorder[=N]].
 
 run `ccv <command> --help` for the full options of one command.
 
@@ -70,6 +80,105 @@ fn parse_or_help(spec: &ArgSpec, args: &[String]) -> Result<Option<ParsedArgs>, 
         return Ok(None);
     }
     Ok(Some(p))
+}
+
+/// Default flight-recorder capacity when `--flight-recorder` is given
+/// without an explicit `=N`.
+const FLIGHT_DEFAULT_CAPACITY: usize = 4096;
+
+/// The observability flags shared by every run-style subcommand.
+const METRICS_OUT_FLAG: Flag = Flag {
+    name: "--metrics-out",
+    value: Some("FILE"),
+    help: "write run metrics (counters, phases, rules) as JSON",
+};
+const TRACE_OUT_FLAG: Flag = Flag {
+    name: "--trace-out",
+    value: Some("FILE"),
+    help: "write a Chrome-trace/Perfetto timeline JSON",
+};
+const FLIGHT_FLAG: Flag = Flag {
+    name: "--flight-recorder",
+    value: Some("[N]"),
+    help: "keep the last N events (default 4096); NDJSON postmortem on violation/panic",
+};
+const RULE_STATS_FLAG: Flag = Flag {
+    name: "--rule-stats",
+    value: None,
+    help: "attribute firings, states and kernel time to protocol rules",
+};
+
+/// The sinks built from `--metrics-out`, `--trace-out` and
+/// `--flight-recorder[=N]`, composed with any command-specific sinks
+/// through a [`Tee`]. Dropping it arms the postmortem dump (the guard
+/// fires on a recorded violation or an unwinding panic).
+struct Obs {
+    sinks: Vec<Arc<dyn EventSink>>,
+    metrics: Option<(String, Arc<Metrics>)>,
+    trace: Option<(String, Arc<TraceSink<BufWriter<File>>>)>,
+    _postmortem: Option<PostmortemGuard>,
+}
+
+impl Obs {
+    /// Reads the three shared observability flags out of `p`.
+    fn from_args(p: &ParsedArgs) -> Result<Obs, String> {
+        let mut obs = Obs {
+            sinks: Vec::new(),
+            metrics: None,
+            trace: None,
+            _postmortem: None,
+        };
+        if let Some(path) = p.value::<String>("--metrics-out")? {
+            let m = Arc::new(Metrics::new());
+            obs.sinks.push(m.clone());
+            obs.metrics = Some((path, m));
+        }
+        if let Some(path) = p.value::<String>("--trace-out")? {
+            let f = File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
+            let t = Arc::new(TraceSink::new(BufWriter::new(f)));
+            obs.sinks.push(t.clone());
+            obs.trace = Some((path, t));
+        }
+        if p.flag("--flight-recorder") || p.value::<usize>("--flight-recorder")?.is_some() {
+            let capacity = p.value_or("--flight-recorder", FLIGHT_DEFAULT_CAPACITY)?;
+            let rec = Arc::new(FlightRecorder::new(capacity));
+            obs.sinks.push(rec.clone());
+            obs._postmortem = Some(PostmortemGuard::stderr(rec));
+        }
+        Ok(obs)
+    }
+
+    /// A handle over the obs sinks plus `extra` command-specific ones;
+    /// disabled when nothing was requested.
+    fn handle(&self, extra: Vec<Arc<dyn EventSink>>) -> SinkHandle {
+        let mut all = self.sinks.clone();
+        all.extend(extra);
+        match all.len() {
+            0 => SinkHandle::disabled(),
+            1 => SinkHandle::new(all.pop().expect("len checked")),
+            _ => {
+                let mut tee = Tee::new();
+                for s in all {
+                    tee = tee.with(s);
+                }
+                SinkHandle::new(Arc::new(tee))
+            }
+        }
+    }
+
+    /// Writes the metrics file, closes the trace, and reports paths.
+    fn finish(&self) -> Result<(), String> {
+        if let Some((path, t)) = &self.trace {
+            t.finish();
+            println!("trace written to {path}");
+        }
+        if let Some((path, m)) = &self.metrics {
+            std::fs::write(path, m.snapshot().to_json().render())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("metrics written to {path}");
+        }
+        Ok(())
+    }
 }
 
 const LIST_SPEC: ArgSpec = ArgSpec {
@@ -224,11 +333,16 @@ const VERIFY_SPEC: ArgSpec = ArgSpec {
             value: None,
             help: "stream NDJSON progress events to stderr",
         },
+        METRICS_OUT_FLAG,
+        TRACE_OUT_FLAG,
+        FLIGHT_FLAG,
+        RULE_STATS_FLAG,
     ],
 };
 
 /// `ccv verify <protocol> [--trace] [--equality] [--dot FILE]
-/// [--metrics FILE] [--progress]`
+/// [--metrics FILE] [--progress] [--metrics-out FILE] [--trace-out FILE]
+/// [--flight-recorder[=N]] [--rule-stats]`
 pub fn verify(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&VERIFY_SPEC, args)? else {
         return Ok(true);
@@ -237,24 +351,32 @@ pub fn verify(args: &[String]) -> CmdResult {
     let record_trace = p.flag("--trace");
     let metrics_path: Option<String> = p.value("--metrics")?;
     let progress = p.flag("--progress");
+    let rule_stats = p.flag("--rule-stats");
+    let obs = Obs::from_args(&p)?;
 
-    let metrics = metrics_path.as_ref().map(|_| Arc::new(Metrics::new()));
+    let metrics = if metrics_path.is_some() || rule_stats {
+        Some(Arc::new(Metrics::new()))
+    } else {
+        None
+    };
     let mut opts = Options::default()
         .pruning(if p.flag("--equality") {
             Pruning::Equality
         } else {
             Pruning::Containment
         })
-        .record_trace(record_trace);
-    if metrics.is_some() || progress {
-        let mut tee = Tee::new();
-        if let Some(m) = &metrics {
-            tee = tee.with(m.clone() as Arc<dyn EventSink>);
-        }
-        if progress {
-            tee = tee.with(Arc::new(NdjsonSink::new(std::io::stderr())));
-        }
-        opts = opts.sink(SinkHandle::new(Arc::new(tee)));
+        .record_trace(record_trace)
+        .rule_stats(rule_stats);
+    let mut extra: Vec<Arc<dyn EventSink>> = Vec::new();
+    if let Some(m) = &metrics {
+        extra.push(m.clone());
+    }
+    if progress {
+        extra.push(Arc::new(NdjsonSink::new(std::io::stderr())));
+    }
+    let handle = obs.handle(extra);
+    if handle.is_enabled() {
+        opts = opts.sink(handle);
     }
 
     let session = Session::new(spec).options(opts);
@@ -302,12 +424,20 @@ pub fn verify(args: &[String]) -> CmdResult {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("\nDOT written to {path}");
     }
+    if rule_stats {
+        let snap = metrics
+            .as_ref()
+            .expect("metrics collector was attached")
+            .snapshot();
+        print!("\n{}", crate::report::rule_table(&snap));
+    }
     if let Some(path) = metrics_path {
         let snap = metrics.expect("metrics collector was attached").snapshot();
         std::fs::write(&path, snap.to_json().render())
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("\nmetrics written to {path}");
     }
+    obs.finish()?;
     Ok(report.verdict == Verdict::Verified)
 }
 
@@ -498,17 +628,31 @@ const ENUMERATE_SPEC: ArgSpec = ArgSpec {
             value: Some("T"),
             help: "parallel workers; 0 = one per available core (default 0)",
         },
+        METRICS_OUT_FLAG,
+        TRACE_OUT_FLAG,
+        FLIGHT_FLAG,
+        RULE_STATS_FLAG,
     ],
 };
 
-/// `ccv enumerate <protocol> -n N [--exact] [--threads T]`
+/// `ccv enumerate <protocol> -n N [--exact] [--threads T]
+/// [--metrics-out FILE] [--trace-out FILE] [--flight-recorder[=N]]
+/// [--rule-stats]`
 pub fn enumerate(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&ENUMERATE_SPEC, args)? else {
         return Ok(true);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     let n: usize = p.value_or("-n", 4)?;
-    let mut opts = EnumOptions::new(n);
+    let rule_stats = p.flag("--rule-stats");
+    let obs = Obs::from_args(&p)?;
+    // The in-process collector backs the human-readable worker summary
+    // and rule table; always attached so parallel runs can report
+    // per-worker claims and steal counts.
+    let human = Arc::new(Metrics::new());
+    let mut opts = EnumOptions::new(n)
+        .sink(obs.handle(vec![human.clone() as Arc<dyn EventSink>]))
+        .rule_stats(rule_stats);
     if p.flag("--exact") {
         opts = opts.exact();
     }
@@ -536,6 +680,13 @@ pub fn enumerate(args: &[String]) -> CmdResult {
         "distinct states: {}   visits: {}   truncated: {}",
         r.distinct, r.visits, r.truncated
     );
+    let snap = human.snapshot();
+    if threads > 1 {
+        print!("{}", crate::report::worker_summary(&snap));
+    }
+    if rule_stats {
+        print!("\n{}", crate::report::rule_table(&snap));
+    }
     for e in r.errors.iter().take(5) {
         println!(
             "ERROR at {}: {}",
@@ -546,6 +697,7 @@ pub fn enumerate(args: &[String]) -> CmdResult {
     if r.errors.len() > 5 {
         println!("... and {} more errors", r.errors.len() - 5);
     }
+    obs.finish()?;
     Ok(r.is_clean())
 }
 
@@ -553,23 +705,32 @@ const CROSSCHECK_SPEC: ArgSpec = ArgSpec {
     cmd: "crosscheck",
     summary: "check Theorem 1: every explicit state is symbolically covered",
     positionals: &[PROTOCOL_POS],
-    flags: &[Flag {
-        name: "-n",
-        value: Some("N"),
-        help: "cache count to enumerate (default 4)",
-    }],
+    flags: &[
+        Flag {
+            name: "-n",
+            value: Some("N"),
+            help: "cache count to enumerate (default 4)",
+        },
+        METRICS_OUT_FLAG,
+        TRACE_OUT_FLAG,
+        FLIGHT_FLAG,
+    ],
 };
 
-/// `ccv crosscheck <protocol> -n N`
+/// `ccv crosscheck <protocol> -n N [--metrics-out FILE]
+/// [--trace-out FILE] [--flight-recorder[=N]]`
 pub fn crosscheck(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&CROSSCHECK_SPEC, args)? else {
         return Ok(true);
     };
-    let session = Session::new(resolve_spec(p.require_pos(0, "protocol name")?)?);
+    let obs = Obs::from_args(&p)?;
+    let handle = obs.handle(Vec::new());
+    let session = Session::new(resolve_spec(p.require_pos(0, "protocol name")?)?)
+        .options(Options::default().sink(handle.clone()));
     let n: usize = p.value_or("-n", 4)?;
     let mut verification = session.verify();
     let spec = session.spec();
-    let cc = attach_crosscheck(spec, &mut verification, n, 1 << 24, &SinkHandle::disabled());
+    let cc = attach_crosscheck(spec, &mut verification, n, 1 << 24, &handle);
     let summary = verification
         .crosscheck
         .as_ref()
@@ -582,13 +743,14 @@ pub fn crosscheck(args: &[String]) -> CmdResult {
         summary.covered,
         verification.num_essential()
     );
-    if summary.complete {
+    let complete = summary.complete;
+    if complete {
         println!("Theorem 1 holds at this size.");
-        Ok(true)
     } else {
         println!("UNCOVERED STATES: {:?}", cc.uncovered_examples);
-        Ok(false)
     }
+    obs.finish()?;
+    Ok(complete)
 }
 
 const SIMULATE_SPEC: ArgSpec = ArgSpec {
@@ -621,10 +783,15 @@ const SIMULATE_SPEC: ArgSpec = ArgSpec {
             value: Some("S"),
             help: "workload RNG seed",
         },
+        METRICS_OUT_FLAG,
+        TRACE_OUT_FLAG,
+        FLIGHT_FLAG,
     ],
 };
 
-/// `ccv simulate <protocol> [--workload W] [--accesses N] [--procs P] [--seed S]`
+/// `ccv simulate <protocol> [--workload W] [--accesses N] [--procs P]
+/// [--seed S] [--metrics-out FILE] [--trace-out FILE]
+/// [--flight-recorder[=N]]`
 pub fn simulate(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&SIMULATE_SPEC, args)? else {
         return Ok(true);
@@ -634,6 +801,8 @@ pub fn simulate(args: &[String]) -> CmdResult {
     let accesses: usize = p.value_or("--accesses", 100_000)?;
     let seed: u64 = p.value_or("--seed", 0xCC5EED)?;
     let which: String = p.value_or("--workload", "hot-block".into())?;
+    let obs = Obs::from_args(&p)?;
+    let handle = obs.handle(Vec::new());
 
     let mut params = WorkloadParams::new(procs);
     params.accesses = accesses;
@@ -641,7 +810,10 @@ pub fn simulate(args: &[String]) -> CmdResult {
     if let Some(path) = p.value::<String>("--trace-file")? {
         let trace = ccv_sim::load_trace(&path)?;
         let machine_procs = trace.procs.max(procs);
-        let mut machine = Machine::new(spec.clone(), MachineConfig::small(machine_procs));
+        let mut machine = Machine::new(
+            spec.clone(),
+            MachineConfig::small(machine_procs).sink(handle),
+        );
         let report = machine.run(&trace);
         println!(
             "protocol {} trace file {path} ({} accesses, {} procs)",
@@ -650,17 +822,18 @@ pub fn simulate(args: &[String]) -> CmdResult {
             trace.procs
         );
         println!("{}", report.stats);
-        return if report.is_coherent() {
+        let coherent = report.is_coherent();
+        if coherent {
             println!("coherent: every load returned the latest value.");
-            Ok(true)
         } else {
             println!(
                 "INCOHERENT: {} oracle violations; first: {:?}",
                 report.violations.len(),
                 report.violations[0]
             );
-            Ok(false)
-        };
+        }
+        obs.finish()?;
+        return Ok(coherent);
     }
     let trace: Trace = match which.as_str() {
         "uniform" => workload::uniform(&params),
@@ -671,7 +844,7 @@ pub fn simulate(args: &[String]) -> CmdResult {
         other => return Err(format!("unknown workload '{other}'")),
     };
 
-    let mut machine = Machine::new(spec.clone(), MachineConfig::small(procs));
+    let mut machine = Machine::new(spec.clone(), MachineConfig::small(procs).sink(handle));
     let report = machine.run(&trace);
     println!(
         "protocol {} workload {} ({} accesses, {} procs, seed {seed})",
@@ -681,15 +854,86 @@ pub fn simulate(args: &[String]) -> CmdResult {
         procs
     );
     println!("{}", report.stats);
-    if report.is_coherent() {
+    let coherent = report.is_coherent();
+    if coherent {
         println!("coherent: every load returned the latest value.");
-        Ok(true)
     } else {
         println!(
             "INCOHERENT: {} oracle violations; first: {:?}",
             report.violations.len(),
             report.violations[0]
         );
-        Ok(false)
     }
+    obs.finish()?;
+    Ok(coherent)
+}
+
+const PROFILE_SPEC: ArgSpec = ArgSpec {
+    cmd: "profile",
+    summary: "attribute firings, produced states and kernel time to protocol rules",
+    positionals: &[PROTOCOL_POS],
+    flags: &[
+        Flag {
+            name: "-n",
+            value: Some("N"),
+            help: "cache count for the enumeration engine (default 5)",
+        },
+        Flag {
+            name: "--threads",
+            value: Some("T"),
+            help: "parallel enumeration workers (default 1)",
+        },
+        Flag {
+            name: "--symbolic",
+            value: None,
+            help: "profile the symbolic expansion instead of enumeration",
+        },
+        METRICS_OUT_FLAG,
+        TRACE_OUT_FLAG,
+        FLIGHT_FLAG,
+    ],
+};
+
+/// `ccv profile <protocol> [-n N] [--threads T] [--symbolic]
+/// [--metrics-out FILE] [--trace-out FILE] [--flight-recorder[=N]]`
+pub fn profile(args: &[String]) -> CmdResult {
+    let Some(p) = parse_or_help(&PROFILE_SPEC, args)? else {
+        return Ok(true);
+    };
+    let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
+    let obs = Obs::from_args(&p)?;
+    let metrics = Arc::new(Metrics::new());
+    let handle = obs.handle(vec![metrics.clone() as Arc<dyn EventSink>]);
+
+    let clean = if p.flag("--symbolic") {
+        let opts = Options::default().sink(handle).rule_stats(true);
+        let report = Session::new(spec.clone()).options(opts).verify();
+        println!(
+            "protocol {} symbolic expansion: {} visits, {} essential states",
+            spec.name(),
+            report.visits(),
+            report.num_essential()
+        );
+        report.verdict == Verdict::Verified
+    } else {
+        let n: usize = p.value_or("-n", 5)?;
+        let threads: usize = p.value_or("--threads", 1)?;
+        let opts = EnumOptions::new(n).sink(handle).rule_stats(true);
+        let r = if threads > 1 {
+            enumerate_parallel(&spec, &opts, threads)
+        } else {
+            run_enumerate(&spec, &opts)
+        };
+        println!(
+            "protocol {} enumeration n={n} threads={threads}: {} distinct states, {} visits",
+            spec.name(),
+            r.distinct,
+            r.visits
+        );
+        r.is_clean()
+    };
+
+    print!("\n{}", crate::report::rule_table(&metrics.snapshot()));
+    obs.finish()?;
+    Ok(clean)
 }

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "enumerate" => commands::enumerate(rest),
         "crosscheck" => commands::crosscheck(rest),
         "simulate" => commands::simulate(rest),
+        "profile" => commands::profile(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(true)

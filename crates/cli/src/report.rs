@@ -11,7 +11,102 @@
 use ccv_core::{analyze_recovery, Tolerance, Verdict, VerificationReport};
 use ccv_enum::{find_state_witness, find_violation_witness};
 use ccv_model::{CData, GlobalCtx, ProcEvent, ProtocolSpec};
+use ccv_observe::{Counter, MetricsSnapshot};
 use std::fmt::Write as _;
+
+/// Renders the per-rule heat table from a metrics snapshot: one row
+/// per rule that fired, sorted by firings, with each rule's share of
+/// total firings and of attributed kernel time, plus a totals row.
+pub fn rule_table(snap: &MetricsSnapshot) -> String {
+    if snap.rules.is_empty() {
+        return "no rule statistics recorded (run with rule stats enabled)\n".to_string();
+    }
+    let total_firings: u64 = snap.rules.values().map(|r| r.firings).sum();
+    let total_states: u64 = snap.rules.values().map(|r| r.states).sum();
+    let total_dedup: u64 = snap.rules.values().map(|r| r.dedup_hits).sum();
+    let total_viol: u64 = snap.rules.values().map(|r| r.violations).sum();
+    let total_nanos: u64 = snap.rules.values().map(|r| r.nanos).sum();
+    let pct = |part: u64, whole: u64| {
+        if whole == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / whole as f64
+        }
+    };
+
+    let mut rows: Vec<_> = snap.rules.iter().collect();
+    rows.sort_by(|a, b| b.1.firings.cmp(&a.1.firings).then(a.0.cmp(b.0)));
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>9} {:>7} {:>9} {:>9} {:>6} {:>12} {:>7}",
+        "rule", "firings", "fire%", "states", "dedup", "viol", "time", "time%"
+    );
+    for (name, r) in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>9} {:>6.1}% {:>9} {:>9} {:>6} {:>12} {:>6.1}%",
+            name,
+            r.firings,
+            pct(r.firings, total_firings),
+            r.states,
+            r.dedup_hits,
+            r.violations,
+            format_nanos(r.nanos),
+            pct(r.nanos, total_nanos),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "{:<10} {:>9} {:>7} {:>9} {:>9} {:>6} {:>12}",
+        "total",
+        total_firings,
+        "100.0%",
+        total_states,
+        total_dedup,
+        total_viol,
+        format_nanos(total_nanos),
+    );
+    s
+}
+
+/// Renders the per-worker claim counts and contention counters of a
+/// parallel enumeration run.
+pub fn worker_summary(snap: &MetricsSnapshot) -> String {
+    if snap.workers.is_empty() {
+        return String::new();
+    }
+    let mut s = format!(
+        "workers: {} (steals: {}, claim races: {})\n",
+        snap.workers.len(),
+        snap.counter(Counter::Steals),
+        snap.counter(Counter::ClaimRaces),
+    );
+    let total: u64 = snap.workers.values().sum();
+    for (w, claims) in &snap.workers {
+        let share = if total == 0 {
+            0.0
+        } else {
+            100.0 * *claims as f64 / total as f64
+        };
+        let _ = writeln!(s, "  worker {w}: {claims} claims ({share:.1}%)");
+    }
+    s
+}
+
+/// `1234567` ns → `"1.23ms"`, picking the unit that keeps 3 digits.
+fn format_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
 
 /// Renders the full markdown dossier for `spec` from an
 /// already-computed verification report (build one with
@@ -312,6 +407,54 @@ mod tests {
         let md = protocol_report(session.spec(), &v);
         assert!(md.contains("Theorem 1 crosscheck (n=3)"), "{md}");
         assert!(md.contains("complete"));
+    }
+
+    #[test]
+    fn rule_table_totals_match_the_rule_firings_counter() {
+        use ccv_enum::{enumerate, EnumOptions};
+        use ccv_observe::Metrics;
+        use std::sync::Arc;
+
+        let metrics = Arc::new(Metrics::new());
+        let opts = EnumOptions::new(3)
+            .sink(metrics.clone() as Arc<dyn ccv_observe::EventSink>)
+            .rule_stats(true);
+        enumerate(&protocols::illinois(), &opts);
+        let snap = metrics.snapshot();
+
+        let table = rule_table(&snap);
+        let total_line = table
+            .lines()
+            .find(|l| l.starts_with("total"))
+            .expect("totals row");
+        let total: u64 = total_line
+            .split_whitespace()
+            .nth(1)
+            .expect("firings column")
+            .parse()
+            .expect("numeric total");
+        assert_eq!(total, snap.counter(Counter::RuleFirings));
+        assert!(total > 0);
+        // One row per fired rule, named STATE:EVENT.
+        assert!(table.lines().any(|l| l.starts_with("Inv:R")), "{table}");
+    }
+
+    #[test]
+    fn worker_summary_lists_every_worker() {
+        use ccv_enum::{enumerate_parallel, EnumOptions};
+        use ccv_observe::Metrics;
+        use std::sync::Arc;
+
+        let metrics = Arc::new(Metrics::new());
+        let opts = EnumOptions::new(3).sink(metrics.clone() as Arc<dyn ccv_observe::EventSink>);
+        enumerate_parallel(&protocols::illinois(), &opts, 3);
+        let s = worker_summary(&metrics.snapshot());
+        assert!(s.contains("workers: 3"), "{s}");
+        assert!(s.contains("steals:"), "{s}");
+        assert!(s.contains("claim races:"), "{s}");
+        for w in 0..3 {
+            assert!(s.contains(&format!("worker {w}:")), "{s}");
+        }
     }
 
     #[test]

@@ -303,3 +303,310 @@ fn dot_file_is_written() {
     let dot = std::fs::read_to_string(&path).unwrap();
     assert!(dot.starts_with("digraph"));
 }
+
+// --- Observability layer -------------------------------------------------
+
+#[test]
+fn metrics_out_writes_metrics_for_enumerate() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("enum-metrics.json");
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "4",
+        "--metrics-out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    assert!(stdout(&o).contains("metrics written to"));
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"visits\""), "{json}");
+    assert!(json.contains("\"enumerate\""), "{json}");
+}
+
+#[test]
+fn metrics_out_writes_metrics_for_verify() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("verify-metrics.json");
+    let o = ccv(&[
+        "verify",
+        "illinois",
+        "--metrics-out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"visits\": 22"), "{json}");
+}
+
+/// Validates a Chrome-trace file: parseable JSON, balanced begin/end
+/// spans per (tid, name), globally monotonic timestamps, and at least
+/// one complete span on every expected worker track. Returns the
+/// parsed events for extra assertions.
+fn check_trace_schema(path: &std::path::Path, worker_tids: &[u64]) -> ccv_observe::Json {
+    let text = std::fs::read_to_string(path).unwrap();
+    let json = ccv_observe::Json::parse(&text).expect("trace file is valid JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array")
+        .to_vec();
+
+    let mut open: std::collections::HashMap<(u64, String), i64> = std::collections::HashMap::new();
+    let mut complete: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for e in &events {
+        if let Some(ts) = e.get("ts").and_then(|t| t.as_f64()) {
+            assert!(ts >= last_ts, "timestamps must be monotonic in file order");
+            last_ts = ts;
+        }
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        if ph != "B" && ph != "E" {
+            continue;
+        }
+        let tid = e.get("tid").and_then(|t| t.as_u64()).expect("span tid");
+        let name = e.get("name").and_then(|n| n.as_str()).expect("span name");
+        let depth = open.entry((tid, name.to_string())).or_insert(0);
+        if ph == "B" {
+            *depth += 1;
+        } else {
+            *depth -= 1;
+            assert!(*depth >= 0, "span end without begin: tid={tid} {name}");
+            *complete.entry(tid).or_insert(0) += 1;
+        }
+    }
+    for (key, depth) in &open {
+        assert_eq!(*depth, 0, "unbalanced span {key:?}");
+    }
+    for tid in worker_tids {
+        assert!(
+            complete.get(tid).copied().unwrap_or(0) >= 1,
+            "no complete span on worker track tid={tid}"
+        );
+    }
+    json
+}
+
+#[test]
+fn trace_out_writes_a_valid_chrome_trace_per_worker() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("enum-trace.json");
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "6",
+        "--threads",
+        "2",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    assert!(stdout(&o).contains("trace written to"));
+    // tid 0 = coordinator, tids 1..=2 = the two workers.
+    let json = check_trace_schema(&path, &[0, 1, 2]);
+    let events = json.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+    // Counter tracks sampled at span boundaries.
+    let counters: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    assert!(counters.contains(&"pending"), "{counters:?}");
+    assert!(counters.contains(&"visited"), "{counters:?}");
+}
+
+#[test]
+fn observability_artifacts_schema_check() {
+    // The CI observability step: one run producing all three artifacts.
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("ci-trace.json");
+    let metrics = dir.join("ci-metrics.json");
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "6",
+        "--rule-stats",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--flight-recorder",
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    check_trace_schema(&trace, &[0]);
+    // Clean run: the flight recorder must stay silent.
+    assert!(!stderr(&o).contains("postmortem"), "{}", stderr(&o));
+
+    // Rule names in the metrics must match the protocol spec's states
+    // and stimulus letters.
+    let mjson = ccv_observe::Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let rules = mjson.get("rules").expect("rules section");
+    let shorts = ["Inv", "Shared", "Dirty", "V-Ex"];
+    match rules {
+        ccv_observe::Json::Obj(entries) => {
+            assert!(!entries.is_empty());
+            for (name, stat) in entries {
+                let (state, event) = name.split_once(':').expect("STATE:EVENT rule name");
+                assert!(shorts.contains(&state), "unknown state in rule {name}");
+                assert!(
+                    ["R", "W", "Z"].contains(&event),
+                    "unknown event in rule {name}"
+                );
+                assert!(stat.get("firings").and_then(|f| f.as_u64()).is_some());
+            }
+        }
+        other => panic!("rules is not an object: {other:?}"),
+    }
+}
+
+#[test]
+fn profile_prints_a_rule_heat_table() {
+    let o = ccv(&["profile", "illinois"]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("firings"), "{out}");
+    assert!(out.contains("Inv:R"), "{out}");
+    assert!(out.contains("Shared:W"), "{out}");
+    let total_line = out
+        .lines()
+        .find(|l| l.starts_with("total"))
+        .expect("totals row");
+    let total: u64 = total_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(total > 0);
+    // Every rule row's share sums to ~100%.
+    assert!(total_line.contains("100.0%"), "{total_line}");
+}
+
+#[test]
+fn profile_total_firings_equal_the_rule_firings_counter() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profile-metrics.json");
+    let o = ccv(&[
+        "profile",
+        "illinois",
+        "--metrics-out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    let total: u64 = stdout(&o)
+        .lines()
+        .find(|l| l.starts_with("total"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let mjson = ccv_observe::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let counter = mjson
+        .get("counters")
+        .and_then(|c| c.get("rule_firings"))
+        .and_then(|v| v.as_u64())
+        .expect("rule_firings counter");
+    assert_eq!(total, counter);
+}
+
+#[test]
+fn flight_recorder_dumps_a_postmortem_on_violation() {
+    let o = ccv(&[
+        "enumerate",
+        "illinois-missing-invalidation",
+        "-n",
+        "3",
+        "--flight-recorder",
+    ]);
+    assert_eq!(o.status.code(), Some(1));
+    let err = stderr(&o);
+    assert!(err.contains("\"ev\":\"postmortem\""), "{err}");
+    assert!(err.contains("\"violation\":true"), "{err}");
+    // The dump retains the violation events plus what preceded them.
+    assert!(err.contains("\"ev\":\"violation\""), "{err}");
+    assert!(err.contains("\"ev\":\"phase_enter\""), "{err}");
+}
+
+#[test]
+fn flight_recorder_accepts_an_inline_capacity() {
+    let o = ccv(&[
+        "enumerate",
+        "illinois-missing-invalidation",
+        "-n",
+        "3",
+        "--flight-recorder=32",
+    ]);
+    assert_eq!(o.status.code(), Some(1));
+    let err = stderr(&o);
+    assert!(err.contains("\"retained\":32"), "{err}");
+}
+
+#[test]
+fn enumerate_parallel_prints_a_worker_summary() {
+    let o = ccv(&["enumerate", "illinois", "-n", "5", "--threads", "2"]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("workers: 2"), "{out}");
+    assert!(out.contains("steals:"), "{out}");
+    assert!(out.contains("claim races:"), "{out}");
+    assert!(out.contains("worker 0:"), "{out}");
+    assert!(out.contains("worker 1:"), "{out}");
+}
+
+#[test]
+fn simulate_accepts_the_observability_trio() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("sim-trace.json");
+    let metrics = dir.join("sim-metrics.json");
+    let o = ccv(&[
+        "simulate",
+        "illinois",
+        "--accesses",
+        "2000",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    check_trace_schema(&trace, &[0]);
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"accesses\""), "{json}");
+}
+
+#[test]
+fn crosscheck_trace_contains_both_legs() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("cc-trace.json");
+    let o = ccv(&[
+        "crosscheck",
+        "illinois",
+        "-n",
+        "4",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    let json = check_trace_schema(&trace, &[0]);
+    let legs = json
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .unwrap()
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("B")
+                && e.get("name").and_then(|n| n.as_str()) == Some("crosscheck_leg")
+        })
+        .count();
+    assert_eq!(legs, 2, "expected the enumeration and coverage legs");
+}

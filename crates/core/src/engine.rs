@@ -29,8 +29,9 @@ use crate::check::{check, Violation};
 use crate::composite::Composite;
 use crate::expand::{successors, Label, StepError, Transition};
 use ccv_model::ProtocolSpec;
-use ccv_observe::{CommonOptions, Counter, Gauge, Phase};
+use ccv_observe::{CommonOptions, Counter, Gauge, Phase, RuleStat, SpanKind, Track};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Pruning discipline for the worklist.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -100,6 +101,13 @@ impl Options {
     /// Attaches an observability sink.
     pub fn sink(mut self, sink: impl Into<ccv_observe::SinkHandle>) -> Options {
         self.common.sink = sink.into();
+        self
+    }
+
+    /// Attributes firings, produced states and scan time to protocol
+    /// rules (ignored while no sink is attached).
+    pub fn rule_stats(mut self, on: bool) -> Options {
+        self.common.rule_stats = on;
         self
     }
 
@@ -239,6 +247,17 @@ pub fn expand(spec: &ProtocolSpec, opts: &Options) -> Expansion {
 /// Runs the worklist from an explicit initial composite state.
 pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> Expansion {
     let sink = &opts.common.sink;
+    // The sink's enabled state is queried once: per-iteration checks
+    // would re-poll every tee'd sink inside the hot loop.
+    let events = sink.is_enabled();
+    let rules_on = opts.common.rule_stats && events;
+    // Fixed-size attribution table indexed by rule id; reported once
+    // at exit so the loop below never allocates for observability.
+    let mut rule_stats: Vec<RuleStat> = if rules_on {
+        vec![RuleStat::default(); spec.num_rules()]
+    } else {
+        Vec::new()
+    };
     let mut nodes: Vec<Node> = Vec::new();
     let mut work: VecDeque<NodeId> = VecDeque::new();
     let mut history: Vec<NodeId> = Vec::new();
@@ -269,6 +288,7 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
             step_errors: Vec::new(),
         });
         sink.count(Counter::Errors, 1);
+        sink.violation("initial composite state violates coherence");
     }
     work.push_back(NodeId(0));
 
@@ -277,12 +297,17 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
         Pruning::Equality => a == b,
     };
 
+    sink.span_begin(SpanKind::WorkerBusy, 0);
     'outer: while let Some(current) = work.pop_front() {
         if nodes[current.0].pruned {
             continue;
         }
         expanded += 1;
         sink.count(Counter::Expansions, 1);
+        if events {
+            sink.sample(Track::Pending, work.len() as u64);
+            sink.sample(Track::Visited, nodes.len() as u64);
+        }
         let current_state = nodes[current.0].state.clone();
         let succs: Vec<Transition> = successors(spec, &current_state);
         // One visit per rule firing: the successor categories of a
@@ -290,18 +315,28 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
         let mut fired: Vec<crate::expand::Label> = Vec::new();
         for t in succs {
             successors_generated += 1;
+            let rid = spec.rule_id(t.label.origin.state, t.label.event);
             if !fired.contains(&t.label) {
                 fired.push(t.label);
                 visits += 1;
                 sink.count(Counter::Visits, 1);
                 sink.count(Counter::RuleFirings, 1);
+                if rules_on {
+                    rule_stats[rid].firings += 1;
+                }
+            }
+            if rules_on {
+                rule_stats[rid].states += 1;
             }
             if visits >= opts.common.budget {
                 truncated = true;
                 break 'outer;
             }
 
-            // Is the successor contained in a surviving state?
+            // Is the successor contained in a surviving state? The
+            // containment scans dominate the engine's cost, so they
+            // are what per-rule wall time attributes.
+            let scan_start = rules_on.then(Instant::now);
             let container_exists = nodes.iter().any(|n| {
                 if n.pruned {
                     return false;
@@ -309,6 +344,9 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
                 containment_checks += 1;
                 contained(&t.to, &n.state, opts.pruning)
             });
+            if let Some(start) = scan_start {
+                rule_stats[rid].nanos += start.elapsed().as_nanos() as u64;
+            }
 
             if opts.record_trace {
                 trace.push(VisitRecord {
@@ -327,9 +365,18 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
                 // The state family is already covered; the *transition*
                 // may still carry a stale-access error.
                 prunes += 1;
+                if rules_on {
+                    rule_stats[rid].dedup_hits += 1;
+                }
                 if !t.errors.is_empty() {
                     let id = NodeId(nodes.len());
                     let violations = check(spec, &t.to);
+                    if events {
+                        sink.violation(&format!("stale access via {}", t.label.render(spec)));
+                    }
+                    if rules_on {
+                        rule_stats[rid].violations += 1;
+                    }
                     nodes.push(Node {
                         state: t.to,
                         parent: Some((current, t.label)),
@@ -352,6 +399,7 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
             // New state: admit, prune displaced survivors, enqueue.
             let id = NodeId(nodes.len());
             let violations = check(spec, &t.to);
+            let scan_start = rules_on.then(Instant::now);
             for n in nodes.iter_mut() {
                 if !n.pruned {
                     containment_checks += 1;
@@ -361,6 +409,9 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
                     }
                 }
             }
+            if let Some(start) = scan_start {
+                rule_stats[rid].nanos += start.elapsed().as_nanos() as u64;
+            }
             nodes.push(Node {
                 state: t.to,
                 parent: Some((current, t.label)),
@@ -368,6 +419,15 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
                 pruned: false,
             });
             if !violations.is_empty() || !t.errors.is_empty() {
+                if events {
+                    sink.violation(&format!(
+                        "erroneous state reached via {}",
+                        t.label.render(spec)
+                    ));
+                }
+                if rules_on {
+                    rule_stats[rid].violations += 1;
+                }
                 errors.push(ErrorFinding {
                     node: id,
                     violations,
@@ -385,6 +445,8 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
         }
     }
 
+    sink.span_end(SpanKind::WorkerBusy, 0);
+
     let essential: Vec<NodeId> = history
         .into_iter()
         .filter(|id| !nodes[id.0].pruned)
@@ -393,7 +455,14 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
     sink.count(Counter::ContainmentChecks, containment_checks);
     sink.count(Counter::Prunes, prunes);
     sink.gauge(Gauge::EssentialStates, essential.len() as u64);
-    if sink.is_enabled() {
+    if rules_on {
+        for (rid, stat) in rule_stats.iter().enumerate() {
+            if stat.firings > 0 || stat.states > 0 {
+                sink.rule_stats(&spec.rule_name(rid), *stat);
+            }
+        }
+    }
+    if events {
         sink.progress(&format!(
             "expand: {} visits, {} essential states",
             visits,
@@ -520,6 +589,46 @@ mod tests {
         let path = exp.path_to(NodeId(0));
         assert_eq!(path.len(), 1);
         assert!(path[0].0.is_none());
+    }
+
+    #[test]
+    fn rule_stats_firings_sum_to_the_counter() {
+        use ccv_observe::Metrics;
+        use std::sync::Arc;
+
+        let spec = illinois();
+        let metrics = Arc::new(Metrics::new());
+        let opts = Options::default().common(
+            CommonOptions::default()
+                .with_sink(metrics.clone())
+                .rule_stats(true),
+        );
+        let exp = expand(&spec, &opts);
+        assert!(exp.is_clean());
+
+        let snap = metrics.snapshot();
+        assert!(!snap.rules.is_empty());
+        let total_firings: u64 = snap.rules.values().map(|s| s.firings).sum();
+        assert_eq!(total_firings, snap.counter(Counter::RuleFirings));
+        assert_eq!(total_firings, exp.visits as u64);
+        let total_states: u64 = snap.rules.values().map(|s| s.states).sum();
+        assert_eq!(total_states, exp.successors as u64);
+        // Rule names follow the "<state>:<event>" convention.
+        for name in snap.rules.keys() {
+            assert!(name.contains(':'), "unexpected rule name {name}");
+        }
+    }
+
+    #[test]
+    fn rule_stats_off_by_default_even_with_a_sink() {
+        use ccv_observe::Metrics;
+        use std::sync::Arc;
+
+        let spec = illinois();
+        let metrics = Arc::new(Metrics::new());
+        let exp = expand(&spec, &Options::default().sink(metrics.clone() as Arc<_>));
+        assert!(exp.is_clean());
+        assert!(metrics.snapshot().rules.is_empty());
     }
 
     #[test]

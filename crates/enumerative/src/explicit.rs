@@ -19,10 +19,11 @@
 
 use crate::fxhash::FxHashSet;
 use crate::packed::{PackedState, MAX_CACHES};
-use crate::step::{describe_violations, is_violating, successors_into, ConcreteStep};
+use crate::step::{describe_violations, is_violating, step_into, successors_into, ConcreteStep};
 use ccv_model::{ProcEvent, ProtocolSpec};
-use ccv_observe::{CommonOptions, Counter, Gauge, Phase};
+use ccv_observe::{CommonOptions, Counter, Gauge, Phase, RuleStat, SpanKind, Track};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Duplicate-pruning discipline.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -90,6 +91,13 @@ impl EnumOptions {
         self.common.sink = sink.into();
         self
     }
+
+    /// Collects per-rule attribution (reported through
+    /// [`rule_stats`](ccv_observe::EventSink::rule_stats) at exit).
+    pub fn rule_stats(mut self, on: bool) -> EnumOptions {
+        self.common.rule_stats = on;
+        self
+    }
 }
 
 /// A violation found during enumeration.
@@ -140,6 +148,16 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     };
 
     let sink = &opts.common.sink;
+    // Queried once: hot loops must not re-poll every tee'd sink.
+    let events = sink.is_enabled();
+    let rules_on = opts.common.rule_stats && events;
+    // Fixed-size attribution table indexed by rule id, merged into the
+    // sink once at exit — the kernel loop stays allocation-free.
+    let mut rule_stats: Vec<RuleStat> = if rules_on {
+        vec![RuleStat::default(); spec.num_rules()]
+    } else {
+        Vec::new()
+    };
     let mut visited: FxHashSet<PackedState> = FxHashSet::default();
     let mut work: VecDeque<PackedState> = VecDeque::new();
     let mut errors: Vec<EnumError> = Vec::new();
@@ -166,6 +184,7 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     let init = canon(PackedState::INITIAL);
     visited.insert(init);
     if is_violating(spec, init, opts.n) {
+        sink.violation("initial state violates coherence");
         errors.push(EnumError {
             state: init,
             descriptions: describe_violations(spec, init, opts.n),
@@ -178,12 +197,39 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     }
 
     let mut succ_buf: Vec<ConcreteStep> = Vec::new();
+    sink.span_begin(SpanKind::WorkerBusy, 0);
     'outer: while let Some(current) = work.pop_front() {
         succ_buf.clear();
-        successors_into(spec, current, opts.n, &mut succ_buf);
+        if rules_on {
+            // Same (cache, event) double loop as `successors_into`,
+            // with the stimulus boundaries observed so firings, yields
+            // and kernel time attribute to the rule that fired.
+            for i in 0..opts.n {
+                for event in ProcEvent::ALL {
+                    if current.state(i).is_invalid() && event == ProcEvent::Replace {
+                        continue;
+                    }
+                    let rid = spec.rule_id(current.state(i), event);
+                    let before = succ_buf.len();
+                    let start = Instant::now();
+                    step_into(spec, current, opts.n, i, event, &mut succ_buf);
+                    rule_stats[rid].nanos += start.elapsed().as_nanos() as u64;
+                    rule_stats[rid].firings += 1;
+                    rule_stats[rid].states += (succ_buf.len() - before) as u64;
+                }
+            }
+        } else {
+            successors_into(spec, current, opts.n, &mut succ_buf);
+        }
         for s in &succ_buf {
             visits += 1;
             if !s.errors.is_empty() {
+                if events {
+                    sink.violation(&format!("stale access via cache {} {}", s.cache, s.event));
+                }
+                if rules_on {
+                    rule_stats[spec.rule_id(current.state(s.cache), s.event)].violations += 1;
+                }
                 let descriptions: Vec<String> = s
                     .errors
                     .iter()
@@ -201,6 +247,15 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
             if visited.insert(key) {
                 dedup_misses += 1;
                 if is_violating(spec, key, opts.n) {
+                    if events {
+                        sink.violation(&format!(
+                            "violating state reached via cache {} {}",
+                            s.cache, s.event
+                        ));
+                    }
+                    if rules_on {
+                        rule_stats[spec.rule_id(current.state(s.cache), s.event)].violations += 1;
+                    }
                     errors.push(EnumError {
                         state: key,
                         descriptions: describe_violations(spec, key, opts.n),
@@ -217,6 +272,9 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
                 next_level += 1;
             } else {
                 dedup_hits += 1;
+                if rules_on {
+                    rule_stats[spec.rule_id(current.state(s.cache), s.event)].dedup_hits += 1;
+                }
             }
         }
         level_remaining -= 1;
@@ -225,10 +283,15 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
             if next_level > 0 {
                 sink.frontier(level, next_level);
             }
+            if events {
+                sink.sample(Track::Pending, work.len() as u64);
+                sink.sample(Track::Visited, visited.len() as u64);
+            }
             level_remaining = next_level;
             next_level = 0;
         }
     }
+    sink.span_end(SpanKind::WorkerBusy, 0);
 
     sink.count(Counter::Visits, visits as u64);
     sink.count(Counter::DedupHits, dedup_hits);
@@ -236,7 +299,17 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     sink.count(Counter::Errors, errors.len() as u64);
     sink.gauge(Gauge::DistinctStates, visited.len() as u64);
     sink.gauge(Gauge::Levels, level as u64);
-    if sink.is_enabled() {
+    if rules_on {
+        let mut firings_total = 0u64;
+        for (rid, stat) in rule_stats.iter().enumerate() {
+            if stat.firings > 0 {
+                firings_total += stat.firings;
+                sink.rule_stats(&spec.rule_name(rid), *stat);
+            }
+        }
+        sink.count(Counter::RuleFirings, firings_total);
+    }
+    if events {
         sink.progress(&format!(
             "enumerate(n={}): {} distinct states, {} visits",
             opts.n,
@@ -390,5 +463,58 @@ mod tests {
         let r = enumerate(&spec, &EnumOptions::new(4).max_states(5));
         assert!(r.truncated);
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn rule_attribution_matches_the_run_totals() {
+        use ccv_observe::{Counter, Metrics};
+        use std::sync::Arc;
+
+        let spec = illinois();
+        let plain = enumerate(&spec, &EnumOptions::new(3));
+
+        let metrics = Arc::new(Metrics::new());
+        let attributed = enumerate(
+            &spec,
+            &EnumOptions::new(3)
+                .sink(metrics.clone() as Arc<_>)
+                .rule_stats(true),
+        );
+        // Attribution must not change what the engine explores.
+        assert_eq!(attributed.distinct, plain.distinct);
+        assert_eq!(attributed.visits, plain.visits);
+
+        let snap = metrics.snapshot();
+        let firings: u64 = snap.rules.values().map(|s| s.firings).sum();
+        assert_eq!(firings, snap.counter(Counter::RuleFirings));
+        let states: u64 = snap.rules.values().map(|s| s.states).sum();
+        assert_eq!(states, attributed.visits as u64);
+        let dedup: u64 = snap.rules.values().map(|s| s.dedup_hits).sum();
+        assert_eq!(dedup, snap.counter(Counter::DedupHits));
+        // Rule names come from the protocol's state shorts.
+        for name in snap.rules.keys() {
+            let (state, event) = name.split_once(':').unwrap();
+            assert!(spec.state_by_name(state).is_some(), "unknown state {state}");
+            assert!(matches!(event, "R" | "W" | "Z"));
+        }
+    }
+
+    #[test]
+    fn violations_are_attributed_to_rules() {
+        use ccv_observe::Metrics;
+        use std::sync::Arc;
+
+        let spec = illinois_missing_invalidation();
+        let metrics = Arc::new(Metrics::new());
+        let r = enumerate(
+            &spec,
+            &EnumOptions::new(2)
+                .sink(metrics.clone() as Arc<_>)
+                .rule_stats(true),
+        );
+        assert!(!r.errors.is_empty());
+        let snap = metrics.snapshot();
+        let violations: u64 = snap.rules.values().map(|s| s.violations).sum();
+        assert_eq!(violations, r.errors.len() as u64);
     }
 }

@@ -43,14 +43,14 @@
 
 use crate::explicit::{Dedup, EnumError, EnumOptions, EnumResult};
 use crate::packed::{PackedState, MAX_CACHES};
-use crate::step::{describe_violations, is_violating, successors_into, ConcreteStep};
+use crate::step::{describe_violations, is_violating, step_into, successors_into, ConcreteStep};
 use crate::visited::AtomicVisited;
-use ccv_model::ProtocolSpec;
-use ccv_observe::{Counter, Gauge, Phase};
+use ccv_model::{ProcEvent, ProtocolSpec};
+use ccv_observe::{Counter, Gauge, Phase, RuleStat, SinkHandle, SpanKind, Track};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Most states moved from a worker's public deque to its private
 /// stack in one refill.
@@ -74,6 +74,12 @@ struct Shared<'a> {
     /// One public deque per worker. Owners push/pop at the back,
     /// thieves steal batches from the front.
     queues: Vec<Mutex<VecDeque<PackedState>>>,
+    /// The run's sink, shared so workers can emit timeline spans.
+    sink: &'a SinkHandle,
+    /// `sink.is_enabled()`, cached once — never re-polled per state.
+    events: bool,
+    /// Collect per-rule attribution (fixed-size per-worker arrays).
+    rules: bool,
 }
 
 impl Shared<'_> {
@@ -97,6 +103,10 @@ struct WorkerStats {
     claim_races: u64,
     peak_pending: usize,
     errors: Vec<EnumError>,
+    /// Per-rule attribution, indexed by rule id (empty unless the run
+    /// collects rule stats). Sized once at worker start, so the
+    /// expansion loop never allocates for observability.
+    rules: Vec<RuleStat>,
 }
 
 /// Moves up to [`REFILL_BATCH`] states from the worker's own public
@@ -133,10 +143,16 @@ fn steal(
         if take == 0 {
             continue;
         }
+        if sh.events {
+            sh.sink.span_begin(SpanKind::Steal, w as u32 + 1);
+        }
         for _ in 0..take {
             local.push(q.pop_front().expect("len checked"));
         }
         drop(q);
+        if sh.events {
+            sh.sink.span_end(SpanKind::Steal, w as u32 + 1);
+        }
         stats.steals += 1;
         return local.pop();
     }
@@ -155,7 +171,27 @@ fn expand(
     stats: &mut WorkerStats,
 ) {
     buf.clear();
-    successors_into(sh.spec, state, sh.n, buf);
+    if sh.rules {
+        // Per-stimulus replica of `successors_into`'s double loop, so
+        // each firing can be timed and attributed to its rule id.
+        for i in 0..sh.n {
+            for event in ProcEvent::ALL {
+                if state.state(i).is_invalid() && event == ProcEvent::Replace {
+                    continue;
+                }
+                let rid = sh.spec.rule_id(state.state(i), event);
+                let before = buf.len();
+                let start = Instant::now();
+                step_into(sh.spec, state, sh.n, i, event, buf);
+                let r = &mut stats.rules[rid];
+                r.nanos += start.elapsed().as_nanos() as u64;
+                r.firings += 1;
+                r.states += (buf.len() - before) as u64;
+            }
+        }
+    } else {
+        successors_into(sh.spec, state, sh.n, buf);
+    }
     for s in buf.iter() {
         stats.visits += 1;
         if !s.errors.is_empty() {
@@ -168,6 +204,13 @@ fn expand(
                 state: s.to,
                 descriptions,
             });
+            if sh.events {
+                sh.sink
+                    .violation(&format!("stale access via cache {} {}", s.cache, s.event));
+            }
+            if sh.rules {
+                stats.rules[sh.spec.rule_id(state.state(s.cache), s.event)].violations += 1;
+            }
             if sh.stop_at_first_error {
                 sh.stop.store(true, Ordering::Release);
             }
@@ -177,6 +220,9 @@ fn expand(
         stats.claim_races += claim.races as u64;
         if !claim.claimed {
             stats.dedup_hits += 1;
+            if sh.rules {
+                stats.rules[sh.spec.rule_id(state.state(s.cache), s.event)].dedup_hits += 1;
+            }
             continue;
         }
         stats.dedup_misses += 1;
@@ -186,6 +232,15 @@ fn expand(
                 state: key,
                 descriptions: describe_violations(sh.spec, key, sh.n),
             });
+            if sh.events {
+                sh.sink.violation(&format!(
+                    "violating state reached via cache {} {}",
+                    s.cache, s.event
+                ));
+            }
+            if sh.rules {
+                stats.rules[sh.spec.rule_id(state.state(s.cache), s.event)].violations += 1;
+            }
             if sh.stop_at_first_error {
                 sh.stop.store(true, Ordering::Release);
             }
@@ -219,10 +274,19 @@ fn expand(
 /// public deque, steal when both are empty, exit when the global
 /// pending count hits zero (or a stop is signalled).
 fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
+    let tid = w as u32 + 1;
     let mut stats = WorkerStats::default();
+    if sh.rules {
+        stats.rules = vec![RuleStat::default(); sh.spec.num_rules()];
+    }
     let mut local: Vec<PackedState> = Vec::new();
     let mut buf: Vec<ConcreteStep> = Vec::new();
     let mut idle = 0u32;
+    // Busy intervals become WorkerBusy spans on the worker's own trace
+    // track: one span per contiguous stretch of expansions, closed when
+    // the worker runs dry (and reopened when it finds work again).
+    let mut busy = false;
+    let mut spans = 0u32;
     loop {
         if sh.stop.load(Ordering::Relaxed) {
             break;
@@ -232,6 +296,14 @@ fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
             .or_else(|| refill(w, sh, &mut local))
             .or_else(|| steal(w, sh, &mut local, &mut stats));
         let Some(state) = state else {
+            if busy {
+                busy = false;
+                spans += 1;
+                sh.sink.span_end(SpanKind::WorkerBusy, tid);
+                sh.sink
+                    .sample(Track::Pending, sh.pending.load(Ordering::Relaxed) as u64);
+                sh.sink.sample(Track::Visited, sh.visited.len() as u64);
+            }
             if sh.pending.load(Ordering::Acquire) == 0 {
                 break;
             }
@@ -247,9 +319,26 @@ fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
             }
             continue;
         };
+        if sh.events && !busy {
+            busy = true;
+            sh.sink.span_begin(SpanKind::WorkerBusy, tid);
+            sh.sink
+                .sample(Track::Pending, sh.pending.load(Ordering::Relaxed) as u64);
+            sh.sink.sample(Track::Visited, sh.visited.len() as u64);
+        }
         idle = 0;
         expand(state, w, sh, &mut local, &mut buf, &mut stats);
         sh.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+    if busy {
+        spans += 1;
+        sh.sink.span_end(SpanKind::WorkerBusy, tid);
+    }
+    if sh.events && spans == 0 {
+        // A worker that never found work still gets one (degenerate)
+        // complete span, so every worker track exists in the trace.
+        sh.sink.span_begin(SpanKind::WorkerBusy, tid);
+        sh.sink.span_end(SpanKind::WorkerBusy, tid);
     }
     stats
 }
@@ -271,6 +360,8 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
     );
 
     let sink = &opts.common.sink;
+    let events = sink.is_enabled();
+    let rules_on = opts.common.rule_stats && events;
     sink.phase_enter(Phase::Enumerate);
     sink.gauge(Gauge::Threads, threads as u64);
 
@@ -285,6 +376,9 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
         stop: AtomicBool::new(false),
         truncated: AtomicBool::new(false),
         queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        sink,
+        events,
+        rules: rules_on,
     };
 
     // The coordinator claims the initial state itself so the per-worker
@@ -294,6 +388,9 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
     sh.visited.claim(init);
     sink.frontier(0, 1);
     if is_violating(spec, init, opts.n) {
+        if events {
+            sink.violation("initial state violates coherence");
+        }
         errors.push(EnumError {
             state: init,
             descriptions: describe_violations(spec, init, opts.n),
@@ -317,12 +414,22 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
+    // The coordinator's merge of per-worker tallies is the Drain leg
+    // of the run's timeline (tid 0 = main thread).
+    if events {
+        sink.span_begin(SpanKind::Drain, 0);
+    }
     let mut visits = 0usize;
     let mut dedup_hits = 0u64;
     let mut dedup_misses = 0u64;
     let mut steals = 0u64;
     let mut claim_races = 0u64;
     let mut peak_pending = 1usize;
+    let mut rules_total: Vec<RuleStat> = if rules_on {
+        vec![RuleStat::default(); spec.num_rules()]
+    } else {
+        Vec::new()
+    };
     for stats in &mut worker_stats {
         visits += stats.visits;
         dedup_hits += stats.dedup_hits;
@@ -331,10 +438,13 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
         claim_races += stats.claim_races;
         peak_pending = peak_pending.max(stats.peak_pending);
         errors.append(&mut stats.errors);
+        for (rid, r) in stats.rules.iter().enumerate() {
+            rules_total[rid].merge(r);
+        }
     }
 
     let distinct = sh.visited.len();
-    if sink.is_enabled() {
+    if events {
         sink.count(Counter::Visits, visits as u64);
         sink.count(Counter::DedupHits, dedup_hits);
         sink.count(Counter::DedupMisses, dedup_misses);
@@ -343,13 +453,26 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
         sink.count(Counter::ClaimRaces, claim_races);
         sink.gauge(Gauge::DistinctStates, distinct as u64);
         sink.gauge(Gauge::PeakPending, peak_pending as u64);
+        sink.sample(Track::Pending, sh.pending.load(Ordering::Relaxed) as u64);
+        sink.sample(Track::Visited, distinct as u64);
         for (i, stats) in worker_stats.iter().enumerate() {
             sink.worker(i, stats.claims);
+        }
+        if rules_on {
+            let mut firings_total = 0u64;
+            for (rid, r) in rules_total.iter().enumerate() {
+                if r.firings > 0 || r.states > 0 {
+                    sink.rule_stats(&spec.rule_name(rid), *r);
+                }
+                firings_total += r.firings;
+            }
+            sink.count(Counter::RuleFirings, firings_total);
         }
         sink.progress(&format!(
             "enumerated {distinct} distinct states in {visits} visits \
              ({threads} workers, {steals} steals)"
         ));
+        sink.span_end(SpanKind::Drain, 0);
     }
     sink.phase_exit(Phase::Enumerate);
 
@@ -435,5 +558,76 @@ mod tests {
         assert!(r.truncated);
         assert!(!r.is_clean());
         assert!(r.distinct >= 5);
+    }
+
+    #[test]
+    fn parallel_rule_attribution_matches_sequential_totals() {
+        use ccv_observe::{EventSink, Metrics};
+        use std::sync::Arc;
+
+        let spec = illinois();
+        let plain = enumerate(&spec, &EnumOptions::new(3).exact());
+
+        let metrics = Arc::new(Metrics::new());
+        let opts = EnumOptions::new(3)
+            .exact()
+            .sink(metrics.clone() as Arc<dyn EventSink>)
+            .rule_stats(true);
+        let attributed = enumerate_parallel(&spec, &opts, 4);
+        assert_eq!(attributed.distinct, plain.distinct);
+        assert_eq!(attributed.visits, plain.visits);
+
+        let snap = metrics.snapshot();
+        let firings: u64 = snap.rules.values().map(|r| r.firings).sum();
+        let states: u64 = snap.rules.values().map(|r| r.states).sum();
+        let dedup: u64 = snap.rules.values().map(|r| r.dedup_hits).sum();
+        assert_eq!(firings, snap.counter(Counter::RuleFirings));
+        assert_eq!(states, attributed.visits as u64);
+        assert_eq!(dedup, snap.counter(Counter::DedupHits));
+    }
+
+    #[test]
+    fn every_worker_emits_balanced_busy_spans() {
+        use ccv_observe::EventSink;
+        use std::collections::HashMap;
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct SpanLedger {
+            // tid → (begins, ends); `open` counts currently-open spans
+            // per tid and must never go negative.
+            per_tid: Mutex<HashMap<u32, (u64, u64)>>,
+            unbalanced: AtomicBool,
+        }
+        impl EventSink for SpanLedger {
+            fn span_begin(&self, _kind: SpanKind, tid: u32) {
+                self.per_tid.lock().entry(tid).or_default().0 += 1;
+            }
+            fn span_end(&self, _kind: SpanKind, tid: u32) {
+                let mut map = self.per_tid.lock();
+                let e = map.entry(tid).or_default();
+                e.1 += 1;
+                if e.1 > e.0 {
+                    self.unbalanced.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let spec = illinois();
+        let ledger = Arc::new(SpanLedger::default());
+        let threads = 4;
+        let opts = EnumOptions::new(4).sink(ledger.clone() as Arc<dyn EventSink>);
+        enumerate_parallel(&spec, &opts, threads);
+
+        assert!(!ledger.unbalanced.load(Ordering::Relaxed));
+        let map = ledger.per_tid.lock();
+        // Coordinator track (Drain span) plus every worker track.
+        assert!(map.contains_key(&0), "coordinator emitted no span");
+        for w in 0..threads {
+            let tid = w as u32 + 1;
+            let (begins, ends) = map[&tid];
+            assert!(begins >= 1, "worker {w} emitted no span");
+            assert_eq!(begins, ends, "worker {w} spans unbalanced");
+        }
     }
 }

@@ -329,6 +329,29 @@ impl ProtocolSpec {
         self.characteristic == Characteristic::SharingDetection
     }
 
+    /// Number of protocol rules: one per `(state, processor event)`
+    /// stimulus. Dense upper bound for rule-indexed attribution
+    /// arrays (see [`rule_id`](ProtocolSpec::rule_id)).
+    pub fn num_rules(&self) -> usize {
+        self.states.len() * ProcEvent::COUNT
+    }
+
+    /// Dense id of the rule fired when a cache in `state` receives
+    /// `event`: `state.index() * 3 + event.index()`, in
+    /// `0..num_rules()`.
+    #[inline]
+    pub fn rule_id(&self, state: StateId, event: ProcEvent) -> usize {
+        state.index() * ProcEvent::COUNT + event.index()
+    }
+
+    /// Human-readable name of a rule id: `"<state short>:<event>"`,
+    /// e.g. `"Inv:R"` for a read on an invalid line.
+    pub fn rule_name(&self, rule_id: usize) -> String {
+        let state = &self.states[rule_id / ProcEvent::COUNT];
+        let event = ProcEvent::ALL[rule_id % ProcEvent::COUNT];
+        format!("{}:{}", state.short, event.label())
+    }
+
     /// Returns a copy of this spec under a different name.
     ///
     /// Part of the *mutation API* used to seed deliberate protocol bugs
@@ -783,6 +806,28 @@ mod tests {
         assert_eq!(p.emitted_bus_ops(), &[BusOp::ReadX, BusOp::WriteBack]);
         assert_eq!(p.valid_states().count(), 1);
         assert_eq!(p.owned_states().count(), 1);
+    }
+
+    #[test]
+    fn rule_ids_are_dense_and_named_after_stimuli() {
+        let p = tiny().unwrap();
+        assert_eq!(p.num_rules(), 6);
+        let mut seen = vec![false; p.num_rules()];
+        for state in p.state_ids() {
+            for &event in &ProcEvent::ALL {
+                let rid = p.rule_id(state, event);
+                assert!(rid < p.num_rules());
+                assert!(!seen[rid], "rule ids must be distinct");
+                seen[rid] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        let m = p.state_by_name("M").unwrap();
+        assert_eq!(p.rule_name(p.rule_id(m, ProcEvent::Write)), "M:W");
+        assert_eq!(
+            p.rule_name(p.rule_id(p.invalid(), ProcEvent::Read)),
+            "Inv:R"
+        );
     }
 
     #[test]

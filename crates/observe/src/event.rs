@@ -175,6 +175,111 @@ impl Gauge {
     }
 }
 
+/// The kind of a timeline span reported through
+/// [`EventSink::span_begin`] / [`EventSink::span_end`].
+///
+/// Span kinds are a *stable* vocabulary: trace exporters key track
+/// names and categories off them, and the flight recorder encodes them
+/// as dense codes. Spans carry a thread id (`tid`): `0` is the
+/// coordinating thread, `w + 1` is enumeration worker `w`.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A top-level phase rendered as a span (trace exporters also
+    /// derive these from `phase_enter`/`phase_exit`).
+    Phase(Phase),
+    /// A worker's continuous busy stretch: claimed work in hand,
+    /// expanding states. Gaps between busy spans are idle time.
+    WorkerBusy,
+    /// The critical section of a successful steal (copying a batch out
+    /// of a victim's public deque).
+    Steal,
+    /// The coordinator draining worker results and merging per-worker
+    /// tallies after the pool joins.
+    Drain,
+    /// One leg of the Theorem 1 crosscheck (explicit enumeration, then
+    /// the coverage scan).
+    CrosscheckLeg,
+}
+
+impl SpanKind {
+    /// Stable snake_case name used in exported traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Phase(p) => p.name(),
+            SpanKind::WorkerBusy => "worker_busy",
+            SpanKind::Steal => "steal",
+            SpanKind::Drain => "drain",
+            SpanKind::CrosscheckLeg => "crosscheck_leg",
+        }
+    }
+
+    /// Trace category: groups spans into Perfetto track categories.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Phase(_) => "phase",
+            SpanKind::WorkerBusy | SpanKind::Steal => "worker",
+            SpanKind::Drain => "coordinator",
+            SpanKind::CrosscheckLeg => "crosscheck",
+        }
+    }
+}
+
+/// A counter track sampled at span boundaries (point-in-time values,
+/// unlike the monotonic [`Counter`] deltas).
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// Discovered-but-unexpanded states right now.
+    Pending,
+    /// Distinct states in the visited set right now.
+    Visited,
+}
+
+impl Track {
+    /// Stable snake_case name used in exported traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Pending => "pending",
+            Track::Visited => "visited",
+        }
+    }
+
+    /// Dense index for array-backed collectors.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-rule attribution totals, merged from fixed-size per-worker
+/// arrays at engine exit and reported once per rule through
+/// [`EventSink::rule_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleStat {
+    /// Times the rule fired (one `(state, event)` stimulus).
+    pub firings: u64,
+    /// Successor states the rule produced.
+    pub states: u64,
+    /// Produced successors that were already in the visited set (or
+    /// covered by a surviving symbolic state).
+    pub dedup_hits: u64,
+    /// Violations observed on the rule's transitions or successors.
+    pub violations: u64,
+    /// Cumulative kernel wall time attributed to the rule, nanoseconds.
+    pub nanos: u64,
+}
+
+impl RuleStat {
+    /// Adds `other`'s totals into `self` (per-worker array merge).
+    pub fn merge(&mut self, other: &RuleStat) {
+        self.firings += other.firings;
+        self.states += other.states;
+        self.dedup_hits += other.dedup_hits;
+        self.violations += other.violations;
+        self.nanos += other.nanos;
+    }
+}
+
 /// Receiver for engine events.
 ///
 /// Every method has a no-op default, so implementations override only
@@ -230,6 +335,36 @@ pub trait EventSink: Send + Sync {
     /// Free-form progress note (human-readable, one line).
     fn progress(&self, message: &str) {
         let _ = message;
+    }
+
+    /// A timeline span began on thread `tid` (0 = coordinator,
+    /// `w + 1` = worker `w`). Sinks pair it with the next
+    /// [`span_end`](EventSink::span_end) of the same `(kind, tid)`.
+    fn span_begin(&self, kind: SpanKind, tid: u32) {
+        let _ = (kind, tid);
+    }
+
+    /// The innermost open span of `(kind, tid)` ended.
+    fn span_end(&self, kind: SpanKind, tid: u32) {
+        let _ = (kind, tid);
+    }
+
+    /// Point-in-time sample of a counter track (emitted at span
+    /// boundaries, not per state).
+    fn sample(&self, track: Track, value: u64) {
+        let _ = (track, value);
+    }
+
+    /// A coherence violation was recorded (emitted at discovery time,
+    /// unlike the end-of-run [`Counter::Errors`] total).
+    fn violation(&self, description: &str) {
+        let _ = description;
+    }
+
+    /// Merged per-rule attribution for `rule`, reported once per rule
+    /// at engine exit.
+    fn rule_stats(&self, rule: &str, stat: RuleStat) {
+        let _ = (rule, stat);
     }
 }
 
@@ -332,6 +467,46 @@ impl SinkHandle {
             sink.progress(message);
         }
     }
+
+    /// See [`EventSink::span_begin`].
+    #[inline]
+    pub fn span_begin(&self, kind: SpanKind, tid: u32) {
+        if let Some(sink) = &self.0 {
+            sink.span_begin(kind, tid);
+        }
+    }
+
+    /// See [`EventSink::span_end`].
+    #[inline]
+    pub fn span_end(&self, kind: SpanKind, tid: u32) {
+        if let Some(sink) = &self.0 {
+            sink.span_end(kind, tid);
+        }
+    }
+
+    /// See [`EventSink::sample`].
+    #[inline]
+    pub fn sample(&self, track: Track, value: u64) {
+        if let Some(sink) = &self.0 {
+            sink.sample(track, value);
+        }
+    }
+
+    /// See [`EventSink::violation`].
+    #[inline]
+    pub fn violation(&self, description: &str) {
+        if let Some(sink) = &self.0 {
+            sink.violation(description);
+        }
+    }
+
+    /// See [`EventSink::rule_stats`].
+    #[inline]
+    pub fn rule_stats(&self, rule: &str, stat: RuleStat) {
+        if let Some(sink) = &self.0 {
+            sink.rule_stats(rule, stat);
+        }
+    }
 }
 
 impl From<Arc<dyn EventSink>> for SinkHandle {
@@ -421,6 +596,36 @@ impl EventSink for Tee {
             s.progress(message);
         }
     }
+
+    fn span_begin(&self, kind: SpanKind, tid: u32) {
+        for s in &self.sinks {
+            s.span_begin(kind, tid);
+        }
+    }
+
+    fn span_end(&self, kind: SpanKind, tid: u32) {
+        for s in &self.sinks {
+            s.span_end(kind, tid);
+        }
+    }
+
+    fn sample(&self, track: Track, value: u64) {
+        for s in &self.sinks {
+            s.sample(track, value);
+        }
+    }
+
+    fn violation(&self, description: &str) {
+        for s in &self.sinks {
+            s.violation(description);
+        }
+    }
+
+    fn rule_stats(&self, rule: &str, stat: RuleStat) {
+        for s in &self.sinks {
+            s.rule_stats(rule, stat);
+        }
+    }
 }
 
 impl fmt::Debug for SinkHandle {
@@ -497,5 +702,77 @@ mod tests {
         assert_eq!(Counter::Visits.name(), "visits");
         assert_eq!(Gauge::EssentialStates.name(), "essential_states");
         assert_eq!(Phase::Expand.name(), "expand");
+    }
+
+    #[test]
+    fn span_kinds_have_stable_names_and_categories() {
+        assert_eq!(SpanKind::Phase(Phase::Enumerate).name(), "enumerate");
+        assert_eq!(SpanKind::Phase(Phase::Enumerate).category(), "phase");
+        assert_eq!(SpanKind::WorkerBusy.name(), "worker_busy");
+        assert_eq!(SpanKind::WorkerBusy.category(), "worker");
+        assert_eq!(SpanKind::Steal.name(), "steal");
+        assert_eq!(SpanKind::Drain.name(), "drain");
+        assert_eq!(SpanKind::CrosscheckLeg.name(), "crosscheck_leg");
+        assert_eq!(Track::Pending.name(), "pending");
+        assert_eq!(Track::Visited.name(), "visited");
+    }
+
+    #[test]
+    fn rule_stats_merge_adds_fields() {
+        let mut a = RuleStat {
+            firings: 1,
+            states: 2,
+            dedup_hits: 3,
+            violations: 0,
+            nanos: 10,
+        };
+        a.merge(&RuleStat {
+            firings: 4,
+            states: 5,
+            dedup_hits: 6,
+            violations: 1,
+            nanos: 90,
+        });
+        assert_eq!(a.firings, 5);
+        assert_eq!(a.states, 7);
+        assert_eq!(a.dedup_hits, 9);
+        assert_eq!(a.violations, 1);
+        assert_eq!(a.nanos, 100);
+    }
+
+    #[test]
+    fn new_events_flow_through_handle_and_tee() {
+        #[derive(Default)]
+        struct SpanSink {
+            spans: AtomicU64,
+            rules: AtomicU64,
+        }
+        impl EventSink for SpanSink {
+            fn span_begin(&self, _kind: SpanKind, _tid: u32) {
+                self.spans.fetch_add(1, Ordering::Relaxed);
+            }
+            fn span_end(&self, _kind: SpanKind, _tid: u32) {
+                self.spans.fetch_add(1, Ordering::Relaxed);
+            }
+            fn rule_stats(&self, _rule: &str, stat: RuleStat) {
+                self.rules.fetch_add(stat.firings, Ordering::Relaxed);
+            }
+        }
+        let sink = Arc::new(SpanSink::default());
+        let tee = Tee::new().with(sink.clone());
+        let handle = SinkHandle::new(Arc::new(tee));
+        handle.span_begin(SpanKind::WorkerBusy, 1);
+        handle.span_end(SpanKind::WorkerBusy, 1);
+        handle.sample(Track::Pending, 7);
+        handle.violation("stale read");
+        handle.rule_stats(
+            "Inv:R",
+            RuleStat {
+                firings: 3,
+                ..RuleStat::default()
+            },
+        );
+        assert_eq!(sink.spans.load(Ordering::Relaxed), 2);
+        assert_eq!(sink.rules.load(Ordering::Relaxed), 3);
     }
 }

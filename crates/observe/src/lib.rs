@@ -16,10 +16,22 @@
 //!   [`snapshot`](Metrics::snapshot) renders to JSON via [`Json`].
 //! * [`NdjsonSink`] — streams one JSON object per event to any
 //!   writer, for live progress reporting.
+//! * [`TraceSink`] — exports spans, phases and counter tracks as a
+//!   Chrome-trace JSON file loadable in `chrome://tracing` and
+//!   [Perfetto](https://ui.perfetto.dev).
+//! * [`FlightRecorder`] — a lock-free ring buffer retaining the last
+//!   N events; paired with a [`PostmortemGuard`] it dumps an NDJSON
+//!   postmortem when a violation is recorded or a panic unwinds.
+//!
+//! The timeline vocabulary is [`SpanKind`] (phase, worker-busy,
+//! steal, drain, crosscheck-leg spans carrying a thread id) and
+//! [`Track`] (pending/visited counter tracks sampled at span
+//! boundaries); per-rule attribution travels as [`RuleStat`] rows.
 //!
 //! [`CommonOptions`] lives here too: the options fields shared by all
-//! three engines (work budget, stop-at-first-error, attached sink),
-//! embedded by each engine's own options struct.
+//! three engines (work budget, stop-at-first-error, attached sink,
+//! rule-stats collection), embedded by each engine's own options
+//! struct.
 //!
 //! ## Example
 //!
@@ -42,13 +54,17 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod ndjson;
 pub mod options;
+pub mod trace;
 
-pub use event::{Counter, EventSink, Gauge, Phase, SinkHandle, Tee};
+pub use event::{Counter, EventSink, Gauge, Phase, RuleStat, SinkHandle, SpanKind, Tee, Track};
+pub use flight::{FlightRecorder, PostmortemGuard};
 pub use json::Json;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use ndjson::NdjsonSink;
 pub use options::CommonOptions;
+pub use trace::TraceSink;

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::event::{Counter, EventSink, Gauge, Phase};
+use crate::event::{Counter, EventSink, Gauge, Phase, RuleStat};
 use crate::json::Json;
 
 const NUM_PHASES: usize = Phase::ALL.len();
@@ -78,6 +78,7 @@ struct Shared {
     class_sizes: Histogram,
     bus_ops: BTreeMap<String, u64>,
     workers: BTreeMap<usize, u64>,
+    rules: BTreeMap<String, RuleStat>,
 }
 
 /// An [`EventSink`] that aggregates everything in memory.
@@ -147,6 +148,7 @@ impl Metrics {
             class_sizes: shared.class_sizes.clone(),
             bus_ops: shared.bus_ops.clone(),
             workers: shared.workers.clone(),
+            rules: shared.rules.clone(),
         }
     }
 }
@@ -203,6 +205,16 @@ impl EventSink for Metrics {
     fn worker(&self, idx: usize, claims: u64) {
         self.shared().workers.insert(idx, claims);
     }
+
+    fn rule_stats(&self, rule: &str, stat: RuleStat) {
+        let mut shared = self.shared();
+        match shared.rules.get_mut(rule) {
+            Some(existing) => existing.merge(&stat),
+            None => {
+                shared.rules.insert(rule.to_string(), stat);
+            }
+        }
+    }
 }
 
 /// A point-in-time copy of a [`Metrics`] collector.
@@ -224,6 +236,9 @@ pub struct MetricsSnapshot {
     pub bus_ops: BTreeMap<String, u64>,
     /// Frontier states claimed, by worker index (parallel BFS only).
     pub workers: BTreeMap<usize, u64>,
+    /// Per-rule attribution, by rule name (only when the engine ran
+    /// with [`CommonOptions::rule_stats`](crate::CommonOptions) on).
+    pub rules: BTreeMap<String, RuleStat>,
 }
 
 impl MetricsSnapshot {
@@ -330,6 +345,29 @@ impl MetricsSnapshot {
             ));
         }
 
+        if !self.rules.is_empty() {
+            fields.push((
+                "rules".to_string(),
+                Json::Obj(
+                    self.rules
+                        .iter()
+                        .map(|(name, stat)| {
+                            (
+                                name.clone(),
+                                Json::Obj(vec![
+                                    ("firings".to_string(), Json::int(stat.firings)),
+                                    ("states".to_string(), Json::int(stat.states)),
+                                    ("dedup_hits".to_string(), Json::int(stat.dedup_hits)),
+                                    ("violations".to_string(), Json::int(stat.violations)),
+                                    ("wall_ns".to_string(), Json::int(stat.nanos)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+
         Json::Obj(fields)
     }
 }
@@ -411,6 +449,65 @@ mod tests {
             doc.get("counters").unwrap().get("prunes").unwrap().as_u64(),
             Some(0)
         );
+    }
+
+    #[test]
+    fn rule_stats_merge_into_table_and_export() {
+        let m = Metrics::new();
+        m.rule_stats(
+            "Inv:R",
+            RuleStat {
+                firings: 3,
+                states: 3,
+                dedup_hits: 1,
+                violations: 0,
+                nanos: 500,
+            },
+        );
+        m.rule_stats(
+            "Inv:R",
+            RuleStat {
+                firings: 2,
+                states: 1,
+                dedup_hits: 1,
+                violations: 1,
+                nanos: 250,
+            },
+        );
+        m.rule_stats(
+            "Dirty:Z",
+            RuleStat {
+                firings: 1,
+                ..RuleStat::default()
+            },
+        );
+        let snap = m.snapshot();
+        assert_eq!(snap.rules.len(), 2);
+        assert_eq!(snap.rules["Inv:R"].firings, 5);
+        assert_eq!(snap.rules["Inv:R"].nanos, 750);
+        let doc = Json::parse(&snap.to_json().render()).unwrap();
+        let rules = doc.get("rules").unwrap();
+        assert_eq!(
+            rules.get("Inv:R").unwrap().get("firings").unwrap().as_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            rules
+                .get("Dirty:Z")
+                .unwrap()
+                .get("wall_ns")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn rules_section_absent_when_empty() {
+        let m = Metrics::new();
+        m.count(Counter::Visits, 1);
+        let doc = Json::parse(&m.snapshot().to_json().render()).unwrap();
+        assert!(doc.get("rules").is_none());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::io::Write;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::event::{Counter, EventSink, Gauge, Phase};
+use crate::event::{Counter, EventSink, Gauge, Phase, RuleStat, SpanKind, Track};
 use crate::json::Json;
 
 /// An [`EventSink`] that writes one compact JSON object per event.
@@ -98,6 +98,64 @@ impl<W: Write + Send> EventSink for NdjsonSink<W> {
             vec![("message".to_string(), Json::str(message))],
         );
     }
+
+    fn span_begin(&self, kind: SpanKind, tid: u32) {
+        self.emit(
+            "span_begin",
+            vec![
+                ("span".to_string(), Json::str(kind.name())),
+                ("tid".to_string(), Json::int(tid as u64)),
+            ],
+        );
+    }
+
+    fn span_end(&self, kind: SpanKind, tid: u32) {
+        self.emit(
+            "span_end",
+            vec![
+                ("span".to_string(), Json::str(kind.name())),
+                ("tid".to_string(), Json::int(tid as u64)),
+            ],
+        );
+    }
+
+    fn sample(&self, track: Track, value: u64) {
+        self.emit(
+            "sample",
+            vec![
+                ("track".to_string(), Json::str(track.name())),
+                ("value".to_string(), Json::int(value)),
+            ],
+        );
+    }
+
+    fn violation(&self, description: &str) {
+        self.emit(
+            "violation",
+            vec![("desc".to_string(), Json::str(description))],
+        );
+    }
+
+    fn rule_stats(&self, rule: &str, stat: RuleStat) {
+        self.emit(
+            "rule",
+            vec![
+                ("rule".to_string(), Json::str(rule)),
+                ("firings".to_string(), Json::int(stat.firings)),
+                ("states".to_string(), Json::int(stat.states)),
+                ("dedup_hits".to_string(), Json::int(stat.dedup_hits)),
+                ("violations".to_string(), Json::int(stat.violations)),
+                ("wall_ns".to_string(), Json::int(stat.nanos)),
+            ],
+        );
+    }
+}
+
+impl<W: Write + Send> Drop for NdjsonSink<W> {
+    fn drop(&mut self) {
+        let out = self.out.get_mut().unwrap_or_else(|p| p.into_inner());
+        let _ = out.flush();
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +199,128 @@ mod tests {
         }
         assert!(lines[1].contains("\"frontier\""));
         assert!(lines[2].contains("\"distinct_states\""));
+    }
+
+    #[test]
+    fn span_sample_violation_and_rule_records() {
+        let buf = SharedBuf::default();
+        let sink = NdjsonSink::new(buf.clone());
+        sink.span_begin(SpanKind::WorkerBusy, 3);
+        sink.sample(Track::Visited, 14);
+        sink.violation("stale value");
+        sink.rule_stats(
+            "Inv:R",
+            RuleStat {
+                firings: 5,
+                states: 4,
+                dedup_hits: 1,
+                violations: 0,
+                nanos: 123,
+            },
+        );
+        sink.span_end(SpanKind::WorkerBusy, 3);
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let docs: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(docs.len(), 5);
+        assert_eq!(docs[0].get("span").unwrap().as_str(), Some("worker_busy"));
+        assert_eq!(docs[0].get("tid").unwrap().as_u64(), Some(3));
+        assert_eq!(docs[1].get("track").unwrap().as_str(), Some("visited"));
+        assert_eq!(docs[2].get("ev").unwrap().as_str(), Some("violation"));
+        assert_eq!(docs[3].get("rule").unwrap().as_str(), Some("Inv:R"));
+        assert_eq!(docs[3].get("firings").unwrap().as_u64(), Some(5));
+        assert_eq!(docs[4].get("ev").unwrap().as_str(), Some("span_end"));
+    }
+
+    /// Writer that stages bytes and only publishes them on flush, so
+    /// the test can observe whether flushes actually happen.
+    #[derive(Clone, Default)]
+    struct FlushingBuf {
+        staged: Arc<Mutex<Vec<u8>>>,
+        published: Arc<Mutex<Vec<u8>>>,
+        flushes: Arc<Mutex<usize>>,
+    }
+
+    impl Write for FlushingBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.staged.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            let mut staged = self.staged.lock().unwrap();
+            self.published.lock().unwrap().extend_from_slice(&staged);
+            staged.clear();
+            *self.flushes.lock().unwrap() += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drop_flushes_pending_output() {
+        let buf = FlushingBuf::default();
+        let flushes_before;
+        {
+            let sink = NdjsonSink::new(buf.clone());
+            sink.progress("almost done");
+            flushes_before = *buf.flushes.lock().unwrap();
+            assert!(flushes_before >= 1, "emit flushes eagerly");
+        }
+        // Drop issued one more flush so nothing can be stranded in a
+        // buffered writer when the sink goes away.
+        assert_eq!(*buf.flushes.lock().unwrap(), flushes_before + 1);
+        assert!(buf.staged.lock().unwrap().is_empty());
+        let text = String::from_utf8(buf.published.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("almost done"));
+    }
+
+    #[test]
+    fn concurrent_writers_produce_whole_lines() {
+        let buf = SharedBuf::default();
+        let sink = Arc::new(NdjsonSink::new(buf.clone()));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        sink.progress(&format!("thread {t} step {i}"));
+                    }
+                });
+            }
+        });
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 400);
+        for line in lines {
+            let doc = Json::parse(line).expect("interleaved write corrupted a line");
+            assert_eq!(doc.get("ev").unwrap().as_str(), Some("progress"));
+        }
+    }
+
+    #[test]
+    fn names_with_quotes_backslashes_and_control_chars_are_escaped() {
+        let buf = SharedBuf::default();
+        let sink = NdjsonSink::new(buf.clone());
+        let nasty = "rule \"Inv:R\" \\ tab\there\nnewline \u{1} end";
+        sink.violation(nasty);
+        sink.rule_stats(nasty, RuleStat::default());
+        sink.progress(nasty);
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // The raw newline inside the payload must have been escaped,
+        // so each record is still exactly one physical line.
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let doc = Json::parse(line).unwrap();
+            let field = doc
+                .get("desc")
+                .or_else(|| doc.get("rule"))
+                .or_else(|| doc.get("message"))
+                .unwrap();
+            assert_eq!(field.as_str(), Some(nasty), "escaping must round-trip");
+        }
     }
 }

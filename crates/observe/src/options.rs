@@ -22,6 +22,13 @@ pub struct CommonOptions {
     pub stop_at_first_error: bool,
     /// Observability sink; disabled by default (zero cost).
     pub sink: SinkHandle,
+    /// Collect per-rule attribution (firings, states, dedup hits,
+    /// kernel time) and emit it through
+    /// [`EventSink::rule_stats`] at the end of the run. Off by
+    /// default: attribution adds clock reads
+    /// to the kernel loop, so engines only pay for it when asked.
+    /// Ignored while the sink is disabled.
+    pub rule_stats: bool,
 }
 
 impl Default for CommonOptions {
@@ -30,6 +37,7 @@ impl Default for CommonOptions {
             budget: usize::MAX,
             stop_at_first_error: false,
             sink: SinkHandle::disabled(),
+            rule_stats: false,
         }
     }
 }
@@ -57,6 +65,12 @@ impl CommonOptions {
     pub fn with_sink(self, sink: Arc<dyn EventSink>) -> CommonOptions {
         self.sink(SinkHandle::new(sink))
     }
+
+    /// Enables per-rule attribution collection.
+    pub fn rule_stats(mut self, on: bool) -> CommonOptions {
+        self.rule_stats = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +84,7 @@ mod tests {
         assert_eq!(opts.budget, usize::MAX);
         assert!(!opts.stop_at_first_error);
         assert!(!opts.sink.is_enabled());
+        assert!(!opts.rule_stats);
     }
 
     #[test]

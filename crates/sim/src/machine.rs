@@ -20,7 +20,7 @@ use crate::cache::Cache;
 use crate::stats::Stats;
 use crate::trace::{Access, AccessKind, Trace};
 use ccv_model::{BusOp, DataOp, GlobalCtx, ProcEvent, ProtocolSpec, StateId};
-use ccv_observe::{CommonOptions, Counter, EventSink, Phase, SinkHandle};
+use ccv_observe::{CommonOptions, Counter, EventSink, Phase, SinkHandle, SpanKind};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -239,7 +239,12 @@ impl Machine {
             trace.procs,
             self.cfg.procs
         );
+        // Cached once for the whole trace; never re-queried per access.
+        let events = self.cfg.common.sink.is_enabled();
         self.cfg.common.sink.phase_enter(Phase::Simulate);
+        if events {
+            self.cfg.common.sink.span_begin(SpanKind::WorkerBusy, 0);
+        }
         let violations_before = self.violations.len();
         for &a in &trace.accesses {
             self.step(a);
@@ -248,7 +253,8 @@ impl Machine {
             }
         }
         let sink = &self.cfg.common.sink;
-        if sink.is_enabled() {
+        if events {
+            sink.span_end(SpanKind::WorkerBusy, 0);
             let new_violations = self.violations.len() - violations_before;
             if new_violations > 0 {
                 sink.count(Counter::Errors, new_violations as u64);
@@ -467,6 +473,10 @@ impl Machine {
         self.cfg.common.sink.count(Counter::OracleChecks, 1);
         let expected = self.latest.get(&access.block).copied().unwrap_or(0);
         if got != expected {
+            self.cfg.common.sink.violation(&format!(
+                "access #{idx}: proc {} read v{got} from block {}, latest write was v{expected}",
+                access.proc, access.block
+            ));
             self.violations.push(CoherenceViolation {
                 access_index: idx,
                 access,

@@ -197,3 +197,67 @@ fn one_metrics_collector_can_span_engines() {
     assert!(json.contains("\"expand\""), "{json}");
     assert!(json.contains("\"crosscheck\""), "{json}");
 }
+
+#[test]
+fn rules_section_reports_attribution_for_both_kernel_engines() {
+    // Enumeration kernel.
+    let metrics = Arc::new(Metrics::new());
+    let opts = EnumOptions::new(3)
+        .exact()
+        .sink(sink_of(&metrics))
+        .rule_stats(true);
+    let r = enumerate(&protocols::illinois(), &opts);
+    let doc = Json::parse(&metrics.snapshot().to_json().render()).unwrap();
+    let rules = doc.get("rules").expect("rules section");
+    match rules {
+        Json::Obj(entries) => {
+            assert!(!entries.is_empty());
+            let firings: u64 = entries
+                .iter()
+                .map(|(_, v)| v.get("firings").and_then(Json::as_u64).unwrap())
+                .sum();
+            let states: u64 = entries
+                .iter()
+                .map(|(_, v)| v.get("states").and_then(Json::as_u64).unwrap())
+                .sum();
+            assert_eq!(
+                Some(firings),
+                doc.get("counters")
+                    .and_then(|c| c.get("rule_firings"))
+                    .and_then(Json::as_u64)
+            );
+            assert_eq!(states, r.visits as u64);
+        }
+        other => panic!("rules should be an object, got {other:?}"),
+    }
+
+    // Symbolic expansion: same schema, firings equal to the paper's 22
+    // visits for Illinois.
+    let metrics = Arc::new(Metrics::new());
+    let report = Session::new(protocols::illinois())
+        .options(ccv_core::Options::default().rule_stats(true))
+        .sink(sink_of(&metrics))
+        .verify();
+    assert_eq!(report.visits(), 22);
+    let doc = Json::parse(&metrics.snapshot().to_json().render()).unwrap();
+    let rules = doc.get("rules").expect("rules section");
+    match rules {
+        Json::Obj(entries) => {
+            let firings: u64 = entries
+                .iter()
+                .map(|(_, v)| v.get("firings").and_then(Json::as_u64).unwrap())
+                .sum();
+            assert_eq!(firings, 22);
+        }
+        other => panic!("rules should be an object, got {other:?}"),
+    }
+}
+
+#[test]
+fn rules_section_is_absent_without_opt_in() {
+    let metrics = Arc::new(Metrics::new());
+    let opts = EnumOptions::new(3).sink(sink_of(&metrics));
+    enumerate(&protocols::illinois(), &opts);
+    let doc = Json::parse(&metrics.snapshot().to_json().render()).unwrap();
+    assert!(doc.get("rules").is_none());
+}
