@@ -1,11 +1,17 @@
-//! Performance snapshot of the enumeration engines (PR 2 artifact).
+//! Performance snapshot of the verification engines.
 //!
 //! Runs a fixed matrix of enumeration workloads — protocol × machine
 //! size × thread count — and writes a machine-readable JSON snapshot
 //! with throughput (states/s and visits/s), peak pending-work depth
-//! and the `ccv-observe` phase wall time per configuration. The
-//! checked-in `BENCH_PR2.json` at the repository root is the reference
-//! snapshot for the lock-free work-stealing engine.
+//! and the `ccv-observe` phase wall time per configuration. Since the
+//! interned-arena refactor the snapshot also carries a `symbolic`
+//! section: one row per protocol through a warm batch session, plus
+//! the Illinois single-mutant sweep measured twice — through the
+//! batch API (`sym-sweep/batch`) and through the retained naive
+//! reference engine (`sym-sweep/reference`) — so the batch speedup is
+//! computable from a single snapshot on a single machine. The
+//! checked-in `BENCH_PR4.json` at the repository root is the current
+//! reference snapshot.
 //!
 //! Because absolute rates vary wildly across machines, every snapshot
 //! also measures a *reference workload* (sequential Illinois `n = 12`,
@@ -17,6 +23,7 @@
 //! ```text
 //! bench_snapshot [--out FILE] [--reduced] [--heavy] [--threads A,B,..]
 //!                [--check BASELINE [--tolerance F]]
+//!                [--min-sweep-speedup F]
 //! ```
 //!
 //! * `--out FILE` — write the snapshot JSON (default: stdout only).
@@ -28,8 +35,13 @@
 //!   if any config's normalised rate regressed by more than
 //!   `--tolerance` (default 0.30). Only configs present in both
 //!   snapshots are compared.
+//! * `--min-sweep-speedup F` — exit 1 unless the batch mutation sweep
+//!   beats the naive reference engine by at least `F`× *in this run*
+//!   (same process, same machine — no normalisation needed).
 
+use ccv_core::{reference_expand, Batch, Options};
 use ccv_enum::{enumerate, enumerate_parallel, EnumOptions, EnumResult};
+use ccv_model::mutate::single_mutants;
 use ccv_model::{protocols, ProtocolSpec};
 use ccv_observe::{EventSink, Gauge, Json, Metrics, Phase};
 use std::sync::Arc;
@@ -127,6 +139,81 @@ fn measure(config: &Config) -> Row {
     }
 }
 
+/// One symbolic-engine measurement: a protocol (or the mutation
+/// sweep) run to a verdict, repeatedly, through a warm session.
+struct SymRow {
+    key: String,
+    reps: u32,
+    essential: usize,
+    visits: usize,
+    wall_ms: f64,
+    visits_per_sec: f64,
+}
+
+/// Times `work` (which returns (essential, visits) per repetition)
+/// until [`MIN_SAMPLE_MS`] of wall time has accrued.
+fn time_symbolic(key: &str, mut work: impl FnMut() -> (usize, usize)) -> SymRow {
+    // One untimed pass warms scratch buffers, index buckets and the
+    // arena pool, so the row measures the steady state.
+    let (essential, visits) = work();
+
+    let mut reps = 0u32;
+    let t0 = Instant::now();
+    while t0.elapsed().as_millis() < MIN_SAMPLE_MS && reps < MAX_REPS {
+        let (e, v) = work();
+        assert_eq!((e, v), (essential, visits), "{key}: unstable result");
+        reps += 1;
+    }
+    let per_rep = t0.elapsed().as_secs_f64() / reps as f64;
+    SymRow {
+        key: key.to_string(),
+        reps,
+        essential,
+        visits,
+        wall_ms: per_rep * 1e3,
+        visits_per_sec: visits as f64 / per_rep,
+    }
+}
+
+/// The symbolic rows: every protocol through one warm batch session,
+/// then the Illinois single-mutant sweep through the batch API and
+/// through the naive reference engine. The two sweep rows share the
+/// workload, so their rate ratio is the batch/refactor speedup.
+fn measure_symbolic() -> (Vec<SymRow>, f64) {
+    let mut rows = Vec::new();
+
+    let mut batch = Batch::new();
+    for spec in protocols::all_correct() {
+        let key = format!("sym/{}", spec.name());
+        rows.push(time_symbolic(&key, || {
+            let s = batch.summarize(&spec);
+            (s.essential, s.visits)
+        }));
+    }
+
+    let opts = Options::default().max_visits(100_000);
+    let mutants = single_mutants(&protocols::illinois());
+    let mut batch = Batch::with_options(opts.clone());
+    let sweep = time_symbolic("sym-sweep/batch", || {
+        let mut visits = 0;
+        for m in &mutants {
+            visits += batch.summarize(&m.spec).visits;
+        }
+        (mutants.len(), visits)
+    });
+    let reference = time_symbolic("sym-sweep/reference", || {
+        let mut visits = 0;
+        for m in &mutants {
+            visits += reference_expand(&m.spec, &opts).visits;
+        }
+        (mutants.len(), visits)
+    });
+    let speedup = sweep.visits_per_sec / reference.visits_per_sec;
+    rows.push(sweep);
+    rows.push(reference);
+    (rows, speedup)
+}
+
 fn matrix(reduced: bool, heavy: bool, threads: &[usize]) -> Vec<Config> {
     let mut configs = Vec::new();
     if reduced {
@@ -170,9 +257,9 @@ fn reference_rate() -> f64 {
     r.visits as f64 / t0.elapsed().as_secs_f64()
 }
 
-fn to_json(rows: &[Row], reference: f64) -> Json {
+fn to_json(rows: &[Row], sym_rows: &[SymRow], sweep_speedup: f64, reference: f64) -> Json {
     Json::Obj(vec![
-        ("schema".into(), Json::str("ccv-bench-snapshot-v1")),
+        ("schema".into(), Json::str("ccv-bench-snapshot-v2")),
         (
             "reference".into(),
             Json::Obj(vec![
@@ -206,20 +293,52 @@ fn to_json(rows: &[Row], reference: f64) -> Json {
                     .collect(),
             ),
         ),
+        (
+            "symbolic".into(),
+            Json::Obj(vec![
+                (
+                    "rows".into(),
+                    Json::Arr(
+                        sym_rows
+                            .iter()
+                            .map(|r| {
+                                Json::Obj(vec![
+                                    ("key".into(), Json::str(r.key.as_str())),
+                                    ("reps".into(), Json::int(r.reps as u64)),
+                                    ("essential".into(), Json::int(r.essential as u64)),
+                                    ("visits".into(), Json::int(r.visits as u64)),
+                                    ("wall_ms".into(), Json::Num(r.wall_ms)),
+                                    ("visits_per_sec".into(), Json::Num(r.visits_per_sec)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("sweep_speedup".into(), Json::Num(sweep_speedup)),
+            ]),
+        ),
     ])
 }
 
 /// Extracts `key -> visits_per_sec / reference` from a snapshot JSON.
+/// Symbolic rows (schema v2) are included when present, so the CI
+/// gate covers the symbolic engine with the same normalisation.
 fn normalised_rates(doc: &Json) -> Vec<(String, f64)> {
     let reference = doc
         .get("reference")
         .and_then(|r| r.get("visits_per_sec"))
         .and_then(Json::as_f64)
         .expect("snapshot has a reference rate");
-    doc.get("rows")
+    let mut rows: Vec<&Json> = doc
+        .get("rows")
         .and_then(Json::as_arr)
         .expect("snapshot has rows")
         .iter()
+        .collect();
+    if let Some(sym) = doc.get("symbolic").and_then(|s| s.get("rows")) {
+        rows.extend(sym.as_arr().expect("symbolic rows").iter());
+    }
+    rows.iter()
         .map(|row| {
             let key = row
                 .get("key")
@@ -232,6 +351,10 @@ fn normalised_rates(doc: &Json) -> Vec<(String, f64)> {
                 .expect("row rate");
             (key, rate / reference)
         })
+        // The naive engine is a deliberately unoptimised oracle whose
+        // absolute speed is not a target — it is in the snapshot only
+        // so `sweep_speedup` is computable. Don't gate on it.
+        .filter(|(key, _)| key != "sym-sweep/reference")
         .collect()
 }
 
@@ -240,6 +363,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut tolerance = 0.30f64;
+    let mut min_sweep_speedup: Option<f64> = None;
     let mut reduced = false;
     let mut heavy = false;
     let mut threads: Option<Vec<usize>> = None;
@@ -256,6 +380,14 @@ fn main() {
             }
             "--tolerance" => {
                 tolerance = args[i + 1].parse().expect("--tolerance takes a fraction");
+                i += 2;
+            }
+            "--min-sweep-speedup" => {
+                min_sweep_speedup = Some(
+                    args[i + 1]
+                        .parse()
+                        .expect("--min-sweep-speedup takes a factor"),
+                );
                 i += 2;
             }
             "--threads" => {
@@ -302,7 +434,23 @@ fn main() {
         rows.push(row);
     }
 
-    let doc = to_json(&rows, reference);
+    eprintln!("measuring symbolic workloads...");
+    let (sym_rows, sweep_speedup) = measure_symbolic();
+    for r in &sym_rows {
+        eprintln!(
+            "{:<22} {:>9} essential {:>10} visits  {:>9.3} ms  {:>11.0} visits/s",
+            r.key, r.essential, r.visits, r.wall_ms, r.visits_per_sec
+        );
+    }
+    eprintln!("mutation-sweep batch speedup over the naive reference: {sweep_speedup:.2}x");
+    if let Some(floor) = min_sweep_speedup {
+        if sweep_speedup < floor {
+            eprintln!("FAIL: batch sweep speedup {sweep_speedup:.2}x below the {floor:.2}x floor");
+            std::process::exit(1);
+        }
+    }
+
+    let doc = to_json(&rows, &sym_rows, sweep_speedup, reference);
     let rendered = doc.render();
     match &out {
         Some(path) => {

@@ -12,7 +12,7 @@ use std::io::BufWriter;
 use std::sync::Arc;
 
 use crate::args::{ArgSpec, Flag, ParsedArgs, Positional};
-use ccv_core::{Options, Pruning, Session, Verdict};
+use ccv_core::{Batch, Options, Pruning, Session, Verdict, VerificationReport};
 use ccv_enum::{attach_crosscheck, enumerate as run_enumerate, enumerate_parallel, EnumOptions};
 use ccv_model::{protocols, ProtocolSpec};
 use ccv_observe::{
@@ -266,28 +266,31 @@ pub fn check_all(args: &[String]) -> CmdResult {
         "{:<36} {:>12} {:>10} {:>8}",
         "protocol", "verdict", "essential", "visits"
     );
+    // One batch for the whole library: every run reuses the same
+    // engine scratch (successor buffers, containment index, arena).
+    let mut batch = Batch::new();
     for spec in protocols::all_correct() {
-        let v = Session::new(spec.clone()).verify();
+        let v = batch.summarize(&spec);
         let pass = v.verdict == Verdict::Verified;
         ok &= pass;
         println!(
             "{:<36} {:>12} {:>10} {:>8}",
-            spec.name(),
+            v.protocol,
             v.verdict.to_string(),
-            v.num_essential(),
-            v.visits()
+            v.essential,
+            v.visits
         );
     }
     for (spec, _) in protocols::all_buggy() {
-        let v = Session::new(spec.clone()).verify();
+        let v = batch.summarize(&spec);
         let pass = v.verdict == Verdict::Erroneous;
         ok &= pass;
         println!(
             "{:<36} {:>12} {:>10} {:>8}{}",
-            spec.name(),
+            v.protocol,
             v.verdict.to_string(),
-            v.num_essential(),
-            v.visits(),
+            v.essential,
+            v.visits,
             if pass { "" } else { "   <- MUTANT NOT CAUGHT" }
         );
     }
@@ -333,6 +336,11 @@ const VERIFY_SPEC: ArgSpec = ArgSpec {
             value: None,
             help: "stream NDJSON progress events to stderr",
         },
+        Flag {
+            name: "--essential-out",
+            value: Some("FILE"),
+            help: "write the essential states as canonical JSON (stable ordering)",
+        },
         METRICS_OUT_FLAG,
         TRACE_OUT_FLAG,
         FLIGHT_FLAG,
@@ -340,8 +348,73 @@ const VERIFY_SPEC: ArgSpec = ArgSpec {
     ],
 };
 
+/// Canonical JSON export of a report's essential states: entries
+/// sorted by their paper-notation rendering, classes in the
+/// composite's canonical (sorted) order — byte-stable across runs and
+/// engine-internal reorderings.
+fn essential_states_json(
+    spec: &ProtocolSpec,
+    report: &VerificationReport,
+    pruning: Pruning,
+) -> ccv_observe::Json {
+    use ccv_observe::Json;
+    let mut states = report.expansion.essential_states();
+    states.sort_by_key(|c| c.render(spec));
+    let entries: Vec<Json> = states
+        .iter()
+        .map(|c| {
+            let classes: Vec<Json> = c
+                .classes()
+                .iter()
+                .map(|&(k, r)| {
+                    Json::Obj(vec![
+                        ("state".into(), Json::str(spec.state(k.state).short.clone())),
+                        (
+                            "cdata".into(),
+                            Json::str(match k.cdata {
+                                ccv_model::CData::NoData => "none",
+                                ccv_model::CData::Fresh => "fresh",
+                                ccv_model::CData::Obsolete => "obsolete",
+                            }),
+                        ),
+                        (
+                            "rep".into(),
+                            Json::str(match r {
+                                ccv_core::Rep::Zero => "0",
+                                ccv_core::Rep::One => "1",
+                                ccv_core::Rep::Plus => "+",
+                                ccv_core::Rep::Star => "*",
+                            }),
+                        ),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("rendered".into(), Json::str(c.render(spec))),
+                ("classes".into(), Json::Arr(classes)),
+                ("f".into(), Json::str(c.f.to_string())),
+                ("mdata".into(), Json::str(c.mdata.to_string())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str("ccv-essential-states-v1")),
+        ("protocol".into(), Json::str(report.protocol.clone())),
+        (
+            "pruning".into(),
+            Json::str(match pruning {
+                Pruning::Containment => "containment",
+                Pruning::Equality => "equality",
+            }),
+        ),
+        ("count".into(), Json::int(entries.len() as u64)),
+        ("essential".into(), Json::Arr(entries)),
+    ])
+}
+
 /// `ccv verify <protocol> [--trace] [--equality] [--dot FILE]
-/// [--metrics FILE] [--progress] [--metrics-out FILE] [--trace-out FILE]
+/// [--metrics FILE] [--progress] [--essential-out FILE]
+/// [--metrics-out FILE] [--trace-out FILE]
 /// [--flight-recorder[=N]] [--rule-stats]`
 pub fn verify(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&VERIFY_SPEC, args)? else {
@@ -423,6 +496,16 @@ pub fn verify(args: &[String]) -> CmdResult {
         std::fs::write(&path, report.graph.to_dot(spec))
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("\nDOT written to {path}");
+    }
+    if let Some(path) = p.value::<String>("--essential-out")? {
+        let pruning = if p.flag("--equality") {
+            Pruning::Equality
+        } else {
+            Pruning::Containment
+        };
+        let json = essential_states_json(spec, &report, pruning);
+        std::fs::write(&path, json.render()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nessential states written to {path}");
     }
     if rule_stats {
         let snap = metrics

@@ -294,6 +294,91 @@ fn progress_streams_ndjson_to_stderr() {
 }
 
 #[test]
+fn essential_out_writes_canonical_json() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("illinois-essential.json");
+    let o = ccv(&[
+        "verify",
+        "illinois",
+        "--essential-out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    assert!(stdout(&o).contains("essential states written to"));
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let json = ccv_observe::Json::parse(&text).expect("essential dump is valid JSON");
+    assert_eq!(
+        json.get("schema").and_then(|s| s.as_str()),
+        Some("ccv-essential-states-v1")
+    );
+    assert_eq!(
+        json.get("protocol").and_then(|s| s.as_str()),
+        Some("Illinois")
+    );
+    assert_eq!(
+        json.get("pruning").and_then(|s| s.as_str()),
+        Some("containment")
+    );
+    assert_eq!(json.get("count").and_then(|c| c.as_u64()), Some(5));
+
+    let entries = json
+        .get("essential")
+        .and_then(|e| e.as_arr())
+        .expect("essential array")
+        .to_vec();
+    assert_eq!(entries.len(), 5);
+    // Canonical ordering: entries sorted by their paper-notation render.
+    let rendered: Vec<&str> = entries
+        .iter()
+        .map(|e| {
+            e.get("rendered")
+                .and_then(|r| r.as_str())
+                .expect("rendered")
+        })
+        .collect();
+    let mut sorted = rendered.clone();
+    sorted.sort();
+    assert_eq!(rendered, sorted, "entries must be sorted by rendering");
+    assert!(rendered.contains(&"(Shared+, Inv*)"), "{rendered:?}");
+
+    // Stable output: a second run produces byte-identical JSON.
+    let path2 = dir.join("illinois-essential-2.json");
+    let o = ccv(&[
+        "verify",
+        "illinois",
+        "--essential-out",
+        path2.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0));
+    assert_eq!(text, std::fs::read_to_string(&path2).unwrap());
+}
+
+#[test]
+fn essential_out_respects_equality_pruning() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("msi-essential-eq.json");
+    let o = ccv(&[
+        "verify",
+        "msi",
+        "--equality",
+        "--essential-out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    let json = ccv_observe::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(
+        json.get("pruning").and_then(|s| s.as_str()),
+        Some("equality")
+    );
+    let count = json.get("count").and_then(|c| c.as_u64()).unwrap();
+    let entries = json.get("essential").and_then(|e| e.as_arr()).unwrap();
+    assert_eq!(entries.len() as u64, count);
+}
+
+#[test]
 fn dot_file_is_written() {
     let dir = std::env::temp_dir().join("ccv-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -16,7 +16,7 @@
 //! never inhabit.
 
 use crate::composite::Composite;
-use crate::engine::Options;
+use crate::engine::{expand_with, EngineScratch, Options};
 use crate::expand::Label;
 use crate::graph::global_graph;
 use ccv_model::{CData, ProcEvent, ProtocolSpec, StateAttrs, StateId};
@@ -169,9 +169,13 @@ impl DiffReport {
     }
 }
 
-/// Builds the signature sets of one protocol's global diagram.
-fn diagram_signatures(spec: &ProtocolSpec) -> (Vec<(String, String)>, Vec<String>) {
-    let expansion = crate::engine::expand(spec, &Options::default());
+/// Builds the signature sets of one protocol's global diagram. The
+/// two diagrams of a comparison share one engine scratch.
+fn diagram_signatures(
+    spec: &ProtocolSpec,
+    scratch: &mut EngineScratch,
+) -> (Vec<(String, String)>, Vec<String>) {
+    let expansion = expand_with(spec, Composite::initial(spec), &Options::default(), scratch);
     let graph = global_graph(spec, &expansion);
     let states: Vec<(String, String)> = graph
         .states
@@ -198,6 +202,9 @@ fn diagram_signatures(spec: &ProtocolSpec) -> (Vec<(String, String)>, Vec<String
             }
         }
     }
+    // The expansion itself is no longer needed: return its arena to
+    // the scratch pool for the next diagram.
+    scratch.recycle(expansion);
     (states, edges)
 }
 
@@ -217,8 +224,9 @@ fn diagram_signatures(spec: &ProtocolSpec) -> (Vec<(String, String)>, Vec<String
 /// assert!(!d.skeletons_identical());
 /// ```
 pub fn compare_protocols(a: &ProtocolSpec, b: &ProtocolSpec) -> DiffReport {
-    let (states_a, edges_a) = diagram_signatures(a);
-    let (states_b, edges_b) = diagram_signatures(b);
+    let mut scratch = EngineScratch::new();
+    let (states_a, edges_a) = diagram_signatures(a, &mut scratch);
+    let (states_b, edges_b) = diagram_signatures(b, &mut scratch);
 
     let sigs_a: Vec<&String> = states_a.iter().map(|(_, s)| s).collect();
     let sigs_b: Vec<&String> = states_b.iter().map(|(_, s)| s).collect();

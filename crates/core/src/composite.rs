@@ -18,8 +18,19 @@
 
 use crate::fval::FVal;
 use crate::rep::Rep;
+use crate::small::InlineVec;
 use ccv_model::{CData, MData, ProtocolSpec, StateId};
 use core::fmt;
+
+/// Number of class slots stored inline in a [`Composite`] before
+/// spilling to the heap. A composite of a protocol with `v` valid
+/// states holds at most `2v + 1` classes (fresh + obsolete per valid
+/// state, plus the invalid class); the richest shipped protocols
+/// (Dragon, MOESI) have five valid states, so 12 inline slots cover
+/// every realistic spec without allocating.
+pub const MAX_INLINE_CLASSES: usize = 12;
+
+pub(crate) type ClassVec = InlineVec<(ClassKey, Rep), MAX_INLINE_CLASSES>;
 
 /// The identity of a cache-state class: protocol state plus the
 /// per-class data-freshness context variable.
@@ -56,6 +67,39 @@ impl ClassKey {
             cdata: CData::NoData,
         }
     }
+
+    /// Dense class-slot id, mirroring `ProtocolSpec::class_slot`:
+    /// `state.index() * |CData| + cdata.index()`.
+    #[inline]
+    pub fn slot(self) -> usize {
+        self.state.index() * CData::ALL.len() + self.cdata.index()
+    }
+}
+
+impl Default for ClassKey {
+    /// The invalid class — a neutral filler value for inline buffers.
+    fn default() -> ClassKey {
+        ClassKey::invalid()
+    }
+}
+
+/// Compressed structural signature of a composite's class support, used
+/// by the containment index to reject non-candidates without touching
+/// the class vectors.
+///
+/// Bit `slot % 64` of `support` is set for every present class and bit
+/// `slot % 64` of `nonstar` for every class whose operator does not
+/// admit zero (`1` or `+`). Because signatures are unions of per-class
+/// bits, set inclusion implies mask inclusion even when slots collide
+/// modulo 64, so mask tests are a sound (never excluding) prefilter for
+/// the two containment directions; the full `contained_in` check
+/// confirms every candidate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ClassSig {
+    /// One bit per present class (operator `1`, `+` or `*`).
+    pub support: u64,
+    /// One bit per class that certainly holds at least one cache.
+    pub nonstar: u64,
 }
 
 /// A canonical augmented composite state.
@@ -66,7 +110,7 @@ impl ClassKey {
 /// * the invalid state's class always has `cdata == NoData`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Composite {
-    classes: Vec<(ClassKey, Rep)>,
+    classes: ClassVec,
     /// Freshness of the memory copy (the paper's `mdata`).
     pub mdata: MData,
     /// Summarised characteristic-function value.
@@ -81,18 +125,58 @@ impl Composite {
     /// # Panics
     /// Panics if the same key appears twice, or if an invalid-state
     /// class carries data.
-    pub fn new(mut classes: Vec<(ClassKey, Rep)>, mdata: MData, f: FVal) -> Composite {
-        classes.retain(|&(_, r)| r != Rep::Zero);
-        classes.sort_by_key(|&(k, _)| k);
-        for w in classes.windows(2) {
+    pub fn new(classes: Vec<(ClassKey, Rep)>, mdata: MData, f: FVal) -> Composite {
+        let mut cv = ClassVec::new();
+        for &(k, r) in &classes {
+            if r != Rep::Zero {
+                cv.push((k, r));
+            }
+        }
+        cv.sort_unstable_by_key(|&(k, _)| k);
+        for w in cv.windows(2) {
             assert!(w[0].0 != w[1].0, "duplicate class key {:?}", w[0].0);
         }
-        for &(k, _) in &classes {
+        for &(k, _) in &cv {
             if k.state.is_invalid() {
                 assert_eq!(k.cdata, CData::NoData, "invalid class must carry NoData");
             }
         }
+        Composite {
+            classes: cv,
+            mdata,
+            f,
+        }
+    }
+
+    /// Builds a composite from classes that are already canonical
+    /// (sorted by key, unique, no [`Rep::Zero`]) — the allocation-free
+    /// construction used by the emit hot path.
+    pub(crate) fn from_parts(classes: ClassVec, mdata: MData, f: FVal) -> Composite {
+        debug_assert!(classes.windows(2).all(|w| w[0].0 < w[1].0), "not canonical");
+        debug_assert!(classes.iter().all(|&(_, r)| r != Rep::Zero));
+        debug_assert!(classes
+            .iter()
+            .all(|&(k, _)| !k.state.is_invalid() || k.cdata == CData::NoData));
         Composite { classes, mdata, f }
+    }
+
+    /// The structural support signature used by the containment index.
+    pub fn signature(&self) -> ClassSig {
+        let mut sig = ClassSig::default();
+        for &(k, r) in &self.classes {
+            let bit = 1u64 << (k.slot() % 64);
+            sig.support |= bit;
+            if r != Rep::Star {
+                sig.nonstar |= bit;
+            }
+        }
+        sig
+    }
+
+    /// Heap bytes held by this composite beyond its inline size (`0`
+    /// for every realistic protocol — classes fit inline).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.classes.heap_capacity() * core::mem::size_of::<(ClassKey, Rep)>()
     }
 
     /// The initial state of the expansion: every cache invalid

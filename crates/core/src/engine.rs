@@ -2,13 +2,13 @@
 //!
 //! Maintains a working list `W` of unexpanded composite states and a
 //! history `H` of expanded ones. Each popped state is expanded through
-//! [`crate::expand::successors`]; a successor contained in a surviving
-//! state (Definition 9) is discarded, and surviving states contained in
-//! a new successor are pruned — justified by the monotonicity of the
-//! expansion operator (Lemmas 1–2, Corollaries 1–2). At fixpoint the
-//! surviving states are the **essential states** (Definition 10), which
-//! symbolically characterise the entire reachable state space
-//! (Theorem 1).
+//! [`crate::expand::successors_into`]; a successor contained in a
+//! surviving state (Definition 9) is discarded, and surviving states
+//! contained in a new successor are pruned — justified by the
+//! monotonicity of the expansion operator (Lemmas 1–2, Corollaries
+//! 1–2). At fixpoint the surviving states are the **essential states**
+//! (Definition 10), which symbolically characterise the entire
+//! reachable state space (Theorem 1).
 //!
 //! Differences from the paper's pseudo-code, none affecting the result:
 //!
@@ -20,14 +20,28 @@
 //!   links, so that error reports carry a concrete counterexample path
 //!   even when intermediate states were later pruned.
 //!
+//! Composite states are hash-consed in a [`CompositeArena`]; nodes,
+//! trace entries and the containment machinery move copyable
+//! [`CompositeId`]s. Both containment directions go through the
+//! [`ContainmentIndex`], which buckets live nodes by `(FVal, MData)`
+//! and prefilters by class-support signature — bit-identical to the
+//! former linear scans (see `index.rs` for the argument) but probing
+//! only structurally comparable candidates. Scratch buffers
+//! ([`EngineScratch`]) persist across runs, so batch workloads expand
+//! without steady-state allocation.
+//!
 //! The engine also supports **equality pruning** (discard only exact
 //! duplicates) as an ablation mode: it corresponds to running the
 //! symbolic representation with the counting equivalence of
 //! Definition 5 alone, and demonstrates what containment pruning buys.
+//! Under interning, equality pruning is an id lookup in the intern
+//! table.
 
 use crate::check::{check, Violation};
 use crate::composite::Composite;
-use crate::expand::{successors, Label, StepError, Transition};
+use crate::expand::{successors_into, ExpandScratch, Label, StepError, Transition};
+use crate::index::ContainmentIndex;
+use crate::intern::{CompositeArena, CompositeId};
 use ccv_model::ProtocolSpec;
 use ccv_observe::{CommonOptions, Counter, Gauge, Phase, RuleStat, SpanKind, Track};
 use std::collections::VecDeque;
@@ -125,8 +139,9 @@ pub struct NodeId(pub usize);
 /// A discovered composite state with provenance.
 #[derive(Clone, Debug)]
 pub struct Node {
-    /// The canonical state.
-    pub state: Composite,
+    /// The canonical state, interned in the expansion's
+    /// [`CompositeArena`] (resolve with [`Expansion::composite`]).
+    pub state: CompositeId,
     /// How the state was first reached (`None` for the initial state).
     pub parent: Option<(NodeId, Label)>,
     /// State-level violations (structural contradictions, readable
@@ -166,7 +181,8 @@ pub struct ErrorFinding {
     /// State-level violations of the node.
     pub violations: Vec<Violation>,
     /// Transition-level stale accesses observed on the step *into* the
-    /// node.
+    /// node, materialised from the transition's error mask when the
+    /// finding is recorded.
     pub step_errors: Vec<StepError>,
 }
 
@@ -175,6 +191,8 @@ pub struct ErrorFinding {
 pub struct Expansion {
     /// Append-only arena of every state ever admitted.
     pub nodes: Vec<Node>,
+    /// Hash-consed storage behind the nodes' [`CompositeId`]s.
+    pub arena: CompositeArena,
     /// The essential states (surviving history) at fixpoint.
     pub essential: Vec<NodeId>,
     /// Number of rule firings — one per (source state, transition
@@ -203,11 +221,16 @@ impl Expansion {
         self.errors.is_empty() && !self.truncated
     }
 
+    /// The composite state of arena node `id`.
+    pub fn composite(&self, id: NodeId) -> &Composite {
+        self.arena.get(self.nodes[id.0].state)
+    }
+
     /// The essential composite states, in discovery order.
     pub fn essential_states(&self) -> Vec<&Composite> {
         self.essential
             .iter()
-            .map(|&id| &self.nodes[id.0].state)
+            .map(|&id| self.composite(id))
             .collect()
     }
 
@@ -232,9 +255,39 @@ impl Expansion {
             if let Some(l) = label {
                 s.push_str(&format!(" --{}--> ", l.render(spec)));
             }
-            s.push_str(&self.nodes[node.0].state.render_full(spec));
+            s.push_str(&self.composite(node).render_full(spec));
         }
         s
+    }
+}
+
+/// Reusable engine state: successor scratch, the containment index, and
+/// a recycled arena. One scratch serves any number of sequential runs
+/// (the batch layer threads it through [`expand_with`]), and after the
+/// first run the engine's steady state allocates nothing per step.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    expand: ExpandScratch,
+    succ: Vec<Transition>,
+    fired: Vec<Label>,
+    index: ContainmentIndex,
+    arena_pool: Option<CompositeArena>,
+}
+
+impl EngineScratch {
+    /// Fresh (empty) engine scratch.
+    pub fn new() -> EngineScratch {
+        EngineScratch::default()
+    }
+
+    /// Returns a finished expansion's arena storage to the pool, so the
+    /// next run through this scratch interns without reallocating. Use
+    /// when the expansion's states are no longer needed (summary-only
+    /// batch runs).
+    pub fn recycle(&mut self, expansion: Expansion) {
+        let mut arena = expansion.arena;
+        arena.clear();
+        self.arena_pool = Some(arena);
     }
 }
 
@@ -246,6 +299,17 @@ pub fn expand(spec: &ProtocolSpec, opts: &Options) -> Expansion {
 
 /// Runs the worklist from an explicit initial composite state.
 pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> Expansion {
+    expand_with(spec, initial, opts, &mut EngineScratch::new())
+}
+
+/// Runs the worklist from an explicit initial state through
+/// caller-owned [`EngineScratch`] — the batch entry point.
+pub fn expand_with(
+    spec: &ProtocolSpec,
+    initial: Composite,
+    opts: &Options,
+    scratch: &mut EngineScratch,
+) -> Expansion {
     let sink = &opts.common.sink;
     // The sink's enabled state is queried once: per-iteration checks
     // would re-poll every tee'd sink inside the hot loop.
@@ -258,6 +322,16 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
     } else {
         Vec::new()
     };
+    let EngineScratch {
+        expand: exp_scratch,
+        succ,
+        fired,
+        index,
+        arena_pool,
+    } = scratch;
+    let mut arena = arena_pool.take().unwrap_or_default();
+    arena.clear();
+    index.clear();
     let mut nodes: Vec<Node> = Vec::new();
     let mut work: VecDeque<NodeId> = VecDeque::new();
     let mut history: Vec<NodeId> = Vec::new();
@@ -267,20 +341,24 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
     let mut successors_generated = 0usize;
     let mut expanded = 0usize;
     let mut truncated = false;
-    // Pairwise containment tests, accumulated locally and reported in
-    // one count at the end — the query loops are the engine's hot path.
+    // Full pairwise containment evaluations and index candidate probes,
+    // accumulated locally and reported in one count at the end — the
+    // query paths are the engine's hot path.
     let mut containment_checks = 0u64;
+    let mut index_probes = 0u64;
     let mut prunes = 0u64;
 
     sink.phase_enter(Phase::Expand);
 
     let init_violations = check(spec, &initial);
+    let init_id = arena.intern(&initial);
     nodes.push(Node {
-        state: initial,
+        state: init_id,
         parent: None,
         violations: init_violations.clone(),
         pruned: false,
     });
+    index.insert(NodeId(0), init_id, &initial);
     if !init_violations.is_empty() {
         errors.push(ErrorFinding {
             node: NodeId(0),
@@ -291,11 +369,6 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
         sink.violation("initial composite state violates coherence");
     }
     work.push_back(NodeId(0));
-
-    let contained = |a: &Composite, b: &Composite, pruning: Pruning| match pruning {
-        Pruning::Containment => a.contained_in(b),
-        Pruning::Equality => a == b,
-    };
 
     sink.span_begin(SpanKind::WorkerBusy, 0);
     'outer: while let Some(current) = work.pop_front() {
@@ -308,12 +381,12 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
             sink.sample(Track::Pending, work.len() as u64);
             sink.sample(Track::Visited, nodes.len() as u64);
         }
-        let current_state = nodes[current.0].state.clone();
-        let succs: Vec<Transition> = successors(spec, &current_state);
+        let current_state = arena.get(nodes[current.0].state).clone();
+        successors_into(spec, &current_state, exp_scratch, succ);
         // One visit per rule firing: the successor categories of a
         // split firing share their label within this expansion.
-        let mut fired: Vec<crate::expand::Label> = Vec::new();
-        for t in succs {
+        fired.clear();
+        for t in succ.iter() {
             successors_generated += 1;
             let rid = spec.rule_id(t.label.origin.state, t.label.event);
             if !fired.contains(&t.label) {
@@ -334,16 +407,17 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
             }
 
             // Is the successor contained in a surviving state? The
-            // containment scans dominate the engine's cost, so they
+            // containment queries dominate the engine's cost, so they
             // are what per-rule wall time attributes.
+            let tid = arena.intern(&t.to);
             let scan_start = rules_on.then(Instant::now);
-            let container_exists = nodes.iter().any(|n| {
-                if n.pruned {
-                    return false;
-                }
-                containment_checks += 1;
-                contained(&t.to, &n.state, opts.pruning)
-            });
+            let container_exists = index.find_container(
+                &arena,
+                tid,
+                opts.pruning,
+                &mut containment_checks,
+                &mut index_probes,
+            );
             if let Some(start) = scan_start {
                 rule_stats[rid].nanos += start.elapsed().as_nanos() as u64;
             }
@@ -378,7 +452,7 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
                         rule_stats[rid].violations += 1;
                     }
                     nodes.push(Node {
-                        state: t.to,
+                        state: tid,
                         parent: Some((current, t.label)),
                         violations: violations.clone(),
                         pruned: true, // not part of the frontier
@@ -386,7 +460,7 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
                     errors.push(ErrorFinding {
                         node: id,
                         violations,
-                        step_errors: t.errors,
+                        step_errors: t.errors.to_vec(),
                     });
                     sink.count(Counter::Errors, 1);
                     if opts.common.stop_at_first_error {
@@ -400,24 +474,27 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
             let id = NodeId(nodes.len());
             let violations = check(spec, &t.to);
             let scan_start = rules_on.then(Instant::now);
-            for n in nodes.iter_mut() {
-                if !n.pruned {
-                    containment_checks += 1;
-                    if contained(&n.state, &t.to, opts.pruning) {
-                        n.pruned = true;
-                        prunes += 1;
-                    }
-                }
-            }
+            index.prune_covered(
+                &arena,
+                tid,
+                opts.pruning,
+                &mut containment_checks,
+                &mut index_probes,
+                |displaced| {
+                    nodes[displaced.0].pruned = true;
+                    prunes += 1;
+                },
+            );
             if let Some(start) = scan_start {
                 rule_stats[rid].nanos += start.elapsed().as_nanos() as u64;
             }
             nodes.push(Node {
-                state: t.to,
+                state: tid,
                 parent: Some((current, t.label)),
                 violations: violations.clone(),
                 pruned: false,
             });
+            index.insert(id, tid, &t.to);
             if !violations.is_empty() || !t.errors.is_empty() {
                 if events {
                     sink.violation(&format!(
@@ -431,7 +508,7 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
                 errors.push(ErrorFinding {
                     node: id,
                     violations,
-                    step_errors: t.errors,
+                    step_errors: t.errors.to_vec(),
                 });
                 sink.count(Counter::Errors, 1);
                 if opts.common.stop_at_first_error {
@@ -453,8 +530,11 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
         .collect();
 
     sink.count(Counter::ContainmentChecks, containment_checks);
+    sink.count(Counter::IndexProbes, index_probes);
+    sink.count(Counter::InternHits, arena.hits());
     sink.count(Counter::Prunes, prunes);
     sink.gauge(Gauge::EssentialStates, essential.len() as u64);
+    sink.gauge(Gauge::ArenaBytes, arena.approx_bytes() as u64);
     if rules_on {
         for (rid, stat) in rule_stats.iter().enumerate() {
             if stat.firings > 0 || stat.states > 0 {
@@ -473,6 +553,7 @@ pub fn expand_from(spec: &ProtocolSpec, initial: Composite, opts: &Options) -> E
 
     Expansion {
         nodes,
+        arena,
         essential,
         visits,
         successors: successors_generated,
@@ -564,10 +645,10 @@ mod tests {
         // covered by some equality-reached state.
         for ess in contained.essential_states() {
             assert!(
-                equality
-                    .nodes
-                    .iter()
-                    .any(|n| ess.covered_by(&n.state) || n.state.covered_by(ess)),
+                equality.nodes.iter().any(|n| {
+                    let s = equality.arena.get(n.state);
+                    ess.covered_by(s) || s.covered_by(ess)
+                }),
                 "family {ess:?} lost under equality pruning"
             );
         }
@@ -589,6 +670,41 @@ mod tests {
         let path = exp.path_to(NodeId(0));
         assert_eq!(path.len(), 1);
         assert!(path[0].0.is_none());
+    }
+
+    #[test]
+    fn scratch_reuse_across_runs_is_equivalent() {
+        // The same EngineScratch must serve consecutive runs — of
+        // different protocols — without contaminating results.
+        let mut scratch = EngineScratch::new();
+        let opts = Options::default();
+        let ill = illinois();
+        let fresh_ill = expand(&ill, &opts);
+        let warm1 = expand_with(&ill, Composite::initial(&ill), &opts, &mut scratch);
+        assert_eq!(warm1.visits, fresh_ill.visits);
+        scratch.recycle(warm1);
+        let m = msi();
+        let fresh_msi = expand(&m, &opts);
+        let warm2 = expand_with(&m, Composite::initial(&m), &opts, &mut scratch);
+        assert_eq!(warm2.visits, fresh_msi.visits);
+        assert_eq!(
+            warm2.essential_states().len(),
+            fresh_msi.essential_states().len()
+        );
+        scratch.recycle(warm2);
+        let warm3 = expand_with(&ill, Composite::initial(&ill), &opts, &mut scratch);
+        assert_eq!(warm3.visits, fresh_ill.visits);
+        let a: Vec<String> = warm3
+            .essential_states()
+            .iter()
+            .map(|c| c.render(&ill))
+            .collect();
+        let b: Vec<String> = fresh_ill
+            .essential_states()
+            .iter()
+            .map(|c| c.render(&ill))
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -629,6 +745,25 @@ mod tests {
         let exp = expand(&spec, &Options::default().sink(metrics.clone() as Arc<_>));
         assert!(exp.is_clean());
         assert!(metrics.snapshot().rules.is_empty());
+    }
+
+    #[test]
+    fn intern_and_index_counters_are_reported() {
+        use ccv_observe::Metrics;
+        use std::sync::Arc;
+
+        let spec = illinois();
+        let metrics = Arc::new(Metrics::new());
+        let exp = expand(&spec, &Options::default().sink(metrics.clone() as Arc<_>));
+        assert!(exp.is_clean());
+        let snap = metrics.snapshot();
+        assert!(
+            snap.counter(Counter::InternHits) > 0,
+            "duplicate successors must hash-cons"
+        );
+        assert!(snap.counter(Counter::ContainmentChecks) > 0);
+        assert_eq!(snap.gauge(Gauge::EssentialStates), Some(5));
+        assert!(snap.gauge(Gauge::ArenaBytes).unwrap_or(0) > 0);
     }
 
     #[test]

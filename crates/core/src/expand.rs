@@ -21,11 +21,18 @@
 //! whether an owner exists, whether a flush precedes the fill) become
 //! explicit **branches**: each branch conditions the relevant class
 //! nonempty/empty and yields its own successor family. Data-consistency
-//! bookkeeping (Definitions 3–4) is threaded through every branch and
-//! stale accesses are reported as [`StepError`]s.
+//! bookkeeping (Definitions 3–4) is threaded through every branch;
+//! stale accesses are recorded in a copyable [`StepErrors`] mask and
+//! materialised into [`StepError`] values only when a violation is
+//! actually reported.
+//!
+//! The hot entry point is [`successors_into`], which writes transitions
+//! into a caller-owned buffer and keeps every intermediate branch list
+//! in a reusable [`ExpandScratch`], so steady-state expansion performs
+//! no allocation. [`successors`] is the allocating convenience wrapper.
 
 use crate::composite::{ClassKey, Composite};
-use crate::istate::{emit, internalize, IState};
+use crate::istate::{emit_into, internalize_into, IState, KeyList};
 use ccv_model::{CData, DataOp, GlobalCtx, MData, Outcome, ProcEvent, ProtocolSpec, StateId};
 use core::fmt;
 
@@ -81,6 +88,71 @@ impl fmt::Display for StepError {
     }
 }
 
+/// A packed set of [`StepError`]s for one transition.
+///
+/// Almost every transition is error-free, so the error set travels as a
+/// `Copy` bitmask and [`StepError`] values are materialised (via
+/// [`StepErrors::iter`]/[`StepErrors::to_vec`]) only when a violation
+/// is reported — the symbolic mirror of the enumerative engine's
+/// `ErrorMask`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct StepErrors(u8);
+
+impl StepErrors {
+    /// The empty set.
+    pub const EMPTY: StepErrors = StepErrors(0);
+
+    #[inline]
+    fn bit(err: StepError) -> u8 {
+        match err {
+            StepError::StaleReadHit => 1,
+            StepError::StaleFill => 2,
+        }
+    }
+
+    /// Adds `err` to the set.
+    #[inline]
+    pub fn insert(&mut self, err: StepError) {
+        self.0 |= Self::bit(err);
+    }
+
+    /// True iff `err` is in the set.
+    #[inline]
+    pub fn contains(self, err: StepError) -> bool {
+        self.0 & Self::bit(err) != 0
+    }
+
+    /// True iff no error has been recorded.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of recorded errors.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the recorded errors in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = StepError> {
+        [StepError::StaleReadHit, StepError::StaleFill]
+            .into_iter()
+            .filter(move |&e| self.contains(e))
+    }
+
+    /// Materialises the set into owned [`StepError`] values.
+    pub fn to_vec(self) -> Vec<StepError> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for StepErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
 /// One symbolic successor: the transition label, the canonical
 /// successor state, and any data errors observed *during* the step.
 #[derive(Clone, Debug)]
@@ -90,7 +162,7 @@ pub struct Transition {
     /// Where the system family went.
     pub to: Composite,
     /// Stale accesses observed while applying the step.
-    pub errors: Vec<StepError>,
+    pub errors: StepErrors,
 }
 
 /// A resolved data-movement scenario: the refined rest-of-system (with
@@ -102,12 +174,92 @@ struct DataBranch {
     fill_cd: Option<CData>,
 }
 
-/// Computes every one-step symbolic successor of `comp`.
+/// Reusable intermediate buffers for [`successors_into`]. One scratch
+/// per engine: after the first few expansion steps every buffer has
+/// reached its high-water capacity and successor generation allocates
+/// nothing.
+#[derive(Debug, Default)]
+pub struct ExpandScratch {
+    pre: Vec<IState>,
+    sharing: Vec<(bool, IState)>,
+    ctx: Vec<(GlobalCtx, IState)>,
+    flush: Vec<IState>,
+    data: Vec<DataBranch>,
+    cats: Vec<IState>,
+    emit: Vec<Composite>,
+}
+
+impl ExpandScratch {
+    /// Fresh (empty) scratch buffers.
+    pub fn new() -> ExpandScratch {
+        ExpandScratch::default()
+    }
+}
+
+/// Computes every one-step symbolic successor of `comp`, writing them
+/// into `out` (cleared first).
 ///
 /// Every `(internalisation branch, originator class, event, context
 /// branch, data branch, emission category)` combination yields one
 /// [`Transition`]; the caller (the worklist engine) counts these as
 /// *state visits* in the sense of §3.1.
+pub fn successors_into(
+    spec: &ProtocolSpec,
+    comp: &Composite,
+    scratch: &mut ExpandScratch,
+    out: &mut Vec<Transition>,
+) {
+    out.clear();
+    let ExpandScratch {
+        pre,
+        sharing,
+        ctx,
+        flush,
+        data,
+        cats,
+        emit,
+    } = scratch;
+    internalize_into(spec, comp, pre);
+    for pre_branch in pre.iter() {
+        for ci in 0..pre_branch.classes().len() {
+            let (key, iv) = pre_branch.classes()[ci];
+            for event in ProcEvent::ALL {
+                // A replacement of an absent block is not a transition.
+                if key.state.is_invalid() && event == ProcEvent::Replace {
+                    continue;
+                }
+                let Some(orig_iv) = iv.condition_nonempty() else {
+                    continue;
+                };
+                let mut rest = pre_branch.clone();
+                rest.set(key, orig_iv.minus_one());
+                context_branches_into(spec, &rest, key, event, sharing, ctx);
+                for &(gctx, ref rest_ctx) in ctx.iter() {
+                    let outc = spec.outcome(key.state, event, gctx);
+                    let label = Label {
+                        origin: key,
+                        event,
+                        ctx: gctx,
+                    };
+                    data_branches_into(spec, rest_ctx, &outc, flush, data);
+                    for branch in data.iter() {
+                        let (succ, errors) = apply(spec, branch, &outc, key);
+                        emit_into(spec, &succ, cats, emit);
+                        for canonical in emit.iter() {
+                            out.push(Transition {
+                                label,
+                                to: canonical.clone(),
+                                errors,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Allocating wrapper around [`successors_into`].
 ///
 /// ```
 /// use ccv_core::{successors, Composite};
@@ -122,83 +274,55 @@ struct DataBranch {
 /// assert!(succ.iter().all(|t| t.errors.is_empty()));
 /// ```
 pub fn successors(spec: &ProtocolSpec, comp: &Composite) -> Vec<Transition> {
+    let mut scratch = ExpandScratch::new();
     let mut out = Vec::new();
-    for pre in internalize(spec, comp) {
-        let classes: Vec<(ClassKey, _)> = pre.classes().to_vec();
-        for &(key, iv) in &classes {
-            for event in ProcEvent::ALL {
-                // A replacement of an absent block is not a transition.
-                if key.state.is_invalid() && event == ProcEvent::Replace {
-                    continue;
-                }
-                let Some(orig_iv) = iv.condition_nonempty() else {
-                    continue;
-                };
-                let mut rest = pre.clone();
-                rest.set(key, orig_iv.minus_one());
-                for (ctx, rest_ctx) in context_branches(spec, &rest, key, event) {
-                    let outc = spec.outcome(key.state, event, ctx);
-                    let label = Label {
-                        origin: key,
-                        event,
-                        ctx,
-                    };
-                    for br in data_branches(spec, &rest_ctx, &outc) {
-                        let (succ, errors) = apply(spec, br, &outc, key);
-                        for canonical in emit(spec, &succ) {
-                            out.push(Transition {
-                                label,
-                                to: canonical,
-                                errors: errors.clone(),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
+    successors_into(spec, comp, &mut scratch, &mut out);
     out
 }
 
 /// Evaluates the characteristic predicates over the rest of the system,
 /// branching when a predicate is ambiguous *and* the protocol's outcome
-/// actually depends on it.
-fn context_branches(
+/// actually depends on it. Writes into `out` (cleared first); `sharing`
+/// is scratch space for the intermediate sharing-predicate branches.
+fn context_branches_into(
     spec: &ProtocolSpec,
     rest: &IState,
     origin: ClassKey,
     event: ProcEvent,
-) -> Vec<(GlobalCtx, IState)> {
+    sharing: &mut Vec<(bool, IState)>,
+    out: &mut Vec<(GlobalCtx, IState)>,
+) {
+    sharing.clear();
+    out.clear();
     let alone = spec.outcome(origin.state, event, GlobalCtx::ALONE);
     let shared = spec.outcome(origin.state, event, GlobalCtx::SHARED_CLEAN);
     let owned = spec.outcome(origin.state, event, GlobalCtx::OWNED_ELSEWHERE);
 
     // Resolve the sharing predicate.
     let (lo, unbounded) = rest.total_valid(spec);
-    let mut sharing_branches: Vec<(bool, IState)> = Vec::new();
     if lo >= 1 {
-        sharing_branches.push((true, rest.clone()));
+        sharing.push((true, rest.clone()));
     } else if !unbounded {
-        sharing_branches.push((false, rest.clone()));
+        sharing.push((false, rest.clone()));
     } else if alone == shared && alone == owned {
         // Ambiguous but irrelevant: any context selects the same
         // outcome. (For sharing-detection protocols internalisation
         // makes the predicate exact, so this arm only serves
         // null-characteristic protocols, where it is irrelevant by
         // construction.)
-        sharing_branches.push((true, rest.clone()));
+        sharing.push((true, rest.clone()));
     } else {
         // Ambiguous and relevant: branch explicitly.
-        let valid: Vec<ClassKey> = rest
-            .classes()
-            .iter()
-            .filter(|&&(k, _)| spec.attrs(k.state).holds_copy)
-            .map(|&(k, _)| k)
-            .collect();
+        let mut valid = KeyList::new();
+        for &(k, _) in rest.classes() {
+            if spec.attrs(k.state).holds_copy {
+                valid.push(k);
+            }
+        }
         let mut empty = rest.clone();
         let mut feasible = true;
-        for k in &valid {
-            match empty.condition_empty(*k) {
+        for &k in &valid {
+            match empty.condition_empty(k) {
                 Some(next) => empty = next,
                 None => {
                     feasible = false;
@@ -207,28 +331,27 @@ fn context_branches(
             }
         }
         if feasible {
-            sharing_branches.push((false, empty));
+            sharing.push((false, empty));
         }
-        for k in &valid {
-            if let Some(s) = rest.condition_nonempty(*k) {
-                sharing_branches.push((true, s));
+        for &k in &valid {
+            if let Some(s) = rest.condition_nonempty(k) {
+                sharing.push((true, s));
             }
         }
     }
 
     // Resolve the ownership predicate within each sharing branch.
-    let mut out = Vec::new();
-    for (others, state) in sharing_branches {
+    for (others, state) in sharing.drain(..) {
         if !others {
             out.push((GlobalCtx::ALONE, state));
             continue;
         }
-        let owners: Vec<ClassKey> = state
-            .classes()
-            .iter()
-            .filter(|&&(k, _)| spec.attrs(k.state).owned)
-            .map(|&(k, _)| k)
-            .collect();
+        let mut owners = KeyList::new();
+        for &(k, _) in state.classes() {
+            if spec.attrs(k.state).owned {
+                owners.push(k);
+            }
+        }
         let definite = owners.iter().any(|&k| state.get(k).certainly_nonempty());
         let possible = !owners.is_empty();
         if definite {
@@ -240,8 +363,8 @@ fn context_branches(
             // Ambiguous and relevant: branch.
             let mut none = state.clone();
             let mut feasible = true;
-            for k in &owners {
-                match none.condition_empty(*k) {
+            for &k in &owners {
+                match none.condition_empty(k) {
                     Some(next) => none = next,
                     None => {
                         feasible = false;
@@ -252,43 +375,50 @@ fn context_branches(
             if feasible {
                 out.push((GlobalCtx::SHARED_CLEAN, none));
             }
-            for k in &owners {
-                if let Some(s) = state.condition_nonempty(*k) {
+            for &k in &owners {
+                if let Some(s) = state.condition_nonempty(k) {
                     out.push((GlobalCtx::OWNED_ELSEWHERE, s));
                 }
             }
         }
     }
-    out
 }
 
 /// Enumerates the data-movement scenarios of a transition: which class
 /// (if any) flushes to memory, and which class (or memory) supplies a
 /// fill. Each scenario conditions the involved classes and carries the
 /// memory freshness forward (flushes happen before the fill reads
-/// memory — the atomic-transaction assumption of §2.4).
-fn data_branches(spec: &ProtocolSpec, rest: &IState, outc: &Outcome) -> Vec<DataBranch> {
+/// memory — the atomic-transaction assumption of §2.4). Writes into
+/// `out` (cleared first); `flush` is scratch space for the flush
+/// scenarios.
+fn data_branches_into(
+    spec: &ProtocolSpec,
+    rest: &IState,
+    outc: &Outcome,
+    flush: &mut Vec<IState>,
+    out: &mut Vec<DataBranch>,
+) {
+    flush.clear();
+    out.clear();
+
     // Step 1: flush scenarios.
-    let mut flush_states: Vec<IState> = Vec::new();
     match outc.bus {
-        None => flush_states.push(rest.clone()),
+        None => flush.push(rest.clone()),
         Some(bus) => {
-            let flushers: Vec<ClassKey> = rest
-                .classes()
-                .iter()
-                .filter(|&&(k, _)| {
-                    spec.attrs(k.state).holds_copy && spec.snoop(k.state, bus).flushes_to_memory
-                })
-                .map(|&(k, _)| k)
-                .collect();
+            let mut flushers = KeyList::new();
+            for &(k, _) in rest.classes() {
+                if spec.attrs(k.state).holds_copy && spec.snoop(k.state, bus).flushes_to_memory {
+                    flushers.push(k);
+                }
+            }
             if flushers.is_empty() {
-                flush_states.push(rest.clone());
+                flush.push(rest.clone());
             } else {
                 // No-flush scenario: every flusher class is empty.
                 let mut none = rest.clone();
                 let mut feasible = true;
-                for k in &flushers {
-                    match none.condition_empty(*k) {
+                for &k in &flushers {
+                    match none.condition_empty(k) {
                         Some(next) => none = next,
                         None => {
                             feasible = false;
@@ -297,17 +427,17 @@ fn data_branches(spec: &ProtocolSpec, rest: &IState, outc: &Outcome) -> Vec<Data
                     }
                 }
                 if feasible {
-                    flush_states.push(none);
+                    flush.push(none);
                 }
                 // One scenario per flushing class: memory takes its data.
-                for k in &flushers {
-                    if let Some(mut s) = rest.condition_nonempty(*k) {
+                for &k in &flushers {
+                    if let Some(mut s) = rest.condition_nonempty(k) {
                         s.mdata = match k.cdata {
                             CData::Fresh => MData::Fresh,
                             CData::Obsolete => MData::Obsolete,
                             CData::NoData => unreachable!("flusher holds a copy"),
                         };
-                        flush_states.push(s);
+                        flush.push(s);
                     }
                 }
             }
@@ -316,32 +446,29 @@ fn data_branches(spec: &ProtocolSpec, rest: &IState, outc: &Outcome) -> Vec<Data
 
     // Step 2: fill-source scenarios within each flush scenario.
     if !outc.data.is_fill() {
-        return flush_states
-            .into_iter()
-            .map(|rest| DataBranch {
+        for rest in flush.drain(..) {
+            out.push(DataBranch {
                 rest,
                 fill_cd: None,
-            })
-            .collect();
+            });
+        }
+        return;
     }
     let bus = outc
         .bus
         .expect("fill transitions carry a bus op (validated)");
-    let mut out = Vec::new();
-    for fs in flush_states {
-        let suppliers: Vec<ClassKey> = fs
-            .classes()
-            .iter()
-            .filter(|&&(k, _)| {
-                spec.attrs(k.state).holds_copy && spec.snoop(k.state, bus).supplies_data
-            })
-            .map(|&(k, _)| k)
-            .collect();
+    for fs in flush.iter() {
+        let mut suppliers = KeyList::new();
+        for &(k, _) in fs.classes() {
+            if spec.attrs(k.state).holds_copy && spec.snoop(k.state, bus).supplies_data {
+                suppliers.push(k);
+            }
+        }
         // Memory-fill scenario: no supplier present.
         let mut none = fs.clone();
         let mut feasible = true;
-        for k in &suppliers {
-            match none.condition_empty(*k) {
+        for &k in &suppliers {
+            match none.condition_empty(k) {
                 Some(next) => none = next,
                 None => {
                     feasible = false;
@@ -357,8 +484,8 @@ fn data_branches(spec: &ProtocolSpec, rest: &IState, outc: &Outcome) -> Vec<Data
             });
         }
         // Cache-supply scenarios ("arbitrarily choose Cj with a copy").
-        for k in &suppliers {
-            if let Some(s) = fs.condition_nonempty(*k) {
+        for &k in &suppliers {
+            if let Some(s) = fs.condition_nonempty(k) {
                 out.push(DataBranch {
                     rest: s,
                     fill_cd: Some(k.cdata),
@@ -366,7 +493,6 @@ fn data_branches(spec: &ProtocolSpec, rest: &IState, outc: &Outcome) -> Vec<Data
             }
         }
     }
-    out
 }
 
 /// Applies one fully-resolved transition scenario: snoops the rest of
@@ -374,13 +500,13 @@ fn data_branches(spec: &ProtocolSpec, rest: &IState, outc: &Outcome) -> Vec<Data
 /// re-inserts the originator.
 fn apply(
     spec: &ProtocolSpec,
-    br: DataBranch,
+    br: &DataBranch,
     outc: &Outcome,
     origin: ClassKey,
-) -> (IState, Vec<StepError>) {
-    let mut errors = Vec::new();
+) -> (IState, StepErrors) {
+    let mut errors = StepErrors::EMPTY;
     let store = outc.data.is_store();
-    let mut succ = IState::new(Vec::new(), br.rest.mdata);
+    let mut succ = IState::empty(br.rest.mdata);
 
     // Coincident transitions: every other class snoops the transaction.
     for &(k, iv) in br.rest.classes() {
@@ -436,14 +562,14 @@ fn apply(
     let new_cd = match outc.data {
         DataOp::Read { fill: false } | DataOp::None => {
             if origin.cdata == CData::Obsolete {
-                errors.push(StepError::StaleReadHit);
+                errors.insert(StepError::StaleReadHit);
             }
             origin.cdata
         }
         DataOp::Read { fill: true } => {
             let cd = br.fill_cd.expect("fill scenario resolved a source");
             if cd == CData::Obsolete {
-                errors.push(StepError::StaleFill);
+                errors.insert(StepError::StaleFill);
             }
             cd
         }
@@ -451,7 +577,7 @@ fn apply(
             if fill {
                 let cd = br.fill_cd.expect("fill scenario resolved a source");
                 if cd == CData::Obsolete {
-                    errors.push(StepError::StaleFill);
+                    errors.insert(StepError::StaleFill);
                 }
             }
             CData::Fresh
@@ -649,7 +775,52 @@ mod tests {
         let succ = successors(&spec, &bad);
         let reads = find(&succ, &spec, "Inv", ProcEvent::Read);
         assert_eq!(reads.len(), 1);
-        assert!(reads[0].errors.contains(&StepError::StaleFill));
+        assert!(reads[0].errors.contains(StepError::StaleFill));
+    }
+
+    #[test]
+    fn step_errors_mask_roundtrips() {
+        let mut m = StepErrors::EMPTY;
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        m.insert(StepError::StaleFill);
+        m.insert(StepError::StaleFill);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(StepError::StaleFill));
+        assert!(!m.contains(StepError::StaleReadHit));
+        m.insert(StepError::StaleReadHit);
+        assert_eq!(
+            m.to_vec(),
+            vec![StepError::StaleReadHit, StepError::StaleFill]
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_buffers() {
+        let spec = illinois();
+        let mut scratch = ExpandScratch::new();
+        let mut buf = Vec::new();
+        let init = Composite::initial(&spec);
+        successors_into(&spec, &init, &mut scratch, &mut buf);
+        let first: Vec<Transition> = buf.clone();
+        // Expand a different state through the same scratch, then the
+        // initial state again: results must be untainted by leftovers.
+        let s3 = Composite::new(
+            vec![
+                (ck(&spec, "Shared"), Rep::Plus),
+                (ClassKey::invalid(), Rep::Star),
+            ],
+            MData::Fresh,
+            FVal::V3,
+        );
+        successors_into(&spec, &s3, &mut scratch, &mut buf);
+        successors_into(&spec, &init, &mut scratch, &mut buf);
+        assert_eq!(buf.len(), first.len());
+        for (a, b) in buf.iter().zip(first.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.to, b.to);
+            assert_eq!(a.errors, b.errors);
+        }
     }
 
     #[test]

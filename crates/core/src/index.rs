@@ -1,0 +1,326 @@
+//! The containment index — indexed survivor lookup for the engine.
+//!
+//! The pre-refactor engine answered both containment questions
+//! ("is this successor contained in a survivor?" and "which survivors
+//! does this new state swallow?") by scanning every live node and
+//! running the full Definition-9 check. This module narrows both scans
+//! structurally, in two stages:
+//!
+//! 1. **Bucket by `(FVal, MData)`.** Containment requires equal
+//!    characteristic-function value and memory freshness, so only the
+//!    matching bucket can hold candidates.
+//! 2. **Prefilter by [`ClassSig`].** If `a` is contained in `b` then
+//!    (i) every class of `a` is present in `b` (a `1`/`+`/`*` operator
+//!    is never covered by an absent class) and (ii) every non-`*` class
+//!    of `b` is present in `a` (an absent class admits zero caches,
+//!    which only `*` covers). Both are set-inclusion facts, and unions
+//!    of per-class bits preserve set inclusion even when slots collide
+//!    modulo 64 — so the mask tests never reject a true candidate, and
+//!    the full [`Composite::contained_in`] check confirms survivors.
+//!    Results are therefore bit-identical to the linear scan.
+//!
+//! In **equality** pruning mode containment degenerates to equality:
+//! the discard question is answered by an exact [`CompositeId`] lookup
+//! against the live set (interning makes equal states share ids), and
+//! prune-old is a no-op (an equal live state would have discarded the
+//! newcomer first). The exact lookup also short-circuits containment
+//! mode, since equality implies containment.
+//!
+//! The `exact` map is well-defined because two *live* nodes never hold
+//! equal composites: the second one would have been discarded as
+//! contained when it was generated. Pruned nodes are removed from both
+//! structures, so a later re-discovery of the same composite is
+//! re-admitted exactly as the linear scan would.
+
+use crate::composite::{ClassSig, Composite};
+use crate::engine::{NodeId, Pruning};
+use crate::fval::FVal;
+use crate::intern::{CompositeArena, CompositeId};
+use ccv_model::MData;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    sig: ClassSig,
+    id: CompositeId,
+    node: NodeId,
+}
+
+/// Index over the engine's live (unpruned) nodes, supporting both
+/// containment directions. See the module docs for the soundness
+/// argument.
+#[derive(Debug, Default)]
+pub struct ContainmentIndex {
+    /// Live nodes bucketed by the containment-compatible part of their
+    /// state.
+    groups: HashMap<(FVal, MData), Vec<Entry>>,
+    /// Live nodes by interned state id — the equality fast path.
+    exact: HashMap<CompositeId, NodeId>,
+}
+
+impl ContainmentIndex {
+    /// An empty index.
+    pub fn new() -> ContainmentIndex {
+        ContainmentIndex::default()
+    }
+
+    /// Number of live nodes indexed.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// True iff no node is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Forgets every entry but keeps allocated capacity.
+    pub fn clear(&mut self) {
+        for g in self.groups.values_mut() {
+            g.clear();
+        }
+        self.exact.clear();
+    }
+
+    /// Registers a newly admitted live node holding `comp` (the
+    /// composite behind `id`).
+    pub fn insert(&mut self, node: NodeId, id: CompositeId, comp: &Composite) {
+        let prev = self.exact.insert(id, node);
+        debug_assert!(prev.is_none(), "two live nodes share a composite");
+        self.groups
+            .entry((comp.f, comp.mdata))
+            .or_default()
+            .push(Entry {
+                sig: comp.signature(),
+                id,
+                node,
+            });
+    }
+
+    /// Discard-new direction: is the state behind `id` contained in
+    /// some live node's state? Increments `probes` per signature
+    /// candidate examined and `checks` per full containment (or exact)
+    /// evaluation.
+    pub fn find_container(
+        &self,
+        arena: &CompositeArena,
+        id: CompositeId,
+        pruning: Pruning,
+        checks: &mut u64,
+        probes: &mut u64,
+    ) -> bool {
+        // Equality implies containment, so the id lookup is a valid
+        // fast path in both modes.
+        if self.exact.contains_key(&id) {
+            *checks += 1;
+            return true;
+        }
+        if pruning == Pruning::Equality {
+            return false;
+        }
+        let t = arena.get(id);
+        let sig = t.signature();
+        let Some(group) = self.groups.get(&(t.f, t.mdata)) else {
+            return false;
+        };
+        for e in group {
+            *probes += 1;
+            // t ⊑ e needs support(t) ⊆ support(e) and nonstar(e) ⊆ support(t).
+            if sig.support & e.sig.support == sig.support
+                && e.sig.nonstar & sig.support == e.sig.nonstar
+            {
+                *checks += 1;
+                if t.contained_in(arena.get(e.id)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Prune-old direction: removes from the index every live node
+    /// whose state is contained in the state behind `id`, invoking
+    /// `on_prune` for each. No-op in equality mode (see module docs).
+    pub fn prune_covered(
+        &mut self,
+        arena: &CompositeArena,
+        id: CompositeId,
+        pruning: Pruning,
+        checks: &mut u64,
+        probes: &mut u64,
+        mut on_prune: impl FnMut(NodeId),
+    ) {
+        if pruning == Pruning::Equality {
+            return;
+        }
+        let t = arena.get(id);
+        let sig = t.signature();
+        let ContainmentIndex { groups, exact } = self;
+        let Some(group) = groups.get_mut(&(t.f, t.mdata)) else {
+            return;
+        };
+        group.retain(|e| {
+            *probes += 1;
+            // e ⊑ t needs support(e) ⊆ support(t) and nonstar(t) ⊆ support(e).
+            if e.sig.support & sig.support == e.sig.support
+                && sig.nonstar & e.sig.support == sig.nonstar
+            {
+                *checks += 1;
+                if arena.get(e.id).contained_in(t) {
+                    exact.remove(&e.id);
+                    on_prune(e.node);
+                    return false;
+                }
+            }
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::ClassKey;
+    use crate::rep::Rep;
+    use ccv_model::protocols::illinois;
+
+    fn setup() -> (ccv_model::ProtocolSpec, CompositeArena, ContainmentIndex) {
+        (illinois(), CompositeArena::new(), ContainmentIndex::new())
+    }
+
+    #[test]
+    fn finds_container_and_counts_probes() {
+        let (spec, mut arena, mut index) = setup();
+        let sh = spec.state_by_name("Shared").unwrap();
+        // Container: (Shared⁺, Inv*); contained: (Shared⁺, Inv⁺).
+        let big = Composite::new(
+            vec![
+                (ClassKey::fresh(sh), Rep::Plus),
+                (ClassKey::invalid(), Rep::Star),
+            ],
+            MData::Fresh,
+            crate::fval::FVal::V3,
+        );
+        let small = Composite::new(
+            vec![
+                (ClassKey::fresh(sh), Rep::Plus),
+                (ClassKey::invalid(), Rep::Plus),
+            ],
+            MData::Fresh,
+            crate::fval::FVal::V3,
+        );
+        let big_id = arena.intern(&big);
+        let small_id = arena.intern(&small);
+        index.insert(NodeId(0), big_id, &big);
+        let (mut checks, mut probes) = (0u64, 0u64);
+        assert!(index.find_container(
+            &arena,
+            small_id,
+            Pruning::Containment,
+            &mut checks,
+            &mut probes
+        ));
+        assert_eq!(probes, 1);
+        assert_eq!(checks, 1);
+        // In equality mode the unequal state is not found.
+        assert!(!index.find_container(
+            &arena,
+            small_id,
+            Pruning::Equality,
+            &mut checks,
+            &mut probes
+        ));
+    }
+
+    #[test]
+    fn exact_hit_short_circuits_both_modes() {
+        let (spec, mut arena, mut index) = setup();
+        let init = Composite::initial(&spec);
+        let id = arena.intern(&init);
+        index.insert(NodeId(0), id, &init);
+        let dup = arena.intern(&init);
+        assert_eq!(dup, id);
+        let (mut checks, mut probes) = (0u64, 0u64);
+        for mode in [Pruning::Containment, Pruning::Equality] {
+            assert!(index.find_container(&arena, dup, mode, &mut checks, &mut probes));
+        }
+        assert_eq!(probes, 0, "exact hits never touch the groups");
+        assert_eq!(checks, 2);
+    }
+
+    #[test]
+    fn bucket_mismatch_rejects_without_probing() {
+        let (spec, mut arena, mut index) = setup();
+        let init = Composite::initial(&spec);
+        let id = arena.intern(&init);
+        index.insert(NodeId(0), id, &init);
+        // Same classes, different mdata: different bucket.
+        let stale = Composite::new(
+            vec![(ClassKey::invalid(), Rep::Plus)],
+            MData::Obsolete,
+            init.f,
+        );
+        let stale_id = arena.intern(&stale);
+        let (mut checks, mut probes) = (0u64, 0u64);
+        assert!(!index.find_container(
+            &arena,
+            stale_id,
+            Pruning::Containment,
+            &mut checks,
+            &mut probes
+        ));
+        assert_eq!(probes, 0);
+        assert_eq!(checks, 0);
+    }
+
+    #[test]
+    fn prune_covered_removes_swallowed_survivors() {
+        let (spec, mut arena, mut index) = setup();
+        let sh = spec.state_by_name("Shared").unwrap();
+        let small = Composite::new(
+            vec![
+                (ClassKey::fresh(sh), Rep::Plus),
+                (ClassKey::invalid(), Rep::Plus),
+            ],
+            MData::Fresh,
+            crate::fval::FVal::V3,
+        );
+        let big = Composite::new(
+            vec![
+                (ClassKey::fresh(sh), Rep::Plus),
+                (ClassKey::invalid(), Rep::Star),
+            ],
+            MData::Fresh,
+            crate::fval::FVal::V3,
+        );
+        let small_id = arena.intern(&small);
+        let big_id = arena.intern(&big);
+        index.insert(NodeId(0), small_id, &small);
+        let (mut checks, mut probes) = (0u64, 0u64);
+        let mut pruned = Vec::new();
+        index.prune_covered(
+            &arena,
+            big_id,
+            Pruning::Containment,
+            &mut checks,
+            &mut probes,
+            |n| pruned.push(n),
+        );
+        assert_eq!(pruned, vec![NodeId(0)]);
+        assert!(index.is_empty());
+        // The pruned state can be re-admitted afterwards.
+        index.insert(NodeId(1), small_id, &small);
+        assert_eq!(index.len(), 1);
+        // Equality mode never prunes.
+        let mut none = Vec::new();
+        index.prune_covered(
+            &arena,
+            big_id,
+            Pruning::Equality,
+            &mut checks,
+            &mut probes,
+            |n| none.push(n),
+        );
+        assert!(none.is_empty());
+    }
+}

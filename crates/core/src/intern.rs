@@ -1,0 +1,183 @@
+//! Hash-consed composite-state storage.
+//!
+//! The expansion engine discovers the same composite states over and
+//! over: most successors of a visit are duplicates of states already in
+//! the arena. [`CompositeArena`] stores each distinct [`Composite`]
+//! exactly once and hands out copyable [`CompositeId`]s, so the engine,
+//! the containment index and the trace machinery move 4-byte ids
+//! instead of cloning class vectors, and duplicate detection in
+//! equality mode degenerates to an id comparison.
+//!
+//! Interning is append-only within a run: ids are dense indices in
+//! insertion order, which gives the batch layer a stable, deterministic
+//! numbering for exported essential-state sets.
+
+use crate::composite::Composite;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Identity of an interned [`Composite`] — a dense index into its
+/// arena, valid only for the arena that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompositeId(u32);
+
+impl CompositeId {
+    /// The dense arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only, hash-consed store of canonical composite states.
+#[derive(Clone, Debug, Default)]
+pub struct CompositeArena {
+    states: Vec<Composite>,
+    /// Full-hash buckets: hash of the composite → ids sharing it.
+    buckets: HashMap<u64, Vec<u32>>,
+    hits: u64,
+}
+
+impl CompositeArena {
+    /// An empty arena.
+    pub fn new() -> CompositeArena {
+        CompositeArena::default()
+    }
+
+    /// Number of distinct states interned.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The composite behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` comes from another arena (index out of bounds).
+    #[inline]
+    pub fn get(&self, id: CompositeId) -> &Composite {
+        &self.states[id.index()]
+    }
+
+    /// Number of `intern` calls that found an existing entry — the
+    /// engine's "successor already known as a value" count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Interns `comp`, returning the id of the existing entry when an
+    /// equal composite was interned before.
+    pub fn intern(&mut self, comp: &Composite) -> CompositeId {
+        let mut h = DefaultHasher::new();
+        comp.hash(&mut h);
+        let bucket = self.buckets.entry(h.finish()).or_default();
+        for &i in bucket.iter() {
+            if self.states[i as usize] == *comp {
+                self.hits += 1;
+                return CompositeId(i);
+            }
+        }
+        let i = u32::try_from(self.states.len()).expect("composite arena overflow");
+        bucket.push(i);
+        self.states.push(comp.clone());
+        CompositeId(i)
+    }
+
+    /// Iterates `(id, composite)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (CompositeId, &Composite)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CompositeId(i as u32), c))
+    }
+
+    /// Approximate resident size in bytes (entries, spilled class
+    /// vectors, and bucket table) — reported as the `arena_bytes` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let entries = self.states.capacity() * core::mem::size_of::<Composite>();
+        let spill: usize = self.states.iter().map(|c| c.heap_bytes()).sum();
+        let buckets: usize = self
+            .buckets
+            .values()
+            .map(|b| b.capacity() * core::mem::size_of::<u32>())
+            .sum::<usize>()
+            + self.buckets.capacity() * core::mem::size_of::<(u64, Vec<u32>)>();
+        entries + spill + buckets
+    }
+
+    /// Forgets every interned state but keeps allocated capacity, so a
+    /// recycled arena interns its next run without reallocating.
+    pub fn clear(&mut self) {
+        self.states.clear();
+        self.buckets.clear();
+        self.hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::ClassKey;
+    use crate::fval::FVal;
+    use crate::rep::Rep;
+    use ccv_model::protocols::illinois;
+    use ccv_model::MData;
+
+    #[test]
+    fn interning_deduplicates_equal_states() {
+        let spec = illinois();
+        let mut arena = CompositeArena::new();
+        let a = Composite::initial(&spec);
+        let b = Composite::initial(&spec);
+        let ia = arena.intern(&a);
+        let ib = arena.intern(&b);
+        assert_eq!(ia, ib);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.hits(), 1);
+        assert_eq!(arena.get(ia), &a);
+    }
+
+    #[test]
+    fn distinct_states_get_distinct_dense_ids() {
+        let spec = illinois();
+        let sh = spec.state_by_name("Shared").unwrap();
+        let mut arena = CompositeArena::new();
+        let a = Composite::initial(&spec);
+        let b = Composite::new(
+            vec![
+                (ClassKey::fresh(sh), Rep::Plus),
+                (ClassKey::invalid(), Rep::Star),
+            ],
+            MData::Fresh,
+            FVal::V3,
+        );
+        let ia = arena.intern(&a);
+        let ib = arena.intern(&b);
+        assert_ne!(ia, ib);
+        assert_eq!(ia.index(), 0);
+        assert_eq!(ib.index(), 1);
+        assert_eq!(arena.len(), 2);
+        let listed: Vec<_> = arena.iter().map(|(id, _)| id).collect();
+        assert_eq!(listed, vec![ia, ib]);
+    }
+
+    #[test]
+    fn clear_resets_contents_and_hits() {
+        let spec = illinois();
+        let mut arena = CompositeArena::new();
+        let a = Composite::initial(&spec);
+        arena.intern(&a);
+        arena.intern(&a);
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.hits(), 0);
+        let id = arena.intern(&a);
+        assert_eq!(id.index(), 0);
+        assert!(arena.approx_bytes() > 0);
+    }
+}

@@ -17,17 +17,26 @@
 //! a single interval step through a `+` class, split by resulting
 //! category, yields exactly the intermediate and terminal states the
 //! N-step rules enumerate.
+//!
+//! Classes live in an [`InlineVec`], so interval states clone without
+//! allocating; the `*_into` entry points write their results into
+//! caller-owned buffers so the whole internalise → step → emit pipeline
+//! reuses a fixed set of vectors across expansion steps.
 
-use crate::composite::{ClassKey, Composite};
+use crate::composite::{ClassKey, ClassVec, Composite, MAX_INLINE_CLASSES};
 use crate::fval::FVal;
 use crate::rep::Interval;
+use crate::small::InlineVec;
 use ccv_model::{MData, ProtocolSpec};
+
+type IClassVec = InlineVec<(ClassKey, Interval), MAX_INLINE_CLASSES>;
+pub(crate) type KeyList = InlineVec<ClassKey, MAX_INLINE_CLASSES>;
 
 /// An exact-interval global state: classes keyed like [`Composite`] but
 /// populated by [`Interval`]s, plus the memory-freshness variable.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IState {
-    classes: Vec<(ClassKey, Interval)>,
+    classes: IClassVec,
     /// Freshness of the memory copy.
     pub mdata: MData,
 }
@@ -35,14 +44,27 @@ pub struct IState {
 impl IState {
     /// Creates an interval state, dropping certainly-empty classes and
     /// keeping classes sorted by key.
-    pub fn new(mut classes: Vec<(ClassKey, Interval)>, mdata: MData) -> IState {
-        classes.retain(|&(_, iv)| !iv.is_zero());
-        classes.sort_by_key(|&(k, _)| k);
+    pub fn new(classes: Vec<(ClassKey, Interval)>, mdata: MData) -> IState {
+        let mut cv = IClassVec::new();
+        for &(k, iv) in &classes {
+            if !iv.is_zero() {
+                cv.push((k, iv));
+            }
+        }
+        cv.sort_unstable_by_key(|&(k, _)| k);
         debug_assert!(
-            classes.windows(2).all(|w| w[0].0 != w[1].0),
+            cv.windows(2).all(|w| w[0].0 != w[1].0),
             "duplicate class keys"
         );
-        IState { classes, mdata }
+        IState { classes: cv, mdata }
+    }
+
+    /// An interval state with no classes (allocation-free).
+    pub(crate) fn empty(mdata: MData) -> IState {
+        IState {
+            classes: IClassVec::new(),
+            mdata,
+        }
     }
 
     /// The classes, sorted by key.
@@ -62,15 +84,19 @@ impl IState {
     /// Replaces the interval of `key` (removing the class if the new
     /// interval is certainly zero).
     pub fn set(&mut self, key: ClassKey, iv: Interval) {
-        if let Some(slot) = self.classes.iter_mut().find(|(k, _)| *k == key) {
+        if let Some(i) = self.classes.iter().position(|&(k, _)| k == key) {
             if iv.is_zero() {
-                self.classes.retain(|&(k, _)| k != key);
+                self.classes.remove(i);
             } else {
-                slot.1 = iv;
+                self.classes[i].1 = iv;
             }
         } else if !iv.is_zero() {
-            self.classes.push((key, iv));
-            self.classes.sort_by_key(|&(k, _)| k);
+            let pos = self
+                .classes
+                .iter()
+                .position(|&(k, _)| k > key)
+                .unwrap_or(self.classes.len());
+            self.classes.insert(pos, (key, iv));
         }
     }
 
@@ -123,7 +149,7 @@ impl IState {
 
 /// Folds a copy-count category into the intervals of `istate`,
 /// branching when the category cannot be expressed by tightening alone.
-/// Returns every feasible refinement (empty = the category is
+/// Appends every feasible refinement to `out` (none = the category is
 /// inconsistent with the intervals).
 ///
 /// * `V1` — every valid class must be empty.
@@ -133,42 +159,47 @@ impl IState {
 /// * `V3` — at least two copies: any deficit below two is distributed
 ///   over the unbounded valid classes (one branch per distribution).
 /// * `Null` — no constraint.
-pub fn apply_category(spec: &ProtocolSpec, istate: &IState, f: FVal) -> Vec<IState> {
-    let valid: Vec<ClassKey> = istate
-        .classes()
-        .iter()
-        .filter(|&&(k, _)| spec.attrs(k.state).holds_copy)
-        .map(|&(k, _)| k)
-        .collect();
+pub(crate) fn apply_category_into(
+    spec: &ProtocolSpec,
+    istate: &IState,
+    f: FVal,
+    out: &mut Vec<IState>,
+) {
+    let mut valid = KeyList::new();
+    for &(k, _) in istate.classes() {
+        if spec.attrs(k.state).holds_copy {
+            valid.push(k);
+        }
+    }
     match f {
-        FVal::Null => vec![istate.clone()],
+        FVal::Null => out.push(istate.clone()),
         FVal::V1 => {
             let mut s = istate.clone();
-            for k in valid {
+            for &k in &valid {
                 match s.condition_empty(k) {
                     Some(next) => s = next,
-                    None => return Vec::new(),
+                    None => return,
                 }
             }
-            vec![s]
+            out.push(s);
         }
         FVal::V2 => {
-            let pinned: Vec<ClassKey> = valid
-                .iter()
-                .copied()
-                .filter(|&k| istate.get(k).certainly_nonempty())
-                .collect();
+            let mut pinned = KeyList::new();
+            for &k in &valid {
+                if istate.get(k).certainly_nonempty() {
+                    pinned.push(k);
+                }
+            }
             match pinned.len() {
                 0 => {
                     // Branch: each candidate class holds the single copy.
-                    let mut out = Vec::new();
-                    for holder in &valid {
+                    for &holder in &valid {
                         let mut s = istate.clone();
-                        s.set(*holder, Interval::exact(1));
+                        s.set(holder, Interval::exact(1));
                         let mut ok = true;
-                        for k in &valid {
+                        for &k in &valid {
                             if k != holder {
-                                match s.condition_empty(*k) {
+                                match s.condition_empty(k) {
                                     Some(next) => s = next,
                                     None => {
                                         ok = false;
@@ -181,44 +212,44 @@ pub fn apply_category(spec: &ProtocolSpec, istate: &IState, f: FVal) -> Vec<ISta
                             out.push(s);
                         }
                     }
-                    out
                 }
                 1 => {
                     let holder = pinned[0];
                     if istate.get(holder).lo > 1 {
-                        return Vec::new(); // more than one copy pinned
+                        return; // more than one copy pinned
                     }
                     let mut s = istate.clone();
                     s.set(holder, Interval::exact(1));
-                    for k in valid {
+                    for &k in &valid {
                         if k != holder {
                             match s.condition_empty(k) {
                                 Some(next) => s = next,
-                                None => return Vec::new(),
+                                None => return,
                             }
                         }
                     }
-                    vec![s]
+                    out.push(s);
                 }
-                _ => Vec::new(), // two classes certainly nonempty: > 1 copy
+                _ => {} // two classes certainly nonempty: > 1 copy
             }
         }
         FVal::V3 => {
             let (total_lo, _) = istate.total_valid(spec);
             if total_lo >= 2 {
-                return vec![istate.clone()];
+                out.push(istate.clone());
+                return;
             }
             let deficit = 2 - total_lo;
-            let unbounded: Vec<ClassKey> = valid
-                .iter()
-                .copied()
-                .filter(|&k| istate.get(k).unbounded)
-                .collect();
+            let mut unbounded = KeyList::new();
+            for &k in &valid {
+                if istate.get(k).unbounded {
+                    unbounded.push(k);
+                }
+            }
             if unbounded.is_empty() {
-                return Vec::new(); // cannot reach two copies
+                return; // cannot reach two copies
             }
             // Distribute `deficit` (1 or 2) units over unbounded classes.
-            let mut out = Vec::new();
             if deficit == 1 {
                 for &u in &unbounded {
                     let mut s = istate.clone();
@@ -243,46 +274,71 @@ pub fn apply_category(spec: &ProtocolSpec, istate: &IState, f: FVal) -> Vec<ISta
                     }
                 }
             }
-            out
         }
     }
 }
 
-/// Internalises a canonical composite state: operators become
-/// intervals, and the state's characteristic-function value is folded
-/// in via [`apply_category`].
-pub fn internalize(spec: &ProtocolSpec, comp: &Composite) -> Vec<IState> {
-    let classes: Vec<(ClassKey, Interval)> = comp
-        .classes()
-        .iter()
-        .map(|&(k, r)| (k, r.interval()))
-        .collect();
-    let istate = IState::new(classes, comp.mdata);
-    apply_category(spec, &istate, comp.f)
+/// Allocating wrapper around `apply_category_into` for callers
+/// outside the hot path.
+pub fn apply_category(spec: &ProtocolSpec, istate: &IState, f: FVal) -> Vec<IState> {
+    let mut out = Vec::new();
+    apply_category_into(spec, istate, f, &mut out);
+    out
 }
 
-/// Emits a post-transition interval state back into canonical form:
-/// one composite per feasible copy-count category (or a single
-/// `Null`-annotated composite for null-characteristic protocols), with
-/// intervals tightened under the category before coarsening.
-pub fn emit(spec: &ProtocolSpec, istate: &IState) -> Vec<Composite> {
-    let to_composite = |s: &IState, f: FVal| {
-        Composite::new(
-            s.classes()
-                .iter()
-                .map(|&(k, iv)| (k, iv.to_rep()))
-                .collect(),
-            s.mdata,
-            f,
-        )
+/// Internalises a canonical composite state into `out` (cleared first):
+/// operators become intervals, and the state's characteristic-function
+/// value is folded in via [`apply_category_into`].
+pub(crate) fn internalize_into(spec: &ProtocolSpec, comp: &Composite, out: &mut Vec<IState>) {
+    out.clear();
+    let mut classes = IClassVec::new();
+    for &(k, r) in comp.classes() {
+        // Stored operators are never `Zero`, so no interval is zero and
+        // the sorted class order carries over unchanged.
+        classes.push((k, r.interval()));
+    }
+    let istate = IState {
+        classes,
+        mdata: comp.mdata,
     };
+    apply_category_into(spec, &istate, comp.f, out);
+}
 
+/// Allocating wrapper around `internalize_into`.
+pub fn internalize(spec: &ProtocolSpec, comp: &Composite) -> Vec<IState> {
+    let mut out = Vec::new();
+    internalize_into(spec, comp, &mut out);
+    out
+}
+
+fn to_composite(s: &IState, f: FVal) -> Composite {
+    let mut cv = ClassVec::new();
+    for &(k, iv) in s.classes() {
+        // Classes are sorted and non-zero, so the result is canonical.
+        cv.push((k, iv.to_rep()));
+    }
+    Composite::from_parts(cv, s.mdata, f)
+}
+
+/// Emits a post-transition interval state back into canonical form,
+/// writing into `out` (cleared first): one composite per feasible
+/// copy-count category (or a single `Null`-annotated composite for
+/// null-characteristic protocols), with intervals tightened under the
+/// category before coarsening. `cats` is scratch space for the
+/// per-category refinements.
+pub(crate) fn emit_into(
+    spec: &ProtocolSpec,
+    istate: &IState,
+    cats: &mut Vec<IState>,
+    out: &mut Vec<Composite>,
+) {
+    out.clear();
     if !spec.uses_sharing_detection() {
-        return vec![to_composite(istate, FVal::Null)];
+        out.push(to_composite(istate, FVal::Null));
+        return;
     }
 
     let (total_lo, total_unbounded) = istate.total_valid(spec);
-    let mut out = Vec::new();
     for cat in FVal::CATEGORIES {
         // Feasible iff the category's copy range intersects
         // [total_lo, total_max].
@@ -295,13 +351,22 @@ pub fn emit(spec: &ProtocolSpec, istate: &IState) -> Vec<Composite> {
         if !feasible {
             continue;
         }
-        for refined in apply_category(spec, istate, cat) {
-            let c = to_composite(&refined, cat);
+        cats.clear();
+        apply_category_into(spec, istate, cat, cats);
+        for refined in cats.iter() {
+            let c = to_composite(refined, cat);
             if !out.contains(&c) {
                 out.push(c);
             }
         }
     }
+}
+
+/// Allocating wrapper around `emit_into`.
+pub fn emit(spec: &ProtocolSpec, istate: &IState) -> Vec<Composite> {
+    let mut cats = Vec::new();
+    let mut out = Vec::new();
+    emit_into(spec, istate, &mut cats, &mut out);
     out
 }
 
@@ -479,6 +544,18 @@ mod tests {
         assert_eq!(s.classes().len(), 0);
         s.merge_into(k, Interval::at_least(1));
         assert_eq!(s.get(k), Interval::at_least(1));
+    }
+
+    #[test]
+    fn istate_set_keeps_classes_sorted() {
+        let spec = illinois();
+        let mut s = IState::empty(MData::Fresh);
+        s.set(ckey(&spec, "Dirty"), Interval::exact(1));
+        s.set(ClassKey::invalid(), Interval::at_least(0));
+        s.set(ckey(&spec, "Shared"), Interval::at_least(1));
+        s.set(ClassKey::invalid(), Interval::at_least(2));
+        assert!(s.classes().windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(s.get(ClassKey::invalid()), Interval::at_least(2));
     }
 
     #[test]

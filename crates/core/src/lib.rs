@@ -41,13 +41,17 @@
 //! | [`rep`] | repetition operators & their interval semantics (Def. 6, §3.2.2) |
 //! | [`fval`] | characteristic-function values `v1/v2/v3` (App. A.1) |
 //! | [`composite`] | composite states, covering, containment (Defs. 7–9) |
+//! | [`small`] | inline small vectors backing class lists |
+//! | [`intern`] | hash-consed composite arena with copyable ids |
 //! | [`istate`] | internalisation/emission between operators and exact intervals |
 //! | [`expand`] | one-step expansion rules (§3.2.3) with data tracking (§2.4) |
 //! | [`check`] | erroneous-state predicates (§2.1, Def. 3) |
+//! | [`index`] | signature-bucketed containment index over live nodes |
 //! | [`engine`] | essential-states worklist (Fig. 3, Def. 10) |
+//! | [`reference`](mod@reference) | retained naive engine — differential-test oracle |
 //! | [`graph`] | global transition diagram (Fig. 4) + DOT export |
 //! | [`verify`](mod@verify) | bundled verification reports |
-//! | [`session`] | builder façade tying spec + options + sink together |
+//! | [`session`] | builder façade + batch verification sessions |
 //!
 //! ## Observability
 //!
@@ -80,24 +84,37 @@ pub mod engine;
 pub mod expand;
 pub mod fval;
 pub mod graph;
+pub mod index;
+pub mod intern;
 pub mod istate;
 pub mod recovery;
+pub mod reference;
 pub mod rep;
 pub mod session;
+pub mod small;
 pub mod verify;
 
 pub use check::{check as check_state, Violation};
 pub use compare::{compare_protocols, DiffReport, Role};
-pub use composite::{ClassKey, Composite};
-pub use engine::{expand as run_expansion, Expansion, NodeId, Options, Pruning};
-pub use expand::{successors, Label, StepError, Transition};
+pub use composite::{ClassKey, ClassSig, Composite, MAX_INLINE_CLASSES};
+pub use engine::{
+    expand as run_expansion, expand_from, expand_with, EngineScratch, Expansion, NodeId, Options,
+    Pruning,
+};
+pub use expand::{
+    successors, successors_into, ExpandScratch, Label, StepError, StepErrors, Transition,
+};
 pub use fval::FVal;
 pub use graph::{global_graph, GlobalGraph, GraphEdge};
+pub use index::ContainmentIndex;
+pub use intern::{CompositeArena, CompositeId};
 pub use recovery::{analyze_recovery, RecoveryCase, RecoveryReport, Tolerance};
+pub use reference::{reference_expand, reference_expand_from};
 pub use rep::{Interval, Rep};
-pub use session::Session;
+pub use session::{Batch, RunSummary, Session, Verifier};
 pub use verify::{
-    verify, verify_with, CrosscheckSummary, ErrorReport, Verdict, Verification, VerificationReport,
+    verify, verify_with, verify_with_scratch, CrosscheckSummary, ErrorReport, Verdict,
+    Verification, VerificationReport,
 };
 
 // Re-exported so downstream users configure observability without a

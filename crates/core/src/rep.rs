@@ -81,7 +81,7 @@ impl fmt::Display for Rep {
 /// these two shapes. Internalisation of a canonical state produces
 /// exact or lo-unbounded intervals; subtraction, addition and merging
 /// preserve the shape.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Interval {
     /// Minimum number of caches in the class.
     pub lo: u32,

@@ -1,4 +1,5 @@
-//! The library façade: one builder for a whole verification run.
+//! The library façade: one builder for a whole verification run, and
+//! batch sessions that amortise engine state across many runs.
 //!
 //! A [`Session`] owns a protocol spec and the engine options, and
 //! produces a [`VerificationReport`] — the
@@ -11,11 +12,33 @@
 //! let report = Session::new(illinois()).verify();
 //! assert_eq!(report.num_essential(), 5);
 //! ```
+//!
+//! A [`Batch`] holds one [`EngineScratch`] — successor buffers, the
+//! containment index, a recycled composite arena — and threads it
+//! through any number of verification runs, so sweeps over whole
+//! protocol libraries (the CLI's `check-all`, the mutation sweep, the
+//! DSL suite) expand without steady-state allocation:
+//!
+//! ```
+//! use ccv_core::{Batch, Verdict};
+//! use ccv_model::protocols;
+//!
+//! let mut batch = Batch::new();
+//! let reports = batch.verify_many(&protocols::all_correct());
+//! assert!(reports.iter().all(|r| r.verdict == Verdict::Verified));
+//! ```
+//!
+//! Callers that only need verdicts and counts use
+//! [`Batch::summarize`], which additionally recycles the run's arena
+//! storage into the scratch pool. The [`Verifier`] trait abstracts
+//! over both entry styles so command implementations and test
+//! harnesses take "anything that can verify a protocol".
 
 use std::sync::Arc;
 
-use crate::engine::Options;
-use crate::verify::{verify_with, VerificationReport};
+use crate::composite::Composite;
+use crate::engine::{expand_with, EngineScratch, Options};
+use crate::verify::{verify_with, verify_with_scratch, Verdict, VerificationReport};
 use ccv_model::ProtocolSpec;
 use ccv_observe::{EventSink, SinkHandle};
 
@@ -62,13 +85,130 @@ impl Session {
     pub fn verify(&self) -> VerificationReport {
         verify_with(&self.spec, &self.opts)
     }
+
+    /// Converts the session into a [`Batch`] carrying its options, for
+    /// verifying further protocols with shared engine state.
+    pub fn into_batch(self) -> Batch {
+        Batch::with_options(self.opts)
+    }
+}
+
+/// Verdict-level result of a summary-only batch run: what a library
+/// sweep needs, without the graph, the error renderings or the arena.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Name of the verified protocol.
+    pub protocol: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Number of essential states at fixpoint.
+    pub essential: usize,
+    /// Rule firings during expansion.
+    pub visits: usize,
+}
+
+/// A batch verification session: engine options plus one
+/// [`EngineScratch`] reused across every run.
+///
+/// Verifying through a batch is observably identical to fresh
+/// [`Session`] runs — scratch reuse only recycles allocations.
+#[derive(Debug, Default)]
+pub struct Batch {
+    opts: Options,
+    scratch: EngineScratch,
+}
+
+impl Batch {
+    /// A batch with default engine options.
+    pub fn new() -> Batch {
+        Batch::default()
+    }
+
+    /// A batch carrying explicit engine options.
+    pub fn with_options(opts: Options) -> Batch {
+        Batch {
+            opts,
+            scratch: EngineScratch::new(),
+        }
+    }
+
+    /// The engine options applied to every run.
+    pub fn effective_options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Verifies one protocol through the shared scratch, returning the
+    /// full report.
+    pub fn verify(&mut self, spec: &ProtocolSpec) -> VerificationReport {
+        verify_with_scratch(spec, &self.opts, &mut self.scratch)
+    }
+
+    /// Verifies every protocol in `specs`, in order, reusing the
+    /// shared scratch between runs.
+    pub fn verify_many<'s>(
+        &mut self,
+        specs: impl IntoIterator<Item = &'s ProtocolSpec>,
+    ) -> Vec<VerificationReport> {
+        specs.into_iter().map(|s| self.verify(s)).collect()
+    }
+
+    /// Expands one protocol and reduces the outcome to a
+    /// [`RunSummary`], recycling the run's arena storage into the
+    /// scratch pool. The cheapest way to sweep a protocol library for
+    /// verdicts: no global graph is built and nothing survives the
+    /// call but the summary.
+    pub fn summarize(&mut self, spec: &ProtocolSpec) -> RunSummary {
+        let expansion = expand_with(
+            spec,
+            Composite::initial(spec),
+            &self.opts,
+            &mut self.scratch,
+        );
+        let verdict = if expansion.truncated {
+            Verdict::Inconclusive
+        } else if expansion.errors.is_empty() {
+            Verdict::Verified
+        } else {
+            Verdict::Erroneous
+        };
+        let summary = RunSummary {
+            protocol: spec.name().to_string(),
+            verdict,
+            essential: expansion.essential.len(),
+            visits: expansion.visits,
+        };
+        self.scratch.recycle(expansion);
+        summary
+    }
+}
+
+/// Anything that can verify a protocol and produce the standard
+/// report — implemented by [`Session`] (fresh engine state per run)
+/// and [`Batch`] (shared scratch). Command implementations, the
+/// crosscheck driver and the test harnesses are written against this
+/// trait so the two styles interchange freely.
+pub trait Verifier {
+    /// Verifies `spec` and returns the full report.
+    fn verify_protocol(&mut self, spec: &ProtocolSpec) -> VerificationReport;
+}
+
+impl Verifier for Session {
+    fn verify_protocol(&mut self, spec: &ProtocolSpec) -> VerificationReport {
+        verify_with(spec, &self.opts)
+    }
+}
+
+impl Verifier for Batch {
+    fn verify_protocol(&mut self, spec: &ProtocolSpec) -> VerificationReport {
+        self.verify(spec)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::verify::Verdict;
-    use ccv_model::protocols::{illinois, illinois_missing_invalidation};
+    use ccv_model::protocols::{all_buggy, all_correct, illinois, illinois_missing_invalidation};
     use ccv_observe::{Counter, Gauge, Metrics, Phase};
 
     #[test]
@@ -105,5 +245,60 @@ mod tests {
             .verify();
         assert_eq!(report.verdict, Verdict::Erroneous);
         assert_eq!(report.reports.len(), 1);
+    }
+
+    #[test]
+    fn batch_matches_fresh_sessions_across_the_library() {
+        let mut batch = Batch::new();
+        for spec in all_correct() {
+            let fresh = Session::new(spec.clone()).verify();
+            let batched = batch.verify(&spec);
+            assert_eq!(batched.verdict, fresh.verdict, "{}", spec.name());
+            assert_eq!(batched.visits(), fresh.visits(), "{}", spec.name());
+            assert_eq!(
+                batched.num_essential(),
+                fresh.num_essential(),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_verify_many_preserves_order_and_verdicts() {
+        let specs = all_correct();
+        let reports = Batch::new().verify_many(&specs);
+        assert_eq!(reports.len(), specs.len());
+        for (spec, report) in specs.iter().zip(&reports) {
+            assert_eq!(report.protocol, spec.name());
+            assert_eq!(report.verdict, Verdict::Verified);
+        }
+    }
+
+    #[test]
+    fn summarize_agrees_with_full_reports_and_recycles() {
+        let mut batch = Batch::new();
+        for spec in all_correct() {
+            let summary = batch.summarize(&spec);
+            let full = Session::new(spec.clone()).verify();
+            assert_eq!(summary.verdict, full.verdict, "{}", spec.name());
+            assert_eq!(summary.visits, full.visits(), "{}", spec.name());
+            assert_eq!(summary.essential, full.num_essential(), "{}", spec.name());
+        }
+        for (spec, _) in all_buggy() {
+            assert_eq!(batch.summarize(&spec).verdict, Verdict::Erroneous);
+        }
+    }
+
+    #[test]
+    fn verifier_trait_interchanges_session_and_batch() {
+        fn run(v: &mut dyn Verifier, spec: &ProtocolSpec) -> Verdict {
+            v.verify_protocol(spec).verdict
+        }
+        let spec = illinois();
+        let mut session = Session::new(spec.clone());
+        let mut batch = Session::new(spec.clone()).into_batch();
+        assert_eq!(run(&mut session, &spec), Verdict::Verified);
+        assert_eq!(run(&mut batch, &spec), Verdict::Verified);
     }
 }

@@ -5,7 +5,8 @@
 //! [`verify`] on a [`ProtocolSpec`] and inspect the [`Verdict`].
 
 use crate::check::Violation;
-use crate::engine::{expand, Expansion, Options};
+use crate::composite::Composite;
+use crate::engine::{expand_with, EngineScratch, Expansion, Options};
 use crate::expand::StepError;
 use crate::graph::{global_graph, GlobalGraph};
 use ccv_model::ProtocolSpec;
@@ -118,8 +119,18 @@ pub fn verify(spec: &ProtocolSpec) -> VerificationReport {
 
 /// Verifies `spec` with explicit engine options.
 pub fn verify_with(spec: &ProtocolSpec, opts: &Options) -> VerificationReport {
+    verify_with_scratch(spec, opts, &mut EngineScratch::new())
+}
+
+/// Verifies `spec` through caller-owned [`EngineScratch`] — the batch
+/// entry point used by [`crate::session::Batch`].
+pub fn verify_with_scratch(
+    spec: &ProtocolSpec,
+    opts: &Options,
+    scratch: &mut EngineScratch,
+) -> VerificationReport {
     let sink = &opts.common.sink;
-    let expansion = expand(spec, opts);
+    let expansion = expand_with(spec, Composite::initial(spec), opts, scratch);
     sink.phase_enter(Phase::Graph);
     let graph = global_graph(spec, &expansion);
     sink.phase_exit(Phase::Graph);
@@ -143,7 +154,7 @@ pub fn verify_with(spec: &ProtocolSpec, opts: &Options) -> VerificationReport {
             descriptions.extend(f.step_errors.iter().map(|e: &StepError| e.to_string()));
             ErrorReport {
                 descriptions,
-                state: expansion.nodes[f.node.0].state.render(spec),
+                state: expansion.composite(f.node).render(spec),
                 path: expansion.render_path(spec, f.node),
             }
         })

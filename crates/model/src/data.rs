@@ -35,6 +35,13 @@ impl CData {
     /// All values, in canonical order.
     pub const ALL: [CData; 3] = [CData::NoData, CData::Fresh, CData::Obsolete];
 
+    /// Dense index into [`CData::ALL`], for array- and bitmask-backed
+    /// structures keyed by `(state, cdata)` class slots.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Paper-style lowercase label.
     pub fn label(self) -> &'static str {
         match self {

@@ -25,7 +25,7 @@
 use crate::bus::{BusOp, SnoopOutcome};
 use crate::connectivity::strongly_connected;
 use crate::context::{Characteristic, GlobalCtx};
-use crate::data::DataOp;
+use crate::data::{CData, DataOp};
 use crate::event::ProcEvent;
 use crate::state::{StateAttrs, StateId, StateInfo};
 use core::fmt;
@@ -342,6 +342,22 @@ impl ProtocolSpec {
     #[inline]
     pub fn rule_id(&self, state: StateId, event: ProcEvent) -> usize {
         state.index() * ProcEvent::COUNT + event.index()
+    }
+
+    /// Number of `(state, cdata)` class slots: one per protocol state
+    /// and data-freshness value. Dense upper bound for slot-indexed
+    /// structures (see [`class_slot`](ProtocolSpec::class_slot)), such
+    /// as the symbolic engine's containment-index signatures.
+    pub fn num_class_slots(&self) -> usize {
+        self.states.len() * CData::ALL.len()
+    }
+
+    /// Dense id of the class of caches in `state` holding data of
+    /// freshness `cdata`: `state.index() * 3 + cdata.index()`, in
+    /// `0..num_class_slots()`.
+    #[inline]
+    pub fn class_slot(&self, state: StateId, cdata: CData) -> usize {
+        state.index() * CData::ALL.len() + cdata.index()
     }
 
     /// Human-readable name of a rule id: `"<state short>:<event>"`,

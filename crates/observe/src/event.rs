@@ -86,11 +86,19 @@ pub enum Counter {
     /// Visited-set claim attempts that collided with a concurrent
     /// claimer (lost CAS or observed an in-flight reservation).
     ClaimRaces,
+    /// Candidate composite states examined through the symbolic
+    /// engine's containment index (signature prefilter passes that led
+    /// to a full pairwise containment evaluation are counted by
+    /// [`Counter::ContainmentChecks`]).
+    IndexProbes,
+    /// Successor composite states that hash-consed to an
+    /// already-interned state in the composite arena.
+    InternHits,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 15] = [
         Counter::Visits,
         Counter::Prunes,
         Counter::ContainmentChecks,
@@ -104,6 +112,8 @@ impl Counter {
         Counter::BusOps,
         Counter::Steals,
         Counter::ClaimRaces,
+        Counter::IndexProbes,
+        Counter::InternHits,
     ];
 
     /// Stable snake_case name used in exported JSON.
@@ -122,6 +132,8 @@ impl Counter {
             Counter::BusOps => "bus_ops",
             Counter::Steals => "steals",
             Counter::ClaimRaces => "claim_races",
+            Counter::IndexProbes => "index_probes",
+            Counter::InternHits => "intern_hits",
         }
     }
 
@@ -146,16 +158,20 @@ pub enum Gauge {
     /// Peak number of discovered-but-unexpanded states observed by the
     /// work-stealing enumerator (its analogue of the largest frontier).
     PeakPending,
+    /// Approximate bytes held by the symbolic engine's interned
+    /// composite arena at fixpoint (inline storage plus spill).
+    ArenaBytes,
 }
 
 impl Gauge {
     /// Every gauge, in declaration order.
-    pub const ALL: [Gauge; 5] = [
+    pub const ALL: [Gauge; 6] = [
         Gauge::EssentialStates,
         Gauge::DistinctStates,
         Gauge::Levels,
         Gauge::Threads,
         Gauge::PeakPending,
+        Gauge::ArenaBytes,
     ];
 
     /// Stable snake_case name used in exported JSON.
@@ -166,6 +182,7 @@ impl Gauge {
             Gauge::Levels => "levels",
             Gauge::Threads => "threads",
             Gauge::PeakPending => "peak_pending",
+            Gauge::ArenaBytes => "arena_bytes",
         }
     }
 

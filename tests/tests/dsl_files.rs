@@ -3,7 +3,7 @@
 //! constructors semantically, and verify; malformed inputs fail
 //! gracefully (never panic).
 
-use ccv_core::{verify, Verdict};
+use ccv_core::{Batch, Verdict};
 use ccv_model::dsl::{parse_protocol, to_dsl};
 use ccv_model::{protocols, BusOp, GlobalCtx, ProcEvent};
 use proptest::prelude::*;
@@ -51,6 +51,8 @@ fn checked_in_protocol_files_match_the_library() {
 
 #[test]
 fn checked_in_protocol_files_all_verify() {
+    // The whole suite runs through one batch verification session.
+    let mut batch = Batch::new();
     for file in [
         "msi.ccv",
         "illinois.ccv",
@@ -62,7 +64,7 @@ fn checked_in_protocol_files_all_verify() {
         "moesi.ccv",
     ] {
         let spec = parse_protocol(&repo_file(file)).unwrap();
-        assert_eq!(verify(&spec).verdict, Verdict::Verified, "{file}");
+        assert_eq!(batch.summarize(&spec).verdict, Verdict::Verified, "{file}");
     }
 }
 

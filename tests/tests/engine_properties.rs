@@ -1,7 +1,10 @@
 //! Deeper structural properties of the symbolic engine, checked across
 //! the whole protocol library.
 
-use ccv_core::{global_graph, run_expansion, successors, verify_with, Composite, Options, Verdict};
+use ccv_core::{
+    global_graph, reference_expand, run_expansion, successors, verify_with, Composite, Expansion,
+    Options, Pruning, Verdict,
+};
 use ccv_model::{protocols, ProcEvent};
 
 #[test]
@@ -149,6 +152,109 @@ fn essential_states_are_mutually_incomparable() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Sorted paper-notation renderings of an expansion's essential set.
+fn rendered_essential(spec: &ccv_model::ProtocolSpec, exp: &Expansion) -> Vec<String> {
+    let mut v: Vec<String> = exp
+        .essential_states()
+        .iter()
+        .map(|c| c.render(spec))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn indexed_engine_matches_the_naive_reference_on_every_protocol() {
+    // Differential test of the rearchitected core: the interned,
+    // index-backed engine against the retained naive engine
+    // (linear scans, allocating successors), on all ten protocols and
+    // both pruning modes. Everything observable must coincide.
+    for spec in protocols::all_correct() {
+        for pruning in [Pruning::Containment, Pruning::Equality] {
+            let opts = Options::default().pruning(pruning);
+            let fast = run_expansion(&spec, &opts);
+            let naive = reference_expand(&spec, &opts);
+            let tag = format!("{} ({pruning:?})", spec.name());
+            assert_eq!(fast.visits, naive.visits, "{tag}: visits");
+            assert_eq!(fast.successors, naive.successors, "{tag}: successors");
+            assert_eq!(fast.expanded, naive.expanded, "{tag}: expansions");
+            assert_eq!(fast.truncated, naive.truncated, "{tag}: truncation");
+            assert_eq!(fast.errors.len(), naive.errors.len(), "{tag}: errors");
+            assert_eq!(
+                rendered_essential(&spec, &fast),
+                rendered_essential(&spec, &naive),
+                "{tag}: essential sets diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn indexed_engine_matches_the_reference_on_every_buggy_mutant() {
+    // Same differential on the mutants: verdicts, error findings and
+    // the rendered counterexample paths must be byte-identical (both
+    // engines discover states in the same order).
+    for (spec, why) in protocols::all_buggy() {
+        for pruning in [Pruning::Containment, Pruning::Equality] {
+            let opts = Options::default().pruning(pruning);
+            let fast = run_expansion(&spec, &opts);
+            let naive = reference_expand(&spec, &opts);
+            let tag = format!("{} ({pruning:?}, {why})", spec.name());
+            assert!(!fast.errors.is_empty(), "{tag}: bug not found");
+            assert_eq!(fast.errors.len(), naive.errors.len(), "{tag}: errors");
+            for (a, b) in fast.errors.iter().zip(&naive.errors) {
+                assert_eq!(a.node, b.node, "{tag}: error node");
+                assert_eq!(a.step_errors, b.step_errors, "{tag}: step errors");
+                assert_eq!(
+                    fast.render_path(&spec, a.node),
+                    naive.render_path(&spec, b.node),
+                    "{tag}: counterexample paths diverge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn illinois_expansion_is_bit_identical_to_the_reference() {
+    // The acceptance pin: 22 expansion steps, 5 essential states, and
+    // the full recorded trace byte-identical between the engines.
+    let spec = protocols::illinois();
+    let opts = Options::default().record_trace(true);
+    let fast = run_expansion(&spec, &opts);
+    let naive = reference_expand(&spec, &opts);
+    assert_eq!(fast.visits, 22);
+    assert_eq!(fast.essential.len(), 5);
+    assert_eq!(naive.visits, 22);
+    assert_eq!(naive.essential.len(), 5);
+    assert_eq!(fast.trace.len(), naive.trace.len());
+    for (a, b) in fast.trace.iter().zip(&naive.trace) {
+        assert_eq!(a.from, b.from);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.to, b.to);
+        assert_eq!(a.disposition, b.disposition);
+    }
+}
+
+#[test]
+fn error_reports_render_identically_to_the_reference() {
+    // Regression for the eager error materialisation fix: the lazily
+    // materialised step errors must render exactly the messages the
+    // naive engine produces, for every violating trace.
+    for (spec, _) in protocols::all_buggy() {
+        let v = verify_with(&spec, &Options::default());
+        let naive = reference_expand(&spec, &Options::default());
+        assert_eq!(v.reports.len(), naive.errors.len(), "{}", spec.name());
+        for (r, f) in v.reports.iter().zip(&naive.errors) {
+            let mut descriptions: Vec<String> =
+                f.violations.iter().map(|x| x.describe(&spec)).collect();
+            descriptions.extend(f.step_errors.iter().map(|e| e.to_string()));
+            assert_eq!(r.descriptions, descriptions, "{}", spec.name());
+            assert_eq!(r.path, naive.render_path(&spec, f.node), "{}", spec.name());
         }
     }
 }

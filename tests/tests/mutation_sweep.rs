@@ -3,7 +3,7 @@
 //! mutant of every protocol — no panics, no divergence — and the
 //! rejected ones must carry counterexamples.
 
-use ccv_core::{verify_with, Options, Verdict};
+use ccv_core::{Batch, Options, Verdict};
 use ccv_model::mutate::single_mutants;
 use ccv_model::protocols;
 
@@ -13,9 +13,12 @@ fn opts() -> Options {
 
 #[test]
 fn every_illinois_mutant_gets_a_definite_verdict() {
+    // The sweep runs through one batch session: every mutant reuses
+    // the same engine scratch (successor buffers, index, arena).
+    let mut batch = Batch::with_options(opts());
     let base = protocols::illinois();
     for m in single_mutants(&base) {
-        let v = verify_with(&m.spec, &opts());
+        let v = batch.verify(&m.spec);
         assert_ne!(
             v.verdict,
             Verdict::Inconclusive,
@@ -34,9 +37,12 @@ fn every_illinois_mutant_gets_a_definite_verdict() {
 
 #[test]
 fn every_protocols_mutants_terminate() {
+    // Summary-only batch runs: verdict and counts are enough here, so
+    // each run's arena is recycled into the scratch pool.
+    let mut batch = Batch::with_options(opts());
     for spec in protocols::all_correct() {
         for m in single_mutants(&spec) {
-            let v = verify_with(&m.spec, &opts());
+            let v = batch.summarize(&m.spec);
             assert_ne!(
                 v.verdict,
                 Verdict::Inconclusive,
@@ -52,10 +58,11 @@ fn every_protocols_mutants_terminate() {
 fn dropping_any_writeback_is_always_caught() {
     // The one mutation class that must never be benign: losing a
     // write-back always loses data eventually.
+    let mut batch = Batch::with_options(opts());
     for spec in protocols::all_correct() {
         for m in single_mutants(&spec) {
             if m.description.contains("write-back dropped") {
-                let v = verify_with(&m.spec, &opts());
+                let v = batch.summarize(&m.spec);
                 assert_eq!(
                     v.verdict,
                     Verdict::Erroneous,
@@ -73,9 +80,10 @@ fn benign_mutants_pass_the_explicit_engine_too() {
     // Double-check the "benign" verdicts against the enumerative
     // engine at n = 3 — a symbolic false-negative would show up here.
     use ccv_enum::{enumerate, EnumOptions};
+    let mut batch = Batch::with_options(opts());
     let base = protocols::illinois();
     for m in single_mutants(&base) {
-        let v = verify_with(&m.spec, &opts());
+        let v = batch.summarize(&m.spec);
         if v.verdict == Verdict::Verified {
             let r = enumerate(&m.spec, &EnumOptions::new(3));
             assert!(

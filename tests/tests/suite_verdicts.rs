@@ -1,6 +1,6 @@
 //! Integration tests over the whole protocol suite (E5, E6).
 
-use ccv_core::{verify, verify_with, Options, Pruning, Verdict};
+use ccv_core::{verify, verify_with, Batch, Options, Pruning, Verdict};
 use ccv_model::protocols::{all_buggy, all_correct, by_name, PROTOCOL_NAMES};
 
 #[test]
@@ -58,10 +58,12 @@ fn every_buggy_mutant_is_rejected_with_a_counterexample() {
 
 #[test]
 fn equality_pruning_reaches_the_same_verdicts() {
-    let opts = Options::default().pruning(Pruning::Equality);
+    // Run the ablation through a batch session — doubles as coverage
+    // that batches honour non-default options.
+    let mut batch = Batch::with_options(Options::default().pruning(Pruning::Equality));
     for spec in all_correct() {
         assert_eq!(
-            verify_with(&spec, &opts).verdict,
+            batch.summarize(&spec).verdict,
             Verdict::Verified,
             "{}",
             spec.name()
@@ -69,7 +71,7 @@ fn equality_pruning_reaches_the_same_verdicts() {
     }
     for (spec, _) in all_buggy() {
         assert_eq!(
-            verify_with(&spec, &opts).verdict,
+            batch.summarize(&spec).verdict,
             Verdict::Erroneous,
             "{}",
             spec.name()
