@@ -2,21 +2,27 @@
 //!
 //! Each command declares its argument grammar as a typed
 //! [`ArgSpec`] (see `args.rs`), parses with
-//! positioned errors, and supports `--help`. Commands return
-//! `Ok(true)` for success, `Ok(false)` for a completed run with a
-//! negative result (verification failed, oracle violated), and
-//! `Err(message)` for usage errors.
+//! positioned errors, and supports `--help`. Commands return a
+//! [`CmdStatus`] — success, failure (verification failed, oracle
+//! violated) or inconclusive (the run stopped early on a budget,
+//! deadline, memory cap, Ctrl-C or worker panic) — and `Err(message)`
+//! for usage errors. `main` maps these to the exit codes 0, 1, 3
+//! and 2 respectively.
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::sync::Arc;
 
 use crate::args::{ArgSpec, Flag, ParsedArgs, Positional};
-use ccv_core::{Batch, Options, Pruning, Session, Verdict, VerificationReport};
-use ccv_enum::{attach_crosscheck, enumerate as run_enumerate, enumerate_parallel, EnumOptions};
+use ccv_core::{Batch, Options, Outcome, Pruning, Session, Verdict, VerificationReport};
+use ccv_enum::{
+    attach_crosscheck, enumerate as run_enumerate, enumerate_parallel, enumerate_parallel_resumed,
+    enumerate_resumed, Checkpoint, EnumOptions,
+};
 use ccv_model::{protocols, ProtocolSpec};
 use ccv_observe::{
-    EventSink, FlightRecorder, Metrics, NdjsonSink, PostmortemGuard, SinkHandle, Tee, TraceSink,
+    CancelToken, EventSink, FlightRecorder, Metrics, NdjsonSink, PostmortemGuard, SinkHandle, Tee,
+    TraceSink,
 };
 use ccv_sim::{workload, Machine, MachineConfig, Trace, WorkloadParams};
 
@@ -29,15 +35,19 @@ usage:
   ccv describe   <protocol>                 print the protocol's FSM tables
   ccv check-all                             verify the whole library (CI gate)
   ccv verify     <protocol> [--trace] [--equality] [--dot FILE]
-                 [--metrics FILE] [--progress]
+                 [--metrics FILE] [--progress] [--deadline SECS]
+                 [--max-bytes BYTES]
   ccv graph      <protocol>                 print the global diagram as DOT
   ccv export     <protocol>                 print the protocol as .ccv source
   ccv compare    <protocol-a> <protocol-b>  diff the global diagrams
   ccv witness    <protocol> [-n MAX]        shortest concrete violation scenario
   ccv recovery   <protocol>                 tolerated vs fatal start configurations
   ccv report     <protocol> [-o FILE]       full markdown dossier
-  ccv enumerate  <protocol> -n N [--exact] [--threads T]
-  ccv crosscheck <protocol> -n N            Theorem 1 check at size N
+  ccv enumerate  <protocol> -n N [--exact] [--threads T] [--max-states N]
+                 [--deadline SECS] [--max-bytes BYTES]
+                 [--checkpoint-out FILE] [--resume FILE]
+  ccv crosscheck <protocol> -n N [--stop-at-first-error]
+                                            Theorem 1 check at size N
   ccv simulate   <protocol> [--workload W | --trace-file F] [--accesses N]
                  [--procs P] [--seed S]
   ccv profile    <protocol> [-n N] [--threads T] [--symbolic]
@@ -49,11 +59,51 @@ observability trio: [--metrics-out FILE] [--trace-out FILE]
 
 run `ccv <command> --help` for the full options of one command.
 
+exit codes: 0 verified / success, 1 violation found, 2 usage error,
+3 inconclusive (budget, deadline, memory cap, Ctrl-C or worker panic
+stopped the run before a verdict).
+
 <protocol> is a library name (msi, illinois, write-once, synapse, berkeley,
 firefly, dragon, moesi, or a buggy mutant — run `ccv list`) or a path to a
 .ccv protocol description file.";
 
-type CmdResult = Result<bool, String>;
+/// Terminal status of a command, mapped onto the process exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmdStatus {
+    /// The command completed and its verdict (if any) is positive.
+    Success,
+    /// A completed run with a negative result: verification failed,
+    /// a violation was found, the oracle was violated.
+    Failure,
+    /// The run stopped early — budget, deadline, memory cap,
+    /// cancellation or worker panic — so no verdict was reached.
+    /// Distinct from both success and failure: a partial result must
+    /// never be mistaken for either.
+    Inconclusive,
+}
+
+impl CmdStatus {
+    /// The process exit code: 0 success, 1 failure, 3 inconclusive
+    /// (2 is reserved for usage errors).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            CmdStatus::Success => 0,
+            CmdStatus::Failure => 1,
+            CmdStatus::Inconclusive => 3,
+        }
+    }
+
+    /// Folds a boolean verdict into a status.
+    pub fn from_ok(ok: bool) -> CmdStatus {
+        if ok {
+            CmdStatus::Success
+        } else {
+            CmdStatus::Failure
+        }
+    }
+}
+
+pub(crate) type CmdResult = Result<CmdStatus, String>;
 
 const PROTOCOL_POS: Positional = Positional {
     name: "protocol",
@@ -191,7 +241,7 @@ const LIST_SPEC: ArgSpec = ArgSpec {
 /// `ccv list`
 pub fn list(args: &[String]) -> CmdResult {
     let Some(_) = parse_or_help(&LIST_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     println!("correct protocols:");
     for spec in protocols::all_correct() {
@@ -211,7 +261,7 @@ pub fn list(args: &[String]) -> CmdResult {
         let cli_name = spec.name().to_lowercase().replace('/', "-");
         println!("  {cli_name:<34} {why}");
     }
-    Ok(true)
+    Ok(CmdStatus::Success)
 }
 
 const DESCRIBE_SPEC: ArgSpec = ArgSpec {
@@ -224,7 +274,7 @@ const DESCRIBE_SPEC: ArgSpec = ArgSpec {
 /// `ccv describe <protocol>`
 pub fn describe(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&DESCRIBE_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     print!("{}", spec.describe());
@@ -246,7 +296,7 @@ pub fn describe(args: &[String]) -> CmdResult {
             );
         }
     }
-    Ok(true)
+    Ok(CmdStatus::Success)
 }
 
 const CHECK_ALL_SPEC: ArgSpec = ArgSpec {
@@ -259,7 +309,7 @@ const CHECK_ALL_SPEC: ArgSpec = ArgSpec {
 /// `ccv check-all` — verify the whole library (CI entry point).
 pub fn check_all(args: &[String]) -> CmdResult {
     let Some(_) = parse_or_help(&CHECK_ALL_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let mut ok = true;
     println!(
@@ -303,7 +353,7 @@ pub fn check_all(args: &[String]) -> CmdResult {
             "UNEXPECTED VERDICTS PRESENT."
         }
     );
-    Ok(ok)
+    Ok(CmdStatus::from_ok(ok))
 }
 
 const VERIFY_SPEC: ArgSpec = ArgSpec {
@@ -340,6 +390,16 @@ const VERIFY_SPEC: ArgSpec = ArgSpec {
             name: "--essential-out",
             value: Some("FILE"),
             help: "write the essential states as canonical JSON (stable ordering)",
+        },
+        Flag {
+            name: "--deadline",
+            value: Some("SECS"),
+            help: "stop with an inconclusive verdict after this much wall-clock time",
+        },
+        Flag {
+            name: "--max-bytes",
+            value: Some("BYTES"),
+            help: "stop with an inconclusive verdict past this approximate footprint",
         },
         METRICS_OUT_FLAG,
         TRACE_OUT_FLAG,
@@ -418,7 +478,7 @@ fn essential_states_json(
 /// [--flight-recorder[=N]] [--rule-stats]`
 pub fn verify(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&VERIFY_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     let record_trace = p.flag("--trace");
@@ -439,7 +499,16 @@ pub fn verify(args: &[String]) -> CmdResult {
             Pruning::Containment
         })
         .record_trace(record_trace)
-        .rule_stats(rule_stats);
+        .rule_stats(rule_stats)
+        // Ctrl-C flips the process-global token; the engine drains at
+        // the next poll and the partial result renders INCONCLUSIVE.
+        .cancel(CancelToken::global());
+    if let Some(secs) = p.value::<f64>("--deadline")? {
+        opts = opts.deadline(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(bytes) = p.value::<u64>("--max-bytes")? {
+        opts = opts.max_bytes(bytes);
+    }
     let mut extra: Vec<Arc<dyn EventSink>> = Vec::new();
     if let Some(m) = &metrics {
         extra.push(m.clone());
@@ -458,6 +527,9 @@ pub fn verify(args: &[String]) -> CmdResult {
 
     println!("protocol : {}", report.protocol);
     println!("verdict  : {}", report.verdict);
+    if let Outcome::Inconclusive { .. } = &report.outcome {
+        println!("outcome  : {}", report.outcome);
+    }
     println!(
         "explored : {} visits, {} expansions -> {} essential states",
         report.visits(),
@@ -521,7 +593,11 @@ pub fn verify(args: &[String]) -> CmdResult {
         println!("\nmetrics written to {path}");
     }
     obs.finish()?;
-    Ok(report.verdict == Verdict::Verified)
+    Ok(match report.verdict {
+        Verdict::Verified => CmdStatus::Success,
+        Verdict::Erroneous => CmdStatus::Failure,
+        Verdict::Inconclusive => CmdStatus::Inconclusive,
+    })
 }
 
 const GRAPH_SPEC: ArgSpec = ArgSpec {
@@ -534,12 +610,12 @@ const GRAPH_SPEC: ArgSpec = ArgSpec {
 /// `ccv graph <protocol>`
 pub fn graph(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&GRAPH_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let session = Session::new(resolve_spec(p.require_pos(0, "protocol name")?)?);
     let report = session.verify();
     print!("{}", report.graph.to_dot(session.spec()));
-    Ok(true)
+    Ok(CmdStatus::Success)
 }
 
 const EXPORT_SPEC: ArgSpec = ArgSpec {
@@ -552,11 +628,11 @@ const EXPORT_SPEC: ArgSpec = ArgSpec {
 /// `ccv export <protocol>`
 pub fn export(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&EXPORT_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     print!("{}", ccv_model::dsl::to_dsl(&spec));
-    Ok(true)
+    Ok(CmdStatus::Success)
 }
 
 const COMPARE_SPEC: ArgSpec = ArgSpec {
@@ -580,13 +656,13 @@ const COMPARE_SPEC: ArgSpec = ArgSpec {
 /// `ccv compare <protocol-a> <protocol-b>`
 pub fn compare(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&COMPARE_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let a = resolve_spec(p.require_pos(0, "first protocol")?)?;
     let b = resolve_spec(p.require_pos(1, "second protocol")?)?;
     let diff = ccv_core::compare_protocols(&a, &b);
     print!("{}", diff.render());
-    Ok(true)
+    Ok(CmdStatus::Success)
 }
 
 const WITNESS_SPEC: ArgSpec = ArgSpec {
@@ -603,7 +679,7 @@ const WITNESS_SPEC: ArgSpec = ArgSpec {
 /// `ccv witness <protocol> [-n MAX]`
 pub fn witness(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&WITNESS_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     let max_n: usize = p.value_or("-n", 4)?;
@@ -614,13 +690,13 @@ pub fn witness(args: &[String]) -> CmdResult {
                 "\nthe protocol is incoherent; scenario above is minimal for {} caches.",
                 w.n
             );
-            Ok(false)
+            Ok(CmdStatus::Failure)
         }
         None => {
             println!(
                 "no violation scenario with up to {max_n} caches; `ccv verify` proves it for any number."
             );
-            Ok(true)
+            Ok(CmdStatus::Success)
         }
     }
 }
@@ -635,7 +711,7 @@ const RECOVERY_SPEC: ArgSpec = ArgSpec {
 /// `ccv recovery <protocol>`
 pub fn recovery(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&RECOVERY_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     let report = ccv_core::analyze_recovery(&spec, 200_000);
@@ -659,7 +735,7 @@ pub fn recovery(args: &[String]) -> CmdResult {
     for c in report.invariant_gap() {
         println!("    {}  mdata={}", c.start.render(&spec), c.start.mdata);
     }
-    Ok(true)
+    Ok(CmdStatus::Success)
 }
 
 const REPORT_SPEC: ArgSpec = ArgSpec {
@@ -676,7 +752,7 @@ const REPORT_SPEC: ArgSpec = ArgSpec {
 /// `ccv report <protocol> [-o FILE]`
 pub fn report(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&REPORT_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let session = Session::new(resolve_spec(p.require_pos(0, "protocol name")?)?);
     let verification = session.verify();
@@ -688,7 +764,7 @@ pub fn report(args: &[String]) -> CmdResult {
         }
         None => print!("{md}"),
     }
-    Ok(true)
+    Ok(CmdStatus::Success)
 }
 
 const ENUMERATE_SPEC: ArgSpec = ArgSpec {
@@ -711,6 +787,36 @@ const ENUMERATE_SPEC: ArgSpec = ArgSpec {
             value: Some("T"),
             help: "parallel workers; 0 = one per available core (default 0)",
         },
+        Flag {
+            name: "--max-states",
+            value: Some("N"),
+            help: "stop (inconclusively) after this many distinct states",
+        },
+        Flag {
+            name: "--deadline",
+            value: Some("SECS"),
+            help: "stop (inconclusively) after this much wall-clock time",
+        },
+        Flag {
+            name: "--max-bytes",
+            value: Some("BYTES"),
+            help: "stop (inconclusively) past this approximate visited-table footprint",
+        },
+        Flag {
+            name: "--checkpoint-out",
+            value: Some("FILE"),
+            help: "on an early stop, write the search state for --resume",
+        },
+        Flag {
+            name: "--resume",
+            value: Some("FILE"),
+            help: "continue from a checkpoint written by --checkpoint-out",
+        },
+        Flag {
+            name: "--inject-panic",
+            value: Some("K"),
+            help: "test hook: panic worker 0 after K visits (exercises panic containment)",
+        },
         METRICS_OUT_FLAG,
         TRACE_OUT_FLAG,
         FLIGHT_FLAG,
@@ -719,11 +825,12 @@ const ENUMERATE_SPEC: ArgSpec = ArgSpec {
 };
 
 /// `ccv enumerate <protocol> -n N [--exact] [--threads T]
-/// [--metrics-out FILE] [--trace-out FILE] [--flight-recorder[=N]]
-/// [--rule-stats]`
+/// [--max-states N] [--deadline SECS] [--max-bytes BYTES]
+/// [--checkpoint-out FILE] [--resume FILE] [--metrics-out FILE]
+/// [--trace-out FILE] [--flight-recorder[=N]] [--rule-stats]`
 pub fn enumerate(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&ENUMERATE_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     let n: usize = p.value_or("-n", 4)?;
@@ -735,10 +842,41 @@ pub fn enumerate(args: &[String]) -> CmdResult {
     let human = Arc::new(Metrics::new());
     let mut opts = EnumOptions::new(n)
         .sink(obs.handle(vec![human.clone() as Arc<dyn EventSink>]))
-        .rule_stats(rule_stats);
+        .rule_stats(rule_stats)
+        .cancel(CancelToken::global());
     if p.flag("--exact") {
         opts = opts.exact();
     }
+    if let Some(max) = p.value::<usize>("--max-states")? {
+        opts = opts.max_states(max);
+    }
+    if let Some(secs) = p.value::<f64>("--deadline")? {
+        opts = opts.deadline(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(bytes) = p.value::<u64>("--max-bytes")? {
+        opts = opts.max_bytes(bytes);
+    }
+    if let Some(k) = p.value::<usize>("--inject-panic")? {
+        opts = opts.inject_panic(k);
+    }
+    let checkpoint_out: Option<String> = p.value("--checkpoint-out")?;
+    if checkpoint_out.is_some() {
+        opts = opts.capture_snapshot(true);
+    }
+    let seed = match p.value::<String>("--resume")? {
+        Some(path) => {
+            let ckpt = Checkpoint::load(std::path::Path::new(&path))?;
+            ckpt.validate(&spec, &opts)?;
+            println!(
+                "resuming from {path}: {} distinct states, {} frontier states, {} visits so far",
+                ckpt.visited.len(),
+                ckpt.frontier.len(),
+                ckpt.visits
+            );
+            Some(ckpt.into_seed())
+        }
+        None => None,
+    };
     let requested: usize = p.value_or("--threads", 0)?;
     // 0 = auto: one worker per core the scheduler grants this process.
     let threads = if requested == 0 {
@@ -747,9 +885,9 @@ pub fn enumerate(args: &[String]) -> CmdResult {
         requested
     };
     let r = if threads > 1 {
-        enumerate_parallel(&spec, &opts, threads)
+        enumerate_parallel_resumed(&spec, &opts, threads, seed)
     } else {
-        run_enumerate(&spec, &opts)
+        enumerate_resumed(&spec, &opts, seed)
     };
     println!(
         "protocol {} n={} dedup={:?} threads={}{}",
@@ -763,6 +901,24 @@ pub fn enumerate(args: &[String]) -> CmdResult {
         "distinct states: {}   visits: {}   truncated: {}",
         r.distinct, r.visits, r.truncated
     );
+    if let Some(info) = &r.stopped {
+        println!(
+            "inconclusive: {} ({} states still pending, {:.3}s elapsed)",
+            info.describe(),
+            info.frontier,
+            info.elapsed.as_secs_f64()
+        );
+    }
+    if let Some(path) = &checkpoint_out {
+        match Checkpoint::of_result(&spec, &opts, &r) {
+            Some(ckpt) => {
+                ckpt.save(std::path::Path::new(path))
+                    .map_err(|e| format!("writing checkpoint {path}: {e}"))?;
+                println!("checkpoint written to {path}");
+            }
+            None => println!("run completed; no checkpoint written to {path}"),
+        }
+    }
     let snap = human.snapshot();
     if threads > 1 {
         print!("{}", crate::report::worker_summary(&snap));
@@ -781,7 +937,11 @@ pub fn enumerate(args: &[String]) -> CmdResult {
         println!("... and {} more errors", r.errors.len() - 5);
     }
     obs.finish()?;
-    Ok(r.is_clean())
+    Ok(if r.stopped.is_some() {
+        CmdStatus::Inconclusive
+    } else {
+        CmdStatus::from_ok(r.errors.is_empty())
+    })
 }
 
 const CROSSCHECK_SPEC: ArgSpec = ArgSpec {
@@ -794,26 +954,37 @@ const CROSSCHECK_SPEC: ArgSpec = ArgSpec {
             value: Some("N"),
             help: "cache count to enumerate (default 4)",
         },
+        Flag {
+            name: "--stop-at-first-error",
+            value: None,
+            help: "skip the coverage scan if the enumeration reaches a violation",
+        },
         METRICS_OUT_FLAG,
         TRACE_OUT_FLAG,
         FLIGHT_FLAG,
     ],
 };
 
-/// `ccv crosscheck <protocol> -n N [--metrics-out FILE]
-/// [--trace-out FILE] [--flight-recorder[=N]]`
+/// `ccv crosscheck <protocol> -n N [--stop-at-first-error]
+/// [--metrics-out FILE] [--trace-out FILE] [--flight-recorder[=N]]`
 pub fn crosscheck(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&CROSSCHECK_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let obs = Obs::from_args(&p)?;
     let handle = obs.handle(Vec::new());
     let session = Session::new(resolve_spec(p.require_pos(0, "protocol name")?)?)
         .options(Options::default().sink(handle.clone()));
     let n: usize = p.value_or("-n", 4)?;
+    let stop = p.flag("--stop-at-first-error");
     let mut verification = session.verify();
     let spec = session.spec();
-    let cc = attach_crosscheck(spec, &mut verification, n, 1 << 24, &handle);
+    let cc = attach_crosscheck(spec, &mut verification, n, 1 << 24, stop, &handle);
+    if let Some(why) = &cc.aborted {
+        println!("coverage scan skipped: {why}");
+        obs.finish()?;
+        return Ok(CmdStatus::Failure);
+    }
     let summary = verification
         .crosscheck
         .as_ref()
@@ -833,7 +1004,7 @@ pub fn crosscheck(args: &[String]) -> CmdResult {
         println!("UNCOVERED STATES: {:?}", cc.uncovered_examples);
     }
     obs.finish()?;
-    Ok(complete)
+    Ok(CmdStatus::from_ok(complete))
 }
 
 const SIMULATE_SPEC: ArgSpec = ArgSpec {
@@ -877,7 +1048,7 @@ const SIMULATE_SPEC: ArgSpec = ArgSpec {
 /// [--flight-recorder[=N]]`
 pub fn simulate(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&SIMULATE_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     let procs: usize = p.value_or("--procs", 4)?;
@@ -916,7 +1087,7 @@ pub fn simulate(args: &[String]) -> CmdResult {
             );
         }
         obs.finish()?;
-        return Ok(coherent);
+        return Ok(CmdStatus::from_ok(coherent));
     }
     let trace: Trace = match which.as_str() {
         "uniform" => workload::uniform(&params),
@@ -948,7 +1119,7 @@ pub fn simulate(args: &[String]) -> CmdResult {
         );
     }
     obs.finish()?;
-    Ok(coherent)
+    Ok(CmdStatus::from_ok(coherent))
 }
 
 const PROFILE_SPEC: ArgSpec = ArgSpec {
@@ -981,7 +1152,7 @@ const PROFILE_SPEC: ArgSpec = ArgSpec {
 /// [--metrics-out FILE] [--trace-out FILE] [--flight-recorder[=N]]`
 pub fn profile(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&PROFILE_SPEC, args)? else {
-        return Ok(true);
+        return Ok(CmdStatus::Success);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     let obs = Obs::from_args(&p)?;
@@ -1018,5 +1189,5 @@ pub fn profile(args: &[String]) -> CmdResult {
 
     print!("\n{}", crate::report::rule_table(&metrics.snapshot()));
     obs.finish()?;
-    Ok(clean)
+    Ok(CmdStatus::from_ok(clean))
 }

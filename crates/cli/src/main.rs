@@ -5,14 +5,19 @@
 //! ccv describe  <protocol>                 print the FSM tables
 //! ccv verify    <protocol> [--trace] [--equality] [--dot FILE]
 //!                          [--metrics FILE] [--progress]
+//!                          [--deadline SECS] [--max-bytes BYTES]
 //! ccv graph     <protocol>                 print the Fig. 4 diagram as DOT
-//! ccv enumerate <protocol> -n N [--exact] [--threads T]
+//! ccv enumerate <protocol> -n N [--exact] [--threads T] [--max-states N]
+//!                          [--deadline SECS] [--max-bytes BYTES]
+//!                          [--checkpoint-out FILE] [--resume FILE]
 //! ccv crosscheck <protocol> -n N           Theorem 1 check at size N
 //! ccv simulate  <protocol> [--workload W] [--accesses N] [--procs P] [--seed S]
 //! ```
 //!
 //! Exit status: 0 on success / verified, 1 on a verification failure or
-//! coherence violation, 2 on usage errors.
+//! coherence violation, 2 on usage errors, 3 when the run stopped early
+//! (budget, deadline, memory cap, Ctrl-C or a worker panic) without
+//! reaching a verdict.
 
 use std::process::ExitCode;
 
@@ -20,7 +25,34 @@ mod args;
 mod commands;
 mod report;
 
+/// Installs a SIGINT handler that flips the process-global cancel
+/// flag. Engines holding [`ccv_observe::CancelToken::global`] observe
+/// it at their next poll, drain cooperatively, and render a partial
+/// (INCONCLUSIVE) result instead of dying mid-search. The handler
+/// body is a single atomic store, which is async-signal-safe.
+#[cfg(unix)]
+fn install_ctrl_c_handler() {
+    use std::os::raw::c_int;
+
+    const SIGINT: c_int = 2;
+    extern "C" fn on_sigint(_sig: c_int) {
+        ccv_observe::request_global_cancel();
+    }
+    extern "C" {
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+    // SAFETY: `signal` is the libc entry point; the handler performs
+    // one atomic store and touches no non-reentrant state.
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(c_int) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_ctrl_c_handler() {}
+
 fn main() -> ExitCode {
+    install_ctrl_c_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{}", commands::USAGE);
@@ -43,7 +75,7 @@ fn main() -> ExitCode {
         "profile" => commands::profile(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
-            Ok(true)
+            Ok(commands::CmdStatus::Success)
         }
         other => {
             eprintln!("unknown command '{other}'\n{}", commands::USAGE);
@@ -51,8 +83,7 @@ fn main() -> ExitCode {
         }
     };
     match result {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(1),
+        Ok(status) => ExitCode::from(status.exit_code()),
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)

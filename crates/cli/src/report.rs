@@ -402,6 +402,7 @@ mod tests {
             &mut v,
             3,
             1 << 20,
+            false,
             &ccv_observe::SinkHandle::disabled(),
         );
         let md = protocol_report(session.spec(), &v);

@@ -695,3 +695,156 @@ fn crosscheck_trace_contains_both_legs() {
         .count();
     assert_eq!(legs, 2, "expected the enumeration and coverage legs");
 }
+
+#[test]
+fn enumerate_budget_stop_writes_checkpoint_and_exits_inconclusive() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("illinois-budget.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "4",
+        "--exact",
+        "--threads",
+        "1",
+        "--max-states",
+        "5",
+        "--checkpoint-out",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(3), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("truncated: true"), "{out}");
+    assert!(
+        out.contains("inconclusive: state budget exhausted"),
+        "{out}"
+    );
+    assert!(out.contains("checkpoint written to"), "{out}");
+    assert!(ckpt.exists());
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(
+        text.starts_with("{\"schema\":\"ccv-checkpoint-v1\""),
+        "{text}"
+    );
+}
+
+#[test]
+fn enumerate_resume_recovers_the_uninterrupted_totals() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("illinois-resume.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Reference: one uninterrupted run.
+    let full = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "4",
+        "--exact",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(full.status.code(), Some(0), "{}", stderr(&full));
+    let totals = stdout(&full)
+        .lines()
+        .find(|l| l.starts_with("distinct states:"))
+        .expect("totals line")
+        .to_string();
+
+    // Leg 1: trip the budget, save a checkpoint.
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "4",
+        "--exact",
+        "--threads",
+        "1",
+        "--max-states",
+        "5",
+        "--checkpoint-out",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(3), "{}", stderr(&o));
+
+    // Leg 2: resume with no budget; totals must match the reference.
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "4",
+        "--exact",
+        "--threads",
+        "1",
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("resuming from"), "{out}");
+    assert!(
+        out.contains(&totals),
+        "resumed totals differ:\n{out}\nvs\n{totals}"
+    );
+}
+
+#[test]
+fn enumerate_resume_rejects_a_mismatched_protocol() {
+    let dir = std::env::temp_dir().join("ccv-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("illinois-mismatch.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "4",
+        "--exact",
+        "--threads",
+        "1",
+        "--max-states",
+        "5",
+        "--checkpoint-out",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(3), "{}", stderr(&o));
+
+    let o = ccv(&[
+        "enumerate",
+        "berkeley",
+        "-n",
+        "4",
+        "--exact",
+        "--threads",
+        "1",
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(o.status.code(), Some(2), "{}", stdout(&o));
+    assert!(stderr(&o).contains("checkpoint"), "{}", stderr(&o));
+}
+
+#[test]
+fn enumerate_worker_panic_reports_inconclusive_without_hanging() {
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "4",
+        "--exact",
+        "--threads",
+        "2",
+        "--inject-panic",
+        "3",
+    ]);
+    assert_eq!(o.status.code(), Some(3), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("worker thread panicked"), "{out}");
+    assert!(out.contains("injected worker fault"), "{out}");
+}

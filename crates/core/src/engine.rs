@@ -43,7 +43,9 @@ use crate::expand::{successors_into, ExpandScratch, Label, StepError, Transition
 use crate::index::ContainmentIndex;
 use crate::intern::{CompositeArena, CompositeId};
 use ccv_model::ProtocolSpec;
-use ccv_observe::{CommonOptions, Counter, Gauge, Phase, RuleStat, SpanKind, Track};
+use ccv_observe::{
+    CommonOptions, Counter, Gauge, Phase, RuleStat, SpanKind, StopCause, StopInfo, Track,
+};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -122,6 +124,25 @@ impl Options {
     /// rules (ignored while no sink is attached).
     pub fn rule_stats(mut self, on: bool) -> Options {
         self.common.rule_stats = on;
+        self
+    }
+
+    /// Stops the run once this much wall-clock time has elapsed.
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Options {
+        self.common.deadline = Some(deadline);
+        self
+    }
+
+    /// Stops the run once the arena plus visited index exceed roughly
+    /// this many bytes.
+    pub fn max_bytes(mut self, max_bytes: u64) -> Options {
+        self.common.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Uses `cancel` as the run's cooperative cancellation token.
+    pub fn cancel(mut self, cancel: ccv_observe::CancelToken) -> Options {
+        self.common.cancel = cancel;
         self
     }
 
@@ -210,8 +231,12 @@ pub struct Expansion {
     pub errors: Vec<ErrorFinding>,
     /// Trace of every visit (empty unless requested).
     pub trace: Vec<VisitRecord>,
-    /// True if the run hit `max_visits` and stopped early.
+    /// True if the run stopped early (budget, deadline, memory cap or
+    /// cancellation) instead of reaching the fixpoint.
     pub truncated: bool,
+    /// Why and in what state the run stopped early (`None` for runs
+    /// that reached the fixpoint). Always `Some` when `truncated`.
+    pub stopped: Option<StopInfo>,
 }
 
 impl Expansion {
@@ -341,6 +366,10 @@ pub fn expand_with(
     let mut successors_generated = 0usize;
     let mut expanded = 0usize;
     let mut truncated = false;
+    // Deadline / memory-cap / cancellation arbitration. The cheap
+    // token check runs per rule firing; the clock and the memory
+    // estimate are only read every `Governor::STRIDE` firings.
+    let gov = opts.common.governor();
     // Full pairwise containment evaluations and index candidate probes,
     // accumulated locally and reported in one count at the end — the
     // query paths are the engine's hot path.
@@ -375,6 +404,14 @@ pub fn expand_with(
         if nodes[current.0].pruned {
             continue;
         }
+        // Full governor poll per expansion: a clock read is noise next
+        // to the containment scans each expansion performs, and it
+        // bounds how stale the deadline / memory checks can get.
+        if gov.poll(arena.approx_bytes() as u64).is_some() {
+            work.push_front(current);
+            truncated = true;
+            break 'outer;
+        }
         expanded += 1;
         sink.count(Counter::Expansions, 1);
         if events {
@@ -402,6 +439,13 @@ pub fn expand_with(
                 rule_stats[rid].states += 1;
             }
             if visits >= opts.common.budget {
+                gov.stop(StopCause::BudgetExhausted);
+                truncated = true;
+                break 'outer;
+            }
+            // Cheap per-firing check; the full (clock + memory) poll
+            // happens once per expansion at the top of the loop.
+            if gov.cancelled().is_some() {
                 truncated = true;
                 break 'outer;
             }
@@ -529,12 +573,18 @@ pub fn expand_with(
         .filter(|id| !nodes[id.0].pruned)
         .collect();
 
+    let stopped = gov.stop_info(work.len());
     sink.count(Counter::ContainmentChecks, containment_checks);
     sink.count(Counter::IndexProbes, index_probes);
     sink.count(Counter::InternHits, arena.hits());
     sink.count(Counter::Prunes, prunes);
+    sink.count(Counter::BudgetPolls, gov.polls());
     sink.gauge(Gauge::EssentialStates, essential.len() as u64);
     sink.gauge(Gauge::ArenaBytes, arena.approx_bytes() as u64);
+    if let Some(info) = &stopped {
+        sink.count(Counter::BudgetStops, 1);
+        sink.stopped(info.cause.name(), info.detail.as_deref());
+    }
     if rules_on {
         for (rid, stat) in rule_stats.iter().enumerate() {
             if stat.firings > 0 || stat.states > 0 {
@@ -561,6 +611,7 @@ pub fn expand_with(
         errors,
         trace,
         truncated,
+        stopped,
     }
 }
 
@@ -772,5 +823,53 @@ mod tests {
         let exp = expand(&spec, &Options::default().max_visits(3));
         assert!(exp.truncated);
         assert!(!exp.is_clean());
+        let info = exp.stopped.expect("truncated runs carry stop info");
+        assert_eq!(info.cause, ccv_observe::StopCause::BudgetExhausted);
+    }
+
+    #[test]
+    fn zero_deadline_stops_inconclusively() {
+        let spec = illinois();
+        let opts = Options::default()
+            .common(CommonOptions::default().deadline(Some(std::time::Duration::ZERO)));
+        let exp = expand(&spec, &opts);
+        assert!(exp.truncated);
+        let info = exp.stopped.expect("deadline stop carries info");
+        assert_eq!(info.cause, ccv_observe::StopCause::DeadlineExpired);
+    }
+
+    #[test]
+    fn tiny_memory_cap_stops_inconclusively() {
+        let spec = illinois();
+        let opts = Options::default().common(CommonOptions::default().max_bytes(Some(1)));
+        let exp = expand(&spec, &opts);
+        assert!(exp.truncated);
+        assert_eq!(
+            exp.stopped.unwrap().cause,
+            ccv_observe::StopCause::MemoryExhausted
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_immediately() {
+        let spec = illinois();
+        let token = ccv_observe::CancelToken::new();
+        token.cancel();
+        let opts = Options::default().common(CommonOptions::default().cancel(token));
+        let exp = expand(&spec, &opts);
+        assert!(exp.truncated);
+        let info = exp.stopped.unwrap();
+        assert_eq!(info.cause, ccv_observe::StopCause::Cancelled);
+        // A clean rerun with default options is unaffected by the
+        // cancelled run.
+        assert!(expand(&spec, &Options::default()).is_clean());
+    }
+
+    #[test]
+    fn completed_runs_have_no_stop_info() {
+        let spec = illinois();
+        let exp = expand(&spec, &Options::default());
+        assert!(exp.is_clean());
+        assert!(exp.stopped.is_none());
     }
 }

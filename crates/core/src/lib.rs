@@ -113,10 +113,12 @@ pub use reference::{reference_expand, reference_expand_from};
 pub use rep::{Interval, Rep};
 pub use session::{Batch, RunSummary, Session, Verifier};
 pub use verify::{
-    verify, verify_with, verify_with_scratch, CrosscheckSummary, ErrorReport, Verdict,
+    verify, verify_with, verify_with_scratch, CrosscheckSummary, ErrorReport, Outcome, Verdict,
     Verification, VerificationReport,
 };
 
 // Re-exported so downstream users configure observability without a
 // direct ccv-observe dependency.
-pub use ccv_observe::{CommonOptions, EventSink, Metrics, SinkHandle};
+pub use ccv_observe::{
+    CancelToken, CommonOptions, EventSink, Metrics, SinkHandle, StopCause, StopInfo,
+};

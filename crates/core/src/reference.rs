@@ -28,6 +28,7 @@ use crate::engine::{
 };
 use crate::expand::successors;
 use crate::intern::CompositeArena;
+use ccv_observe::{StopCause, StopInfo};
 use std::collections::VecDeque;
 
 /// Naive-engine node: the owned-composite representation the engine
@@ -195,6 +196,13 @@ pub fn reference_expand_from(
         })
         .collect();
 
+    let stopped = truncated.then(|| {
+        StopInfo::new(
+            StopCause::BudgetExhausted,
+            work.len(),
+            std::time::Duration::ZERO,
+        )
+    });
     Expansion {
         arena,
         nodes,
@@ -205,6 +213,7 @@ pub fn reference_expand_from(
         errors,
         trace,
         truncated,
+        stopped,
     }
 }
 

@@ -40,7 +40,7 @@ use crate::composite::Composite;
 use crate::engine::{expand_with, EngineScratch, Options};
 use crate::verify::{verify_with, verify_with_scratch, Verdict, VerificationReport};
 use ccv_model::ProtocolSpec;
-use ccv_observe::{EventSink, SinkHandle};
+use ccv_observe::{EventSink, SinkHandle, StopInfo};
 
 /// A configured verification run over one protocol.
 #[derive(Clone, Debug)]
@@ -105,6 +105,9 @@ pub struct RunSummary {
     pub essential: usize,
     /// Rule firings during expansion.
     pub visits: usize,
+    /// Why the run stopped early, when the verdict is
+    /// [`Verdict::Inconclusive`] (`None` for completed runs).
+    pub stopped: Option<StopInfo>,
 }
 
 /// A batch verification session: engine options plus one
@@ -164,18 +167,13 @@ impl Batch {
             &self.opts,
             &mut self.scratch,
         );
-        let verdict = if expansion.truncated {
-            Verdict::Inconclusive
-        } else if expansion.errors.is_empty() {
-            Verdict::Verified
-        } else {
-            Verdict::Erroneous
-        };
+        let verdict = crate::verify::Outcome::of_expansion(&expansion).verdict();
         let summary = RunSummary {
             protocol: spec.name().to_string(),
             verdict,
             essential: expansion.essential.len(),
             visits: expansion.visits,
+            stopped: expansion.stopped.clone(),
         };
         self.scratch.recycle(expansion);
         summary

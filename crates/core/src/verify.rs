@@ -12,6 +12,7 @@ use crate::graph::{global_graph, GlobalGraph};
 use ccv_model::ProtocolSpec;
 use ccv_observe::Phase;
 use core::fmt;
+use std::time::Duration;
 
 /// Outcome of a verification run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +35,84 @@ impl fmt::Display for Verdict {
             Verdict::Verified => f.write_str("VERIFIED"),
             Verdict::Erroneous => f.write_str("ERRONEOUS"),
             Verdict::Inconclusive => f.write_str("INCONCLUSIVE"),
+        }
+    }
+}
+
+/// Detailed outcome of a verification run: the [`Verdict`] plus, for
+/// runs that stopped early, *why* and how far the run got. An
+/// inconclusive outcome is never conflated with "verified" — it
+/// renders its reason and is mapped to a distinct CLI exit code.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// The expansion reached its fixpoint with no violations.
+    Verified,
+    /// At least one erroneous state or stale access is reachable.
+    Erroneous,
+    /// The run stopped early (budget, deadline, memory cap,
+    /// cancellation or a worker panic) before reaching a fixpoint.
+    Inconclusive {
+        /// Human-readable stop reason (cause plus any detail, e.g. a
+        /// panic message).
+        reason: String,
+        /// States still awaiting expansion when the run stopped.
+        frontier_size: usize,
+        /// Visits performed before the stop.
+        visits: usize,
+        /// Wall-clock time from engine start to the stop.
+        elapsed: Duration,
+    },
+}
+
+impl Outcome {
+    /// The coarse verdict this outcome maps to.
+    pub fn verdict(&self) -> Verdict {
+        match self {
+            Outcome::Verified => Verdict::Verified,
+            Outcome::Erroneous => Verdict::Erroneous,
+            Outcome::Inconclusive { .. } => Verdict::Inconclusive,
+        }
+    }
+
+    /// Builds the outcome for `expansion`: early-stopped runs are
+    /// inconclusive (whatever partial findings they carry), otherwise
+    /// the error list decides.
+    pub fn of_expansion(expansion: &Expansion) -> Outcome {
+        match &expansion.stopped {
+            Some(info) => Outcome::Inconclusive {
+                reason: info.describe(),
+                frontier_size: info.frontier,
+                visits: expansion.visits,
+                elapsed: info.elapsed,
+            },
+            None if expansion.truncated => Outcome::Inconclusive {
+                // Defensive: every truncated run should carry stop
+                // info, but render honestly if one does not.
+                reason: "stopped early".to_string(),
+                frontier_size: 0,
+                visits: expansion.visits,
+                elapsed: Duration::ZERO,
+            },
+            None if expansion.errors.is_empty() => Outcome::Verified,
+            None => Outcome::Erroneous,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Inconclusive {
+                reason,
+                frontier_size,
+                visits,
+                elapsed,
+            } => write!(
+                f,
+                "INCONCLUSIVE: {reason} after {visits} visits ({frontier_size} states still pending, {:.3}s elapsed)",
+                elapsed.as_secs_f64()
+            ),
+            other => other.verdict().fmt(f),
         }
     }
 }
@@ -80,6 +159,9 @@ pub struct VerificationReport {
     pub graph: GlobalGraph,
     /// The verdict.
     pub verdict: Verdict,
+    /// The detailed outcome behind the verdict; for inconclusive runs
+    /// this carries the stop reason, frontier size and elapsed time.
+    pub outcome: Outcome,
     /// Rendered error findings (empty iff `verdict == Verified`).
     pub reports: Vec<ErrorReport>,
     /// Theorem 1 crosscheck result, when one was run and attached.
@@ -100,15 +182,21 @@ impl VerificationReport {
         self.expansion.visits
     }
 
-    /// One-line summary suitable for tables.
+    /// One-line summary suitable for tables. Inconclusive runs render
+    /// their stop reason so a partial result is never mistaken for a
+    /// completed one.
     pub fn summary(&self) -> String {
-        format!(
+        let base = format!(
             "{}: {} ({} essential states, {} visits)",
             self.protocol,
             self.verdict,
             self.num_essential(),
             self.visits()
-        )
+        );
+        match &self.outcome {
+            Outcome::Inconclusive { reason, .. } => format!("{base} [{reason}]"),
+            _ => base,
+        }
     }
 }
 
@@ -135,13 +223,8 @@ pub fn verify_with_scratch(
     let graph = global_graph(spec, &expansion);
     sink.phase_exit(Phase::Graph);
     sink.phase_enter(Phase::Check);
-    let verdict = if expansion.truncated {
-        Verdict::Inconclusive
-    } else if expansion.errors.is_empty() {
-        Verdict::Verified
-    } else {
-        Verdict::Erroneous
-    };
+    let outcome = Outcome::of_expansion(&expansion);
+    let verdict = outcome.verdict();
     let reports = expansion
         .errors
         .iter()
@@ -165,6 +248,7 @@ pub fn verify_with_scratch(
         expansion,
         graph,
         verdict,
+        outcome,
         reports,
         crosscheck: None,
     }
@@ -215,5 +299,24 @@ mod tests {
         assert!(s.contains("Illinois"));
         assert!(s.contains("VERIFIED"));
         assert!(s.contains("5 essential states"));
+        assert_eq!(v.outcome, Outcome::Verified);
+    }
+
+    #[test]
+    fn budget_stopped_run_reports_inconclusive_outcome() {
+        let spec = ccv_model::protocols::illinois();
+        let v = verify_with(&spec, &Options::default().max_visits(3));
+        assert_eq!(v.verdict, Verdict::Inconclusive);
+        match &v.outcome {
+            Outcome::Inconclusive { reason, visits, .. } => {
+                assert!(reason.contains("budget"), "reason: {reason}");
+                assert_eq!(*visits, v.visits());
+            }
+            other => panic!("expected inconclusive outcome, got {other:?}"),
+        }
+        let s = v.summary();
+        assert!(s.contains("INCONCLUSIVE"));
+        assert!(s.contains("budget"), "summary renders the reason: {s}");
+        assert_eq!(v.outcome.verdict(), Verdict::Inconclusive);
     }
 }

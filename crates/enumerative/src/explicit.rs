@@ -21,9 +21,12 @@ use crate::fxhash::FxHashSet;
 use crate::packed::{PackedState, MAX_CACHES};
 use crate::step::{describe_violations, is_violating, step_into, successors_into, ConcreteStep};
 use ccv_model::{ProcEvent, ProtocolSpec};
-use ccv_observe::{CommonOptions, Counter, Gauge, Phase, RuleStat, SpanKind, Track};
+use ccv_observe::{
+    CancelToken, CommonOptions, Counter, Gauge, Governor, Phase, RuleStat, SpanKind, StopCause,
+    StopInfo, Track,
+};
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Duplicate-pruning discipline.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -50,6 +53,14 @@ pub struct EnumOptions {
     pub dedup: Dedup,
     /// Settings shared by every engine (budget = max distinct states).
     pub common: CommonOptions,
+    /// Capture the visited set and frontier into
+    /// [`EnumResult::snapshot`] when the run stops early, so it can be
+    /// checkpointed and resumed.
+    pub capture_snapshot: bool,
+    /// Test-only fault injection: the parallel engine's worker 0
+    /// panics once its visit tally reaches this value. Exercises the
+    /// pool's panic containment; ignored by the sequential engine.
+    pub panic_after: Option<usize>,
 }
 
 impl EnumOptions {
@@ -59,6 +70,8 @@ impl EnumOptions {
             n,
             dedup: Dedup::Counting,
             common: CommonOptions::default().budget(50_000_000),
+            capture_snapshot: false,
+            panic_after: None,
         }
     }
 
@@ -98,6 +111,71 @@ impl EnumOptions {
         self.common.rule_stats = on;
         self
     }
+
+    /// Stops the run once this much wall-clock time has elapsed.
+    pub fn deadline(mut self, deadline: Duration) -> EnumOptions {
+        self.common.deadline = Some(deadline);
+        self
+    }
+
+    /// Stops the run once the visited table exceeds roughly this many
+    /// bytes.
+    pub fn max_bytes(mut self, max_bytes: u64) -> EnumOptions {
+        self.common.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Uses `cancel` as the run's cooperative cancellation token.
+    pub fn cancel(mut self, cancel: CancelToken) -> EnumOptions {
+        self.common.cancel = cancel;
+        self
+    }
+
+    /// Captures the visited set + frontier on an early stop (see
+    /// [`EnumResult::snapshot`]).
+    pub fn capture_snapshot(mut self, on: bool) -> EnumOptions {
+        self.capture_snapshot = on;
+        self
+    }
+
+    /// Test hook: makes the parallel engine's worker 0 panic after
+    /// `visits` visits, to exercise panic containment.
+    #[doc(hidden)]
+    pub fn inject_panic(mut self, visits: usize) -> EnumOptions {
+        self.panic_after = Some(visits);
+        self
+    }
+}
+
+/// Search state carried from a stopped run into a resumed one — the
+/// payload of a checkpoint file (see [`crate::checkpoint`]).
+///
+/// Resuming is exact: every state in `visited` was already claimed
+/// and violation-checked, every state in `frontier` is claimed but
+/// not yet expanded, so the resumed run expands exactly the states
+/// the uninterrupted run would have, and the combined `visits`,
+/// `distinct` and violation totals are identical for any interleaving
+/// of stops.
+#[derive(Clone, Debug, Default)]
+pub struct ResumeSeed {
+    /// Every state claimed so far (includes the frontier).
+    pub visited: Vec<PackedState>,
+    /// Claimed-but-unexpanded states, in worklist order.
+    pub frontier: Vec<PackedState>,
+    /// Successor visits performed so far.
+    pub visits: usize,
+    /// Violations found so far, in discovery order.
+    pub errors: Vec<EnumError>,
+}
+
+/// The visited set and frontier of an early-stopped run, captured when
+/// [`EnumOptions::capture_snapshot`] is set.
+#[derive(Clone, Debug)]
+pub struct EnumSnapshot {
+    /// Every claimed state.
+    pub visited: Vec<PackedState>,
+    /// Claimed-but-unexpanded states, in worklist order.
+    pub frontier: Vec<PackedState>,
 }
 
 /// A violation found during enumeration.
@@ -120,8 +198,15 @@ pub struct EnumResult {
     pub visits: usize,
     /// Violations found, in discovery order.
     pub errors: Vec<EnumError>,
-    /// True if `max_states` was hit.
+    /// True if the run stopped before exhausting the space (budget,
+    /// deadline, memory cap, cancellation or a worker panic).
     pub truncated: bool,
+    /// Why and in what state the run stopped early; always `Some`
+    /// when `truncated` is true.
+    pub stopped: Option<StopInfo>,
+    /// Visited set + frontier for checkpointing, when the run stopped
+    /// early and [`EnumOptions::capture_snapshot`] was set.
+    pub snapshot: Option<EnumSnapshot>,
 }
 
 impl EnumResult {
@@ -131,8 +216,26 @@ impl EnumResult {
     }
 }
 
+/// Approximate heap footprint of the sequential search state, polled
+/// by the governor's memory cap: hash-table capacity (one control
+/// byte per slot besides the state) plus worklist capacity.
+fn approx_table_bytes(visited: &FxHashSet<PackedState>, work: &VecDeque<PackedState>) -> u64 {
+    let state = std::mem::size_of::<PackedState>();
+    (visited.capacity() * (state + 1) + work.capacity() * state) as u64
+}
+
 /// Runs the exhaustive search from the all-invalid initial state.
 pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
+    enumerate_resumed(spec, opts, None)
+}
+
+/// [`enumerate`], optionally continuing from a stopped run's
+/// [`ResumeSeed`] instead of the initial state.
+pub fn enumerate_resumed(
+    spec: &ProtocolSpec,
+    opts: &EnumOptions,
+    seed: Option<ResumeSeed>,
+) -> EnumResult {
     assert!(
         opts.n >= 1 && opts.n <= MAX_CACHES,
         "n must be in 1..={MAX_CACHES}"
@@ -148,6 +251,7 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     };
 
     let sink = &opts.common.sink;
+    let gov = opts.common.governor();
     // Queried once: hot loops must not re-poll every tee'd sink.
     let events = sink.is_enabled();
     let rules_on = opts.common.rule_stats && events;
@@ -162,7 +266,6 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     let mut work: VecDeque<PackedState> = VecDeque::new();
     let mut errors: Vec<EnumError> = Vec::new();
     let mut visits = 0usize;
-    let mut truncated = false;
     // Counters accumulated locally and reported once — the successor
     // loop runs millions of times in the differential suites.
     let mut dedup_hits = 0u64;
@@ -170,35 +273,69 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     // The FIFO worklist explores level by level; track the boundary so
     // per-level frontier sizes can be reported.
     let mut level = 0usize;
-    let mut level_remaining = 1usize;
     let mut next_level = 0usize;
 
     sink.phase_enter(Phase::Enumerate);
     sink.gauge(Gauge::Threads, 1);
-    sink.frontier(0, 1);
 
-    // The worklist holds dedup *keys* (canonical representatives under
-    // counting dedup), so the set of expanded states — and with it the
-    // violation set — is a deterministic function of the options,
-    // shared exactly with the work-stealing engine.
-    let init = canon(PackedState::INITIAL);
-    visited.insert(init);
-    if is_violating(spec, init, opts.n) {
-        sink.violation("initial state violates coherence");
-        errors.push(EnumError {
-            state: init,
-            descriptions: describe_violations(spec, init, opts.n),
-        });
+    match seed {
+        None => {
+            sink.frontier(0, 1);
+            // The worklist holds dedup *keys* (canonical representatives
+            // under counting dedup), so the set of expanded states — and
+            // with it the violation set — is a deterministic function of
+            // the options, shared exactly with the work-stealing engine.
+            let init = canon(PackedState::INITIAL);
+            visited.insert(init);
+            if is_violating(spec, init, opts.n) {
+                sink.violation("initial state violates coherence");
+                errors.push(EnumError {
+                    state: init,
+                    descriptions: describe_violations(spec, init, opts.n),
+                });
+            }
+            // An initial-state violation honors stop_at_first_error like
+            // any other: don't explore a space already known to be broken.
+            if errors.is_empty() || !opts.common.stop_at_first_error {
+                work.push_back(init);
+            }
+        }
+        Some(seed) => {
+            // States in the seed's visited set were already claimed and
+            // violation-checked; the frontier continues in its saved
+            // worklist order, so a budget-split run expands exactly the
+            // states — in exactly the order — the uninterrupted run
+            // would have.
+            visited.extend(seed.visited);
+            work.extend(seed.frontier);
+            visits = seed.visits;
+            errors = seed.errors;
+            sink.frontier(0, work.len());
+        }
     }
-    // An initial-state violation honors stop_at_first_error like any
-    // other: don't explore a space already known to be broken.
-    if errors.is_empty() || !opts.common.stop_at_first_error {
-        work.push_back(init);
-    }
+    let mut level_remaining = work.len().max(1);
 
+    let mut expansions = 0usize;
     let mut succ_buf: Vec<ConcreteStep> = Vec::new();
     sink.span_begin(SpanKind::WorkerBusy, 0);
     'outer: while let Some(current) = work.pop_front() {
+        // Governed stop checks run at expansion granularity: a popped
+        // state goes back to the front of the worklist, so the frontier
+        // is exact and a resumed run loses nothing. Full polls (clock +
+        // memory) are strided; the token check in between is one load.
+        let tripped = if expansions % Governor::STRIDE == 0 {
+            gov.poll(approx_table_bytes(&visited, &work))
+        } else {
+            gov.cancelled()
+        };
+        let tripped = tripped.or_else(|| {
+            (visited.len() >= opts.common.budget).then(|| gov.stop(StopCause::BudgetExhausted))
+        });
+        if tripped.is_some() {
+            work.push_front(current);
+            break 'outer;
+        }
+        expansions += 1;
         succ_buf.clear();
         if rules_on {
             // Same (cache, event) double loop as `successors_into`,
@@ -264,10 +401,6 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
                         break 'outer;
                     }
                 }
-                if visited.len() >= opts.common.budget {
-                    truncated = true;
-                    break 'outer;
-                }
                 work.push_back(key);
                 next_level += 1;
             } else {
@@ -293,12 +426,20 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     }
     sink.span_end(SpanKind::WorkerBusy, 0);
 
+    let stopped = gov.stop_info(work.len());
+    let truncated = stopped.is_some();
     sink.count(Counter::Visits, visits as u64);
     sink.count(Counter::DedupHits, dedup_hits);
     sink.count(Counter::DedupMisses, dedup_misses);
     sink.count(Counter::Errors, errors.len() as u64);
+    sink.count(Counter::BudgetPolls, gov.polls());
+    if let Some(info) = &stopped {
+        sink.count(Counter::BudgetStops, 1);
+        sink.stopped(info.cause.name(), info.detail.as_deref());
+    }
     sink.gauge(Gauge::DistinctStates, visited.len() as u64);
     sink.gauge(Gauge::Levels, level as u64);
+    sink.gauge(Gauge::VisitedBytes, approx_table_bytes(&visited, &work));
     if rules_on {
         let mut firings_total = 0u64;
         for (rid, stat) in rule_stats.iter().enumerate() {
@@ -319,12 +460,18 @@ pub fn enumerate(spec: &ProtocolSpec, opts: &EnumOptions) -> EnumResult {
     }
     sink.phase_exit(Phase::Enumerate);
 
+    let snapshot = (opts.capture_snapshot && truncated).then(|| EnumSnapshot {
+        visited: visited.iter().copied().collect(),
+        frontier: work.iter().copied().collect(),
+    });
     EnumResult {
         n: opts.n,
         distinct: visited.len(),
         visits,
         errors,
         truncated,
+        stopped,
+        snapshot,
     }
 }
 
@@ -463,6 +610,77 @@ mod tests {
         let r = enumerate(&spec, &EnumOptions::new(4).max_states(5));
         assert!(r.truncated);
         assert!(!r.is_clean());
+        let info = r.stopped.expect("truncated runs carry stop info");
+        assert_eq!(info.cause, StopCause::BudgetExhausted);
+        assert!(info.frontier > 0, "budget stop leaves a frontier");
+    }
+
+    #[test]
+    fn zero_deadline_stops_immediately() {
+        let spec = illinois();
+        let r = enumerate(&spec, &EnumOptions::new(3).deadline(Duration::ZERO));
+        assert!(r.truncated);
+        assert_eq!(r.stopped.unwrap().cause, StopCause::DeadlineExpired);
+    }
+
+    #[test]
+    fn tiny_memory_cap_stops_the_run() {
+        let spec = illinois();
+        let r = enumerate(&spec, &EnumOptions::new(4).exact().max_bytes(1));
+        assert!(r.truncated);
+        assert_eq!(r.stopped.unwrap().cause, StopCause::MemoryExhausted);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_expansion() {
+        let spec = illinois();
+        let token = CancelToken::new();
+        token.cancel();
+        let r = enumerate(&spec, &EnumOptions::new(3).cancel(token));
+        assert!(r.truncated);
+        assert_eq!(r.stopped.unwrap().cause, StopCause::Cancelled);
+        // The initial state was claimed but never expanded.
+        assert_eq!(r.distinct, 1);
+        assert_eq!(r.visits, 0);
+    }
+
+    #[test]
+    fn untruncated_runs_capture_no_snapshot() {
+        let spec = illinois();
+        let r = enumerate(&spec, &EnumOptions::new(2).capture_snapshot(true));
+        assert!(!r.truncated);
+        assert!(r.stopped.is_none());
+        assert!(r.snapshot.is_none());
+    }
+
+    #[test]
+    fn budget_split_resume_matches_uninterrupted() {
+        let spec = illinois();
+        let full = enumerate(&spec, &EnumOptions::new(3).exact());
+        assert!(!full.truncated);
+
+        let leg1 = enumerate(
+            &spec,
+            &EnumOptions::new(3)
+                .exact()
+                .max_states(5)
+                .capture_snapshot(true),
+        );
+        assert!(leg1.truncated);
+        let snap = leg1.snapshot.expect("snapshot captured");
+        assert_eq!(snap.visited.len(), leg1.distinct);
+        let seed = ResumeSeed {
+            visited: snap.visited,
+            frontier: snap.frontier,
+            visits: leg1.visits,
+            errors: leg1.errors,
+        };
+        let leg2 = enumerate_resumed(&spec, &EnumOptions::new(3).exact(), Some(seed));
+        assert!(!leg2.truncated);
+        assert!(leg2.stopped.is_none());
+        assert_eq!(leg2.distinct, full.distinct);
+        assert_eq!(leg2.visits, full.visits);
+        assert_eq!(leg2.errors.len(), full.errors.len());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod crosscheck;
 pub mod explicit;
 pub mod fxhash;
@@ -48,16 +49,17 @@ pub mod step;
 pub mod visited;
 pub mod witness;
 
+pub use checkpoint::{protocol_hash, Checkpoint, CHECKPOINT_SCHEMA};
 pub use crosscheck::{
     attach_crosscheck, concrete_covered_by, crosscheck, crosscheck_with, CrossCheck,
 };
 pub use explicit::{
-    enumerate, naive_visit_estimate, raw_state_space, reachable_states, Dedup, EnumError,
-    EnumOptions, EnumResult,
+    enumerate, enumerate_resumed, naive_visit_estimate, raw_state_space, reachable_states, Dedup,
+    EnumError, EnumOptions, EnumResult, EnumSnapshot, ResumeSeed,
 };
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use packed::{PackedState, MAX_CACHES};
-pub use parallel::enumerate_parallel;
+pub use parallel::{enumerate_parallel, enumerate_parallel_resumed};
 pub use step::{
     check_concrete, context_of, describe_violations, is_violating, step_into, successors_into,
     ConcreteError, ConcreteStep, ErrorMask,

@@ -41,14 +41,17 @@
 //! dependent. The unit tests and the differential matrix in
 //! `tests/tests/engines_agree.rs` pin the agreement.
 
-use crate::explicit::{Dedup, EnumError, EnumOptions, EnumResult};
+use crate::explicit::{Dedup, EnumError, EnumOptions, EnumResult, EnumSnapshot, ResumeSeed};
 use crate::packed::{PackedState, MAX_CACHES};
 use crate::step::{describe_violations, is_violating, step_into, successors_into, ConcreteStep};
 use crate::visited::AtomicVisited;
 use ccv_model::{ProcEvent, ProtocolSpec};
-use ccv_observe::{Counter, Gauge, Phase, RuleStat, SinkHandle, SpanKind, Track};
+use ccv_observe::{
+    Counter, Gauge, Governor, Phase, RuleStat, SinkHandle, SpanKind, StopCause, Track,
+};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -67,10 +70,15 @@ struct Shared<'a> {
     budget: usize,
     stop_at_first_error: bool,
     visited: AtomicVisited,
+    /// The run's resource governor: deadline, memory cap, cancel
+    /// token, first-stop-cause arbitration.
+    gov: Governor,
+    /// Test-only fault injection: worker 0 panics once its visit count
+    /// reaches this threshold (see [`EnumOptions::inject_panic`]).
+    panic_after: Option<usize>,
     /// Claimed-but-unexpanded states; 0 ⇒ the search is complete.
     pending: AtomicUsize,
     stop: AtomicBool,
-    truncated: AtomicBool,
     /// One public deque per worker. Owners push/pop at the back,
     /// thieves steal batches from the front.
     queues: Vec<Mutex<VecDeque<PackedState>>>,
@@ -245,14 +253,13 @@ fn expand(
                 sh.stop.store(true, Ordering::Release);
             }
         }
-        if sh.visited.len() >= sh.budget {
-            sh.truncated.store(true, Ordering::Relaxed);
-            sh.stop.store(true, Ordering::Release);
-        } else {
-            let now_pending = sh.pending.fetch_add(1, Ordering::Relaxed) + 1;
-            stats.peak_pending = stats.peak_pending.max(now_pending);
-            local.push(key);
-        }
+        // Claimed keys are *always* enqueued — budget and governor
+        // trips are taken at expansion granularity in `worker_loop`,
+        // never mid-successor-loop, so a stopped run's frontier plus
+        // visited set is an exact checkpoint of the search.
+        let now_pending = sh.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        stats.peak_pending = stats.peak_pending.max(now_pending);
+        local.push(key);
     }
 
     // Publish the older (shallower) half of a grown private stack so
@@ -273,14 +280,17 @@ fn expand(
 /// One worker: expand from the private stack, refill from the own
 /// public deque, steal when both are empty, exit when the global
 /// pending count hits zero (or a stop is signalled).
-fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
+///
+/// `local` and `stats` are owned by the spawning closure so that a
+/// panicking worker's private stack still reaches the frontier drain
+/// and its partial tallies still merge.
+fn worker_loop(w: usize, sh: &Shared<'_>, local: &mut Vec<PackedState>, stats: &mut WorkerStats) {
     let tid = w as u32 + 1;
-    let mut stats = WorkerStats::default();
     if sh.rules {
         stats.rules = vec![RuleStat::default(); sh.spec.num_rules()];
     }
-    let mut local: Vec<PackedState> = Vec::new();
     let mut buf: Vec<ConcreteStep> = Vec::new();
+    let mut expansions = 0usize;
     let mut idle = 0u32;
     // Busy intervals become WorkerBusy spans on the worker's own trace
     // track: one span per contiguous stretch of expansions, closed when
@@ -293,8 +303,8 @@ fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
         }
         let state = local
             .pop()
-            .or_else(|| refill(w, sh, &mut local))
-            .or_else(|| steal(w, sh, &mut local, &mut stats));
+            .or_else(|| refill(w, sh, local))
+            .or_else(|| steal(w, sh, local, stats));
         let Some(state) = state else {
             if busy {
                 busy = false;
@@ -319,6 +329,31 @@ fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
             }
             continue;
         };
+        // Governed stop check, at expansion granularity: the claimed
+        // state goes *back* on the private stack (it reaches the
+        // checkpoint frontier), never half-expanded. The budget is
+        // checked every expansion (one atomic read); the clock and
+        // memory estimate only every `Governor::STRIDE`.
+        if let Some(k) = sh.panic_after {
+            if w == 0 && stats.visits >= k {
+                local.push(state);
+                panic!("injected worker fault (test hook, visits >= {k})");
+            }
+        }
+        let tripped = if expansions % Governor::STRIDE == 0 {
+            sh.gov.poll(sh.visited.approx_bytes())
+        } else {
+            sh.gov.cancelled()
+        };
+        let tripped = tripped.or_else(|| {
+            (sh.visited.len() >= sh.budget).then(|| sh.gov.stop(StopCause::BudgetExhausted))
+        });
+        if tripped.is_some() {
+            sh.stop.store(true, Ordering::Release);
+            local.push(state);
+            break;
+        }
+        expansions += 1;
         if sh.events && !busy {
             busy = true;
             sh.sink.span_begin(SpanKind::WorkerBusy, tid);
@@ -327,7 +362,7 @@ fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
             sh.sink.sample(Track::Visited, sh.visited.len() as u64);
         }
         idle = 0;
-        expand(state, w, sh, &mut local, &mut buf, &mut stats);
+        expand(state, w, sh, local, &mut buf, stats);
         sh.pending.fetch_sub(1, Ordering::AcqRel);
     }
     if busy {
@@ -340,7 +375,6 @@ fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
         sh.sink.span_begin(SpanKind::WorkerBusy, tid);
         sh.sink.span_end(SpanKind::WorkerBusy, tid);
     }
-    stats
 }
 
 /// Runs the exhaustive search on `threads` persistent workers with
@@ -352,6 +386,20 @@ fn worker_loop(w: usize, sh: &Shared<'_>) -> WorkerStats {
 /// cooperatively, so a few extra states may be expanded (and extra
 /// errors recorded) before all workers observe the stop.
 pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usize) -> EnumResult {
+    enumerate_parallel_resumed(spec, opts, threads, None)
+}
+
+/// [`enumerate_parallel`], optionally continuing from a checkpoint
+/// seed. The resumed search pre-claims every previously visited state
+/// and distributes the saved frontier round-robin across the workers;
+/// totals are reported cumulatively, so a budget-split run's final
+/// counts equal an uninterrupted run's.
+pub fn enumerate_parallel_resumed(
+    spec: &ProtocolSpec,
+    opts: &EnumOptions,
+    threads: usize,
+    seed: Option<ResumeSeed>,
+) -> EnumResult {
     assert!(opts.n >= 1 && opts.n <= MAX_CACHES);
     assert!(threads >= 1);
     assert!(
@@ -372,54 +420,110 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
         budget: opts.common.budget,
         stop_at_first_error: opts.common.stop_at_first_error,
         visited: AtomicVisited::new(),
+        gov: opts.common.governor(),
+        panic_after: opts.panic_after,
         pending: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
-        truncated: AtomicBool::new(false),
         queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         sink,
         events,
         rules: rules_on,
     };
 
-    // The coordinator claims the initial state itself so the per-worker
-    // claim counts sum to `distinct − 1`.
     let mut errors: Vec<EnumError> = Vec::new();
-    let init = sh.canon(PackedState::INITIAL);
-    sh.visited.claim(init);
-    sink.frontier(0, 1);
-    if is_violating(spec, init, opts.n) {
-        if events {
-            sink.violation("initial state violates coherence");
+    let mut visits_base = 0usize;
+    match seed {
+        None => {
+            // The coordinator claims the initial state itself so the
+            // per-worker claim counts sum to `distinct − 1`.
+            let init = sh.canon(PackedState::INITIAL);
+            sh.visited.claim(init);
+            sink.frontier(0, 1);
+            if is_violating(spec, init, opts.n) {
+                if events {
+                    sink.violation("initial state violates coherence");
+                }
+                errors.push(EnumError {
+                    state: init,
+                    descriptions: describe_violations(spec, init, opts.n),
+                });
+                if opts.common.stop_at_first_error {
+                    sh.stop.store(true, Ordering::Release);
+                }
+            }
+            if !sh.stop.load(Ordering::Relaxed) {
+                sh.pending.store(1, Ordering::Relaxed);
+                sh.queues[0].lock().push_back(init);
+            }
         }
-        errors.push(EnumError {
-            state: init,
-            descriptions: describe_violations(spec, init, opts.n),
-        });
-        if opts.common.stop_at_first_error {
-            sh.stop.store(true, Ordering::Release);
+        Some(seed) => {
+            for s in &seed.visited {
+                sh.visited.claim(*s);
+            }
+            visits_base = seed.visits;
+            errors = seed.errors;
+            sink.frontier(0, seed.frontier.len());
+            sh.pending.store(seed.frontier.len(), Ordering::Relaxed);
+            for (i, s) in seed.frontier.into_iter().enumerate() {
+                sh.queues[i % threads].lock().push_back(s);
+            }
         }
-    }
-    if !sh.stop.load(Ordering::Relaxed) {
-        sh.pending.store(1, Ordering::Relaxed);
-        sh.queues[0].lock().push_back(init);
     }
 
-    let mut worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+    // Worker panics are caught at the closure boundary: the first
+    // payload becomes the run's stop detail, the governor records
+    // `WorkerPanic`, and the surviving workers drain cooperatively —
+    // the pending counter is never left dangling behind a dead thread.
+    let panic_note: Mutex<Option<String>> = Mutex::new(None);
+    let outcomes: Vec<(WorkerStats, Vec<PackedState>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let sh = &sh;
-                scope.spawn(move || worker_loop(w, sh))
+                let panic_note = &panic_note;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    let mut local: Vec<PackedState> = Vec::new();
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        worker_loop(w, sh, &mut local, &mut stats)
+                    }));
+                    if let Err(payload) = run {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".to_string());
+                        let mut note = panic_note.lock();
+                        if note.is_none() {
+                            *note = Some(format!("worker {w}: {msg}"));
+                        }
+                        sh.gov.stop(StopCause::WorkerPanic);
+                        sh.stop.store(true, Ordering::Release);
+                    }
+                    (stats, local)
+                })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panics are caught in the closure"))
+            .collect()
     });
+    let mut frontier: Vec<PackedState> = Vec::new();
+    let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(threads);
+    for (stats, local) in outcomes {
+        frontier.extend(local);
+        worker_stats.push(stats);
+    }
+    for q in &sh.queues {
+        frontier.extend(q.lock().drain(..));
+    }
 
     // The coordinator's merge of per-worker tallies is the Drain leg
     // of the run's timeline (tid 0 = main thread).
     if events {
         sink.span_begin(SpanKind::Drain, 0);
     }
-    let mut visits = 0usize;
+    let mut visits = visits_base;
     let mut dedup_hits = 0u64;
     let mut dedup_misses = 0u64;
     let mut steals = 0u64;
@@ -474,14 +578,34 @@ pub fn enumerate_parallel(spec: &ProtocolSpec, opts: &EnumOptions, threads: usiz
         ));
         sink.span_end(SpanKind::Drain, 0);
     }
+
+    let mut stopped = sh.gov.stop_info(frontier.len());
+    if let Some(info) = &mut stopped {
+        if info.cause == StopCause::WorkerPanic {
+            info.detail = panic_note.into_inner();
+        }
+    }
+    let truncated = stopped.is_some();
+    sink.count(Counter::BudgetPolls, sh.gov.polls());
+    if let Some(info) = &stopped {
+        sink.count(Counter::BudgetStops, 1);
+        sink.stopped(info.cause.name(), info.detail.as_deref());
+    }
+    sink.gauge(Gauge::VisitedBytes, sh.visited.approx_bytes());
     sink.phase_exit(Phase::Enumerate);
 
+    let snapshot = (opts.capture_snapshot && truncated).then(|| EnumSnapshot {
+        visited: sh.visited.states(),
+        frontier: frontier.clone(),
+    });
     EnumResult {
         n: opts.n,
         distinct,
         visits,
         errors,
-        truncated: sh.truncated.load(Ordering::Relaxed),
+        truncated,
+        stopped,
+        snapshot,
     }
 }
 
@@ -558,6 +682,112 @@ mod tests {
         assert!(r.truncated);
         assert!(!r.is_clean());
         assert!(r.distinct >= 5);
+        let info = r.stopped.expect("truncated runs carry stop info");
+        assert_eq!(info.cause, StopCause::BudgetExhausted);
+    }
+
+    /// Runs `f` under a watchdog so a deadlocked pool fails the test
+    /// instead of hanging the suite forever.
+    fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(f());
+        });
+        rx.recv_timeout(Duration::from_secs(30))
+            .expect("enumeration deadlocked: no result within 30s")
+    }
+
+    #[test]
+    fn panicking_worker_reports_instead_of_deadlocking() {
+        for threads in [1usize, 2, 8] {
+            let r = with_watchdog(move || {
+                let spec = illinois();
+                enumerate_parallel(&spec, &EnumOptions::new(4).exact().inject_panic(3), threads)
+            });
+            assert!(r.truncated, "t={threads}");
+            let info = r.stopped.expect("panic is a recorded stop cause");
+            assert_eq!(info.cause, StopCause::WorkerPanic, "t={threads}");
+            let detail = info.detail.expect("panic payload captured");
+            assert!(detail.contains("injected"), "t={threads}: {detail}");
+        }
+    }
+
+    #[test]
+    fn cancelled_token_drains_the_pool_cleanly() {
+        use ccv_observe::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let r = with_watchdog({
+            let token = token.clone();
+            move || {
+                let spec = illinois();
+                enumerate_parallel(&spec, &EnumOptions::new(4).cancel(token), 4)
+            }
+        });
+        assert!(r.truncated);
+        assert_eq!(r.stopped.unwrap().cause, StopCause::Cancelled);
+        // The token is an input: the engine must not un-cancel it.
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn budget_split_parallel_resume_matches_uninterrupted() {
+        let spec = dragon();
+        let full = enumerate(&spec, &EnumOptions::new(3).exact());
+        for threads in [2usize, 4] {
+            let leg1 = enumerate_parallel(
+                &spec,
+                &EnumOptions::new(3)
+                    .exact()
+                    .max_states(20)
+                    .capture_snapshot(true),
+                threads,
+            );
+            assert!(leg1.truncated, "t={threads}");
+            let snap = leg1.snapshot.expect("snapshot captured");
+            assert_eq!(snap.visited.len(), leg1.distinct, "t={threads}");
+            let seed = ResumeSeed {
+                visited: snap.visited,
+                frontier: snap.frontier,
+                visits: leg1.visits,
+                errors: leg1.errors,
+            };
+            let leg2 = enumerate_parallel_resumed(
+                &spec,
+                &EnumOptions::new(3).exact(),
+                threads,
+                Some(seed),
+            );
+            assert!(!leg2.truncated, "t={threads}");
+            assert_eq!(leg2.distinct, full.distinct, "t={threads}");
+            assert_eq!(leg2.visits, full.visits, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_checkpoint_resumes_on_the_parallel_engine() {
+        // Engines share the frontier/visited format, so a checkpoint
+        // from one resumes on the other with identical totals.
+        let spec = illinois();
+        let full = enumerate(&spec, &EnumOptions::new(3).exact());
+        let leg1 = enumerate(
+            &spec,
+            &EnumOptions::new(3)
+                .exact()
+                .max_states(5)
+                .capture_snapshot(true),
+        );
+        assert!(leg1.truncated);
+        let snap = leg1.snapshot.unwrap();
+        let seed = ResumeSeed {
+            visited: snap.visited,
+            frontier: snap.frontier,
+            visits: leg1.visits,
+            errors: leg1.errors,
+        };
+        let leg2 = enumerate_parallel_resumed(&spec, &EnumOptions::new(3).exact(), 4, Some(seed));
+        assert_eq!(leg2.distinct, full.distinct);
+        assert_eq!(leg2.visits, full.visits);
     }
 
     #[test]

@@ -253,6 +253,42 @@ impl AtomicVisited {
         self.size.load(Ordering::Acquire)
     }
 
+    /// Approximate heap footprint in bytes: the sum of all allocated
+    /// segments. Lock-free (walks the `OnceLock`s without initialising
+    /// them), so the governor can poll it from any worker.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            for seg in shard.segments.iter().filter_map(|s| s.get()) {
+                bytes += (seg.len() * std::mem::size_of::<Slot>()) as u64;
+            }
+        }
+        bytes
+    }
+
+    /// Collects every published state, in shard/slot order.
+    ///
+    /// Intended for quiescent use (checkpointing after the worker pool
+    /// has joined); concurrent with claims it returns the states whose
+    /// publication happened-before the corresponding slot load.
+    pub fn states(&self) -> Vec<PackedState> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for seg in shard.segments.iter().filter_map(|s| s.get()) {
+                for slot in seg.iter() {
+                    let lo = slot.lo.load(Ordering::Acquire);
+                    if lo & PUBLISHED != 0 {
+                        let hi = slot.hi.load(Ordering::Acquire);
+                        out.push(PackedState(
+                            ((hi as u128) << STATUS_SHIFT) | (lo & LOW_MASK) as u128,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// True iff no state has been claimed.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -306,6 +342,24 @@ mod tests {
             assert!(!v.claim(s).claimed);
         }
         assert_eq!(v.len(), n, "re-claiming must not grow the set");
+    }
+
+    #[test]
+    fn states_roundtrips_claims_and_bytes_grow() {
+        let v = AtomicVisited::new();
+        assert_eq!(v.states(), Vec::new());
+        let mut expect: Vec<u128> = Vec::new();
+        for i in 0..1000u128 {
+            let s = PackedState(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & ((1 << 97) - 1));
+            assert!(v.claim(s).claimed);
+            expect.push(s.0);
+        }
+        let mut got: Vec<u128> = v.states().iter().map(|s| s.0).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        // At least the touched first segments are accounted for.
+        assert!(v.approx_bytes() >= (BASE_SLOTS * std::mem::size_of::<Slot>()) as u64);
     }
 
     #[test]

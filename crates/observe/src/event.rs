@@ -94,11 +94,18 @@ pub enum Counter {
     /// Successor composite states that hash-consed to an
     /// already-interned state in the composite arena.
     InternHits,
+    /// Full governor polls (clock + memory checks) performed during
+    /// the run. Cheap token-only checks are not counted.
+    BudgetPolls,
+    /// Early stops triggered by the resource governor (budget,
+    /// deadline, memory cap, cancellation or worker panic). 0 or 1
+    /// per engine run.
+    BudgetStops,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 17] = [
         Counter::Visits,
         Counter::Prunes,
         Counter::ContainmentChecks,
@@ -114,6 +121,8 @@ impl Counter {
         Counter::ClaimRaces,
         Counter::IndexProbes,
         Counter::InternHits,
+        Counter::BudgetPolls,
+        Counter::BudgetStops,
     ];
 
     /// Stable snake_case name used in exported JSON.
@@ -134,6 +143,8 @@ impl Counter {
             Counter::ClaimRaces => "claim_races",
             Counter::IndexProbes => "index_probes",
             Counter::InternHits => "intern_hits",
+            Counter::BudgetPolls => "budget_polls",
+            Counter::BudgetStops => "budget_stops",
         }
     }
 
@@ -161,17 +172,22 @@ pub enum Gauge {
     /// Approximate bytes held by the symbolic engine's interned
     /// composite arena at fixpoint (inline storage plus spill).
     ArenaBytes,
+    /// Approximate bytes held by the enumerator's visited table at
+    /// the end of the run (the governor's memory-cap input together
+    /// with [`Gauge::ArenaBytes`]).
+    VisitedBytes,
 }
 
 impl Gauge {
     /// Every gauge, in declaration order.
-    pub const ALL: [Gauge; 6] = [
+    pub const ALL: [Gauge; 7] = [
         Gauge::EssentialStates,
         Gauge::DistinctStates,
         Gauge::Levels,
         Gauge::Threads,
         Gauge::PeakPending,
         Gauge::ArenaBytes,
+        Gauge::VisitedBytes,
     ];
 
     /// Stable snake_case name used in exported JSON.
@@ -183,6 +199,7 @@ impl Gauge {
             Gauge::Threads => "threads",
             Gauge::PeakPending => "peak_pending",
             Gauge::ArenaBytes => "arena_bytes",
+            Gauge::VisitedBytes => "visited_bytes",
         }
     }
 
@@ -383,6 +400,15 @@ pub trait EventSink: Send + Sync {
     fn rule_stats(&self, rule: &str, stat: RuleStat) {
         let _ = (rule, stat);
     }
+
+    /// The run stopped early (budget, deadline, memory cap,
+    /// cancellation or worker panic). `cause` is a stable snake_case
+    /// name ([`crate::govern::StopCause::name`]); `detail` carries
+    /// free-form context such as a panic message. Emitted at most
+    /// once per engine run, at the moment the stop is honoured.
+    fn stopped(&self, cause: &str, detail: Option<&str>) {
+        let _ = (cause, detail);
+    }
 }
 
 /// A cheap handle engines hold: either attached to a sink or disabled.
@@ -524,6 +550,14 @@ impl SinkHandle {
             sink.rule_stats(rule, stat);
         }
     }
+
+    /// See [`EventSink::stopped`].
+    #[inline]
+    pub fn stopped(&self, cause: &str, detail: Option<&str>) {
+        if let Some(sink) = &self.0 {
+            sink.stopped(cause, detail);
+        }
+    }
 }
 
 impl From<Arc<dyn EventSink>> for SinkHandle {
@@ -641,6 +675,12 @@ impl EventSink for Tee {
     fn rule_stats(&self, rule: &str, stat: RuleStat) {
         for s in &self.sinks {
             s.rule_stats(rule, stat);
+        }
+    }
+
+    fn stopped(&self, cause: &str, detail: Option<&str>) {
+        for s in &self.sinks {
+            s.stopped(cause, detail);
         }
     }
 }
@@ -763,6 +803,7 @@ mod tests {
         struct SpanSink {
             spans: AtomicU64,
             rules: AtomicU64,
+            stops: AtomicU64,
         }
         impl EventSink for SpanSink {
             fn span_begin(&self, _kind: SpanKind, _tid: u32) {
@@ -773,6 +814,10 @@ mod tests {
             }
             fn rule_stats(&self, _rule: &str, stat: RuleStat) {
                 self.rules.fetch_add(stat.firings, Ordering::Relaxed);
+            }
+            fn stopped(&self, _cause: &str, detail: Option<&str>) {
+                assert_eq!(detail, Some("worker 3 panicked"));
+                self.stops.fetch_add(1, Ordering::Relaxed);
             }
         }
         let sink = Arc::new(SpanSink::default());
@@ -789,7 +834,9 @@ mod tests {
                 ..RuleStat::default()
             },
         );
+        handle.stopped("worker_panic", Some("worker 3 panicked"));
         assert_eq!(sink.spans.load(Ordering::Relaxed), 2);
         assert_eq!(sink.rules.load(Ordering::Relaxed), 3);
+        assert_eq!(sink.stops.load(Ordering::Relaxed), 1);
     }
 }

@@ -44,6 +44,7 @@ const K_SPAN_BEGIN: u64 = 10;
 const K_SPAN_END: u64 = 11;
 const K_SAMPLE: u64 = 12;
 const K_VIOLATION: u64 = 13;
+const K_STOPPED: u64 = 14;
 
 // Span kind codes (field `a` of span records): phases use their dense
 // index, the non-phase kinds sit above the phase range.
@@ -281,6 +282,13 @@ impl FlightRecorder {
                     "violation",
                     vec![("desc".to_string(), Json::Str(resolve(a)))],
                 ),
+                K_STOPPED => {
+                    let mut extra = vec![("cause".to_string(), Json::Str(resolve(a)))];
+                    if b != 0 {
+                        extra.push(("detail".to_string(), Json::Str(resolve(b))));
+                    }
+                    ev("stopped", extra);
+                }
                 _ => continue,
             }
             writeln!(out, "{}", Json::Obj(fields).render_compact())?;
@@ -345,6 +353,12 @@ impl EventSink for FlightRecorder {
         let id = self.intern(description);
         self.record(K_VIOLATION, id, 0, 0);
         self.saw_violation.store(true, Ordering::Release);
+    }
+
+    fn stopped(&self, cause: &str, detail: Option<&str>) {
+        let cause_id = self.intern(cause);
+        let detail_id = detail.map(|d| self.intern(d)).unwrap_or(0);
+        self.record(K_STOPPED, cause_id, detail_id, 0);
     }
 }
 
@@ -487,6 +501,28 @@ mod tests {
             .map(|e| e.get("t_ns").unwrap().as_u64().unwrap())
             .collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn stopped_records_cause_and_detail() {
+        let rec = FlightRecorder::new(16);
+        rec.stopped("budget_exhausted", None);
+        rec.stopped("worker_panic", Some("index out of bounds"));
+        let events = lines(&rec);
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("cause").unwrap().as_str(),
+            Some("budget_exhausted")
+        );
+        assert!(events[0].get("detail").is_none());
+        assert_eq!(
+            events[1].get("cause").unwrap().as_str(),
+            Some("worker_panic")
+        );
+        assert_eq!(
+            events[1].get("detail").unwrap().as_str(),
+            Some("index out of bounds")
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@
 
 pub mod event;
 pub mod flight;
+pub mod govern;
 pub mod json;
 pub mod metrics;
 pub mod ndjson;
@@ -63,6 +64,9 @@ pub mod trace;
 
 pub use event::{Counter, EventSink, Gauge, Phase, RuleStat, SinkHandle, SpanKind, Tee, Track};
 pub use flight::{FlightRecorder, PostmortemGuard};
+pub use govern::{
+    request_global_cancel, reset_global_cancel, CancelToken, Governor, StopCause, StopInfo,
+};
 pub use json::Json;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use ndjson::NdjsonSink;

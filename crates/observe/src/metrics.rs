@@ -79,6 +79,7 @@ struct Shared {
     bus_ops: BTreeMap<String, u64>,
     workers: BTreeMap<usize, u64>,
     rules: BTreeMap<String, RuleStat>,
+    stop: Option<(String, Option<String>)>,
 }
 
 /// An [`EventSink`] that aggregates everything in memory.
@@ -149,6 +150,7 @@ impl Metrics {
             bus_ops: shared.bus_ops.clone(),
             workers: shared.workers.clone(),
             rules: shared.rules.clone(),
+            stop: shared.stop.clone(),
         }
     }
 }
@@ -215,6 +217,15 @@ impl EventSink for Metrics {
             }
         }
     }
+
+    fn stopped(&self, cause: &str, detail: Option<&str>) {
+        let mut shared = self.shared();
+        // First stop wins: a run emits at most one, but a Tee'd batch
+        // should keep the earliest cause.
+        if shared.stop.is_none() {
+            shared.stop = Some((cause.to_string(), detail.map(str::to_string)));
+        }
+    }
 }
 
 /// A point-in-time copy of a [`Metrics`] collector.
@@ -239,6 +250,9 @@ pub struct MetricsSnapshot {
     /// Per-rule attribution, by rule name (only when the engine ran
     /// with [`CommonOptions::rule_stats`](crate::CommonOptions) on).
     pub rules: BTreeMap<String, RuleStat>,
+    /// Early-stop cause and optional detail, if the run was stopped
+    /// by the resource governor (`None` for runs that completed).
+    pub stop: Option<(String, Option<String>)>,
 }
 
 impl MetricsSnapshot {
@@ -343,6 +357,14 @@ impl MetricsSnapshot {
                         .collect(),
                 ),
             ));
+        }
+
+        if let Some((cause, detail)) = &self.stop {
+            let mut stop = vec![("cause".to_string(), Json::Str(cause.clone()))];
+            if let Some(detail) = detail {
+                stop.push(("detail".to_string(), Json::Str(detail.clone())));
+            }
+            fields.push(("stop".to_string(), Json::Obj(stop)));
         }
 
         if !self.rules.is_empty() {
@@ -499,6 +521,32 @@ mod tests {
                 .unwrap()
                 .as_u64(),
             Some(0)
+        );
+    }
+
+    #[test]
+    fn stop_cause_exports_and_first_wins() {
+        let m = Metrics::new();
+        let snap = m.snapshot();
+        assert!(snap.stop.is_none());
+        assert!(Json::parse(&snap.to_json().render())
+            .unwrap()
+            .get("stop")
+            .is_none());
+
+        m.stopped("budget_exhausted", None);
+        m.stopped("cancelled", Some("late"));
+        let snap = m.snapshot();
+        assert_eq!(snap.stop, Some(("budget_exhausted".to_string(), None)));
+        let doc = Json::parse(&snap.to_json().render()).unwrap();
+        assert_eq!(
+            doc.get("stop")
+                .unwrap()
+                .get("cause")
+                .unwrap()
+                .as_str()
+                .map(str::to_string),
+            Some("budget_exhausted".to_string())
         );
     }
 

@@ -149,6 +149,14 @@ impl<W: Write + Send> EventSink for NdjsonSink<W> {
             ],
         );
     }
+
+    fn stopped(&self, cause: &str, detail: Option<&str>) {
+        let mut fields = vec![("cause".to_string(), Json::str(cause))];
+        if let Some(detail) = detail {
+            fields.push(("detail".to_string(), Json::str(detail)));
+        }
+        self.emit("stopped", fields);
+    }
 }
 
 impl<W: Write + Send> Drop for NdjsonSink<W> {
@@ -231,6 +239,26 @@ mod tests {
         assert_eq!(docs[3].get("rule").unwrap().as_str(), Some("Inv:R"));
         assert_eq!(docs[3].get("firings").unwrap().as_u64(), Some(5));
         assert_eq!(docs[4].get("ev").unwrap().as_str(), Some("span_end"));
+    }
+
+    #[test]
+    fn stopped_records_cause_and_optional_detail() {
+        let buf = SharedBuf::default();
+        let sink = NdjsonSink::new(buf.clone());
+        sink.stopped("deadline_expired", None);
+        sink.stopped("worker_panic", Some("boom"));
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let docs: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("ev").unwrap().as_str(), Some("stopped"));
+        assert_eq!(
+            docs[0].get("cause").unwrap().as_str(),
+            Some("deadline_expired")
+        );
+        assert!(docs[0].get("detail").is_none());
+        assert_eq!(docs[1].get("detail").unwrap().as_str(), Some("boom"));
     }
 
     /// Writer that stages bytes and only publishes them on flush, so

@@ -1,8 +1,10 @@
 //! Options fields shared by every ccv engine.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::event::{EventSink, SinkHandle};
+use crate::govern::{CancelToken, Governor};
 
 /// Settings common to the symbolic engine, the explicit enumerator
 /// and the trace simulator. Each engine's options struct embeds one
@@ -29,6 +31,17 @@ pub struct CommonOptions {
     /// to the kernel loop, so engines only pay for it when asked.
     /// Ignored while the sink is disabled.
     pub rule_stats: bool,
+    /// Wall-clock deadline for the run. `None` (the default) means
+    /// unbounded; engines poll the clock at
+    /// [`Governor::STRIDE`] granularity.
+    pub deadline: Option<Duration>,
+    /// Approximate memory cap in bytes (arena + visited-table
+    /// footprint, as reported by the engine). `None` means unbounded.
+    pub max_bytes: Option<u64>,
+    /// Cooperative cancellation token. Defaults to a fresh private
+    /// token; the CLI installs [`CancelToken::global`] so Ctrl-C
+    /// stops engines mid-run with a partial verdict.
+    pub cancel: CancelToken,
 }
 
 impl Default for CommonOptions {
@@ -38,6 +51,9 @@ impl Default for CommonOptions {
             stop_at_first_error: false,
             sink: SinkHandle::disabled(),
             rule_stats: false,
+            deadline: None,
+            max_bytes: None,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -71,6 +87,31 @@ impl CommonOptions {
         self.rule_stats = on;
         self
     }
+
+    /// Sets a wall-clock deadline for the run.
+    pub fn deadline(mut self, deadline: Option<Duration>) -> CommonOptions {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets an approximate memory cap in bytes.
+    pub fn max_bytes(mut self, max_bytes: Option<u64>) -> CommonOptions {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Installs a cancellation token shared with the caller.
+    pub fn cancel(mut self, token: CancelToken) -> CommonOptions {
+        self.cancel = token;
+        self
+    }
+
+    /// Builds a [`Governor`] over this run's deadline, memory cap and
+    /// cancellation token, started now. The state-count budget stays
+    /// with the engine (it owns the visited count).
+    pub fn governor(&self) -> Governor {
+        Governor::new(self.deadline, self.max_bytes, self.cancel.clone())
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +126,26 @@ mod tests {
         assert!(!opts.stop_at_first_error);
         assert!(!opts.sink.is_enabled());
         assert!(!opts.rule_stats);
+        assert!(opts.deadline.is_none());
+        assert!(opts.max_bytes.is_none());
+        assert!(!opts.cancel.is_stopped());
+    }
+
+    #[test]
+    fn governed_builders_chain_and_build() {
+        use std::time::Duration;
+
+        let token = crate::govern::CancelToken::new();
+        let opts = CommonOptions::default()
+            .deadline(Some(Duration::from_secs(30)))
+            .max_bytes(Some(1 << 20))
+            .cancel(token.clone());
+        assert_eq!(opts.deadline, Some(Duration::from_secs(30)));
+        assert_eq!(opts.max_bytes, Some(1 << 20));
+        let gov = opts.governor();
+        assert_eq!(gov.cause(), None);
+        token.cancel();
+        assert!(gov.cancelled().is_some());
     }
 
     #[test]

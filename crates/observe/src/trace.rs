@@ -222,6 +222,22 @@ impl<W: Write + Send> EventSink for TraceSink<W> {
             ],
         );
     }
+
+    fn stopped(&self, cause: &str, detail: Option<&str>) {
+        let name = match detail {
+            Some(d) => format!("{cause}: {d}"),
+            None => cause.to_string(),
+        };
+        self.emit(
+            Some(0),
+            vec![
+                ("ph".to_string(), Json::str("i")),
+                ("name".to_string(), Json::Str(name)),
+                ("cat".to_string(), Json::str("govern")),
+                ("s".to_string(), Json::str("g")),
+            ],
+        );
+    }
 }
 
 impl<W: Write + Send> Drop for TraceSink<W> {
@@ -308,6 +324,32 @@ mod tests {
             assert!(depth >= 0, "span end without begin");
         }
         assert_eq!(depth, 0, "unbalanced spans");
+    }
+
+    #[test]
+    fn stopped_renders_as_instant_event() {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::new(buf.clone());
+        sink.stopped("deadline_expired", None);
+        sink.stopped("worker_panic", Some("boom"));
+        sink.finish();
+
+        let doc = Json::parse(&trace_text(&buf)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let instants: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").map(|c| c.as_str()) == Some(Some("govern")))
+            .collect();
+        assert_eq!(instants.len(), 2);
+        assert_eq!(
+            instants[0].get("name").unwrap().as_str(),
+            Some("deadline_expired")
+        );
+        assert_eq!(
+            instants[1].get("name").unwrap().as_str(),
+            Some("worker_panic: boom")
+        );
+        assert_eq!(instants[0].get("ph").unwrap().as_str(), Some("i"));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Budget-split differential tests: a run interrupted by a state
+//! budget, checkpointed through the textual format, and resumed must
+//! end with exactly the totals of an uninterrupted run — same distinct
+//! count, same visit count, same violation set — on both engines and
+//! across thread counts.
+//!
+//! This is the acceptance criterion for the resource-governor PR: the
+//! governor stops engines only at expansion granularity (claimed
+//! states go back to the frontier), so splitting a search into legs
+//! changes nothing observable about its result.
+
+use ccv_enum::{
+    enumerate, enumerate_parallel, enumerate_parallel_resumed, enumerate_resumed, Checkpoint,
+    EnumOptions, EnumResult, PackedState,
+};
+use ccv_model::protocols::{dragon, illinois, illinois_missing_writeback};
+use ccv_model::ProtocolSpec;
+
+/// Runs leg 1 under `max_states`, round-trips the checkpoint through
+/// its textual encoding, and resumes leg 2 with no budget.
+fn split_run(spec: &ProtocolSpec, n: usize, budget: usize, threads: usize) -> EnumResult {
+    let opts = EnumOptions::new(n)
+        .exact()
+        .max_states(budget)
+        .capture_snapshot(true);
+    let leg1 = if threads > 1 {
+        enumerate_parallel(spec, &opts, threads)
+    } else {
+        enumerate(spec, &opts)
+    };
+    assert!(leg1.truncated, "budget {budget} did not interrupt the run");
+
+    let ckpt =
+        Checkpoint::of_result(spec, &opts, &leg1).expect("truncated run yields a checkpoint");
+    let mut text = Vec::new();
+    ckpt.write_to(&mut text).unwrap();
+    let ckpt = Checkpoint::read_from(std::str::from_utf8(&text).unwrap()).unwrap();
+
+    let opts = EnumOptions::new(n).exact();
+    ckpt.validate(spec, &opts).unwrap();
+    let seed = ckpt.into_seed();
+    if threads > 1 {
+        enumerate_parallel_resumed(spec, &opts, threads, Some(seed))
+    } else {
+        enumerate_resumed(spec, &opts, Some(seed))
+    }
+}
+
+/// Violating states, order-insensitive.
+fn error_states(r: &EnumResult) -> Vec<PackedState> {
+    let mut v: Vec<PackedState> = r.errors.iter().map(|e| e.state).collect();
+    v.sort_by_key(|s| s.0);
+    v.dedup();
+    v
+}
+
+#[test]
+fn split_runs_match_uninterrupted_totals_across_engines() {
+    for spec in [illinois(), dragon()] {
+        let n = 3;
+        let full = enumerate(&spec, &EnumOptions::new(n).exact());
+        assert!(!full.truncated);
+        for threads in [1, 4] {
+            for budget in [5, 10] {
+                let resumed = split_run(&spec, n, budget, threads);
+                assert!(
+                    !resumed.truncated,
+                    "{} t={threads} budget={budget}: leg 2 still truncated",
+                    spec.name()
+                );
+                assert_eq!(
+                    resumed.distinct,
+                    full.distinct,
+                    "{} t={threads} budget={budget}: distinct",
+                    spec.name()
+                );
+                assert_eq!(
+                    resumed.visits,
+                    full.visits,
+                    "{} t={threads} budget={budget}: visits",
+                    spec.name()
+                );
+                assert_eq!(error_states(&resumed), error_states(&full));
+            }
+        }
+    }
+}
+
+#[test]
+fn split_runs_find_the_same_violations_in_a_buggy_protocol() {
+    let spec = illinois_missing_writeback();
+    let n = 3;
+    let full = enumerate(&spec, &EnumOptions::new(n).exact());
+    assert!(
+        !full.errors.is_empty(),
+        "the buggy mutant must have reachable violations"
+    );
+    for threads in [1, 4] {
+        let resumed = split_run(&spec, n, 10, threads);
+        assert_eq!(resumed.distinct, full.distinct, "t={threads}: distinct");
+        assert_eq!(resumed.visits, full.visits, "t={threads}: visits");
+        assert_eq!(
+            error_states(&resumed),
+            error_states(&full),
+            "t={threads}: violation sets diverge"
+        );
+    }
+}
+
+#[test]
+fn checkpoints_transfer_between_the_sequential_and_parallel_engines() {
+    let spec = illinois();
+    let n = 4;
+    let full = enumerate(&spec, &EnumOptions::new(n).exact());
+
+    // Sequential leg 1 → parallel leg 2, and the reverse.
+    let opts = EnumOptions::new(n)
+        .exact()
+        .max_states(8)
+        .capture_snapshot(true);
+    let seq_leg = enumerate(&spec, &opts);
+    let par_leg = enumerate_parallel(&spec, &opts, 4);
+    for (leg, threads) in [(seq_leg, 4), (par_leg, 1)] {
+        let ckpt = Checkpoint::of_result(&spec, &opts, &leg).unwrap();
+        let seed = Some(ckpt.into_seed());
+        let resumed = if threads > 1 {
+            enumerate_parallel_resumed(&spec, &EnumOptions::new(n).exact(), threads, seed)
+        } else {
+            enumerate_resumed(&spec, &EnumOptions::new(n).exact(), seed)
+        };
+        assert_eq!(resumed.distinct, full.distinct);
+        assert_eq!(resumed.visits, full.visits);
+        assert!(resumed.errors.is_empty());
+    }
+}

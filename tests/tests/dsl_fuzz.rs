@@ -1,0 +1,178 @@
+//! Fuzz-ish robustness test for the `.ccv` loader: mutated protocol
+//! files must always come back as `Ok` or a rendered `Err`, never a
+//! panic, and every error message must be non-empty.
+//!
+//! The generator is a hand-rolled xorshift64 PRNG (no external fuzzing
+//! dependency) seeded deterministically, so failures reproduce. The
+//! corpus is every checked-in file under `protocols/`, mutated by
+//! truncation, byte flips, and line-level splicing — the classes of
+//! damage a hand-edited or half-written protocol file actually shows.
+
+use ccv_model::dsl::parse_protocol;
+
+/// Minimal deterministic PRNG: xorshift64 (Marsaglia, 2003).
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        // A zero state would be a fixed point; nudge it off.
+        XorShift64(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../protocols");
+    let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("protocols/ corpus directory")
+        .filter_map(|e| {
+            let e = e.ok()?;
+            let name = e.file_name().into_string().ok()?;
+            if !name.ends_with(".ccv") {
+                return None;
+            }
+            let text = std::fs::read_to_string(e.path()).ok()?;
+            Some((name, text))
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "empty corpus");
+    files
+}
+
+/// One mutation of `text`, chosen and parameterised by `rng`.
+fn mutate(text: &str, rng: &mut XorShift64) -> String {
+    if text.lines().next().is_none() {
+        // A previous mutation emptied the file; nothing left to damage.
+        return text.to_string();
+    }
+    match rng.below(6) {
+        // Truncate at an arbitrary byte boundary (half-written file).
+        0 => {
+            let mut cut = rng.below(text.len() + 1);
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_string()
+        }
+        // Flip one byte to an arbitrary printable character.
+        1 => {
+            let mut bytes = text.as_bytes().to_vec();
+            if !bytes.is_empty() {
+                let i = rng.below(bytes.len());
+                bytes[i] = b' ' + (rng.next() % 95) as u8;
+            }
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        // Delete a line.
+        2 => {
+            let lines: Vec<&str> = text.lines().collect();
+            let i = rng.below(lines.len());
+            lines
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        // Duplicate a line in place.
+        3 => {
+            let lines: Vec<&str> = text.lines().collect();
+            let i = rng.below(lines.len());
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            for (j, l) in lines.iter().enumerate() {
+                out.push(l);
+                if j == i {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+        // Splice a random line from another corpus position.
+        4 => {
+            let lines: Vec<&str> = text.lines().collect();
+            let from = rng.below(lines.len());
+            let to = rng.below(lines.len() + 1);
+            let mut out = lines.clone();
+            let moved = out[from];
+            out.insert(to, moved);
+            out.join("\n")
+        }
+        // Swap two arbitrary tokens.
+        _ => {
+            let tokens: Vec<&str> = text.split_whitespace().collect();
+            if tokens.len() < 2 {
+                return text.to_string();
+            }
+            let (a, b) = (rng.below(tokens.len()), rng.below(tokens.len()));
+            let mut out = tokens.clone();
+            out.swap(a, b);
+            out.join(" ")
+        }
+    }
+}
+
+#[test]
+fn mutated_protocol_files_never_panic_the_loader() {
+    let corpus = corpus();
+    let mut rng = XorShift64::new(0x5eed_cafe_f00d_d00d);
+    let mut parsed_ok = 0usize;
+    let mut rejected = 0usize;
+    for round in 0..400 {
+        let (name, seed_text) = &corpus[rng.below(corpus.len())];
+        // Stack one to three mutations so damage compounds.
+        let mut text = seed_text.clone();
+        for _ in 0..=rng.below(3) {
+            text = mutate(&text, &mut rng);
+        }
+        match parse_protocol(&text) {
+            Ok(_) => parsed_ok += 1,
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    !msg.trim().is_empty(),
+                    "{name} round {round}: empty error rendering"
+                );
+                rejected += 1;
+            }
+        }
+    }
+    // The corpus is real, so some mutants must survive (e.g. a
+    // duplicated comment line) and many must be rejected; both sides
+    // exercised proves the test is not vacuous.
+    assert!(parsed_ok > 0, "no mutant parsed — mutations too violent");
+    assert!(rejected > 0, "no mutant rejected — mutations too gentle");
+}
+
+#[test]
+fn pathological_inputs_are_rejected_not_panicked_on() {
+    let cases: &[&str] = &[
+        "",
+        "\0\0\0",
+        "protocol",
+        "protocol {",
+        "protocol X {}",
+        "protocol X { state }",
+        &"{".repeat(10_000),
+        &"state A\n".repeat(5_000),
+        "protocol \u{1F980} { state \u{1F980} }",
+    ];
+    for case in cases {
+        if let Err(e) = parse_protocol(case) {
+            assert!(!e.to_string().trim().is_empty());
+        }
+    }
+}

@@ -123,6 +123,7 @@ fn crosscheck_metrics_report_class_sizes() {
         &mut report,
         3,
         1 << 20,
+        false,
         &SinkHandle::new(sink_of(&metrics)),
     );
     assert!(cc.complete());
@@ -186,6 +187,7 @@ fn one_metrics_collector_can_span_engines() {
         &mut report,
         3,
         1 << 20,
+        false,
         &SinkHandle::new(sink_of(&metrics)),
     );
 
