@@ -9,9 +9,12 @@
 //! the Illinois single-mutant sweep measured twice — through the
 //! batch API (`sym-sweep/batch`) and through the retained naive
 //! reference engine (`sym-sweep/reference`) — so the batch speedup is
-//! computable from a single snapshot on a single machine. The
-//! checked-in `BENCH_PR4.json` at the repository root is the current
-//! reference snapshot.
+//! computable from a single snapshot on a single machine. Schema v3
+//! adds a `serve` section measured against a loopback `ccv serve`
+//! daemon over real TCP: cached vs uncached request latency, and
+//! uncached throughput at 1, 4 and 8 concurrent clients. The
+//! checked-in `BENCH_PR6.json` at the repository root is the current
+//! reference snapshot (`BENCH_PR4.json` is the previous one).
 //!
 //! Because absolute rates vary wildly across machines, every snapshot
 //! also measures a *reference workload* (sequential Illinois `n = 12`,
@@ -214,6 +217,146 @@ fn measure_symbolic() -> (Vec<SymRow>, f64) {
     (rows, speedup)
 }
 
+/// One `ccv serve` measurement: requests pushed through a loopback
+/// daemon over real TCP, NDJSON framing.
+struct ServeRow {
+    key: String,
+    clients: usize,
+    requests: u32,
+    wall_ms_per_request: f64,
+    requests_per_sec: f64,
+}
+
+/// Sends one NDJSON request line to `addr` and reads to the response
+/// envelope; returns true if it was served from the verdict cache.
+fn serve_round_trip(addr: std::net::SocketAddr, line: &str) -> bool {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to bench server");
+    stream.write_all(line.as_bytes()).expect("send request");
+    stream.write_all(b"\n").expect("send newline");
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        let n = reader.read_line(&mut buf).expect("read event");
+        assert!(n > 0, "server closed before responding");
+        if let Some(rest) = buf.strip_prefix("{\"ev\":\"response\",\"cached\":") {
+            assert!(
+                buf.contains("\"truncated\":false") && !buf.contains("\"error\""),
+                "bench request failed: {buf}"
+            );
+            return rest.starts_with("true");
+        }
+    }
+}
+
+/// An enumeration request heavy enough (~tens of ms of engine time)
+/// that serving it from the verdict cache is visibly cheaper than
+/// recomputing it. Distinct `budget` values (all far above the real
+/// visit count, and part of the semantic key) give distinct cache
+/// keys, so `bust != 0` defeats the cache without changing the work.
+fn serve_request(bust: usize) -> String {
+    use ccv_core::{ProtocolSource, Request};
+    let mut req = Request::enumerate(ProtocolSource::Spec(protocols::illinois()), 12);
+    req.options.exact = true;
+    if bust != 0 {
+        req.options.budget = Some(10_000_000 + bust);
+    }
+    req.to_json().render_compact()
+}
+
+/// The daemon rows: cached and uncached single-client latency, then
+/// uncached throughput at 1, 4 and 8 concurrent clients.
+fn measure_serve() -> Vec<ServeRow> {
+    use ccv_serve::{Server, ServerConfig};
+    let mut config = ServerConfig::loopback();
+    config.workers = 8;
+    config.queue_depth = 32;
+    config.cache_capacity = 1 << 14;
+    // The workload is enumerate illinois n=12; keep each request on
+    // one engine thread so the concurrency scaling measured here is
+    // the daemon's, not the engine's.
+    config.max_n = 12;
+    config.max_threads = 1;
+    let server = Server::bind(config)
+        .expect("bind loopback bench server")
+        .spawn();
+    let addr = server.addr();
+
+    let mut rows = Vec::new();
+    let mut bust = 0usize;
+    let mut next_bust = || {
+        bust += 1;
+        bust
+    };
+
+    // Warm the runner pool and the cached entry.
+    serve_round_trip(addr, &serve_request(0));
+
+    for (key, cached) in [
+        ("serve/latency/cached", true),
+        ("serve/latency/uncached", false),
+    ] {
+        let mut reps = 0u32;
+        let t0 = Instant::now();
+        while t0.elapsed().as_millis() < MIN_SAMPLE_MS && reps < MAX_REPS {
+            let line = if cached {
+                serve_request(0)
+            } else {
+                serve_request(next_bust())
+            };
+            assert_eq!(serve_round_trip(addr, &line), cached, "{key}");
+            reps += 1;
+        }
+        let per_req = t0.elapsed().as_secs_f64() / reps as f64;
+        rows.push(ServeRow {
+            key: key.to_string(),
+            clients: 1,
+            requests: reps,
+            wall_ms_per_request: per_req * 1e3,
+            requests_per_sec: 1.0 / per_req,
+        });
+    }
+
+    for clients in [1usize, 4, 8] {
+        // A fixed uncached batch per client keeps the comparison
+        // apples-to-apples across concurrency levels.
+        const PER_CLIENT: u32 = 24;
+        let batches: Vec<Vec<String>> = (0..clients)
+            .map(|_| {
+                (0..PER_CLIENT)
+                    .map(|_| serve_request(next_bust()))
+                    .collect()
+            })
+            .collect();
+        let t0 = Instant::now();
+        let joins: Vec<_> = batches
+            .into_iter()
+            .map(|batch| {
+                std::thread::spawn(move || {
+                    for line in &batch {
+                        assert!(!serve_round_trip(addr, line), "bench request cached");
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().expect("bench client");
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let total = PER_CLIENT * clients as u32;
+        rows.push(ServeRow {
+            key: format!("serve/throughput/c{clients}"),
+            clients,
+            requests: total,
+            wall_ms_per_request: secs * 1e3 / total as f64,
+            requests_per_sec: total as f64 / secs,
+        });
+    }
+    server.shutdown();
+    rows
+}
+
 fn matrix(reduced: bool, heavy: bool, threads: &[usize]) -> Vec<Config> {
     let mut configs = Vec::new();
     if reduced {
@@ -257,9 +400,15 @@ fn reference_rate() -> f64 {
     r.visits as f64 / t0.elapsed().as_secs_f64()
 }
 
-fn to_json(rows: &[Row], sym_rows: &[SymRow], sweep_speedup: f64, reference: f64) -> Json {
+fn to_json(
+    rows: &[Row],
+    sym_rows: &[SymRow],
+    serve_rows: &[ServeRow],
+    sweep_speedup: f64,
+    reference: f64,
+) -> Json {
     Json::Obj(vec![
-        ("schema".into(), Json::str("ccv-bench-snapshot-v2")),
+        ("schema".into(), Json::str("ccv-bench-snapshot-v3")),
         (
             "reference".into(),
             Json::Obj(vec![
@@ -316,6 +465,29 @@ fn to_json(rows: &[Row], sym_rows: &[SymRow], sweep_speedup: f64, reference: f64
                 ),
                 ("sweep_speedup".into(), Json::Num(sweep_speedup)),
             ]),
+        ),
+        (
+            "serve".into(),
+            Json::Obj(vec![(
+                "rows".into(),
+                Json::Arr(
+                    serve_rows
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("key".into(), Json::str(r.key.as_str())),
+                                ("clients".into(), Json::int(r.clients as u64)),
+                                ("requests".into(), Json::int(r.requests as u64)),
+                                (
+                                    "wall_ms_per_request".into(),
+                                    Json::Num(r.wall_ms_per_request),
+                                ),
+                                ("requests_per_sec".into(), Json::Num(r.requests_per_sec)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )]),
         ),
     ])
 }
@@ -450,7 +622,16 @@ fn main() {
         }
     }
 
-    let doc = to_json(&rows, &sym_rows, sweep_speedup, reference);
+    eprintln!("measuring serve workloads (loopback daemon)...");
+    let serve_rows = measure_serve();
+    for r in &serve_rows {
+        eprintln!(
+            "{:<24} {:>2} clients {:>6} requests  {:>9.3} ms/req  {:>9.1} req/s",
+            r.key, r.clients, r.requests, r.wall_ms_per_request, r.requests_per_sec
+        );
+    }
+
+    let doc = to_json(&rows, &sym_rows, &serve_rows, sweep_speedup, reference);
     let rendered = doc.render();
     match &out {
         Some(path) => {

@@ -14,11 +14,11 @@ use std::io::BufWriter;
 use std::sync::Arc;
 
 use crate::args::{ArgSpec, Flag, ParsedArgs, Positional};
-use ccv_core::{Batch, Options, Outcome, Pruning, Session, Verdict, VerificationReport};
-use ccv_enum::{
-    attach_crosscheck, enumerate as run_enumerate, enumerate_parallel, enumerate_parallel_resumed,
-    enumerate_resumed, Checkpoint, EnumOptions,
+use ccv_core::{
+    essential_states_json, Batch, Options, Outcome, Payload, ProtocolSource, Pruning, Request,
+    RunContext, Session, Verdict,
 };
+use ccv_enum::{enumerate as run_enumerate, enumerate_parallel, EnumOptions};
 use ccv_model::{protocols, ProtocolSpec};
 use ccv_observe::{
     CancelToken, EventSink, FlightRecorder, Metrics, NdjsonSink, PostmortemGuard, SinkHandle, Tee,
@@ -48,6 +48,9 @@ usage:
                  [--checkpoint-out FILE] [--resume FILE]
   ccv crosscheck <protocol> -n N [--stop-at-first-error]
                                             Theorem 1 check at size N
+  ccv serve      [--addr ADDR] [--workers N] [--queue N]
+                 [--cache-capacity N] [--max-n N] [--allow-files]
+                                            verification-as-a-service daemon
   ccv simulate   <protocol> [--workload W | --trace-file F] [--accesses N]
                  [--procs P] [--seed S]
   ccv profile    <protocol> [-n N] [--threads T] [--symbolic]
@@ -408,70 +411,6 @@ const VERIFY_SPEC: ArgSpec = ArgSpec {
     ],
 };
 
-/// Canonical JSON export of a report's essential states: entries
-/// sorted by their paper-notation rendering, classes in the
-/// composite's canonical (sorted) order — byte-stable across runs and
-/// engine-internal reorderings.
-fn essential_states_json(
-    spec: &ProtocolSpec,
-    report: &VerificationReport,
-    pruning: Pruning,
-) -> ccv_observe::Json {
-    use ccv_observe::Json;
-    let mut states = report.expansion.essential_states();
-    states.sort_by_key(|c| c.render(spec));
-    let entries: Vec<Json> = states
-        .iter()
-        .map(|c| {
-            let classes: Vec<Json> = c
-                .classes()
-                .iter()
-                .map(|&(k, r)| {
-                    Json::Obj(vec![
-                        ("state".into(), Json::str(spec.state(k.state).short.clone())),
-                        (
-                            "cdata".into(),
-                            Json::str(match k.cdata {
-                                ccv_model::CData::NoData => "none",
-                                ccv_model::CData::Fresh => "fresh",
-                                ccv_model::CData::Obsolete => "obsolete",
-                            }),
-                        ),
-                        (
-                            "rep".into(),
-                            Json::str(match r {
-                                ccv_core::Rep::Zero => "0",
-                                ccv_core::Rep::One => "1",
-                                ccv_core::Rep::Plus => "+",
-                                ccv_core::Rep::Star => "*",
-                            }),
-                        ),
-                    ])
-                })
-                .collect();
-            Json::Obj(vec![
-                ("rendered".into(), Json::str(c.render(spec))),
-                ("classes".into(), Json::Arr(classes)),
-                ("f".into(), Json::str(c.f.to_string())),
-                ("mdata".into(), Json::str(c.mdata.to_string())),
-            ])
-        })
-        .collect();
-    Json::Obj(vec![
-        ("schema".into(), Json::str("ccv-essential-states-v1")),
-        ("protocol".into(), Json::str(report.protocol.clone())),
-        (
-            "pruning".into(),
-            Json::str(match pruning {
-                Pruning::Containment => "containment",
-                Pruning::Equality => "equality",
-            }),
-        ),
-        ("count".into(), Json::int(entries.len() as u64)),
-        ("essential".into(), Json::Arr(entries)),
-    ])
-}
-
 /// `ccv verify <protocol> [--trace] [--equality] [--dot FILE]
 /// [--metrics FILE] [--progress] [--essential-out FILE]
 /// [--metrics-out FILE] [--trace-out FILE]
@@ -492,23 +431,18 @@ pub fn verify(args: &[String]) -> CmdResult {
     } else {
         None
     };
-    let mut opts = Options::default()
-        .pruning(if p.flag("--equality") {
-            Pruning::Equality
-        } else {
-            Pruning::Containment
-        })
-        .record_trace(record_trace)
-        .rule_stats(rule_stats)
-        // Ctrl-C flips the process-global token; the engine drains at
-        // the next poll and the partial result renders INCONCLUSIVE.
-        .cancel(CancelToken::global());
+    let mut req = Request::verify(ProtocolSource::Spec(spec));
+    req.options.pruning = if p.flag("--equality") {
+        Pruning::Equality
+    } else {
+        Pruning::Containment
+    };
+    req.options.record_trace = record_trace;
+    req.options.rule_stats = rule_stats;
     if let Some(secs) = p.value::<f64>("--deadline")? {
-        opts = opts.deadline(std::time::Duration::from_secs_f64(secs));
+        req.options.deadline = Some(std::time::Duration::from_secs_f64(secs));
     }
-    if let Some(bytes) = p.value::<u64>("--max-bytes")? {
-        opts = opts.max_bytes(bytes);
-    }
+    req.options.max_bytes = p.value::<u64>("--max-bytes")?;
     let mut extra: Vec<Arc<dyn EventSink>> = Vec::new();
     if let Some(m) = &metrics {
         extra.push(m.clone());
@@ -516,14 +450,16 @@ pub fn verify(args: &[String]) -> CmdResult {
     if progress {
         extra.push(Arc::new(NdjsonSink::new(std::io::stderr())));
     }
-    let handle = obs.handle(extra);
-    if handle.is_enabled() {
-        opts = opts.sink(handle);
-    }
-
-    let session = Session::new(spec).options(opts);
-    let report = session.verify();
-    let spec = session.spec();
+    // Ctrl-C flips the process-global token; the engine drains at
+    // the next poll and the partial result renders INCONCLUSIVE.
+    let ctx = RunContext::new(CancelToken::global(), obs.handle(extra));
+    let v = match Session::run_with(&req, &ctx).result {
+        Ok(Payload::Verify(v)) => v,
+        Ok(_) => return Err("unexpected response payload".into()),
+        Err(e) => return Err(e.message),
+    };
+    let report = &v.report;
+    let spec = &v.spec;
 
     println!("protocol : {}", report.protocol);
     println!("verdict  : {}", report.verdict);
@@ -575,7 +511,7 @@ pub fn verify(args: &[String]) -> CmdResult {
         } else {
             Pruning::Containment
         };
-        let json = essential_states_json(spec, &report, pruning);
+        let json = essential_states_json(spec, report, pruning);
         std::fs::write(&path, json.render()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("\nessential states written to {path}");
     }
@@ -840,62 +776,41 @@ pub fn enumerate(args: &[String]) -> CmdResult {
     // and rule table; always attached so parallel runs can report
     // per-worker claims and steal counts.
     let human = Arc::new(Metrics::new());
-    let mut opts = EnumOptions::new(n)
-        .sink(obs.handle(vec![human.clone() as Arc<dyn EventSink>]))
-        .rule_stats(rule_stats)
-        .cancel(CancelToken::global());
-    if p.flag("--exact") {
-        opts = opts.exact();
-    }
-    if let Some(max) = p.value::<usize>("--max-states")? {
-        opts = opts.max_states(max);
-    }
+    let mut req = Request::enumerate(ProtocolSource::Spec(spec), n);
+    req.options.rule_stats = rule_stats;
+    req.options.exact = p.flag("--exact");
+    req.options.max_states = p.value::<usize>("--max-states")?;
     if let Some(secs) = p.value::<f64>("--deadline")? {
-        opts = opts.deadline(std::time::Duration::from_secs_f64(secs));
+        req.options.deadline = Some(std::time::Duration::from_secs_f64(secs));
     }
-    if let Some(bytes) = p.value::<u64>("--max-bytes")? {
-        opts = opts.max_bytes(bytes);
-    }
-    if let Some(k) = p.value::<usize>("--inject-panic")? {
-        opts = opts.inject_panic(k);
-    }
-    let checkpoint_out: Option<String> = p.value("--checkpoint-out")?;
-    if checkpoint_out.is_some() {
-        opts = opts.capture_snapshot(true);
-    }
-    let seed = match p.value::<String>("--resume")? {
-        Some(path) => {
-            let ckpt = Checkpoint::load(std::path::Path::new(&path))?;
-            ckpt.validate(&spec, &opts)?;
-            println!(
-                "resuming from {path}: {} distinct states, {} frontier states, {} visits so far",
-                ckpt.visited.len(),
-                ckpt.frontier.len(),
-                ckpt.visits
-            );
-            Some(ckpt.into_seed())
-        }
-        None => None,
-    };
-    let requested: usize = p.value_or("--threads", 0)?;
+    req.options.max_bytes = p.value::<u64>("--max-bytes")?;
+    req.options.inject_panic = p.value::<usize>("--inject-panic")?;
+    req.options.checkpoint_out = p.value("--checkpoint-out")?;
+    req.options.resume = p.value("--resume")?;
     // 0 = auto: one worker per core the scheduler grants this process.
-    let threads = if requested == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        requested
+    req.options.threads = p.value_or("--threads", 0)?;
+    let ctx = RunContext::new(
+        CancelToken::global(),
+        obs.handle(vec![human.clone() as Arc<dyn EventSink>]),
+    );
+    let r = match Session::run_with(&req, &ctx).result {
+        Ok(Payload::Enumerate(r)) => r,
+        Ok(_) => return Err("unexpected response payload".into()),
+        Err(e) => return Err(e.message),
     };
-    let r = if threads > 1 {
-        enumerate_parallel_resumed(&spec, &opts, threads, seed)
-    } else {
-        enumerate_resumed(&spec, &opts, seed)
-    };
+    if let Some(info) = &r.resumed {
+        println!(
+            "resuming from {}: {} distinct states, {} frontier states, {} visits so far",
+            info.path, info.visited, info.frontier, info.visits
+        );
+    }
     println!(
-        "protocol {} n={} dedup={:?} threads={}{}",
-        spec.name(),
-        n,
-        opts.dedup,
-        threads,
-        if requested == 0 { " (auto)" } else { "" }
+        "protocol {} n={} dedup={} threads={}{}",
+        r.protocol,
+        r.n,
+        r.dedup_name(),
+        r.threads,
+        if r.auto_threads { " (auto)" } else { "" }
     );
     println!(
         "distinct states: {}   visits: {}   truncated: {}",
@@ -909,29 +824,22 @@ pub fn enumerate(args: &[String]) -> CmdResult {
             info.elapsed.as_secs_f64()
         );
     }
-    if let Some(path) = &checkpoint_out {
-        match Checkpoint::of_result(&spec, &opts, &r) {
-            Some(ckpt) => {
-                ckpt.save(std::path::Path::new(path))
-                    .map_err(|e| format!("writing checkpoint {path}: {e}"))?;
-                println!("checkpoint written to {path}");
-            }
-            None => println!("run completed; no checkpoint written to {path}"),
+    if let Some(ck) = &r.checkpoint {
+        if ck.written {
+            println!("checkpoint written to {}", ck.path);
+        } else {
+            println!("run completed; no checkpoint written to {}", ck.path);
         }
     }
     let snap = human.snapshot();
-    if threads > 1 {
+    if r.threads > 1 {
         print!("{}", crate::report::worker_summary(&snap));
     }
     if rule_stats {
         print!("\n{}", crate::report::rule_table(&snap));
     }
     for e in r.errors.iter().take(5) {
-        println!(
-            "ERROR at {}: {}",
-            e.state.render(n, &spec),
-            e.descriptions.join("; ")
-        );
+        println!("ERROR at {}: {}", e.state, e.descriptions.join("; "));
     }
     if r.errors.len() > 5 {
         println!("... and {} more errors", r.errors.len() - 5);
@@ -972,39 +880,119 @@ pub fn crosscheck(args: &[String]) -> CmdResult {
         return Ok(CmdStatus::Success);
     };
     let obs = Obs::from_args(&p)?;
-    let handle = obs.handle(Vec::new());
-    let session = Session::new(resolve_spec(p.require_pos(0, "protocol name")?)?)
-        .options(Options::default().sink(handle.clone()));
+    let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
     let n: usize = p.value_or("-n", 4)?;
-    let stop = p.flag("--stop-at-first-error");
-    let mut verification = session.verify();
-    let spec = session.spec();
-    let cc = attach_crosscheck(spec, &mut verification, n, 1 << 24, stop, &handle);
-    if let Some(why) = &cc.aborted {
+    let mut req = Request::crosscheck(ProtocolSource::Spec(spec), n);
+    req.options.stop_at_first_error = p.flag("--stop-at-first-error");
+    let ctx = RunContext::new(CancelToken::global(), obs.handle(Vec::new()));
+    let c = match Session::run_with(&req, &ctx).result {
+        Ok(Payload::Crosscheck(c)) => c,
+        Ok(_) => return Err("unexpected response payload".into()),
+        Err(e) => return Err(e.message),
+    };
+    if let Some(why) = &c.aborted {
         println!("coverage scan skipped: {why}");
         obs.finish()?;
         return Ok(CmdStatus::Failure);
     }
-    let summary = verification
-        .crosscheck
-        .as_ref()
-        .expect("attach_crosscheck fills the summary");
     println!(
         "protocol {} n={}: {} explicit states, {} covered by {} essential states",
-        spec.name(),
-        n,
-        summary.total_concrete,
-        summary.covered,
-        verification.num_essential()
+        c.protocol, c.n, c.total_concrete, c.covered, c.essential
     );
-    let complete = summary.complete;
-    if complete {
+    if c.complete {
         println!("Theorem 1 holds at this size.");
     } else {
-        println!("UNCOVERED STATES: {:?}", cc.uncovered_examples);
+        println!("UNCOVERED STATES: {:?}", c.uncovered_examples);
     }
     obs.finish()?;
-    Ok(CmdStatus::from_ok(complete))
+    Ok(CmdStatus::from_ok(c.complete))
+}
+
+const SERVE_SPEC: ArgSpec = ArgSpec {
+    cmd: "serve",
+    summary: "run the verification-as-a-service daemon (NDJSON over TCP + HTTP/1.1)",
+    positionals: &[],
+    flags: &[
+        Flag {
+            name: "--addr",
+            value: Some("ADDR"),
+            help: "listen address (default 127.0.0.1:7878; port 0 picks one)",
+        },
+        Flag {
+            name: "--workers",
+            value: Some("N"),
+            help: "verification engines running concurrently (default 4)",
+        },
+        Flag {
+            name: "--queue",
+            value: Some("N"),
+            help: "admission queue beyond the pool; overflow is answered BUSY (default 8)",
+        },
+        Flag {
+            name: "--cache-capacity",
+            value: Some("N"),
+            help: "verdict cache entries before FIFO eviction (default 256)",
+        },
+        Flag {
+            name: "--max-n",
+            value: Some("N"),
+            help: "largest cache count accepted for enumerate/crosscheck (default 8)",
+        },
+        Flag {
+            name: "--max-threads",
+            value: Some("T"),
+            help: "per-request enumeration worker cap (default 4)",
+        },
+        Flag {
+            name: "--deadline",
+            value: Some("SECS"),
+            help: "default per-request deadline (default 30)",
+        },
+        Flag {
+            name: "--max-deadline",
+            value: Some("SECS"),
+            help: "largest per-request deadline honoured (default 120)",
+        },
+        Flag {
+            name: "--allow-files",
+            value: None,
+            help: "permit checkpoint-out/resume options (trusted local clients only)",
+        },
+    ],
+};
+
+/// `ccv serve [--addr ADDR] [--workers N] [--queue N]
+/// [--cache-capacity N] [--max-n N] [--max-threads T]
+/// [--deadline SECS] [--max-deadline SECS] [--allow-files]`
+pub fn serve(args: &[String]) -> CmdResult {
+    let Some(p) = parse_or_help(&SERVE_SPEC, args)? else {
+        return Ok(CmdStatus::Success);
+    };
+    let mut config = ccv_serve::ServerConfig::default();
+    config.addr = p.value_or("--addr", config.addr.clone())?;
+    config.workers = p.value_or("--workers", config.workers)?;
+    config.queue_depth = p.value_or("--queue", config.queue_depth)?;
+    config.cache_capacity = p.value_or("--cache-capacity", config.cache_capacity)?;
+    config.max_n = p.value_or("--max-n", config.max_n)?;
+    config.max_threads = p.value_or("--max-threads", config.max_threads)?;
+    if let Some(secs) = p.value::<f64>("--deadline")? {
+        config.default_deadline = std::time::Duration::from_secs_f64(secs);
+    }
+    if let Some(secs) = p.value::<f64>("--max-deadline")? {
+        config.max_deadline = std::time::Duration::from_secs_f64(secs);
+    }
+    config.allow_files = p.flag("--allow-files");
+    let workers = config.workers;
+    let queue = config.queue_depth;
+    let server = ccv_serve::Server::bind(config).map_err(|e| format!("binding server: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("reading bound address: {e}"))?;
+    println!("ccv serve listening on {addr} ({workers} workers, queue depth {queue})");
+    println!("POST /v1/requests over HTTP, or one ccv-request-v1 NDJSON line per connection.");
+    println!("Ctrl-C stops the daemon; in-flight requests drain first.");
+    server.run();
+    Ok(CmdStatus::Success)
 }
 
 const SIMULATE_SPEC: ArgSpec = ArgSpec {

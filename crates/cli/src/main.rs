@@ -53,6 +53,10 @@ fn install_ctrl_c_handler() {}
 
 fn main() -> ExitCode {
     install_ctrl_c_handler();
+    // verify/enumerate/crosscheck (and the serve daemon) all run
+    // through the unified Session API, whose enumeration actions
+    // dispatch to the registered backend.
+    ccv_enum::install_api_backend();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{}", commands::USAGE);
@@ -71,6 +75,7 @@ fn main() -> ExitCode {
         "report" => commands::report(rest),
         "enumerate" => commands::enumerate(rest),
         "crosscheck" => commands::crosscheck(rest),
+        "serve" => commands::serve(rest),
         "simulate" => commands::simulate(rest),
         "profile" => commands::profile(rest),
         "help" | "--help" | "-h" => {

@@ -1,0 +1,1397 @@
+//! The unified verification API: one versioned request/response
+//! schema shared by the CLI subcommands, the `ccv serve` wire
+//! protocol and the test harnesses.
+//!
+//! A [`Request`] names an [`Action`] (verify / enumerate /
+//! crosscheck), a [`ProtocolSource`] and the engine options that are
+//! meaningful over a wire ([`RequestOptions`]); a [`Response`] carries
+//! either the action's typed payload or a well-formed [`ApiError`].
+//! Both round-trip through the dependency-free
+//! [`Json`] value as the `ccv-request-v1` /
+//! `ccv-response-v1` schemas, so the CLI, the server and remote
+//! clients speak the same language — and every engine capability
+//! (budgets, deadlines, rule stats, checkpointing, essential-state
+//! export) is reachable through this single surface.
+//!
+//! Runtime concerns that must not travel over a wire — the
+//! cancellation token and the observability sink — ride in a
+//! [`RunContext`] beside the request.
+//!
+//! ```
+//! use ccv_core::api::{Request, ProtocolSource, Payload};
+//! use ccv_core::Session;
+//!
+//! let req = Request::verify(ProtocolSource::Name("illinois".into()));
+//! let resp = Session::run(&req);
+//! match resp.result {
+//!     Ok(Payload::Verify(v)) => assert_eq!(v.report.num_essential(), 5),
+//!     other => panic!("unexpected: {other:?}"),
+//! }
+//! ```
+//!
+//! ## The enumeration backend
+//!
+//! `ccv-enum` depends on this crate, so the explicit-state engines
+//! cannot be called from here directly. The [`EnumBackend`] trait
+//! inverts the dependency: `ccv-enum` implements it and installs the
+//! implementation through [`install_enum_backend`] (one process-wide
+//! [`OnceLock`]), after which [`SessionRunner::run`] serves
+//! enumerate/crosscheck requests too. Without an installed backend
+//! those actions answer with a well-formed `unsupported` error.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crate::engine::{EngineScratch, Options, Pruning};
+use crate::verify::{verify_with_scratch, Outcome, Verdict, VerificationReport};
+use ccv_model::ProtocolSpec;
+use ccv_observe::{CancelToken, Json, SinkHandle, StopInfo};
+
+/// Schema identifier stamped on every serialized request.
+pub const REQUEST_SCHEMA: &str = "ccv-request-v1";
+/// Schema identifier stamped on every serialized response.
+pub const RESPONSE_SCHEMA: &str = "ccv-response-v1";
+
+/// What a request asks the engines to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Symbolic verification for any number of caches.
+    Verify,
+    /// Explicit-state enumeration at a fixed cache count.
+    Enumerate,
+    /// Theorem 1 crosscheck: enumerate and test symbolic coverage.
+    Crosscheck,
+}
+
+impl Action {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Action::Verify => "verify",
+            Action::Enumerate => "enumerate",
+            Action::Crosscheck => "crosscheck",
+        }
+    }
+
+    /// Parses a wire name back into an action.
+    pub fn from_name(name: &str) -> Option<Action> {
+        Some(match name {
+            "verify" => Action::Verify,
+            "enumerate" => Action::Enumerate,
+            "crosscheck" => Action::Crosscheck,
+            _ => return None,
+        })
+    }
+}
+
+/// Where the protocol under test comes from.
+#[derive(Clone, Debug)]
+pub enum ProtocolSource {
+    /// A library protocol name (`illinois`, `msi`, a buggy mutant…).
+    Name(String),
+    /// Inline `.ccv` DSL source text.
+    Dsl(String),
+    /// An already-resolved spec (local callers only; serializes as
+    /// its canonical DSL rendering).
+    Spec(ProtocolSpec),
+}
+
+impl ProtocolSource {
+    /// Resolves the source to a [`ProtocolSpec`], or a `bad_protocol`
+    /// error naming what went wrong.
+    pub fn resolve(&self) -> Result<ProtocolSpec, ApiError> {
+        match self {
+            ProtocolSource::Name(name) => ccv_model::protocols::by_name(name).ok_or_else(|| {
+                ApiError::bad_protocol(format!("unknown protocol '{name}' (try `ccv list`)"))
+            }),
+            ProtocolSource::Dsl(text) => ccv_model::dsl::parse_protocol(text)
+                .map_err(|e| ApiError::bad_protocol(format!("dsl:{e}"))),
+            ProtocolSource::Spec(spec) => Ok(spec.clone()),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            ProtocolSource::Name(name) => Json::Obj(vec![("name".into(), Json::str(name.clone()))]),
+            ProtocolSource::Dsl(text) => Json::Obj(vec![("dsl".into(), Json::str(text.clone()))]),
+            ProtocolSource::Spec(spec) => Json::Obj(vec![(
+                "dsl".into(),
+                Json::str(ccv_model::dsl::to_dsl(spec)),
+            )]),
+        }
+    }
+
+    fn from_json(j: &Json) -> Result<ProtocolSource, ApiError> {
+        let fields = match j {
+            Json::Obj(fields) => fields,
+            _ => return Err(ApiError::bad_request("'protocol' must be an object")),
+        };
+        if fields.len() != 1 {
+            return Err(ApiError::bad_request(
+                "'protocol' must have exactly one of 'name' or 'dsl'",
+            ));
+        }
+        let (key, value) = &fields[0];
+        let text = value
+            .as_str()
+            .ok_or_else(|| ApiError::bad_request(format!("'protocol.{key}' must be a string")))?;
+        match key.as_str() {
+            "name" => Ok(ProtocolSource::Name(text.to_string())),
+            "dsl" => Ok(ProtocolSource::Dsl(text.to_string())),
+            other => Err(ApiError::bad_request(format!(
+                "unknown protocol source '{other}' (expected 'name' or 'dsl')"
+            ))),
+        }
+    }
+}
+
+/// Engine options meaningful on a request. Every field has a default,
+/// so a wire request states only what it overrides. Fields irrelevant
+/// to the request's action are ignored by the runner.
+#[derive(Clone, Debug)]
+pub struct RequestOptions {
+    /// Pruning discipline for symbolic verification.
+    pub pruning: Pruning,
+    /// Record every expansion step (verify).
+    pub record_trace: bool,
+    /// Collect per-rule attribution (needs a sink to report into).
+    pub rule_stats: bool,
+    /// Stop at the first violation found.
+    pub stop_at_first_error: bool,
+    /// Visit budget for verification (`None` = engine default).
+    pub budget: Option<usize>,
+    /// Wall-clock deadline; past it the run stops inconclusively.
+    pub deadline: Option<Duration>,
+    /// Approximate memory cap in bytes.
+    pub max_bytes: Option<u64>,
+    /// Cache count for enumerate / crosscheck.
+    pub n: usize,
+    /// Exact-duplicate pruning instead of counting equivalence.
+    pub exact: bool,
+    /// Enumeration workers; 0 = one per available core.
+    pub threads: usize,
+    /// Distinct-state cap for enumerate (also the concrete-state
+    /// budget of the crosscheck's enumeration leg).
+    pub max_states: Option<usize>,
+    /// Test hook: panic enumeration worker 0 after this many visits.
+    pub inject_panic: Option<usize>,
+    /// Write a resumable checkpoint here if the run stops early
+    /// (server deployments may refuse file-touching options).
+    pub checkpoint_out: Option<String>,
+    /// Resume an enumeration from this checkpoint file.
+    pub resume: Option<String>,
+}
+
+impl Default for RequestOptions {
+    fn default() -> RequestOptions {
+        RequestOptions {
+            pruning: Pruning::Containment,
+            record_trace: false,
+            rule_stats: false,
+            stop_at_first_error: false,
+            budget: None,
+            deadline: None,
+            max_bytes: None,
+            n: 4,
+            exact: false,
+            threads: 0,
+            max_states: None,
+            inject_panic: None,
+            checkpoint_out: None,
+            resume: None,
+        }
+    }
+}
+
+impl RequestOptions {
+    /// True if the request asks for anything that reads or writes
+    /// server-local files — refused by daemons serving remote clients.
+    pub fn touches_files(&self) -> bool {
+        self.checkpoint_out.is_some() || self.resume.is_some()
+    }
+
+    fn to_json(&self) -> Json {
+        let d = RequestOptions::default();
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if self.pruning != d.pruning {
+            fields.push(("pruning".into(), Json::str("equality")));
+        }
+        if self.record_trace {
+            fields.push(("trace".into(), Json::Bool(true)));
+        }
+        if self.rule_stats {
+            fields.push(("rule_stats".into(), Json::Bool(true)));
+        }
+        if self.stop_at_first_error {
+            fields.push(("stop_at_first_error".into(), Json::Bool(true)));
+        }
+        if let Some(b) = self.budget {
+            fields.push(("budget".into(), Json::int(b as u64)));
+        }
+        if let Some(dl) = self.deadline {
+            fields.push(("deadline_ms".into(), Json::Num(dl.as_secs_f64() * 1000.0)));
+        }
+        if let Some(mb) = self.max_bytes {
+            fields.push(("max_bytes".into(), Json::int(mb)));
+        }
+        if self.n != d.n {
+            fields.push(("n".into(), Json::int(self.n as u64)));
+        }
+        if self.exact {
+            fields.push(("exact".into(), Json::Bool(true)));
+        }
+        if self.threads != d.threads {
+            fields.push(("threads".into(), Json::int(self.threads as u64)));
+        }
+        if let Some(m) = self.max_states {
+            fields.push(("max_states".into(), Json::int(m as u64)));
+        }
+        if let Some(k) = self.inject_panic {
+            fields.push(("inject_panic".into(), Json::int(k as u64)));
+        }
+        if let Some(p) = &self.checkpoint_out {
+            fields.push(("checkpoint_out".into(), Json::str(p.clone())));
+        }
+        if let Some(p) = &self.resume {
+            fields.push(("resume".into(), Json::str(p.clone())));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(j: &Json) -> Result<RequestOptions, ApiError> {
+        let fields = match j {
+            Json::Obj(fields) => fields,
+            _ => return Err(ApiError::bad_request("'options' must be an object")),
+        };
+        let mut opts = RequestOptions::default();
+        for (key, value) in fields {
+            match key.as_str() {
+                "pruning" => {
+                    opts.pruning = match value.as_str() {
+                        Some("containment") => Pruning::Containment,
+                        Some("equality") => Pruning::Equality,
+                        _ => {
+                            return Err(ApiError::bad_request(
+                                "'options.pruning' must be 'containment' or 'equality'",
+                            ))
+                        }
+                    }
+                }
+                "trace" => opts.record_trace = expect_bool(key, value)?,
+                "rule_stats" => opts.rule_stats = expect_bool(key, value)?,
+                "stop_at_first_error" => opts.stop_at_first_error = expect_bool(key, value)?,
+                "budget" => opts.budget = Some(expect_uint(key, value)? as usize),
+                "deadline_ms" => {
+                    let ms = value.as_f64().filter(|ms| ms.is_finite() && *ms >= 0.0);
+                    match ms {
+                        Some(ms) => {
+                            opts.deadline = Some(Duration::from_secs_f64(ms / 1000.0));
+                        }
+                        None => {
+                            return Err(ApiError::bad_request(
+                                "'options.deadline_ms' must be a non-negative number",
+                            ))
+                        }
+                    }
+                }
+                "max_bytes" => opts.max_bytes = Some(expect_uint(key, value)?),
+                "n" => opts.n = expect_uint(key, value)? as usize,
+                "exact" => opts.exact = expect_bool(key, value)?,
+                "threads" => opts.threads = expect_uint(key, value)? as usize,
+                "max_states" => opts.max_states = Some(expect_uint(key, value)? as usize),
+                "inject_panic" => opts.inject_panic = Some(expect_uint(key, value)? as usize),
+                "checkpoint_out" => opts.checkpoint_out = Some(expect_str(key, value)?),
+                "resume" => opts.resume = Some(expect_str(key, value)?),
+                other => {
+                    return Err(ApiError::bad_request(format!("unknown option '{other}'")));
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn expect_bool(key: &str, value: &Json) -> Result<bool, ApiError> {
+    match value {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(ApiError::bad_request(format!(
+            "'options.{key}' must be a boolean"
+        ))),
+    }
+}
+
+fn expect_uint(key: &str, value: &Json) -> Result<u64, ApiError> {
+    value.as_u64().ok_or_else(|| {
+        ApiError::bad_request(format!("'options.{key}' must be a non-negative integer"))
+    })
+}
+
+fn expect_str(key: &str, value: &Json) -> Result<String, ApiError> {
+    value
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ApiError::bad_request(format!("'options.{key}' must be a string")))
+}
+
+/// One unit of work for the unified runner: an action, a protocol and
+/// the options. The single entry point behind `ccv verify`,
+/// `ccv enumerate`, `ccv crosscheck` and every `ccv serve` request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// What to do.
+    pub action: Action,
+    /// The protocol under test.
+    pub protocol: ProtocolSource,
+    /// Engine options.
+    pub options: RequestOptions,
+    /// Ask a streaming endpoint (`ccv serve` NDJSON mode) to forward
+    /// progress events before the response. Transport-level: does not
+    /// affect the result and is excluded from [`Request::semantic_key`].
+    pub stream: bool,
+}
+
+impl Request {
+    /// A verify request with default options.
+    pub fn verify(protocol: ProtocolSource) -> Request {
+        Request {
+            action: Action::Verify,
+            protocol,
+            options: RequestOptions::default(),
+            stream: false,
+        }
+    }
+
+    /// An enumerate request at cache count `n`.
+    pub fn enumerate(protocol: ProtocolSource, n: usize) -> Request {
+        Request {
+            action: Action::Enumerate,
+            protocol,
+            options: RequestOptions {
+                n,
+                ..RequestOptions::default()
+            },
+            stream: false,
+        }
+    }
+
+    /// A crosscheck request at cache count `n`.
+    pub fn crosscheck(protocol: ProtocolSource, n: usize) -> Request {
+        Request {
+            action: Action::Crosscheck,
+            protocol,
+            options: RequestOptions {
+                n,
+                ..RequestOptions::default()
+            },
+            stream: false,
+        }
+    }
+
+    /// Replaces the options wholesale (chainable).
+    pub fn options(mut self, options: RequestOptions) -> Request {
+        self.options = options;
+        self
+    }
+
+    /// Serializes as a `ccv-request-v1` object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema".into(), Json::str(REQUEST_SCHEMA)),
+            ("action".into(), Json::str(self.action.name())),
+            ("protocol".into(), self.protocol.to_json()),
+            ("options".into(), self.options.to_json()),
+        ];
+        if self.stream {
+            fields.push(("stream".into(), Json::Bool(true)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Deserializes a `ccv-request-v1` object, rejecting unknown
+    /// fields, wrong types and schema mismatches with `bad_request`.
+    pub fn from_json(j: &Json) -> Result<Request, ApiError> {
+        let fields = match j {
+            Json::Obj(fields) => fields,
+            _ => return Err(ApiError::bad_request("request must be a JSON object")),
+        };
+        let mut action = None;
+        let mut protocol = None;
+        let mut options = None;
+        let mut schema = None;
+        let mut stream = false;
+        for (key, value) in fields {
+            match key.as_str() {
+                "schema" => schema = value.as_str(),
+                "stream" => stream = expect_bool("stream", value)?,
+                "action" => {
+                    action = Some(value.as_str().and_then(Action::from_name).ok_or_else(|| {
+                        ApiError::bad_request(
+                            "'action' must be 'verify', 'enumerate' or 'crosscheck'",
+                        )
+                    })?)
+                }
+                "protocol" => protocol = Some(ProtocolSource::from_json(value)?),
+                "options" => options = Some(RequestOptions::from_json(value)?),
+                other => {
+                    return Err(ApiError::bad_request(format!(
+                        "unknown request field '{other}'"
+                    )));
+                }
+            }
+        }
+        match schema {
+            Some(REQUEST_SCHEMA) => {}
+            Some(other) => {
+                return Err(ApiError::bad_request(format!(
+                    "unsupported schema '{other}' (expected '{REQUEST_SCHEMA}')"
+                )));
+            }
+            None => return Err(ApiError::bad_request("missing 'schema' field")),
+        }
+        Ok(Request {
+            action: action.ok_or_else(|| ApiError::bad_request("missing 'action' field"))?,
+            protocol: protocol.ok_or_else(|| ApiError::bad_request("missing 'protocol' field"))?,
+            options: options.unwrap_or_default(),
+            stream,
+        })
+    }
+
+    /// Parses request text (one JSON object) into a request.
+    pub fn parse(text: &str) -> Result<Request, ApiError> {
+        let j = Json::parse(text).map_err(ApiError::bad_request)?;
+        Request::from_json(&j)
+    }
+
+    /// A deterministic fingerprint of everything that can influence
+    /// the response body: the action, the semantically relevant
+    /// options and the protocol's canonical DSL rendering. Two
+    /// requests with equal fingerprints produce interchangeable
+    /// responses — the identity the `ccv serve` verdict cache hashes.
+    pub fn semantic_key(&self, spec: &ProtocolSpec) -> String {
+        let o = &self.options;
+        format!(
+            "{}|pr={:?}|tr={}|sf={}|bu={:?}|dl={:?}|mb={:?}|n={}|ex={}|th={}|ms={:?}|ip={:?}\n{}",
+            self.action.name(),
+            o.pruning,
+            o.record_trace,
+            o.stop_at_first_error,
+            o.budget,
+            o.deadline,
+            o.max_bytes,
+            o.n,
+            o.exact,
+            o.threads,
+            o.max_states,
+            o.inject_panic,
+            ccv_model::dsl::to_dsl(spec)
+        )
+    }
+}
+
+/// Runtime companions to a [`Request`] that must not travel over a
+/// wire: the cancellation token the caller may trip and the
+/// observability sink progress events flow into.
+#[derive(Clone, Debug, Default)]
+pub struct RunContext {
+    /// Cooperative cancellation for this run.
+    pub cancel: CancelToken,
+    /// Event sink (metrics, NDJSON progress, traces…).
+    pub sink: SinkHandle,
+}
+
+impl RunContext {
+    /// A context with the given token and sink.
+    pub fn new(cancel: CancelToken, sink: SinkHandle) -> RunContext {
+        RunContext { cancel, sink }
+    }
+}
+
+/// Stable machine-readable classification of a request failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Malformed request: bad JSON, schema violation, unknown field.
+    BadRequest,
+    /// The protocol could not be resolved (unknown name, DSL error).
+    BadProtocol,
+    /// The request is valid but this endpoint cannot serve it
+    /// (no enumeration backend, file options over a wire…).
+    Unsupported,
+    /// The server's admission queue is full; retry later.
+    Busy,
+    /// An internal failure (checkpoint I/O, worker loss…).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::BadProtocol => "bad_protocol",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name back into a code.
+    pub fn from_name(name: &str) -> Option<ErrorCode> {
+        Some(match name {
+            "bad_request" => ErrorCode::BadRequest,
+            "bad_protocol" => ErrorCode::BadProtocol,
+            "unsupported" => ErrorCode::Unsupported,
+            "busy" => ErrorCode::Busy,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A well-formed request failure: code plus human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiError {
+    /// Machine-readable classification.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A `bad_request` error.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            code: ErrorCode::BadRequest,
+            message: message.into(),
+        }
+    }
+
+    /// A `bad_protocol` error.
+    pub fn bad_protocol(message: impl Into<String>) -> ApiError {
+        ApiError {
+            code: ErrorCode::BadProtocol,
+            message: message.into(),
+        }
+    }
+
+    /// An `unsupported` error.
+    pub fn unsupported(message: impl Into<String>) -> ApiError {
+        ApiError {
+            code: ErrorCode::Unsupported,
+            message: message.into(),
+        }
+    }
+
+    /// A `busy` error.
+    pub fn busy(message: impl Into<String>) -> ApiError {
+        ApiError {
+            code: ErrorCode::Busy,
+            message: message.into(),
+        }
+    }
+
+    /// An `internal` error.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError {
+            code: ErrorCode::Internal,
+            message: message.into(),
+        }
+    }
+
+    /// Serializes as the `error` object of a response.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("code".into(), Json::str(self.code.name())),
+            ("message".into(), Json::str(self.message.clone())),
+        ])
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.name(), self.message)
+    }
+}
+
+/// The payload of a successful verify request: the resolved spec
+/// (needed to render states), the pruning in effect and the full
+/// report.
+#[derive(Clone, Debug)]
+pub struct VerifyResponse {
+    /// The resolved protocol.
+    pub spec: ProtocolSpec,
+    /// The pruning discipline the run used.
+    pub pruning: Pruning,
+    /// The complete verification report.
+    pub report: VerificationReport,
+}
+
+/// What an enumeration resumed from, for reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// Checkpoint file path.
+    pub path: String,
+    /// Distinct states already visited at the checkpoint.
+    pub visited: usize,
+    /// Frontier states pending at the checkpoint.
+    pub frontier: usize,
+    /// Visits already performed at the checkpoint.
+    pub visits: usize,
+}
+
+/// Whether (and where) a checkpoint was written after the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// Requested checkpoint path.
+    pub path: String,
+    /// True if a checkpoint was written (the run stopped early);
+    /// false if the run completed and none was needed.
+    pub written: bool,
+}
+
+/// One enumeration violation, pre-rendered for transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnumErrorInfo {
+    /// The violating concrete state, rendered.
+    pub state: String,
+    /// Violation descriptions.
+    pub descriptions: Vec<String>,
+}
+
+/// The payload of a successful enumerate request.
+#[derive(Clone, Debug)]
+pub struct EnumerateResponse {
+    /// Protocol name.
+    pub protocol: String,
+    /// Cache count enumerated.
+    pub n: usize,
+    /// Exact-duplicate pruning (vs counting equivalence).
+    pub exact: bool,
+    /// Resolved worker count.
+    pub threads: usize,
+    /// True if the worker count was auto-selected (`threads: 0`).
+    pub auto_threads: bool,
+    /// Distinct states reached.
+    pub distinct: usize,
+    /// States dequeued and expanded.
+    pub visits: usize,
+    /// True if the search was cut short.
+    pub truncated: bool,
+    /// Why the run stopped early, if it did.
+    pub stopped: Option<StopInfo>,
+    /// Violations found (possibly truncated by stop-at-first-error).
+    pub errors: Vec<EnumErrorInfo>,
+    /// Set when the run resumed from a checkpoint.
+    pub resumed: Option<ResumeInfo>,
+    /// Set when the request asked for a checkpoint.
+    pub checkpoint: Option<CheckpointOutcome>,
+}
+
+impl EnumerateResponse {
+    /// The pruning discipline, rendered exactly as the CLI's
+    /// `dedup={:?}` always has.
+    pub fn dedup_name(&self) -> &'static str {
+        if self.exact {
+            "Exact"
+        } else {
+            "Counting"
+        }
+    }
+}
+
+/// The payload of a successful crosscheck request.
+#[derive(Clone, Debug)]
+pub struct CrosscheckResponse {
+    /// Protocol name.
+    pub protocol: String,
+    /// Cache count enumerated.
+    pub n: usize,
+    /// Essential states from the symbolic leg.
+    pub essential: usize,
+    /// Distinct concrete states reached by enumeration.
+    pub total_concrete: usize,
+    /// Concrete states covered by some essential state.
+    pub covered: usize,
+    /// True iff every concrete state is covered (Theorem 1 holds).
+    pub complete: bool,
+    /// Example uncovered states (rendered), when incomplete.
+    pub uncovered_examples: Vec<String>,
+    /// Why the coverage scan was skipped, when it was.
+    pub aborted: Option<String>,
+}
+
+/// A successful response's action-specific payload.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Verify result.
+    Verify(Box<VerifyResponse>),
+    /// Enumerate result.
+    Enumerate(EnumerateResponse),
+    /// Crosscheck result.
+    Crosscheck(CrosscheckResponse),
+}
+
+/// The unified result of running a [`Request`].
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The action this responds to.
+    pub action: Action,
+    /// The payload, or a well-formed error.
+    pub result: Result<Payload, ApiError>,
+}
+
+impl Response {
+    /// An error response for `action`.
+    pub fn error(action: Action, error: ApiError) -> Response {
+        Response {
+            action,
+            result: Err(error),
+        }
+    }
+
+    /// True if the run reached a definite result — verified or
+    /// erroneous, complete or incomplete — as opposed to stopping
+    /// early or failing. Only conclusive responses are safe to serve
+    /// from a verdict cache: an inconclusive one depends on budgets
+    /// and wall-clock luck, not just the protocol.
+    pub fn is_conclusive(&self) -> bool {
+        match &self.result {
+            Err(_) => false,
+            Ok(Payload::Verify(v)) => v.report.verdict != Verdict::Inconclusive,
+            Ok(Payload::Enumerate(e)) => e.stopped.is_none(),
+            Ok(Payload::Crosscheck(c)) => c.aborted.is_none(),
+        }
+    }
+
+    /// Serializes as a `ccv-response-v1` object.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("schema".into(), Json::str(RESPONSE_SCHEMA)),
+            ("action".into(), Json::str(self.action.name())),
+        ];
+        match &self.result {
+            Err(e) => fields.push(("error".into(), e.to_json())),
+            Ok(Payload::Verify(v)) => {
+                let report = &v.report;
+                fields.push(("protocol".into(), Json::str(report.protocol.clone())));
+                fields.push(("verdict".into(), Json::str(report.verdict.to_string())));
+                fields.push(("visits".into(), Json::int(report.visits() as u64)));
+                fields.push((
+                    "expansions".into(),
+                    Json::int(report.expansion.expanded as u64),
+                ));
+                fields.push((
+                    "essential_states".into(),
+                    Json::int(report.num_essential() as u64),
+                ));
+                if let Outcome::Inconclusive {
+                    reason,
+                    frontier_size,
+                    visits,
+                    elapsed,
+                } = &report.outcome
+                {
+                    fields.push((
+                        "stop".into(),
+                        Json::Obj(vec![
+                            ("reason".into(), Json::str(reason.clone())),
+                            ("frontier".into(), Json::int(*frontier_size as u64)),
+                            ("visits".into(), Json::int(*visits as u64)),
+                            (
+                                "elapsed_ms".into(),
+                                Json::Num(elapsed.as_secs_f64() * 1000.0),
+                            ),
+                        ]),
+                    ));
+                }
+                if !report.reports.is_empty() {
+                    let errors: Vec<Json> = report
+                        .reports
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                (
+                                    "descriptions".into(),
+                                    Json::Arr(
+                                        r.descriptions
+                                            .iter()
+                                            .map(|d| Json::str(d.clone()))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("state".into(), Json::str(r.state.clone())),
+                                ("path".into(), Json::str(r.path.clone())),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("errors".into(), Json::Arr(errors)));
+                }
+                fields.push((
+                    "essential".into(),
+                    Json::Arr(essential_entries(&v.spec, report)),
+                ));
+            }
+            Ok(Payload::Enumerate(e)) => {
+                fields.push(("protocol".into(), Json::str(e.protocol.clone())));
+                fields.push(("n".into(), Json::int(e.n as u64)));
+                fields.push((
+                    "dedup".into(),
+                    Json::str(if e.exact { "exact" } else { "counting" }),
+                ));
+                fields.push(("threads".into(), Json::int(e.threads as u64)));
+                fields.push(("distinct_states".into(), Json::int(e.distinct as u64)));
+                fields.push(("visits".into(), Json::int(e.visits as u64)));
+                fields.push(("truncated".into(), Json::Bool(e.truncated)));
+                if let Some(info) = &e.stopped {
+                    fields.push(("stop".into(), stop_info_json(info)));
+                }
+                if !e.errors.is_empty() {
+                    let errors: Vec<Json> = e
+                        .errors
+                        .iter()
+                        .map(|err| {
+                            Json::Obj(vec![
+                                ("state".into(), Json::str(err.state.clone())),
+                                (
+                                    "descriptions".into(),
+                                    Json::Arr(
+                                        err.descriptions
+                                            .iter()
+                                            .map(|d| Json::str(d.clone()))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("errors".into(), Json::Arr(errors)));
+                }
+                if let Some(r) = &e.resumed {
+                    fields.push((
+                        "resumed".into(),
+                        Json::Obj(vec![
+                            ("path".into(), Json::str(r.path.clone())),
+                            ("visited".into(), Json::int(r.visited as u64)),
+                            ("frontier".into(), Json::int(r.frontier as u64)),
+                            ("visits".into(), Json::int(r.visits as u64)),
+                        ]),
+                    ));
+                }
+                if let Some(c) = &e.checkpoint {
+                    fields.push((
+                        "checkpoint".into(),
+                        Json::Obj(vec![
+                            ("path".into(), Json::str(c.path.clone())),
+                            ("written".into(), Json::Bool(c.written)),
+                        ]),
+                    ));
+                }
+            }
+            Ok(Payload::Crosscheck(c)) => {
+                fields.push(("protocol".into(), Json::str(c.protocol.clone())));
+                fields.push(("n".into(), Json::int(c.n as u64)));
+                fields.push(("essential_states".into(), Json::int(c.essential as u64)));
+                fields.push(("total_concrete".into(), Json::int(c.total_concrete as u64)));
+                fields.push(("covered".into(), Json::int(c.covered as u64)));
+                fields.push(("complete".into(), Json::Bool(c.complete)));
+                if !c.uncovered_examples.is_empty() {
+                    fields.push((
+                        "uncovered".into(),
+                        Json::Arr(
+                            c.uncovered_examples
+                                .iter()
+                                .map(|s| Json::str(s.clone()))
+                                .collect(),
+                        ),
+                    ));
+                }
+                if let Some(why) = &c.aborted {
+                    fields.push(("aborted".into(), Json::str(why.clone())));
+                }
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+fn stop_info_json(info: &StopInfo) -> Json {
+    let mut fields = vec![("cause".into(), Json::str(info.cause.name()))];
+    if let Some(d) = &info.detail {
+        fields.push(("detail".into(), Json::str(d.clone())));
+    }
+    fields.push(("frontier".into(), Json::int(info.frontier as u64)));
+    fields.push((
+        "elapsed_ms".into(),
+        Json::Num(info.elapsed.as_secs_f64() * 1000.0),
+    ));
+    Json::Obj(fields)
+}
+
+/// One progress record of the NDJSON event stream — the classified
+/// view clients use. Servers forward sink events verbatim; this type
+/// names the vocabulary both ends agree on.
+#[derive(Clone, Debug)]
+pub enum ProgressEvent {
+    /// Free-form progress message.
+    Progress {
+        /// The message.
+        message: String,
+    },
+    /// Engine phase boundary.
+    Phase {
+        /// Phase name (`expand`, `enumerate`, …).
+        phase: String,
+        /// True on entry, false on exit.
+        enter: bool,
+    },
+    /// BFS frontier size at a level.
+    Frontier {
+        /// The level.
+        level: u64,
+        /// Frontier size at that level.
+        size: u64,
+    },
+    /// Gauge update.
+    Gauge {
+        /// Gauge name.
+        gauge: String,
+        /// New value.
+        value: u64,
+    },
+    /// A coherence violation was recorded.
+    Violation {
+        /// Description.
+        desc: String,
+    },
+    /// The governor stopped the run early.
+    Stopped {
+        /// Stable cause name (see `StopCause::name`).
+        cause: String,
+        /// Extra context, when present.
+        detail: Option<String>,
+    },
+    /// The terminal record of a served request: the response body,
+    /// with the cache disposition carried on the envelope so cached
+    /// and fresh bodies stay byte-identical.
+    Response {
+        /// True if served from the verdict cache.
+        cached: bool,
+        /// The `ccv-response-v1` body.
+        body: Json,
+    },
+    /// Any other event in the stream, kept verbatim.
+    Other {
+        /// The `ev` discriminator.
+        ev: String,
+        /// The full record.
+        raw: Json,
+    },
+}
+
+impl ProgressEvent {
+    /// Classifies one NDJSON record. Returns `None` when the record
+    /// has no `ev` discriminator (it is not an event).
+    pub fn from_json(j: &Json) -> Option<ProgressEvent> {
+        let ev = j.get("ev")?.as_str()?;
+        let str_field = |key: &str| j.get(key).and_then(Json::as_str).map(str::to_string);
+        let int_field = |key: &str| j.get(key).and_then(Json::as_u64);
+        Some(match ev {
+            "progress" => ProgressEvent::Progress {
+                message: str_field("message")?,
+            },
+            "phase_enter" | "phase_exit" => ProgressEvent::Phase {
+                phase: str_field("phase")?,
+                enter: ev == "phase_enter",
+            },
+            "frontier" => ProgressEvent::Frontier {
+                level: int_field("level")?,
+                size: int_field("size")?,
+            },
+            "gauge" => ProgressEvent::Gauge {
+                gauge: str_field("gauge")?,
+                value: int_field("value")?,
+            },
+            "violation" => ProgressEvent::Violation {
+                desc: str_field("desc")?,
+            },
+            "stopped" => ProgressEvent::Stopped {
+                cause: str_field("cause")?,
+                detail: str_field("detail"),
+            },
+            "response" => ProgressEvent::Response {
+                cached: matches!(j.get("cached"), Some(Json::Bool(true))),
+                body: j.get("body")?.clone(),
+            },
+            other => ProgressEvent::Other {
+                ev: other.to_string(),
+                raw: j.clone(),
+            },
+        })
+    }
+}
+
+/// The essential states of a report as canonical JSON entries, sorted
+/// by their paper-notation rendering — byte-stable across runs and
+/// engine-internal reorderings. The array inside
+/// [`essential_states_json`] and the `essential` field of a verify
+/// response.
+pub fn essential_entries(spec: &ProtocolSpec, report: &VerificationReport) -> Vec<Json> {
+    let mut states = report.expansion.essential_states();
+    states.sort_by_key(|c| c.render(spec));
+    states
+        .iter()
+        .map(|c| {
+            let classes: Vec<Json> = c
+                .classes()
+                .iter()
+                .map(|&(k, r)| {
+                    Json::Obj(vec![
+                        ("state".into(), Json::str(spec.state(k.state).short.clone())),
+                        (
+                            "cdata".into(),
+                            Json::str(match k.cdata {
+                                ccv_model::CData::NoData => "none",
+                                ccv_model::CData::Fresh => "fresh",
+                                ccv_model::CData::Obsolete => "obsolete",
+                            }),
+                        ),
+                        (
+                            "rep".into(),
+                            Json::str(match r {
+                                crate::Rep::Zero => "0",
+                                crate::Rep::One => "1",
+                                crate::Rep::Plus => "+",
+                                crate::Rep::Star => "*",
+                            }),
+                        ),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("rendered".into(), Json::str(c.render(spec))),
+                ("classes".into(), Json::Arr(classes)),
+                ("f".into(), Json::str(c.f.to_string())),
+                ("mdata".into(), Json::str(c.mdata.to_string())),
+            ])
+        })
+        .collect()
+}
+
+/// Canonical JSON export of a report's essential states (the
+/// `ccv-essential-states-v1` document behind `--essential-out`).
+pub fn essential_states_json(
+    spec: &ProtocolSpec,
+    report: &VerificationReport,
+    pruning: Pruning,
+) -> Json {
+    let entries = essential_entries(spec, report);
+    Json::Obj(vec![
+        ("schema".into(), Json::str("ccv-essential-states-v1")),
+        ("protocol".into(), Json::str(report.protocol.clone())),
+        (
+            "pruning".into(),
+            Json::str(match pruning {
+                Pruning::Containment => "containment",
+                Pruning::Equality => "equality",
+            }),
+        ),
+        ("count".into(), Json::int(entries.len() as u64)),
+        ("essential".into(), Json::Arr(entries)),
+    ])
+}
+
+/// The explicit-state engines, seen from below.
+///
+/// `ccv-enum` depends on this crate, so the unified runner reaches
+/// enumeration through this trait instead of a direct call. The
+/// methods mirror the engines' entry points but speak in the neutral
+/// request/response types: implementations resolve thread counts,
+/// load and save checkpoints, and pre-render states.
+pub trait EnumBackend: Send + Sync {
+    /// Runs an explicit-state enumeration for `req`.
+    fn enumerate(
+        &self,
+        spec: &ProtocolSpec,
+        req: &Request,
+        ctx: &RunContext,
+    ) -> Result<EnumerateResponse, ApiError>;
+
+    /// Attaches a Theorem 1 crosscheck to a fresh verification
+    /// `report` of `spec`.
+    fn crosscheck(
+        &self,
+        spec: &ProtocolSpec,
+        report: &mut VerificationReport,
+        req: &Request,
+        ctx: &RunContext,
+    ) -> Result<CrosscheckResponse, ApiError>;
+}
+
+static ENUM_BACKEND: OnceLock<Arc<dyn EnumBackend>> = OnceLock::new();
+
+/// Installs the process-wide enumeration backend. The first install
+/// wins; later calls are ignored (idempotent by design, so tests and
+/// long-lived processes may call it freely).
+pub fn install_enum_backend(backend: Arc<dyn EnumBackend>) {
+    let _ = ENUM_BACKEND.set(backend);
+}
+
+/// The installed enumeration backend, if any.
+pub fn enum_backend() -> Option<Arc<dyn EnumBackend>> {
+    ENUM_BACKEND.get().cloned()
+}
+
+/// The unified runner: owns an [`EngineScratch`] recycled across
+/// requests (a long-lived server worker keeps one) and an optional
+/// explicit [`EnumBackend`] (defaults to the installed one).
+#[derive(Default)]
+pub struct SessionRunner {
+    scratch: EngineScratch,
+    backend: Option<Arc<dyn EnumBackend>>,
+}
+
+impl std::fmt::Debug for SessionRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionRunner")
+            .field("backend", &self.backend.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionRunner {
+    /// A runner using the globally installed backend (if any).
+    pub fn new() -> SessionRunner {
+        SessionRunner::default()
+    }
+
+    /// A runner with an explicit enumeration backend.
+    pub fn with_backend(backend: Arc<dyn EnumBackend>) -> SessionRunner {
+        SessionRunner {
+            scratch: EngineScratch::new(),
+            backend: Some(backend),
+        }
+    }
+
+    fn backend(&self) -> Option<Arc<dyn EnumBackend>> {
+        self.backend.clone().or_else(enum_backend)
+    }
+
+    /// Runs one request to completion and returns the response.
+    /// Engine scratch is recycled across calls; results are observably
+    /// identical to fresh runs.
+    pub fn run(&mut self, req: &Request, ctx: &RunContext) -> Response {
+        let spec = match req.protocol.resolve() {
+            Ok(spec) => spec,
+            Err(e) => return Response::error(req.action, e),
+        };
+        let result = match req.action {
+            Action::Verify => Ok(Payload::Verify(Box::new(self.run_verify(spec, req, ctx)))),
+            Action::Enumerate => match self.backend() {
+                Some(backend) => backend.enumerate(&spec, req, ctx).map(Payload::Enumerate),
+                None => Err(no_backend()),
+            },
+            Action::Crosscheck => match self.backend() {
+                Some(backend) => {
+                    let opts = Options::default()
+                        .sink(ctx.sink.clone())
+                        .cancel(ctx.cancel.clone());
+                    let mut report = verify_with_scratch(&spec, &opts, &mut self.scratch);
+                    backend
+                        .crosscheck(&spec, &mut report, req, ctx)
+                        .map(Payload::Crosscheck)
+                }
+                None => Err(no_backend()),
+            },
+        };
+        Response {
+            action: req.action,
+            result,
+        }
+    }
+
+    fn run_verify(
+        &mut self,
+        spec: ProtocolSpec,
+        req: &Request,
+        ctx: &RunContext,
+    ) -> VerifyResponse {
+        let o = &req.options;
+        let mut opts = Options::default()
+            .pruning(o.pruning)
+            .record_trace(o.record_trace)
+            .rule_stats(o.rule_stats)
+            .stop_at_first_error(o.stop_at_first_error)
+            .cancel(ctx.cancel.clone());
+        if let Some(budget) = o.budget {
+            opts = opts.max_visits(budget);
+        }
+        if let Some(deadline) = o.deadline {
+            opts = opts.deadline(deadline);
+        }
+        if let Some(max_bytes) = o.max_bytes {
+            opts = opts.max_bytes(max_bytes);
+        }
+        if ctx.sink.is_enabled() {
+            opts = opts.sink(ctx.sink.clone());
+        }
+        let report = verify_with_scratch(&spec, &opts, &mut self.scratch);
+        VerifyResponse {
+            spec,
+            pruning: o.pruning,
+            report,
+        }
+    }
+}
+
+fn no_backend() -> ApiError {
+    ApiError::unsupported(
+        "no enumeration backend installed (call ccv_enum::install_api_backend() first)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+    use ccv_model::protocols::illinois;
+
+    #[test]
+    fn request_json_round_trips() {
+        let req = Request {
+            action: Action::Enumerate,
+            protocol: ProtocolSource::Name("illinois".into()),
+            options: RequestOptions {
+                n: 5,
+                exact: true,
+                threads: 2,
+                max_states: Some(10_000),
+                deadline: Some(Duration::from_millis(1500)),
+                ..RequestOptions::default()
+            },
+            stream: true,
+        };
+        let json = req.to_json();
+        let back = Request::from_json(&json).expect("round trip");
+        assert_eq!(back.to_json(), json);
+        let reparsed = Request::parse(&json.render()).expect("parse rendered text");
+        assert_eq!(reparsed.to_json(), json);
+    }
+
+    #[test]
+    fn default_options_serialize_empty() {
+        let req = Request::verify(ProtocolSource::Name("msi".into()));
+        assert_eq!(req.options.to_json(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn malformed_requests_get_bad_request() {
+        for text in [
+            "not json",
+            "[1, 2]",
+            "{\"schema\": \"ccv-request-v9\", \"action\": \"verify\", \"protocol\": {\"name\": \"msi\"}}",
+            "{\"action\": \"verify\", \"protocol\": {\"name\": \"msi\"}}",
+            "{\"schema\": \"ccv-request-v1\", \"action\": \"dance\", \"protocol\": {\"name\": \"msi\"}}",
+            "{\"schema\": \"ccv-request-v1\", \"action\": \"verify\", \"protocol\": {}}",
+            "{\"schema\": \"ccv-request-v1\", \"action\": \"verify\", \"protocol\": {\"name\": \"msi\"}, \"options\": {\"bogus\": 1}}",
+            "{\"schema\": \"ccv-request-v1\", \"action\": \"verify\", \"protocol\": {\"name\": \"msi\"}, \"surprise\": 1}",
+        ] {
+            let err = Request::parse(text).expect_err(text);
+            assert_eq!(err.code, ErrorCode::BadRequest, "{text}");
+            assert!(!err.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_is_bad_protocol() {
+        let req = Request::verify(ProtocolSource::Name("nonesuch".into()));
+        let resp = Session::run(&req);
+        match resp.result {
+            Err(e) => {
+                assert_eq!(e.code, ErrorCode::BadProtocol);
+                assert!(e.message.contains("nonesuch"));
+            }
+            Ok(_) => panic!("expected an error"),
+        }
+    }
+
+    #[test]
+    fn run_verify_matches_session_verify() {
+        let req = Request::verify(ProtocolSource::Spec(illinois()));
+        let resp = Session::run(&req);
+        let direct = Session::new(illinois()).verify();
+        match resp.result {
+            Ok(Payload::Verify(v)) => {
+                assert_eq!(v.report.verdict, direct.verdict);
+                assert_eq!(v.report.visits(), direct.visits());
+                assert_eq!(v.report.num_essential(), direct.num_essential());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(Session::run(&req).is_conclusive());
+    }
+
+    #[test]
+    fn dsl_source_resolves_like_the_library() {
+        let dsl = ccv_model::dsl::to_dsl(&illinois());
+        let spec = ProtocolSource::Dsl(dsl).resolve().expect("parses");
+        assert_eq!(spec.name(), illinois().name());
+        let err = ProtocolSource::Dsl("protocol {".into())
+            .resolve()
+            .expect_err("rejects");
+        assert_eq!(err.code, ErrorCode::BadProtocol);
+    }
+
+    #[test]
+    fn semantic_key_separates_options_and_protocols() {
+        let spec = illinois();
+        let a = Request::verify(ProtocolSource::Spec(spec.clone()));
+        let mut b = a.clone();
+        b.options.budget = Some(10);
+        assert_ne!(a.semantic_key(&spec), b.semantic_key(&spec));
+        let c = Request::enumerate(ProtocolSource::Spec(spec.clone()), 4);
+        assert_ne!(a.semantic_key(&spec), c.semantic_key(&spec));
+    }
+
+    #[test]
+    fn inconclusive_verify_is_not_conclusive_and_renders_stop() {
+        let req = Request::verify(ProtocolSource::Spec(illinois())).options(RequestOptions {
+            budget: Some(3),
+            ..RequestOptions::default()
+        });
+        let resp = Session::run(&req);
+        assert!(!resp.is_conclusive());
+        let body = resp.to_json();
+        assert_eq!(
+            body.get("verdict").and_then(Json::as_str),
+            Some("INCONCLUSIVE")
+        );
+        assert!(body.get("stop").is_some());
+    }
+
+    #[test]
+    fn error_response_renders_code_and_message() {
+        let resp = Response::error(Action::Verify, ApiError::busy("queue full"));
+        let body = resp.to_json();
+        let err = body.get("error").expect("error field");
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("busy"));
+        assert_eq!(
+            err.get("message").and_then(Json::as_str),
+            Some("queue full")
+        );
+        assert!(!resp.is_conclusive());
+    }
+
+    #[test]
+    fn progress_event_classifies_the_vocabulary() {
+        let line = Json::parse(r#"{"ev":"frontier","t_ms":0.3,"level":3,"size":9}"#).unwrap();
+        match ProgressEvent::from_json(&line) {
+            Some(ProgressEvent::Frontier { level: 3, size: 9 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        let resp = Json::parse(r#"{"ev":"response","cached":true,"body":{"x":1}}"#).unwrap();
+        match ProgressEvent::from_json(&resp) {
+            Some(ProgressEvent::Response { cached: true, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(ProgressEvent::from_json(&Json::Null).is_none());
+    }
+}

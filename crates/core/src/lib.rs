@@ -77,6 +77,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod api;
 pub mod check;
 pub mod compare;
 pub mod composite;
@@ -94,6 +95,12 @@ pub mod session;
 pub mod small;
 pub mod verify;
 
+pub use api::{
+    essential_states_json, install_enum_backend, Action, ApiError, CheckpointOutcome,
+    CrosscheckResponse, EnumBackend, EnumErrorInfo, EnumerateResponse, ErrorCode, Payload,
+    ProgressEvent, ProtocolSource, Request, RequestOptions, Response, ResumeInfo, RunContext,
+    SessionRunner, VerifyResponse, REQUEST_SCHEMA, RESPONSE_SCHEMA,
+};
 pub use check::{check as check_state, Violation};
 pub use compare::{compare_protocols, DiffReport, Role};
 pub use composite::{ClassKey, ClassSig, Composite, MAX_INLINE_CLASSES};

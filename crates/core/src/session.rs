@@ -91,6 +91,24 @@ impl Session {
     pub fn into_batch(self) -> Batch {
         Batch::with_options(self.opts)
     }
+
+    /// Runs one unified-API request with default runtime context (a
+    /// fresh cancellation token, no sink). The one-shot counterpart of
+    /// [`crate::api::SessionRunner`]; see [`Session::run_with`] to
+    /// attach a token and a sink.
+    pub fn run(req: &crate::api::Request) -> crate::api::Response {
+        Session::run_with(req, &crate::api::RunContext::default())
+    }
+
+    /// Runs one unified-API request under an explicit
+    /// [`RunContext`](crate::api::RunContext) — the entry point the
+    /// CLI subcommands and `ccv serve` share.
+    pub fn run_with(
+        req: &crate::api::Request,
+        ctx: &crate::api::RunContext,
+    ) -> crate::api::Response {
+        crate::api::SessionRunner::new().run(req, ctx)
+    }
 }
 
 /// Verdict-level result of a summary-only batch run: what a library

@@ -1,0 +1,301 @@
+//! The unified-API backend: this crate's explicit-state engines,
+//! plugged into [`ccv_core::api`].
+//!
+//! `ccv-core` defines the versioned [`Request`] /
+//! [`Response`](ccv_core::api::Response) surface
+//! but cannot call the enumeration engines directly (the dependency
+//! points the other way), so it reaches them through the
+//! [`EnumBackend`] trait. This module implements that trait on top of
+//! [`enumerate_resumed`] / [`enumerate_parallel_resumed`] and
+//! [`attach_crosscheck`], including thread resolution and
+//! checkpoint load/save, and installs the implementation process-wide
+//! with [`install_api_backend`]:
+//!
+//! ```
+//! use ccv_core::api::{Payload, ProtocolSource, Request};
+//! use ccv_core::Session;
+//!
+//! ccv_enum::install_api_backend();
+//! let req = Request::enumerate(ProtocolSource::Name("illinois".into()), 3);
+//! match Session::run(&req).result {
+//!     Ok(Payload::Enumerate(e)) => assert!(e.distinct > 5),
+//!     other => panic!("unexpected: {other:?}"),
+//! }
+//! ```
+//!
+//! Everything that would *panic* in the engines (cache counts outside
+//! the packed encoding, protocols with too many states) is validated
+//! here first and reported as a well-formed `bad_request` error — a
+//! daemon serving untrusted requests must never fall over.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use ccv_core::api::{
+    ApiError, CheckpointOutcome, CrosscheckResponse, EnumBackend, EnumErrorInfo, EnumerateResponse,
+    Request, ResumeInfo, RunContext,
+};
+use ccv_core::VerificationReport;
+use ccv_model::ProtocolSpec;
+
+use crate::checkpoint::Checkpoint;
+use crate::crosscheck::attach_crosscheck;
+use crate::explicit::{enumerate_resumed, EnumOptions};
+use crate::packed::MAX_CACHES;
+use crate::parallel::enumerate_parallel_resumed;
+
+/// This crate's [`EnumBackend`] implementation.
+struct ApiBackend;
+
+/// Rejects parameters the packed engines would panic on.
+fn check_limits(spec: &ProtocolSpec, n: usize) -> Result<(), ApiError> {
+    if !(1..=MAX_CACHES).contains(&n) {
+        return Err(ApiError::bad_request(format!(
+            "n must be in 1..={MAX_CACHES} (got {n})"
+        )));
+    }
+    if spec.num_states() > 16 {
+        return Err(ApiError::bad_request(format!(
+            "protocol '{}' has {} states; the packed encoding supports at most 16",
+            spec.name(),
+            spec.num_states()
+        )));
+    }
+    Ok(())
+}
+
+/// Builds the engine options a request asks for.
+fn enum_options(req: &Request, ctx: &RunContext) -> EnumOptions {
+    let o = &req.options;
+    let mut opts = EnumOptions::new(o.n)
+        .sink(ctx.sink.clone())
+        .rule_stats(o.rule_stats)
+        .stop_at_first_error(o.stop_at_first_error)
+        .cancel(ctx.cancel.clone());
+    if o.exact {
+        opts = opts.exact();
+    }
+    if let Some(max) = o.max_states {
+        opts = opts.max_states(max);
+    }
+    if let Some(deadline) = o.deadline {
+        opts = opts.deadline(deadline);
+    }
+    if let Some(max_bytes) = o.max_bytes {
+        opts = opts.max_bytes(max_bytes);
+    }
+    if let Some(k) = o.inject_panic {
+        opts = opts.inject_panic(k);
+    }
+    if o.checkpoint_out.is_some() {
+        opts = opts.capture_snapshot(true);
+    }
+    opts
+}
+
+impl EnumBackend for ApiBackend {
+    fn enumerate(
+        &self,
+        spec: &ProtocolSpec,
+        req: &Request,
+        ctx: &RunContext,
+    ) -> Result<EnumerateResponse, ApiError> {
+        let o = &req.options;
+        check_limits(spec, o.n)?;
+        let opts = enum_options(req, ctx);
+        let (seed, resumed) = match &o.resume {
+            Some(path) => {
+                let ckpt = Checkpoint::load(Path::new(path)).map_err(ApiError::internal)?;
+                ckpt.validate(spec, &opts).map_err(ApiError::internal)?;
+                let info = ResumeInfo {
+                    path: path.clone(),
+                    visited: ckpt.visited.len(),
+                    frontier: ckpt.frontier.len(),
+                    visits: ckpt.visits,
+                };
+                (Some(ckpt.into_seed()), Some(info))
+            }
+            None => (None, None),
+        };
+        let requested = o.threads;
+        // 0 = auto: one worker per core the scheduler grants us.
+        let threads = if requested == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            requested
+        };
+        let r = if threads > 1 {
+            enumerate_parallel_resumed(spec, &opts, threads, seed)
+        } else {
+            enumerate_resumed(spec, &opts, seed)
+        };
+        let checkpoint = match &o.checkpoint_out {
+            Some(path) => {
+                let written = match Checkpoint::of_result(spec, &opts, &r) {
+                    Some(ckpt) => {
+                        ckpt.save(Path::new(path)).map_err(|e| {
+                            ApiError::internal(format!("writing checkpoint {path}: {e}"))
+                        })?;
+                        true
+                    }
+                    None => false,
+                };
+                Some(CheckpointOutcome {
+                    path: path.clone(),
+                    written,
+                })
+            }
+            None => None,
+        };
+        Ok(EnumerateResponse {
+            protocol: spec.name().to_string(),
+            n: o.n,
+            exact: o.exact,
+            threads,
+            auto_threads: requested == 0,
+            distinct: r.distinct,
+            visits: r.visits,
+            truncated: r.truncated,
+            stopped: r.stopped.clone(),
+            errors: r
+                .errors
+                .iter()
+                .map(|e| EnumErrorInfo {
+                    state: e.state.render(o.n, spec),
+                    descriptions: e.descriptions.clone(),
+                })
+                .collect(),
+            resumed,
+            checkpoint,
+        })
+    }
+
+    fn crosscheck(
+        &self,
+        spec: &ProtocolSpec,
+        report: &mut VerificationReport,
+        req: &Request,
+        ctx: &RunContext,
+    ) -> Result<CrosscheckResponse, ApiError> {
+        let o = &req.options;
+        check_limits(spec, o.n)?;
+        let budget = o.max_states.unwrap_or(1 << 24);
+        let cc = attach_crosscheck(spec, report, o.n, budget, o.stop_at_first_error, &ctx.sink);
+        Ok(CrosscheckResponse {
+            protocol: spec.name().to_string(),
+            n: o.n,
+            essential: report.num_essential(),
+            total_concrete: cc.total_concrete,
+            covered: cc.covered,
+            complete: cc.complete(),
+            uncovered_examples: cc.uncovered_examples,
+            aborted: cc.aborted,
+        })
+    }
+}
+
+/// The explicit-state backend as a trait object, for
+/// [`ccv_core::api::SessionRunner::with_backend`].
+pub fn api_backend() -> Arc<dyn EnumBackend> {
+    Arc::new(ApiBackend)
+}
+
+/// Installs this crate's engines as the process-wide enumeration
+/// backend of the unified API, so `Session::run` serves enumerate and
+/// crosscheck requests. Idempotent — the first install wins and later
+/// calls are no-ops, so every entry point (CLI, server, tests) calls
+/// it unconditionally.
+pub fn install_api_backend() {
+    ccv_core::api::install_enum_backend(api_backend());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::enumerate;
+    use ccv_core::api::{
+        Action, ErrorCode, Payload, ProtocolSource, RequestOptions, SessionRunner,
+    };
+    use ccv_model::protocols::illinois;
+
+    fn runner() -> SessionRunner {
+        SessionRunner::with_backend(api_backend())
+    }
+
+    #[test]
+    fn enumerate_request_matches_direct_run() {
+        let req = Request::enumerate(ProtocolSource::Spec(illinois()), 3).options(RequestOptions {
+            n: 3,
+            threads: 1,
+            ..RequestOptions::default()
+        });
+        let resp = runner().run(&req, &RunContext::default());
+        let direct = enumerate(&illinois(), &EnumOptions::new(3));
+        match resp.result {
+            Ok(Payload::Enumerate(e)) => {
+                assert_eq!(e.distinct, direct.distinct);
+                assert_eq!(e.visits, direct.visits);
+                assert_eq!(e.threads, 1);
+                assert!(!e.auto_threads);
+                assert!(e.errors.is_empty());
+                assert!(e.stopped.is_none());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crosscheck_request_reports_theorem_1() {
+        let req = Request::crosscheck(ProtocolSource::Spec(illinois()), 3);
+        let resp = runner().run(&req, &RunContext::default());
+        match resp.result {
+            Ok(Payload::Crosscheck(c)) => {
+                assert!(c.complete);
+                assert_eq!(c.covered, c.total_concrete);
+                assert_eq!(c.essential, 5);
+                assert!(c.aborted.is_none());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_n_is_rejected_not_panicked_on() {
+        for n in [0, MAX_CACHES + 1] {
+            let req = Request::enumerate(ProtocolSource::Spec(illinois()), n);
+            let resp = runner().run(&req, &RunContext::default());
+            match resp.result {
+                Err(e) => assert_eq!(e.code, ErrorCode::BadRequest, "n={n}"),
+                Ok(_) => panic!("n={n} should be rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_resume_file_is_a_well_formed_error() {
+        let req = Request {
+            action: Action::Enumerate,
+            protocol: ProtocolSource::Spec(illinois()),
+            options: RequestOptions {
+                n: 3,
+                resume: Some("/nonexistent/checkpoint.ccvk".into()),
+                ..RequestOptions::default()
+            },
+            stream: false,
+        };
+        let resp = runner().run(&req, &RunContext::default());
+        match resp.result {
+            Err(e) => assert_eq!(e.code, ErrorCode::Internal),
+            Ok(_) => panic!("expected an error"),
+        }
+    }
+
+    #[test]
+    fn install_makes_session_run_work() {
+        install_api_backend();
+        let req = Request::enumerate(ProtocolSource::Name("illinois".into()), 3);
+        let resp = ccv_core::Session::run(&req);
+        assert!(resp.result.is_ok());
+        assert!(resp.is_conclusive());
+    }
+}

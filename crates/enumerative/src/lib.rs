@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod api;
 pub mod checkpoint;
 pub mod crosscheck;
 pub mod explicit;
@@ -49,6 +50,7 @@ pub mod step;
 pub mod visited;
 pub mod witness;
 
+pub use api::{api_backend, install_api_backend};
 pub use checkpoint::{protocol_hash, Checkpoint, CHECKPOINT_SCHEMA};
 pub use crosscheck::{
     attach_crosscheck, concrete_covered_by, crosscheck, crosscheck_with, CrossCheck,

@@ -36,6 +36,10 @@ const RUNNING: u8 = 0;
 const CANCELLED: u8 = 1;
 /// Token state: the run itself tripped a resource budget.
 const EXHAUSTED: u8 = 2;
+/// Token state: the party the run was serving went away (a client
+/// dropped its connection mid-request), so the result has no
+/// recipient and the work should stop.
+const DISCONNECTED: u8 = 3;
 
 /// Process-global cancellation flag backing [`CancelToken::global`].
 /// Written by [`request_global_cancel`], which is async-signal-safe.
@@ -102,6 +106,22 @@ impl CancelToken {
         self.cell().store(CANCELLED, Ordering::Release);
     }
 
+    /// Requests cancellation because the party the run is serving
+    /// disconnected (e.g. a `ccv serve` client dropped its socket
+    /// mid-stream). Engines observe it like any other cancellation
+    /// but report it as [`StopCause::Disconnected`], so a vanished
+    /// client is never mislabelled as a user's Ctrl-C. An explicit
+    /// [`CancelToken::cancel`] is sticky and wins over a later
+    /// disconnect.
+    pub fn request_cancel(&self) {
+        let _ = self.cell().compare_exchange(
+            RUNNING,
+            DISCONNECTED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
     /// Marks the run as budget-exhausted, unless it was already
     /// cancelled (cancellation is sticky and wins).
     pub fn exhaust(&self) {
@@ -128,6 +148,13 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.cell().load(Ordering::Relaxed) == CANCELLED
     }
+
+    /// True if cancellation was requested because the requesting
+    /// party disconnected (see [`CancelToken::request_cancel`]).
+    #[inline]
+    pub fn is_disconnected(&self) -> bool {
+        self.cell().load(Ordering::Relaxed) == DISCONNECTED
+    }
 }
 
 /// Why a run stopped before reaching a conclusive verdict.
@@ -145,6 +172,10 @@ pub enum StopCause {
     /// A worker thread panicked; the pool drained and reported
     /// instead of deadlocking.
     WorkerPanic,
+    /// The party the run was serving disconnected mid-request (a
+    /// `ccv serve` client dropped its socket), so the run stopped
+    /// rather than compute a result nobody will read.
+    Disconnected,
 }
 
 impl StopCause {
@@ -157,6 +188,7 @@ impl StopCause {
             StopCause::MemoryExhausted => "memory_exhausted",
             StopCause::Cancelled => "cancelled",
             StopCause::WorkerPanic => "worker_panic",
+            StopCause::Disconnected => "disconnected",
         }
     }
 
@@ -168,6 +200,7 @@ impl StopCause {
             StopCause::MemoryExhausted => "memory cap exceeded",
             StopCause::Cancelled => "cancelled",
             StopCause::WorkerPanic => "worker thread panicked",
+            StopCause::Disconnected => "client disconnected",
         }
     }
 
@@ -178,6 +211,7 @@ impl StopCause {
             StopCause::MemoryExhausted => 3,
             StopCause::Cancelled => 4,
             StopCause::WorkerPanic => 5,
+            StopCause::Disconnected => 6,
         }
     }
 
@@ -188,6 +222,7 @@ impl StopCause {
             3 => StopCause::MemoryExhausted,
             4 => StopCause::Cancelled,
             5 => StopCause::WorkerPanic,
+            6 => StopCause::Disconnected,
             _ => return None,
         })
     }
@@ -283,6 +318,8 @@ impl Governor {
         if self.token.is_stopped() {
             let cause = if self.token.is_cancelled() {
                 StopCause::Cancelled
+            } else if self.token.is_disconnected() {
+                StopCause::Disconnected
             } else {
                 StopCause::BudgetExhausted
             };
@@ -450,6 +487,7 @@ mod tests {
             StopCause::MemoryExhausted,
             StopCause::Cancelled,
             StopCause::WorkerPanic,
+            StopCause::Disconnected,
         ] {
             assert_eq!(StopCause::from_code(cause.code()), Some(cause));
             assert!(!cause.name().is_empty());
@@ -458,6 +496,26 @@ mod tests {
                 .chars()
                 .all(|c| c.is_ascii_lowercase() || c == '_'));
         }
+    }
+
+    #[test]
+    fn disconnect_maps_to_its_own_cause() {
+        let token = CancelToken::new();
+        let gov = Governor::new(None, None, token.clone());
+        token.request_cancel();
+        assert!(token.is_stopped());
+        assert!(token.is_disconnected());
+        assert!(!token.is_cancelled());
+        assert_eq!(gov.cancelled(), Some(StopCause::Disconnected));
+    }
+
+    #[test]
+    fn explicit_cancel_is_sticky_over_disconnect() {
+        let token = CancelToken::new();
+        token.cancel();
+        token.request_cancel();
+        assert!(token.is_cancelled());
+        assert!(!token.is_disconnected());
     }
 
     #[test]

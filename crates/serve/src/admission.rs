@@ -1,0 +1,162 @@
+//! Bounded admission: a fixed worker pool plus a bounded wait queue.
+//!
+//! At most `workers` requests hold a permit (and therefore an engine)
+//! at once; up to `queue` more block waiting for one. Anything beyond
+//! that is turned away immediately with a BUSY error — the daemon
+//! sheds load instead of accumulating unbounded engine state, which is
+//! what "never OOM under a flood of requests" comes down to.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+#[derive(Default)]
+struct Counts {
+    /// Permits handed out.
+    active: usize,
+    /// Callers blocked waiting for a permit.
+    waiting: usize,
+}
+
+/// The admission gate. Acquire a [`Permit`] before running an engine;
+/// drop it to hand the slot to the next waiter.
+pub struct Admission {
+    counts: Mutex<Counts>,
+    freed: Condvar,
+    workers: usize,
+    queue: usize,
+    admitted: AtomicU64,
+    queued: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// An admission slot; releases on drop.
+pub struct Permit<'a> {
+    gate: &'a Admission,
+}
+
+impl Admission {
+    /// A gate with `workers` concurrent slots and a wait queue of
+    /// `queue` (workers floored at 1).
+    pub fn new(workers: usize, queue: usize) -> Admission {
+        Admission {
+            counts: Mutex::new(Counts::default()),
+            freed: Condvar::new(),
+            workers: workers.max(1),
+            queue,
+            admitted: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires a permit, blocking in the queue if the pool is full.
+    /// Returns `None` — immediately, without blocking — when the queue
+    /// is full too.
+    pub fn acquire(&self) -> Option<Permit<'_>> {
+        let mut counts = self.counts.lock().unwrap_or_else(|p| p.into_inner());
+        if counts.active >= self.workers {
+            if counts.waiting >= self.queue {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            counts.waiting += 1;
+            self.queued.fetch_add(1, Ordering::Relaxed);
+            while counts.active >= self.workers {
+                counts = self.freed.wait(counts).unwrap_or_else(|p| p.into_inner());
+            }
+            counts.waiting -= 1;
+        }
+        counts.active += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Some(Permit { gate: self })
+    }
+
+    /// Permits currently held.
+    pub fn active(&self) -> usize {
+        self.counts.lock().unwrap_or_else(|p| p.into_inner()).active
+    }
+
+    /// Requests admitted (immediately or after queueing).
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to wait for a permit.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Requests turned away because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut counts = self.gate.counts.lock().unwrap_or_else(|p| p.into_inner());
+        counts.active -= 1;
+        drop(counts);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn serial_acquire_release_never_blocks() {
+        let gate = Admission::new(2, 0);
+        for _ in 0..10 {
+            let p = gate.acquire().expect("free pool admits");
+            drop(p);
+        }
+        assert_eq!(gate.admitted(), 10);
+        assert_eq!(gate.rejected(), 0);
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn overflow_beyond_workers_plus_queue_is_rejected() {
+        let gate = Arc::new(Admission::new(1, 1));
+        let held = gate.acquire().expect("first in");
+        // Pool full; one slot in the queue. A second waiter would
+        // block, so claim the queue slot from another thread and give
+        // it a moment to park.
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            let _p = g2.acquire().expect("queued then admitted");
+        });
+        while gate.queued() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Queue now full: an extra caller bounces without blocking.
+        assert!(gate.acquire().is_none());
+        assert_eq!(gate.rejected(), 1);
+        drop(held);
+        waiter.join().unwrap();
+        assert_eq!(gate.admitted(), 2);
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn queued_waiters_all_complete() {
+        let gate = Arc::new(Admission::new(2, 8));
+        let mut joins = Vec::new();
+        for _ in 0..10 {
+            let gate = Arc::clone(&gate);
+            joins.push(std::thread::spawn(move || {
+                let _p = gate.acquire().expect("within workers+queue");
+                std::thread::sleep(Duration::from_millis(2));
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(gate.admitted(), 10);
+        assert_eq!(gate.active(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Sharded verdict cache: canonical request fingerprint → rendered
+//! response body.
+//!
+//! The key is the [`Request::semantic_key`] string — action, the
+//! semantically relevant options and the protocol's canonical DSL
+//! rendering — hashed with the same `FxHasher` the checkpoint format
+//! uses for protocol fingerprints. Because the key is derived from the
+//! *resolved* spec, a protocol submitted by name and the same protocol
+//! submitted as DSL text hit the same entry.
+//!
+//! Entries store the compact-rendered response body verbatim, so a
+//! cache hit replays byte-identical output. Each shard evicts FIFO at
+//! capacity; hit/miss/insertion/eviction counters feed the server's
+//! `/v1/metrics` endpoint.
+//!
+//! [`Request::semantic_key`]: ccv_core::api::Request::semantic_key
+
+use std::collections::VecDeque;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ccv_enum::{FxHashMap, FxHasher};
+
+/// Hashes a semantic-key string to the cache's 64-bit key space.
+pub fn key_hash(seed: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(seed.as_bytes());
+    h.finish()
+}
+
+#[derive(Default)]
+struct Shard {
+    /// hash → (full key, stored body). The full key is kept so a
+    /// 64-bit collision degrades to a miss, never to a wrong body.
+    entries: FxHashMap<u64, (String, String)>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+}
+
+/// A sharded, bounded map from request fingerprints to response
+/// bodies.
+pub struct VerdictCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl VerdictCache {
+    /// A cache of at most `capacity` entries spread over `shards`
+    /// shards (both floored at 1).
+    pub fn new(shards: usize, capacity: usize) -> VerdictCache {
+        let shards = shards.max(1);
+        let per_shard = (capacity.max(1)).div_ceil(shards);
+        VerdictCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash as usize) % self.shards.len()]
+    }
+
+    /// Returns the stored body for `seed`, counting a hit or a miss.
+    pub fn lookup(&self, seed: &str) -> Option<String> {
+        let hash = key_hash(seed);
+        let shard = self.shard(hash).lock().unwrap_or_else(|p| p.into_inner());
+        match shard.entries.get(&hash) {
+            Some((key, body)) if key == seed => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `body` under `seed`, evicting the oldest entry of the
+    /// shard when it is full.
+    pub fn insert(&self, seed: &str, body: String) {
+        let hash = key_hash(seed);
+        let mut shard = self.shard(hash).lock().unwrap_or_else(|p| p.into_inner());
+        if shard
+            .entries
+            .insert(hash, (seed.to_string(), body))
+            .is_none()
+        {
+            shard.order.push_back(hash);
+            if shard.order.len() > self.per_shard {
+                if let Some(oldest) = shard.order.pop_front() {
+                    shard.entries.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries currently stored across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// True when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found a live entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (or a collided key).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Bodies stored.
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// Entries displaced by capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_after_insert_returns_identical_body() {
+        let cache = VerdictCache::new(4, 16);
+        assert_eq!(cache.lookup("k1"), None);
+        cache.insert("k1", "{\"x\":1}".into());
+        assert_eq!(cache.lookup("k1").as_deref(), Some("{\"x\":1}"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.insertions(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo_per_shard() {
+        // One shard, capacity 2: the third insert evicts the first.
+        let cache = VerdictCache::new(1, 2);
+        cache.insert("a", "1".into());
+        cache.insert("b", "2".into());
+        cache.insert("c", "3".into());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup("a"), None);
+        assert_eq!(cache.lookup("c").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_growing() {
+        let cache = VerdictCache::new(1, 4);
+        cache.insert("a", "old".into());
+        cache.insert("a", "new".into());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup("a").as_deref(), Some("new"));
+        assert_eq!(cache.evictions(), 0);
+    }
+}

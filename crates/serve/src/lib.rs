@@ -1,0 +1,648 @@
+//! # ccv-serve — verification as a service
+//!
+//! A small, dependency-free daemon that exposes the unified session
+//! API of [`ccv_core::api`] over TCP: clients submit
+//! `ccv-request-v1` documents (protocol DSL or a library name, plus
+//! engine options) and receive `ccv-response-v1` bodies, exactly the
+//! schema the `ccv` CLI subcommands use internally. Two wire
+//! protocols share one port, distinguished by the first byte of the
+//! connection:
+//!
+//! * **NDJSON** (first byte `{`): one request per line, one
+//!   connection per request. The server streams `{"ev":...}` progress
+//!   events (when the request sets `"stream": true`), periodic
+//!   `{"ev":"ping"}` heartbeats, and finally one
+//!   `{"ev":"response","cached":bool,"body":{...}}` envelope. Made
+//!   for `nc`.
+//! * **HTTP/1.1** (anything else): `POST /v1/requests` with the
+//!   request as body, plus `GET /v1/metrics` and `GET /v1/healthz`.
+//!   Responses carry `X-Ccv-Cache: hit|miss`. Made for `curl`.
+//!
+//! The daemon is built to survive hostile input and overload:
+//!
+//! * every request runs under its own [`Governor`] budget — the
+//!   server clamps deadlines, state budgets and memory caps to
+//!   configured maxima, so one heavy request ends in an INCONCLUSIVE
+//!   verdict instead of wedging the process;
+//! * admission is a bounded worker pool plus a bounded queue
+//!   ([`admission::Admission`]); excess load is shed with a `busy`
+//!   error (HTTP 429), never buffered without bound;
+//! * a client that disappears mid-run is detected (failed heartbeat
+//!   write or reset connection) and its engine run is cancelled
+//!   through [`CancelToken::request_cancel`], recorded as the
+//!   `disconnected` stop cause;
+//! * conclusive responses are cached in a sharded verdict cache
+//!   ([`cache::VerdictCache`]) keyed by the canonical request
+//!   fingerprint, so repeated submissions of the same protocol replay
+//!   byte-identical bodies without re-running the engine;
+//! * malformed requests — up to and including fuzzed garbage — always
+//!   produce a well-formed error body, never a panic (the engines'
+//!   panic paths are themselves governed).
+//!
+//! ```
+//! use ccv_serve::{Server, ServerConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let handle = Server::bind(ServerConfig::loopback()).unwrap().spawn();
+//! let mut conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+//! writeln!(
+//!     conn,
+//!     r#"{{"schema":"ccv-request-v1","action":"verify","protocol":{{"name":"illinois"}}}}"#
+//! )
+//! .unwrap();
+//! for line in BufReader::new(conn).lines() {
+//!     let line = line.unwrap();
+//!     if line.contains("\"ev\":\"response\"") {
+//!         assert!(line.contains("\"verdict\":\"VERIFIED\""));
+//!         break;
+//!     }
+//! }
+//! handle.shutdown();
+//! ```
+//!
+//! [`Governor`]: ccv_observe::Governor
+//! [`CancelToken::request_cancel`]: ccv_observe::CancelToken::request_cancel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod admission;
+pub mod cache;
+mod conn;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ccv_core::api::{
+    Action, ApiError, ErrorCode, Request, RunContext, SessionRunner, RESPONSE_SCHEMA,
+};
+use ccv_observe::{CancelToken, Json};
+
+use admission::Admission;
+use cache::VerdictCache;
+
+/// Tunables of one server instance. [`ServerConfig::default`] is the
+/// production shape; [`ServerConfig::loopback`] binds an ephemeral
+/// port for tests.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`. Port `0` binds an
+    /// ephemeral port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Engine runs allowed to execute concurrently.
+    pub workers: usize,
+    /// Requests allowed to wait for a worker before new arrivals are
+    /// turned away with `busy`.
+    pub queue_depth: usize,
+    /// Total verdict-cache entries (split across shards).
+    pub cache_capacity: usize,
+    /// Verdict-cache shard count.
+    pub cache_shards: usize,
+    /// Largest accepted cache count `n`; larger requests are rejected
+    /// (`bad_request`), because explicit state spaces grow
+    /// exponentially in `n`.
+    pub max_n: usize,
+    /// Per-request worker-thread clamp. Requests asking for more (or
+    /// for auto-detection via `threads: 0`) get exactly this many.
+    pub max_threads: usize,
+    /// Deadline applied to requests that specify none.
+    pub default_deadline: Duration,
+    /// Upper clamp for client-supplied deadlines.
+    pub max_deadline: Duration,
+    /// Upper clamp (and default) for the enumeration state budget.
+    pub max_states_cap: usize,
+    /// Upper clamp (and default) for the per-run memory budget.
+    pub max_bytes_cap: u64,
+    /// Upper clamp for the symbolic visit budget.
+    pub max_budget: usize,
+    /// Largest accepted request document, in bytes.
+    pub max_request_bytes: usize,
+    /// Heartbeat / disconnect-probe interval for NDJSON connections.
+    pub ping_interval: Duration,
+    /// Allow requests that touch server-side files
+    /// (`checkpoint_out` / `resume`). Off by default.
+    pub allow_files: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            queue_depth: 8,
+            cache_capacity: 256,
+            cache_shards: 8,
+            max_n: 8,
+            max_threads: 4,
+            default_deadline: Duration::from_secs(30),
+            max_deadline: Duration::from_secs(120),
+            max_states_cap: 1 << 22,
+            max_bytes_cap: 256 << 20,
+            max_budget: 1 << 24,
+            max_request_bytes: 1 << 20,
+            ping_interval: Duration::from_millis(200),
+            allow_files: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config bound to `127.0.0.1:0` (ephemeral port) — what tests
+    /// want.
+    pub fn loopback() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Validates a request against the server's caps and returns the
+    /// effective request that will actually run: unspecified budgets
+    /// filled with server defaults, client budgets clamped to server
+    /// maxima. Clamping happens *before* the cache fingerprint is
+    /// computed, so equal submissions stay equal after it.
+    pub fn admit(&self, req: &Request) -> Result<Request, ApiError> {
+        let mut r = req.clone();
+        let o = &mut r.options;
+        if o.touches_files() && !self.allow_files {
+            return Err(ApiError::unsupported(
+                "checkpoint_out/resume touch server-side files and are disabled \
+                 (start the server with --allow-files to enable them)",
+            ));
+        }
+        if o.n > self.max_n {
+            return Err(ApiError::bad_request(format!(
+                "n={} exceeds this server's cap of {}",
+                o.n, self.max_n
+            )));
+        }
+        if o.threads == 0 || o.threads > self.max_threads {
+            o.threads = self.max_threads;
+        }
+        o.deadline = Some(
+            o.deadline
+                .map_or(self.default_deadline, |d| d.min(self.max_deadline)),
+        );
+        o.max_states = Some(
+            o.max_states
+                .map_or(self.max_states_cap, |s| s.min(self.max_states_cap)),
+        );
+        o.max_bytes = Some(
+            o.max_bytes
+                .map_or(self.max_bytes_cap, |b| b.min(self.max_bytes_cap)),
+        );
+        if let Some(b) = o.budget {
+            o.budget = Some(b.min(self.max_budget));
+        }
+        Ok(r)
+    }
+}
+
+/// What one request produced: the rendered response body plus the
+/// transport-relevant facts about how it was produced.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Compact-rendered `ccv-response-v1` body. For cache hits this is
+    /// the stored string, byte for byte.
+    pub body: String,
+    /// Served from the verdict cache without running an engine.
+    pub cached: bool,
+    /// `None` for a successful payload, the error class otherwise.
+    pub code: Option<ErrorCode>,
+    /// The run was cut short because the client went away.
+    pub disconnected: bool,
+}
+
+/// The protocol-independent server core: parses and validates
+/// requests, consults the verdict cache, runs engines under
+/// admission control, and keeps the counters `/v1/metrics` reports.
+///
+/// [`Server`] adds the TCP front end; tests and the fuzz harness call
+/// [`Service::process_text`] directly.
+pub struct Service {
+    config: ServerConfig,
+    cache: VerdictCache,
+    admission: Admission,
+    runners: Mutex<Vec<SessionRunner>>,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+impl Service {
+    /// A service with the given tunables. Installs the explicit-state
+    /// backend so enumerate/crosscheck requests are servable.
+    pub fn new(config: ServerConfig) -> Arc<Service> {
+        ccv_enum::install_api_backend();
+        Arc::new(Service {
+            cache: VerdictCache::new(config.cache_shards, config.cache_capacity),
+            admission: Admission::new(config.workers, config.queue_depth),
+            runners: Mutex::new(Vec::new()),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    /// The tunables this service runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Handles one request document: parse, validate, and run.
+    /// Malformed text yields a well-formed error outcome.
+    pub fn process_text(&self, text: &str, ctx: &RunContext) -> Outcome {
+        match Request::parse(text) {
+            Ok(req) => self.process(&req, ctx),
+            Err(e) => self.reject(None, e),
+        }
+    }
+
+    /// Handles one parsed request end to end: cap validation, cache
+    /// lookup, admission, engine run, cache fill.
+    pub fn process(&self, req: &Request, ctx: &RunContext) -> Outcome {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let action = req.action;
+        let effective = match self.config.admit(req) {
+            Ok(r) => r,
+            Err(e) => return self.rejection(action, e),
+        };
+        let spec = match effective.protocol.resolve() {
+            Ok(spec) => spec,
+            Err(e) => return self.rejection(action, e),
+        };
+        let seed = effective.semantic_key(&spec);
+        // Fault-injection runs are for testing the failure paths;
+        // replaying them from cache would defeat the point.
+        let cacheable =
+            effective.options.inject_panic.is_none() && !effective.options.touches_files();
+        if cacheable {
+            if let Some(body) = self.cache.lookup(&seed) {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                return Outcome {
+                    body,
+                    cached: true,
+                    code: None,
+                    disconnected: false,
+                };
+            }
+        }
+        let Some(_permit) = self.admission.acquire() else {
+            return self.rejection(
+                action,
+                ApiError::busy(format!(
+                    "server at capacity ({} workers busy, {} queued); retry later",
+                    self.config.workers, self.config.queue_depth
+                )),
+            );
+        };
+        let mut runner = self
+            .runners
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_default();
+        let resp = runner.run(&effective, ctx);
+        {
+            let mut pool = self.runners.lock().unwrap_or_else(|p| p.into_inner());
+            if pool.len() < self.config.workers {
+                pool.push(runner);
+            }
+        }
+        let disconnected = ctx.cancel.is_disconnected();
+        if disconnected {
+            self.disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        let code = match &resp.result {
+            Ok(_) => None,
+            Err(e) => Some(e.code),
+        };
+        match code {
+            None => self.ok.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.errors.fetch_add(1, Ordering::Relaxed),
+        };
+        let body = resp.to_json().render_compact();
+        if cacheable && !disconnected && resp.is_conclusive() {
+            self.cache.insert(&seed, body.clone());
+        }
+        Outcome {
+            body,
+            cached: false,
+            code,
+            disconnected,
+        }
+    }
+
+    /// An error outcome for a request that could not even be read
+    /// (oversized, unparseable, socket trouble). Counts as a request.
+    pub(crate) fn process_text_error(&self, err: ApiError) -> Outcome {
+        self.reject(None, err)
+    }
+
+    /// An error outcome for a request that never reached an engine.
+    /// `action` is `None` when the request didn't even parse.
+    fn reject(&self, action: Option<Action>, err: ApiError) -> Outcome {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.rejection_body(action, err)
+    }
+
+    /// Like [`Service::reject`] but for requests already counted.
+    fn rejection(&self, action: Action, err: ApiError) -> Outcome {
+        self.rejection_body(Some(action), err)
+    }
+
+    fn rejection_body(&self, action: Option<Action>, err: ApiError) -> Outcome {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        let mut fields = vec![("schema".to_string(), Json::str(RESPONSE_SCHEMA))];
+        if let Some(action) = action {
+            fields.push(("action".to_string(), Json::str(action.name())));
+        }
+        fields.push(("error".to_string(), err.to_json()));
+        Outcome {
+            body: Json::Obj(fields).render_compact(),
+            cached: false,
+            code: Some(err.code),
+            disconnected: false,
+        }
+    }
+
+    /// Requests cancelled because their client disconnected.
+    pub fn disconnects(&self) -> u64 {
+        self.disconnects.load(Ordering::Relaxed)
+    }
+
+    /// The verdict cache, for counter assertions.
+    pub fn cache(&self) -> &VerdictCache {
+        &self.cache
+    }
+
+    /// The admission gate, for counter assertions.
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The `/v1/metrics` document (`ccv-serve-metrics-v1`).
+    pub fn metrics_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("ccv-serve-metrics-v1")),
+            (
+                "requests".into(),
+                Json::int(self.requests.load(Ordering::Relaxed)),
+            ),
+            ("ok".into(), Json::int(self.ok.load(Ordering::Relaxed))),
+            (
+                "errors".into(),
+                Json::int(self.errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "disconnects".into(),
+                Json::int(self.disconnects.load(Ordering::Relaxed)),
+            ),
+            (
+                "admission".into(),
+                Json::Obj(vec![
+                    ("active".into(), Json::int(self.admission.active() as u64)),
+                    ("admitted".into(), Json::int(self.admission.admitted())),
+                    ("queued".into(), Json::int(self.admission.queued())),
+                    ("busy".into(), Json::int(self.admission.rejected())),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("entries".into(), Json::int(self.cache.len() as u64)),
+                    ("hits".into(), Json::int(self.cache.hits())),
+                    ("misses".into(), Json::int(self.cache.misses())),
+                    ("insertions".into(), Json::int(self.cache.insertions())),
+                    ("evictions".into(), Json::int(self.cache.evictions())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A bound listener plus its [`Service`]. Call [`Server::run`] to
+/// serve on the current thread, or [`Server::spawn`] to serve from a
+/// background thread (tests).
+pub struct Server {
+    service: Arc<Service>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the configured address and prepares the service. The
+    /// listener is non-blocking so [`Server::run`] can poll the
+    /// shutdown flag between accepts.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            service: Service::new(config),
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port `0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle on the server core, for metrics and configuration.
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
+    /// Accepts connections until the shutdown flag is raised (or the
+    /// process-global cancel token trips — Ctrl-C in the CLI), handling
+    /// each on its own thread. In-flight requests finish on their own
+    /// threads; engine runs are bounded by the admission gate, not by
+    /// this loop.
+    pub fn run(self) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) || CancelToken::global().is_stopped() {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = Arc::clone(&self.service);
+                    std::thread::spawn(move || conn::handle_connection(service, stream));
+                }
+                // 1ms keeps the idle accept loop cheap while holding
+                // the connection-setup latency floor well under the
+                // cost of any real verification request.
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+    }
+
+    /// Runs the accept loop on a background thread and returns a
+    /// handle that shuts it down on [`ServerHandle::shutdown`] or
+    /// drop.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self
+            .local_addr()
+            .expect("bound listener has a local address");
+        let service = self.service();
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            service,
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// A running background server (from [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server core, for metrics and counters.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Stops accepting and joins the accept loop. In-flight request
+    /// threads are left to finish on their own.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccv_core::api::ProtocolSource;
+
+    fn service() -> Arc<Service> {
+        Service::new(ServerConfig::loopback())
+    }
+
+    #[test]
+    fn verify_request_round_trips_through_the_service() {
+        let s = service();
+        let req = Request::verify(ProtocolSource::Name("illinois".into()));
+        let out = s.process(&req, &RunContext::default());
+        assert_eq!(out.code, None);
+        assert!(!out.cached);
+        assert!(out.body.contains("\"verdict\":\"VERIFIED\""));
+        let doc = Json::parse(&out.body).expect("body is valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(RESPONSE_SCHEMA));
+    }
+
+    #[test]
+    fn second_identical_submission_is_a_byte_identical_cache_hit() {
+        let s = service();
+        let req = Request::verify(ProtocolSource::Name("illinois".into()));
+        let first = s.process(&req, &RunContext::default());
+        let second = s.process(&req, &RunContext::default());
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert_eq!(first.body, second.body);
+        assert_eq!(s.cache().hits(), 1);
+        // A protocol submitted as DSL text canonicalises to the same
+        // fingerprint as its library name.
+        let dsl = ccv_model::dsl::to_dsl(&ccv_model::protocols::illinois());
+        let by_dsl = s.process(
+            &Request::verify(ProtocolSource::Dsl(dsl)),
+            &RunContext::default(),
+        );
+        assert!(by_dsl.cached);
+        assert_eq!(by_dsl.body, first.body);
+    }
+
+    #[test]
+    fn malformed_text_yields_a_well_formed_error_body() {
+        let s = service();
+        for text in ["", "not json", "{\"schema\":\"nope\"}", "{\"unterminated"] {
+            let out = s.process_text(text, &RunContext::default());
+            assert_eq!(out.code, Some(ErrorCode::BadRequest), "{text:?}");
+            let doc = Json::parse(&out.body).expect("error body is valid JSON");
+            assert!(doc.get("error").is_some(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn server_caps_reject_oversized_n_and_file_options() {
+        let s = service();
+        let big = Request::enumerate(ProtocolSource::Name("illinois".into()), 99);
+        let out = s.process(&big, &RunContext::default());
+        assert_eq!(out.code, Some(ErrorCode::BadRequest));
+        assert!(out.body.contains("exceeds this server's cap"));
+
+        let mut with_files = Request::enumerate(ProtocolSource::Name("illinois".into()), 3);
+        with_files.options.checkpoint_out = Some("/tmp/x.ccvk".into());
+        let out = s.process(&with_files, &RunContext::default());
+        assert_eq!(out.code, Some(ErrorCode::Unsupported));
+    }
+
+    #[test]
+    fn over_budget_request_is_inconclusive_not_fatal() {
+        let s = service();
+        let mut req = Request::verify(ProtocolSource::Name("illinois".into()));
+        req.options.budget = Some(3);
+        let out = s.process(&req, &RunContext::default());
+        assert_eq!(out.code, None);
+        assert!(out.body.contains("\"verdict\":\"INCONCLUSIVE\""));
+        // Inconclusive results must not poison the cache.
+        let again = s.process(&req, &RunContext::default());
+        assert!(!again.cached);
+    }
+
+    #[test]
+    fn metrics_json_carries_all_counter_groups() {
+        let s = service();
+        let req = Request::verify(ProtocolSource::Name("illinois".into()));
+        s.process(&req, &RunContext::default());
+        s.process(&req, &RunContext::default());
+        let m = s.metrics_json();
+        assert_eq!(
+            m.get("schema").unwrap().as_str(),
+            Some("ccv-serve-metrics-v1")
+        );
+        assert_eq!(m.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(m.get("ok").unwrap().as_u64(), Some(2));
+        let cache = m.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("entries").unwrap().as_u64(), Some(1));
+        let admission = m.get("admission").unwrap();
+        assert_eq!(admission.get("admitted").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,314 @@
+//! Loopback integration tests: a real `ccv serve` daemon on an
+//! ephemeral port, exercised over actual TCP by concurrent clients.
+//!
+//! These are the end-to-end guarantees the daemon advertises:
+//! verdicts served over the wire are byte-identical to direct
+//! [`SessionRunner`] runs; repeated identical submissions replay from
+//! the verdict cache with identical bodies; a full admission gate
+//! answers BUSY instead of queueing unboundedly; an over-budget
+//! request comes back INCONCLUSIVE without disturbing other in-flight
+//! sessions; and a client that vanishes mid-request is detected and
+//! counted.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ccv_core::api::{ProtocolSource, Request, RunContext, SessionRunner};
+use ccv_observe::{CancelToken, SinkHandle};
+use ccv_serve::{Server, ServerConfig, ServerHandle};
+
+/// Every checked-in protocol description, name → DSL text.
+fn corpus() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../protocols");
+    let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("protocols/ corpus directory")
+        .filter_map(|e| {
+            let e = e.ok()?;
+            let name = e.file_name().into_string().ok()?;
+            if !name.ends_with(".ccv") {
+                return None;
+            }
+            Some((name, std::fs::read_to_string(e.path()).ok()?))
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 10, "expected the 10-protocol corpus");
+    files
+}
+
+fn spawn_server(config: ServerConfig) -> ServerHandle {
+    Server::bind(config).expect("bind loopback").spawn()
+}
+
+/// Sends one NDJSON request line and reads events until the response
+/// envelope arrives. Returns `(cached, body)` with the body extracted
+/// verbatim from the envelope (no re-rendering, so byte comparisons
+/// are honest).
+fn ndjson_round_trip(addr: std::net::SocketAddr, line: &str) -> (bool, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(line.as_bytes()).expect("send request");
+    stream.write_all(b"\n").expect("send newline");
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        let n = reader.read_line(&mut buf).expect("read event line");
+        assert!(n > 0, "connection closed before a response envelope");
+        let line = buf.trim_end();
+        for (prefix, cached) in [
+            ("{\"ev\":\"response\",\"cached\":false,\"body\":", false),
+            ("{\"ev\":\"response\",\"cached\":true,\"body\":", true),
+        ] {
+            if let Some(rest) = line.strip_prefix(prefix) {
+                let body = rest.strip_suffix('}').expect("envelope closes");
+                return (cached, body.to_string());
+            }
+        }
+        // Anything else is a ping or a streamed progress event; both
+        // must at least be well-formed JSON lines.
+        ccv_observe::Json::parse(line).expect("non-response event parses");
+    }
+}
+
+/// Runs `req` directly through the Session backend after applying the
+/// same server-side clamps, rendering the body exactly as the daemon
+/// does.
+fn direct_body(config: &ServerConfig, req: &Request) -> String {
+    ccv_enum::install_api_backend();
+    let effective = config.admit(req).expect("request within caps");
+    let ctx = RunContext::new(CancelToken::new(), SinkHandle::disabled());
+    SessionRunner::new()
+        .run(&effective, &ctx)
+        .to_json()
+        .render_compact()
+}
+
+fn verify_request(dsl: &str) -> Request {
+    Request::verify(ProtocolSource::Dsl(dsl.to_string()))
+}
+
+#[test]
+fn ten_protocols_from_eight_concurrent_clients_match_direct_runs() {
+    let mut config = ServerConfig::loopback();
+    config.workers = 4;
+    config.queue_depth = 32;
+    let expected: Vec<(String, String, String)> = corpus()
+        .into_iter()
+        .map(|(name, dsl)| {
+            let req = verify_request(&dsl);
+            let body = direct_body(&config, &req);
+            (name, req.to_json().render_compact(), body)
+        })
+        .collect();
+    let server = spawn_server(config);
+    let addr = server.addr();
+
+    let expected = Arc::new(expected);
+    let mut joins = Vec::new();
+    for thread in 0..8 {
+        let expected = Arc::clone(&expected);
+        joins.push(std::thread::spawn(move || {
+            // Thread t takes protocols t, t+8, t+16, ... so all 10
+            // submissions are in flight across the 8 clients at once.
+            for (name, wire, want) in expected.iter().skip(thread).step_by(8) {
+                let (_cached, body) = ndjson_round_trip(addr, wire);
+                assert_eq!(&body, want, "{name}: wire body differs from direct run");
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    assert_eq!(server.service().disconnects(), 0);
+}
+
+#[test]
+fn second_identical_submission_is_a_wire_level_cache_hit() {
+    let server = spawn_server(ServerConfig::loopback());
+    let addr = server.addr();
+    let (_, msi) = corpus().into_iter().find(|(n, _)| n == "msi.ccv").unwrap();
+    let wire = verify_request(&msi).to_json().render_compact();
+
+    let (first_cached, first) = ndjson_round_trip(addr, &wire);
+    let (second_cached, second) = ndjson_round_trip(addr, &wire);
+    assert!(!first_cached, "first submission must compute");
+    assert!(second_cached, "second identical submission must hit");
+    assert_eq!(first, second, "cached replay must be byte-identical");
+    assert!(first.contains("\"verdict\":\"VERIFIED\""));
+    assert_eq!(server.service().cache().hits(), 1);
+}
+
+#[test]
+fn full_admission_gate_answers_busy_over_the_wire() {
+    let mut config = ServerConfig::loopback();
+    config.workers = 1;
+    config.queue_depth = 0;
+    let server = spawn_server(config);
+    let addr = server.addr();
+    // Occupy the only engine slot from the test itself: the next wire
+    // request must bounce deterministically, with no timing games.
+    let service = server.service();
+    let held = service.admission().acquire().expect("slot free");
+
+    let (_, msi) = corpus().into_iter().find(|(n, _)| n == "msi.ccv").unwrap();
+    let wire = verify_request(&msi).to_json().render_compact();
+    let (cached, body) = ndjson_round_trip(addr, &wire);
+    assert!(!cached);
+    assert!(body.contains("\"code\":\"busy\""), "body: {body}");
+    assert_eq!(service.admission().rejected(), 1);
+
+    // Releasing the slot restores service.
+    drop(held);
+    let (_, body) = ndjson_round_trip(addr, &wire);
+    assert!(body.contains("\"verdict\":\"VERIFIED\""), "body: {body}");
+}
+
+#[test]
+fn over_budget_request_is_inconclusive_and_leaves_others_untouched() {
+    let mut config = ServerConfig::loopback();
+    config.workers = 2;
+    let server = spawn_server(config);
+    let addr = server.addr();
+    let (_, moesi) = corpus()
+        .into_iter()
+        .find(|(n, _)| n == "moesi.ccv")
+        .unwrap();
+
+    let mut starved = verify_request(&moesi);
+    starved.options.budget = Some(3);
+    let starved_wire = starved.to_json().render_compact();
+    let normal_wire = verify_request(&moesi).to_json().render_compact();
+
+    let normal = {
+        let wire = normal_wire.clone();
+        std::thread::spawn(move || ndjson_round_trip(addr, &wire))
+    };
+    let (_, starved_body) = ndjson_round_trip(addr, &starved_wire);
+    let (_, normal_body) = normal.join().expect("client thread");
+
+    assert!(
+        starved_body.contains("\"verdict\":\"INCONCLUSIVE\""),
+        "body: {starved_body}"
+    );
+    assert!(
+        normal_body.contains("\"verdict\":\"VERIFIED\""),
+        "body: {normal_body}"
+    );
+    // The inconclusive verdict depends on the budget dice, so it must
+    // not have been cached; the conclusive one must have been.
+    let (cached, replay) = ndjson_round_trip(addr, &starved_wire);
+    assert!(!cached, "inconclusive responses must not be cached");
+    assert!(
+        replay.contains("\"verdict\":\"INCONCLUSIVE\""),
+        "body: {replay}"
+    );
+    let (cached, replay) = ndjson_round_trip(addr, &normal_wire);
+    assert!(cached, "conclusive responses must be cached");
+    assert_eq!(replay, normal_body);
+}
+
+#[test]
+fn http_endpoints_serve_health_metrics_and_cache_header() {
+    let server = spawn_server(ServerConfig::loopback());
+    let addr = server.addr();
+    let (_, msi) = corpus().into_iter().find(|(n, _)| n == "msi.ccv").unwrap();
+    let wire = verify_request(&msi).to_json().render_compact();
+
+    let health = http_exchange(addr, "GET", "/v1/healthz", None);
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.contains("{\"ok\":true}"));
+
+    let first = http_exchange(addr, "POST", "/v1/requests", Some(&wire));
+    assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+    assert!(first.contains("x-ccv-cache: miss"), "{first}");
+    let second = http_exchange(addr, "POST", "/v1/requests", Some(&wire));
+    assert!(second.contains("x-ccv-cache: hit"), "{second}");
+    assert_eq!(
+        http_body(&first),
+        http_body(&second),
+        "bodies byte-identical"
+    );
+
+    let metrics = http_exchange(addr, "GET", "/v1/metrics", None);
+    assert!(
+        metrics.contains("\"schema\":\"ccv-serve-metrics-v1\""),
+        "{metrics}"
+    );
+
+    let missing = http_exchange(addr, "GET", "/v1/nope", None);
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+}
+
+#[test]
+fn client_disconnect_mid_request_is_detected_and_counted() {
+    let mut config = ServerConfig::loopback();
+    config.workers = 2;
+    let server = spawn_server(config);
+    let addr = server.addr();
+    let (_, moesi) = corpus()
+        .into_iter()
+        .find(|(n, _)| n == "moesi.ccv")
+        .unwrap();
+    // A fault-injection option keeps the request out of the verdict
+    // cache, so every retry actually runs an engine; enumerate at a
+    // real size gives the watchdog a window to notice the dead peer.
+    let mut req = Request::enumerate(ProtocolSource::Dsl(moesi), 6);
+    req.options.inject_panic = Some(usize::MAX);
+    let body = req.to_json().render_compact();
+    let http = format!(
+        "POST /v1/requests HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.service().disconnects() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no disconnect observed: {}",
+            server.service().metrics_json().render_compact()
+        );
+        // Send the full request, then vanish without reading the
+        // response: in HTTP mode a read of EOF is a disconnect.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(http.as_bytes()).expect("send request");
+        drop(stream);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(server.service().disconnects() >= 1);
+}
+
+/// One HTTP/1.1 exchange; returns the full raw response text.
+fn http_exchange(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// The body of a raw HTTP response (everything past the blank line).
+fn http_body(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}

@@ -157,6 +157,74 @@ fn mutated_protocol_files_never_panic_the_loader() {
     assert!(rejected > 0, "no mutant rejected — mutations too gentle");
 }
 
+/// The same mutation corpus, pushed through the daemon's request path
+/// instead of the bare loader: every mutant — whether it arrives as a
+/// syntactically valid `ccv-request-v1` document wrapping damaged DSL,
+/// or as raw garbage on the wire — must come back as a well-formed
+/// JSON response document, never a panic and never an empty body.
+#[test]
+fn mutated_dsl_through_the_server_request_path_never_panics() {
+    use ccv_core::api::{ProtocolSource, Request, RunContext};
+    use ccv_observe::{CancelToken, Json, SinkHandle};
+    use ccv_serve::{ServerConfig, Service};
+
+    let service = Service::new(ServerConfig::loopback());
+    let corpus = corpus();
+    let mut rng = XorShift64::new(0xfeed_beef_0bad_cafe);
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    for round in 0..200 {
+        let (name, seed_text) = &corpus[rng.below(corpus.len())];
+        let mut text = seed_text.clone();
+        for _ in 0..=rng.below(3) {
+            text = mutate(&text, &mut rng);
+        }
+        // Every third round, skip the request envelope entirely and
+        // throw the mutant DSL at the parser as if it were the wire
+        // line itself — the malformed-request path.
+        let wire = if round % 3 == 2 {
+            text.replace('\n', " ")
+        } else {
+            let mut req = Request::verify(ProtocolSource::Dsl(text));
+            // A tight budget bounds the runtime of mutants that still
+            // parse; the failure-path coverage is the point here.
+            req.options.budget = Some(10_000);
+            req.to_json().render_compact()
+        };
+        let ctx = RunContext::new(CancelToken::new(), SinkHandle::disabled());
+        let outcome = service.process_text(&wire, &ctx);
+        assert!(
+            !outcome.body.trim().is_empty(),
+            "{name} round {round}: empty response body"
+        );
+        let doc = Json::parse(&outcome.body)
+            .unwrap_or_else(|e| panic!("{name} round {round}: malformed response: {e}"));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ccv-response-v1"),
+            "{name} round {round}: wrong schema"
+        );
+        match outcome.code {
+            Some(_) => {
+                let err = doc.get("error").expect("error responses carry the error");
+                assert!(err.get("code").and_then(Json::as_str).is_some());
+                assert!(err
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .is_some_and(|m| !m.trim().is_empty()));
+                rejected += 1;
+            }
+            None => ok += 1,
+        }
+    }
+    // Both sides must be exercised for the sweep to mean anything.
+    assert!(ok > 0, "no mutant was served — mutations too violent");
+    assert!(
+        rejected > 0,
+        "no mutant was rejected — mutations too gentle"
+    );
+}
+
 #[test]
 fn pathological_inputs_are_rejected_not_panicked_on() {
     let cases: &[&str] = &[
