@@ -12,9 +12,12 @@
 //! computable from a single snapshot on a single machine. Schema v3
 //! adds a `serve` section measured against a loopback `ccv serve`
 //! daemon over real TCP: cached vs uncached request latency, and
-//! uncached throughput at 1, 4 and 8 concurrent clients. The
-//! checked-in `BENCH_PR6.json` at the repository root is the current
-//! reference snapshot (`BENCH_PR4.json` is the previous one).
+//! uncached throughput at 1, 4 and 8 concurrent clients. Schema v4
+//! adds `sym-par/t{1,2,4}` rows (the mutant sweep through the
+//! fork-join symbolic engine at fixed worker counts) and a `spill`
+//! row (Illinois n=12 through the spill-backed visited table). The
+//! checked-in `BENCH_PR7.json` at the repository root is the current
+//! reference snapshot (`BENCH_PR6.json` is the previous one).
 //!
 //! Because absolute rates vary wildly across machines, every snapshot
 //! also measures a *reference workload* (sequential Illinois `n = 12`,
@@ -42,8 +45,8 @@
 //!   beats the naive reference engine by at least `F`× *in this run*
 //!   (same process, same machine — no normalisation needed).
 
-use ccv_core::{reference_expand, Batch, Options};
-use ccv_enum::{enumerate, enumerate_parallel, EnumOptions, EnumResult};
+use ccv_core::{reference_expand, run_expansion, Batch, Options};
+use ccv_enum::{enumerate, enumerate_parallel, EnumOptions, EnumResult, SpillConfig};
 use ccv_model::mutate::single_mutants;
 use ccv_model::{protocols, ProtocolSpec};
 use ccv_observe::{EventSink, Gauge, Json, Metrics, Phase};
@@ -72,6 +75,7 @@ impl Config {
 }
 
 struct Row {
+    key: String,
     config: Config,
     reps: u32,
     distinct: usize,
@@ -103,8 +107,32 @@ fn run_once(spec: &ProtocolSpec, opts: &EnumOptions, threads: usize) -> EnumResu
 /// Times one configuration: repeat until [`MIN_SAMPLE_MS`] of wall
 /// time, then one instrumented run for the observe-side numbers.
 fn measure(config: &Config) -> Row {
-    let spec = spec_of(config.protocol);
     let opts = EnumOptions::new(config.n).exact();
+    measure_with(config.key(), config, opts)
+}
+
+/// Illinois n=12 through the spill-backed visited table, at a
+/// threshold low enough that segments are actually written. The key
+/// rides the same normalised CI gate as the in-RAM rows, so an
+/// accidental slowdown of the out-of-core path is caught.
+fn measure_spill() -> Row {
+    let dir = std::env::temp_dir().join(format!("ccv-bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = Config {
+        protocol: "illinois",
+        n: 12,
+        threads: 1,
+    };
+    let opts = EnumOptions::new(12)
+        .exact()
+        .spill(SpillConfig::new(&dir, Some(256 * 1024)));
+    let row = measure_with("spill".to_string(), &config, opts);
+    let _ = std::fs::remove_dir_all(&dir);
+    row
+}
+
+fn measure_with(key: String, config: &Config, opts: EnumOptions) -> Row {
+    let spec = spec_of(config.protocol);
 
     let mut reps = 0u32;
     let t0 = Instant::now();
@@ -115,11 +143,7 @@ fn measure(config: &Config) -> Row {
     }
     let wall = t0.elapsed();
     let result = result.expect("at least one repetition");
-    assert!(
-        result.is_clean(),
-        "{}: benchmark protocol violated",
-        config.key()
-    );
+    assert!(result.is_clean(), "{key}: benchmark protocol violated");
 
     let metrics = Arc::new(Metrics::new());
     let instrumented = opts.clone().sink(metrics.clone() as Arc<dyn EventSink>);
@@ -130,6 +154,7 @@ fn measure(config: &Config) -> Row {
     let secs = wall.as_secs_f64();
     let per_rep = secs / reps as f64;
     Row {
+        key,
         config: config.clone(),
         reps,
         distinct: result.distinct,
@@ -214,6 +239,22 @@ fn measure_symbolic() -> (Vec<SymRow>, f64) {
     let speedup = sweep.visits_per_sec / reference.visits_per_sec;
     rows.push(sweep);
     rows.push(reference);
+
+    // The same mutant sweep through the fork-join engine at fixed
+    // worker counts. Results are bit-identical across t (the engine's
+    // contract), so the unstable-result assertion inside
+    // `time_symbolic` doubles as a determinism check.
+    for t in [1usize, 2, 4] {
+        let key = format!("sym-par/t{t}");
+        let par_opts = opts.clone().threads(t);
+        rows.push(time_symbolic(&key, || {
+            let mut visits = 0;
+            for m in &mutants {
+                visits += run_expansion(&m.spec, &par_opts).visits;
+            }
+            (mutants.len(), visits)
+        }));
+    }
     (rows, speedup)
 }
 
@@ -408,7 +449,7 @@ fn to_json(
     reference: f64,
 ) -> Json {
     Json::Obj(vec![
-        ("schema".into(), Json::str("ccv-bench-snapshot-v3")),
+        ("schema".into(), Json::str("ccv-bench-snapshot-v4")),
         (
             "reference".into(),
             Json::Obj(vec![
@@ -425,7 +466,7 @@ fn to_json(
                 rows.iter()
                     .map(|r| {
                         Json::Obj(vec![
-                            ("key".into(), Json::str(r.config.key())),
+                            ("key".into(), Json::str(r.key.as_str())),
                             ("protocol".into(), Json::str(r.config.protocol)),
                             ("n".into(), Json::int(r.config.n as u64)),
                             ("threads".into(), Json::int(r.config.threads as u64)),
@@ -591,20 +632,23 @@ fn main() {
     eprintln!("reference: {:.0} visits/s", reference);
 
     let configs = matrix(reduced, heavy, &threads);
-    let mut rows = Vec::with_capacity(configs.len());
+    let mut rows = Vec::with_capacity(configs.len() + 1);
     for config in &configs {
         let row = measure(config);
         eprintln!(
             "{:<22} {:>9} distinct {:>10} visits  {:>9.1} ms  {:>11.0} visits/s  peak {}",
-            row.config.key(),
-            row.distinct,
-            row.visits,
-            row.wall_ms,
-            row.visits_per_sec,
-            row.peak_pending
+            row.key, row.distinct, row.visits, row.wall_ms, row.visits_per_sec, row.peak_pending
         );
         rows.push(row);
     }
+
+    eprintln!("measuring spill workload (out-of-core visited table)...");
+    let spill = measure_spill();
+    eprintln!(
+        "{:<22} {:>9} distinct {:>10} visits  {:>9.1} ms  {:>11.0} visits/s",
+        spill.key, spill.distinct, spill.visits, spill.wall_ms, spill.visits_per_sec
+    );
+    rows.push(spill);
 
     eprintln!("measuring symbolic workloads...");
     let (sym_rows, sweep_speedup) = measure_symbolic();

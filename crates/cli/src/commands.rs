@@ -36,7 +36,7 @@ usage:
   ccv check-all                             verify the whole library (CI gate)
   ccv verify     <protocol> [--trace] [--equality] [--dot FILE]
                  [--metrics FILE] [--progress] [--deadline SECS]
-                 [--max-bytes BYTES]
+                 [--max-bytes BYTES] [--threads T]
   ccv graph      <protocol>                 print the global diagram as DOT
   ccv export     <protocol>                 print the protocol as .ccv source
   ccv compare    <protocol-a> <protocol-b>  diff the global diagrams
@@ -46,7 +46,8 @@ usage:
   ccv enumerate  <protocol> -n N [--exact] [--threads T] [--max-states N]
                  [--deadline SECS] [--max-bytes BYTES]
                  [--checkpoint-out FILE] [--resume FILE]
-  ccv crosscheck <protocol> -n N [--stop-at-first-error]
+                 [--spill-dir DIR] [--spill-threshold BYTES]
+  ccv crosscheck <protocol> -n N [--stop-at-first-error] [--threads T]
                                             Theorem 1 check at size N
   ccv serve      [--addr ADDR] [--workers N] [--queue N]
                  [--cache-capacity N] [--max-n N] [--allow-files]
@@ -404,6 +405,12 @@ const VERIFY_SPEC: ArgSpec = ArgSpec {
             value: Some("BYTES"),
             help: "stop with an inconclusive verdict past this approximate footprint",
         },
+        Flag {
+            name: "--threads",
+            value: Some("T"),
+            help: "symbolic expansion workers; 0 = one per available core (default 0); \
+                   the result is bit-identical for every setting",
+        },
         METRICS_OUT_FLAG,
         TRACE_OUT_FLAG,
         FLIGHT_FLAG,
@@ -413,7 +420,7 @@ const VERIFY_SPEC: ArgSpec = ArgSpec {
 
 /// `ccv verify <protocol> [--trace] [--equality] [--dot FILE]
 /// [--metrics FILE] [--progress] [--essential-out FILE]
-/// [--metrics-out FILE] [--trace-out FILE]
+/// [--threads T] [--metrics-out FILE] [--trace-out FILE]
 /// [--flight-recorder[=N]] [--rule-stats]`
 pub fn verify(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&VERIFY_SPEC, args)? else {
@@ -443,6 +450,8 @@ pub fn verify(args: &[String]) -> CmdResult {
         req.options.deadline = Some(std::time::Duration::from_secs_f64(secs));
     }
     req.options.max_bytes = p.value::<u64>("--max-bytes")?;
+    // 0 = auto. Safe default: parallel expansion is bit-identical.
+    req.options.threads = p.value_or("--threads", 0)?;
     let mut extra: Vec<Arc<dyn EventSink>> = Vec::new();
     if let Some(m) = &metrics {
         extra.push(m.clone());
@@ -749,6 +758,16 @@ const ENUMERATE_SPEC: ArgSpec = ArgSpec {
             help: "continue from a checkpoint written by --checkpoint-out",
         },
         Flag {
+            name: "--spill-dir",
+            value: Some("DIR"),
+            help: "spill the visited table to segment files in DIR (forces --threads 1)",
+        },
+        Flag {
+            name: "--spill-threshold",
+            value: Some("BYTES"),
+            help: "resident visited-table bytes before spilling (default 256 MiB)",
+        },
+        Flag {
             name: "--inject-panic",
             value: Some("K"),
             help: "test hook: panic worker 0 after K visits (exercises panic containment)",
@@ -762,7 +781,8 @@ const ENUMERATE_SPEC: ArgSpec = ArgSpec {
 
 /// `ccv enumerate <protocol> -n N [--exact] [--threads T]
 /// [--max-states N] [--deadline SECS] [--max-bytes BYTES]
-/// [--checkpoint-out FILE] [--resume FILE] [--metrics-out FILE]
+/// [--checkpoint-out FILE] [--resume FILE] [--spill-dir DIR]
+/// [--spill-threshold BYTES] [--metrics-out FILE]
 /// [--trace-out FILE] [--flight-recorder[=N]] [--rule-stats]`
 pub fn enumerate(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&ENUMERATE_SPEC, args)? else {
@@ -787,6 +807,8 @@ pub fn enumerate(args: &[String]) -> CmdResult {
     req.options.inject_panic = p.value::<usize>("--inject-panic")?;
     req.options.checkpoint_out = p.value("--checkpoint-out")?;
     req.options.resume = p.value("--resume")?;
+    req.options.spill_dir = p.value("--spill-dir")?;
+    req.options.spill_threshold = p.value::<u64>("--spill-threshold")?;
     // 0 = auto: one worker per core the scheduler grants this process.
     req.options.threads = p.value_or("--threads", 0)?;
     let ctx = RunContext::new(
@@ -867,6 +889,11 @@ const CROSSCHECK_SPEC: ArgSpec = ArgSpec {
             value: None,
             help: "skip the coverage scan if the enumeration reaches a violation",
         },
+        Flag {
+            name: "--threads",
+            value: Some("T"),
+            help: "symbolic expansion workers; 0 = one per available core (default 0)",
+        },
         METRICS_OUT_FLAG,
         TRACE_OUT_FLAG,
         FLIGHT_FLAG,
@@ -874,7 +901,8 @@ const CROSSCHECK_SPEC: ArgSpec = ArgSpec {
 };
 
 /// `ccv crosscheck <protocol> -n N [--stop-at-first-error]
-/// [--metrics-out FILE] [--trace-out FILE] [--flight-recorder[=N]]`
+/// [--threads T] [--metrics-out FILE] [--trace-out FILE]
+/// [--flight-recorder[=N]]`
 pub fn crosscheck(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&CROSSCHECK_SPEC, args)? else {
         return Ok(CmdStatus::Success);
@@ -884,6 +912,7 @@ pub fn crosscheck(args: &[String]) -> CmdResult {
     let n: usize = p.value_or("-n", 4)?;
     let mut req = Request::crosscheck(ProtocolSource::Spec(spec), n);
     req.options.stop_at_first_error = p.flag("--stop-at-first-error");
+    req.options.threads = p.value_or("--threads", 0)?;
     let ctx = RunContext::new(CancelToken::global(), obs.handle(Vec::new()));
     let c = match Session::run_with(&req, &ctx).result {
         Ok(Payload::Crosscheck(c)) => c,

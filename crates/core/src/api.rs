@@ -168,7 +168,9 @@ pub struct RequestOptions {
     pub n: usize,
     /// Exact-duplicate pruning instead of counting equivalence.
     pub exact: bool,
-    /// Enumeration workers; 0 = one per available core.
+    /// Worker threads for enumeration and for the symbolic engine
+    /// behind verify / crosscheck; 0 = one per available core. The
+    /// symbolic result is bit-identical for every setting.
     pub threads: usize,
     /// Distinct-state cap for enumerate (also the concrete-state
     /// budget of the crosscheck's enumeration leg).
@@ -180,6 +182,14 @@ pub struct RequestOptions {
     pub checkpoint_out: Option<String>,
     /// Resume an enumeration from this checkpoint file.
     pub resume: Option<String>,
+    /// Directory for the enumerator's spill-to-disk visited table;
+    /// unset keeps the table fully in RAM. Spill runs are routed to
+    /// the sequential enumeration engine.
+    pub spill_dir: Option<String>,
+    /// Total resident bytes the spill table holds before shards are
+    /// flushed to disk segments (`None` = backend default of 256 MiB;
+    /// only meaningful with `spill_dir`).
+    pub spill_threshold: Option<u64>,
 }
 
 impl Default for RequestOptions {
@@ -199,6 +209,8 @@ impl Default for RequestOptions {
             inject_panic: None,
             checkpoint_out: None,
             resume: None,
+            spill_dir: None,
+            spill_threshold: None,
         }
     }
 }
@@ -207,7 +219,7 @@ impl RequestOptions {
     /// True if the request asks for anything that reads or writes
     /// server-local files — refused by daemons serving remote clients.
     pub fn touches_files(&self) -> bool {
-        self.checkpoint_out.is_some() || self.resume.is_some()
+        self.checkpoint_out.is_some() || self.resume.is_some() || self.spill_dir.is_some()
     }
 
     fn to_json(&self) -> Json {
@@ -254,6 +266,12 @@ impl RequestOptions {
         }
         if let Some(p) = &self.resume {
             fields.push(("resume".into(), Json::str(p.clone())));
+        }
+        if let Some(p) = &self.spill_dir {
+            fields.push(("spill_dir".into(), Json::str(p.clone())));
+        }
+        if let Some(t) = self.spill_threshold {
+            fields.push(("spill_threshold".into(), Json::int(t)));
         }
         Json::Obj(fields)
     }
@@ -302,6 +320,8 @@ impl RequestOptions {
                 "inject_panic" => opts.inject_panic = Some(expect_uint(key, value)? as usize),
                 "checkpoint_out" => opts.checkpoint_out = Some(expect_str(key, value)?),
                 "resume" => opts.resume = Some(expect_str(key, value)?),
+                "spill_dir" => opts.spill_dir = Some(expect_str(key, value)?),
+                "spill_threshold" => opts.spill_threshold = Some(expect_uint(key, value)?),
                 other => {
                     return Err(ApiError::bad_request(format!("unknown option '{other}'")));
                 }
@@ -470,7 +490,7 @@ impl Request {
     pub fn semantic_key(&self, spec: &ProtocolSpec) -> String {
         let o = &self.options;
         format!(
-            "{}|pr={:?}|tr={}|sf={}|bu={:?}|dl={:?}|mb={:?}|n={}|ex={}|th={}|ms={:?}|ip={:?}\n{}",
+            "{}|pr={:?}|tr={}|sf={}|bu={:?}|dl={:?}|mb={:?}|n={}|ex={}|th={}|ms={:?}|ip={:?}|sd={:?}|st={:?}\n{}",
             self.action.name(),
             o.pruning,
             o.record_trace,
@@ -483,6 +503,8 @@ impl Request {
             o.threads,
             o.max_states,
             o.inject_panic,
+            o.spill_dir,
+            o.spill_threshold,
             ccv_model::dsl::to_dsl(spec)
         )
     }
@@ -1192,6 +1214,7 @@ impl SessionRunner {
             Action::Crosscheck => match self.backend() {
                 Some(backend) => {
                     let opts = Options::default()
+                        .threads(req.options.threads)
                         .sink(ctx.sink.clone())
                         .cancel(ctx.cancel.clone());
                     let mut report = verify_with_scratch(&spec, &opts, &mut self.scratch);
@@ -1220,6 +1243,7 @@ impl SessionRunner {
             .record_trace(o.record_trace)
             .rule_stats(o.rule_stats)
             .stop_at_first_error(o.stop_at_first_error)
+            .threads(o.threads)
             .cancel(ctx.cancel.clone());
         if let Some(budget) = o.budget {
             opts = opts.max_visits(budget);

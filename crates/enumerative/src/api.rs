@@ -43,6 +43,7 @@ use crate::crosscheck::attach_crosscheck;
 use crate::explicit::{enumerate_resumed, EnumOptions};
 use crate::packed::MAX_CACHES;
 use crate::parallel::enumerate_parallel_resumed;
+use crate::spill::SpillConfig;
 
 /// This crate's [`EnumBackend`] implementation.
 struct ApiBackend;
@@ -90,6 +91,9 @@ fn enum_options(req: &Request, ctx: &RunContext) -> EnumOptions {
     if o.checkpoint_out.is_some() {
         opts = opts.capture_snapshot(true);
     }
+    if let Some(dir) = &o.spill_dir {
+        opts = opts.spill(SpillConfig::new(Path::new(dir), o.spill_threshold));
+    }
     opts
 }
 
@@ -118,8 +122,12 @@ impl EnumBackend for ApiBackend {
             None => (None, None),
         };
         let requested = o.threads;
-        // 0 = auto: one worker per core the scheduler grants us.
-        let threads = if requested == 0 {
+        // 0 = auto: one worker per core the scheduler grants us. A
+        // spill-backed visited table is owned by the sequential
+        // engine, so spill requests run single-threaded regardless.
+        let threads = if opts.spill.is_some() {
+            1
+        } else if requested == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
         } else {
             requested
@@ -242,6 +250,32 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn spill_request_routes_to_the_sequential_engine() {
+        let dir = std::env::temp_dir().join(format!("ccv-api-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = Request::enumerate(ProtocolSource::Spec(illinois()), 4).options(RequestOptions {
+            n: 4,
+            threads: 0, // auto — spill must still force 1
+            exact: true,
+            spill_dir: Some(dir.to_string_lossy().into_owned()),
+            spill_threshold: Some(256),
+            ..RequestOptions::default()
+        });
+        let resp = runner().run(&req, &RunContext::default());
+        let direct = enumerate(&illinois(), &EnumOptions::new(4).exact());
+        match resp.result {
+            Ok(Payload::Enumerate(e)) => {
+                assert_eq!(e.threads, 1, "spill runs are sequential");
+                assert_eq!(e.distinct, direct.distinct);
+                assert_eq!(e.visits, direct.visits);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(std::fs::read_dir(&dir).unwrap().count() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

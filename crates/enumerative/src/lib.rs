@@ -46,6 +46,7 @@ pub mod explicit;
 pub mod fxhash;
 pub mod packed;
 pub mod parallel;
+pub mod spill;
 pub mod step;
 pub mod visited;
 pub mod witness;
@@ -62,6 +63,7 @@ pub use explicit::{
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use packed::{PackedState, MAX_CACHES};
 pub use parallel::{enumerate_parallel, enumerate_parallel_resumed};
+pub use spill::{read_segment, SpillConfig, SpillVisited, DEFAULT_SPILL_THRESHOLD, SPILL_SCHEMA};
 pub use step::{
     check_concrete, context_of, describe_violations, is_violating, step_into, successors_into,
     ConcreteError, ConcreteStep, ErrorMask,

@@ -101,11 +101,22 @@ pub enum Counter {
     /// deadline, memory cap, cancellation or worker panic). 0 or 1
     /// per engine run.
     BudgetStops,
+    /// Fork-join rounds in which the parallel symbolic engine's
+    /// coordinator blocked on worker expansion results before merging
+    /// them in batch order. Deterministic for a given workload and
+    /// thread count (one per parallel batch).
+    MergeWaits,
+    /// Visited-table shard segments spilled to disk by the out-of-core
+    /// enumerator.
+    SpillSegments,
+    /// Bytes written to on-disk visited-table segments by the
+    /// out-of-core enumerator.
+    SpillBytes,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::Visits,
         Counter::Prunes,
         Counter::ContainmentChecks,
@@ -123,6 +134,9 @@ impl Counter {
         Counter::InternHits,
         Counter::BudgetPolls,
         Counter::BudgetStops,
+        Counter::MergeWaits,
+        Counter::SpillSegments,
+        Counter::SpillBytes,
     ];
 
     /// Stable snake_case name used in exported JSON.
@@ -145,6 +159,9 @@ impl Counter {
             Counter::InternHits => "intern_hits",
             Counter::BudgetPolls => "budget_polls",
             Counter::BudgetStops => "budget_stops",
+            Counter::MergeWaits => "merge_waits",
+            Counter::SpillSegments => "spill_segments",
+            Counter::SpillBytes => "spill_bytes",
         }
     }
 
@@ -173,14 +190,19 @@ pub enum Gauge {
     /// composite arena at fixpoint (inline storage plus spill).
     ArenaBytes,
     /// Approximate bytes held by the enumerator's visited table at
-    /// the end of the run (the governor's memory-cap input together
-    /// with [`Gauge::ArenaBytes`]).
+    /// the end of the run, **including** any on-disk spill segments.
+    /// The `--max-bytes` governor compares its cap against the
+    /// resident (in-RAM) portion only, so a spilling run can complete
+    /// under a budget its in-RAM footprint alone would trip.
     VisitedBytes,
+    /// Worker threads used by the parallel symbolic engine (1 for the
+    /// sequential path).
+    SymWorkers,
 }
 
 impl Gauge {
     /// Every gauge, in declaration order.
-    pub const ALL: [Gauge; 7] = [
+    pub const ALL: [Gauge; 8] = [
         Gauge::EssentialStates,
         Gauge::DistinctStates,
         Gauge::Levels,
@@ -188,6 +210,7 @@ impl Gauge {
         Gauge::PeakPending,
         Gauge::ArenaBytes,
         Gauge::VisitedBytes,
+        Gauge::SymWorkers,
     ];
 
     /// Stable snake_case name used in exported JSON.
@@ -200,6 +223,7 @@ impl Gauge {
             Gauge::PeakPending => "peak_pending",
             Gauge::ArenaBytes => "arena_bytes",
             Gauge::VisitedBytes => "visited_bytes",
+            Gauge::SymWorkers => "sym_workers",
         }
     }
 

@@ -171,8 +171,8 @@ impl ServerConfig {
         let o = &mut r.options;
         if o.touches_files() && !self.allow_files {
             return Err(ApiError::unsupported(
-                "checkpoint_out/resume touch server-side files and are disabled \
-                 (start the server with --allow-files to enable them)",
+                "checkpoint_out/resume/spill_dir touch server-side files and are \
+                 disabled (start the server with --allow-files to enable them)",
             ));
         }
         if o.n > self.max_n {

@@ -1,0 +1,180 @@
+//! Differential suite for the parallel symbolic engine.
+//!
+//! The fork-join engine (`Options::threads` > 1) promises
+//! *bit-identical* output to the sequential worklist for any worker
+//! count: workers only expand disjoint batches into private buffers,
+//! and the merge replays those buffers in the exact order the
+//! sequential loop would have processed them. These tests hold it to
+//! that promise across the whole protocol library — correct and buggy
+//! protocols, essential states, counterexamples, and the canonical
+//! `--essential-out` JSON document — against both the sequential
+//! engine and the retained naive oracle (`reference_expand`).
+
+use ccv_core::essential_states_json;
+use ccv_core::{
+    reference_expand, run_expansion, verify_with, Expansion, Options, Pruning, Verdict,
+};
+use ccv_model::{protocols, ProtocolSpec};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Every protocol in the library, correct and buggy alike.
+fn all_specs() -> Vec<ProtocolSpec> {
+    let mut specs = protocols::all_correct();
+    specs.extend(protocols::all_buggy().into_iter().map(|(s, _)| s));
+    specs
+}
+
+fn sorted_renders(spec: &ProtocolSpec, e: &Expansion) -> Vec<String> {
+    let mut v: Vec<String> = e
+        .essential_states()
+        .iter()
+        .map(|c| c.render(spec))
+        .collect();
+    v.sort();
+    v
+}
+
+/// A byte-stable digest of everything the engine computed: node table,
+/// essential list, errors and counterexample paths, in engine order.
+fn digest(spec: &ProtocolSpec, e: &Expansion) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for n in &e.nodes {
+        writeln!(
+            out,
+            "node {} parent={:?} pruned={} violations={:?}",
+            e.arena.get(n.state).render(spec),
+            n.parent,
+            n.pruned,
+            n.violations
+        )
+        .unwrap();
+    }
+    writeln!(out, "essential {:?}", e.essential).unwrap();
+    writeln!(
+        out,
+        "visits={} successors={} expanded={} truncated={}",
+        e.visits, e.successors, e.expanded, e.truncated
+    )
+    .unwrap();
+    for err in &e.errors {
+        writeln!(
+            out,
+            "error node={:?} violations={:?} steps={:?} path={}",
+            err.node,
+            err.violations,
+            err.step_errors,
+            e.render_path(spec, err.node)
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn every_thread_count_is_bit_identical_to_sequential() {
+    for spec in all_specs() {
+        for pruning in [Pruning::Containment, Pruning::Equality] {
+            let base = run_expansion(&spec, &Options::default().pruning(pruning));
+            let want = digest(&spec, &base);
+            for t in THREADS {
+                let exp = run_expansion(&spec, &Options::default().pruning(pruning).threads(t));
+                assert_eq!(
+                    digest(&spec, &exp),
+                    want,
+                    "{} diverges at threads={t} pruning={pruning:?}",
+                    spec.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_thread_count_agrees_with_the_naive_oracle() {
+    for spec in all_specs() {
+        let oracle = reference_expand(&spec, &Options::default());
+        for t in THREADS {
+            let exp = run_expansion(&spec, &Options::default().threads(t));
+            assert_eq!(exp.visits, oracle.visits, "{} t={t}", spec.name());
+            assert_eq!(exp.successors, oracle.successors, "{} t={t}", spec.name());
+            assert_eq!(
+                sorted_renders(&spec, &exp),
+                sorted_renders(&spec, &oracle),
+                "{} t={t}: essential states diverge from the oracle",
+                spec.name()
+            );
+            assert_eq!(
+                exp.errors.len(),
+                oracle.errors.len(),
+                "{} t={t}",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn counterexample_paths_are_identical_for_every_thread_count() {
+    for (spec, why) in protocols::all_buggy() {
+        let base = run_expansion(&spec, &Options::default());
+        assert!(!base.errors.is_empty(), "{}: {why}", spec.name());
+        let paths: Vec<String> = base
+            .errors
+            .iter()
+            .map(|e| base.render_path(&spec, e.node))
+            .collect();
+        for t in THREADS {
+            let exp = run_expansion(&spec, &Options::default().threads(t));
+            let got: Vec<String> = exp
+                .errors
+                .iter()
+                .map(|e| exp.render_path(&spec, e.node))
+                .collect();
+            assert_eq!(got, paths, "{} t={t}", spec.name());
+        }
+    }
+}
+
+#[test]
+fn essential_out_json_is_identical_for_every_thread_count() {
+    for spec in all_specs() {
+        let mut want: Option<String> = None;
+        for t in THREADS {
+            let opts = Options::default().threads(t);
+            let report = verify_with(&spec, &opts);
+            let doc = essential_states_json(&spec, &report, Pruning::Containment).render_compact();
+            match &want {
+                None => want = Some(doc),
+                Some(w) => assert_eq!(
+                    &doc,
+                    w,
+                    "{} t={t}: --essential-out document diverges",
+                    spec.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn verdicts_are_stable_across_thread_counts() {
+    for spec in protocols::all_correct() {
+        for t in THREADS {
+            let report = verify_with(&spec, &Options::default().threads(t));
+            assert_eq!(report.verdict, Verdict::Verified, "{} t={t}", spec.name());
+        }
+    }
+    for (spec, why) in protocols::all_buggy() {
+        for t in THREADS {
+            let report = verify_with(&spec, &Options::default().threads(t));
+            assert_eq!(
+                report.verdict,
+                Verdict::Erroneous,
+                "{} t={t} should fail: {why}",
+                spec.name()
+            );
+        }
+    }
+}
