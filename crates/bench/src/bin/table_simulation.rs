@@ -68,7 +68,9 @@ fn main() {
     // pressure, so a tiny conflict-prone cache is tried as well.
     println!("mutants (first violating workload):");
     let mut mutants_ok = true;
-    for (spec, why) in all_buggy() {
+    // Split-transaction mutants are skipped: the simulator's bus is
+    // atomic, so their interleaving bugs are not executable here.
+    for (spec, why) in all_buggy().into_iter().filter(|(s, _)| !s.has_transients()) {
         let mut tripped: Option<(String, usize)> = None;
         'search: for (cfg, cfg_name) in [
             (MachineConfig::small(procs), "small"),

@@ -260,6 +260,15 @@ pub fn list(args: &[String]) -> CmdResult {
             }
         );
     }
+    println!("\nsplit-transaction protocols (non-atomic bus):");
+    for spec in protocols::all_non_atomic() {
+        println!(
+            "  {:<12} |Q|={} ({} transient)",
+            spec.name().to_lowercase(),
+            spec.num_states(),
+            spec.transient_states().count()
+        );
+    }
     println!("\nbuggy mutants (for verifier demonstrations):");
     for (spec, why) in protocols::all_buggy() {
         let cli_name = spec.name().to_lowercase().replace('/', "-");
@@ -323,7 +332,10 @@ pub fn check_all(args: &[String]) -> CmdResult {
     // One batch for the whole library: every run reuses the same
     // engine scratch (successor buffers, containment index, arena).
     let mut batch = Batch::new();
-    for spec in protocols::all_correct() {
+    for spec in protocols::all_correct()
+        .into_iter()
+        .chain(protocols::all_non_atomic())
+    {
         let v = batch.summarize(&spec);
         let pass = v.verdict == Verdict::Verified;
         ok &= pass;
@@ -820,6 +832,9 @@ pub fn enumerate(args: &[String]) -> CmdResult {
         Ok(_) => return Err("unexpected response payload".into()),
         Err(e) => return Err(e.message),
     };
+    for w in &r.warnings {
+        println!("warning: {w}");
+    }
     if let Some(info) = &r.resumed {
         println!(
             "resuming from {}: {} distinct states, {} frontier states, {} visits so far",
@@ -1068,6 +1083,13 @@ pub fn simulate(args: &[String]) -> CmdResult {
         return Ok(CmdStatus::Success);
     };
     let spec = resolve_spec(p.require_pos(0, "protocol name")?)?;
+    if spec.has_transients() {
+        return Err(format!(
+            "protocol '{}' has transient states; the trace simulator models an \
+             atomic bus and cannot execute split-transaction protocols",
+            spec.name()
+        ));
+    }
     let procs: usize = p.value_or("--procs", 4)?;
     let accesses: usize = p.value_or("--accesses", 100_000)?;
     let seed: u64 = p.value_or("--seed", 0xCC5EED)?;

@@ -304,6 +304,7 @@ pub fn protocol_report(spec: &ProtocolSpec, v: &VerificationReport) -> String {
                                 ProcEvent::Read => "R",
                                 ProcEvent::Write => "W",
                                 ProcEvent::Replace => "Z",
+                                ProcEvent::Complete => "C",
                             }
                         )
                     })

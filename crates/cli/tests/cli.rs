@@ -848,3 +848,98 @@ fn enumerate_worker_panic_reports_inconclusive_without_hanging() {
     assert!(out.contains("worker thread panicked"), "{out}");
     assert!(out.contains("injected worker fault"), "{out}");
 }
+
+#[test]
+fn spill_with_explicit_threads_is_rejected_up_front() {
+    let dir = std::env::temp_dir().join("ccv-cli-spill-conflict");
+    let _ = std::fs::remove_dir_all(&dir);
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "4",
+        "--spill-dir",
+        dir.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(o.status.code(), Some(2), "{}", stdout(&o));
+    assert!(stderr(&o).contains("sequential"), "{}", stderr(&o));
+    assert!(!dir.exists(), "rejected before any spill file is created");
+}
+
+#[test]
+fn spill_with_auto_threads_warns_and_runs_sequentially() {
+    let dir = std::env::temp_dir().join(format!("ccv-cli-spill-warn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let o = ccv(&[
+        "enumerate",
+        "illinois",
+        "-n",
+        "4",
+        "--spill-dir",
+        dir.to_str().unwrap(),
+        "--spill-threshold",
+        "256",
+    ]);
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(
+        out.contains("warning: --spill-dir forces a sequential run"),
+        "{out}"
+    );
+    assert!(out.contains("threads=1"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn split_protocols_verify_and_crosscheck_from_the_library() {
+    for name in ["split-msi", "split-mesi"] {
+        let o = ccv(&["verify", name]);
+        assert_eq!(o.status.code(), Some(0), "{name}: {}", stderr(&o));
+        assert!(stdout(&o).contains("VERIFIED"), "{name}");
+        let o = ccv(&["crosscheck", name, "-n", "2"]);
+        assert_eq!(o.status.code(), Some(0), "{name}: {}", stderr(&o));
+        assert!(stdout(&o).contains("Theorem 1 holds"), "{name}");
+    }
+}
+
+#[test]
+fn split_corpus_files_verify_through_the_loader() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    for file in ["split-msi.ccv", "split-mesi.ccv"] {
+        let path = format!("{root}/../../protocols/{file}");
+        let o = ccv(&["verify", &path]);
+        assert_eq!(o.status.code(), Some(0), "{file}: {}", stderr(&o));
+        assert!(stdout(&o).contains("VERIFIED"), "{file}");
+    }
+}
+
+#[test]
+fn split_mutants_are_caught_with_a_concrete_interleaving() {
+    for name in ["split-msi-upgrade-race-lost", "split-msi-ignores-readx"] {
+        let o = ccv(&["verify", name]);
+        assert_eq!(o.status.code(), Some(1), "{name}: {}", stderr(&o));
+        assert!(stdout(&o).contains("ERRONEOUS"), "{name}");
+        let o = ccv(&["witness", name]);
+        assert_eq!(o.status.code(), Some(1), "{name}: {}", stderr(&o));
+        let out = stdout(&o);
+        assert!(
+            out.contains("completes its pending bus transaction"),
+            "{name}: the scenario must show a completion phase\n{out}"
+        );
+        assert!(
+            out.contains("witness with 2 caches"),
+            "{name}: interleaving bugs need two processors\n{out}"
+        );
+    }
+}
+
+#[test]
+fn simulate_rejects_split_protocols_cleanly() {
+    let o = ccv(&["simulate", "split-msi", "--accesses", "10"]);
+    assert_eq!(o.status.code(), Some(2), "{}", stdout(&o));
+    let err = stderr(&o);
+    assert!(err.contains("transient"), "{err}");
+    assert!(err.contains("atomic bus"), "{err}");
+}

@@ -706,6 +706,10 @@ pub struct EnumerateResponse {
     pub resumed: Option<ResumeInfo>,
     /// Set when the request asked for a checkpoint.
     pub checkpoint: Option<CheckpointOutcome>,
+    /// Advisory notes about how the request was executed — e.g. a
+    /// spill directory forcing an auto-threaded run sequential. Never
+    /// affects the verdict; clients may surface them verbatim.
+    pub warnings: Vec<String>,
 }
 
 impl EnumerateResponse {
@@ -863,6 +867,12 @@ impl Response {
                 fields.push(("distinct_states".into(), Json::int(e.distinct as u64)));
                 fields.push(("visits".into(), Json::int(e.visits as u64)));
                 fields.push(("truncated".into(), Json::Bool(e.truncated)));
+                if !e.warnings.is_empty() {
+                    fields.push((
+                        "warnings".into(),
+                        Json::Arr(e.warnings.iter().map(|w| Json::str(w.clone())).collect()),
+                    ));
+                }
                 if let Some(info) = &e.stopped {
                     fields.push(("stop".into(), stop_info_json(info)));
                 }
@@ -1146,6 +1156,15 @@ pub trait EnumBackend: Send + Sync {
         req: &Request,
         ctx: &RunContext,
     ) -> Result<CrosscheckResponse, ApiError>;
+
+    /// True if this backend's engines understand transient states and
+    /// multi-phase transitions. Defaults to `false`: a backend that
+    /// predates the non-atomic model is never handed a split protocol
+    /// — the session answers `unsupported` instead of risking a panic
+    /// or a silently wrong enumeration.
+    fn supports_non_atomic(&self) -> bool {
+        false
+    }
 }
 
 static ENUM_BACKEND: OnceLock<Arc<dyn EnumBackend>> = OnceLock::new();
@@ -1208,10 +1227,16 @@ impl SessionRunner {
         let result = match req.action {
             Action::Verify => Ok(Payload::Verify(Box::new(self.run_verify(spec, req, ctx)))),
             Action::Enumerate => match self.backend() {
+                Some(backend) if !backend_supports(&*backend, &spec) => {
+                    Err(non_atomic_unsupported(&spec))
+                }
                 Some(backend) => backend.enumerate(&spec, req, ctx).map(Payload::Enumerate),
                 None => Err(no_backend()),
             },
             Action::Crosscheck => match self.backend() {
+                Some(backend) if !backend_supports(&*backend, &spec) => {
+                    Err(non_atomic_unsupported(&spec))
+                }
                 Some(backend) => {
                     let opts = Options::default()
                         .threads(req.options.threads)
@@ -1272,11 +1297,83 @@ fn no_backend() -> ApiError {
     )
 }
 
+/// An atomic-only backend is never handed a split protocol.
+fn backend_supports(backend: &dyn EnumBackend, spec: &ProtocolSpec) -> bool {
+    !spec.has_transients() || backend.supports_non_atomic()
+}
+
+fn non_atomic_unsupported(spec: &ProtocolSpec) -> ApiError {
+    ApiError::unsupported(format!(
+        "protocol '{}' has transient states; the installed enumeration \
+         backend only supports atomic protocols",
+        spec.name()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Session;
     use ccv_model::protocols::illinois;
+
+    /// A backend stuck in the atomic era: it keeps the default
+    /// `supports_non_atomic` and must never see a split protocol.
+    struct AtomicOnlyBackend;
+
+    impl EnumBackend for AtomicOnlyBackend {
+        fn enumerate(
+            &self,
+            spec: &ProtocolSpec,
+            _req: &Request,
+            _ctx: &RunContext,
+        ) -> Result<EnumerateResponse, ApiError> {
+            assert!(
+                !spec.has_transients(),
+                "an atomic-only backend was handed a split protocol"
+            );
+            Err(ApiError::internal("stub"))
+        }
+
+        fn crosscheck(
+            &self,
+            spec: &ProtocolSpec,
+            _report: &mut VerificationReport,
+            _req: &Request,
+            _ctx: &RunContext,
+        ) -> Result<CrosscheckResponse, ApiError> {
+            assert!(
+                !spec.has_transients(),
+                "an atomic-only backend was handed a split protocol"
+            );
+            Err(ApiError::internal("stub"))
+        }
+    }
+
+    #[test]
+    fn atomic_only_backends_never_see_split_protocols() {
+        let split = ccv_model::protocols::split_msi();
+        let mut runner = SessionRunner::with_backend(Arc::new(AtomicOnlyBackend));
+        for req in [
+            Request::enumerate(ProtocolSource::Spec(split.clone()), 2),
+            Request::crosscheck(ProtocolSource::Spec(split.clone()), 2),
+        ] {
+            let resp = runner.run(&req, &RunContext::default());
+            match resp.result {
+                Err(e) => {
+                    assert_eq!(e.code, ErrorCode::Unsupported, "{:?}", req.action);
+                    assert!(e.message.contains("transient"), "{}", e.message);
+                }
+                Ok(_) => panic!("{:?} must be refused", req.action),
+            }
+        }
+        // Verification is in-crate and fully non-atomic-aware; the
+        // backend gate must not block it.
+        let resp = runner.run(
+            &Request::verify(ProtocolSource::Spec(split)),
+            &RunContext::default(),
+        );
+        assert!(resp.result.is_ok(), "verify is backend-independent");
+    }
 
     #[test]
     fn request_json_round_trips() {

@@ -126,8 +126,11 @@ pub fn check(spec: &ProtocolSpec, comp: &Composite) -> Vec<Violation> {
                 continue;
             }
 
-            // Data inconsistency: a readable obsolete copy.
-            if k.cdata == CData::Obsolete {
+            // Data inconsistency: a readable obsolete copy. A copy
+            // held by a *transient* (stalled) cache is not readable —
+            // the processor is blocked on the pending transaction — so
+            // staleness in flight is not itself a violation.
+            if k.cdata == CData::Obsolete && !spec.is_transient(k.state) {
                 push(Violation::ReadableStale { state: k.state }, &mut out);
             }
 

@@ -93,6 +93,7 @@ pub fn label_signature(spec: &ProtocolSpec, label: &Label) -> String {
         ProcEvent::Read => "R",
         ProcEvent::Write => "W",
         ProcEvent::Replace => "Z",
+        ProcEvent::Complete => "C",
     };
     format!("{}_{}", e, role_of_state(spec, label.origin.state).tag())
 }

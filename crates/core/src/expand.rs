@@ -223,7 +223,15 @@ pub fn successors_into(
     for pre_branch in pre.iter() {
         for ci in 0..pre_branch.classes().len() {
             let (key, iv) = pre_branch.classes()[ci];
-            for event in ProcEvent::ALL {
+            // A transient class is stalled on the bus: its processor
+            // events are self-loops, and its only real stimulus is the
+            // completion of the pending transaction.
+            let events: &[ProcEvent] = if spec.is_transient(key.state) {
+                &[ProcEvent::Complete]
+            } else {
+                &ProcEvent::ALL
+            };
+            for &event in events {
                 // A replacement of an absent block is not a transition.
                 if key.state.is_invalid() && event == ProcEvent::Replace {
                     continue;
@@ -518,7 +526,14 @@ fn apply(
             _ => (k.state, false),
         };
         let new_key = if !spec.attrs(next_state).holds_copy {
-            ClassKey::invalid()
+            // Invalid — or a copy-less transient, whose identity (the
+            // pending transaction) must survive even though it holds
+            // no data. For atomic protocols `next_state` is always the
+            // invalid state here, so this is `ClassKey::invalid()`.
+            ClassKey {
+                state: next_state,
+                cdata: CData::NoData,
+            }
         } else {
             let cdata = if store {
                 // A store creates a new value: every surviving copy
@@ -560,7 +575,10 @@ fn apply(
 
     // The originator's own data.
     let new_cd = match outc.data {
-        DataOp::Read { fill: false } | DataOp::None => {
+        // A request phase moves no data and reads nothing: the held
+        // copy (if any) rides along untouched.
+        DataOp::None => origin.cdata,
+        DataOp::Read { fill: false } => {
             if origin.cdata == CData::Obsolete {
                 errors.insert(StepError::StaleReadHit);
             }
@@ -585,7 +603,11 @@ fn apply(
         DataOp::Evict { .. } => CData::NoData,
     };
     let new_key = if !spec.attrs(outc.next).holds_copy {
-        ClassKey::invalid()
+        // As above: preserve a copy-less transient target's identity.
+        ClassKey {
+            state: outc.next,
+            cdata: CData::NoData,
+        }
     } else {
         debug_assert_ne!(new_cd, CData::NoData, "valid state must carry data");
         ClassKey {

@@ -124,8 +124,24 @@ impl EnumBackend for ApiBackend {
         let requested = o.threads;
         // 0 = auto: one worker per core the scheduler grants us. A
         // spill-backed visited table is owned by the sequential
-        // engine, so spill requests run single-threaded regardless.
+        // engine, so spill runs are single-threaded: an explicit
+        // multi-thread request alongside a spill directory is a
+        // contradiction we refuse rather than silently resolve, and
+        // an auto request is resolved to one worker with a warning.
+        let mut warnings: Vec<String> = Vec::new();
         let threads = if opts.spill.is_some() {
+            if requested > 1 {
+                return Err(ApiError::bad_request(format!(
+                    "--spill-dir runs are sequential (the spill-backed visited \
+                     table is single-owner); drop --threads {requested} or the \
+                     spill directory"
+                )));
+            }
+            if requested == 0 {
+                warnings.push(
+                    "--spill-dir forces a sequential run; --threads auto resolved to 1".to_string(),
+                );
+            }
             1
         } else if requested == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -175,6 +191,7 @@ impl EnumBackend for ApiBackend {
                 .collect(),
             resumed,
             checkpoint,
+            warnings,
         })
     }
 
@@ -199,6 +216,13 @@ impl EnumBackend for ApiBackend {
             uncovered_examples: cc.uncovered_examples,
             aborted: cc.aborted,
         })
+    }
+
+    fn supports_non_atomic(&self) -> bool {
+        // The step kernel stalls transient caches on ordinary events
+        // and fires their completion stimulus instead, so every
+        // explicit engine enumerates interleavings natively.
+        true
     }
 }
 
@@ -271,11 +295,82 @@ mod tests {
                 assert_eq!(e.threads, 1, "spill runs are sequential");
                 assert_eq!(e.distinct, direct.distinct);
                 assert_eq!(e.visits, direct.visits);
+                assert_eq!(e.warnings.len(), 1, "auto threads + spill warns");
+                assert!(e.warnings[0].contains("sequential"), "{:?}", e.warnings);
             }
             other => panic!("unexpected: {other:?}"),
         }
         assert!(std::fs::read_dir(&dir).unwrap().count() > 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spill_with_explicit_threads_is_a_bad_request() {
+        let req = Request::enumerate(ProtocolSource::Spec(illinois()), 3).options(RequestOptions {
+            n: 3,
+            threads: 4,
+            spill_dir: Some("/tmp/ccv-never-created".into()),
+            ..RequestOptions::default()
+        });
+        let resp = runner().run(&req, &RunContext::default());
+        match resp.result {
+            Err(e) => {
+                assert_eq!(e.code, ErrorCode::BadRequest);
+                assert!(e.message.contains("sequential"), "{}", e.message);
+            }
+            Ok(_) => panic!("spill + --threads 4 must be rejected"),
+        }
+        assert!(
+            !std::path::Path::new("/tmp/ccv-never-created").exists(),
+            "rejected before the spill directory is created"
+        );
+    }
+
+    #[test]
+    fn spill_with_explicit_single_thread_runs_without_warning() {
+        let dir = std::env::temp_dir().join(format!("ccv-api-spill1-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = Request::enumerate(ProtocolSource::Spec(illinois()), 3).options(RequestOptions {
+            n: 3,
+            threads: 1, // explicitly sequential: nothing to warn about
+            spill_dir: Some(dir.to_string_lossy().into_owned()),
+            spill_threshold: Some(256),
+            ..RequestOptions::default()
+        });
+        let resp = runner().run(&req, &RunContext::default());
+        match resp.result {
+            Ok(Payload::Enumerate(e)) => {
+                assert_eq!(e.threads, 1);
+                assert!(e.warnings.is_empty(), "{:?}", e.warnings);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_atomic_protocols_enumerate_through_the_api() {
+        use ccv_model::protocols::split_msi;
+        let req =
+            Request::enumerate(ProtocolSource::Spec(split_msi()), 3).options(RequestOptions {
+                n: 3,
+                threads: 1,
+                ..RequestOptions::default()
+            });
+        let resp = runner().run(&req, &RunContext::default());
+        match resp.result {
+            Ok(Payload::Enumerate(e)) => {
+                assert!(e.errors.is_empty(), "split-MSI is coherent");
+                assert!(e.distinct > 10, "transient interleavings enumerated");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let req = Request::crosscheck(ProtocolSource::Spec(split_msi()), 3);
+        let resp = runner().run(&req, &RunContext::default());
+        match resp.result {
+            Ok(Payload::Crosscheck(c)) => assert!(c.complete, "Theorem 1 at n=3"),
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

@@ -89,6 +89,13 @@ pub fn successors_into(
     out: &mut Vec<ConcreteStep>,
 ) {
     for i in 0..n {
+        // A transient cache is stalled: its processor events are the
+        // synthesized self-loops, and its only real stimulus is the
+        // completion of the pending bus transaction.
+        if spec.is_transient(gs.state(i)) {
+            step_into(spec, gs, n, i, ProcEvent::Complete, out);
+            continue;
+        }
         for event in ProcEvent::ALL {
             if gs.state(i).is_invalid() && event == ProcEvent::Replace {
                 continue;
@@ -241,7 +248,10 @@ pub fn step_into(
                 .map(|j| gs.cdata(j))
                 .unwrap_or(mdata_after_flush.as_cdata());
             let new_cd = match outcome.data {
-                DataOp::Read { fill: false } | DataOp::None => {
+                // A request phase moves no data and reads nothing: the
+                // held copy (if any) rides along untouched.
+                DataOp::None => gs.cdata(i),
+                DataOp::Read { fill: false } => {
                     if gs.cdata(i) == CData::Obsolete {
                         errors.insert(ConcreteError::StaleReadHit { cache: i });
                     }
@@ -305,7 +315,9 @@ pub fn is_violating(spec: &ProtocolSpec, gs: PackedState, n: usize) -> bool {
         }
         copies += 1;
         exclusive |= attrs.exclusive;
-        if gs.cdata(i) == CData::Obsolete {
+        // A transient cache is stalled and cannot read its copy, so an
+        // obsolete copy in flight is not a Definition 3 violation.
+        if gs.cdata(i) == CData::Obsolete && !spec.is_transient(gs.state(i)) {
             return true;
         }
         if attrs.owned {
@@ -342,7 +354,7 @@ pub fn describe_violations(spec: &ProtocolSpec, gs: PackedState, n: usize) -> Ve
                 copies
             ));
         }
-        if gs.cdata(i) == CData::Obsolete {
+        if gs.cdata(i) == CData::Obsolete && !spec.is_transient(s) {
             out.push(format!(
                 "cache {i} holds a readable obsolete copy in state {}",
                 spec.state(s).name

@@ -60,6 +60,7 @@ impl Witness {
                 ProcEvent::Read => "reads the block",
                 ProcEvent::Write => "writes the block",
                 ProcEvent::Replace => "evicts the block",
+                ProcEvent::Complete => "completes its pending bus transaction",
             };
             let _ = write!(
                 out,

@@ -19,6 +19,8 @@ pub struct ProtocolAst {
     pub froms: Vec<FromBlock>,
     /// `snoop … { … }` blocks.
     pub snoops: Vec<SnoopBlock>,
+    /// `await … via … { … }` blocks (split-transaction completions).
+    pub awaits: Vec<AwaitBlock>,
 }
 
 /// `state NAME ('as' SHORT)? attr… ;`
@@ -63,6 +65,25 @@ pub struct ProcRule {
     pub span: Span,
     /// Position of the target name (for unknown-state errors).
     pub target_span: Span,
+}
+
+/// `await NAME via BUS { rule… }`
+///
+/// Declares the completion phase of a transient state: `NAME` is the
+/// transient state, `BUS` the pending transaction it is waiting on, and
+/// each rule describes the outcome once the bus is finally granted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AwaitBlock {
+    /// Transient state whose completion this block defines.
+    pub state: String,
+    /// Bus mnemonic of the pending transaction after `via`.
+    pub bus: String,
+    /// Position of the bus mnemonic (for unknown-bus errors).
+    pub bus_span: Span,
+    /// Completion rules, in source order.
+    pub rules: Vec<ProcRule>,
+    /// Position of the block header.
+    pub span: Span,
 }
 
 /// `snoop NAME { rule… }`
@@ -111,6 +132,7 @@ mod tests {
             }],
             froms: vec![],
             snoops: vec![],
+            awaits: vec![],
         };
         assert_eq!(ast.states.len(), 1);
         assert_eq!(ast.characteristic.as_ref().unwrap().0, "sharing");

@@ -31,12 +31,14 @@ fn bus_of(name: &str, span: Span) -> Result<BusOp, DslError> {
     }
 }
 
-fn attrs_of(decl: &super::ast::StateDecl) -> Result<StateAttrs, DslError> {
+fn attrs_of(decl: &super::ast::StateDecl) -> Result<(StateAttrs, bool), DslError> {
     let mut invalid = false;
+    let mut transient = false;
     let mut attrs = StateAttrs::default();
     for (a, span) in &decl.attrs {
         match a.as_str() {
             "invalid" => invalid = true,
+            "transient" => transient = true,
             "copy" => attrs.holds_copy = true,
             "owned" => attrs.owned = true,
             "exclusive" => attrs.exclusive = true,
@@ -50,21 +52,23 @@ fn attrs_of(decl: &super::ast::StateDecl) -> Result<StateAttrs, DslError> {
         }
     }
     if invalid {
-        if attrs != StateAttrs::default() {
+        if attrs != StateAttrs::default() || transient {
             return Err(DslError::new(
                 decl.span,
                 "'invalid' cannot be combined with other attributes",
             ));
         }
-        return Ok(StateAttrs::INVALID);
+        return Ok((StateAttrs::INVALID, false));
     }
-    if !attrs.holds_copy {
+    // A transient state may be copy-less (a miss in flight holds no
+    // data yet); stable valid states always hold a copy.
+    if !attrs.holds_copy && !transient {
         return Err(DslError::new(
             decl.span,
             format!("state '{}' needs 'copy' (or 'invalid')", decl.name),
         ));
     }
-    Ok(attrs)
+    Ok((attrs, transient))
 }
 
 struct ModifierSet {
@@ -72,6 +76,7 @@ struct ModifierSet {
     through: bool,
     broadcast: bool,
     writeback: bool,
+    phase: bool,
 }
 
 fn proc_modifiers(rule: &ProcRule) -> Result<ModifierSet, DslError> {
@@ -80,6 +85,7 @@ fn proc_modifiers(rule: &ProcRule) -> Result<ModifierSet, DslError> {
         through: false,
         broadcast: false,
         writeback: false,
+        phase: false,
     };
     for (word, span) in &rule.modifiers {
         match word.as_str() {
@@ -87,6 +93,7 @@ fn proc_modifiers(rule: &ProcRule) -> Result<ModifierSet, DslError> {
             "through" => m.through = true,
             "broadcast" => m.broadcast = true,
             "writeback" => m.writeback = true,
+            "phase" => m.phase = true,
             other => {
                 return Err(DslError::new(
                     *span,
@@ -99,6 +106,23 @@ fn proc_modifiers(rule: &ProcRule) -> Result<ModifierSet, DslError> {
 }
 
 fn data_op(rule: &ProcRule, m: &ModifierSet) -> Result<DataOp, DslError> {
+    if m.phase {
+        // A request phase only records the pending transaction; the
+        // data movement happens at completion.
+        if m.fill || m.through || m.broadcast || m.writeback {
+            return Err(DslError::new(
+                rule.span,
+                "'phase' carries no data and takes no other modifiers",
+            ));
+        }
+        if rule.event == "replace" {
+            return Err(DslError::new(
+                rule.span,
+                "a replacement cannot start a multi-phase transaction",
+            ));
+        }
+        return Ok(DataOp::None);
+    }
     match rule.event.as_str() {
         "read" => {
             if m.through || m.broadcast || m.writeback {
@@ -158,13 +182,27 @@ pub fn lower(ast: &ProtocolAst) -> Result<ProtocolSpec, DslError> {
 
     let mut builder = SpecBuilder::new(ast.name.clone()).characteristic(characteristic);
 
+    // Pending transactions, keyed by transient state name. The bus of
+    // each `await` block is needed when the state is declared.
+    let mut pending_of: HashMap<&str, BusOp> = HashMap::new();
+    for block in &ast.awaits {
+        let bus = bus_of(&block.bus, block.bus_span)?;
+        if pending_of.insert(block.state.as_str(), bus).is_some() {
+            return Err(DslError::new(
+                block.span,
+                format!("duplicate 'await' block for state '{}'", block.state),
+            ));
+        }
+    }
+
     // States, in declaration order.
     if ast.states.is_empty() {
         return Err(DslError::new(top, "a protocol needs at least one state"));
     }
     let mut ids: HashMap<&str, StateId> = HashMap::new();
+    let mut transient_names: std::collections::HashSet<&str> = std::collections::HashSet::new();
     for decl in &ast.states {
-        let attrs = attrs_of(decl)?;
+        let (attrs, transient) = attrs_of(decl)?;
         if ids.contains_key(decl.name.as_str()) {
             return Err(DslError::new(
                 decl.span,
@@ -172,7 +210,22 @@ pub fn lower(ast: &ProtocolAst) -> Result<ProtocolSpec, DslError> {
             ));
         }
         let short = decl.short.clone().unwrap_or_else(|| decl.name.clone());
-        let id = builder.state(decl.name.clone(), short, attrs);
+        let id = if transient {
+            let pending = *pending_of.get(decl.name.as_str()).ok_or_else(|| {
+                DslError::new(
+                    decl.span,
+                    format!(
+                        "transient state '{}' has no 'await' block defining its pending \
+                         transaction and completion",
+                        decl.name
+                    ),
+                )
+            })?;
+            transient_names.insert(decl.name.as_str());
+            builder.transient(decl.name.clone(), short, attrs, pending)
+        } else {
+            builder.state(decl.name.clone(), short, attrs)
+        };
         ids.insert(decl.name.as_str(), id);
     }
     let resolve = |name: &str, span: Span| -> Result<StateId, DslError> {
@@ -188,6 +241,14 @@ pub fn lower(ast: &ProtocolAst) -> Result<ProtocolSpec, DslError> {
             let target = resolve(&rule.target, rule.target_span)?;
             let m = proc_modifiers(rule)?;
             let data = data_op(rule, &m)?;
+            if m.phase {
+                if let Some((_, span)) = &rule.via {
+                    return Err(DslError::new(
+                        *span,
+                        "a 'phase' request issues no atomic bus transaction ('via' is not allowed)",
+                    ));
+                }
+            }
             let mut bus = match &rule.via {
                 Some((name, span)) => Some(bus_of(name, *span)?),
                 None => None,
@@ -255,6 +316,75 @@ pub fn lower(ast: &ProtocolAst) -> Result<ProtocolSpec, DslError> {
                 }
             }
             builder.snoop(state, bus, outcome);
+        }
+    }
+
+    // Completion rules.
+    for block in &ast.awaits {
+        let state = resolve(&block.state, block.span)?;
+        if !transient_names.contains(block.state.as_str()) {
+            return Err(DslError::new(
+                block.span,
+                format!(
+                    "'await' block for '{}', which is not declared 'transient'",
+                    block.state
+                ),
+            ));
+        }
+        let pending = pending_of[block.state.as_str()];
+        for rule in &block.rules {
+            let target = resolve(&rule.target, rule.target_span)?;
+            let m = proc_modifiers(rule)?;
+            if m.phase {
+                return Err(DslError::new(
+                    rule.span,
+                    "'phase' marks a request rule, not a completion",
+                ));
+            }
+            let data = data_op(rule, &m)?;
+            // The completion fires the pending transaction; a `via`
+            // clause, if written, must restate it.
+            if let Some((name, span)) = &rule.via {
+                if bus_of(name, *span)? != pending {
+                    return Err(DslError::new(
+                        *span,
+                        format!(
+                            "completion bus '{name}' does not match the pending transaction of \
+                             the 'await' header"
+                        ),
+                    ));
+                }
+            }
+            let outcome = Outcome {
+                next: target,
+                bus: Some(pending),
+                data,
+            };
+            match &rule.when {
+                None => {
+                    builder.on_complete(state, outcome);
+                }
+                Some((ctx, span)) => match ctx.as_str() {
+                    "alone" => {
+                        builder.on_complete_ctx(state, GlobalCtx::ALONE, outcome);
+                    }
+                    "shared" => {
+                        builder.on_complete_ctx(state, GlobalCtx::SHARED_CLEAN, outcome);
+                        builder.on_complete_ctx(state, GlobalCtx::OWNED_ELSEWHERE, outcome);
+                    }
+                    "owned" => {
+                        builder.on_complete_ctx(state, GlobalCtx::OWNED_ELSEWHERE, outcome);
+                    }
+                    other => {
+                        return Err(DslError::new(
+                            *span,
+                            format!(
+                                "unknown context '{other}' (expected 'alone', 'shared' or 'owned')"
+                            ),
+                        ))
+                    }
+                },
+            }
         }
     }
 

@@ -48,11 +48,13 @@
 //!             | 'state' NAME ('as' SHORT)? attr* ';'
 //!             | 'from' NAME '{' proc-rule* '}'
 //!             | 'snoop' NAME '{' snoop-rule* '}'
-//! attr       := 'invalid' | 'copy' | 'owned' | 'exclusive' | 'silent-write'
+//!             | 'await' NAME 'via' BUS '{' proc-rule* '}'
+//! attr       := 'invalid' | 'copy' | 'owned' | 'exclusive'
+//!             | 'silent-write' | 'transient'
 //! proc-rule  := event ('when' ctx)? '->' NAME ('via' BUS)? mod* ';'
 //! event      := 'read' | 'write' | 'replace'
 //! ctx        := 'alone' | 'shared' | 'owned'
-//! mod        := 'fill' | 'through' | 'broadcast' | 'writeback'
+//! mod        := 'fill' | 'through' | 'broadcast' | 'writeback' | 'phase'
 //! snoop-rule := BUS '->' NAME smod* ';'
 //! smod       := 'supply' | 'flush' | 'update'
 //! BUS        := 'BusRd' | 'BusRdX' | 'BusUpgr' | 'BusUpd' | 'BusWB'
@@ -68,6 +70,22 @@
 //! `write` + `through`/`broadcast` is a write-through / write-update
 //! store, `replace` + `writeback` flushes the victim (and implies
 //! `via BusWB` when no bus is given).
+//!
+//! # Split-transaction protocols
+//!
+//! A `transient` state models a cache waiting for the bus: the request
+//! phase of a multi-phase transaction enters it with a `phase` rule
+//! (no bus transaction, no data movement — `read -> IS_D phase;`), the
+//! processor stalls while the state is held, and the mandatory
+//! `await NAME via BUS { … }` block describes the completion phase:
+//! which transaction is pending and what happens — including data
+//! movement and context-dependent targets — once the bus is finally
+//! granted. Other caches' transactions interleave freely between the
+//! two phases, and their snoop rules may retarget a transient state
+//! (e.g. converting a pending upgrade into a pending read-exclusive
+//! when an invalidation races past it). Transient states may be
+//! copy-less (a miss in flight) or hold a copy (an upgrade in flight);
+//! they never carry `owned`/`exclusive`/`silent-write`.
 
 mod ast;
 mod lexer;
@@ -75,7 +93,7 @@ mod lower;
 mod parser;
 mod printer;
 
-pub use ast::{FromBlock, ProcRule, ProtocolAst, SnoopBlock, SnoopRule, StateDecl};
+pub use ast::{AwaitBlock, FromBlock, ProcRule, ProtocolAst, SnoopBlock, SnoopRule, StateDecl};
 pub use lexer::{tokenize, Span, Token, TokenKind};
 pub use lower::lower;
 pub use parser::parse_ast;
@@ -184,44 +202,130 @@ mod tests {
         assert_eq!(o.next, m);
     }
 
-    #[test]
-    fn roundtrip_through_printer() {
-        for original in protocols::all_correct() {
-            let text = to_dsl(&original);
-            let reparsed = parse_protocol(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", original.name()));
-            // Semantically identical: same outcomes and snoops everywhere.
-            assert_eq!(original.num_states(), reparsed.num_states());
-            for s in original.state_ids() {
+    /// Asserts `reparsed` is semantically identical to `original`:
+    /// same states, attributes, outcomes (completions included),
+    /// snoops and transient structure.
+    fn assert_specs_equal(original: &crate::ProtocolSpec, reparsed: &crate::ProtocolSpec) {
+        assert_eq!(original.num_states(), reparsed.num_states());
+        for s in original.state_ids() {
+            assert_eq!(
+                original.state(s).name,
+                reparsed.state(s).name,
+                "{}",
+                original.name()
+            );
+            assert_eq!(original.attrs(s), reparsed.attrs(s));
+            assert_eq!(
+                original.is_transient(s),
+                reparsed.is_transient(s),
+                "{}: transient flag of {}",
+                original.name(),
+                original.state(s).name
+            );
+            let mut events = ProcEvent::ALL.to_vec();
+            if original.is_transient(s) {
                 assert_eq!(
-                    original.state(s).name,
-                    reparsed.state(s).name,
-                    "{}",
-                    original.name()
+                    original.transient_info(s).map(|t| t.pending),
+                    reparsed.transient_info(s).map(|t| t.pending),
+                    "{}: pending bus of {}",
+                    original.name(),
+                    original.state(s).name
                 );
-                assert_eq!(original.attrs(s), reparsed.attrs(s));
-                for e in ProcEvent::ALL {
-                    for c in GlobalCtx::ALL {
-                        assert_eq!(
-                            original.outcome(s, e, c),
-                            reparsed.outcome(s, e, c),
-                            "{}: outcome ({:?}, {e}, {c})",
-                            original.name(),
-                            original.state(s).name
-                        );
-                    }
-                }
-                for b in crate::BusOp::ALL {
+                events.push(ProcEvent::Complete);
+            }
+            for e in events {
+                for c in GlobalCtx::ALL {
                     assert_eq!(
-                        original.snoop(s, b),
-                        reparsed.snoop(s, b),
-                        "{}: snoop ({:?}, {b})",
+                        original.outcome(s, e, c),
+                        reparsed.outcome(s, e, c),
+                        "{}: outcome ({:?}, {e}, {c})",
                         original.name(),
                         original.state(s).name
                     );
                 }
             }
+            for b in crate::BusOp::ALL {
+                assert_eq!(
+                    original.snoop(s, b),
+                    reparsed.snoop(s, b),
+                    "{}: snoop ({:?}, {b})",
+                    original.name(),
+                    original.state(s).name
+                );
+            }
         }
+    }
+
+    #[test]
+    fn roundtrip_through_printer() {
+        for original in protocols::all_correct()
+            .into_iter()
+            .chain(protocols::all_non_atomic())
+        {
+            let text = to_dsl(&original);
+            let reparsed = parse_protocol(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", original.name()));
+            assert_specs_equal(&original, &reparsed);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_printer_for_mutants() {
+        // Mutants bypass builder validation, so re-lowering may
+        // legitimately reject them; but whenever the printed text *is*
+        // accepted, it must mean the same spec — otherwise the grammar
+        // and the printer have drifted apart.
+        let mut reparsed_ok = 0usize;
+        for (original, _) in protocols::all_buggy() {
+            let text = to_dsl(&original);
+            if let Ok(reparsed) = parse_protocol(&text) {
+                reparsed_ok += 1;
+                assert_specs_equal(&original, &reparsed);
+            }
+        }
+        assert!(reparsed_ok > 0, "no mutant survived the round trip");
+    }
+
+    #[test]
+    fn roundtrip_through_printer_for_generated_mutants() {
+        // The exhaustive single-edit sweep, atomic and split alike:
+        // the same accept-means-identical property over every mutant
+        // the generator can produce. This is the drift tripwire for
+        // grammar growth — any printer construct the parser has
+        // stopped (or started) understanding shows up here first.
+        let mut reparsed_ok = 0usize;
+        let mut rejected = 0usize;
+        for base in [
+            protocols::msi(),
+            protocols::illinois(),
+            protocols::split_msi(),
+            protocols::split_mesi(),
+        ] {
+            for m in crate::mutate::single_mutants(&base) {
+                let text = to_dsl(&m.spec);
+                match parse_protocol(&text) {
+                    Ok(reparsed) => {
+                        reparsed_ok += 1;
+                        assert_specs_equal(&m.spec, &reparsed);
+                    }
+                    Err(e) => {
+                        rejected += 1;
+                        assert!(
+                            !e.to_string().trim().is_empty(),
+                            "{}: empty rejection for {}",
+                            base.name(),
+                            m.description
+                        );
+                    }
+                }
+            }
+        }
+        // Both outcomes must occur, or the property is vacuous.
+        assert!(
+            reparsed_ok > 100,
+            "only {reparsed_ok} mutants round-tripped"
+        );
+        assert!(rejected > 0, "no mutant was rejected by re-lowering");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the `.ccv` protocol language.
 
-use super::ast::{FromBlock, ProcRule, ProtocolAst, SnoopBlock, SnoopRule, StateDecl};
+use super::ast::{AwaitBlock, FromBlock, ProcRule, ProtocolAst, SnoopBlock, SnoopRule, StateDecl};
 use super::lexer::{Span, Token, TokenKind};
 use super::DslError;
 
@@ -74,6 +74,7 @@ impl<'a> Parser<'a> {
             states: Vec::new(),
             froms: Vec::new(),
             snoops: Vec::new(),
+            awaits: Vec::new(),
         };
 
         loop {
@@ -148,11 +149,30 @@ impl<'a> Parser<'a> {
                             span: sspan,
                         });
                     }
+                    "await" => {
+                        self.bump();
+                        let (state, sspan) = self.expect_ident("state name")?;
+                        self.expect_keyword("via")?;
+                        let (bus, bus_span) = self.expect_ident("bus mnemonic")?;
+                        self.expect(TokenKind::LBrace, "'{'")?;
+                        let mut rules = Vec::new();
+                        while !matches!(self.peek().kind, TokenKind::RBrace) {
+                            rules.push(self.parse_proc_rule()?);
+                        }
+                        self.expect(TokenKind::RBrace, "'}'")?;
+                        ast.awaits.push(AwaitBlock {
+                            state,
+                            bus,
+                            bus_span,
+                            rules,
+                            span: sspan,
+                        });
+                    }
                     other => {
                         return Err(DslError::new(
                             span,
                             format!(
-                                "expected 'characteristic', 'state', 'from' or 'snoop', found '{other}'"
+                                "expected 'characteristic', 'state', 'from', 'snoop' or 'await', found '{other}'"
                             ),
                         ))
                     }
@@ -274,6 +294,27 @@ mod tests {
         let s = &ast.snoops[0].rules[0];
         assert_eq!(s.bus, "BusRd");
         assert_eq!(s.modifiers[0].0, "supply");
+    }
+
+    #[test]
+    fn parses_await_block() {
+        let ast = parse(
+            "protocol P { state IS_D transient; \
+             await IS_D via BusRd { read -> S fill; read when alone -> E fill; } }",
+        )
+        .unwrap();
+        assert_eq!(ast.awaits.len(), 1);
+        let a = &ast.awaits[0];
+        assert_eq!(a.state, "IS_D");
+        assert_eq!(a.bus, "BusRd");
+        assert_eq!(a.rules.len(), 2);
+        assert_eq!(a.rules[1].when.as_ref().unwrap().0, "alone");
+    }
+
+    #[test]
+    fn rejects_await_without_via() {
+        let err = parse("protocol P { await IS_D { read -> S; } }").unwrap_err();
+        assert!(err.message.contains("'via'"), "{err}");
     }
 
     #[test]

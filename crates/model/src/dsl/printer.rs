@@ -18,20 +18,15 @@ fn event_name(e: ProcEvent) -> &'static str {
         ProcEvent::Read => "read",
         ProcEvent::Write => "write",
         ProcEvent::Replace => "replace",
+        // Never printed as a rule keyword: completions render as
+        // `await` blocks whose event word comes from the data
+        // operation (see `completion_rule_text`).
+        ProcEvent::Complete => "complete",
     }
 }
 
-fn rule_text(spec: &ProtocolSpec, e: ProcEvent, when: Option<&str>, o: &Outcome) -> String {
-    let mut s = String::new();
-    let _ = write!(s, "{}", event_name(e));
-    if let Some(w) = when {
-        let _ = write!(s, " when {w}");
-    }
-    let _ = write!(s, " -> {}", spec.state(o.next).name);
-    if let Some(b) = o.bus {
-        let _ = write!(s, " via {}", bus_name(b));
-    }
-    match o.data {
+fn push_data_modifiers(s: &mut String, data: DataOp) {
+    match data {
         DataOp::Read { fill: true } => s.push_str(" fill"),
         DataOp::Write {
             fill,
@@ -51,6 +46,46 @@ fn rule_text(spec: &ProtocolSpec, e: ProcEvent, when: Option<&str>, o: &Outcome)
         DataOp::Evict { writeback: true } => s.push_str(" writeback"),
         _ => {}
     }
+}
+
+fn rule_text(spec: &ProtocolSpec, e: ProcEvent, when: Option<&str>, o: &Outcome) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{}", event_name(e));
+    if let Some(w) = when {
+        let _ = write!(s, " when {w}");
+    }
+    let _ = write!(s, " -> {}", spec.state(o.next).name);
+    if let Some(b) = o.bus {
+        let _ = write!(s, " via {}", bus_name(b));
+    }
+    push_data_modifiers(&mut s, o.data);
+    // A rule into a transient state is the request phase of a
+    // multi-phase transaction.
+    if spec.is_transient(o.next) {
+        s.push_str(" phase");
+    }
+    s.push(';');
+    s
+}
+
+/// Completion rules print inside `await` blocks: the event word is the
+/// pending operation the completion performs, and the bus is implied by
+/// the block header.
+fn completion_rule_text(spec: &ProtocolSpec, when: Option<&str>, o: &Outcome) -> String {
+    let mut s = String::new();
+    s.push_str(match o.data {
+        DataOp::Read { .. } => "read",
+        DataOp::Write { .. } => "write",
+        DataOp::Evict { .. } => "replace",
+        // No valid completion moves no data; print the closest word so
+        // hand-mutated specs still export without panicking.
+        DataOp::None => "read",
+    });
+    if let Some(w) = when {
+        let _ = write!(s, " when {w}");
+    }
+    let _ = write!(s, " -> {}", spec.state(o.next).name);
+    push_data_modifiers(&mut s, o.data);
     s.push(';');
     s
 }
@@ -78,7 +113,12 @@ pub fn to_dsl(spec: &ProtocolSpec) -> String {
             String::new()
         };
         let mut attrs = String::new();
-        if !info.attrs.holds_copy {
+        if spec.is_transient(id) {
+            if info.attrs.holds_copy {
+                attrs.push_str(" copy");
+            }
+            attrs.push_str(" transient");
+        } else if !info.attrs.holds_copy {
             attrs.push_str(" invalid");
         } else {
             attrs.push_str(" copy");
@@ -95,31 +135,84 @@ pub fn to_dsl(spec: &ProtocolSpec) -> String {
         let _ = writeln!(out, "    state {}{short}{attrs};", info.name);
     }
 
-    // Processor rules.
+    // Processor rules. A transient state's Σ rows are the synthesized
+    // stall self-loops; they are omitted (the loader re-synthesizes
+    // them) unless a mutated spec made one observable.
     for id in spec.state_ids() {
-        let _ = writeln!(out, "\n    from {} {{", spec.state(id).name);
+        let stall = Outcome::silent(id);
+        let mut lines: Vec<String> = Vec::new();
         for e in ProcEvent::ALL {
             let alone = spec.outcome(id, e, GlobalCtx::ALONE);
             let shared = spec.outcome(id, e, GlobalCtx::SHARED_CLEAN);
             let owned = spec.outcome(id, e, GlobalCtx::OWNED_ELSEWHERE);
-            if alone == shared && shared == owned {
-                let _ = writeln!(out, "        {}", rule_text(spec, e, None, &alone));
-            } else if shared == owned {
-                let _ = writeln!(out, "        {}", rule_text(spec, e, Some("alone"), &alone));
-                let _ = writeln!(
-                    out,
-                    "        {}",
-                    rule_text(spec, e, Some("shared"), &shared)
-                );
-            } else {
-                let _ = writeln!(out, "        {}", rule_text(spec, e, Some("alone"), &alone));
-                let _ = writeln!(
-                    out,
-                    "        {}",
-                    rule_text(spec, e, Some("shared"), &shared)
-                );
-                let _ = writeln!(out, "        {}", rule_text(spec, e, Some("owned"), &owned));
+            if spec.is_transient(id) && alone == stall && shared == stall && owned == stall {
+                continue;
             }
+            if alone == shared && shared == owned {
+                lines.push(rule_text(spec, e, None, &alone));
+            } else if shared == owned {
+                lines.push(rule_text(spec, e, Some("alone"), &alone));
+                lines.push(rule_text(spec, e, Some("shared"), &shared));
+            } else {
+                lines.push(rule_text(spec, e, Some("alone"), &alone));
+                lines.push(rule_text(spec, e, Some("shared"), &shared));
+                lines.push(rule_text(spec, e, Some("owned"), &owned));
+            }
+        }
+        if lines.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "\n    from {} {{", spec.state(id).name);
+        for line in lines {
+            let _ = writeln!(out, "        {line}");
+        }
+        let _ = writeln!(out, "    }}");
+    }
+
+    // Completion phases of transient states.
+    for id in spec.state_ids() {
+        let Some(info) = spec.transient_info(id) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "\n    await {} via {} {{",
+            spec.state(id).name,
+            bus_name(info.pending)
+        );
+        let e = ProcEvent::Complete;
+        let alone = spec.outcome(id, e, GlobalCtx::ALONE);
+        let shared = spec.outcome(id, e, GlobalCtx::SHARED_CLEAN);
+        let owned = spec.outcome(id, e, GlobalCtx::OWNED_ELSEWHERE);
+        if alone == shared && shared == owned {
+            let _ = writeln!(out, "        {}", completion_rule_text(spec, None, &alone));
+        } else if shared == owned {
+            let _ = writeln!(
+                out,
+                "        {}",
+                completion_rule_text(spec, Some("alone"), &alone)
+            );
+            let _ = writeln!(
+                out,
+                "        {}",
+                completion_rule_text(spec, Some("shared"), &shared)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "        {}",
+                completion_rule_text(spec, Some("alone"), &alone)
+            );
+            let _ = writeln!(
+                out,
+                "        {}",
+                completion_rule_text(spec, Some("shared"), &shared)
+            );
+            let _ = writeln!(
+                out,
+                "        {}",
+                completion_rule_text(spec, Some("owned"), &owned)
+            );
         }
         let _ = writeln!(out, "    }}");
     }

@@ -9,7 +9,15 @@
 
 use core::fmt;
 
-/// A processor-initiated operation on the tracked block.
+/// A stimulus applied to one cache of the global system.
+///
+/// The first three variants are the paper's processor alphabet `Σ`.
+/// `Complete` is *not* part of `Σ`: it is the bus-grant stimulus of a
+/// split-transaction (non-atomic) protocol, fired when a cache sitting
+/// in a transient state finally wins the bus and performs the pending
+/// transaction. Atomic protocols never see it, and it is deliberately
+/// excluded from [`ProcEvent::ALL`]/[`ProcEvent::COUNT`] so that every
+/// table and rule-id scheme over `Σ` is unchanged.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ProcEvent {
     /// The local processor loads from the block (`R`).
@@ -18,34 +26,44 @@ pub enum ProcEvent {
     Write,
     /// The cache evicts the block (`Rep`), e.g. due to a conflict miss.
     Replace,
+    /// A transient state's pending bus transaction is granted and
+    /// completes (`C`). Only meaningful for non-atomic protocols.
+    Complete,
 }
 
 impl ProcEvent {
-    /// All events, in canonical order. The order is stable and matches
-    /// the dense indices used by transition tables.
+    /// All *processor* events, in canonical order. The order is stable
+    /// and matches the dense indices used by transition tables.
+    /// [`ProcEvent::Complete`] is not a processor event and is absent.
     pub const ALL: [ProcEvent; 3] = [ProcEvent::Read, ProcEvent::Write, ProcEvent::Replace];
 
-    /// Number of distinct events (`|Σ|`).
+    /// Number of distinct processor events (`|Σ|`).
     pub const COUNT: usize = 3;
 
-    /// Dense index of this event in [`ProcEvent::ALL`].
+    /// Dense index of this event. The processor events index their
+    /// position in [`ProcEvent::ALL`]; `Complete` extends the sequence
+    /// with index 3 (used only by completion rule ids, never as a
+    /// `proc_table` subscript).
     #[inline]
     pub fn index(self) -> usize {
         match self {
             ProcEvent::Read => 0,
             ProcEvent::Write => 1,
             ProcEvent::Replace => 2,
+            ProcEvent::Complete => 3,
         }
     }
 
     /// The single-letter label used by the paper in transition diagrams
     /// (Fig. 4 and Appendix A.2): `R`, `W`, `Z` (the paper uses `Z` for
-    /// replacement in Fig. 4).
+    /// replacement in Fig. 4). Completion, which the paper's atomic
+    /// model has no symbol for, renders as `C`.
     pub fn label(self) -> &'static str {
         match self {
             ProcEvent::Read => "R",
             ProcEvent::Write => "W",
             ProcEvent::Replace => "Z",
+            ProcEvent::Complete => "C",
         }
     }
 }
@@ -73,5 +91,12 @@ mod tests {
         assert_eq!(ProcEvent::Read.to_string(), "R");
         assert_eq!(ProcEvent::Write.to_string(), "W");
         assert_eq!(ProcEvent::Replace.to_string(), "Z");
+    }
+
+    #[test]
+    fn complete_is_outside_the_processor_alphabet() {
+        assert!(!ProcEvent::ALL.contains(&ProcEvent::Complete));
+        assert_eq!(ProcEvent::Complete.index(), ProcEvent::COUNT);
+        assert_eq!(ProcEvent::Complete.to_string(), "C");
     }
 }

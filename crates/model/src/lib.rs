@@ -76,5 +76,5 @@ pub use connectivity::strongly_connected;
 pub use context::{Characteristic, GlobalCtx};
 pub use data::{CData, ConcreteError, DataOp, ErrorMask, MData, ERROR_MASK_MAX_CACHES};
 pub use event::ProcEvent;
-pub use spec::{Outcome, ProtocolSpec, SpecBuilder, SpecError};
+pub use spec::{Outcome, ProtocolSpec, SpecBuilder, SpecError, TransientInfo};
 pub use state::{StateAttrs, StateId, StateInfo};

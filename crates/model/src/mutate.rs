@@ -8,7 +8,10 @@
 //! * redirecting the next state of one snoop reaction;
 //! * toggling one snoop data flag (`supply` / `flush` / `update`);
 //! * dropping one bus transaction (making a transition silent);
-//! * dropping one replacement write-back.
+//! * dropping one replacement write-back;
+//! * for split-transaction protocols: swapping one request phase onto
+//!   the wrong transient state, and redirecting where one completion
+//!   phase lands.
 //!
 //! The sweep serves two purposes. As **mutation testing of the
 //! verifier** (experiment E10): every mutant must either still verify
@@ -42,6 +45,12 @@ pub fn single_mutants(spec: &ProtocolSpec) -> Vec<Mutant> {
 
     // --- Processor outcome edits -----------------------------------------
     for &s in &states {
+        // A transient state's ordinary-event rows are stall self-loops
+        // the engines never read (a stalled cache only completes);
+        // editing them would be a null mutation.
+        if spec.is_transient(s) {
+            continue;
+        }
         for e in ProcEvent::ALL {
             // Deduplicate contexts that share an outcome so one edit is
             // one mutant.
@@ -60,18 +69,39 @@ pub fn single_mutants(spec: &ProtocolSpec) -> Vec<Mutant> {
                     if target == outcome.next {
                         continue;
                     }
-                    // Replacements must leave the cache; other events
-                    // may be redirected anywhere (including Invalid —
-                    // a "drop the line" bug).
-                    if e == ProcEvent::Replace && spec.attrs(target).holds_copy {
+                    // A request phase may be swapped onto another
+                    // transient state of the same copy-holding shape —
+                    // the classic "wrong pending transaction" wiring
+                    // slip — but never unwound into a stable state by
+                    // this edit (the silent outcome would teleport a
+                    // copy in with no bus), and never across the
+                    // copy/copy-less boundary (a silent transition
+                    // cannot conjure or discard data).
+                    if spec.is_transient(outcome.next) {
+                        if !spec.is_transient(target)
+                            || spec.attrs(target).holds_copy != spec.attrs(outcome.next).holds_copy
+                        {
+                            continue;
+                        }
+                    } else if spec.is_transient(target) {
+                        // An atomic transition cannot be redirected
+                        // into a transient: it carries its own bus
+                        // transaction, while a transient's is pending.
                         continue;
-                    }
-                    // A write landing in a copy-less state would drop
-                    // the freshly written data on the floor in a way no
-                    // real controller does; skip to keep mutants
-                    // plausible.
-                    if e != ProcEvent::Replace && !spec.attrs(target).holds_copy {
-                        continue;
+                    } else {
+                        // Replacements must leave the cache; other
+                        // events may be redirected anywhere (including
+                        // Invalid — a "drop the line" bug).
+                        if e == ProcEvent::Replace && spec.attrs(target).holds_copy {
+                            continue;
+                        }
+                        // A write landing in a copy-less state would
+                        // drop the freshly written data on the floor in
+                        // a way no real controller does; skip to keep
+                        // mutants plausible.
+                        if e != ProcEvent::Replace && !spec.attrs(target).holds_copy {
+                            continue;
+                        }
                     }
                     let mut m = spec.clone();
                     for &c in &ctxs {
@@ -116,9 +146,14 @@ pub fn single_mutants(spec: &ProtocolSpec) -> Vec<Mutant> {
                 }
                 // Silence the bus transaction (keep the local effect).
                 if let (Some(bus), false) = (outcome.bus, outcome.data.is_fill()) {
-                    // A fill without a bus is physically impossible;
-                    // everything else can plausibly "forget" to drive
-                    // the bus.
+                    // A fill without a bus is physically impossible,
+                    // and a write-back *is* its bus transaction (the
+                    // contradiction-free version of forgetting it is
+                    // the write-back-dropped mutant above); everything
+                    // else can plausibly "forget" to drive the bus.
+                    if matches!(outcome.data, DataOp::Evict { writeback: true }) {
+                        continue;
+                    }
                     let silenced = Outcome {
                         bus: None,
                         data: match outcome.data {
@@ -163,6 +198,20 @@ pub fn single_mutants(spec: &ProtocolSpec) -> Vec<Mutant> {
                 if target == sn.next {
                     continue;
                 }
+                // Stay within the builder's transient discipline: a
+                // snoop never conjures a copy in a copy-less transient
+                // and never moves a stable state into the
+                // request-pending regime (SpecBuilder rejects both, so
+                // a mutant doing either would not be constructible).
+                if spec.is_transient(s)
+                    && !spec.attrs(s).holds_copy
+                    && spec.attrs(target).holds_copy
+                {
+                    continue;
+                }
+                if !spec.is_transient(s) && spec.is_transient(target) {
+                    continue;
+                }
                 let m = spec
                     .clone()
                     .override_snoop(s, bus, SnoopOutcome { next: target, ..sn });
@@ -194,6 +243,64 @@ pub fn single_mutants(spec: &ProtocolSpec) -> Vec<Mutant> {
                         name
                     ),
                     spec: m.renamed(format!("{}~flag", spec.name())),
+                });
+            }
+        }
+    }
+
+    // --- Completion edits (split-transaction protocols) --------------------
+    // The completion phase of a transient state lands in the wrong
+    // stable state — e.g. a read-pending cache installing the line as
+    // if it had won a write transaction. The pending bus operation is
+    // structural (it names the transaction being awaited), so only the
+    // landing state is edited; the bus and data path ride along.
+    for &t in &states {
+        if !spec.is_transient(t) {
+            continue;
+        }
+        let mut seen_ctx: Vec<(Outcome, Vec<GlobalCtx>)> = Vec::new();
+        for c in GlobalCtx::ALL {
+            let o = spec.outcome(t, ProcEvent::Complete, c);
+            if let Some(entry) = seen_ctx.iter_mut().find(|(so, _)| *so == o) {
+                entry.1.push(c);
+            } else {
+                seen_ctx.push((o, vec![c]));
+            }
+        }
+        for (outcome, ctxs) in seen_ctx {
+            for &target in &states {
+                if target == outcome.next || spec.is_transient(target) {
+                    continue;
+                }
+                // A completion installs or upgrades a copy; landing in
+                // a copy-less state would be the separate "drop the
+                // line" class already covered by replacement edits.
+                if !spec.attrs(target).holds_copy {
+                    continue;
+                }
+                let mut m = spec.clone();
+                for &c in &ctxs {
+                    m = m.override_completion(
+                        t,
+                        Some(c),
+                        Outcome {
+                            next: target,
+                            ..outcome
+                        },
+                    );
+                }
+                out.push(Mutant {
+                    description: format!(
+                        "complete on {} [{}]: next {} -> {}",
+                        spec.state(t).short,
+                        ctxs.iter()
+                            .map(|c| c.to_string())
+                            .collect::<Vec<_>>()
+                            .join("/"),
+                        spec.state(outcome.next).short,
+                        spec.state(target).short
+                    ),
+                    spec: m.renamed(format!("{}~compl", spec.name())),
                 });
             }
         }
@@ -233,6 +340,61 @@ mod tests {
                 }
             }
             assert!(differs, "null mutation: {}", m.description);
+        }
+    }
+
+    #[test]
+    fn split_protocols_grow_transient_mutation_classes() {
+        use crate::protocols::split_msi;
+        let spec = split_msi();
+        let ms = single_mutants(&spec);
+        // Completion redirects exist for every transient state.
+        let compl: Vec<&Mutant> = ms
+            .iter()
+            .filter(|m| m.description.starts_with("complete on"))
+            .collect();
+        assert!(compl.len() >= 3, "only {} completion mutants", compl.len());
+        // Phase swaps exist: a request phase rewired onto another
+        // transient (e.g. read enters Write-Pending). Only processor
+        // edits qualify — snoops may legitimately retarget a transient
+        // to anywhere.
+        let swaps: Vec<&Mutant> = ms
+            .iter()
+            .filter(|m| {
+                (m.description.starts_with("R on")
+                    || m.description.starts_with("W on")
+                    || m.description.starts_with("Z on"))
+                    && (m.description.contains("next IS_D ->")
+                        || m.description.contains("next IM_D ->")
+                        || m.description.contains("next SM_W ->"))
+            })
+            .collect();
+        assert!(!swaps.is_empty(), "no phase-swap mutants generated");
+        for m in &swaps {
+            // The swap must stay within the transient family.
+            let text = &m.description;
+            assert!(
+                text.ends_with("IS_D") || text.ends_with("IM_D") || text.ends_with("SM_W"),
+                "phase swap left the transient family: {text}"
+            );
+        }
+        // No mutant edits a stall row.
+        assert!(
+            !ms.iter().any(|m| m.description.starts_with("R on IS_D")
+                || m.description.starts_with("W on IM_D")
+                || m.description.starts_with("W on SM_W")),
+            "stall rows are dead table entries and must not be mutated"
+        );
+    }
+
+    #[test]
+    fn atomic_protocols_get_no_transient_mutants() {
+        for m in single_mutants(&illinois()) {
+            assert!(
+                !m.description.starts_with("complete on"),
+                "{}",
+                m.description
+            );
         }
     }
 

@@ -25,6 +25,8 @@ mod illinois;
 mod mesi_mem;
 mod moesi;
 mod msi;
+mod split_mesi;
+mod split_msi;
 mod synapse;
 mod write_once;
 mod write_through;
@@ -41,6 +43,8 @@ pub use illinois::illinois;
 pub use mesi_mem::mesi_mem;
 pub use moesi::moesi;
 pub use msi::msi;
+pub use split_mesi::split_mesi;
+pub use split_msi::{split_msi, split_msi_ignores_readx, split_msi_upgrade_race_lost};
 pub use synapse::synapse;
 pub use write_once::write_once;
 pub use write_through::write_through;
@@ -63,6 +67,14 @@ pub fn all_correct() -> Vec<ProtocolSpec> {
         dragon(),
         moesi(),
     ]
+}
+
+/// Constructs every correct **non-atomic** (split-transaction)
+/// protocol, in a stable order. Kept separate from [`all_correct`]:
+/// the atomic differential suites pin that set, and not every backend
+/// supports transient states.
+pub fn all_non_atomic() -> Vec<ProtocolSpec> {
+    vec![split_msi(), split_mesi()]
 }
 
 /// Constructs every *buggy* mutant in the library, in a stable order,
@@ -106,6 +118,14 @@ pub fn all_buggy() -> Vec<(ProtocolSpec, &'static str)> {
             write_once_missing_writethrough(),
             "first write reaches Reserved without the write-through",
         ),
+        (
+            split_msi_upgrade_race_lost(),
+            "pending upgrade ignores a racing BusUpgr: both upgraders reach Modified",
+        ),
+        (
+            split_msi_ignores_readx(),
+            "pending upgrade ignores a racing BusRdX: completes against an invalidated copy",
+        ),
     ]
 }
 
@@ -124,6 +144,10 @@ pub fn by_name(name: &str) -> Option<ProtocolSpec> {
         "firefly" => Some(firefly()),
         "dragon" => Some(dragon()),
         "moesi" => Some(moesi()),
+        "split-msi" | "split_msi" => Some(split_msi()),
+        "split-mesi" | "split_mesi" => Some(split_mesi()),
+        "split-msi-upgrade-race-lost" => Some(split_msi_upgrade_race_lost()),
+        "split-msi-ignores-readx" => Some(split_msi_ignores_readx()),
         "illinois-missing-invalidation" => Some(illinois_missing_invalidation()),
         "illinois-missing-writeback" => Some(illinois_missing_writeback()),
         "illinois-wrong-exclusive-fill" => Some(illinois_wrong_exclusive_fill()),
@@ -149,6 +173,10 @@ pub const PROTOCOL_NAMES: &[&str] = &[
     "firefly",
     "dragon",
     "moesi",
+    "split-msi",
+    "split-mesi",
+    "split-msi-upgrade-race-lost",
+    "split-msi-ignores-readx",
     "illinois-missing-invalidation",
     "illinois-missing-writeback",
     "illinois-wrong-exclusive-fill",
@@ -176,7 +204,19 @@ mod tests {
     #[test]
     fn all_buggy_protocols_build() {
         let all = all_buggy();
-        assert_eq!(all.len(), 9);
+        assert_eq!(all.len(), 11);
+    }
+
+    #[test]
+    fn non_atomic_set_is_separate_from_the_atomic_set() {
+        let split = all_non_atomic();
+        assert_eq!(split.len(), 2);
+        for p in &split {
+            assert!(p.has_transients(), "{} should have transients", p.name());
+        }
+        for p in all_correct() {
+            assert!(!p.has_transients(), "{} must stay atomic", p.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Split-transaction MESI — Illinois-style sharing detection on a
+//! **non-atomic bus**.
+//!
+//! The stable states are the MESI quartet (`Invalid`, `Exclusive`,
+//! `Shared`, `Modified`); the transients mirror [`super::split_msi`]:
+//! `IS_D` (read miss in flight), `IM_D` (write miss in flight) and
+//! `SM_W` (upgrade in flight, clean copy held).
+//!
+//! The split bus makes the sharing-detection characteristic *timing
+//! sensitive*: whether a read miss fills `Exclusive` or `Shared` is
+//! decided by the copies present when the transaction **completes**,
+//! not when the processor requested it. A cache that issues a read
+//! miss while alone but is overtaken by another read miss must fill
+//! `Shared` — the verifier explores both interleavings because the
+//! completion outcome is evaluated against the context at grant time.
+
+use crate::{
+    BusOp, Characteristic, DataOp, GlobalCtx, Outcome, ProcEvent, ProtocolSpec, SnoopOutcome,
+    SpecBuilder, StateAttrs,
+};
+
+/// Builds the split-transaction MESI protocol.
+pub fn split_mesi() -> ProtocolSpec {
+    let mut b = SpecBuilder::new("Split-MESI").characteristic(Characteristic::SharingDetection);
+    let inv = b.state("Invalid", "Inv", StateAttrs::INVALID);
+    let ex = b.state("Exclusive", "E", StateAttrs::VALID_EXCLUSIVE);
+    let sh = b.state("Shared", "S", StateAttrs::SHARED_CLEAN);
+    let m = b.state("Modified", "M", StateAttrs::DIRTY);
+    let is_d = b.transient("Read-Pending", "IS_D", StateAttrs::INVALID, BusOp::Read);
+    let im_d = b.transient("Write-Pending", "IM_D", StateAttrs::INVALID, BusOp::ReadX);
+    let sm_w = b.transient(
+        "Upgrade-Pending",
+        "SM_W",
+        StateAttrs::SHARED_CLEAN,
+        BusOp::Upgrade,
+    );
+
+    // Invalid: misses queue for the bus.
+    b.on(inv, ProcEvent::Read, Outcome::silent(is_d));
+    b.on(inv, ProcEvent::Write, Outcome::silent(im_d));
+    b.on(inv, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Exclusive: silent upgrade on write (the point of the E state).
+    b.on(ex, ProcEvent::Read, Outcome::read_hit(ex));
+    b.on(ex, ProcEvent::Write, Outcome::write_hit_silent(m));
+    b.on(ex, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Shared.
+    b.on(sh, ProcEvent::Read, Outcome::read_hit(sh));
+    b.on(sh, ProcEvent::Write, Outcome::silent(sm_w));
+    b.on(sh, ProcEvent::Replace, Outcome::evict_clean(inv));
+
+    // Modified.
+    b.on(m, ProcEvent::Read, Outcome::read_hit(m));
+    b.on(m, ProcEvent::Write, Outcome::write_hit_silent(m));
+    b.on(m, ProcEvent::Replace, Outcome::evict_writeback(inv));
+
+    // Completions. The read fill picks E vs S from the sharing
+    // function *at grant time*.
+    b.on_complete_ctx(is_d, GlobalCtx::ALONE, Outcome::read_miss(ex));
+    b.on_complete_ctx(is_d, GlobalCtx::SHARED_CLEAN, Outcome::read_miss(sh));
+    b.on_complete_ctx(is_d, GlobalCtx::OWNED_ELSEWHERE, Outcome::read_miss(sh));
+    b.on_complete(im_d, Outcome::write_miss_invalidate(m));
+    b.on_complete(
+        sm_w,
+        Outcome {
+            next: m,
+            bus: Some(BusOp::Upgrade),
+            data: DataOp::Write {
+                fill: false,
+                through: false,
+                broadcast: false,
+            },
+        },
+    );
+
+    // Snoop reactions, cache-to-cache as in Illinois.
+    b.snoop(ex, BusOp::Read, SnoopOutcome::supply(sh));
+    b.snoop(ex, BusOp::ReadX, SnoopOutcome::supply(inv));
+    b.snoop(sh, BusOp::Read, SnoopOutcome::supply(sh));
+    b.snoop(sh, BusOp::ReadX, SnoopOutcome::supply(inv));
+    b.snoop(sh, BusOp::Upgrade, SnoopOutcome::to(inv));
+    b.snoop(m, BusOp::Read, SnoopOutcome::supply_and_flush(sh));
+    b.snoop(m, BusOp::ReadX, SnoopOutcome::supply(inv));
+
+    // Pending-upgrade conversion when an invalidation wins the race.
+    b.snoop(sm_w, BusOp::ReadX, SnoopOutcome::to(im_d));
+    b.snoop(sm_w, BusOp::Upgrade, SnoopOutcome::to(im_d));
+
+    b.build().expect("Split-MESI specification must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_transients_and_sharing() {
+        let p = split_mesi();
+        assert_eq!(p.num_states(), 7);
+        assert!(p.has_transients());
+        assert!(p.uses_sharing_detection());
+    }
+
+    #[test]
+    fn read_completion_depends_on_grant_time_context() {
+        let p = split_mesi();
+        let is_d = p.state_by_name("IS_D").unwrap();
+        let ex = p.state_by_name("E").unwrap();
+        let sh = p.state_by_name("S").unwrap();
+        assert_eq!(
+            p.outcome(is_d, ProcEvent::Complete, GlobalCtx::ALONE).next,
+            ex
+        );
+        assert_eq!(
+            p.outcome(is_d, ProcEvent::Complete, GlobalCtx::SHARED_CLEAN)
+                .next,
+            sh
+        );
+        assert_eq!(
+            p.outcome(is_d, ProcEvent::Complete, GlobalCtx::OWNED_ELSEWHERE)
+                .next,
+            sh
+        );
+    }
+
+    #[test]
+    fn upgrade_conversion_mirrors_split_msi() {
+        let p = split_mesi();
+        let sm_w = p.state_by_name("SM_W").unwrap();
+        let im_d = p.state_by_name("IM_D").unwrap();
+        assert_eq!(p.snoop(sm_w, BusOp::ReadX).next, im_d);
+        assert_eq!(p.snoop(sm_w, BusOp::Upgrade).next, im_d);
+    }
+}

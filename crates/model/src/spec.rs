@@ -172,6 +172,32 @@ impl Outcome {
     }
 }
 
+/// The split-transaction description of a **transient** state.
+///
+/// The atomic model of the paper (§2) fires a processor event, its bus
+/// transaction and every snoop reaction in one indivisible step. A
+/// split-transaction protocol breaks that step in two: the *request
+/// phase* moves the originator silently into a transient state (the
+/// processor stalls, no bus traffic, no data moves), and the
+/// *completion phase* — a separate global stimulus
+/// ([`ProcEvent::Complete`]) that other caches' events may interleave
+/// with — finally performs the pending bus transaction.
+///
+/// The completion row is an ordinary [`Outcome`] per global context
+/// whose `bus` is always `Some(pending)`, so every piece of data-path
+/// machinery (snoop reactions, fills, flushes, staleness tracking)
+/// applies to completions verbatim. The global context is evaluated at
+/// **completion time**, which is what makes e.g. a split MESI's
+/// exclusive-vs-shared fill decision sound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TransientInfo {
+    /// The bus transaction this state is waiting to perform.
+    pub pending: BusOp,
+    /// Completion outcome per global context (indexed by
+    /// [`GlobalCtx::index`]); `bus == Some(pending)` in every entry.
+    pub completion: [Outcome; GlobalCtx::COUNT],
+}
+
 /// Errors detected while building or validating a [`ProtocolSpec`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SpecError {
@@ -208,6 +234,15 @@ pub enum SpecError {
     },
     /// The local FSM is not strongly connected (violates Definition 1).
     NotStronglyConnected,
+    /// A transient-state declaration is inconsistent (missing or
+    /// malformed completion row, illegal attributes, or a request rule
+    /// that does not follow the two-phase shape).
+    BadTransient {
+        /// Offending state.
+        state: String,
+        /// Explanation.
+        why: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -228,6 +263,9 @@ impl fmt::Display for SpecError {
             SpecError::NotStronglyConnected => {
                 write!(f, "local FSM is not strongly connected (Definition 1)")
             }
+            SpecError::BadTransient { state, why } => {
+                write!(f, "bad transient state {state}: {why}")
+            }
         }
     }
 }
@@ -243,6 +281,14 @@ pub struct ProtocolSpec {
     proc_table: Vec<[[Outcome; GlobalCtx::COUNT]; ProcEvent::COUNT]>,
     snoop_table: Vec<[SnoopOutcome; BusOp::COUNT]>,
     emitted_bus_ops: Vec<BusOp>,
+    /// Split-transaction side table: `transients[s]` is `Some` exactly
+    /// when state `s` is transient. Empty-equivalent (all `None`) for
+    /// atomic protocols.
+    transients: Vec<Option<TransientInfo>>,
+    /// Bit `s` set iff state `s` is transient — the hot-path form of
+    /// `transients[s].is_some()` (state ids fit in 4 bits, so 16 bits
+    /// suffice).
+    transient_mask: u16,
 }
 
 impl ProtocolSpec {
@@ -290,10 +336,48 @@ impl ProtocolSpec {
         self.characteristic
     }
 
-    /// The originator-side outcome `δ(F, q, σ)`.
+    /// The originator-side outcome `δ(F, q, σ)`. For
+    /// [`ProcEvent::Complete`] this is the completion row of the
+    /// transient side table (panics if `state` is not transient —
+    /// engines only generate `Complete` for transient states).
     #[inline]
     pub fn outcome(&self, state: StateId, event: ProcEvent, ctx: GlobalCtx) -> Outcome {
-        self.proc_table[state.index()][event.index()][ctx.index()]
+        match event {
+            ProcEvent::Complete => {
+                self.transients[state.index()]
+                    .as_ref()
+                    .expect("Complete stimulus on a non-transient state")
+                    .completion[ctx.index()]
+            }
+            _ => self.proc_table[state.index()][event.index()][ctx.index()],
+        }
+    }
+
+    /// True iff `state` is transient (awaiting its pending bus
+    /// transaction).
+    #[inline]
+    pub fn is_transient(&self, state: StateId) -> bool {
+        // Transient states are validated to sit in the first 16 ids
+        // (the packed-encoding range); anything beyond is atomic.
+        state.index() < 16 && self.transient_mask & (1 << state.index()) != 0
+    }
+
+    /// True iff the protocol has any transient state — i.e. it is a
+    /// non-atomic (split-transaction) protocol.
+    #[inline]
+    pub fn has_transients(&self) -> bool {
+        self.transient_mask != 0
+    }
+
+    /// The split-transaction description of `state`, if transient.
+    #[inline]
+    pub fn transient_info(&self, state: StateId) -> Option<&TransientInfo> {
+        self.transients[state.index()].as_ref()
+    }
+
+    /// Iterator over the transient states.
+    pub fn transient_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.state_ids().filter(|&s| self.is_transient(s))
     }
 
     /// The coincident snoop reaction of a cache in `state` to `bus`.
@@ -330,18 +414,30 @@ impl ProtocolSpec {
     }
 
     /// Number of protocol rules: one per `(state, processor event)`
-    /// stimulus. Dense upper bound for rule-indexed attribution
-    /// arrays (see [`rule_id`](ProtocolSpec::rule_id)).
+    /// stimulus, plus — for non-atomic protocols only — one completion
+    /// rule per state. Dense upper bound for rule-indexed attribution
+    /// arrays (see [`rule_id`](ProtocolSpec::rule_id)). Atomic
+    /// protocols keep the historical `|Q| * |Σ|` count.
     pub fn num_rules(&self) -> usize {
-        self.states.len() * ProcEvent::COUNT
+        let base = self.states.len() * ProcEvent::COUNT;
+        if self.has_transients() {
+            base + self.states.len()
+        } else {
+            base
+        }
     }
 
     /// Dense id of the rule fired when a cache in `state` receives
-    /// `event`: `state.index() * 3 + event.index()`, in
+    /// `event`: `state.index() * 3 + event.index()` for the processor
+    /// alphabet, and `|Q| * 3 + state.index()` for completions, in
     /// `0..num_rules()`.
     #[inline]
     pub fn rule_id(&self, state: StateId, event: ProcEvent) -> usize {
-        state.index() * ProcEvent::COUNT + event.index()
+        if event == ProcEvent::Complete {
+            self.states.len() * ProcEvent::COUNT + state.index()
+        } else {
+            state.index() * ProcEvent::COUNT + event.index()
+        }
     }
 
     /// Number of `(state, cdata)` class slots: one per protocol state
@@ -361,8 +457,14 @@ impl ProtocolSpec {
     }
 
     /// Human-readable name of a rule id: `"<state short>:<event>"`,
-    /// e.g. `"Inv:R"` for a read on an invalid line.
+    /// e.g. `"Inv:R"` for a read on an invalid line or `"IS_D:C"` for
+    /// a transient state's completion.
     pub fn rule_name(&self, rule_id: usize) -> String {
+        let base = self.states.len() * ProcEvent::COUNT;
+        if rule_id >= base {
+            let state = &self.states[rule_id - base];
+            return format!("{}:{}", state.short, ProcEvent::Complete.label());
+        }
         let state = &self.states[rule_id / ProcEvent::COUNT];
         let event = ProcEvent::ALL[rule_id % ProcEvent::COUNT];
         format!("{}:{}", state.short, event.label())
@@ -428,20 +530,36 @@ impl ProtocolSpec {
             }
         }
         // Keep the emitted-bus-op summary in sync.
-        let mut emitted: Vec<BusOp> = Vec::new();
-        for row in &self.proc_table {
-            for e in ProcEvent::ALL {
+        self.emitted_bus_ops = emitted_ops(&self.proc_table, &self.transients);
+        self
+    }
+
+    /// Returns a copy of this spec with one transient state's
+    /// completion outcome replaced for the given context, or for every
+    /// context when `ctx` is `None`.
+    ///
+    /// **This bypasses builder validation** — see [`Self::override_snoop`].
+    /// It seeds split-transaction mutants: a completion that lands in
+    /// the wrong state, fires the wrong bus transaction, or moves the
+    /// wrong data. Panics if `state` is not transient.
+    pub fn override_completion(
+        mut self,
+        state: StateId,
+        ctx: Option<GlobalCtx>,
+        outcome: Outcome,
+    ) -> ProtocolSpec {
+        let info = self.transients[state.index()]
+            .as_mut()
+            .expect("override_completion on a non-transient state");
+        match ctx {
+            Some(c) => info.completion[c.index()] = outcome,
+            None => {
                 for c in GlobalCtx::ALL {
-                    if let Some(b) = row[e.index()][c.index()].bus {
-                        if !emitted.contains(&b) {
-                            emitted.push(b);
-                        }
-                    }
+                    info.completion[c.index()] = outcome;
                 }
             }
         }
-        emitted.sort_by_key(|b| b.index());
-        self.emitted_bus_ops = emitted;
+        self.emitted_bus_ops = emitted_ops(&self.proc_table, &self.transients);
         self
     }
 
@@ -459,13 +577,39 @@ impl ProtocolSpec {
             let info = self.state(s);
             let _ = writeln!(
                 out,
-                "  state {} [{}]{}{}{}",
+                "  state {} [{}]{}{}{}{}",
                 info.name,
                 info.short,
                 if info.attrs.holds_copy { " copy" } else { "" },
                 if info.attrs.owned { " owned" } else { "" },
                 if info.attrs.exclusive { " excl" } else { "" },
+                match self.transient_info(s) {
+                    Some(t) => format!(" transient(awaiting {})", t.pending),
+                    None => String::new(),
+                },
             );
+            if self.is_transient(s) {
+                // Σ rows are stalls; show the completion instead.
+                for c in GlobalCtx::ALL {
+                    let o = self.outcome(s, ProcEvent::Complete, c);
+                    if c != GlobalCtx::ALONE
+                        && o == self.outcome(s, ProcEvent::Complete, GlobalCtx::ALONE)
+                    {
+                        continue;
+                    }
+                    let bus = o
+                        .bus
+                        .map(|b| format!(" {b}"))
+                        .unwrap_or_else(|| " silent".to_string());
+                    let _ = writeln!(
+                        out,
+                        "    C [{c}] -> {}{bus} {:?}",
+                        self.state(o.next).short,
+                        o.data
+                    );
+                }
+                continue;
+            }
             for e in ProcEvent::ALL {
                 for c in GlobalCtx::ALL {
                     let o = self.outcome(s, e, c);
@@ -487,6 +631,37 @@ impl ProtocolSpec {
         }
         out
     }
+}
+
+/// Bus operations emitted by any processor outcome or completion row,
+/// sorted by index. Shared by [`SpecBuilder::build`] and the mutation
+/// API so overrides keep the summary in sync.
+fn emitted_ops(
+    proc_table: &[[[Outcome; GlobalCtx::COUNT]; ProcEvent::COUNT]],
+    transients: &[Option<TransientInfo>],
+) -> Vec<BusOp> {
+    let mut emitted: Vec<BusOp> = Vec::new();
+    let mut push = |b: Option<BusOp>| {
+        if let Some(b) = b {
+            if !emitted.contains(&b) {
+                emitted.push(b);
+            }
+        }
+    };
+    for row in proc_table {
+        for e in ProcEvent::ALL {
+            for c in GlobalCtx::ALL {
+                push(row[e.index()][c.index()].bus);
+            }
+        }
+    }
+    for t in transients.iter().flatten() {
+        for c in GlobalCtx::ALL {
+            push(t.completion[c.index()].bus);
+        }
+    }
+    emitted.sort_by_key(|b| b.index());
+    emitted
 }
 
 /// Builder for [`ProtocolSpec`] with exhaustive validation.
@@ -518,6 +693,8 @@ pub struct SpecBuilder {
     characteristic: Characteristic,
     proc_table: Vec<[[Option<Outcome>; GlobalCtx::COUNT]; ProcEvent::COUNT]>,
     snoop_table: Vec<[SnoopOutcome; BusOp::COUNT]>,
+    pending: Vec<Option<BusOp>>,
+    completion_table: Vec<[Option<Outcome>; GlobalCtx::COUNT]>,
     allow_disconnected: bool,
     skip_data_checks: bool,
 }
@@ -532,6 +709,8 @@ impl SpecBuilder {
             characteristic: Characteristic::Null,
             proc_table: Vec::new(),
             snoop_table: Vec::new(),
+            pending: Vec::new(),
+            completion_table: Vec::new(),
             allow_disconnected: false,
             skip_data_checks: false,
         }
@@ -572,7 +751,50 @@ impl SpecBuilder {
         // Default snoop: ignore every transaction.
         self.snoop_table
             .push([SnoopOutcome::ignore(id); BusOp::COUNT]);
+        self.pending.push(None);
+        self.completion_table.push([None; GlobalCtx::COUNT]);
         id
+    }
+
+    /// Adds a **transient** state awaiting the bus transaction
+    /// `pending` and returns its id. Processor events stall in a
+    /// transient state (its `Σ` rows are auto-filled with silent
+    /// self-loops); declare the completion with
+    /// [`on_complete`](Self::on_complete) /
+    /// [`on_complete_ctx`](Self::on_complete_ctx).
+    pub fn transient(
+        &mut self,
+        name: impl Into<String>,
+        short: impl Into<String>,
+        attrs: StateAttrs,
+        pending: BusOp,
+    ) -> StateId {
+        let id = self.state(name, short, attrs);
+        self.pending[id.index()] = Some(pending);
+        id
+    }
+
+    /// Sets the completion outcome of a transient `state` for **all**
+    /// global contexts. The outcome's `bus` must be the state's
+    /// pending transaction.
+    pub fn on_complete(&mut self, state: StateId, outcome: Outcome) -> &mut Self {
+        for c in GlobalCtx::ALL {
+            self.completion_table[state.index()][c.index()] = Some(outcome);
+        }
+        self
+    }
+
+    /// Sets the completion outcome of a transient `state` for one
+    /// specific context (a split-transaction protocol with sharing
+    /// detection evaluates the context at completion time).
+    pub fn on_complete_ctx(
+        &mut self,
+        state: StateId,
+        ctx: GlobalCtx,
+        outcome: Outcome,
+    ) -> &mut Self {
+        self.completion_table[state.index()][ctx.index()] = Some(outcome);
+        self
     }
 
     /// Sets the outcome of `(state, event)` for **all** global contexts
@@ -639,14 +861,50 @@ impl SpecBuilder {
             }
         }
 
+        // --- Transient sanity -------------------------------------------------
+        let is_transient = |s: StateId| self.pending[s.index()].is_some();
+        for (si, pending) in self.pending.iter().enumerate() {
+            let bad = |why: &str| SpecError::BadTransient {
+                state: self.states[si].name.clone(),
+                why: why.into(),
+            };
+            let Some(_) = pending else {
+                if self.completion_table[si].iter().any(Option::is_some) {
+                    return Err(bad("completion declared for a non-transient state"));
+                }
+                continue;
+            };
+            if si == 0 {
+                return Err(bad("q0 (the invalid state) cannot be transient"));
+            }
+            if si >= 16 {
+                return Err(bad("transient states must sit in the first 16 state ids"));
+            }
+            let attrs = self.states[si].attrs;
+            if attrs.owned || attrs.exclusive || attrs.writable_silently {
+                return Err(bad(
+                    "a transient state holds no granted rights (owned / exclusive / \
+                     silently-writable are atomic-state attributes)",
+                ));
+            }
+        }
+
         // --- Table completeness ----------------------------------------------
+        // Processor events stall in transient states (the originator is
+        // waiting for the bus): those rows are synthesised as silent
+        // self-loops, never written by hand and never generated by the
+        // engines.
         let mut proc_table = Vec::with_capacity(self.states.len());
         for (si, row) in self.proc_table.iter().enumerate() {
             let mut dense = [[Outcome::silent(StateId(0)); GlobalCtx::COUNT]; ProcEvent::COUNT];
+            let stall = is_transient(StateId(si as u8));
             for e in ProcEvent::ALL {
                 for c in GlobalCtx::ALL {
                     match row[e.index()][c.index()] {
                         Some(o) => dense[e.index()][c.index()] = o,
+                        None if stall => {
+                            dense[e.index()][c.index()] = Outcome::silent(StateId(si as u8))
+                        }
                         None => {
                             return Err(SpecError::MissingOutcome {
                                 state: self.states[si].name.clone(),
@@ -658,6 +916,41 @@ impl SpecBuilder {
                 }
             }
             proc_table.push(dense);
+        }
+
+        // --- Completion rows ---------------------------------------------------
+        let mut transients: Vec<Option<TransientInfo>> = vec![None; self.states.len()];
+        let mut transient_mask: u16 = 0;
+        for (si, &pending) in self.pending.iter().enumerate() {
+            let Some(pending) = pending else { continue };
+            let bad = |why: String| SpecError::BadTransient {
+                state: self.states[si].name.clone(),
+                why,
+            };
+            let mut completion = [Outcome::silent(StateId(0)); GlobalCtx::COUNT];
+            for c in GlobalCtx::ALL {
+                let Some(o) = self.completion_table[si][c.index()] else {
+                    return Err(bad(format!("missing completion outcome for context {c}")));
+                };
+                if o.bus != Some(pending) {
+                    return Err(bad(format!(
+                        "completion must perform the pending transaction {pending}, got {:?}",
+                        o.bus
+                    )));
+                }
+                if is_transient(o.next) {
+                    return Err(bad(format!(
+                        "completion must land in a stable state, got transient {}",
+                        self.states[o.next.index()].name
+                    )));
+                }
+                completion[c.index()] = o;
+            }
+            transients[si] = Some(TransientInfo {
+                pending,
+                completion,
+            });
+            transient_mask |= 1 << si;
         }
 
         // --- Null characteristic really is context-independent ----------------
@@ -673,12 +966,27 @@ impl SpecBuilder {
                     }
                 }
             }
+            for (si, t) in transients.iter().enumerate() {
+                let Some(t) = t else { continue };
+                let base = t.completion[0].next;
+                if t.completion.iter().any(|o| o.next != base) {
+                    return Err(SpecError::NullCharacteristicCtxDependence {
+                        state: self.states[si].name.clone(),
+                        event: ProcEvent::Complete,
+                    });
+                }
+            }
         }
 
         // --- Data/bus consistency ---------------------------------------------
         if !self.skip_data_checks {
             for (si, row) in proc_table.iter().enumerate() {
                 let holds = self.states[si].attrs.holds_copy;
+                if is_transient(StateId(si as u8)) {
+                    // Transient Σ rows are synthesised stalls; the real
+                    // transition shape is checked on the completion row.
+                    continue;
+                }
                 for e in ProcEvent::ALL {
                     for c in GlobalCtx::ALL {
                         let o = row[e.index()][c.index()];
@@ -687,6 +995,33 @@ impl SpecBuilder {
                             event: e,
                             why: why.into(),
                         };
+                        if is_transient(o.next) {
+                            // Request phase of a split transaction: the
+                            // originator parks silently; bus traffic and
+                            // data movement happen at completion.
+                            if e == ProcEvent::Replace {
+                                return Err(fail("replacement cannot enter a transient state"));
+                            }
+                            if o.bus.is_some() {
+                                return Err(fail(
+                                    "a request into a transient state is silent (the pending \
+                                     transaction fires at completion)",
+                                ));
+                            }
+                            if o.data != DataOp::None {
+                                return Err(fail(
+                                    "a request into a transient state moves no data (the \
+                                     processor stalls until completion)",
+                                ));
+                            }
+                            if self.states[o.next.index()].attrs.holds_copy && !holds {
+                                return Err(fail(
+                                    "a copy-holding transient state can only be entered \
+                                     from a state that already holds the copy",
+                                ));
+                            }
+                            continue;
+                        }
                         // Write-update protocols (Firefly, Dragon) combine the
                         // fill and the update broadcast of a write miss into a
                         // single atomic transaction, so BusUpd is a legal
@@ -730,22 +1065,87 @@ impl SpecBuilder {
                     }
                 }
             }
-        }
 
-        // --- Emitted bus ops ---------------------------------------------------
-        let mut emitted: Vec<BusOp> = Vec::new();
-        for row in &proc_table {
-            for e in ProcEvent::ALL {
+            // Completion rows obey the same data/bus lints as atomic
+            // transitions, with the transient state as the origin.
+            for (si, t) in transients.iter().enumerate() {
+                let Some(t) = t else { continue };
+                let holds = self.states[si].attrs.holds_copy;
                 for c in GlobalCtx::ALL {
-                    if let Some(b) = row[e.index()][c.index()].bus {
-                        if !emitted.contains(&b) {
-                            emitted.push(b);
+                    let o = t.completion[c.index()];
+                    let fail = |why: &str| SpecError::InconsistentData {
+                        state: self.states[si].name.clone(),
+                        event: ProcEvent::Complete,
+                        why: why.into(),
+                    };
+                    if o.data.is_fill()
+                        && !matches!(o.bus, Some(BusOp::Read | BusOp::ReadX | BusOp::Update))
+                    {
+                        return Err(fail("fill requires BusRd, BusRdX or BusUpd"));
+                    }
+                    if o.data.is_fill() && holds {
+                        return Err(fail("fill from a state that already holds the copy"));
+                    }
+                    if let DataOp::Write {
+                        fill, broadcast, ..
+                    } = o.data
+                    {
+                        if !fill && !holds {
+                            return Err(fail("write completion in a state without a copy"));
+                        }
+                        if broadcast && o.bus != Some(BusOp::Update) {
+                            return Err(fail("broadcast write requires BusUpd"));
+                        }
+                    }
+                    if matches!(o.data, DataOp::Evict { writeback: true })
+                        && o.bus != Some(BusOp::WriteBack)
+                    {
+                        return Err(fail("writeback eviction requires BusWB"));
+                    }
+                    if matches!(o.data, DataOp::Evict { .. })
+                        && self.states[o.next.index()].attrs.holds_copy
+                    {
+                        return Err(fail("an eviction completion must end in a copy-less state"));
+                    }
+                }
+            }
+
+            // Snoop reactions must respect the copy-carrying discipline
+            // around transient states: a snoop never conjures a copy in
+            // a copy-less transient, and a stable state never enters the
+            // transient (request-pending) regime via a snoop.
+            if transient_mask != 0 {
+                for (si, row) in self.snoop_table.iter().enumerate() {
+                    for bus in BusOp::ALL {
+                        let sn = row[bus.index()];
+                        let fail = |why: String| SpecError::BadTransient {
+                            state: self.states[si].name.clone(),
+                            why,
+                        };
+                        if is_transient(StateId(si as u8)) {
+                            if !self.states[si].attrs.holds_copy
+                                && self.states[sn.next.index()].attrs.holds_copy
+                            {
+                                return Err(fail(format!(
+                                    "snoop on {bus} moves a copy-less transient into \
+                                     copy-holding {}",
+                                    self.states[sn.next.index()].name
+                                )));
+                            }
+                        } else if is_transient(sn.next) {
+                            return Err(fail(format!(
+                                "snoop on {bus} moves a stable state into transient {} \
+                                 (transient states are entered by processor requests only)",
+                                self.states[sn.next.index()].name
+                            )));
                         }
                     }
                 }
             }
         }
-        emitted.sort_by_key(|b| b.index());
+
+        // --- Emitted bus ops ---------------------------------------------------
+        let emitted = emitted_ops(&proc_table, &transients);
 
         // --- Strong connectivity (Definition 1) --------------------------------
         let n = self.states.len();
@@ -755,6 +1155,12 @@ impl SpecBuilder {
                 for c in GlobalCtx::ALL {
                     edges.push((si, row[e.index()][c.index()].next.index()));
                 }
+            }
+        }
+        for (si, t) in transients.iter().enumerate() {
+            let Some(t) = t else { continue };
+            for c in GlobalCtx::ALL {
+                edges.push((si, t.completion[c.index()].next.index()));
             }
         }
         for (si, row) in self.snoop_table.iter().enumerate() {
@@ -773,6 +1179,8 @@ impl SpecBuilder {
             proc_table,
             snoop_table: self.snoop_table,
             emitted_bus_ops: emitted,
+            transients,
+            transient_mask,
         })
     }
 }

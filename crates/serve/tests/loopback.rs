@@ -213,6 +213,35 @@ fn over_budget_request_is_inconclusive_and_leaves_others_untouched() {
 }
 
 #[test]
+fn split_transaction_protocols_are_served_end_to_end() {
+    // Satellite of the non-atomic model: a split protocol submitted
+    // over real TCP must verify, enumerate, and crosscheck exactly
+    // like a direct run — the installed backend opts into non-atomic
+    // support, so no `unsupported` answer is acceptable here.
+    let config = ServerConfig::loopback();
+    let server = spawn_server(config.clone());
+    let addr = server.addr();
+    let (_, dsl) = corpus()
+        .into_iter()
+        .find(|(n, _)| n == "split-msi.ccv")
+        .expect("split-msi.ccv in the corpus");
+
+    let verify = verify_request(&dsl);
+    let (_, body) = ndjson_round_trip(addr, &verify.to_json().render_compact());
+    assert!(body.contains("\"verdict\":\"VERIFIED\""), "body: {body}");
+    assert_eq!(body, direct_body(&config, &verify), "matches direct run");
+
+    let enumerate = Request::enumerate(ProtocolSource::Dsl(dsl.clone()), 2);
+    let (_, body) = ndjson_round_trip(addr, &enumerate.to_json().render_compact());
+    assert!(!body.contains("\"code\":"), "no error: {body}");
+    assert!(body.contains("\"distinct_states\":"), "body: {body}");
+
+    let crosscheck = Request::crosscheck(ProtocolSource::Dsl(dsl), 2);
+    let (_, body) = ndjson_round_trip(addr, &crosscheck.to_json().render_compact());
+    assert!(body.contains("\"complete\":true"), "Theorem 1: {body}");
+}
+
+#[test]
 fn http_endpoints_serve_health_metrics_and_cache_header() {
     let server = spawn_server(ServerConfig::loopback());
     let addr = server.addr();

@@ -157,8 +157,22 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine running `spec`.
+    ///
+    /// # Panics
+    ///
+    /// The simulated bus is atomic: an access's bus transaction
+    /// completes before the next access runs, so transient states can
+    /// never be observed and their stall semantics would wedge the
+    /// machine. Protocols with transient states are therefore
+    /// rejected here; callers exposed to untrusted input must check
+    /// [`ProtocolSpec::has_transients`] first.
     pub fn new(spec: ProtocolSpec, cfg: MachineConfig) -> Machine {
         assert!(cfg.procs >= 1);
+        assert!(
+            !spec.has_transients(),
+            "protocol '{}' has transient states; the trace simulator models an atomic bus",
+            spec.name()
+        );
         Machine {
             caches: (0..cfg.procs)
                 .map(|_| Cache::new(cfg.sets, cfg.assoc))

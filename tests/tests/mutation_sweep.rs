@@ -55,6 +55,45 @@ fn every_protocols_mutants_terminate() {
 }
 
 #[test]
+fn every_split_protocol_mutant_terminates_in_both_engines() {
+    // The transient mutation classes (phase swaps, completion
+    // redirects, snoop edits on pending states) must never crash or
+    // diverge either engine — a definite symbolic verdict everywhere,
+    // and clean explicit agreement for the benign ones.
+    use ccv_enum::{enumerate, EnumOptions};
+    let mut batch = Batch::with_options(opts());
+    for spec in protocols::all_non_atomic() {
+        for m in single_mutants(&spec) {
+            let v = batch.verify(&m.spec);
+            assert_ne!(
+                v.verdict,
+                Verdict::Inconclusive,
+                "{}: diverged on {}",
+                spec.name(),
+                m.description
+            );
+            if v.verdict == Verdict::Erroneous {
+                assert!(
+                    !v.reports.is_empty() && v.reports[0].path.contains("-->"),
+                    "{}: {} missing counterexample",
+                    spec.name(),
+                    m.description
+                );
+            } else {
+                let r = enumerate(&m.spec, &EnumOptions::new(3));
+                assert!(
+                    r.is_clean(),
+                    "{}: {} symbolically benign but concretely broken: {:?}",
+                    spec.name(),
+                    m.description,
+                    r.errors.first()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn dropping_any_writeback_is_always_caught() {
     // The one mutation class that must never be benign: losing a
     // write-back always loses data eventually.

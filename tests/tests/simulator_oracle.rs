@@ -55,7 +55,10 @@ fn verified_protocols_survive_eviction_pressure() {
 #[test]
 fn every_mutant_trips_the_oracle_somewhere() {
     let p = params(4, 20_000, 3);
-    for (spec, why) in all_buggy() {
+    // Split-transaction mutants are excluded: their bugs live in the
+    // request/completion interleaving, which an atomic-bus simulator
+    // cannot execute (Machine rejects transient specs outright).
+    for (spec, why) in all_buggy().into_iter().filter(|(s, _)| !s.has_transients()) {
         let mut tripped = false;
         'outer: for cfg in [MachineConfig::small(4), MachineConfig::tiny(4)] {
             for trace in all_workloads(&p) {
