@@ -50,8 +50,11 @@ usage:
   ccv crosscheck <protocol> -n N [--stop-at-first-error] [--threads T]
                                             Theorem 1 check at size N
   ccv serve      [--addr ADDR] [--workers N] [--queue N]
-                 [--cache-capacity N] [--max-n N] [--allow-files]
-                                            verification-as-a-service daemon
+                 [--cache-capacity N] [--cache-dir DIR] [--max-n N]
+                 [--allow-files]            verification-as-a-service daemon
+  ccv client     <protocol> [--addr ADDR] [--action A] [-n N] [--http]
+                 [--retries N] [--backoff MS] [--timeout SECS]
+                                            submit to a daemon, with retries
   ccv simulate   <protocol> [--workload W | --trace-file F] [--accesses N]
                  [--procs P] [--seed S]
   ccv profile    <protocol> [-n N] [--threads T] [--symbolic]
@@ -64,8 +67,8 @@ observability trio: [--metrics-out FILE] [--trace-out FILE]
 run `ccv <command> --help` for the full options of one command.
 
 exit codes: 0 verified / success, 1 violation found, 2 usage error,
-3 inconclusive (budget, deadline, memory cap, Ctrl-C or worker panic
-stopped the run before a verdict).
+3 inconclusive (budget, deadline, memory cap, Ctrl-C/SIGTERM or worker
+panic stopped the run before a verdict).
 
 <protocol> is a library name (msi, illinois, write-once, synapse, berkeley,
 firefly, dragon, moesi, or a buggy mutant — run `ccv list`) or a path to a
@@ -127,7 +130,7 @@ fn resolve_spec(name: &str) -> Result<ProtocolSpec, String> {
 }
 
 /// Parses `args` against `spec`; `Ok(None)` means `--help` was printed.
-fn parse_or_help(spec: &ArgSpec, args: &[String]) -> Result<Option<ParsedArgs>, String> {
+pub(crate) fn parse_or_help(spec: &ArgSpec, args: &[String]) -> Result<Option<ParsedArgs>, String> {
     let p = spec.parse(args)?;
     if p.help {
         print!("{}", spec.help());
@@ -139,6 +142,19 @@ fn parse_or_help(spec: &ArgSpec, args: &[String]) -> Result<Option<ParsedArgs>, 
 /// Default flight-recorder capacity when `--flight-recorder` is given
 /// without an explicit `=N`.
 const FLIGHT_DEFAULT_CAPACITY: usize = 4096;
+
+/// Writes a CLI output file atomically (sibling temp file + fsync +
+/// rename), so a crash, Ctrl-C or full disk never leaves a torn
+/// half-file where the old contents used to be.
+fn write_out(path: &str, bytes: &[u8]) -> Result<(), String> {
+    ccv_observe::write_atomic(
+        std::path::Path::new(path),
+        bytes,
+        &ccv_observe::FaultHandle::disabled(),
+        "cli.out",
+    )
+    .map_err(|e| format!("writing {path}: {e}"))
+}
 
 /// The observability flags shared by every run-style subcommand.
 const METRICS_OUT_FLAG: Flag = Flag {
@@ -227,8 +243,7 @@ impl Obs {
             println!("trace written to {path}");
         }
         if let Some((path, m)) = &self.metrics {
-            std::fs::write(path, m.snapshot().to_json().render())
-                .map_err(|e| format!("writing {path}: {e}"))?;
+            write_out(path, m.snapshot().to_json().render().as_bytes())?;
             println!("metrics written to {path}");
         }
         Ok(())
@@ -522,8 +537,7 @@ pub fn verify(args: &[String]) -> CmdResult {
         println!("\n... and {} more error findings", report.reports.len() - 5);
     }
     if let Some(path) = p.value::<String>("--dot")? {
-        std::fs::write(&path, report.graph.to_dot(spec))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        write_out(&path, report.graph.to_dot(spec).as_bytes())?;
         println!("\nDOT written to {path}");
     }
     if let Some(path) = p.value::<String>("--essential-out")? {
@@ -533,7 +547,7 @@ pub fn verify(args: &[String]) -> CmdResult {
             Pruning::Containment
         };
         let json = essential_states_json(spec, report, pruning);
-        std::fs::write(&path, json.render()).map_err(|e| format!("writing {path}: {e}"))?;
+        write_out(&path, json.render().as_bytes())?;
         println!("\nessential states written to {path}");
     }
     if rule_stats {
@@ -545,8 +559,7 @@ pub fn verify(args: &[String]) -> CmdResult {
     }
     if let Some(path) = metrics_path {
         let snap = metrics.expect("metrics collector was attached").snapshot();
-        std::fs::write(&path, snap.to_json().render())
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        write_out(&path, snap.to_json().render().as_bytes())?;
         println!("\nmetrics written to {path}");
     }
     obs.finish()?;
@@ -716,7 +729,7 @@ pub fn report(args: &[String]) -> CmdResult {
     let md = crate::report::protocol_report(session.spec(), &verification);
     match p.value::<String>("-o")? {
         Some(path) => {
-            std::fs::write(&path, md).map_err(|e| format!("writing {path}: {e}"))?;
+            write_out(&path, md.as_bytes())?;
             println!("dossier written to {path}");
         }
         None => print!("{md}"),
@@ -784,6 +797,11 @@ const ENUMERATE_SPEC: ArgSpec = ArgSpec {
             value: Some("K"),
             help: "test hook: panic worker 0 after K visits (exercises panic containment)",
         },
+        Flag {
+            name: "--fault-plan",
+            value: Some("SPEC"),
+            help: "deterministic fault injection, e.g. 'spill.flush:io@2' (see docs/robustness.md)",
+        },
         METRICS_OUT_FLAG,
         TRACE_OUT_FLAG,
         FLIGHT_FLAG,
@@ -817,6 +835,7 @@ pub fn enumerate(args: &[String]) -> CmdResult {
     }
     req.options.max_bytes = p.value::<u64>("--max-bytes")?;
     req.options.inject_panic = p.value::<usize>("--inject-panic")?;
+    req.options.fault_plan = p.value("--fault-plan")?;
     req.options.checkpoint_out = p.value("--checkpoint-out")?;
     req.options.resume = p.value("--resume")?;
     req.options.spill_dir = p.value("--spill-dir")?;
@@ -978,6 +997,21 @@ const SERVE_SPEC: ArgSpec = ArgSpec {
             help: "verdict cache entries before FIFO eviction (default 256)",
         },
         Flag {
+            name: "--cache-dir",
+            value: Some("DIR"),
+            help: "persist the verdict cache in DIR; warm verdicts survive restarts",
+        },
+        Flag {
+            name: "--retry-after",
+            value: Some("MS"),
+            help: "backoff hint attached to BUSY rejections (default 500)",
+        },
+        Flag {
+            name: "--fault-plan",
+            value: Some("SPEC"),
+            help: "server-side fault injection (sites serve.accept, serve.response, cache.write)",
+        },
+        Flag {
             name: "--max-n",
             value: Some("N"),
             help: "largest cache count accepted for enumerate/crosscheck (default 8)",
@@ -1006,7 +1040,8 @@ const SERVE_SPEC: ArgSpec = ArgSpec {
 };
 
 /// `ccv serve [--addr ADDR] [--workers N] [--queue N]
-/// [--cache-capacity N] [--max-n N] [--max-threads T]
+/// [--cache-capacity N] [--cache-dir DIR] [--retry-after MS]
+/// [--fault-plan SPEC] [--max-n N] [--max-threads T]
 /// [--deadline SECS] [--max-deadline SECS] [--allow-files]`
 pub fn serve(args: &[String]) -> CmdResult {
     let Some(p) = parse_or_help(&SERVE_SPEC, args)? else {
@@ -1017,6 +1052,14 @@ pub fn serve(args: &[String]) -> CmdResult {
     config.workers = p.value_or("--workers", config.workers)?;
     config.queue_depth = p.value_or("--queue", config.queue_depth)?;
     config.cache_capacity = p.value_or("--cache-capacity", config.cache_capacity)?;
+    config.cache_dir = p.value::<String>("--cache-dir")?.map(Into::into);
+    if let Some(ms) = p.value::<u64>("--retry-after")? {
+        config.retry_after = std::time::Duration::from_millis(ms);
+    }
+    if let Some(spec) = p.value::<String>("--fault-plan")? {
+        config.fault =
+            ccv_observe::FaultHandle::from_spec(&spec).map_err(|e| format!("--fault-plan: {e}"))?;
+    }
     config.max_n = p.value_or("--max-n", config.max_n)?;
     config.max_threads = p.value_or("--max-threads", config.max_threads)?;
     if let Some(secs) = p.value::<f64>("--deadline")? {
@@ -1033,8 +1076,20 @@ pub fn serve(args: &[String]) -> CmdResult {
         .local_addr()
         .map_err(|e| format!("reading bound address: {e}"))?;
     println!("ccv serve listening on {addr} ({workers} workers, queue depth {queue})");
+    let service = server.service();
+    if let Some(r) = service.cache_recovery() {
+        println!(
+            "verdict cache: {} entr{} restored, {} quarantined",
+            r.loaded,
+            if r.loaded == 1 { "y" } else { "ies" },
+            r.quarantined
+        );
+    }
+    if let Some(why) = service.cache_degraded() {
+        println!("warning: {why}");
+    }
     println!("POST /v1/requests over HTTP, or one ccv-request-v1 NDJSON line per connection.");
-    println!("Ctrl-C stops the daemon; in-flight requests drain first.");
+    println!("Ctrl-C or SIGTERM stops the daemon; in-flight requests drain first.");
     server.run();
     Ok(CmdStatus::Success)
 }

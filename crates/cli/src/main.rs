@@ -22,20 +22,25 @@
 use std::process::ExitCode;
 
 mod args;
+mod client;
 mod commands;
 mod report;
 
-/// Installs a SIGINT handler that flips the process-global cancel
-/// flag. Engines holding [`ccv_observe::CancelToken::global`] observe
-/// it at their next poll, drain cooperatively, and render a partial
-/// (INCONCLUSIVE) result instead of dying mid-search. The handler
-/// body is a single atomic store, which is async-signal-safe.
+/// Installs SIGINT and SIGTERM handlers that flip the process-global
+/// cancel flag. Engines holding [`ccv_observe::CancelToken::global`]
+/// observe it at their next poll, drain cooperatively, and render a
+/// partial (INCONCLUSIVE) result instead of dying mid-search; the
+/// serve daemon stops accepting and drains in-flight requests. Both
+/// signals behave identically, so `kill <pid>` (a supervisor's
+/// shutdown) is as graceful as Ctrl-C. The handler body is a single
+/// atomic store, which is async-signal-safe.
 #[cfg(unix)]
-fn install_ctrl_c_handler() {
+fn install_signal_handlers() {
     use std::os::raw::c_int;
 
     const SIGINT: c_int = 2;
-    extern "C" fn on_sigint(_sig: c_int) {
+    const SIGTERM: c_int = 15;
+    extern "C" fn on_signal(_sig: c_int) {
         ccv_observe::request_global_cancel();
     }
     extern "C" {
@@ -44,15 +49,16 @@ fn install_ctrl_c_handler() {
     // SAFETY: `signal` is the libc entry point; the handler performs
     // one atomic store and touches no non-reentrant state.
     unsafe {
-        signal(SIGINT, on_sigint as extern "C" fn(c_int) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(c_int) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(c_int) as usize);
     }
 }
 
 #[cfg(not(unix))]
-fn install_ctrl_c_handler() {}
+fn install_signal_handlers() {}
 
 fn main() -> ExitCode {
-    install_ctrl_c_handler();
+    install_signal_handlers();
     // verify/enumerate/crosscheck (and the serve daemon) all run
     // through the unified Session API, whose enumeration actions
     // dispatch to the registered backend.
@@ -76,6 +82,7 @@ fn main() -> ExitCode {
         "enumerate" => commands::enumerate(rest),
         "crosscheck" => commands::crosscheck(rest),
         "serve" => commands::serve(rest),
+        "client" => client::client(rest),
         "simulate" => commands::simulate(rest),
         "profile" => commands::profile(rest),
         "help" | "--help" | "-h" => {

@@ -1,0 +1,194 @@
+//! End-to-end daemon/client drills over a real loopback socket and
+//! the real `ccv` binary: verdict-cache persistence across a SIGTERM
+//! restart, and the client's retry loop against injected socket
+//! faults. Unix-only — the drills steer the daemon with signals.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, ChildStdout, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ccv")
+}
+
+/// A running `ccv serve` plus the address it bound. Dropping it
+/// SIGKILLs the daemon so a failed test never leaks a process.
+struct Daemon {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(bin())
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn ccv serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            let n = stdout.read_line(&mut line).expect("read serve banner");
+            assert!(n > 0, "serve exited before announcing its address");
+            if let Some(rest) = line.strip_prefix("ccv serve listening on ") {
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .expect("address on banner")
+                    .to_string();
+            }
+        };
+        Daemon {
+            child,
+            stdout,
+            addr,
+        }
+    }
+
+    /// Reads daemon stdout until `needle` appears (bounded by the
+    /// lines the daemon actually wrote — used right after start).
+    fn expect_line(&mut self, needle: &str) -> String {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.stdout.read_line(&mut line).expect("read serve stdout");
+            assert!(n > 0, "serve stdout closed before '{needle}' appeared");
+            if line.contains(needle) {
+                return line.trim_end().to_string();
+            }
+        }
+    }
+
+    /// SIGTERM, then wait for the graceful drain to finish.
+    fn terminate(mut self) {
+        let pid = self.child.id().to_string();
+        let ok = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("run kill")
+            .success();
+        assert!(ok, "kill -TERM failed");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "serve exited {status} after SIGTERM");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("serve did not drain within 10s of SIGTERM");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn client(addr: &str, extra: &[&str]) -> Output {
+    Command::new(bin())
+        .args(["client", "illinois", "--addr", addr, "--backoff", "5"])
+        .args(extra)
+        .output()
+        .expect("run ccv client")
+}
+
+fn text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Warm the cache, SIGTERM the daemon, restart on the same cache
+/// directory: the restored entry must replay byte-identically.
+#[test]
+fn verdict_cache_survives_a_sigterm_restart_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("ccv-e2e-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_string_lossy().into_owned();
+
+    let daemon = Daemon::start(&["--cache-dir", &dir_arg]);
+    let first = client(&daemon.addr, &[]);
+    assert!(first.status.success(), "first run: {}", text(&first.stderr));
+    let body = text(&first.stdout);
+    assert!(body.contains("\"verdict\":\"VERIFIED\""), "{body}");
+    daemon.terminate();
+
+    let mut revived = Daemon::start(&["--cache-dir", &dir_arg]);
+    let restored = revived.expect_line("restored");
+    assert!(
+        restored.contains("1 entry restored, 0 quarantined"),
+        "{restored}"
+    );
+    let replay = client(&revived.addr, &[]);
+    assert!(replay.status.success(), "replay: {}", text(&replay.stderr));
+    assert_eq!(text(&replay.stdout), body, "replay is not byte-identical");
+    assert!(
+        text(&replay.stderr).contains("verdict cache"),
+        "replay must announce the cache hit: {}",
+        text(&replay.stderr)
+    );
+    revived.terminate();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Each wire dialect against a daemon that drops its first response
+/// on the floor: the client's retry loop must converge on the true
+/// verdict, and the daemon must outlive its own fault.
+#[test]
+fn client_retries_through_injected_response_drops() {
+    let mut bodies = Vec::new();
+    for dialect in [&[][..], &["--http"][..]] {
+        let daemon = Daemon::start(&["--fault-plan", "serve.response:disconnect@1"]);
+        let out = client(&daemon.addr, dialect);
+        assert!(out.status.success(), "{dialect:?}: {}", text(&out.stderr));
+        assert!(
+            text(&out.stderr).contains("retrying identical request"),
+            "{dialect:?}: first attempt should have been dropped: {}",
+            text(&out.stderr)
+        );
+        bodies.push(text(&out.stdout));
+        daemon.terminate();
+    }
+    assert_eq!(
+        bodies[0], bodies[1],
+        "both dialects must deliver the same body"
+    );
+}
+
+/// Client-side injected faults: a connect that fails once must be
+/// retried and succeed; a server that is simply absent must end in a
+/// clean, prompt error — not a hang.
+#[test]
+fn client_side_faults_retry_and_absent_servers_fail_cleanly() {
+    let daemon = Daemon::start(&[]);
+    let out = client(&daemon.addr, &["--fault-plan", "client.connect:io@1"]);
+    assert!(out.status.success(), "{}", text(&out.stderr));
+    assert!(
+        text(&out.stderr).contains("injected fault"),
+        "{}",
+        text(&out.stderr)
+    );
+    daemon.terminate();
+
+    // Port reserved then closed: nothing listens there any more.
+    let gone = {
+        let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        sock.local_addr().unwrap().to_string()
+    };
+    let out = client(&gone, &["--retries", "2", "--timeout", "2"]);
+    assert!(!out.status.success());
+    let err = text(&out.stderr);
+    assert!(err.contains("giving up"), "{err}");
+    assert!(err.contains("after 3 attempts"), "{err}");
+}

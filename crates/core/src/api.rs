@@ -190,6 +190,11 @@ pub struct RequestOptions {
     /// flushed to disk segments (`None` = backend default of 256 MiB;
     /// only meaningful with `spill_dir`).
     pub spill_threshold: Option<u64>,
+    /// Deterministic fault-injection plan for the run, in the
+    /// [`ccv_observe::fault`] spec grammar
+    /// (`site:kind[@after][xtimes],…`). Robustness testing only:
+    /// responses produced under a plan are never cached.
+    pub fault_plan: Option<String>,
 }
 
 impl Default for RequestOptions {
@@ -211,6 +216,7 @@ impl Default for RequestOptions {
             resume: None,
             spill_dir: None,
             spill_threshold: None,
+            fault_plan: None,
         }
     }
 }
@@ -273,6 +279,9 @@ impl RequestOptions {
         if let Some(t) = self.spill_threshold {
             fields.push(("spill_threshold".into(), Json::int(t)));
         }
+        if let Some(p) = &self.fault_plan {
+            fields.push(("fault_plan".into(), Json::str(p.clone())));
+        }
         Json::Obj(fields)
     }
 
@@ -322,6 +331,7 @@ impl RequestOptions {
                 "resume" => opts.resume = Some(expect_str(key, value)?),
                 "spill_dir" => opts.spill_dir = Some(expect_str(key, value)?),
                 "spill_threshold" => opts.spill_threshold = Some(expect_uint(key, value)?),
+                "fault_plan" => opts.fault_plan = Some(expect_str(key, value)?),
                 other => {
                     return Err(ApiError::bad_request(format!("unknown option '{other}'")));
                 }
@@ -490,7 +500,7 @@ impl Request {
     pub fn semantic_key(&self, spec: &ProtocolSpec) -> String {
         let o = &self.options;
         format!(
-            "{}|pr={:?}|tr={}|sf={}|bu={:?}|dl={:?}|mb={:?}|n={}|ex={}|th={}|ms={:?}|ip={:?}|sd={:?}|st={:?}\n{}",
+            "{}|pr={:?}|tr={}|sf={}|bu={:?}|dl={:?}|mb={:?}|n={}|ex={}|th={}|ms={:?}|ip={:?}|sd={:?}|st={:?}|fp={:?}\n{}",
             self.action.name(),
             o.pruning,
             o.record_trace,
@@ -505,6 +515,7 @@ impl Request {
             o.inject_panic,
             o.spill_dir,
             o.spill_threshold,
+            o.fault_plan,
             ccv_model::dsl::to_dsl(spec)
         )
     }
@@ -576,55 +587,63 @@ pub struct ApiError {
     pub code: ErrorCode,
     /// Human-readable description.
     pub message: String,
+    /// For `busy` errors: how long the client should wait before
+    /// retrying, in milliseconds. Travels as the `retry_after_ms`
+    /// field of the error object and as the HTTP `retry-after`
+    /// header.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ApiError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> ApiError {
+        ApiError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
     /// A `bad_request` error.
     pub fn bad_request(message: impl Into<String>) -> ApiError {
-        ApiError {
-            code: ErrorCode::BadRequest,
-            message: message.into(),
-        }
+        ApiError::new(ErrorCode::BadRequest, message)
     }
 
     /// A `bad_protocol` error.
     pub fn bad_protocol(message: impl Into<String>) -> ApiError {
-        ApiError {
-            code: ErrorCode::BadProtocol,
-            message: message.into(),
-        }
+        ApiError::new(ErrorCode::BadProtocol, message)
     }
 
     /// An `unsupported` error.
     pub fn unsupported(message: impl Into<String>) -> ApiError {
-        ApiError {
-            code: ErrorCode::Unsupported,
-            message: message.into(),
-        }
+        ApiError::new(ErrorCode::Unsupported, message)
     }
 
     /// A `busy` error.
     pub fn busy(message: impl Into<String>) -> ApiError {
-        ApiError {
-            code: ErrorCode::Busy,
-            message: message.into(),
-        }
+        ApiError::new(ErrorCode::Busy, message)
     }
 
     /// An `internal` error.
     pub fn internal(message: impl Into<String>) -> ApiError {
-        ApiError {
-            code: ErrorCode::Internal,
-            message: message.into(),
-        }
+        ApiError::new(ErrorCode::Internal, message)
+    }
+
+    /// Attaches a retry-after hint (chainable).
+    pub fn with_retry_after(mut self, millis: u64) -> ApiError {
+        self.retry_after_ms = Some(millis);
+        self
     }
 
     /// Serializes as the `error` object of a response.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("code".into(), Json::str(self.code.name())),
             ("message".into(), Json::str(self.message.clone())),
-        ])
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            fields.push(("retry_after_ms".into(), Json::int(ms)));
+        }
+        Json::Obj(fields)
     }
 }
 

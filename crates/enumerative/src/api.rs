@@ -66,13 +66,18 @@ fn check_limits(spec: &ProtocolSpec, n: usize) -> Result<(), ApiError> {
 }
 
 /// Builds the engine options a request asks for.
-fn enum_options(req: &Request, ctx: &RunContext) -> EnumOptions {
+fn enum_options(req: &Request, ctx: &RunContext) -> Result<EnumOptions, ApiError> {
     let o = &req.options;
     let mut opts = EnumOptions::new(o.n)
         .sink(ctx.sink.clone())
         .rule_stats(o.rule_stats)
         .stop_at_first_error(o.stop_at_first_error)
         .cancel(ctx.cancel.clone());
+    if let Some(plan) = &o.fault_plan {
+        let fault = ccv_observe::FaultHandle::from_spec(plan)
+            .map_err(|e| ApiError::bad_request(format!("invalid fault_plan: {e}")))?;
+        opts.common = opts.common.fault(fault);
+    }
     if o.exact {
         opts = opts.exact();
     }
@@ -94,7 +99,7 @@ fn enum_options(req: &Request, ctx: &RunContext) -> EnumOptions {
     if let Some(dir) = &o.spill_dir {
         opts = opts.spill(SpillConfig::new(Path::new(dir), o.spill_threshold));
     }
-    opts
+    Ok(opts)
 }
 
 impl EnumBackend for ApiBackend {
@@ -106,10 +111,13 @@ impl EnumBackend for ApiBackend {
     ) -> Result<EnumerateResponse, ApiError> {
         let o = &req.options;
         check_limits(spec, o.n)?;
-        let opts = enum_options(req, ctx);
+        let opts = enum_options(req, ctx)?;
         let (seed, resumed) = match &o.resume {
             Some(path) => {
-                let ckpt = Checkpoint::load(Path::new(path)).map_err(ApiError::internal)?;
+                // A checkpoint that fails validation (torn write, bit
+                // rot) is quarantined aside, never silently trusted.
+                let ckpt =
+                    Checkpoint::load_or_quarantine(Path::new(path)).map_err(ApiError::internal)?;
                 ckpt.validate(spec, &opts).map_err(ApiError::internal)?;
                 let info = ResumeInfo {
                     path: path.clone(),
@@ -153,13 +161,20 @@ impl EnumBackend for ApiBackend {
         } else {
             enumerate_resumed(spec, &opts, seed)
         };
+        if let Some(degraded) = &r.spill_degraded {
+            warnings.push(format!(
+                "spill degraded to in-RAM operation: {degraded} — results are \
+                 exact but the memory bound was lost"
+            ));
+        }
         let checkpoint = match &o.checkpoint_out {
             Some(path) => {
                 let written = match Checkpoint::of_result(spec, &opts, &r) {
                     Some(ckpt) => {
-                        ckpt.save(Path::new(path)).map_err(|e| {
-                            ApiError::internal(format!("writing checkpoint {path}: {e}"))
-                        })?;
+                        ckpt.save_with(Path::new(path), &opts.common.fault)
+                            .map_err(|e| {
+                                ApiError::internal(format!("writing checkpoint {path}: {e}"))
+                            })?;
                         true
                     }
                     None => false,
@@ -346,6 +361,81 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_fault_plan_is_a_bad_request() {
+        let req = Request::enumerate(ProtocolSource::Spec(illinois()), 3).options(RequestOptions {
+            n: 3,
+            threads: 1,
+            fault_plan: Some("spill.flush:unknownkind".into()),
+            ..RequestOptions::default()
+        });
+        let resp = runner().run(&req, &RunContext::default());
+        match resp.result {
+            Err(e) => {
+                assert_eq!(e.code, ErrorCode::BadRequest);
+                assert!(e.message.contains("fault_plan"), "{}", e.message);
+            }
+            Ok(_) => panic!("bad fault plan must be rejected"),
+        }
+    }
+
+    #[test]
+    fn spill_degradation_surfaces_as_a_warning() {
+        let dir = std::env::temp_dir().join(format!("ccv-api-degrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = Request::enumerate(ProtocolSource::Spec(illinois()), 4).options(RequestOptions {
+            n: 4,
+            threads: 1,
+            exact: true,
+            spill_dir: Some(dir.to_string_lossy().into_owned()),
+            spill_threshold: Some(256),
+            fault_plan: Some("spill.flush:io".into()),
+            ..RequestOptions::default()
+        });
+        let resp = runner().run(&req, &RunContext::default());
+        let direct = enumerate(&illinois(), &EnumOptions::new(4).exact());
+        match resp.result {
+            Ok(Payload::Enumerate(e)) => {
+                // Degraded, but exact: the verdict is unchanged.
+                assert_eq!(e.distinct, direct.distinct);
+                assert!(e.errors.is_empty());
+                assert!(
+                    e.warnings.iter().any(|w| w.contains("spill degraded")),
+                    "{:?}",
+                    e.warnings
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_worker_panic_yields_a_contained_stop() {
+        for threads in [1usize, 4] {
+            let req =
+                Request::enumerate(ProtocolSource::Spec(illinois()), 3).options(RequestOptions {
+                    n: 3,
+                    threads,
+                    fault_plan: Some("enum.worker:panic@5".into()),
+                    ..RequestOptions::default()
+                });
+            let resp = runner().run(&req, &RunContext::default());
+            match resp.result {
+                Ok(Payload::Enumerate(e)) => {
+                    assert!(e.truncated, "threads={threads}");
+                    let stopped = e.stopped.expect("stop info");
+                    assert_eq!(
+                        stopped.cause,
+                        ccv_observe::StopCause::WorkerPanic,
+                        "threads={threads}"
+                    );
+                }
+                other => panic!("threads={threads}: unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -24,12 +24,21 @@
 //! is [`FxHasher`] over the protocol's canonical DSL rendering, so a
 //! checkpoint refuses to resume against a protocol whose behaviour
 //! differs — not just one with a different name.
+//!
+//! The file ends with an integrity trailer `C <hash>` — the
+//! [`FxHasher`] digest of every preceding byte — so a torn or
+//! bit-flipped checkpoint can never parse successfully. Files are
+//! published via [`ccv_observe::persist::write_atomic`] (write-temp +
+//! fsync + atomic rename), and a file that fails validation on load
+//! is quarantined aside as `<path>.corrupt` rather than re-read —
+//! see [`Checkpoint::load_or_quarantine`]. The write path carries the
+//! `checkpoint.write` fault-injection site.
 
 use crate::explicit::{Dedup, EnumError, EnumOptions, EnumResult, ResumeSeed};
 use crate::fxhash::FxHasher;
 use crate::packed::PackedState;
 use ccv_model::{dsl, ProtocolSpec};
-use ccv_observe::Json;
+use ccv_observe::{persist, FaultHandle, Json};
 use std::hash::Hasher;
 use std::io::{self, Write as _};
 use std::path::Path;
@@ -161,9 +170,10 @@ impl Checkpoint {
         ])
     }
 
-    /// Serialises the checkpoint to a writer.
+    /// Serialises the checkpoint to a writer, integrity trailer
+    /// included.
     pub fn write_to(&self, out: &mut dyn io::Write) -> io::Result<()> {
-        let mut buf = io::BufWriter::new(out);
+        let mut buf: Vec<u8> = Vec::new();
         writeln!(buf, "{}", self.header().render_compact())?;
         for s in &self.frontier {
             writeln!(buf, "F {:x}", s.0)?;
@@ -181,12 +191,17 @@ impl Checkpoint {
             ]);
             writeln!(buf, "E {}", record.render_compact())?;
         }
-        buf.flush()
+        let trailer = crate::fxhash::integrity_trailer(&buf);
+        writeln!(buf, "{trailer}")?;
+        out.write_all(&buf)
     }
 
-    /// Parses a checkpoint from its textual form.
+    /// Parses a checkpoint from its textual form. The integrity
+    /// trailer is verified first, so a torn or bit-flipped file is
+    /// rejected before any of its content is believed.
     pub fn read_from(text: &str) -> Result<Checkpoint, String> {
-        let mut lines = text.lines();
+        let body = crate::fxhash::verify_trailer(text)?;
+        let mut lines = body.lines();
         let header_line = lines.next().ok_or("empty checkpoint file")?;
         let header =
             Json::parse(header_line).map_err(|e| format!("malformed checkpoint header: {e}"))?;
@@ -291,10 +306,19 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path`.
+    /// Writes the checkpoint to `path` atomically (write-temp +
+    /// fsync + rename): a crash mid-save leaves the previous
+    /// checkpoint intact, never a torn file under the live name.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let mut file = std::fs::File::create(path)?;
-        self.write_to(&mut file)
+        self.save_with(path, &FaultHandle::disabled())
+    }
+
+    /// [`Checkpoint::save`] with fault injection armed (site
+    /// `checkpoint.write`, kinds `io`, `torn` and `panic`).
+    pub fn save_with(&self, path: &Path, fault: &FaultHandle) -> io::Result<()> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)?;
+        persist::write_atomic(path, &buf, fault, "checkpoint.write")
     }
 
     /// Reads a checkpoint from `path`.
@@ -302,6 +326,28 @@ impl Checkpoint {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
         Checkpoint::read_from(&text)
+    }
+
+    /// Reads a checkpoint from `path`; a file that fails validation
+    /// (torn write, bit rot, wrong schema) is moved aside to
+    /// `<path>.corrupt` so it is preserved for inspection but never
+    /// silently re-read, and the error reports the quarantine.
+    pub fn load_or_quarantine(path: &Path) -> Result<Checkpoint, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+        match Checkpoint::read_from(&text) {
+            Ok(ckpt) => Ok(ckpt),
+            Err(e) => {
+                let note = match persist::quarantine(path) {
+                    Ok(q) => format!("; quarantined to {}", q.display()),
+                    Err(qe) => format!("; quarantine failed: {qe}"),
+                };
+                Err(format!(
+                    "checkpoint {} failed validation: {e}{note}",
+                    path.display()
+                ))
+            }
+        }
     }
 }
 
@@ -390,6 +436,49 @@ mod tests {
         // Garbage record tag.
         let garbled = format!("{}\nX deadbeef", text.lines().next().unwrap());
         assert!(Checkpoint::read_from(&garbled).is_err());
+    }
+
+    #[test]
+    fn bit_flips_fail_the_integrity_trailer() {
+        let (_, _, ckpt) = stopped_checkpoint();
+        let mut buf = Vec::new();
+        ckpt.write_to(&mut buf).unwrap();
+        // Flip one bit in a record byte: without the trailer this
+        // could still parse as a (different) valid state.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        assert!(Checkpoint::read_from(&text).is_err());
+    }
+
+    #[test]
+    fn torn_save_is_quarantined_on_load() {
+        let (_, _, ckpt) = stopped_checkpoint();
+        let path = std::env::temp_dir().join(format!("ccv-ckpt-torn-{}.ccvk", std::process::id()));
+        let fault = FaultHandle::from_spec("checkpoint.write:torn").unwrap();
+        ckpt.save_with(&path, &fault).unwrap();
+        let err = Checkpoint::load_or_quarantine(&path).unwrap_err();
+        assert!(err.contains("quarantined"), "{err}");
+        assert!(!path.exists());
+        let corrupt = path.with_extension("ccvk.corrupt");
+        assert!(corrupt.exists());
+        std::fs::remove_file(&corrupt).unwrap();
+    }
+
+    #[test]
+    fn injected_io_error_fails_save_cleanly() {
+        let (_, _, ckpt) = stopped_checkpoint();
+        let path = std::env::temp_dir().join(format!("ccv-ckpt-io-{}.ccvk", std::process::id()));
+        let fault = FaultHandle::from_spec("checkpoint.write:io").unwrap();
+        let err = ckpt.save_with(&path, &fault).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert!(!path.exists());
+        // The fault window is exhausted: the retry succeeds and the
+        // saved file round-trips.
+        ckpt.save_with(&path, &fault).unwrap();
+        let back = Checkpoint::load_or_quarantine(&path).unwrap();
+        assert_eq!(back.visited, ckpt.visited);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -23,8 +23,8 @@ use crate::spill::{SpillConfig, SpillVisited};
 use crate::step::{describe_violations, is_violating, step_into, successors_into, ConcreteStep};
 use ccv_model::{ProcEvent, ProtocolSpec};
 use ccv_observe::{
-    CancelToken, CommonOptions, Counter, Gauge, Governor, Phase, RuleStat, SpanKind, StopCause,
-    StopInfo, Track,
+    CancelToken, CommonOptions, Counter, FaultKind, Gauge, Governor, Phase, RuleStat, SpanKind,
+    StopCause, StopInfo, Track,
 };
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -220,6 +220,11 @@ pub struct EnumResult {
     /// Visited set + frontier for checkpointing, when the run stopped
     /// early and [`EnumOptions::capture_snapshot`] was set.
     pub snapshot: Option<EnumSnapshot>,
+    /// The spill table's first I/O error, when a spilling run
+    /// degraded to in-RAM operation. The run stays exact — no
+    /// reachable state is dropped and the violation set is unchanged
+    /// — but the memory bound is lost and states may be re-expanded.
+    pub spill_degraded: Option<String>,
 }
 
 impl EnumResult {
@@ -242,7 +247,10 @@ impl VisitedTable {
     fn new(opts: &EnumOptions) -> VisitedTable {
         match &opts.spill {
             None => VisitedTable::Ram(FxHashSet::default()),
-            Some(config) => VisitedTable::Spill(Box::new(SpillVisited::new(config))),
+            Some(config) => VisitedTable::Spill(Box::new(SpillVisited::with_fault(
+                config,
+                opts.common.fault.clone(),
+            ))),
         }
     }
 
@@ -411,6 +419,7 @@ pub fn enumerate_resumed(
 
     let mut expansions = 0usize;
     let mut succ_buf: Vec<ConcreteStep> = Vec::new();
+    let fault_on = opts.common.fault.is_enabled();
     sink.span_begin(SpanKind::WorkerBusy, 0);
     'outer: while let Some(current) = work.pop_front() {
         // Governed stop checks run at expansion granularity: a popped
@@ -428,6 +437,29 @@ pub fn enumerate_resumed(
         if tripped.is_some() {
             work.push_front(current);
             break 'outer;
+        }
+        // Fault site `enum.worker`: a `panic` firing stops the run
+        // with the same contained `WorkerPanic` outcome the parallel
+        // pool produces — truncated, resumable, never unwinding out
+        // of the engine.
+        if fault_on {
+            match opts.common.fault.fire("enum.worker") {
+                Some(FaultKind::Panic) => {
+                    work.push_front(current);
+                    gov.stop(StopCause::WorkerPanic);
+                    break 'outer;
+                }
+                Some(FaultKind::SlowRead) => {
+                    let millis = opts
+                        .common
+                        .fault
+                        .injector()
+                        .map(|i| i.slow_millis())
+                        .unwrap_or(5);
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                _ => {}
+            }
         }
         expansions += 1;
         succ_buf.clear();
@@ -581,6 +613,7 @@ pub fn enumerate_resumed(
         truncated,
         stopped,
         snapshot,
+        spill_degraded: visited.io_error().map(str::to_string),
     }
 }
 

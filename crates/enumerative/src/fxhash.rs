@@ -72,6 +72,47 @@ pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 /// `HashMap` keyed by the Fx hasher.
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// Digest guarding a persisted file body: the Fx hash of the bytes
+/// plus the length (so truncation to a zero-padded prefix cannot
+/// collide). Both the checkpoint and spill-segment formats append it
+/// as a final `C <016x>` trailer line.
+pub fn integrity_digest(body: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(body);
+    h.write_u64(body.len() as u64);
+    h.finish()
+}
+
+/// Renders the integrity trailer line (without the newline) for
+/// `body` — every byte of the file before the trailer itself.
+pub fn integrity_trailer(body: &[u8]) -> String {
+    format!("C {:016x}", integrity_digest(body))
+}
+
+/// Verifies a file's `C <hash>` integrity trailer and returns the
+/// guarded body (everything before the trailer line). Rejects files
+/// with no trailer, content after the trailer, a malformed digest, or
+/// a digest that does not match — a torn or bit-flipped file can
+/// never validate.
+pub fn verify_trailer(text: &str) -> Result<&str, String> {
+    let pos = match text.rfind("\nC ") {
+        Some(p) => p + 1,
+        None => return Err("missing integrity trailer".to_string()),
+    };
+    let body = &text[..pos];
+    let line = text[pos..].trim_end_matches('\n');
+    if line.contains('\n') {
+        return Err("content after the integrity trailer".to_string());
+    }
+    let hex = line.strip_prefix("C ").expect("located by prefix");
+    let stated = u64::from_str_radix(hex.trim(), 16)
+        .map_err(|e| format!("malformed integrity trailer: {e}"))?;
+    if integrity_digest(body.as_bytes()) != stated {
+        return Err("integrity trailer mismatch: file is torn or corrupt".to_string());
+    }
+    Ok(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +150,28 @@ mod tests {
     fn byte_stream_hashing_covers_partial_chunks() {
         // 9 bytes exercises the chunked `write` path.
         assert_ne!(hash_of(&[0u8; 9][..]), hash_of(&[1u8; 9][..]));
+    }
+
+    #[test]
+    fn trailer_round_trips_and_rejects_tampering() {
+        let body = "header\nV 1\nV 2\n";
+        let file = format!("{body}{}\n", integrity_trailer(body.as_bytes()));
+        assert_eq!(verify_trailer(&file).unwrap(), body);
+        // Flip one body byte.
+        let tampered = file.replacen("V 1", "V 3", 1);
+        assert!(verify_trailer(&tampered).unwrap_err().contains("mismatch"));
+        // Drop the trailer entirely.
+        assert!(verify_trailer(body).unwrap_err().contains("missing"));
+        // Content after the trailer.
+        let appended = format!("{file}V 9\n");
+        assert!(verify_trailer(&appended).is_err());
+        // Truncate into the trailer digits.
+        let truncated = &file[..file.len() - 4];
+        assert!(verify_trailer(truncated).is_err());
+    }
+
+    #[test]
+    fn digest_distinguishes_zero_padded_truncation() {
+        assert_ne!(integrity_digest(b"ab"), integrity_digest(b"ab\0"));
     }
 }

@@ -47,7 +47,8 @@ use crate::step::{describe_violations, is_violating, step_into, successors_into,
 use crate::visited::AtomicVisited;
 use ccv_model::{ProcEvent, ProtocolSpec};
 use ccv_observe::{
-    Counter, Gauge, Governor, Phase, RuleStat, SinkHandle, SpanKind, StopCause, Track,
+    Counter, FaultHandle, FaultKind, Gauge, Governor, Phase, RuleStat, SinkHandle, SpanKind,
+    StopCause, Track,
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -76,6 +77,9 @@ struct Shared<'a> {
     /// Test-only fault injection: worker 0 panics once its visit count
     /// reaches this threshold (see [`EnumOptions::inject_panic`]).
     panic_after: Option<usize>,
+    /// Plan-driven fault injection (site `enum.worker`); the injected
+    /// panic unwinds into the pool's regular containment.
+    fault: FaultHandle,
     /// Claimed-but-unexpanded states; 0 ⇒ the search is complete.
     pending: AtomicUsize,
     stop: AtomicBool,
@@ -340,6 +344,21 @@ fn worker_loop(w: usize, sh: &Shared<'_>, local: &mut Vec<PackedState>, stats: &
                 panic!("injected worker fault (test hook, visits >= {k})");
             }
         }
+        if sh.fault.is_enabled() {
+            match sh.fault.fire("enum.worker") {
+                Some(FaultKind::Panic) => {
+                    // The claimed state reaches the frontier before
+                    // the unwind, so the panic costs no coverage.
+                    local.push(state);
+                    panic!("injected fault: panic at enum.worker");
+                }
+                Some(FaultKind::SlowRead) => {
+                    let millis = sh.fault.injector().map(|i| i.slow_millis()).unwrap_or(5);
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                _ => {}
+            }
+        }
         let tripped = if expansions % Governor::STRIDE == 0 {
             sh.gov.poll(sh.visited.approx_bytes())
         } else {
@@ -422,6 +441,7 @@ pub fn enumerate_parallel_resumed(
         visited: AtomicVisited::new(),
         gov: opts.common.governor(),
         panic_after: opts.panic_after,
+        fault: opts.common.fault.clone(),
         pending: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
         queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -606,6 +626,9 @@ pub fn enumerate_parallel_resumed(
         truncated,
         stopped,
         snapshot,
+        // The work-stealing engine never spills (the unified API
+        // routes spill requests to the sequential engine).
+        spill_degraded: None,
     }
 }
 

@@ -21,7 +21,12 @@
 //!
 //! followed by `count` records `V <032x>\n` — one packed state each,
 //! sorted ascending, **fixed width** (35 bytes) so record `i` lives at
-//! a computable offset and a membership probe reads a single block.
+//! a computable offset and a membership probe reads a single block —
+//! and a final integrity trailer `C <hash>\n`: the [`FxHasher`] digest
+//! of every preceding byte, so a torn or bit-flipped segment can never
+//! pass [`read_segment`] validation. Segments are published with
+//! [`persist::write_atomic`] (write-temp + fsync + rename), so a crash
+//! mid-flush leaves no half-written segment under a live name.
 //!
 //! # Probing
 //!
@@ -41,10 +46,15 @@
 //! segment) and the first error is recorded for the caller to surface.
 //! A degraded run may lose the memory bound or, after a failed probe,
 //! re-expand a state, but it never silently drops reachable states.
+//!
+//! Both halves are fault-injectable: the `spill.flush` site covers
+//! segment publication (`io`, `torn`, `panic` kinds) and the
+//! `spill.probe` site covers membership reads (`io`, `slow`) — see
+//! [`ccv_observe::fault`].
 
 use crate::fxhash::{FxHashSet, FxHasher};
 use crate::packed::PackedState;
-use ccv_observe::Json;
+use ccv_observe::{persist, FaultHandle, Json};
 use std::hash::{Hash, Hasher};
 use std::io::{self, Read, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
@@ -140,6 +150,7 @@ impl Segment {
         let mut text = String::new();
         self.file.seek(SeekFrom::Start(self.data_start))?;
         self.file.read_to_string(&mut text)?;
+        let mut read = 0usize;
         for (i, line) in text.lines().take(self.count).enumerate() {
             let hex = line
                 .strip_prefix("V ")
@@ -147,6 +158,15 @@ impl Segment {
             let state = u128::from_str_radix(hex, 16)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             out.push(PackedState(state));
+            read += 1;
+        }
+        if read != self.count {
+            // A torn segment must degrade the snapshot, not silently
+            // shrink it.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("segment truncated: {read} of {} records", self.count),
+            ));
         }
         Ok(())
     }
@@ -173,6 +193,8 @@ pub struct SpillVisited {
     error: Option<String>,
     /// Reused block buffer for probes.
     block: Vec<u8>,
+    /// Fault injection (sites `spill.flush`, `spill.probe`).
+    fault: FaultHandle,
 }
 
 /// Resident bytes of one shard's hash set (same accounting as the
@@ -193,6 +215,12 @@ impl SpillVisited {
     /// than failing the run; callers wanting early validation create
     /// the directory themselves first.
     pub fn new(config: &SpillConfig) -> SpillVisited {
+        SpillVisited::with_fault(config, FaultHandle::disabled())
+    }
+
+    /// [`SpillVisited::new`] with fault injection armed (sites
+    /// `spill.flush` and `spill.probe`).
+    pub fn with_fault(config: &SpillConfig, fault: FaultHandle) -> SpillVisited {
         let mut table = SpillVisited {
             dir: config.dir.clone(),
             shard_budget: (config.threshold / SHARDS as u64).max(1),
@@ -202,6 +230,7 @@ impl SpillVisited {
             spilled_bytes: 0,
             error: None,
             block: Vec::new(),
+            fault,
         };
         if let Err(e) = std::fs::create_dir_all(&config.dir) {
             table.degrade(format!("creating {}: {e}", config.dir.display()));
@@ -262,6 +291,13 @@ impl SpillVisited {
         let si = shard_of(key);
         if self.shards[si].ram.contains(&key) {
             return true;
+        }
+        if !self.shards[si].segments.is_empty() {
+            if let Err(e) = self.fault.io("spill.probe") {
+                // Same conservative discipline as a real probe error.
+                self.degrade(format!("probing spill segment: {e}"));
+                return false;
+            }
         }
         let mut found = false;
         let mut failure = None;
@@ -326,20 +362,22 @@ impl SpillVisited {
             ),
         ]);
         let header_line = header.render_compact();
-        let mut file = std::fs::File::create(&path)?;
-        {
-            let mut w = io::BufWriter::new(&mut file);
-            writeln!(w, "{header_line}")?;
-            for k in &keys {
-                writeln!(w, "V {k:032x}")?;
-            }
-            w.flush()?;
+        let mut content: Vec<u8> =
+            Vec::with_capacity(header_line.len() + 1 + keys.len() * REC_BYTES + 24);
+        writeln!(content, "{header_line}")?;
+        for k in &keys {
+            writeln!(content, "V {k:032x}")?;
         }
+        let trailer = crate::fxhash::integrity_trailer(&content);
+        writeln!(content, "{trailer}")?;
+        // Publish atomically: a crash (or injected fault) mid-flush
+        // can fail or tear the file, but never leaves a half-written
+        // segment without the reader being able to tell.
+        persist::write_atomic(&path, &content, &self.fault, "spill.flush")?;
         let fences: Vec<u128> = keys.iter().step_by(FENCE_EVERY).copied().collect();
         let data_start = (header_line.len() + 1) as u64;
-        let bytes = data_start + (keys.len() * REC_BYTES) as u64;
-        // Reopen read-only: probes must not hold a writable handle.
-        drop(file);
+        let bytes = content.len() as u64;
+        // Open read-only: probes must not hold a writable handle.
         let file = std::fs::File::open(&path)?;
         let shard = &mut self.shards[si];
         shard.segments.push(Segment {
@@ -387,7 +425,8 @@ impl SpillVisited {
 pub fn read_segment(path: &Path) -> Result<Vec<PackedState>, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    let mut lines = text.lines();
+    let body = crate::fxhash::verify_trailer(&text)?;
+    let mut lines = body.lines();
     let header_line = lines.next().ok_or("empty segment file")?;
     let header = Json::parse(header_line).map_err(|e| format!("malformed segment header: {e}"))?;
     let schema = header
@@ -529,17 +568,98 @@ mod tests {
         let dir = tmp_dir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.ccvs");
+        // A file body with a valid trailer still fails its own
+        // validation rules; one without a trailer fails up front.
+        let sealed = |body: &str| {
+            format!(
+                "{body}{}\n",
+                crate::fxhash::integrity_trailer(body.as_bytes())
+            )
+        };
         std::fs::write(&path, "not json\nV 00\n").unwrap();
         assert!(read_segment(&path).is_err());
-        std::fs::write(&path, "{\"schema\":\"other\"}\n").unwrap();
+        std::fs::write(&path, sealed("not json\nV 00\n")).unwrap();
+        assert!(read_segment(&path).is_err());
+        std::fs::write(&path, sealed("{\"schema\":\"other\"}\n")).unwrap();
         assert!(read_segment(&path).is_err());
         std::fs::write(
             &path,
-            format!("{{\"schema\":\"{SPILL_SCHEMA}\",\"count\":5}}\nV 1\n"),
+            sealed(&format!(
+                "{{\"schema\":\"{SPILL_SCHEMA}\",\"count\":5}}\nV 1\n"
+            )),
         )
         .unwrap();
         assert!(read_segment(&path).unwrap_err().contains("promises"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_segments_fail_the_integrity_trailer() {
+        let dir = tmp_dir("torn");
+        let mut table = SpillVisited::new(&SpillConfig::new(&dir, Some(256)));
+        for &s in &states(500) {
+            table.insert(s);
+        }
+        assert!(table.segments_written() > 0);
+        let path = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let full = std::fs::read(&path).unwrap();
+        // Tear the file at an arbitrary point: validation must fail.
+        std::fs::write(&path, &full[..full.len() * 2 / 3]).unwrap();
+        assert!(read_segment(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_flush_fault_degrades_not_fails() {
+        let dir = tmp_dir("fault-flush");
+        let fault = ccv_observe::FaultHandle::from_spec("spill.flush:io").unwrap();
+        let mut table = SpillVisited::with_fault(&SpillConfig::new(&dir, Some(512)), fault);
+        let all = states(1000);
+        for &s in &all {
+            table.insert(s);
+        }
+        // The first flush failed and the table degraded, but it still
+        // behaves as an exact set.
+        assert!(table.io_error().unwrap().contains("injected fault"));
+        for &s in &all {
+            assert!(table.contains(s));
+        }
+        assert_eq!(table.len(), {
+            let mut v = all.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_probe_fault_readmits_but_stays_safe() {
+        let dir = tmp_dir("fault-probe");
+        let fault = ccv_observe::FaultHandle::from_spec("spill.probe:io").unwrap();
+        let mut table = SpillVisited::with_fault(&SpillConfig::new(&dir, Some(256)), fault);
+        let all = states(600);
+        for &s in &all {
+            table.insert(s);
+        }
+        assert!(table.segments_written() > 0);
+        // One probe failed somewhere along the way: the table degraded
+        // and conservatively re-admitted, never dropped, a state.
+        assert!(table.io_error().unwrap().contains("injected fault"));
+        assert!(
+            table.len() >= {
+                let mut v = all.clone();
+                v.sort_unstable();
+                v.dedup();
+                v.len()
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! * [`FlightRecorder`] — a lock-free ring buffer retaining the last
 //!   N events; paired with a [`PostmortemGuard`] it dumps an NDJSON
 //!   postmortem when a violation is recorded or a panic unwinds.
+//! * [`FaultHandle`] / [`FaultPlan`] — deterministic fault injection:
+//!   named sites probe the handle and a parsed plan decides which hit
+//!   fails, tears, panics, disconnects or stalls ([`fault`]).
+//! * [`write_atomic`] / [`quarantine`] — crash-safe file publication
+//!   (write-temp + fsync + atomic rename) and the reader-side
+//!   quarantine discipline for files that fail validation
+//!   ([`persist`]).
 //!
 //! The timeline vocabulary is [`SpanKind`] (phase, worker-busy,
 //! steal, drain, crosscheck-leg spans carrying a thread id) and
@@ -54,15 +61,18 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod flight;
 pub mod govern;
 pub mod json;
 pub mod metrics;
 pub mod ndjson;
 pub mod options;
+pub mod persist;
 pub mod trace;
 
 pub use event::{Counter, EventSink, Gauge, Phase, RuleStat, SinkHandle, SpanKind, Tee, Track};
+pub use fault::{FaultHandle, FaultKind, FaultPlan, FaultRule};
 pub use flight::{FlightRecorder, PostmortemGuard};
 pub use govern::{
     request_global_cancel, reset_global_cancel, CancelToken, Governor, StopCause, StopInfo,
@@ -71,4 +81,5 @@ pub use json::Json;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use ndjson::NdjsonSink;
 pub use options::CommonOptions;
+pub use persist::{quarantine, write_atomic};
 pub use trace::TraceSink;

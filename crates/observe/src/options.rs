@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::event::{EventSink, SinkHandle};
+use crate::fault::FaultHandle;
 use crate::govern::{CancelToken, Governor};
 
 /// Settings common to the symbolic engine, the explicit enumerator
@@ -42,6 +43,9 @@ pub struct CommonOptions {
     /// token; the CLI installs [`CancelToken::global`] so Ctrl-C
     /// stops engines mid-run with a partial verdict.
     pub cancel: CancelToken,
+    /// Deterministic fault injection; disabled by default (one
+    /// branch per site probe, nothing ever fires).
+    pub fault: FaultHandle,
 }
 
 impl Default for CommonOptions {
@@ -54,6 +58,7 @@ impl Default for CommonOptions {
             deadline: None,
             max_bytes: None,
             cancel: CancelToken::new(),
+            fault: FaultHandle::disabled(),
         }
     }
 }
@@ -106,6 +111,12 @@ impl CommonOptions {
         self
     }
 
+    /// Arms deterministic fault injection for this run.
+    pub fn fault(mut self, fault: FaultHandle) -> CommonOptions {
+        self.fault = fault;
+        self
+    }
+
     /// Builds a [`Governor`] over this run's deadline, memory cap and
     /// cancellation token, started now. The state-count budget stays
     /// with the engine (it owns the visited count).
@@ -129,6 +140,7 @@ mod tests {
         assert!(opts.deadline.is_none());
         assert!(opts.max_bytes.is_none());
         assert!(!opts.cancel.is_stopped());
+        assert!(!opts.fault.is_enabled());
     }
 
     #[test]

@@ -13,20 +13,90 @@
 //! capacity; hit/miss/insertion/eviction counters feed the server's
 //! `/v1/metrics` endpoint.
 //!
+//! With [`VerdictCache::attach_dir`] the cache also persists: every
+//! insertion writes one `ccv-cache-entry-v1` file (`<hash>.ccvc`,
+//! written atomically and fsynced), and construction reloads the
+//! directory, quarantining any entry whose integrity digest does not
+//! match as `<file>.corrupt` instead of trusting it. A server restart
+//! therefore replays warm verdicts byte-identically.
+//!
 //! [`Request::semantic_key`]: ccv_core::api::Request::semantic_key
 
 use std::collections::VecDeque;
 use std::hash::Hasher;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use ccv_enum::{FxHashMap, FxHasher};
+use ccv_observe::{persist, FaultHandle, Json};
+
+/// Schema tag of one persisted cache entry file.
+pub const CACHE_ENTRY_SCHEMA: &str = "ccv-cache-entry-v1";
+
+/// Extension of persisted cache entry files.
+pub const CACHE_ENTRY_EXT: &str = "ccvc";
 
 /// Hashes a semantic-key string to the cache's 64-bit key space.
 pub fn key_hash(seed: &str) -> u64 {
     let mut h = FxHasher::default();
     h.write(seed.as_bytes());
     h.finish()
+}
+
+/// The integrity digest stored inside one entry file: covers the key,
+/// a separator and the body, so any single-bit corruption of either
+/// is detected at reload.
+fn entry_digest(key: &str, body: &str) -> u64 {
+    let mut buf = Vec::with_capacity(key.len() + 1 + body.len());
+    buf.extend_from_slice(key.as_bytes());
+    buf.push(b'\n');
+    buf.extend_from_slice(body.as_bytes());
+    ccv_enum::fxhash::integrity_digest(&buf)
+}
+
+/// Renders one persisted cache entry: a single JSON line carrying the
+/// schema tag, the integrity digest, the full semantic key and the
+/// response body verbatim.
+fn encode_entry(key: &str, body: &str) -> String {
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str(CACHE_ENTRY_SCHEMA)),
+        (
+            "digest".into(),
+            Json::str(format!("{:016x}", entry_digest(key, body))),
+        ),
+        ("key".into(), Json::str(key)),
+        ("body".into(), Json::str(body)),
+    ]);
+    let mut text = doc.render_compact();
+    text.push('\n');
+    text
+}
+
+/// Parses and verifies one persisted cache entry. Any malformation —
+/// bad JSON, wrong schema, missing field, digest mismatch — is an
+/// error; the caller quarantines the file.
+fn decode_entry(text: &str) -> Result<(String, String), String> {
+    let doc = Json::parse(text).map_err(|e| format!("entry is not JSON: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(CACHE_ENTRY_SCHEMA) => {}
+        other => return Err(format!("bad entry schema {other:?}")),
+    }
+    let digest = doc
+        .get("digest")
+        .and_then(Json::as_str)
+        .ok_or("missing digest")?;
+    let key = doc.get("key").and_then(Json::as_str).ok_or("missing key")?;
+    let body = doc
+        .get("body")
+        .and_then(Json::as_str)
+        .ok_or("missing body")?;
+    let expect = format!("{:016x}", entry_digest(key, body));
+    if digest != expect {
+        return Err(format!("digest mismatch: {digest} != {expect}"));
+    }
+    Ok((key.to_string(), body.to_string()))
 }
 
 #[derive(Default)]
@@ -38,15 +108,27 @@ struct Shard {
     order: VecDeque<u64>,
 }
 
+/// What reloading a persisted cache directory found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirReport {
+    /// Entries restored into the in-memory cache.
+    pub loaded: usize,
+    /// Torn or tampered entry files renamed to `<file>.corrupt`.
+    pub quarantined: usize,
+}
+
 /// A sharded, bounded map from request fingerprints to response
 /// bodies.
 pub struct VerdictCache {
     shards: Vec<Mutex<Shard>>,
     per_shard: usize,
+    dir: Option<PathBuf>,
+    fault: FaultHandle,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    persist_errors: AtomicU64,
 }
 
 impl VerdictCache {
@@ -58,11 +140,63 @@ impl VerdictCache {
         VerdictCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard,
+            dir: None,
+            fault: FaultHandle::disabled(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            persist_errors: AtomicU64::new(0),
         }
+    }
+
+    /// Backs the cache with `dir`: every future insertion is written
+    /// as one atomic entry file, and any entries already in `dir` are
+    /// reloaded now. Entries whose integrity digest does not verify
+    /// are quarantined as `<file>.corrupt`, never trusted. `fault`
+    /// names the handle whose `cache.write` site exercises the write
+    /// path under injection.
+    pub fn attach_dir(&mut self, dir: &Path, fault: FaultHandle) -> io::Result<DirReport> {
+        std::fs::create_dir_all(dir)?;
+        let mut report = DirReport::default();
+        let mut names: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == CACHE_ENTRY_EXT))
+            .collect();
+        names.sort(); // deterministic load order
+        for path in names {
+            match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| decode_entry(&text))
+            {
+                Ok((key, body)) => {
+                    self.store(&key, body);
+                    report.loaded += 1;
+                }
+                Err(_) => {
+                    // Torn, truncated or tampered: move it aside so it
+                    // is never trusted and never re-read.
+                    let _ = persist::quarantine(&path);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        self.dir = Some(dir.to_path_buf());
+        self.fault = fault;
+        Ok(report)
+    }
+
+    /// Entry-file writes that failed (disk trouble or injected
+    /// faults); the entry stays served from memory.
+    pub fn persist_errors(&self) -> u64 {
+        self.persist_errors.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, hash: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{hash:016x}.{CACHE_ENTRY_EXT}")))
     }
 
     fn shard(&self, hash: u64) -> &Mutex<Shard> {
@@ -86,9 +220,29 @@ impl VerdictCache {
     }
 
     /// Stores `body` under `seed`, evicting the oldest entry of the
-    /// shard when it is full.
+    /// shard when it is full. With a directory attached the entry is
+    /// also written as one atomic, fsynced file; a failed write (disk
+    /// trouble, injected fault) degrades to memory-only — it never
+    /// fails the request that produced the body.
     pub fn insert(&self, seed: &str, body: String) {
+        let (hash, evicted) = self.store(seed, body.clone());
+        if let Some(path) = self.entry_path(hash) {
+            let text = encode_entry(seed, &body);
+            if persist::write_atomic(&path, text.as_bytes(), &self.fault, "cache.write").is_err() {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(old) = evicted.and_then(|h| self.entry_path(h)) {
+            let _ = std::fs::remove_file(old);
+        }
+    }
+
+    /// The in-memory half of [`VerdictCache::insert`]: returns the
+    /// entry's hash and the hash of any entry FIFO-evicted to make
+    /// room.
+    fn store(&self, seed: &str, body: String) -> (u64, Option<u64>) {
         let hash = key_hash(seed);
+        let mut evicted = None;
         let mut shard = self.shard(hash).lock().unwrap_or_else(|p| p.into_inner());
         if shard
             .entries
@@ -100,10 +254,12 @@ impl VerdictCache {
                 if let Some(oldest) = shard.order.pop_front() {
                     shard.entries.remove(&oldest);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    evicted = Some(oldest);
                 }
             }
         }
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        (hash, evicted)
     }
 
     /// Entries currently stored across all shards.
@@ -166,6 +322,99 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.lookup("a"), None);
         assert_eq!(cache.lookup("c").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn attach_dir_persists_and_reloads_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("ccv-cache-reload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut cache = VerdictCache::new(2, 8);
+            let r = cache.attach_dir(&dir, FaultHandle::disabled()).unwrap();
+            assert_eq!(r, DirReport::default());
+            cache.insert("verify|illinois", "{\"verdict\":\"VERIFIED\"}".into());
+            cache.insert("verify|dragon", "{\"verdict\":\"VERIFIED\",\"n\":2}".into());
+        }
+        let mut fresh = VerdictCache::new(2, 8);
+        let r = fresh.attach_dir(&dir, FaultHandle::disabled()).unwrap();
+        assert_eq!((r.loaded, r.quarantined), (2, 0));
+        assert_eq!(
+            fresh.lookup("verify|illinois").as_deref(),
+            Some("{\"verdict\":\"VERIFIED\"}")
+        );
+        assert_eq!(
+            fresh.lookup("verify|dragon").as_deref(),
+            Some("{\"verdict\":\"VERIFIED\",\"n\":2}")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_entry_files_are_quarantined_not_trusted() {
+        let dir = std::env::temp_dir().join(format!("ccv-cache-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut cache = VerdictCache::new(1, 8);
+            cache.attach_dir(&dir, FaultHandle::disabled()).unwrap();
+            cache.insert("k", "{\"verdict\":\"VERIFIED\"}".into());
+        }
+        // Tear the entry file mid-body, then flip one body byte of a
+        // second, full-length copy: both must be rejected.
+        let path = dir.join(format!("{:016x}.{CACHE_ENTRY_EXT}", key_hash("k")));
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let mut torn = VerdictCache::new(1, 8);
+        let r = torn.attach_dir(&dir, FaultHandle::disabled()).unwrap();
+        assert_eq!((r.loaded, r.quarantined), (0, 1));
+        assert_eq!(torn.lookup("k"), None);
+        assert!(path.with_extension("ccvc.corrupt").exists());
+
+        let mut flipped = full.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        let mut tampered = VerdictCache::new(1, 8);
+        let r = tampered.attach_dir(&dir, FaultHandle::disabled()).unwrap();
+        assert_eq!(r.loaded, 0, "tampered entry must not load");
+        assert_eq!(tampered.lookup("k"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_fault_degrades_to_memory_only() {
+        let dir = std::env::temp_dir().join(format!("ccv-cache-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fault = FaultHandle::from_spec("cache.write:io").unwrap();
+        let mut cache = VerdictCache::new(1, 8);
+        cache.attach_dir(&dir, fault).unwrap();
+        cache.insert("k", "body".into());
+        assert_eq!(cache.persist_errors(), 1);
+        // The entry is still served from memory...
+        assert_eq!(cache.lookup("k").as_deref(), Some("body"));
+        // ...but was never written, so a reload starts empty.
+        let mut fresh = VerdictCache::new(1, 8);
+        let r = fresh.attach_dir(&dir, FaultHandle::disabled()).unwrap();
+        assert_eq!(r.loaded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_removes_the_entry_file() {
+        let dir = std::env::temp_dir().join(format!("ccv-cache-evict-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = VerdictCache::new(1, 2);
+        cache.attach_dir(&dir, FaultHandle::disabled()).unwrap();
+        cache.insert("a", "1".into());
+        cache.insert("b", "2".into());
+        cache.insert("c", "3".into());
+        assert_eq!(cache.evictions(), 1);
+        let count = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == CACHE_ENTRY_EXT))
+            .count();
+        assert_eq!(count, 2, "evicted entry file must be removed");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

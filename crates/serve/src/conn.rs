@@ -15,9 +15,27 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use ccv_core::api::{ApiError, ErrorCode, Request, RunContext};
-use ccv_observe::{CancelToken, NdjsonSink, SinkHandle};
+use ccv_observe::{CancelToken, FaultKind, NdjsonSink, SinkHandle};
 
 use crate::Service;
+
+/// Applies the `serve.response` fault site just before response bytes
+/// go out. `true` means drop the connection without responding — an
+/// injected mid-response disconnect, which clients must survive by
+/// retrying. A slow fault delays the response instead.
+fn response_fault(service: &Service) -> bool {
+    let fault = &service.config().fault;
+    match fault.fire("serve.response") {
+        Some(FaultKind::Disconnect | FaultKind::IoError) => true,
+        Some(FaultKind::SlowRead) => {
+            if let Some(inj) = fault.injector() {
+                std::thread::sleep(Duration::from_millis(inj.slow_millis()));
+            }
+            false
+        }
+        _ => false,
+    }
+}
 
 /// The serialized write side of one connection. Progress lines, ping
 /// heartbeats and the final response all pass through one mutex so
@@ -73,6 +91,16 @@ impl WireWriter {
         let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
         self.done.store(true, Ordering::Release);
         let _ = out.write_all(bytes).and_then(|_| out.flush());
+    }
+
+    /// Abandons the connection without a response (injected
+    /// `serve.response` fault): marks it done so the watchdog stops
+    /// heartbeating and shuts the socket, so the client sees EOF
+    /// mid-stream instead of an answer.
+    fn abort(&self) {
+        let out = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        self.done.store(true, Ordering::Release);
+        let _ = out.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -218,6 +246,10 @@ fn handle_ndjson(service: &Arc<Service>, stream: TcpStream) {
         "{{\"ev\":\"response\",\"cached\":{},\"body\":{}}}\n",
         outcome.cached, outcome.body
     );
+    if response_fault(service) {
+        wire.abort(); // dropped mid-response: the client sees EOF, not a reply
+        return;
+    }
     wire.finish(envelope.as_bytes());
 }
 
@@ -345,11 +377,22 @@ fn handle_http(service: &Arc<Service>, mut stream: TcpStream) {
                 let ctx = RunContext::new(cancel, SinkHandle::disabled());
                 let out = service.process_text(&text, &ctx);
                 let cache_state = if out.cached { "hit" } else { "miss" };
-                let bytes = http_response(
-                    http_status(out.code),
-                    &[("x-ccv-cache", cache_state)],
-                    &out.body,
-                );
+                // HTTP carries the busy hint as a standard
+                // `retry-after` header (whole seconds, rounded up).
+                let retry_secs = out
+                    .retry_after_ms
+                    .map(|ms| ms.div_ceil(1000).max(1).to_string());
+                let mut headers: Vec<(&str, &str)> = vec![("x-ccv-cache", cache_state)];
+                if let Some(secs) = retry_secs.as_deref() {
+                    headers.push(("retry-after", secs));
+                }
+                let bytes = http_response(http_status(out.code), &headers, &out.body);
+                if response_fault(service) {
+                    if let Some(wire) = wire {
+                        wire.abort();
+                    }
+                    return;
+                }
                 if let Some(wire) = wire {
                     wire.finish(&bytes);
                     return;

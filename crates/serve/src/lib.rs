@@ -73,6 +73,7 @@ mod conn;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -81,7 +82,7 @@ use std::time::Duration;
 use ccv_core::api::{
     Action, ApiError, ErrorCode, Request, RunContext, SessionRunner, RESPONSE_SCHEMA,
 };
-use ccv_observe::{CancelToken, Json};
+use ccv_observe::{CancelToken, FaultHandle, FaultKind, Json};
 
 use admission::Admission;
 use cache::VerdictCache;
@@ -129,6 +130,17 @@ pub struct ServerConfig {
     /// Allow requests that touch server-side files
     /// (`checkpoint_out` / `resume`). Off by default.
     pub allow_files: bool,
+    /// Directory backing the verdict cache across restarts. `None`
+    /// (the default) keeps the cache memory-only. Entries in the
+    /// directory are reloaded at startup; torn ones are quarantined.
+    pub cache_dir: Option<PathBuf>,
+    /// The `retry-after` hint attached to BUSY rejections: how long a
+    /// well-behaved client should back off before resubmitting.
+    pub retry_after: Duration,
+    /// Server-side fault injection (tests and drills): drives the
+    /// `serve.accept`, `serve.response` and `cache.write` sites.
+    /// Disabled by default — the handle is a no-op.
+    pub fault: FaultHandle,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +161,9 @@ impl Default for ServerConfig {
             max_request_bytes: 1 << 20,
             ping_interval: Duration::from_millis(200),
             allow_files: false,
+            cache_dir: None,
+            retry_after: Duration::from_millis(500),
+            fault: FaultHandle::disabled(),
         }
     }
 }
@@ -226,6 +241,10 @@ pub struct Outcome {
     pub code: Option<ErrorCode>,
     /// The run was cut short because the client went away.
     pub disconnected: bool,
+    /// For BUSY rejections: how many milliseconds the client should
+    /// wait before retrying (the HTTP front end renders this as a
+    /// `retry-after` header).
+    pub retry_after_ms: Option<u64>,
 }
 
 /// The protocol-independent server core: parses and validates
@@ -237,6 +256,8 @@ pub struct Outcome {
 pub struct Service {
     config: ServerConfig,
     cache: VerdictCache,
+    cache_recovery: Option<cache::DirReport>,
+    cache_degraded: Option<String>,
     admission: Admission,
     runners: Mutex<Vec<SessionRunner>>,
     requests: AtomicU64,
@@ -247,11 +268,30 @@ pub struct Service {
 
 impl Service {
     /// A service with the given tunables. Installs the explicit-state
-    /// backend so enumerate/crosscheck requests are servable.
+    /// backend so enumerate/crosscheck requests are servable. When
+    /// `cache_dir` is set, persisted verdicts are reloaded here; a
+    /// directory that cannot be used degrades the cache to memory-only
+    /// (see [`Service::cache_degraded`]) instead of failing startup.
     pub fn new(config: ServerConfig) -> Arc<Service> {
         ccv_enum::install_api_backend();
+        let mut cache = VerdictCache::new(config.cache_shards, config.cache_capacity);
+        let mut cache_recovery = None;
+        let mut cache_degraded = None;
+        if let Some(dir) = &config.cache_dir {
+            match cache.attach_dir(dir, config.fault.clone()) {
+                Ok(report) => cache_recovery = Some(report),
+                Err(e) => {
+                    cache_degraded = Some(format!(
+                        "cache directory {} unusable ({e}); verdict cache is memory-only",
+                        dir.display()
+                    ));
+                }
+            }
+        }
         Arc::new(Service {
-            cache: VerdictCache::new(config.cache_shards, config.cache_capacity),
+            cache,
+            cache_recovery,
+            cache_degraded,
             admission: Admission::new(config.workers, config.queue_depth),
             runners: Mutex::new(Vec::new()),
             requests: AtomicU64::new(0),
@@ -265,6 +305,18 @@ impl Service {
     /// The tunables this service runs with.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// What reloading the persisted verdict cache found, when a cache
+    /// directory is configured and usable.
+    pub fn cache_recovery(&self) -> Option<cache::DirReport> {
+        self.cache_recovery
+    }
+
+    /// Why the verdict cache fell back to memory-only operation, if
+    /// it did.
+    pub fn cache_degraded(&self) -> Option<&str> {
+        self.cache_degraded.as_deref()
     }
 
     /// Handles one request document: parse, validate, and run.
@@ -292,8 +344,9 @@ impl Service {
         let seed = effective.semantic_key(&spec);
         // Fault-injection runs are for testing the failure paths;
         // replaying them from cache would defeat the point.
-        let cacheable =
-            effective.options.inject_panic.is_none() && !effective.options.touches_files();
+        let cacheable = effective.options.inject_panic.is_none()
+            && effective.options.fault_plan.is_none()
+            && !effective.options.touches_files();
         if cacheable {
             if let Some(body) = self.cache.lookup(&seed) {
                 self.ok.fetch_add(1, Ordering::Relaxed);
@@ -302,6 +355,7 @@ impl Service {
                     cached: true,
                     code: None,
                     disconnected: false,
+                    retry_after_ms: None,
                 };
             }
         }
@@ -311,7 +365,8 @@ impl Service {
                 ApiError::busy(format!(
                     "server at capacity ({} workers busy, {} queued); retry later",
                     self.config.workers, self.config.queue_depth
-                )),
+                ))
+                .with_retry_after(self.config.retry_after.as_millis() as u64),
             );
         };
         let mut runner = self
@@ -348,6 +403,7 @@ impl Service {
             cached: false,
             code,
             disconnected,
+            retry_after_ms: None,
         }
     }
 
@@ -375,12 +431,14 @@ impl Service {
         if let Some(action) = action {
             fields.push(("action".to_string(), Json::str(action.name())));
         }
+        let retry_after_ms = err.retry_after_ms;
         fields.push(("error".to_string(), err.to_json()));
         Outcome {
             body: Json::Obj(fields).render_compact(),
             cached: false,
             code: Some(err.code),
             disconnected: false,
+            retry_after_ms,
         }
     }
 
@@ -433,6 +491,10 @@ impl Service {
                     ("misses".into(), Json::int(self.cache.misses())),
                     ("insertions".into(), Json::int(self.cache.insertions())),
                     ("evictions".into(), Json::int(self.cache.evictions())),
+                    (
+                        "persist_errors".into(),
+                        Json::int(self.cache.persist_errors()),
+                    ),
                 ]),
             ),
         ])
@@ -484,6 +546,15 @@ impl Server {
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    // Injected accept faults model a connection that
+                    // dies between accept and first byte: drop it on
+                    // the floor and keep serving.
+                    if matches!(
+                        self.service.config.fault.fire("serve.accept"),
+                        Some(FaultKind::Disconnect | FaultKind::IoError)
+                    ) {
+                        continue;
+                    }
                     let service = Arc::clone(&self.service);
                     std::thread::spawn(move || conn::handle_connection(service, stream));
                 }
@@ -660,6 +731,77 @@ mod tests {
         // Inconclusive results must not poison the cache.
         let again = s.process(&req, &RunContext::default());
         assert!(!again.cached);
+    }
+
+    #[test]
+    fn busy_rejection_carries_a_retry_after_hint() {
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_depth: 0,
+            ..ServerConfig::loopback()
+        };
+        let s = Service::new(cfg);
+        let _held = s.admission().acquire().expect("empty pool admits");
+        let req = Request::verify(ProtocolSource::Name("illinois".into()));
+        let out = s.process(&req, &RunContext::default());
+        assert_eq!(out.code, Some(ErrorCode::Busy));
+        assert_eq!(out.retry_after_ms, Some(500));
+        assert!(out.body.contains("\"retry_after_ms\":500"), "{}", out.body);
+    }
+
+    #[test]
+    fn fault_plan_requests_bypass_the_cache() {
+        let s = service();
+        let mut req = Request::enumerate(ProtocolSource::Name("illinois".into()), 3);
+        req.options.fault_plan = Some("enum.worker:slow@1".into());
+        let first = s.process(&req, &RunContext::default());
+        assert_eq!(first.code, None);
+        let again = s.process(&req, &RunContext::default());
+        assert!(
+            !again.cached,
+            "fault-plan runs must never replay from cache"
+        );
+    }
+
+    #[test]
+    fn cache_dir_survives_a_service_restart_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("ccv-serve-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServerConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::loopback()
+        };
+        let req = Request::verify(ProtocolSource::Name("dragon".into()));
+        let first = {
+            let s = Service::new(cfg.clone());
+            s.process(&req, &RunContext::default())
+        };
+        assert_eq!(first.code, None);
+        let s = Service::new(cfg);
+        let recovery = s.cache_recovery().expect("cache dir attached");
+        assert_eq!((recovery.loaded, recovery.quarantined), (1, 0));
+        let replay = s.process(&req, &RunContext::default());
+        assert!(replay.cached, "restart must replay the persisted verdict");
+        assert_eq!(replay.body, first.body, "replay must be byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_cache_dir_degrades_to_memory_only() {
+        let file = std::env::temp_dir().join(format!("ccv-serve-notdir-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        let cfg = ServerConfig {
+            cache_dir: Some(file.clone()),
+            ..ServerConfig::loopback()
+        };
+        let s = Service::new(cfg);
+        assert!(s.cache_degraded().is_some(), "degradation must be reported");
+        // The service still works, memory-only.
+        let req = Request::verify(ProtocolSource::Name("illinois".into()));
+        let out = s.process(&req, &RunContext::default());
+        assert_eq!(out.code, None);
+        assert!(s.process(&req, &RunContext::default()).cached);
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Corruption fuzz over the persisted artifacts: checkpoint files and
+//! spill segments are truncated at every byte boundary and bit-flipped
+//! at every byte, and the loaders must hold one contract throughout —
+//! a damaged file is cleanly rejected (or quarantined), never panicked
+//! on, and never silently accepted as something other than what was
+//! written. The only mutation a loader may accept is the identity.
+
+use ccv_enum::{
+    enumerate, read_segment, Checkpoint, EnumOptions, PackedState, SpillConfig, SpillVisited,
+};
+use ccv_model::protocols::illinois;
+
+/// A small, real checkpoint: an early-stopped Illinois enumeration
+/// with its resume snapshot captured.
+fn small_checkpoint() -> Checkpoint {
+    let spec = illinois();
+    let opts = EnumOptions::new(3)
+        .exact()
+        .max_states(10)
+        .capture_snapshot(true);
+    let r = enumerate(&spec, &opts);
+    assert!(r.truncated, "budget must stop the run early");
+    Checkpoint::of_result(&spec, &opts, &r).expect("snapshot captured")
+}
+
+/// `true` when the parsed checkpoint is byte-for-byte the one written.
+fn same_checkpoint(a: &Checkpoint, b: &Checkpoint) -> bool {
+    a.protocol == b.protocol
+        && a.protocol_hash == b.protocol_hash
+        && a.n == b.n
+        && a.visits == b.visits
+        && a.visited == b.visited
+        && a.frontier == b.frontier
+}
+
+#[test]
+fn checkpoint_loader_rejects_every_truncation() {
+    let ckpt = small_checkpoint();
+    let mut buf = Vec::new();
+    ckpt.write_to(&mut buf).unwrap();
+    for cut in 0..=buf.len() {
+        let text = String::from_utf8_lossy(&buf[..cut]);
+        match Checkpoint::read_from(&text) {
+            Err(_) => {}
+            Ok(back) => assert!(
+                same_checkpoint(&back, &ckpt),
+                "truncation at {cut}/{} parsed as a different checkpoint",
+                buf.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn checkpoint_loader_rejects_every_bit_flip() {
+    let ckpt = small_checkpoint();
+    let mut buf = Vec::new();
+    ckpt.write_to(&mut buf).unwrap();
+    for pos in 0..buf.len() {
+        for mask in [0x01u8, 0x80] {
+            let mut bad = buf.clone();
+            bad[pos] ^= mask;
+            let text = String::from_utf8_lossy(&bad);
+            match Checkpoint::read_from(&text) {
+                Err(_) => {}
+                Ok(back) => assert!(
+                    same_checkpoint(&back, &ckpt),
+                    "bit flip {mask:#04x} at byte {pos} was silently accepted"
+                ),
+            }
+        }
+    }
+}
+
+/// The quarantine path on real files: a sample of damaged on-disk
+/// checkpoints must each load as a clean error and leave a `.corrupt`
+/// sibling rather than the trusted original.
+#[test]
+fn damaged_checkpoint_files_are_quarantined() {
+    let ckpt = small_checkpoint();
+    let mut buf = Vec::new();
+    ckpt.write_to(&mut buf).unwrap();
+    let dir = std::env::temp_dir().join(format!("ccv-fuzz-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let step = (buf.len() / 8).max(1);
+    for (i, pos) in (0..buf.len()).step_by(step).enumerate() {
+        let mut bad = buf.clone();
+        bad[pos] ^= 0x04;
+        let path = dir.join(format!("damaged-{i}.ccvk"));
+        std::fs::write(&path, &bad).unwrap();
+        match Checkpoint::load_or_quarantine(&path) {
+            Ok(back) => assert!(same_checkpoint(&back, &ckpt), "flip at {pos} accepted"),
+            Err(e) => {
+                assert!(e.contains("quarantined"), "flip at {pos}: {e}");
+                assert!(!path.exists(), "flip at {pos}: original left in place");
+                assert!(
+                    path.with_extension("ccvk.corrupt").exists(),
+                    "flip at {pos}: no quarantine file"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A real spill segment written by the table itself.
+fn spill_segment() -> (std::path::PathBuf, Vec<u8>, Vec<PackedState>) {
+    let dir = std::env::temp_dir().join(format!("ccv-fuzz-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut table = SpillVisited::new(&SpillConfig::new(&dir, Some(256)));
+    let mut x = 0x243f6a8885a308d3u64;
+    for _ in 0..120 {
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9).wrapping_add(1);
+        table.insert(PackedState(u128::from(x) << 32 | u128::from(x >> 17)));
+    }
+    assert!(table.segments_written() > 0, "no segment was flushed");
+    let path = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "ccvs"))
+        .expect("a .ccvs segment exists");
+    let bytes = std::fs::read(&path).unwrap();
+    let baseline = read_segment(&path).expect("untouched segment reads back");
+    (path, bytes, baseline)
+}
+
+fn sorted(mut v: Vec<PackedState>) -> Vec<PackedState> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn spill_segment_reader_rejects_every_truncation_and_bit_flip() {
+    let (path, bytes, baseline) = spill_segment();
+    let baseline = sorted(baseline);
+    let probe = path.with_file_name("probe.ccvs");
+    for cut in 0..=bytes.len() {
+        std::fs::write(&probe, &bytes[..cut]).unwrap();
+        match read_segment(&probe) {
+            Err(_) => {}
+            Ok(got) => assert_eq!(
+                sorted(got),
+                baseline,
+                "truncation at {cut}/{} read back as different states",
+                bytes.len()
+            ),
+        }
+    }
+    for pos in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x01;
+        std::fs::write(&probe, &bad).unwrap();
+        match read_segment(&probe) {
+            Err(_) => {}
+            Ok(got) => assert_eq!(
+                sorted(got),
+                baseline,
+                "bit flip at byte {pos} was silently accepted"
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
